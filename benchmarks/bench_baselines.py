@@ -1,0 +1,93 @@
+"""E9 — message-cost comparison against the related protocols (§1, §8).
+
+"Bruso's solution is symmetric and requires an order of magnitude more
+messages in all situations"; Moser et al. assume an underlying
+fault-tolerant atomic broadcast whose ordering/stability traffic the
+paper's protocol avoids; "our solution is an order of magnitude cheaper
+than ([15], [5])".
+
+One exclusion per protocol, swept over group sizes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import breakdown, two_phase_update_messages
+from repro.baselines import AbcastMember, SymmetricMember
+
+from conftest import assert_safe, record_rows, single_failure_run
+
+SIZES = [4, 6, 8, 12, 16, 24]
+
+
+def test_single_exclusion_cost_comparison(benchmark):
+    def run():
+        results = {}
+        for n in SIZES:
+            ours = single_failure_run(n)
+            symmetric = single_failure_run(n, member_class=SymmetricMember)
+            abcast = single_failure_run(n, member_class=AbcastMember)
+            for cluster in (ours, symmetric, abcast):
+                assert_safe(cluster)
+            results[n] = (
+                breakdown(ours.trace).algorithm,
+                breakdown(symmetric.trace).algorithm,
+                breakdown(abcast.trace).algorithm,
+            )
+        return results
+
+    results = benchmark(run)
+    rows = []
+    for n in SIZES:
+        ours, symmetric, abcast = results[n]
+        rows.append(
+            f"  n={n:3d}   GMP = {ours:4d} (paper 3n-5 = {two_phase_update_messages(n):4d})   "
+            f"symmetric = {symmetric:5d} ({symmetric / ours:4.1f}x)   "
+            f"abcast = {abcast:5d} ({abcast / ours:4.1f}x)"
+        )
+        assert ours == two_phase_update_messages(n)
+        assert symmetric > ours and abcast > ours
+        if n >= 8:  # the gap opens as n grows (both baselines are O(n^2))
+            assert symmetric > 3 * ours
+            assert abcast > 2 * ours
+    # "Order of magnitude" materialises as n grows.
+    ours24, symmetric24, abcast24 = results[24]
+    assert symmetric24 >= 10 * ours24
+    record_rows(
+        benchmark,
+        "E9 (§1/§8): one exclusion — GMP vs symmetric (Bruso) vs abcast (Moser)",
+        "  group size | GMP | symmetric | atomic-broadcast",
+        rows,
+    )
+
+
+def test_quadratic_vs_linear_scaling(benchmark):
+    """The baselines scale quadratically; GMP scales linearly."""
+
+    def run():
+        out = {}
+        for n in (6, 12, 24):
+            out[n] = (
+                breakdown(single_failure_run(n).trace).algorithm,
+                breakdown(
+                    single_failure_run(n, member_class=SymmetricMember).trace
+                ).algorithm,
+            )
+        return out
+
+    results = benchmark(run)
+    ours6, sym6 = results[6]
+    ours24, sym24 = results[24]
+    ratio_ours = ours24 / ours6
+    ratio_sym = sym24 / sym6
+    rows = [
+        f"  GMP:       cost(24)/cost(6) = {ratio_ours:4.1f}  (linear predicts ~4)",
+        f"  symmetric: cost(24)/cost(6) = {ratio_sym:4.1f}  (quadratic predicts ~16)",
+    ]
+    assert ratio_ours < 6
+    assert ratio_sym > 10
+    record_rows(
+        benchmark,
+        "E9b: scaling exponents",
+        "  protocol | growth from n=6 to n=24",
+        rows,
+    )

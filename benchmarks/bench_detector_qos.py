@@ -1,0 +1,102 @@
+"""E18 (extension) — failure-detector quality vs. membership churn.
+
+The paper's central observation is that in an asynchronous system failure
+is only ever *perceived*: "a transient event could prevent a live process
+from sending or receiving messages, giving rise to spurious failure
+'detections'".  The protocol is proven safe under any detector; this
+experiment quantifies the *operational* trade-off the detector's timeout
+creates:
+
+* an aggressive timeout detects real crashes fast but wrongfully excludes
+  slow-but-live members (who must then rejoin as new incarnations);
+* a conservative timeout never errs but leaves dead members in the view
+  for longer.
+
+Safety (GMP) holds at every point of the sweep — that is the paper's
+theorem; the curve below is the price sheet for choosing a detector.
+"""
+
+from __future__ import annotations
+
+from repro.core.service import MembershipCluster
+from repro.properties import check_gmp
+from repro.sim.network import UniformDelay
+
+from conftest import record_rows
+
+#: network delays: usually ~1, with a heavy tail up to 6 time units.
+DELAYS = UniformDelay(0.5, 6.0)
+TIMEOUTS = [4.0, 5.0, 6.0, 12.0]
+QUIET_SEEDS = range(8)
+
+
+def wrongful_exclusions(timeout: float, seed: int) -> tuple[int, bool]:
+    """Run a *crash-free* group; count live members wrongfully excluded."""
+    cluster = MembershipCluster.of_size(
+        6,
+        seed=seed,
+        detector="heartbeat",
+        heartbeat_period=2.0,
+        heartbeat_timeout=timeout,
+        delay_model=DELAYS,
+    )
+    cluster.start()
+    cluster.run(until=300.0, max_events=2_000_000)
+    report = check_gmp(cluster.trace, cluster.initial_view, check_liveness=False)
+    wrongful = sum(1 for m in cluster.members.values() if m.quit)
+    return wrongful, report.ok
+
+
+def crash_detection_latency(timeout: float, seed: int) -> float:
+    """Time from a real crash to agreement among survivors."""
+    cluster = MembershipCluster.of_size(
+        5,
+        seed=seed,
+        detector="heartbeat",
+        heartbeat_period=2.0,
+        heartbeat_timeout=timeout,
+        delay_model=UniformDelay(0.5, 2.0),  # healthy network for this leg
+    )
+    cluster.start()
+    cluster.crash("p4", at=50.0)
+    cluster.run(until=51.0)
+    cluster.run_until_agreement(until=2_000.0, max_events=2_000_000)
+    return cluster.scheduler.now - 50.0
+
+
+def test_timeout_tradeoff(benchmark):
+    def run():
+        results = {}
+        for timeout in TIMEOUTS:
+            wrongful_total = 0
+            all_safe = True
+            for seed in QUIET_SEEDS:
+                wrongful, safe = wrongful_exclusions(timeout, seed)
+                wrongful_total += wrongful
+                all_safe &= safe
+            latency = crash_detection_latency(timeout, seed=1)
+            results[timeout] = (wrongful_total, all_safe, latency)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for timeout, (wrongful, safe, latency) in sorted(results.items()):
+        rows.append(
+            f"  timeout={timeout:5.1f}   wrongful exclusions: {wrongful:2d} "
+            f"across {len(QUIET_SEEDS)} quiet runs   "
+            f"real-crash detection latency: {latency:6.1f}   GMP: "
+            f"{'PASS' if safe else 'FAIL'}"
+        )
+        assert safe  # the theorem: safety at every operating point
+    # The trade-off shape: aggressive timeouts err, conservative ones don't…
+    assert results[TIMEOUTS[0]][0] > 0
+    assert results[TIMEOUTS[-1]][0] == 0
+    # …and detection latency grows with the timeout.
+    assert results[TIMEOUTS[-1]][2] > results[TIMEOUTS[0]][2]
+    record_rows(
+        benchmark,
+        "E18: detector timeout vs wrongful exclusions vs detection latency "
+        "(delays U(0.5, 6.0), heartbeat every 2)",
+        "  timeout | wrongful exclusions (8 quiet runs) | crash latency | safety",
+        rows,
+    )

@@ -1,0 +1,100 @@
+"""E10 — fault-tolerance boundaries (§3.1 remarks, §4.3, §7 remarks).
+
+* Basic algorithm (Mgr never fails): tolerates ``|Memb| - 1`` failures.
+* Full algorithm: "only a minority of failures can be tolerated between
+  successive system views"; a majority of concurrent failures blocks all
+  progress ("no algorithm can make progress unless some recoveries occur")
+  but never violates safety.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import tolerable_failures
+from repro.core.service import MembershipCluster
+from repro.sim.network import FixedDelay
+
+from conftest import assert_safe, record_rows
+
+
+def run_concurrent_crashes(n: int, k: int, majority_updates: bool = True):
+    cluster = MembershipCluster.of_size(
+        n, seed=0, delay_model=FixedDelay(1.0), majority_updates=majority_updates
+    )
+    cluster.start()
+    for i in range(k):
+        cluster.crash(f"p{n - 1 - i}", at=5.0 + 0.1 * i)
+    cluster.settle(max_events=2_000_000)
+    return cluster
+
+
+def test_minority_tolerated_majority_blocks(benchmark):
+    n = 9
+    tau = tolerable_failures(n)  # 4
+
+    def run():
+        tolerated = run_concurrent_crashes(n, tau)
+        blocked = run_concurrent_crashes(n, tau + 1)
+        return tolerated, blocked
+
+    tolerated, blocked = benchmark(run)
+    assert_safe(tolerated, liveness=True)
+    assert len(tolerated.agreed_view()) == n - tau
+    assert_safe(blocked)  # safety holds...
+    # ...but no progress was possible: no surviving member installed a view
+    # (the coordinator could never assemble a majority).
+    surviving_versions = {v for v, _ in blocked.views().values()}
+    assert surviving_versions <= {0}
+    record_rows(
+        benchmark,
+        "E10 (§4.3): concurrent-failure tolerance in a group of 9",
+        "  concurrent crashes | outcome",
+        [
+            f"  {tau} (= tau)      | excluded all, final view of {n - tau}, GMP incl. liveness: PASS",
+            f"  {tau + 1} (> tau)      | blocked (no view installed), safety: PASS",
+        ],
+    )
+
+
+def test_tolerance_sweep(benchmark):
+    """Sweep k from 1 to majority: progress iff k <= tau."""
+    n = 7
+    tau = tolerable_failures(n)
+
+    def run():
+        return {k: run_concurrent_crashes(n, k) for k in range(1, tau + 2)}
+
+    clusters = benchmark(run)
+    rows = []
+    for k, cluster in sorted(clusters.items()):
+        assert_safe(cluster)
+        progressed = any(v > 0 for v, _ in cluster.views().values())
+        expected = k <= tau
+        assert progressed == expected
+        rows.append(
+            f"  k={k}  progress={'yes' if progressed else 'BLOCKED':7s} "
+            f"(paper: {'tolerated' if expected else 'beyond tau'})"
+        )
+    record_rows(
+        benchmark,
+        f"E10b: concurrent-crash sweep in a group of {n} (tau = {tau})",
+        "  crashes | outcome",
+        rows,
+    )
+
+
+def test_basic_mode_tolerates_all_but_mgr(benchmark):
+    """§3.1: the basic algorithm survives |Memb| - 1 failures."""
+    n = 8
+
+    def run():
+        return run_concurrent_crashes(n, n - 1, majority_updates=False)
+
+    cluster = benchmark(run)
+    assert_safe(cluster, liveness=True)
+    assert [m.name for m in cluster.agreed_view()] == ["p0"]
+    record_rows(
+        benchmark,
+        "E10c (§3.1): basic algorithm under |Memb|-1 failures",
+        "  crashes | outcome",
+        [f"  {n - 1} of {n} | coordinator alone survives at version {cluster.agreed_version()}"],
+    )

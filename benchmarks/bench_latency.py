@@ -1,0 +1,130 @@
+"""E14 (extension) — view-change latency and design ablations.
+
+The paper analyses message complexity, not latency; a downstream adopter
+cares about both.  These benchmarks measure, in simulation time units
+(1 unit = one network delay), how long an exclusion takes from the *crash
+instant* to agreement among survivors, decomposing detector delay from
+protocol rounds — and ablate the paper's design choices:
+
+* asymmetric two-phase vs. three-phase reconfiguration cost in *latency*;
+* majority mode vs. basic mode;
+* compressed vs. uncompressed streaks (latency, complementing E4's counts).
+"""
+
+from __future__ import annotations
+
+from repro.core.service import MembershipCluster
+from repro.sim.network import FixedDelay
+
+from conftest import assert_safe, record_rows
+
+
+def time_to_agreement(
+    n: int,
+    victim: str,
+    detector_delay: float = 5.0,
+    majority_updates: bool = True,
+) -> float:
+    cluster = MembershipCluster.of_size(
+        n,
+        seed=0,
+        delay_model=FixedDelay(1.0),
+        detector_delay=detector_delay,
+        majority_updates=majority_updates,
+    )
+    cluster.start()
+    crash_time = 5.0
+    cluster.crash(victim, at=crash_time)
+    cluster.run(until=crash_time + 0.01)
+    assert cluster.run_until_agreement(until=crash_time + 1000.0)
+    assert_safe(cluster)
+    return cluster.scheduler.now - crash_time
+
+
+def test_exclusion_vs_reconfiguration_latency(benchmark):
+    """An ordinary exclusion needs 2 protocol rounds; losing the
+    coordinator needs detection + 3 reconfiguration phases."""
+
+    def run():
+        results = {}
+        for n in (4, 8, 16):
+            results[n] = (
+                time_to_agreement(n, victim=f"p{n - 1}"),
+                time_to_agreement(n, victim="p0"),
+            )
+        return results
+
+    results = benchmark(run)
+    rows = []
+    for n, (member_lat, mgr_lat) in sorted(results.items()):
+        rows.append(
+            f"  n={n:3d}   member crash -> agreement: {member_lat:5.1f}   "
+            f"coordinator crash -> agreement: {mgr_lat:5.1f}"
+        )
+        # Both are detector (5.0) + a constant number of 1.0-delay rounds:
+        # flat in n (the protocol has no sequential per-member phase).
+        assert member_lat < mgr_lat  # three phases cost more than two
+        assert mgr_lat < 25.0
+    # Latency must not grow with group size (rounds are broadcasts).
+    assert abs(results[16][0] - results[4][0]) < 2.0
+    record_rows(
+        benchmark,
+        "E14: crash-to-agreement latency (time units; delay=1, detector=5)",
+        "  group size | member exclusion | coordinator reconfiguration",
+        rows,
+    )
+
+
+def test_detector_delay_dominates_latency(benchmark):
+    """Ablation: the failure detector, not the protocol, sets the floor —
+    the paper's 'we are not concerned with the mechanism' is quantified."""
+
+    def run():
+        return {
+            d: time_to_agreement(6, victim="p5", detector_delay=d)
+            for d in (2.0, 5.0, 10.0, 20.0)
+        }
+
+    results = benchmark(run)
+    rows = []
+    protocol_part = None
+    for delay, latency in sorted(results.items()):
+        protocol_part = latency - delay
+        rows.append(
+            f"  detector delay {delay:5.1f} -> agreement in {latency:5.1f} "
+            f"(protocol part: {protocol_part:4.1f})"
+        )
+    # The protocol part is a small constant; detection dominates.
+    parts = [lat - d for d, lat in results.items()]
+    assert max(parts) - min(parts) < 1.5
+    assert max(parts) < 8.0
+    record_rows(
+        benchmark,
+        "E14b: detector delay vs protocol rounds in total latency",
+        "  detector delay | total latency | protocol-only part",
+        rows,
+    )
+
+
+def test_majority_mode_latency_ablation(benchmark):
+    """Ablation: the majority rule costs nothing in latency on clean runs —
+    its price is availability under majority loss (E10), not speed."""
+
+    def run():
+        return {
+            mode: time_to_agreement(8, victim="p7", majority_updates=mode)
+            for mode in (True, False)
+        }
+
+    results = benchmark(run)
+    rows = [
+        f"  majority rule ON : {results[True]:5.1f}",
+        f"  majority rule OFF: {results[False]:5.1f}",
+    ]
+    assert abs(results[True] - results[False]) < 0.5
+    record_rows(
+        benchmark,
+        "E14c: majority-rule latency ablation (single failure, 8 members)",
+        "  mode | crash-to-agreement",
+        rows,
+    )

@@ -1,0 +1,117 @@
+"""E12 — Figure 4: the majority requirement makes reconfiguration unique.
+
+Two concurrent reconfigurers with crossing suspicions: the majority rule
+must allow at most one of them to install a view (GMP-2's uniqueness).
+We run the Figure 4 schedule, plus a partitioned variant in which *neither*
+side holds a majority — then nobody may install anything.
+"""
+
+from __future__ import annotations
+
+from repro.core.service import MembershipCluster
+from repro.model.events import EventKind
+from repro.sim.network import FixedDelay
+from repro.workloads.scenarios import initiators_of, run_figure4
+
+from conftest import assert_safe, record_rows
+
+
+def test_concurrent_reconfigurers_unique_view(benchmark):
+    cluster = benchmark(run_figure4)
+    assert_safe(cluster)
+    assert initiators_of(cluster) == {"q", "r"}
+    # Exactly one process assumed the coordinator role per view transition:
+    # all surviving members agree on the final coordinator.
+    coordinators = {
+        m.state.mgr.name for m in cluster.live_members() if m.state is not None
+    }
+    assert len(coordinators) == 1
+    installs_v1 = {
+        e.view
+        for e in cluster.trace.events_of_kind(EventKind.INSTALL)
+        if e.version == 1
+    }
+    assert len(installs_v1) == 1  # GMP-2: version 1 is unique
+    record_rows(
+        benchmark,
+        "E12 (Figure 4): two concurrent reconfigurers",
+        "  metric | value",
+        [
+            f"  initiators:      q and r (both)",
+            f"  version 1 views: {len(installs_v1)} (unique)",
+            f"  final coordinator: {coordinators.pop()}",
+        ],
+    )
+
+
+def test_no_majority_no_view(benchmark):
+    """Split 3/3: neither side can reconfigure — both block, safely."""
+
+    def run():
+        cluster = MembershipCluster.of_size(
+            6, seed=0, detector="scripted", delay_model=FixedDelay(1.0)
+        )
+        cluster.start()
+        side_a = ["p0", "p2", "p4"]
+        side_b = ["p1", "p3", "p5"]
+        for a in side_a:
+            for b in side_b:
+                cluster.suspect(a, b, at=5.0)
+                cluster.suspect(b, a, at=5.0)
+        cluster.settle(max_events=1_000_000)
+        return cluster
+
+    cluster = benchmark(run)
+    assert_safe(cluster)
+    for _, (version, _) in cluster.views().items():
+        assert version == 0
+    record_rows(
+        benchmark,
+        "E12b (§4.3): symmetric 3/3 split — no majority anywhere",
+        "  outcome",
+        ["  no view installed by either side; safety preserved (blocked)"],
+    )
+
+
+def test_majority_side_of_partition_wins(benchmark):
+    """A 4/2 belief split: only the 4-side can install views."""
+
+    def run():
+        cluster = MembershipCluster.of_size(
+            6, seed=0, detector="scripted", delay_model=FixedDelay(1.0)
+        )
+        cluster.start()
+        majority = ["p0", "p1", "p2", "p3"]
+        minority = ["p4", "p5"]
+        for a in majority:
+            for b in minority:
+                cluster.suspect(a, b, at=5.0)
+                cluster.suspect(b, a, at=5.0)
+        cluster.settle(max_events=1_000_000)
+        return cluster
+
+    cluster = benchmark(run)
+    assert_safe(cluster)
+    views = {
+        p.name: (version, tuple(m.name for m in view))
+        for p, (version, view) in cluster.views().items()
+    }
+    # The majority side excluded the minority...
+    for name in ("p0", "p1", "p2", "p3"):
+        if name in views:
+            version, view = views[name]
+            assert version == 2 and set(view) == {"p0", "p1", "p2", "p3"}
+    # ...and the minority side installed nothing.
+    for name in ("p4", "p5"):
+        if name in views:
+            version, _ = views[name]
+            assert version == 0
+    record_rows(
+        benchmark,
+        "E12c: 4/2 split — only the majority side proceeds",
+        "  side | outcome",
+        [
+            "  majority {p0..p3} | installed versions 1-2, excluded p4, p5",
+            "  minority {p4, p5} | blocked at version 0",
+        ],
+    )

@@ -1,0 +1,81 @@
+"""E16 (the paper's §8 future work) — reconfiguration phase reuse.
+
+"Similar to the way we compressed the update algorithm, we would pare down
+required communication when failures of reconfiguration initiators are
+continuous."  Implemented as
+:attr:`repro.core.member.GMPMember.reuse_phases`: a reconfigurer whose
+Phase I responses prove a dead predecessor's proposal already reached a
+majority inherits that phase and commits directly.
+
+Benchmarked as an ablation: the initiator-cascade workload with the
+optimisation off vs on.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import breakdown
+from repro.core.service import MembershipCluster
+from repro.model.events import EventKind
+from repro.sim.failures import crash_after_matching_sends, payload_type_is
+from repro.sim.network import FixedDelay
+
+from conftest import assert_safe, record_rows
+
+
+def run_cascade(n: int, reuse: bool) -> tuple[int, int, int]:
+    """p0 crashes; the first reconfigurer dies right after proposing.
+    Returns (protocol messages, reuse events, casualties)."""
+    cluster = MembershipCluster.of_size(
+        n,
+        seed=0,
+        delay_model=FixedDelay(1.0),
+        member_kwargs={"reuse_phases": reuse},
+    )
+    crash_after_matching_sends(
+        cluster.network,
+        cluster.resolve("p1"),
+        payload_type_is("Propose"),
+        after=n - 1,
+        detail="initiator dies after proposing",
+    )
+    cluster.start()
+    cluster.crash("p0", at=5.0)
+    cluster.settle(max_events=1_000_000)
+    assert_safe(cluster)
+    reuses = sum(
+        1
+        for e in cluster.trace.events_of_kind(EventKind.INTERNAL)
+        if e.detail.startswith("reusing predecessor's proposal phase")
+    )
+    return breakdown(cluster.trace).algorithm, reuses, len(cluster.trace.crashed())
+
+
+def test_phase_reuse_ablation(benchmark):
+    def run():
+        return {
+            n: (run_cascade(n, reuse=False), run_cascade(n, reuse=True))
+            for n in (6, 8, 12, 16)
+        }
+
+    results = benchmark(run)
+    rows = []
+    for n, ((plain_cost, _, plain_dead), (opt_cost, reuses, opt_dead)) in sorted(
+        results.items()
+    ):
+        saved = plain_cost - opt_cost
+        rows.append(
+            f"  n={n:3d}   off: {plain_cost:4d} msgs, {plain_dead} dead   "
+            f"on: {opt_cost:4d} msgs, {opt_dead} dead   "
+            f"saved {saved:3d} msgs via {reuses} inheritance(s)"
+        )
+        assert reuses >= 1
+        assert opt_cost < plain_cost
+        # The successor inherits instead of re-proposing: it also dodges
+        # its own propose-time death trigger — fewer casualties.
+        assert opt_dead <= plain_dead
+    record_rows(
+        benchmark,
+        "E16 (§8 future work): reconfiguration phase reuse, off vs on",
+        "  group size | unoptimised | optimised",
+        rows,
+    )

@@ -1,0 +1,100 @@
+"""E4 — §7.2's streak analysis: n-1 successive exclusions.
+
+Paper claims: with the compressed algorithm, excluding n-1 members one
+after another ("none of which are Mgr") costs about ``(n-1)^2`` messages in
+total — an average of ``n-1`` per exclusion — where the plain two-phase
+algorithm would pay roughly ``n/2 - 1`` more per exclusion.
+
+The paper's count assumes every remaining member answers every round, so
+the victims are *suspected while still operational* (a stream of exclusion
+requests, the setting of Section 3.1's basic algorithm — each quits upon
+meeting its own removal).  We stagger one suspicion per round at the
+coordinator, which chains every exclusion through the compressed path, and
+compare the measured totals to ``(n-1)^2`` and to the plain two-phase sum.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import breakdown, compressed_streak_total, standard_streak_total
+from repro.core.service import MembershipCluster
+from repro.sim.network import FixedDelay
+
+from conftest import assert_safe, record_rows
+
+SIZES = [4, 6, 8, 12, 16]
+
+
+def run_streak(n: int, compressed: bool = True) -> int:
+    """Exclude p{n-1}..p1 one at a time; return protocol message count.
+
+    ``compressed=True`` staggers suspicions one per round so each commit
+    carries the next invitation; ``compressed=False`` spaces them far apart
+    so every exclusion pays for a full two-phase round.
+    """
+    cluster = MembershipCluster.of_size(
+        n,
+        seed=0,
+        delay_model=FixedDelay(1.0),
+        detector="scripted",
+        majority_updates=False,  # §3.1 basic algorithm, as in the analysis
+    )
+    cluster.start()
+    spacing = 2.0 if compressed else 50.0
+    for k, victim in enumerate(f"p{i}" for i in range(n - 1, 0, -1)):
+        cluster.suspect("p0", victim, at=5.0 + spacing * k + (0.5 if k else 0.0))
+    cluster.settle()
+    assert_safe(cluster)
+    assert [m.name for m in cluster.agreed_view()] == ["p0"]
+    return breakdown(cluster.trace).algorithm
+
+
+def test_compressed_streak(benchmark):
+    measured = benchmark(lambda: {n: run_streak(n) for n in SIZES})
+    rows = []
+    for n in SIZES:
+        paper = compressed_streak_total(n)
+        standard = standard_streak_total(n)
+        avg = measured[n] / (n - 1)
+        rows.append(
+            f"  n={n:3d}   paper (n-1)^2 = {paper:4d}   measured = {measured[n]:4d} "
+            f"(avg {avg:5.1f}/exclusion)   plain two-phase sum = {standard:4d}"
+        )
+        # Shape claims: the streak total tracks (n-1)^2 (within one
+        # broadcast width per round) and clearly beats the plain sum.
+        assert abs(measured[n] - paper) <= 2 * n
+        assert measured[n] < standard
+    record_rows(
+        benchmark,
+        "E4 (§7.2): n-1 successive exclusions via the compressed algorithm",
+        "  group size | paper compressed total | measured | plain total",
+        rows,
+    )
+
+
+def test_plain_streak_costs_more(benchmark):
+    """Spacing the failures out disables compression; the same workload
+    then costs the full two-phase sum, about n/2 - 1 more per exclusion."""
+
+    def run():
+        return {
+            n: (run_streak(n, compressed=True), run_streak(n, compressed=False))
+            for n in SIZES
+        }
+
+    measured = benchmark(run)
+    rows = []
+    for n in SIZES:
+        fast, slow = measured[n]
+        saving = (slow - fast) / (n - 1)
+        rows.append(
+            f"  n={n:3d}   compressed = {fast:4d}   plain = {slow:4d}   "
+            f"saving/exclusion = {saving:5.2f}   paper ~ n/2 - 1 = {n / 2 - 1:5.2f}"
+        )
+        assert slow > fast
+        assert saving >= n / 2 - 2.5
+    record_rows(
+        benchmark,
+        "E4b (§7.2): per-exclusion saving of compression",
+        "  group size | compressed total | plain total | measured saving | paper",
+        rows,
+    )

@@ -1,0 +1,68 @@
+"""T1 — Table 1 of §4.2: the reconfiguration-initiation matrix.
+
+Reproduces all four rows (p's actual state × q's belief about p) and checks
+which processes initiate reconfiguration, exactly as the table lists:
+
+    p up,     q thinks p up      ->  q: No          p: Yes
+    p failed, q thinks p up      ->  q: Eventually  p: No
+    p up,     q thinks p failed  ->  q: Yes         p: Yes
+    p failed, q thinks p failed  ->  q: Yes         p: No
+"""
+
+from __future__ import annotations
+
+from repro.model.events import EventKind
+from repro.workloads.scenarios import TABLE1_EXPECTED, initiators_of, run_table1_row
+
+from conftest import assert_safe, record_rows
+
+
+def q_initiation_time(cluster) -> float | None:
+    for event in cluster.trace.events_of_kind(EventKind.INTERNAL):
+        if event.proc.name == "q" and event.detail.startswith(
+            "initiating reconfiguration"
+        ):
+            return event.time
+    return None
+
+
+def test_table1_initiation_matrix(benchmark):
+    def run():
+        results = []
+        for row in TABLE1_EXPECTED:
+            cluster = run_table1_row(row)
+            results.append(
+                (row, initiators_of(cluster), q_initiation_time(cluster), cluster)
+            )
+        return results
+
+    results = benchmark(run)
+    rows = []
+    for i, (row, initiators, q_time, cluster) in enumerate(results, start=1):
+        assert_safe(cluster)
+        p_initiated = "p" in initiators
+        q_initiated = "q" in initiators
+        assert p_initiated == row.p_initiates
+        assert q_initiated == (row.q_initiates in ("yes", "eventually"))
+        q_rendered = (
+            "no"
+            if not q_initiated
+            else f"yes (t={q_time:.0f})"
+        )
+        rows.append(
+            f"  row {i}: p {'up    ' if row.p_actually_up else 'failed'} | "
+            f"q thinks p {'up    ' if row.q_thinks_p_up else 'failed'} | "
+            f"q initiates: {q_rendered:12s} (paper: {row.q_initiates:10s}) | "
+            f"p initiates: {str(p_initiated):5s} (paper: {row.p_initiates})"
+        )
+    # "Eventually" (row 2) means later than the immediate cases (rows 3/4).
+    row2_time = results[1][2]
+    row4_time = results[3][2]
+    assert row2_time is not None and row4_time is not None
+    assert row2_time > row4_time
+    record_rows(
+        benchmark,
+        "T1 (Table 1): multiple reconfiguration initiations",
+        "  p actual state | q's belief | q initiates | p initiates",
+        rows,
+    )

@@ -1,0 +1,62 @@
+"""E5 — §7.2's worst case: successive failed reconfigurations, O(n^2).
+
+Each new reconfigurer dies in its commit broadcast, forcing the next-ranked
+survivor to start over; the paper bounds the total at O(|Sys|^2) across the
+``tau`` tolerable failures.  We script exactly that cascade and check the
+measured totals grow quadratically, tracking the closed form.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import breakdown, tolerable_failures, worst_case_total
+from repro.core.service import MembershipCluster
+from repro.sim.failures import crash_after_matching_sends, payload_type_is
+from repro.sim.network import FixedDelay
+
+from conftest import assert_safe, record_rows
+
+SIZES = [6, 8, 12, 16, 20]
+
+
+def run_cascade(n: int) -> int:
+    """Crash p0, then crash each successive reconfigurer mid-commit."""
+    cluster = MembershipCluster.of_size(n, seed=0, delay_model=FixedDelay(1.0))
+    tau = tolerable_failures(n)
+    # p1..p_{tau-1} each die after their first ReconfigCommit send; the
+    # tau-th initiator survives and stabilises the group.
+    for i in range(1, tau):
+        crash_after_matching_sends(
+            cluster.network,
+            cluster.resolve(f"p{i}"),
+            payload_type_is("ReconfigCommit"),
+            after=1,
+            detail=f"worst-case cascade victim {i}",
+        )
+    cluster.start()
+    cluster.crash("p0", at=5.0)
+    cluster.settle(max_events=2_000_000)
+    assert_safe(cluster)
+    return breakdown(cluster.trace).algorithm
+
+
+def test_worst_case_cascade(benchmark):
+    measured = benchmark(lambda: {n: run_cascade(n) for n in SIZES})
+    rows = []
+    for n in SIZES:
+        paper = worst_case_total(n)
+        rows.append(
+            f"  n={n:3d}  tau={tolerable_failures(n):2d}   "
+            f"paper O(n^2) total ~ {paper:5d}   measured = {measured[n]:5d}"
+        )
+    # Quadratic shape: scaling n by ~3x (6 -> 20) must scale cost by far
+    # more than 3x (it would be ~3x if the cost were linear).
+    assert measured[20] > 5 * measured[6]
+    # And the measured totals track the closed form within a factor of two.
+    for n in SIZES:
+        assert measured[n] <= 2 * worst_case_total(n) + 4 * n
+    record_rows(
+        benchmark,
+        "E5 (§7.2): tau successive failed reconfigurations (worst case)",
+        "  group size | paper closed form | measured protocol messages",
+        rows,
+    )

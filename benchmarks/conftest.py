@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark reproduces one table/figure/claim from the paper (see
+DESIGN.md §3 for the experiment index and EXPERIMENTS.md for recorded
+results).  Conventions:
+
+* each benchmark runs the scenario via the ``benchmark`` fixture (so
+  ``pytest benchmarks/ --benchmark-only`` times it) and asserts the *shape*
+  of the paper's claim;
+* measured quantities are attached to ``benchmark.extra_info`` and printed,
+  so a benchmark run regenerates the paper-vs-measured rows.
+"""
+
+from __future__ import annotations
+
+from repro.core.service import MembershipCluster
+from repro.properties import check_gmp, format_report
+from repro.sim.network import FixedDelay
+
+
+def single_failure_run(
+    n: int, seed: int = 0, member_class=None, victim: str | None = None
+) -> MembershipCluster:
+    """One crash of a junior member in a group of size n, fixed delays."""
+    kwargs = {} if member_class is None else {"member_class": member_class}
+    cluster = MembershipCluster.of_size(
+        n, seed=seed, delay_model=FixedDelay(1.0), **kwargs
+    )
+    cluster.start()
+    cluster.crash(victim or f"p{n - 1}", at=5.0)
+    cluster.settle()
+    return cluster
+
+
+def coordinator_failure_run(n: int, seed: int = 0) -> MembershipCluster:
+    """Crash the coordinator: one full reconfiguration."""
+    cluster = MembershipCluster.of_size(n, seed=seed, delay_model=FixedDelay(1.0))
+    cluster.start()
+    cluster.crash("p0", at=5.0)
+    cluster.settle()
+    return cluster
+
+
+def assert_safe(cluster: MembershipCluster, liveness: bool = False) -> None:
+    report = check_gmp(cluster.trace, cluster.initial_view, check_liveness=liveness)
+    assert report.ok, format_report(report)
+
+
+def record_rows(benchmark, title: str, header: str, rows: list[str]) -> None:
+    """Attach a rendered table to the benchmark and print it."""
+    table = "\n".join([title, header] + rows)
+    benchmark.extra_info["table"] = table
+    print("\n" + table)

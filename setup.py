@@ -1,0 +1,10 @@
+"""Setup shim for environments whose setuptools cannot build PEP 517 wheels.
+
+All real metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` on toolchains without the ``wheel``
+package.
+"""
+
+from setuptools import setup
+
+setup()

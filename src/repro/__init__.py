@@ -1,0 +1,43 @@
+"""repro — Group membership for failure detection in asynchronous systems.
+
+A from-scratch reproduction of Ricciardi & Birman, *Using Process Groups to
+Implement Failure Detection in Asynchronous Environments* (Cornell TR
+91-1188 / PODC 1991): the asymmetric Group Membership Protocol with
+two-phase (and compressed) updates, three-phase reconfiguration with
+invisible-commit detection, and the online join procedure — plus the
+simulation substrate, the formal model it is specified against, property
+checkers for GMP-0..GMP-5, and the baseline protocols the paper compares
+with.
+
+Quickstart::
+
+    from repro import MembershipCluster
+
+    cluster = MembershipCluster.of_size(5, seed=7)
+    cluster.start()
+    cluster.crash("p2", at=10.0)     # crash a member
+    cluster.settle()                 # run to quiescence
+    print(cluster.agreed_view())     # survivors agree: p2 excluded
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every reproduced table and figure.
+"""
+
+from repro.ids import ProcessId, pid
+from repro.core.messages import Op, add, remove
+from repro.core.member import GMPMember
+from repro.core.service import GroupMembershipService, MembershipCluster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ProcessId",
+    "pid",
+    "Op",
+    "add",
+    "remove",
+    "GMPMember",
+    "MembershipCluster",
+    "GroupMembershipService",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Asyncio runtime: the same protocol state machines on a real event loop.
+
+The protocol classes are sans-I/O: they talk to the world through the
+``Network``/``Scheduler`` surface.  This package provides asyncio-backed
+implementations of that surface, so an unmodified
+:class:`repro.core.member.GMPMember` (and every detector) runs under real
+concurrency and wall-clock time — the "asyncio works" leg of the
+reproduction.
+
+Use :class:`repro.aio.runtime.AioMembershipRuntime` to spin up a live
+cluster inside any asyncio program; see ``examples/asyncio_cluster.py``.
+"""
+
+from repro.aio.scheduler import AioScheduler, AioTimer
+from repro.aio.network import AioNetwork
+from repro.aio.runtime import AioMembershipRuntime
+
+__all__ = ["AioScheduler", "AioTimer", "AioNetwork", "AioMembershipRuntime"]

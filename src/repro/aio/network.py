@@ -1,0 +1,120 @@
+"""Asyncio-backed implementation of the Network surface.
+
+Implements the subset of :class:`repro.sim.network.Network` the protocol
+and detector layers use — ``send``, ``register``, ``processes``, the trace,
+crash/send observers — over a live asyncio loop.  Per-channel FIFO is
+preserved exactly as in the simulator: a delivery is never scheduled before
+an earlier delivery on the same directed channel.
+
+Delays default to a small uniform jitter so runs exhibit genuine
+asynchronous interleavings at real-time speed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import ProcessCrashedError, SimulationError
+from repro.ids import ProcessId
+from repro.model.events import EventKind, MessageRecord
+from repro.sim.network import DelayModel, UniformDelay
+from repro.sim.trace import RunTrace
+from repro.aio.scheduler import AioScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import SimProcess
+
+__all__ = ["AioNetwork"]
+
+_FIFO_EPSILON = 1e-6
+
+
+class AioNetwork:
+    """Live asyncio message fabric with the simulator's Network API."""
+
+    def __init__(
+        self,
+        scheduler: AioScheduler,
+        trace: Optional[RunTrace] = None,
+        delay_model: Optional[DelayModel] = None,
+        seed: int = 0,
+    ) -> None:
+        self.scheduler = scheduler
+        self.trace = trace if trace is not None else RunTrace()
+        self.delay_model: DelayModel = (
+            delay_model if delay_model is not None else UniformDelay(0.001, 0.01)
+        )
+        self.rng = random.Random(seed)
+        self._processes: dict[ProcessId, "SimProcess"] = {}
+        self._channel_clock: dict[tuple[ProcessId, ProcessId], float] = {}
+        self._send_observers: list[Callable[[MessageRecord], None]] = []
+        self._crash_observers: list[Callable[[ProcessId], None]] = []
+
+    # ----------------------------------------------------------- registry
+
+    def register(self, process: "SimProcess") -> None:
+        if process.pid in self._processes:
+            raise SimulationError(f"duplicate process id {process.pid}")
+        self._processes[process.pid] = process
+
+    def process(self, pid: ProcessId) -> "SimProcess":
+        return self._processes[pid]
+
+    def processes(self) -> dict[ProcessId, "SimProcess"]:
+        return dict(self._processes)
+
+    def live_processes(self) -> list["SimProcess"]:
+        return [p for p in self._processes.values() if not p.crashed]
+
+    # ---------------------------------------------------------- observers
+
+    def add_send_observer(self, observer: Callable[[MessageRecord], None]) -> None:
+        self._send_observers.append(observer)
+
+    def add_crash_observer(self, observer: Callable[[ProcessId], None]) -> None:
+        self._crash_observers.append(observer)
+
+    def notify_crash(self, pid: ProcessId) -> None:
+        for observer in list(self._crash_observers):
+            observer(pid)
+
+    # -------------------------------------------------------------- sending
+
+    def send(
+        self,
+        sender: ProcessId,
+        receiver: ProcessId,
+        payload: object,
+        category: str = "protocol",
+    ) -> MessageRecord:
+        process = self._processes.get(sender)
+        if process is None:
+            raise SimulationError(f"unknown sender {sender}")
+        if process.crashed:
+            raise ProcessCrashedError(f"{sender} is crashed and cannot send")
+        record = MessageRecord(
+            sender=sender, receiver=receiver, payload=payload, category=category
+        )
+        self.trace.record(
+            sender,
+            EventKind.SEND,
+            time=self.scheduler.now,
+            peer=receiver,
+            message=record,
+        )
+        for observer in list(self._send_observers):
+            observer(record)
+        delay = self.delay_model.delay(sender, receiver, self.rng)
+        channel = (sender, receiver)
+        earliest = self._channel_clock.get(channel, 0.0) + _FIFO_EPSILON
+        when = max(self.scheduler.now + delay, earliest)
+        self._channel_clock[channel] = when
+        self.scheduler.at(when, lambda: self._deliver(record))
+        return record
+
+    def _deliver(self, record: MessageRecord) -> None:
+        receiver = self._processes.get(record.receiver)
+        if receiver is None or receiver.crashed:
+            return
+        receiver._receive(record)

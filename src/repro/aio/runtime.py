@@ -1,0 +1,198 @@
+"""Live membership clusters on asyncio.
+
+:class:`AioMembershipRuntime` assembles unmodified
+:class:`~repro.core.member.GMPMember` instances over the asyncio network
+fabric, with real wall-clock heartbeat (or oracle) failure detection.  It is
+the runtime a long-lived service embedding this library would use; the
+simulator remains the tool for reproducible adversarial schedules.
+
+All methods must be called from within a running event loop (they schedule
+callbacks on it); the ``async`` helpers do the waiting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Iterable, Literal, Optional
+
+from repro.detectors.base import FailureDetector
+from repro.detectors.heartbeat import HeartbeatDetector
+from repro.detectors.oracle import OracleDetector
+from repro.ids import ProcessId, ordered_view, pid
+from repro.sim.network import DelayModel
+from repro.core.member import GMPMember
+from repro.aio.network import AioNetwork
+from repro.aio.scheduler import AioScheduler
+
+__all__ = ["AioMembershipRuntime"]
+
+
+class AioMembershipRuntime:
+    """A live group of GMP members on the current asyncio event loop."""
+
+    def __init__(
+        self,
+        members: Iterable[ProcessId | str],
+        detector: Literal["heartbeat", "oracle"] = "heartbeat",
+        heartbeat_period: float = 0.05,
+        heartbeat_timeout: float = 0.25,
+        oracle_delay: float = 0.05,
+        delay_model: Optional[DelayModel] = None,
+        seed: int = 0,
+        majority_updates: bool = True,
+        transport: Literal["memory", "tcp"] = "memory",
+    ) -> None:
+        self.initial_view = ordered_view(
+            m if isinstance(m, ProcessId) else pid(m) for m in members
+        )
+        self.scheduler = AioScheduler()
+        self.transport = transport
+        if transport == "tcp":
+            from repro.aio.tcp import TcpNetwork
+
+            self.network = TcpNetwork(self.scheduler)  # type: ignore[assignment]
+        else:
+            self.network = AioNetwork(
+                self.scheduler, delay_model=delay_model, seed=seed
+            )
+        self.detector_kind = detector
+        self.heartbeat_period = heartbeat_period
+        self.heartbeat_timeout = heartbeat_timeout
+        self.oracle_delay = oracle_delay
+        self.majority_updates = majority_updates
+        self.members: dict[ProcessId, GMPMember] = {}
+        for member in self.initial_view:
+            self._build(member, initial_view=list(self.initial_view))
+        self._started = False
+
+    @property
+    def trace(self):
+        return self.network.trace
+
+    def _make_detector(self) -> FailureDetector:
+        if self.detector_kind == "heartbeat":
+            return HeartbeatDetector(
+                self.network,  # type: ignore[arg-type]
+                period=self.heartbeat_period,
+                timeout=self.heartbeat_timeout,
+            )
+        return OracleDetector(self.network, delay=self.oracle_delay)  # type: ignore[arg-type]
+
+    def _build(
+        self,
+        member: ProcessId,
+        initial_view: Optional[list[ProcessId]] = None,
+        contacts: Optional[list[ProcessId]] = None,
+    ) -> GMPMember:
+        process = GMPMember(
+            member,
+            self.network,  # type: ignore[arg-type]
+            self._make_detector(),
+            initial_view=initial_view,
+            contacts=contacts,
+            majority_updates=self.majority_updates,
+            join_retry=max(0.2, self.heartbeat_timeout),
+        )
+        self.members[member] = process
+        return process
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("runtime already started")
+        if self.transport == "tcp":
+            raise RuntimeError("TCP transport requires `await start_async()`")
+        self._started = True
+        for member in self.members.values():
+            member.start()
+
+    async def start_async(self) -> None:
+        """Start a TCP-transport runtime: open sockets, then start members."""
+        if self._started:
+            raise RuntimeError("runtime already started")
+        self._started = True
+        if self.transport == "tcp":
+            await self.network.start()  # type: ignore[attr-defined]
+        for member in self.members.values():
+            member.start()
+
+    async def stop_async(self) -> None:
+        """Close a TCP-transport runtime's sockets (no-op for memory)."""
+        if self.transport == "tcp":
+            await self.network.stop()  # type: ignore[attr-defined]
+
+    def resolve(self, who: ProcessId | str) -> ProcessId:
+        if isinstance(who, ProcessId):
+            return who
+        matches = [p for p in self.members if p.name == who]
+        if not matches:
+            raise KeyError(f"no member named {who!r}")
+        return max(matches, key=lambda p: p.incarnation)
+
+    def crash(self, who: ProcessId | str) -> None:
+        self.members[self.resolve(who)].crash()
+
+    def join(self, name: str, contact: Optional[ProcessId | str] = None) -> ProcessId:
+        incarnation = max(
+            (p.incarnation + 1 for p in self.members if p.name == name), default=0
+        )
+        joiner = pid(name, incarnation)
+        contacts = list(self.initial_view)
+        if contact is not None:
+            preferred = self.resolve(contact)
+            contacts = [preferred] + [c for c in contacts if c != preferred]
+        process = self._build(joiner, contacts=contacts)
+        if self._started:
+            if self.transport == "tcp":
+                # The joiner's server must be listening before it speaks.
+                async def bring_up() -> None:
+                    await self.network.serve(joiner)  # type: ignore[attr-defined]
+                    if not process.crashed:
+                        process.start()
+
+                asyncio.get_event_loop().create_task(bring_up())
+            else:
+                process.start()
+        return joiner
+
+    # -------------------------------------------------------------- queries
+
+    def live_members(self) -> list[GMPMember]:
+        return [m for m in self.members.values() if m.is_member]
+
+    def views(self) -> dict[ProcessId, tuple[int, tuple[ProcessId, ...]]]:
+        return {
+            p: (m.version, tuple(m.view))
+            for p, m in self.members.items()
+            if m.is_member and m.version is not None
+        }
+
+    def in_agreement(self) -> bool:
+        """All live members share one view that is exactly the live set."""
+        alive = self.live_members()
+        if not alive:
+            return False
+        views = {tuple(m.view) for m in alive}
+        versions = {m.version for m in alive}
+        if len(views) != 1 or len(versions) != 1:
+            return False
+        if set(next(iter(views))) != {m.pid for m in alive}:
+            return False
+        return all(m.update_round is None and m.reconfig is None for m in alive)
+
+    # ---------------------------------------------------------------- waits
+
+    async def wait_for_agreement(self, timeout: float = 10.0, poll: float = 0.02) -> bool:
+        """Poll until all surviving members agree (or time out)."""
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + timeout
+        while loop.time() < deadline:
+            if self.in_agreement():
+                return True
+            await asyncio.sleep(poll)
+        return self.in_agreement()
+
+    async def run_for(self, duration: float) -> None:
+        """Let the cluster run for ``duration`` seconds of real time."""
+        await asyncio.sleep(duration)

@@ -1,0 +1,63 @@
+"""Asyncio-backed implementation of the Scheduler surface.
+
+Exposes the same ``now`` / ``after`` / ``at`` API as
+:class:`repro.sim.scheduler.Scheduler`, but delegates to a running asyncio
+event loop: time is the loop's monotonic clock (rebased to zero at
+construction) and timers are ``loop.call_later`` handles.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable
+
+__all__ = ["AioTimer", "AioScheduler"]
+
+
+class AioTimer:
+    """Cancellable handle compatible with :class:`repro.sim.scheduler.Timer`."""
+
+    __slots__ = ("_handle", "_deadline", "_cancelled")
+
+    def __init__(self, handle: asyncio.TimerHandle, deadline: float) -> None:
+        self._handle = handle
+        self._deadline = deadline
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        self._handle.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def deadline(self) -> float:
+        return self._deadline
+
+
+class AioScheduler:
+    """The protocol-facing clock/timer surface over an asyncio loop."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop | None = None) -> None:
+        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        self._t0 = self._loop.time()
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        return self._loop
+
+    @property
+    def now(self) -> float:
+        """Seconds since this scheduler was created."""
+        return self._loop.time() - self._t0
+
+    def after(self, delay: float, callback: Callable[[], None]) -> AioTimer:
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        handle = self._loop.call_later(delay, callback)
+        return AioTimer(handle, self.now + delay)
+
+    def at(self, time: float, callback: Callable[[], None]) -> AioTimer:
+        return self.after(max(0.0, time - self.now), callback)

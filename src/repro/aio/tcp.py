@@ -1,0 +1,218 @@
+"""TCP transport: the protocol over real sockets.
+
+:class:`TcpNetwork` implements the Network surface over loopback TCP using
+the JSON wire codec (:mod:`repro.codec`).  Each member hosts a TCP server;
+a directed channel is one persistent connection, so TCP's in-order delivery
+gives the paper's FIFO channel property for free, and the kernel's send
+buffering gives reliability as long as the peer lives.
+
+All members still run inside one asyncio event loop (this is a transport
+demonstration, not a deployment harness), but every protocol byte genuinely
+crosses a socket, the codec, and the kernel — exercising the full
+encode/route/decode path a distributed deployment would use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro import codec
+from repro.errors import ProcessCrashedError, SimulationError
+from repro.ids import ProcessId
+from repro.model.events import EventKind, MessageRecord
+from repro.sim.trace import RunTrace
+from repro.aio.scheduler import AioScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import SimProcess
+
+__all__ = ["TcpNetwork"]
+
+
+class TcpNetwork:
+    """Loopback-TCP message fabric with the simulator's Network API."""
+
+    def __init__(
+        self,
+        scheduler: AioScheduler,
+        trace: Optional[RunTrace] = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.scheduler = scheduler
+        self.trace = trace if trace is not None else RunTrace()
+        self.host = host
+        self._processes: dict[ProcessId, "SimProcess"] = {}
+        self._ports: dict[ProcessId, int] = {}
+        self._servers: dict[ProcessId, asyncio.AbstractServer] = {}
+        #: per-directed-channel outbound queue + writer task
+        self._outboxes: dict[tuple[ProcessId, ProcessId], asyncio.Queue] = {}
+        self._writers: dict[tuple[ProcessId, ProcessId], asyncio.Task] = {}
+        self._send_observers: list[Callable[[MessageRecord], None]] = []
+        self._crash_observers: list[Callable[[ProcessId], None]] = []
+        self._started = False
+
+    # ----------------------------------------------------------- registry
+
+    def register(self, process: "SimProcess") -> None:
+        if process.pid in self._processes:
+            raise SimulationError(f"duplicate process id {process.pid}")
+        self._processes[process.pid] = process
+
+    def process(self, pid: ProcessId) -> "SimProcess":
+        return self._processes[pid]
+
+    def processes(self) -> dict[ProcessId, "SimProcess"]:
+        return dict(self._processes)
+
+    def live_processes(self) -> list["SimProcess"]:
+        return [p for p in self._processes.values() if not p.crashed]
+
+    # ---------------------------------------------------------- observers
+
+    def add_send_observer(self, observer: Callable[[MessageRecord], None]) -> None:
+        self._send_observers.append(observer)
+
+    def add_crash_observer(self, observer: Callable[[ProcessId], None]) -> None:
+        self._crash_observers.append(observer)
+
+    def notify_crash(self, pid: ProcessId) -> None:
+        for observer in list(self._crash_observers):
+            observer(pid)
+
+    # ------------------------------------------------------------ serving
+
+    async def start(self) -> None:
+        """Open one TCP server per registered process (and per late joiner
+        via :meth:`serve`)."""
+        self._started = True
+        for pid in list(self._processes):
+            if pid not in self._servers:
+                await self.serve(pid)
+
+    async def serve(self, pid: ProcessId) -> int:
+        """Start (or return) the server socket for one process."""
+        if pid in self._ports:
+            return self._ports[pid]
+
+        async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+            try:
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        break
+                    self._deliver_line(pid, line)
+            except (ConnectionResetError, asyncio.IncompleteReadError):
+                pass
+            finally:
+                writer.close()
+
+        server = await asyncio.start_server(handle, self.host, 0)
+        port = server.sockets[0].getsockname()[1]
+        self._servers[pid] = server
+        self._ports[pid] = port
+        return port
+
+    async def stop(self) -> None:
+        """Close all sockets and writer tasks."""
+        for task in self._writers.values():
+            task.cancel()
+        for server in self._servers.values():
+            server.close()
+        await asyncio.gather(
+            *(s.wait_closed() for s in self._servers.values()),
+            return_exceptions=True,
+        )
+        self._writers.clear()
+        self._servers.clear()
+
+    # -------------------------------------------------------------- sending
+
+    def send(
+        self,
+        sender: ProcessId,
+        receiver: ProcessId,
+        payload: object,
+        category: str = "protocol",
+    ) -> MessageRecord:
+        process = self._processes.get(sender)
+        if process is None:
+            raise SimulationError(f"unknown sender {sender}")
+        if process.crashed:
+            raise ProcessCrashedError(f"{sender} is crashed and cannot send")
+        record = MessageRecord(
+            sender=sender, receiver=receiver, payload=payload, category=category
+        )
+        self.trace.record(
+            sender,
+            EventKind.SEND,
+            time=self.scheduler.now,
+            peer=receiver,
+            message=record,
+        )
+        for observer in list(self._send_observers):
+            observer(record)
+        data = codec.encode_bytes(
+            payload, sender, receiver, category, msg_id=record.msg_id
+        )
+        channel = (sender, receiver)
+        outbox = self._outboxes.get(channel)
+        if outbox is None:
+            outbox = asyncio.Queue()
+            self._outboxes[channel] = outbox
+            self._writers[channel] = asyncio.get_event_loop().create_task(
+                self._drain(channel, outbox)
+            )
+        outbox.put_nowait(data)
+        return record
+
+    async def _drain(self, channel: tuple[ProcessId, ProcessId], outbox: asyncio.Queue) -> None:
+        """One persistent connection per directed channel (FIFO)."""
+        _, receiver = channel
+        writer: Optional[asyncio.StreamWriter] = None
+        try:
+            while True:
+                data = await outbox.get()
+                while True:
+                    if writer is None:
+                        port = self._ports.get(receiver)
+                        if port is None:
+                            break  # receiver never came up: drop (it is down)
+                        try:
+                            _, writer = await asyncio.open_connection(self.host, port)
+                        except OSError:
+                            break  # receiver unreachable: message dies with it
+                    try:
+                        writer.write(data)
+                        await writer.drain()
+                        break
+                    except (ConnectionResetError, BrokenPipeError, OSError):
+                        writer = None  # reconnect once, then give up
+                        port = None
+                        break
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if writer is not None:
+                writer.close()
+
+    # -------------------------------------------------------------- receipt
+
+    def _deliver_line(self, receiver_pid: ProcessId, line: bytes) -> None:
+        try:
+            sender, receiver, payload, category, msg_id = codec.decode_bytes(line)
+        except codec.CodecError:
+            return  # malformed frame: drop (never crash the server on input)
+        if receiver != receiver_pid:
+            return  # misrouted frame
+        process = self._processes.get(receiver_pid)
+        if process is None or process.crashed:
+            return
+        record = MessageRecord(
+            sender=sender,
+            receiver=receiver,
+            payload=payload,
+            msg_id=msg_id if msg_id is not None else -1,
+            category=category,
+        )
+        process._receive(record)

@@ -1,0 +1,31 @@
+"""Message-complexity analysis (Section 7.2).
+
+:mod:`repro.analysis.complexity` holds the paper's closed-form bounds;
+:mod:`repro.analysis.messages` counts what a run actually sent, broken down
+by protocol phase, so the benchmarks can put measured curves next to the
+paper's formulas.
+"""
+
+from repro.analysis.complexity import (
+    two_phase_update_messages,
+    compressed_update_messages,
+    reconfiguration_messages,
+    compressed_streak_total,
+    standard_streak_total,
+    worst_case_total,
+    tolerable_failures,
+)
+from repro.analysis.messages import MessageBreakdown, breakdown, protocol_messages
+
+__all__ = [
+    "two_phase_update_messages",
+    "compressed_update_messages",
+    "reconfiguration_messages",
+    "compressed_streak_total",
+    "standard_streak_total",
+    "worst_case_total",
+    "tolerable_failures",
+    "MessageBreakdown",
+    "breakdown",
+    "protocol_messages",
+]

@@ -1,0 +1,136 @@
+"""ASCII space-time diagrams: render a trace the way the paper draws runs.
+
+The paper's figures are space-time diagrams — horizontal process lines,
+diagonal message arrows, marked events.  :func:`render` produces a textual
+equivalent from any recorded trace, which the examples use to *show* an
+invisible commit or a crossing reconfiguration rather than describe it.
+
+One column per trace event keeps the layout trivial and the causality
+unambiguous (time flows left to right; a send and its receive share a
+column pair connected by the message id).
+
+Example output (coordinator dies mid-commit)::
+
+    p0 | S--S--S--*--C
+    p1 | ...r--k--...
+        (S send, r recv, k install, C crash, * faulty, x discard, Q quit)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.ids import ProcessId
+from repro.model.events import Event, EventKind
+
+__all__ = ["render", "render_legend"]
+
+_GLYPHS = {
+    EventKind.START: "o",
+    EventKind.SEND: "s",
+    EventKind.RECV: "r",
+    EventKind.FAULTY: "!",
+    EventKind.OPERATING: "+",
+    EventKind.REMOVE: "-",
+    EventKind.ADD: "a",
+    EventKind.QUIT: "Q",
+    EventKind.INSTALL: "V",
+    EventKind.CRASH: "X",
+    EventKind.DISCARD: "x",
+    EventKind.INTERNAL: "*",
+}
+
+
+def render_legend() -> str:
+    """The glyph legend, for printing under a diagram."""
+    return (
+        "legend: o start   s send   r recv   ! faulty   + operating   "
+        "- remove   a add\n"
+        "        V install   X crash   Q quit   x discard (S1)   * internal"
+    )
+
+
+def render(
+    events: Iterable[Event],
+    kinds: Optional[set[EventKind]] = None,
+    processes: Optional[list[ProcessId]] = None,
+    max_columns: int = 200,
+    annotate_messages: bool = True,
+) -> str:
+    """Render a trace as an ASCII space-time diagram.
+
+    Args:
+        events: the trace (global order = column order).
+        kinds: restrict to these event kinds (default: all but SEND/RECV
+            noise is often what you want — pass explicitly).
+        processes: row order (default: order of first appearance).
+        max_columns: truncate very long runs (a note marks truncation).
+        annotate_messages: mark matching send/recv pairs with a shared
+            single-letter tag above the lines where space allows.
+    """
+    selected = [
+        e
+        for e in events
+        if kinds is None or e.kind in kinds
+    ]
+    truncated = len(selected) > max_columns
+    selected = selected[:max_columns]
+
+    if processes is None:
+        processes = []
+        for event in selected:
+            if event.proc not in processes:
+                processes.append(event.proc)
+    rows: dict[ProcessId, list[str]] = {p: [] for p in processes}
+
+    # Message pairing tags: a..z cycling, only when both ends are visible.
+    tags: dict[int, str] = {}
+    if annotate_messages:
+        seen_sends = {}
+        next_tag = 0
+        for event in selected:
+            if event.message is None:
+                continue
+            if event.kind is EventKind.SEND:
+                seen_sends[event.message.msg_id] = event
+            elif event.kind is EventKind.RECV:
+                if event.message.msg_id in seen_sends:
+                    tags[event.message.msg_id] = chr(ord("a") + next_tag % 26)
+                    next_tag += 1
+
+    tag_row: list[str] = []
+    for event in selected:
+        glyph_tag = " "
+        if (
+            annotate_messages
+            and event.message is not None
+            and event.message.msg_id in tags
+            and event.kind in (EventKind.SEND, EventKind.RECV)
+        ):
+            glyph_tag = tags[event.message.msg_id]
+        tag_row.append(glyph_tag)
+        for proc in processes:
+            if proc == event.proc:
+                rows[proc].append(_GLYPHS.get(event.kind, "?"))
+            else:
+                rows[proc].append("-" if not _is_dead(rows[proc]) else " ")
+
+    name_width = max((len(str(p)) for p in processes), default=4)
+    lines = []
+    if annotate_messages and any(t != " " for t in tag_row):
+        lines.append(" " * (name_width + 3) + "".join(tag_row))
+    for proc in processes:
+        lines.append(f"{str(proc):>{name_width}} | " + "".join(rows[proc]))
+    if truncated:
+        lines.append(f"... (truncated at {max_columns} events)")
+    return "\n".join(lines)
+
+
+def _is_dead(row: list[str]) -> bool:
+    """After a crash/quit glyph, the line goes blank."""
+    for glyph in reversed(row):
+        if glyph in ("X", "Q"):
+            return True
+        if glyph not in ("-", " "):
+            return False
+    return False

@@ -1,0 +1,126 @@
+"""Programmatic regeneration of the headline experiment tables.
+
+The benchmark suite (``pytest benchmarks/ --benchmark-only``) runs every
+experiment with timing; this module re-derives the *numbers* quickly and
+without pytest, for the ``python -m repro report`` command and for anyone
+embedding the reproduction in a notebook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.complexity import (
+    compressed_update_messages,
+    reconfiguration_messages,
+    two_phase_update_messages,
+)
+from repro.analysis.messages import breakdown
+from repro.core.service import MembershipCluster
+from repro.sim.network import FixedDelay
+
+__all__ = ["ExperimentTable", "best_case_table", "baseline_table", "report"]
+
+
+@dataclass
+class ExperimentTable:
+    """One rendered table: a title, a header, and aligned rows."""
+
+    title: str
+    header: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.header[i]), *(len(r[i]) for r in self.rows))
+            for i in range(len(self.header))
+        ]
+        lines = [self.title]
+        lines.append("  " + "  ".join(h.rjust(w) for h, w in zip(self.header, widths)))
+        for row in self.rows:
+            lines.append(
+                "  " + "  ".join(c.rjust(w) for c, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+
+def _single_failure(n: int, member_class=None, victim: str | None = None) -> int:
+    kwargs = {} if member_class is None else {"member_class": member_class}
+    cluster = MembershipCluster.of_size(n, seed=0, delay_model=FixedDelay(1.0), **kwargs)
+    cluster.start()
+    cluster.crash(victim or f"p{n - 1}", at=5.0)
+    cluster.settle()
+    return breakdown(cluster.trace).algorithm
+
+
+def _double_failure(n: int) -> int:
+    cluster = MembershipCluster.of_size(n, seed=0, delay_model=FixedDelay(1.0))
+    cluster.start()
+    cluster.crash(f"p{n - 1}", at=5.0)
+    cluster.crash(f"p{n - 2}", at=5.1)
+    cluster.settle()
+    return breakdown(cluster.trace).algorithm
+
+
+def best_case_table(sizes: list[int] | None = None) -> ExperimentTable:
+    """E1/E2/E3: the three §7.2 best cases, paper vs measured."""
+    sizes = sizes or [4, 6, 8, 12, 16]
+    table = ExperimentTable(
+        title="§7.2 best cases — paper bound vs measured protocol messages",
+        header=["n", "3n-5", "meas", "2n-3", "meas", "5n-9", "meas"],
+    )
+    for n in sizes:
+        one = _single_failure(n)
+        compressed = str(_double_failure(n) - one) if n >= 6 else "-"
+        reconfig = _single_failure(n, victim="p0")
+        table.rows.append(
+            [
+                str(n),
+                str(two_phase_update_messages(n)),
+                str(one),
+                str(compressed_update_messages(n)),
+                compressed,
+                str(reconfiguration_messages(n)),
+                str(reconfig),
+            ]
+        )
+    return table
+
+
+def baseline_table(sizes: list[int] | None = None) -> ExperimentTable:
+    """E9: one exclusion, GMP vs the related protocols."""
+    from repro.baselines import AbcastMember, SymmetricMember
+
+    sizes = sizes or [6, 12, 16, 24]
+    table = ExperimentTable(
+        title="E9 — one exclusion: GMP vs symmetric (Bruso) vs abcast (Moser)",
+        header=["n", "GMP", "symmetric", "", "abcast", ""],
+    )
+    for n in sizes:
+        ours = _single_failure(n)
+        symmetric = _single_failure(n, member_class=SymmetricMember)
+        abcast = _single_failure(n, member_class=AbcastMember)
+        table.rows.append(
+            [
+                str(n),
+                str(ours),
+                str(symmetric),
+                f"({symmetric / ours:.1f}x)",
+                str(abcast),
+                f"({abcast / ours:.1f}x)",
+            ]
+        )
+    return table
+
+
+def report() -> str:
+    """Render the quick report (used by ``python -m repro report``)."""
+    parts = [
+        best_case_table().render(),
+        "",
+        baseline_table().render(),
+        "",
+        "Full experiment suite: pytest benchmarks/ --benchmark-only",
+        "Recorded results and deviations: EXPERIMENTS.md",
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,75 @@
+"""Counting what a run actually sent, phase by phase.
+
+Section 7.2's accounting starts "when Mgr becomes aware of a failure" and
+excludes the detection mechanism, so :func:`protocol_messages` counts
+everything in the ``protocol`` category *except* FaultyNotice and
+JoinRequest (awareness traffic), and :class:`MessageBreakdown` gives the
+full per-type split for the tables in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.sim.trace import RunTrace
+
+__all__ = ["MessageBreakdown", "breakdown", "protocol_messages", "AWARENESS_TYPES"]
+
+#: Message types that make the coordinator aware of work, which the paper's
+#: §7.2 accounting treats as part of detection rather than of the algorithm.
+AWARENESS_TYPES = frozenset({"FaultyNotice", "JoinRequest"})
+
+#: Update-algorithm message types (two-phase / compressed, Figures 2/8/9).
+UPDATE_TYPES = frozenset({"Invite", "UpdateOk", "Commit", "StateTransfer"})
+
+#: Reconfiguration message types (three-phase, Figures 5/10).
+RECONFIG_TYPES = frozenset(
+    {"Interrogate", "InterrogateOk", "Propose", "ProposeOk", "ReconfigCommit"}
+)
+
+
+@dataclass
+class MessageBreakdown:
+    """Per-type message counts of one run."""
+
+    by_type: Counter[str] = field(default_factory=Counter)
+
+    @property
+    def total(self) -> int:
+        return sum(self.by_type.values())
+
+    @property
+    def algorithm(self) -> int:
+        """Messages charged to the algorithm by the paper's accounting."""
+        return sum(c for t, c in self.by_type.items() if t not in AWARENESS_TYPES)
+
+    @property
+    def awareness(self) -> int:
+        return sum(c for t, c in self.by_type.items() if t in AWARENESS_TYPES)
+
+    @property
+    def update(self) -> int:
+        return sum(c for t, c in self.by_type.items() if t in UPDATE_TYPES)
+
+    @property
+    def reconfiguration(self) -> int:
+        return sum(c for t, c in self.by_type.items() if t in RECONFIG_TYPES)
+
+    def format(self) -> str:
+        lines = [f"total={self.total} algorithm={self.algorithm} "
+                 f"(update={self.update}, reconfig={self.reconfiguration}, "
+                 f"awareness={self.awareness})"]
+        for name, count in sorted(self.by_type.items()):
+            lines.append(f"  {name:>16}: {count}")
+        return "\n".join(lines)
+
+
+def breakdown(trace: RunTrace, category: str = "protocol") -> MessageBreakdown:
+    """Per-type counts for one category of a run's traffic."""
+    return MessageBreakdown(by_type=trace.message_counts_by_type(category))
+
+
+def protocol_messages(trace: RunTrace) -> int:
+    """Messages charged to the algorithm (paper §7.2 accounting)."""
+    return breakdown(trace).algorithm

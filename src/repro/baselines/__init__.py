@@ -1,0 +1,31 @@
+"""Baseline membership protocols the paper compares against.
+
+* :mod:`repro.baselines.one_phase` — a single-broadcast coordinator protocol,
+  the strawman of **Claim 7.1** ("a one-phase update algorithm cannot solve
+  GMP when the coordinator can fail").
+* :mod:`repro.baselines.two_phase_reconfig` — the paper's protocol with a
+  two-phase reconfiguration and a plausible-but-wrong invisible-commit guess,
+  the strawman of **Claim 7.2**.
+* :mod:`repro.baselines.symmetric` — a Bruso-style symmetric protocol [5]:
+  every process behaves identically, all-to-all flooding per change; "an
+  order of magnitude more messages in all situations" (Section 1).
+* :mod:`repro.baselines.abcast` — a Moser-style membership service layered
+  on a fault-tolerant atomic broadcast [16], whose ordering/stability traffic
+  the paper's protocol avoids.
+
+All baseline members share :class:`repro.core.member.GMPMember`'s
+constructor signature so :class:`repro.core.service.MembershipCluster` can
+host any of them via ``member_class=...``.
+"""
+
+from repro.baselines.one_phase import OnePhaseMember
+from repro.baselines.two_phase_reconfig import TwoPhaseReconfigMember
+from repro.baselines.symmetric import SymmetricMember
+from repro.baselines.abcast import AbcastMember
+
+__all__ = [
+    "OnePhaseMember",
+    "TwoPhaseReconfigMember",
+    "SymmetricMember",
+    "AbcastMember",
+]

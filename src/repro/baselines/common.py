@@ -1,0 +1,127 @@
+"""Shared scaffolding for baseline membership protocols.
+
+:class:`BaselineMember` provides the bookkeeping every baseline shares —
+an ordered view, a version counter, faulty/ever-faulty sets, S1 isolation,
+trace recording — while each concrete baseline supplies its own message
+handling.  The constructor signature matches :class:`repro.core.member.
+GMPMember` so :class:`repro.core.service.MembershipCluster` can host any
+baseline via ``member_class=...``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.detectors.base import FailureDetector
+from repro.ids import ProcessId
+from repro.model.events import EventKind
+from repro.sim.network import Network
+from repro.sim.process import SimProcess
+
+__all__ = ["BaselineMember"]
+
+
+class BaselineMember(SimProcess):
+    """Common state and helpers for baseline protocols."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        network: Network,
+        detector: FailureDetector,
+        initial_view: Optional[list[ProcessId]] = None,
+        contacts: Optional[list[ProcessId]] = None,
+        majority_updates: bool = True,
+        **_ignored: object,
+    ) -> None:
+        super().__init__(pid, network)
+        if initial_view is None:
+            raise ValueError(
+                f"{type(self).__name__} does not implement joins; every "
+                "member needs an initial view"
+            )
+        self.detector = detector
+        self.majority_updates = majority_updates
+        self.view: list[ProcessId] = list(initial_view)
+        self.version = 0
+        self.faulty: set[ProcessId] = set()
+        self.ever_faulty: set[ProcessId] = set()
+        detector.attach(self)
+
+    # ------------------------------------------------------ detector contract
+
+    def current_members(self) -> tuple[ProcessId, ...]:
+        return tuple(self.view)
+
+    def believes_faulty(self, target: ProcessId) -> bool:
+        return target in self.ever_faulty
+
+    def on_suspect(self, target: ProcessId) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- lifecycle
+
+    def on_start(self) -> None:
+        self.detector.start()
+
+    def quit_protocol(self, detail: str = "") -> None:
+        self.detector.stop()
+        super().quit_protocol(detail)
+
+    def crash(self, detail: str = "") -> None:
+        self.detector.stop()
+        super().crash(detail)
+
+    # ----------------------------------------------------------- S1 isolation
+
+    def should_accept(self, sender: ProcessId, payload: object) -> bool:
+        return sender not in self.ever_faulty
+
+    # --------------------------------------------------------------- helpers
+
+    @property
+    def is_member(self) -> bool:
+        return not self.crashed and self.pid in self.view
+
+    def note_faulty(self, target: ProcessId) -> bool:
+        """Record belief + S1 isolation; returns True when new."""
+        if target == self.pid or target in self.ever_faulty:
+            return False
+        self.ever_faulty.add(target)
+        if target in self.view:
+            self.faulty.add(target)
+        self._record(EventKind.FAULTY, peer=target)
+        return True
+
+    def apply_remove(self, target: ProcessId) -> None:
+        """Apply one removal and record REMOVE + INSTALL events."""
+        if target not in self.view:
+            return
+        self.note_faulty(target)
+        self.view.remove(target)
+        self.faulty.discard(target)
+        self.version += 1
+        self._record(EventKind.REMOVE, peer=target)
+        self.network.trace.record(
+            self.pid,
+            EventKind.INSTALL,
+            time=self.network.scheduler.now,
+            version=self.version,
+            view=tuple(self.view),
+        )
+
+    def perceived_coordinator(self) -> Optional[ProcessId]:
+        """The most senior member I do not believe faulty."""
+        for member in self.view:
+            if member not in self.ever_faulty:
+                return member
+        return None
+
+    def _record(self, kind: EventKind, peer: Optional[ProcessId] = None, detail: str = "") -> None:
+        self.network.trace.record(
+            self.pid,
+            kind,
+            time=self.network.scheduler.now,
+            peer=peer,
+            detail=detail,
+        )

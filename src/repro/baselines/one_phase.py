@@ -1,0 +1,71 @@
+"""Claim 7.1 strawman: a one-phase membership update algorithm.
+
+Whoever believes itself the most senior non-faulty member acts as the
+coordinator and installs removals by a *single* commit broadcast — no
+invitation, no acknowledgements, no majority.  This is the cheapest
+conceivable coordinator protocol, and it is exactly what Claim 7.1 proves
+unsound: partition ``Proc`` into R and S with ``faulty_R(Mgr)`` and
+``faulty_S(r)``; r's commit (removing Mgr) reaches only R — S discards it
+under S1 — while Mgr's commit (removing r) reaches only S.  The two sides
+install different version-1 views, violating GMP-3.
+
+The benchmark ``benchmarks/bench_optimality.py`` runs that schedule against
+this member (checker FAILs) and against the real protocol (checker PASSes,
+because no majority exists for both commits at once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ids import ProcessId
+from repro.baselines.common import BaselineMember
+
+__all__ = ["OnePhaseCommit", "OnePhaseMember"]
+
+
+@dataclass(frozen=True, slots=True)
+class OnePhaseCommit:
+    """The single message of the protocol: "remove ``target``, now"."""
+
+    target: ProcessId
+    version: int
+
+
+class OnePhaseMember(BaselineMember):
+    """One-phase coordinator-broadcast membership (unsound by Claim 7.1)."""
+
+    def on_suspect(self, target: ProcessId) -> None:
+        if self.crashed or not self.is_member:
+            return
+        if not self.note_faulty(target):
+            return
+        self._maybe_coordinate()
+
+    def _maybe_coordinate(self) -> None:
+        """If I am the coordinator in my own eyes, commit removals directly."""
+        while (
+            not self.crashed
+            and self.is_member
+            and self.perceived_coordinator() == self.pid
+        ):
+            pending = [m for m in self.view if m in self.faulty]
+            if not pending:
+                return
+            target = pending[0]
+            version = self.version + 1
+            self.apply_remove(target)
+            self.broadcast(self.view, OnePhaseCommit(target, version))
+
+    def on_message(self, sender: ProcessId, payload: object) -> None:
+        if self.crashed or not isinstance(payload, OnePhaseCommit):
+            return
+        if payload.target == self.pid:
+            self.quit_protocol("removed by one-phase commit")
+            return
+        if payload.version != self.version + 1:
+            return  # no buffering in the strawman: stale or gapped, drop
+        if payload.target not in self.view:
+            return
+        self.apply_remove(payload.target)
+        self._maybe_coordinate()

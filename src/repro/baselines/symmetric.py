@@ -1,0 +1,96 @@
+"""Bruso-style symmetric failure-notification protocol [5].
+
+Every process behaves identically: a suspicion is flooded to the whole
+group, every receiver adopts it and floods its own accusation, and every
+accusation is individually acknowledged (Bruso's protocol is built on
+acknowledged point-to-point notifications).  A process removes the accused
+once every member it still trusts has accused, so one exclusion in a group
+of size n costs about ``2(n-1)^2`` messages — against the paper's ``3n - 5``
+— which is the "order of magnitude more messages in all situations" of
+Section 1.
+
+The flooding rule makes removals consistent for the sequential-failure
+workloads the comparison benchmarks use; ordering *concurrent* removals
+consistently is precisely what this design struggles with, and one reason
+the paper's asymmetric protocol exists.  Joins are not supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ids import ProcessId
+from repro.baselines.common import BaselineMember
+
+__all__ = ["Accuse", "AccuseAck", "SymmetricMember"]
+
+
+@dataclass(frozen=True, slots=True)
+class Accuse:
+    """"I believe ``target`` is faulty" — flooded to the whole group."""
+
+    target: ProcessId
+
+
+@dataclass(frozen=True, slots=True)
+class AccuseAck:
+    """Per-accusation acknowledgement (Bruso's notifications are ack'd)."""
+
+    target: ProcessId
+
+
+class SymmetricMember(BaselineMember):
+    """Symmetric all-to-all membership (message-cost comparison baseline)."""
+
+    def __init__(self, *args: object, **kwargs: object) -> None:
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        #: per accused target, who has accused it (self included once flooded)
+        self._accusers: dict[ProcessId, set[ProcessId]] = {}
+
+    def on_suspect(self, target: ProcessId) -> None:
+        if self.crashed or not self.is_member:
+            return
+        if self.note_faulty(target):
+            self._flood(target)
+        self._maybe_remove(target)
+
+    def _flood(self, target: ProcessId) -> None:
+        self._accusers.setdefault(target, set()).add(self.pid)
+        self.broadcast(self.view, Accuse(target))
+
+    def on_message(self, sender: ProcessId, payload: object) -> None:
+        if self.crashed:
+            return
+        if isinstance(payload, Accuse):
+            if payload.target == self.pid:
+                self.quit_protocol("accused by the group")
+                return
+            self.send(sender, AccuseAck(payload.target))
+            if self.note_faulty(payload.target):
+                self._flood(payload.target)
+            else:
+                self._accusers.setdefault(payload.target, set())
+            self._accusers[payload.target].add(sender)
+            self._maybe_remove(payload.target)
+        # AccuseAcks carry no protocol state; they model Bruso's
+        # acknowledged delivery and only contribute to the message count.
+
+    def _maybe_remove(self, target: ProcessId) -> None:
+        """Remove once every still-trusted member has accused."""
+        if target not in self.view:
+            return
+        required = {
+            member
+            for member in self.view
+            if member != target
+            and member != self.pid
+            and not (member in self.ever_faulty and member != target)
+        }
+        accusers = self._accusers.get(target, set())
+        if required <= accusers:
+            self.apply_remove(target)
+            self._accusers.pop(target, None)
+            # Removal may unblock other pending accusations whose required
+            # sets shrank.
+            for other in list(self._accusers):
+                self._maybe_remove(other)

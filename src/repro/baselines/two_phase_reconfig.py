@@ -1,0 +1,30 @@
+"""Claim 7.2 strawman: two-phase reconfiguration with a wrong guess.
+
+Identical to the paper's protocol except that a reconfigurer skips the
+proposal phase — after a majority interrogation it *commits its guess
+directly* — and, when it faces two competing proposals for the same version,
+it guesses the **senior** proposer's operation (a perfectly plausible
+heuristic: "trust the coordinator's plan").
+
+Claim 7.2 proves no two-phase reconfigurer can know which of the two
+proposals was committed invisibly; this baseline realises the wrong branch
+of that unavoidable guess so the Figure 11 schedule makes it install
+divergent version-1 views — a GMP-3 violation the property checker catches.
+The same schedule run against the real three-phase protocol stays safe
+(see ``benchmarks/bench_optimality.py``).
+"""
+
+from __future__ import annotations
+
+from repro.core.member import GMPMember
+
+__all__ = ["TwoPhaseReconfigMember"]
+
+
+class TwoPhaseReconfigMember(GMPMember):
+    """GMP with ``reconfig_phases=2`` and the senior-proposer guess."""
+
+    def __init__(self, *args: object, **kwargs: object) -> None:
+        kwargs.setdefault("reconfig_phases", 2)
+        kwargs.setdefault("stable_preference", "senior")
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]

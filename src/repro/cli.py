@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo`` — run a small cluster through crash/reconfiguration/join and
+  print the agreed view sequence;
+* ``scenario <name>`` — replay one of the paper's named scenarios
+  (``table1``, ``figure3``, ``figure4``, ``figure11``, ``claim71``) and
+  print the verdict;
+* ``sweep`` — print the §7.2 message-complexity table (paper vs measured);
+* ``check`` — run a randomized storm at a given seed and report the GMP
+  verdict (useful for quick fuzzing from the shell).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.analysis import (
+    breakdown,
+    compressed_update_messages,
+    reconfiguration_messages,
+    two_phase_update_messages,
+)
+from repro.core.service import MembershipCluster
+from repro.properties import check_gmp, format_report
+from repro.sim.failures import crash_after_matching_sends, payload_type_is
+from repro.sim.network import FixedDelay
+
+__all__ = ["main"]
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    cluster = MembershipCluster.of_size(args.size, seed=args.seed)
+    cluster.start()
+    cluster.crash(f"p{args.size - 1}", at=10.0)
+    cluster.crash("p0", at=50.0)
+    cluster.join("newcomer", at=90.0)
+    cluster.settle()
+    report = check_gmp(cluster.trace, cluster.initial_view)
+    print(format_report(report))
+    print(f"\nprotocol messages: {breakdown(cluster.trace).algorithm}")
+    return 0 if report.ok else 1
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.baselines import OnePhaseMember, TwoPhaseReconfigMember
+    from repro.workloads import scenarios
+
+    name = args.name
+    if name == "table1":
+        for i, row in enumerate(scenarios.TABLE1_EXPECTED, start=1):
+            cluster = scenarios.run_table1_row(row, seed=args.seed)
+            initiators = sorted(scenarios.initiators_of(cluster))
+            print(f"row {i}: initiators = {initiators}")
+        return 0
+    if name == "figure3":
+        cluster = scenarios.run_figure3(seed=args.seed)
+    elif name == "figure4":
+        cluster = scenarios.run_figure4(seed=args.seed)
+    elif name == "figure11":
+        cluster = scenarios.run_figure11(seed=args.seed)
+    elif name == "figure11-strawman":
+        cluster = scenarios.run_figure11(
+            seed=args.seed, member_class=TwoPhaseReconfigMember, strawman=True
+        )
+    elif name == "claim71":
+        cluster = scenarios.run_claim71(seed=args.seed, member_class=OnePhaseMember)
+    else:
+        print(f"unknown scenario {name!r}", file=sys.stderr)
+        return 2
+    report = check_gmp(cluster.trace, cluster.initial_view, check_liveness=False)
+    print(format_report(report))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    print("one exclusion (paper 3n-5) / second compressed round (2n-3) / "
+          "one reconfiguration (5n-9):")
+    print(f"{'n':>4} | {'3n-5':>6} {'meas':>6} | {'2n-3':>6} {'meas':>6} | "
+          f"{'5n-9':>6} {'meas':>6}")
+    for n in (4, 6, 8, 12, 16, 24, 32):
+        one = MembershipCluster.of_size(n, seed=0, delay_model=FixedDelay(1.0))
+        one.start()
+        one.crash(f"p{n - 1}", at=5.0)
+        one.settle()
+        m1 = breakdown(one.trace).algorithm
+
+        m2 = "-"
+        if n >= 6:
+            two = MembershipCluster.of_size(n, seed=0, delay_model=FixedDelay(1.0))
+            two.start()
+            two.crash(f"p{n - 1}", at=5.0)
+            two.crash(f"p{n - 2}", at=5.1)
+            two.settle()
+            m2 = str(breakdown(two.trace).algorithm - m1)
+
+        three = MembershipCluster.of_size(n, seed=0, delay_model=FixedDelay(1.0))
+        three.start()
+        three.crash("p0", at=5.0)
+        three.settle()
+        m3 = breakdown(three.trace).algorithm
+        print(
+            f"{n:>4} | {two_phase_update_messages(n):>6} {m1:>6} | "
+            f"{compressed_update_messages(n):>6} {m2:>6} | "
+            f"{reconfiguration_messages(n):>6} {m3:>6}"
+        )
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    n = rng.randint(4, 10)
+    cluster = MembershipCluster.of_size(n, seed=args.seed)
+    victims = rng.sample([f"p{i}" for i in range(n)], k=rng.randint(1, (n - 1) // 2))
+    t = 5.0
+    for victim in victims:
+        if rng.random() < 0.4:
+            crash_after_matching_sends(
+                cluster.network,
+                cluster.resolve(victim),
+                payload_type_is("Commit", "ReconfigCommit", "Invite", "Propose"),
+                after=rng.randint(1, 3),
+            )
+        else:
+            cluster.crash(victim, at=t)
+        t += rng.uniform(1.0, 25.0)
+    if rng.random() < 0.5:
+        cluster.join("joiner", at=rng.uniform(10.0, 60.0))
+    cluster.start()
+    cluster.settle(max_events=500_000)
+    report = check_gmp(cluster.trace, cluster.initial_view, check_liveness=False)
+    print(f"seed {args.seed}: n={n}, victims={victims}")
+    print(format_report(report))
+    return 0 if report.ok else 1
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.verify import explore_membership
+
+    result = explore_membership(
+        args.size,
+        crash_names=args.crash or [],
+        spurious=[tuple(s.split(":", 1)) for s in (args.spurious or [])],
+        max_states=args.max_states,
+    )
+    print(
+        f"explored {result.states} states, {result.terminals} terminal "
+        f"schedules ({'exhaustive' if result.complete else 'bounded'}), "
+        f"{len(result.outcomes)} distinct outcome(s)"
+    )
+    if result.ok:
+        print("every explored schedule satisfies GMP-0..5")
+        return 0
+    path, report = result.violations[0]
+    print("VIOLATION on schedule:")
+    print(" ", path)
+    for violation in report.violations[:3]:
+        print(" ", violation)
+    return 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import report
+
+    print(report())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Group membership for failure detection "
+        "(Ricciardi & Birman, PODC 1991) — demos and experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="crash/reconfigure/join walkthrough")
+    demo.add_argument("--size", type=int, default=6)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=_cmd_demo)
+
+    scenario = sub.add_parser("scenario", help="replay a paper scenario")
+    scenario.add_argument(
+        "name",
+        choices=["table1", "figure3", "figure4", "figure11", "figure11-strawman", "claim71"],
+    )
+    scenario.add_argument("--seed", type=int, default=0)
+    scenario.set_defaults(func=_cmd_scenario)
+
+    sweep = sub.add_parser("sweep", help="§7.2 complexity table, paper vs measured")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    check = sub.add_parser("check", help="one randomized storm + GMP verdict")
+    check.add_argument("--seed", type=int, default=0)
+    check.set_defaults(func=_cmd_check)
+
+    explore = sub.add_parser(
+        "explore", help="exhaustively explore all schedules of a scenario"
+    )
+    explore.add_argument("--size", type=int, default=3)
+    explore.add_argument(
+        "--crash", action="append", metavar="NAME", help="member that may crash"
+    )
+    explore.add_argument(
+        "--spurious",
+        action="append",
+        metavar="OBSERVER:TARGET",
+        help="spurious suspicion that may fire",
+    )
+    explore.add_argument("--max-states", type=int, default=200_000)
+    explore.set_defaults(func=_cmd_explore)
+
+    report = sub.add_parser(
+        "report", help="regenerate the headline paper-vs-measured tables"
+    )
+    report.set_defaults(func=_cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""The paper's Group Membership Protocol (GMP).
+
+This package implements the full protocol of Sections 3-7:
+
+* :mod:`repro.core.messages` — the wire protocol;
+* :mod:`repro.core.state` — the per-process bookkeeping the paper names
+  (``Memb``, ``ver``, ``seq``, ``next``, ``Faulty``, ``HiFaulty``, rank);
+* :mod:`repro.core.determine` — the reconfiguration proposal logic
+  (``Determine``, ``GetStable``, ``ProposalsForVer`` of Figure 6), as pure
+  functions over Phase I responses so they can be unit- and property-tested
+  in isolation;
+* :mod:`repro.core.rounds` — in-flight round state for the two-phase update
+  and the three-phase reconfiguration;
+* :mod:`repro.core.buffering` — "no messages from future views";
+* :mod:`repro.core.member` — :class:`GMPMember`, the event-driven process
+  combining the Mgr role, the outer-process role, reconfiguration initiation,
+  and the join procedure;
+* :mod:`repro.core.service` — the high-level public API.
+"""
+
+from repro.core.messages import Op, Plan, add, remove
+from repro.core.member import GMPMember
+from repro.core.service import GroupMembershipService, MembershipCluster
+
+__all__ = [
+    "Op",
+    "Plan",
+    "add",
+    "remove",
+    "GMPMember",
+    "GroupMembershipService",
+    "MembershipCluster",
+]

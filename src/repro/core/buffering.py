@@ -1,0 +1,77 @@
+"""Future-view message buffering (Section 3).
+
+"…the latter involves adding view numbers to messages so that they can be
+delayed when received from a process in a future view (i.e. until that view
+is installed locally)."
+
+Update-class messages carry the version they produce; a message for version
+``v`` is *applicable* when the local version is exactly ``v - 1``, *stale*
+when the local version is already ``>= v``, and *future* otherwise — future
+messages are held here and replayed after each install.  Reconfiguration
+messages never enter the buffer (footnote 10), with one deliberate
+exception: a ReconfigCommit that would force a version skip is held, since
+replaying it after a catch-up is strictly safer than dropping it (DESIGN.md
+§4, note 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.ids import ProcessId
+from repro.core.messages import Commit, Invite, ReconfigCommit
+
+__all__ = ["FutureViewBuffer", "version_of"]
+
+
+def version_of(payload: object) -> Optional[int]:
+    """The view version an update-class payload produces, if any."""
+    if isinstance(payload, (Invite, Commit, ReconfigCommit)):
+        return payload.version
+    return None
+
+
+@dataclass(frozen=True, slots=True)
+class _Held:
+    sender: ProcessId
+    payload: object
+    version: int
+
+
+class FutureViewBuffer:
+    """Holds messages from future views until they become applicable."""
+
+    def __init__(self) -> None:
+        self._held: list[_Held] = []
+
+    def __len__(self) -> int:
+        return len(self._held)
+
+    def hold(self, sender: ProcessId, payload: object) -> None:
+        version = version_of(payload)
+        if version is None:
+            raise ValueError(f"cannot buffer unversioned payload {payload!r}")
+        self._held.append(_Held(sender, payload, version))
+
+    def release(self, local_version: int) -> Iterator[tuple[ProcessId, object]]:
+        """Yield newly applicable messages, oldest target version first.
+
+        Messages for versions now stale are dropped (their content was
+        superseded by whatever advanced the local version past them).
+        """
+        self._held.sort(key=lambda h: h.version)
+        while True:
+            ready = [h for h in self._held if h.version == local_version + 1]
+            if not ready:
+                break
+            head = ready[0]
+            self._held.remove(head)
+            yield head.sender, head.payload
+        self._held = [h for h in self._held if h.version > local_version + 1]
+
+    def drop_from(self, sender: ProcessId) -> None:
+        """Discard held messages from a now-faulty sender (S1 applies here
+        too: a buffered message must not outlive the decision to isolate
+        its sender)."""
+        self._held = [h for h in self._held if h.sender != sender]

@@ -1,0 +1,225 @@
+"""Reconfiguration proposal logic: Determine / GetStable / ProposalsForVer.
+
+This is Figure 6 of the paper, implemented as pure functions over the
+Phase I responses so the trickiest part of the protocol — detecting which
+proposal could have been *invisibly committed* — is unit- and
+property-testable without any network.
+
+Interpretations of the figure's OCR-era inconsistencies are documented in
+DESIGN.md §4: in the ``L = S = ∅`` case we consult ``ProposalsForVer(v)``
+(proposals *for* the version being created), and ``GetStable`` picks the
+proposal of the **lowest-ranked** proposer — per Proposition 5.6, a
+higher-ranked proposer's committed majority would have been visible to the
+lower-ranked proposer, so only the lowest-ranked proposer's operation can
+have been committed invisibly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.errors import ProtocolInvariantError, ViewDivergenceError
+from repro.ids import ProcessId
+from repro.core.messages import Op, Plan
+
+__all__ = ["PhaseOneResponse", "DetermineResult", "proposals_for_ver", "get_stable", "determine"]
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseOneResponse:
+    """One respondent's ``OK(seq(p), next(p))`` (the initiator included)."""
+
+    proc: ProcessId
+    version: int
+    seq: tuple[Op, ...]
+    plans: tuple[Plan, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class DetermineResult:
+    """What the initiator will propose.
+
+    ``ops`` brings every respondent to ``version`` (normally one operation);
+    ``invis`` is the possibly-invisibly-committed *next* operation the
+    initiator must perform first once it assumes the Mgr role (or the
+    initiator's own next pending operation when no contingency exists).
+    ``candidate_count`` records how many distinct proposals the initiator
+    faced for the version it is completing/creating (2 means GetStable had
+    to disambiguate — the Proposition 5.6 situation).
+    """
+
+    ops: tuple[Op, ...]
+    version: int
+    invis: Optional[Op]
+    candidate_count: int = 0
+
+
+def proposals_for_ver(
+    responses: Sequence[PhaseOneResponse], version: int
+) -> dict[Op, list[ProcessId]]:
+    """``ProposalsForVer(version, r)``: distinct proposed ops -> proposers.
+
+    Placeholder plans ``(? : coord : ?)`` contribute nothing — they record
+    that an interrogation was answered, not what was proposed.
+    """
+    found: dict[Op, list[ProcessId]] = {}
+    for response in responses:
+        for plan in response.plans:
+            if plan.is_placeholder or plan.version != version:
+                continue
+            assert plan.op is not None
+            proposers = found.setdefault(plan.op, [])
+            if plan.coord not in proposers:
+                proposers.append(plan.coord)
+    return found
+
+
+def get_stable(
+    proposals: Mapping[Op, list[ProcessId]],
+    view: Sequence[ProcessId],
+    prefer: str = "junior",
+) -> Op:
+    """``GetStable``: the one proposal that could have committed invisibly.
+
+    Among the (at most two, Proposition 5.5) competing proposals, returns
+    the operation whose *lowest-ranked* proposer made it.  Rank is seniority
+    in the initiator's view; a proposer no longer in the view (a removed
+    coordinator) is treated as maximally senior and therefore loses.
+
+    ``prefer="senior"`` inverts the choice.  That is *wrong* — it exists so
+    the Claim 7.2 strawman baseline can demonstrate that guessing the other
+    way violates GMP-3 (Proposition 5.6 is exactly the proof that "junior"
+    is the only safe choice).
+    """
+    if not proposals:
+        raise ProtocolInvariantError("GetStable called with no proposals")
+    if len(proposals) > 2:
+        raise ProtocolInvariantError(
+            f"more than two proposals for one version: {dict(proposals)} "
+            "(Proposition 5.5 violated — implementation bug)"
+        )
+    if prefer not in ("junior", "senior"):
+        raise ValueError(f"unknown GetStable preference {prefer!r}")
+
+    def juniority(op: Op) -> int:
+        # Larger = more junior.  max over this op's proposers: the op is as
+        # stable as its most junior proposer makes it.
+        best = -1
+        for proposer in proposals[op]:
+            try:
+                index = list(view).index(proposer)
+            except ValueError:
+                index = -1  # removed/unknown coordinator: maximally senior
+            best = max(best, index)
+        return best
+
+    if prefer == "junior":
+        return max(proposals, key=lambda op: (juniority(op), str(op)))
+    return min(proposals, key=lambda op: (juniority(op), str(op)))
+
+
+def determine(
+    initiator: ProcessId,
+    responses: Sequence[PhaseOneResponse],
+    view: Sequence[ProcessId],
+    current_mgr: ProcessId,
+    get_next: Callable[[Optional[ProcessId]], Optional[Op]],
+    prefer: str = "junior",
+) -> DetermineResult:
+    """``Determine(RL_r, invis, v)`` of Figure 6.
+
+    Args:
+        initiator: r itself (must appear among ``responses``).
+        responses: Phase I responses, including r's own state.
+        view: r's current local view (for GetStable ranking).
+        current_mgr: the coordinator r is reconfiguring away from; proposed
+            for removal when no competing proposal for the new version
+            exists (line D.4).
+        get_next: r's ``GetNext``: its own next pending operation, given a
+            process to skip (the subject of the operation being proposed).
+
+    Raises:
+        ViewDivergenceError: if respondents' seqs are not prefix-ordered —
+            Theorem 5.1 guarantees they are, so this indicates a bug.
+        ProtocolInvariantError: if versions spread beyond the window
+            Proposition 5.1 allows.
+    """
+    if not responses:
+        raise ProtocolInvariantError("determine called with no responses")
+    by_proc = {r.proc: r for r in responses}
+    if initiator not in by_proc:
+        raise ProtocolInvariantError("initiator missing from its own Phase I responses")
+    r_version = by_proc[initiator].version
+
+    versions = sorted({resp.version for resp in responses})
+    if versions[0] < r_version - 1 or versions[-1] > r_version + 1:
+        raise ProtocolInvariantError(
+            f"Phase I versions {versions} outside [{r_version - 1}, "
+            f"{r_version + 1}] (Proposition 5.1 violated)"
+        )
+
+    _check_prefix_consistency(responses)
+
+    v_max = versions[-1]
+    v_min = versions[0]
+
+    if v_max > v_min:
+        # Incomplete installation: someone is ahead of someone.  Complete
+        # version v_max by replaying the donor's op suffix from v_min.
+        donor = max(responses, key=lambda resp: resp.version)
+        target_version = v_max
+        ops = tuple(donor.seq[v_min:])
+        if len(ops) != v_max - v_min:
+            raise ProtocolInvariantError(
+                f"donor seq length {len(donor.seq)} inconsistent with "
+                f"version {donor.version} (version == |seq| invariant broken)"
+            )
+        contingents = proposals_for_ver(responses, target_version + 1)
+        if not contingents:
+            invis = get_next(ops[-1].target if ops else None)
+        elif len(contingents) == 1:
+            invis = next(iter(contingents))
+        else:
+            invis = get_stable(contingents, view, prefer)
+        return DetermineResult(
+            ops=ops,
+            version=target_version,
+            invis=invis,
+            candidate_count=len(contingents),
+        )
+
+    # All respondents at r's version: propose version v = ver(r) + 1.
+    target_version = r_version + 1
+    candidates = proposals_for_ver(responses, target_version)
+    if not candidates:
+        final_op = Op("remove", current_mgr)
+    elif len(candidates) == 1:
+        final_op = next(iter(candidates))
+    else:
+        final_op = get_stable(candidates, view, prefer)
+    invis = get_next(final_op.target)
+    return DetermineResult(
+        ops=(final_op,),
+        version=target_version,
+        invis=invis,
+        candidate_count=len(candidates),
+    )
+
+
+def _check_prefix_consistency(responses: Sequence[PhaseOneResponse]) -> None:
+    """Theorem 5.1: equal versions ⇒ equal seqs; lower version ⇒ prefix."""
+    ordered = sorted(responses, key=lambda resp: resp.version)
+    longest = ordered[-1].seq
+    for resp in ordered:
+        if tuple(longest[: len(resp.seq)]) != tuple(resp.seq):
+            raise ViewDivergenceError(
+                f"{resp.proc}'s committed sequence {list(map(str, resp.seq))} "
+                f"is not a prefix of the longest respondent sequence "
+                f"{list(map(str, longest))}"
+            )
+        if resp.version != len(resp.seq):
+            raise ProtocolInvariantError(
+                f"{resp.proc} reports version {resp.version} but has "
+                f"committed {len(resp.seq)} operations"
+            )

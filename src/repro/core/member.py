@@ -1,0 +1,1047 @@
+"""The full GMP process: coordinator role, outer role, reconfiguration, join.
+
+:class:`GMPMember` is the event-driven realisation of Figures 8/9/10 (the
+final, online algorithm of Section 7, which subsumes the basic exclusion
+algorithm of Figure 2).  One class implements every role because any process
+may move between them: an outer process becomes the coordinator by winning a
+reconfiguration; the coordinator becomes nobody by being suspected.
+
+The paper's blocking ``await (OK(p) or faulty(p))`` constructs become round
+records (:mod:`repro.core.rounds`) resolved by message arrival or suspicion;
+everything else is a direct transcription, with the deliberate
+interpretations listed in DESIGN.md §4.
+
+Modes:
+
+* ``majority_updates=True`` (default) — the final algorithm: every commit
+  requires OKs from a majority of the current view (Figure 8 line FA.1);
+  tolerates a minority of failures per view transition.
+* ``majority_updates=False`` — the basic algorithm of Section 3.1 (Mgr never
+  fails): commits when every member has answered or been suspected, no
+  majority test; tolerates ``|Memb|-1`` failures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.detectors.base import FailureDetector
+from repro.errors import ProtocolInvariantError, ViewDivergenceError
+from repro.ids import ProcessId
+from repro.model.events import EventKind
+from repro.sim.network import Network
+from repro.sim.process import SimProcess
+from repro.core.buffering import FutureViewBuffer
+from repro.core.determine import PhaseOneResponse, determine
+from repro.core.messages import (
+    Commit,
+    FaultyNotice,
+    Interrogate,
+    InterrogateOk,
+    Invite,
+    JoinRequest,
+    Op,
+    Plan,
+    Propose,
+    ProposeOk,
+    ReconfigCommit,
+    StateTransfer,
+    UpdateOk,
+)
+from repro.core.rounds import ReconfigPhase, ReconfigRound, UpdateRound
+from repro.core.state import LocalState
+
+__all__ = ["GMPMember", "AppLayer"]
+
+
+class GMPMember(SimProcess):
+    """One group member (or joiner) running the full online GMP algorithm."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        network: Network,
+        detector: FailureDetector,
+        initial_view: Optional[list[ProcessId]] = None,
+        contacts: Optional[list[ProcessId]] = None,
+        majority_updates: bool = True,
+        join_retry: float = 25.0,
+        max_join_attempts: int = 100,
+        reconfig_phases: int = 3,
+        stable_preference: str = "junior",
+        reuse_phases: bool = False,
+    ) -> None:
+        super().__init__(pid, network)
+        if initial_view is None and not contacts:
+            raise ValueError("a joiner needs contacts; a member needs a view")
+        if reconfig_phases not in (2, 3):
+            raise ValueError("reconfig_phases must be 2 or 3")
+        #: The Section 8 future-work optimisation: when a reconfigurer's
+        #: Phase I responses prove that a *previous* (failed) initiator's
+        #: proposal already reached a majority — every respondent reports
+        #: the identical concrete plan for the target version — the new
+        #: initiator inherits that proposal phase and commits directly,
+        #: saving two broadcast waves per failed predecessor.  Safe by
+        #: Corollary 5.2: a majority-acknowledged proposal is the unique
+        #: stably-defined proposal for its version.
+        self.reuse_phases = reuse_phases
+        self.max_join_attempts = max_join_attempts
+        #: 3 = the paper's protocol; 2 = the Claim 7.2 strawman (no proposal
+        #: phase — the initiator commits its guess directly).
+        self.reconfig_phases = reconfig_phases
+        #: GetStable tie-break; "senior" is the deliberately wrong guess the
+        #: Claim 7.2 strawman makes.
+        self.stable_preference = stable_preference
+        self.detector = detector
+        self.majority_updates = majority_updates
+        self.join_retry = join_retry
+        self._contacts = [c for c in (contacts or []) if c != pid]
+        self._join_attempts = 0
+        self.state: Optional[LocalState] = None
+        if initial_view is not None:
+            if pid not in initial_view:
+                raise ValueError(f"{pid} missing from its own initial view")
+            self.state = LocalState(me=pid, view=list(initial_view))
+        #: S1 isolation decisions made before joining (normally empty).
+        self._pre_join_faulty: set[ProcessId] = set()
+        self.buffer = FutureViewBuffer()
+        self.update_round: Optional[UpdateRound] = None
+        self.reconfig: Optional[ReconfigRound] = None
+        #: Targets to send to first within any broadcast.  The paper's Bcast
+        #: has no specified order, so a crash may truncate an *arbitrary*
+        #: subset; adversarial scenarios (Figure 11) set this to choose it.
+        self.broadcast_first: tuple[ProcessId, ...] = ()
+        #: (mgr, target) pairs already reported via FaultyNotice — GMP-5
+        #: requires every faulty belief, including gossiped ones, to reach
+        #: the coordinator so the system reacts to it.
+        self._noticed: set[tuple[ProcessId, ProcessId]] = set()
+        #: Optional application layer (see repro.extensions): receives
+        #: payloads the protocol does not understand and view-install
+        #: callbacks.  This is how services are built *on top of* the
+        #: membership abstraction (the ISIS pattern the paper motivates).
+        self.app: Optional["AppLayer"] = None
+        detector.attach(self)
+
+    # ------------------------------------------------------------------
+    # Suspectable interface (consumed by the failure detector)
+    # ------------------------------------------------------------------
+
+    def current_members(self) -> tuple[ProcessId, ...]:
+        if self.state is None:
+            return ()
+        return self.state.snapshot_view()
+
+    def believes_faulty(self, target: ProcessId) -> bool:
+        if self.state is None:
+            return target in self._pre_join_faulty
+        return target in self.state.ever_faulty
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self.detector.start()
+        if self.state is None:
+            self._request_join()
+
+    def _request_join(self) -> None:
+        """Ask to join, rotating through the contact list on each retry
+        (a single contact may itself be crashed)."""
+        if self.crashed or self.state is not None:
+            return
+        if self._join_attempts >= self.max_join_attempts:
+            self.quit_protocol("gave up joining: no contact admitted us")
+            return
+        contact = self._contacts[self._join_attempts % len(self._contacts)]
+        self._join_attempts += 1
+        self.send(contact, JoinRequest(self.pid))
+        self.set_timer(self.join_retry, self._request_join)
+
+    def quit_protocol(self, detail: str = "") -> None:
+        self.detector.stop()
+        super().quit_protocol(detail)
+
+    def crash(self, detail: str = "") -> None:
+        self.detector.stop()
+        super().crash(detail)
+
+    @property
+    def is_member(self) -> bool:
+        return (
+            self.state is not None
+            and not self.crashed
+            and self.state.is_member(self.pid)
+        )
+
+    @property
+    def version(self) -> Optional[int]:
+        return None if self.state is None else self.state.version
+
+    @property
+    def view(self) -> tuple[ProcessId, ...]:
+        return () if self.state is None else self.state.snapshot_view()
+
+    # ------------------------------------------------------------------
+    # S1 isolation
+    # ------------------------------------------------------------------
+
+    def should_accept(self, sender: ProcessId, payload: object) -> bool:
+        return not self.believes_faulty(sender)
+
+    # ------------------------------------------------------------------
+    # Broadcast ordering (the paper's Bcast leaves send order unspecified)
+    # ------------------------------------------------------------------
+
+    def _ordered(self, targets: list[ProcessId] | tuple[ProcessId, ...]) -> list[ProcessId]:
+        """Apply the :attr:`broadcast_first` preference to a target list."""
+        if not self.broadcast_first:
+            return list(targets)
+        preferred = [t for t in self.broadcast_first if t in targets]
+        rest = [t for t in targets if t not in self.broadcast_first]
+        return preferred + rest
+
+    # ------------------------------------------------------------------
+    # Failure detection input (faulty_p(q), F1) and gossip (F2)
+    # ------------------------------------------------------------------
+
+    def on_suspect(self, target: ProcessId) -> None:
+        """The detector's ``faulty_p(target)`` input."""
+        if self.crashed:
+            return
+        if self.state is None:
+            self._pre_join_faulty.add(target)
+            return
+        self._note_faulty(target)
+        self._react()
+
+    def _note_faulty(self, target: ProcessId) -> bool:
+        """Record belief + isolation; resolve any awaits on ``target``."""
+        assert self.state is not None
+        if target == self.pid:
+            return False
+        fresh = self.state.note_faulty(target)
+        if fresh:
+            self._record(EventKind.FAULTY, peer=target)
+            self.buffer.drop_from(target)
+            self.detector.unwatch(target)
+        # Awaits resolve on *belief*, fresh or not (idempotent).
+        if self.update_round is not None:
+            self.update_round.record_faulty(target)
+        if self.reconfig is not None:
+            self.reconfig.record_faulty(target)
+        return fresh
+
+    def _note_operating(self, target: ProcessId) -> bool:
+        assert self.state is not None
+        fresh = self.state.note_operating(target)
+        if fresh:
+            self._record(EventKind.OPERATING, peer=target)
+        return fresh
+
+    def _react(self) -> None:
+        """Role-sensitive reaction to new beliefs or a new view."""
+        if self.crashed or self.state is None or not self.is_member:
+            return
+        if self.state.mgr == self.pid:
+            self._check_update_round()
+            self._mgr_maybe_start_round()
+        elif self.reconfig is None and self.state.should_initiate_reconfiguration():
+            self._start_reconfiguration()
+        else:
+            self._notify_coordinator_of_faults()
+            self._check_update_round()
+            self._check_reconfig()
+
+    def _notify_coordinator_of_faults(self) -> None:
+        """Report every faulty belief about a view member to the coordinator.
+
+        GMP-5 obliges the system to react to *every* ``faulty_p(q)`` event —
+        observed (F1) or gossiped (F2) — so an outer process keeps its
+        coordinator informed of any member it believes faulty, once per
+        (coordinator, member) pair.
+        """
+        state = self.state
+        assert state is not None
+        mgr = state.mgr
+        if mgr == self.pid or self.believes_faulty(mgr):
+            return
+        for target in state.faulty_members():
+            key = (mgr, target)
+            if key in self._noticed:
+                continue
+            self._noticed.add(key)
+            self.send(mgr, FaultyNotice(target))
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+
+    def on_message(self, sender: ProcessId, payload: object) -> None:
+        if self.crashed:
+            return
+        if self.detector.on_message(sender, payload):
+            return
+        self.detector.observed_traffic(sender)
+
+        if isinstance(payload, JoinRequest):
+            self._on_join_request(sender, payload)
+            return
+        if isinstance(payload, StateTransfer):
+            self._on_state_transfer(sender, payload)
+            return
+        if self.state is None:
+            return  # not yet a member; only join traffic is meaningful
+
+        if isinstance(payload, FaultyNotice):
+            self._on_faulty_notice(sender, payload)
+        elif isinstance(payload, Invite):
+            self._on_invite(sender, payload)
+        elif isinstance(payload, UpdateOk):
+            self._on_update_ok(sender, payload)
+        elif isinstance(payload, Commit):
+            self._on_commit(sender, payload)
+        elif isinstance(payload, Interrogate):
+            self._on_interrogate(sender, payload)
+        elif isinstance(payload, InterrogateOk):
+            self._on_interrogate_ok(sender, payload)
+        elif isinstance(payload, Propose):
+            self._on_propose(sender, payload)
+        elif isinstance(payload, ProposeOk):
+            self._on_propose_ok(sender, payload)
+        elif isinstance(payload, ReconfigCommit):
+            self._on_reconfig_commit(sender, payload)
+        elif self.app is not None:
+            self.app.on_message(sender, payload)
+
+    # ------------------------------------------------------------------
+    # Join handling
+    # ------------------------------------------------------------------
+
+    def _on_join_request(self, sender: ProcessId, msg: JoinRequest) -> None:
+        if self.state is None:
+            return  # cannot help; the joiner will retry elsewhere
+        if self.state.mgr != self.pid:
+            if not self.believes_faulty(self.state.mgr):
+                self.send(self.state.mgr, msg)  # forward to the coordinator
+            return
+        if self.believes_faulty(msg.joiner):
+            return
+        if self.state.is_member(msg.joiner):
+            # Already admitted — its StateTransfer must have been lost to a
+            # coordinator crash.  Re-send the current state; include the
+            # in-flight round's operation as the contingent plan so the
+            # joiner can answer that round's await.
+            round_ = self.update_round
+            contingent = (
+                round_.op
+                if round_ is not None and round_.version == self.state.version + 1
+                else None
+            )
+            self.send(
+                msg.joiner,
+                StateTransfer(
+                    view=self.state.snapshot_view(),
+                    version=self.state.version,
+                    seq=self.state.snapshot_seq(),
+                    mgr=self.pid,
+                    contingent=contingent,
+                    faulty=self.state.faulty_members(),
+                ),
+            )
+            return
+        if self._note_operating(msg.joiner):
+            self._react()
+
+    def _on_state_transfer(self, sender: ProcessId, msg: StateTransfer) -> None:
+        if self.state is not None:
+            return  # duplicate; already joined
+        self.state = LocalState(
+            me=self.pid,
+            view=list(msg.view),
+            version=msg.version,
+            seq=list(msg.seq),
+            mgr=msg.mgr,
+        )
+        for target in self._pre_join_faulty:
+            self.state.note_faulty(target)
+        for target in msg.faulty:
+            self._note_faulty(target)
+        self._record(
+            EventKind.ADD, peer=self.pid, detail="joined via state transfer"
+        )
+        self._record_install()
+        if msg.contingent is not None:
+            self._adopt_contingent(msg.contingent, msg.mgr, msg.version + 1)
+
+    def _adopt_contingent(self, contingent: Op, coord: ProcessId, version: int) -> None:
+        """Handle a commit's piggybacked plan: note, plan, and OK it."""
+        assert self.state is not None
+        if contingent.is_remove:
+            if contingent.target == self.pid:
+                self.quit_protocol("named in contingent removal")
+                return
+            self._note_faulty(contingent.target)
+        else:
+            self._note_operating(contingent.target)
+        self.state.set_plan(Plan(contingent, coord, version))
+        if self.app is not None:
+            self.app.before_view_agreement(version)
+        self.send(coord, UpdateOk(version))
+
+    # ------------------------------------------------------------------
+    # Coordinator role: two-phase / compressed update (Figures 2 and 8)
+    # ------------------------------------------------------------------
+
+    def _on_faulty_notice(self, sender: ProcessId, msg: FaultyNotice) -> None:
+        assert self.state is not None
+        if self.state.mgr != self.pid:
+            if not self.believes_faulty(self.state.mgr):
+                self.send(self.state.mgr, msg)  # route to the current coordinator
+            return
+        self._note_faulty(msg.target)
+        self._react()
+
+    def _mgr_maybe_start_round(self) -> None:
+        """Open a fresh invite round if idle and work is queued."""
+        state = self.state
+        if (
+            state is None
+            or self.crashed
+            or state.mgr != self.pid
+            or not self.is_member
+            or self.update_round is not None
+            or self.reconfig is not None
+        ):
+            return
+        op = state.next_operation()
+        if op is None:
+            return
+        version = state.version + 1
+        if op.is_remove:
+            self._note_faulty(op.target)
+        else:
+            self._note_operating(op.target)
+        self.broadcast(self._ordered(state.view), Invite(op, version))
+        pending = self._awaitees(op)
+        self.update_round = UpdateRound(op=op, version=version, pending=pending)
+        for target in pending:
+            self.detector.watch(target, "update-ok")
+        self._check_update_round()
+
+    def _awaitees(self, op: Op) -> set[ProcessId]:
+        """Who must answer (or be suspected) before this round commits."""
+        assert self.state is not None
+        return {
+            member
+            for member in self.state.view
+            if member != self.pid
+            and member not in self.state.ever_faulty
+            and not (op.is_remove and member == op.target)
+        }
+
+    def _on_update_ok(self, sender: ProcessId, msg: UpdateOk) -> None:
+        round_ = self.update_round
+        if round_ is None or round_.version != msg.version:
+            return
+        round_.record_ok(sender)
+        self.detector.unwatch(sender)
+        self._check_update_round()
+
+    def _check_update_round(self) -> None:
+        """Commit resolved rounds; chain compressed rounds without recursion."""
+        while True:
+            round_ = self.update_round
+            if round_ is None or not round_.resolved or self.crashed:
+                return
+            self.update_round = None
+            if self.majority_updates and self.state is not None:
+                if round_.ok_count() < self.state.majority():
+                    self.quit_protocol(
+                        f"update majority lost: {round_.ok_count()} < "
+                        f"{self.state.majority()} for version {round_.version}"
+                    )
+                    return
+            self._commit_update(round_)
+            if self.crashed:
+                return
+            if self.update_round is None:
+                # No contingent round was opened: look for queued work.
+                self._mgr_maybe_start_round_once()
+                if self.update_round is None or not self.update_round.resolved:
+                    return
+            elif not self.update_round.resolved:
+                return
+
+    def _mgr_maybe_start_round_once(self) -> None:
+        """Like :meth:`_mgr_maybe_start_round` but without re-entering the
+        completion loop (the caller is the loop)."""
+        state = self.state
+        if state is None or self.crashed or state.mgr != self.pid:
+            return
+        if self.update_round is not None or self.reconfig is not None:
+            return
+        op = state.next_operation()
+        if op is None:
+            return
+        version = state.version + 1
+        if op.is_remove:
+            self._note_faulty(op.target)
+        else:
+            self._note_operating(op.target)
+        self.broadcast(self._ordered(state.view), Invite(op, version))
+        self.update_round = UpdateRound(op=op, version=version, pending=self._awaitees(op))
+        for target in self.update_round.pending:
+            self.detector.watch(target, "update-ok")
+
+    def _commit_update(self, round_: UpdateRound) -> None:
+        """Phase II: apply, broadcast Commit with contingencies, chain."""
+        state = self.state
+        assert state is not None
+        if self.app is not None:
+            self.app.before_view_agreement(round_.version)
+        self._apply_committed_op(round_.op, round_.version)
+        if self.crashed:
+            return
+        contingent = state.next_operation(skip=round_.op.target)
+        faulty_list = state.faulty_members()
+        recovered_list = tuple(state.recovered)
+        commit = Commit(
+            op=round_.op,
+            version=round_.version,
+            contingent=contingent,
+            faulty=faulty_list,
+            recovered=recovered_list,
+        )
+        if round_.op.is_add:
+            # State transfer precedes the commit broadcast so no crash
+            # window can leave a member in everyone's view but without
+            # state (such a zombie could never answer awaits).
+            self.send(
+                round_.op.target,
+                StateTransfer(
+                    view=state.snapshot_view(),
+                    version=state.version,
+                    seq=state.snapshot_seq(),
+                    mgr=self.pid,
+                    contingent=contingent,
+                    faulty=faulty_list,
+                ),
+            )
+            if self.crashed:
+                return
+        targets = [
+            m
+            for m in state.view
+            if not (round_.op.is_add and m == round_.op.target)
+        ]
+        self.broadcast(self._ordered(targets), commit)
+        if self.crashed:
+            return
+        if contingent is not None:
+            if contingent.is_remove:
+                self._note_faulty(contingent.target)
+            else:
+                self._note_operating(contingent.target)
+            pending = self._awaitees(contingent)
+            if contingent.is_add:
+                # The fresh joiner (just state-transferred) also answers.
+                pass
+            self.update_round = UpdateRound(
+                op=contingent,
+                version=state.version + 1,
+                pending=pending,
+                compressed=True,
+            )
+            for target in pending:
+                self.detector.watch(target, "compressed-ok")
+
+    def _apply_committed_op(self, op: Op, version: int) -> None:
+        """Apply one agreed operation locally, recording the model events."""
+        state = self.state
+        assert state is not None
+        if op.is_remove:
+            if op.target == self.pid:
+                self.quit_protocol("committed own removal")
+                return
+            self._note_faulty(op.target)
+            state.apply(op, version)
+            self._record(EventKind.REMOVE, peer=op.target)
+        else:
+            self._note_operating(op.target)
+            state.apply(op, version)
+            self._record(EventKind.ADD, peer=op.target)
+        self._record_install()
+
+    # ------------------------------------------------------------------
+    # Outer role: answering invites and commits (Figures 2 and 9)
+    # ------------------------------------------------------------------
+
+    def _on_invite(self, sender: ProcessId, msg: Invite) -> None:
+        state = self.state
+        assert state is not None
+        if sender != state.mgr:
+            return  # only the current coordinator may invite (FIFO makes
+            #         a new coordinator's commit precede its invites)
+        if msg.version <= state.version:
+            return  # stale
+        if msg.version > state.version + 1:
+            self.buffer.hold(sender, msg)
+            return
+        if msg.op.is_remove:
+            if msg.op.target == self.pid:
+                self.quit_protocol("named in exclusion invite")
+                return
+            self._note_faulty(msg.op.target)
+        else:
+            self._note_operating(msg.op.target)
+        state.set_plan(Plan(msg.op, sender, msg.version))
+        if self.app is not None:
+            self.app.before_view_agreement(msg.version)
+        self.send(sender, UpdateOk(msg.version))
+        self.detector.watch(sender, "awaiting-commit")
+        self._react()
+
+    def _on_commit(self, sender: ProcessId, msg: Commit) -> None:
+        state = self.state
+        assert state is not None
+        if sender != state.mgr:
+            return
+        if msg.version <= state.version:
+            return
+        if msg.version > state.version + 1:
+            self.buffer.hold(sender, msg)
+            return
+        if self.pid in msg.faulty:
+            self.quit_protocol("listed faulty in commit")
+            return
+        if msg.op.is_remove and msg.op.target == self.pid:
+            self.quit_protocol("committed own removal")
+            return
+        for target in msg.faulty:
+            self._note_faulty(target)  # gossip, F2
+        for target in msg.recovered:
+            self._note_operating(target)
+        if self.crashed:
+            return
+        self._apply_committed_op(msg.op, msg.version)
+        if self.crashed:
+            return
+        if msg.contingent is not None:
+            self._adopt_contingent(msg.contingent, sender, msg.version + 1)
+        else:
+            state.set_plan(None)
+        self._after_install()
+
+    # ------------------------------------------------------------------
+    # Reconfiguration (Figures 5 and 10)
+    # ------------------------------------------------------------------
+
+    def _start_reconfiguration(self) -> None:
+        state = self.state
+        assert state is not None
+        hi = state.hi_faulty()
+        self._record(
+            EventKind.INTERNAL,
+            detail=f"initiating reconfiguration, HiFaulty={list(map(str, hi))}",
+        )
+        self.broadcast(self._ordered(state.view), Interrogate(hi_faulty=hi))
+        pending = {
+            member
+            for member in state.view
+            if member != self.pid and member not in state.ever_faulty
+        }
+        round_ = ReconfigRound(
+            phase=ReconfigPhase.INTERROGATE,
+            view_size=len(state.view),
+            pending=pending,
+        )
+        # The initiator's own state is a Phase I response (PhaseResp includes r).
+        own = PhaseOneResponse(
+            proc=self.pid,
+            version=state.version,
+            seq=state.snapshot_seq(),
+            plans=state.snapshot_plans(),
+        )
+        round_.responses[self.pid] = own
+        self.reconfig = round_
+        for target in pending:
+            self.detector.watch(target, "interrogate-ok")
+        self._check_reconfig()
+
+    def _on_interrogate(self, sender: ProcessId, msg: Interrogate) -> None:
+        state = self.state
+        assert state is not None
+        if sender not in state.view:
+            return  # stale interrogation from an already-removed process
+        my_index = state.view.index(self.pid)
+        sender_index = state.view.index(sender)
+        if my_index < sender_index:
+            # I outrank the initiator, so I am in its HiFaulty: quit (Fig 10).
+            self.quit_protocol(f"outranked by reconfigurer {sender}")
+            return
+        answer = InterrogateOk(
+            version=state.version,
+            seq=state.snapshot_seq(),
+            plans=state.snapshot_plans(),
+        )
+        self.send(sender, answer)
+        for target in msg.hi_faulty:
+            self._note_faulty(target)
+        state.append_placeholder(sender)
+        self.detector.watch(sender, "awaiting-proposal")
+        self._react()
+
+    def _on_interrogate_ok(self, sender: ProcessId, msg: InterrogateOk) -> None:
+        round_ = self.reconfig
+        if round_ is None or round_.phase is not ReconfigPhase.INTERROGATE:
+            return
+        round_.record_response(
+            PhaseOneResponse(
+                proc=sender, version=msg.version, seq=msg.seq, plans=msg.plans
+            )
+        )
+        self.detector.unwatch(sender)
+        self._check_reconfig()
+
+    def _on_propose(self, sender: ProcessId, msg: Propose) -> None:
+        state = self.state
+        assert state is not None
+        if self.pid in msg.faulty:
+            self.quit_protocol("listed faulty in reconfiguration proposal")
+            return
+        if any(op.is_remove and op.target == self.pid for op in msg.ops):
+            self.quit_protocol("named in reconfiguration removal")
+            return
+        if msg.invis is not None and msg.invis.is_remove and msg.invis.target == self.pid:
+            self.quit_protocol("named in reconfiguration contingency")
+            return
+        if not any(plan.coord == sender for plan in state.plans):
+            # A proposal from someone whose interrogation we never answered
+            # cannot happen over FIFO channels; drop defensively.
+            return
+        for target in msg.faulty:
+            self._note_faulty(target)
+        if self.crashed:
+            return
+        if self.app is not None:
+            self.app.before_view_agreement(msg.version)
+        self.send(sender, ProposeOk(msg.version))
+        state.set_plan(Plan(msg.final_op, sender, msg.version))
+        self._react()
+
+    def _on_propose_ok(self, sender: ProcessId, msg: ProposeOk) -> None:
+        round_ = self.reconfig
+        if (
+            round_ is None
+            or round_.phase is not ReconfigPhase.PROPOSE
+            or round_.proposal_version != msg.version
+        ):
+            return
+        round_.record_propose_ok(sender)
+        self.detector.unwatch(sender)
+        self._check_reconfig()
+
+    def _check_reconfig(self) -> None:
+        state = self.state
+        round_ = self.reconfig
+        if state is None or round_ is None or not round_.resolved or self.crashed:
+            return
+        if round_.phase is ReconfigPhase.INTERROGATE:
+            if round_.phase_one_count() < round_.majority():
+                self.quit_protocol(
+                    f"reconfiguration interrogation majority lost: "
+                    f"{round_.phase_one_count()} < {round_.majority()}"
+                )
+                return
+            result = determine(
+                initiator=self.pid,
+                responses=list(round_.responses.values()),
+                view=state.view,
+                current_mgr=state.mgr,
+                get_next=state.next_operation,
+                prefer=self.stable_preference,
+            )
+            round_.proposal_ops = result.ops
+            round_.proposal_version = result.version
+            round_.invis = result.invis
+            self._record(
+                EventKind.INTERNAL,
+                detail=(
+                    f"determined v{result.version} "
+                    f"ops={[str(o) for o in result.ops]} "
+                    f"invis={result.invis} "
+                    f"candidates={result.candidate_count}"
+                ),
+            )
+            if self.reconfig_phases == 2:
+                # Claim 7.2 strawman: skip the proposal phase and commit the
+                # Phase I guess directly.  Unsafe by Claim 7.2.
+                round_.phase = ReconfigPhase.DONE
+                self.reconfig = None
+                self._commit_reconfiguration(round_)
+                return
+            if self.reuse_phases and self._predecessor_phase_complete(round_, result):
+                # §8 optimisation: a failed predecessor's proposal already
+                # holds a majority of acknowledgements — inherit its
+                # proposal phase and commit directly.
+                self._record(
+                    EventKind.INTERNAL,
+                    detail=(
+                        f"reusing predecessor's proposal phase for "
+                        f"v{result.version} (no new Propose broadcast)"
+                    ),
+                )
+                round_.phase = ReconfigPhase.DONE
+                self.reconfig = None
+                self._commit_reconfiguration(round_)
+                return
+            round_.phase = ReconfigPhase.PROPOSE
+            round_.pending = {
+                member
+                for member in state.view
+                if member != self.pid and member not in state.ever_faulty
+            }
+            self.broadcast(
+                self._ordered(state.view),
+                Propose(
+                    ops=result.ops,
+                    version=result.version,
+                    invis=result.invis,
+                    faulty=state.faulty_members(),
+                ),
+            )
+            for target in round_.pending:
+                self.detector.watch(target, "propose-ok")
+            self._check_reconfig()
+            return
+        if round_.phase is ReconfigPhase.PROPOSE:
+            if round_.phase_two_count() < round_.majority():
+                self.quit_protocol(
+                    f"reconfiguration proposal majority lost: "
+                    f"{round_.phase_two_count()} < {round_.majority()}"
+                )
+                return
+            round_.phase = ReconfigPhase.DONE
+            self.reconfig = None
+            self._commit_reconfiguration(round_)
+
+    def _predecessor_phase_complete(self, round_, result) -> bool:
+        """Did a failed predecessor's proposal already reach a majority?
+
+        True when the determined proposal is a single operation for the
+        next version and *every* Phase I respondent (the initiator
+        included) reports the identical concrete plan for it — each such
+        plan is an acknowledgement the predecessor collected, so its
+        proposal phase demonstrably covered a majority and re-running one
+        adds nothing.
+        """
+        if len(result.ops) != 1:
+            return False
+        acknowledgers = 0
+        for response in round_.responses.values():
+            for plan in response.plans:
+                if (
+                    not plan.is_placeholder
+                    and plan.version == result.version
+                    and plan.op == result.ops[0]
+                ):
+                    acknowledgers += 1
+                    break
+        return acknowledgers >= round_.majority()
+
+    def _commit_reconfiguration(self, round_: ReconfigRound) -> None:
+        """Phase III: install, broadcast the commit, assume the Mgr role."""
+        state = self.state
+        assert state is not None
+        if self.app is not None:
+            self.app.before_view_agreement(round_.proposal_version)
+        self._apply_reconfig_ops(round_.proposal_ops, round_.proposal_version)
+        if self.crashed:
+            return
+        state.mgr = self.pid
+        state.set_plan(None)
+        self._record(EventKind.INTERNAL, detail="assumed Mgr role")
+        commit = ReconfigCommit(
+            ops=round_.proposal_ops,
+            version=round_.proposal_version,
+            invis=round_.invis,
+            faulty=state.faulty_members(),
+        )
+        self.broadcast(self._ordered(state.view), commit)
+        if self.crashed:
+            return
+        for op in round_.proposal_ops:
+            # A replayed 'add' may concern a joiner whose StateTransfer died
+            # with the old coordinator; re-send state so it can participate.
+            if op.is_add and op.target in state.view and not self.crashed:
+                self.send(
+                    op.target,
+                    StateTransfer(
+                        view=state.snapshot_view(),
+                        version=state.version,
+                        seq=state.snapshot_seq(),
+                        mgr=self.pid,
+                        contingent=round_.invis,
+                        faulty=state.faulty_members(),
+                    ),
+                )
+        if self.crashed:
+            return
+        if round_.invis is not None:
+            invis = round_.invis
+            if invis.is_remove:
+                self._note_faulty(invis.target)
+            else:
+                self._note_operating(invis.target)
+            pending = self._awaitees(invis)
+            self.update_round = UpdateRound(
+                op=invis,
+                version=state.version + 1,
+                pending=pending,
+                compressed=True,
+            )
+            for target in pending:
+                self.detector.watch(target, "compressed-ok")
+            self._check_update_round()
+        else:
+            self._mgr_maybe_start_round()
+        self._after_install()
+
+    def _apply_reconfig_ops(self, ops: tuple[Op, ...], version: int) -> None:
+        """Apply the suffix of ``ops`` this process is missing."""
+        state = self.state
+        assert state is not None
+        missing = version - state.version
+        if missing <= 0:
+            return
+        if missing > len(ops):
+            raise ProtocolInvariantError(
+                f"{self.pid}: reconfiguration to {version} skips versions "
+                f"(local {state.version}, {len(ops)} ops supplied)"
+            )
+        for op in ops[len(ops) - missing :]:
+            if self.crashed:
+                return
+            self._apply_committed_op(op, state.version + 1)
+
+    def _on_reconfig_commit(self, sender: ProcessId, msg: ReconfigCommit) -> None:
+        state = self.state
+        assert state is not None
+        if self.pid in msg.faulty:
+            self.quit_protocol("listed faulty in reconfiguration commit")
+            return
+        if any(op.is_remove and op.target == self.pid for op in msg.ops):
+            self.quit_protocol("removed by reconfiguration commit")
+            return
+        if msg.invis is not None and msg.invis.is_remove and msg.invis.target == self.pid:
+            self.quit_protocol("named in reconfiguration contingency")
+            return
+        for target in msg.faulty:
+            self._note_faulty(target)
+        if self.crashed:
+            return
+        if msg.version < state.version:
+            return  # stale commit from a superseded reconfiguration
+        if msg.version == state.version:
+            # Invisible commit already reached us; Corollary 5.2 says the
+            # operation must be identical — verify, then adopt the new Mgr.
+            if state.seq and state.seq[-1] != msg.ops[-1]:
+                if self.reconfig_phases == 3:
+                    raise ViewDivergenceError(
+                        f"{self.pid}: version {msg.version} committed as "
+                        f"{state.seq[-1]} locally but {msg.ops[-1]} by {sender}"
+                    )
+                # The strawman cannot detect this; it sails on with divergent
+                # state, which the GMP-3 checker then catches (Claim 7.2).
+                self._record(
+                    EventKind.INTERNAL,
+                    peer=sender,
+                    detail=(
+                        f"undetected divergence at version {msg.version}: "
+                        f"local {state.seq[-1]} vs {msg.ops[-1]}"
+                    ),
+                )
+        else:
+            missing = msg.version - state.version
+            if missing > len(msg.ops):
+                self.buffer.hold(sender, msg)
+                return
+            self._apply_reconfig_ops(msg.ops, msg.version)
+            if self.crashed:
+                return
+        state.mgr = sender
+        if msg.invis is not None:
+            self._adopt_contingent(msg.invis, sender, msg.version + 1)
+        else:
+            state.set_plan(None)
+        self._after_install()
+
+    # ------------------------------------------------------------------
+    # Post-install housekeeping
+    # ------------------------------------------------------------------
+
+    def _after_install(self) -> None:
+        """Replay newly applicable buffered messages; re-evaluate roles."""
+        if self.crashed or self.state is None:
+            return
+        for sender, payload in self.buffer.release(self.state.version):
+            if self.crashed:
+                return
+            if self.believes_faulty(sender):
+                continue
+            self.on_message(sender, payload)
+        self._react()
+
+    # ------------------------------------------------------------------
+    # Trace helpers
+    # ------------------------------------------------------------------
+
+    def _record(self, kind: EventKind, peer: Optional[ProcessId] = None, detail: str = "") -> None:
+        self.network.trace.record(
+            self.pid,
+            kind,
+            time=self.network.scheduler.now,
+            peer=peer,
+            detail=detail,
+        )
+
+    def _record_install(self) -> None:
+        assert self.state is not None
+        self.network.trace.record(
+            self.pid,
+            EventKind.INSTALL,
+            time=self.network.scheduler.now,
+            version=self.state.version,
+            view=self.state.snapshot_view(),
+        )
+        if self.app is not None:
+            self.app.on_view_installed(
+                self.state.version, self.state.snapshot_view(), self.state.mgr
+            )
+
+
+class AppLayer:
+    """Interface for services layered on the membership abstraction.
+
+    Attach via ``member.app = layer``.  The member forwards every payload
+    the core protocol does not recognise to :meth:`on_message` and reports
+    every local view installation to :meth:`on_view_installed`.  Layers send
+    through the member's ``send``/``broadcast`` as usual.
+    """
+
+    def on_message(self, sender: ProcessId, payload: object) -> None:
+        """Handle an application payload (default: ignore)."""
+
+    def on_view_installed(
+        self, version: int, view: tuple[ProcessId, ...], mgr: ProcessId
+    ) -> None:
+        """React to a newly installed view (default: ignore)."""
+
+    def before_view_agreement(self, version: int) -> None:
+        """Flush hook: called synchronously before this member agrees to a
+        view change (before it sends any OK for ``version``, and before a
+        coordinator commits it).  View-synchronous layers forward unstable
+        messages here — anything sent in this call is on the wire before
+        the agreement, which is what closes each view's delivery set.
+        Default: nothing."""

@@ -1,0 +1,252 @@
+"""Wire protocol of the GMP algorithms (Figures 2, 5, 8, 9, 10).
+
+Every update-class message carries the *resulting* view version it concerns,
+which implements both round matching and the "no messages from future views"
+buffering rule of Section 3.  Reconfiguration-class messages are explicitly
+exempt from buffering (footnote 10: "neither interrogation nor responses nor
+commit messages will be buffered") because reconfiguration must be able to
+run *between* processes at different versions.
+
+Operations are first-class (:class:`Op`) since the final algorithm of
+Section 7 parameterises every message by 'add' or 'remove'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ids import ProcessId
+
+__all__ = [
+    "Op",
+    "add",
+    "remove",
+    "Plan",
+    "FaultyNotice",
+    "JoinRequest",
+    "Invite",
+    "UpdateOk",
+    "Commit",
+    "StateTransfer",
+    "Interrogate",
+    "InterrogateOk",
+    "Propose",
+    "ProposeOk",
+    "ReconfigCommit",
+    "is_reconfiguration_message",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Op:
+    """One view-changing operation: add or remove exactly one process.
+
+    Each invocation of the algorithm changes the view by exactly one
+    process (Section 7's neighbouring-majorities argument depends on it).
+    """
+
+    kind: str  # 'add' | 'remove'
+    target: ProcessId
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("add", "remove"):
+            raise ValueError(f"unknown op kind {self.kind!r}")
+
+    @property
+    def is_remove(self) -> bool:
+        return self.kind == "remove"
+
+    @property
+    def is_add(self) -> bool:
+        return self.kind == "add"
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind}({self.target})"
+
+
+def add(target: ProcessId) -> Op:
+    """Convenience constructor for an add operation."""
+    return Op("add", target)
+
+
+def remove(target: ProcessId) -> Op:
+    """Convenience constructor for a remove operation."""
+    return Op("remove", target)
+
+
+@dataclass(frozen=True, slots=True)
+class Plan:
+    """An entry of ``next(p)``: the paper's triple ``(op : coord : version)``.
+
+    A *placeholder* plan — the paper's ``(? : r : ?)`` recorded when p has
+    answered r's interrogation but not yet seen its proposal — has
+    ``op is None and version is None``.
+    """
+
+    op: Optional[Op]
+    coord: ProcessId
+    version: Optional[int]
+
+    @property
+    def is_placeholder(self) -> bool:
+        return self.op is None or self.version is None
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        op = "?" if self.op is None else str(self.op)
+        ver = "?" if self.version is None else str(self.version)
+        return f"({op} : {self.coord} : {ver})"
+
+
+# --------------------------------------------------------------------------
+# Requests into the algorithm
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class FaultyNotice:
+    """Outer process -> Mgr: "I believe ``target`` faulty; start removal"."""
+
+    target: ProcessId
+
+
+@dataclass(frozen=True, slots=True)
+class JoinRequest:
+    """A (new incarnation of a) process asks to join the group."""
+
+    joiner: ProcessId
+
+
+# --------------------------------------------------------------------------
+# Two-phase update (Figures 2, 8, 9)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Invite:
+    """Phase I invitation: ``Invite(op(target))`` producing ``version``."""
+
+    op: Op
+    version: int
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateOk:
+    """Outer process's OK for the round producing ``version``.
+
+    Sent in response to an Invite, or to a Commit whose contingent plan
+    doubles as the next invitation (the compressed algorithm).
+    """
+
+    version: int
+
+
+@dataclass(frozen=True, slots=True)
+class Commit:
+    """Phase II commit with piggybacked contingencies.
+
+    ``Commit(op(target)) : Contingent(next_op(next_id) : Faulty : Recovered)``
+    — the contingent plan is the invitation for the next round (compression,
+    Section 3.1), and the Faulty/Recovered lists are the gossip channel F2.
+    """
+
+    op: Op
+    version: int
+    contingent: Optional[Op]
+    faulty: tuple[ProcessId, ...] = ()
+    recovered: tuple[ProcessId, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class StateTransfer:
+    """Coordinator -> freshly added member: full group state.
+
+    The paper assumes the initial membership is commonly known at startup;
+    a joiner needs the equivalent bootstrap, so its copy of the add-commit
+    carries the whole state (view in seniority order, version, committed
+    operation sequence, the contingent plan it should OK, and the current
+    coordinator).
+    """
+
+    view: tuple[ProcessId, ...]
+    version: int
+    seq: tuple[Op, ...]
+    mgr: ProcessId
+    contingent: Optional[Op]
+    faulty: tuple[ProcessId, ...] = ()
+
+
+# --------------------------------------------------------------------------
+# Three-phase reconfiguration (Figures 5, 10)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Interrogate:
+    """Reconfiguration Phase I: interrogation by initiator r.
+
+    Carries ``HiFaulty(r)`` — every higher-ranked process r believes faulty.
+    Recipients adopt those beliefs (rank is commonly known, so "other
+    processes can infer the contents of HiFaulty(p)"; carrying it makes the
+    inference explicit), which is what makes r the highest-ranked non-faulty
+    process in every respondent's eyes.
+    """
+
+    hi_faulty: tuple[ProcessId, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class InterrogateOk:
+    """Phase I response: ``OK(seq(p), next(p))`` plus p's version."""
+
+    version: int
+    seq: tuple[Op, ...]
+    plans: tuple[Plan, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Propose:
+    """Phase II proposal: ``(RL_r : r : version) : (invis, Faulty(r))``.
+
+    ``ops`` is the paper's RL_r.  It is usually a single operation, but may
+    be a short *sequence* (footnote 11: "The proposal may be a sequence of
+    events") when Phase I responses reveal stragglers more than one version
+    behind: the sequence carries every operation from the oldest
+    respondent's version up to ``version``, and each receiver applies only
+    the suffix it is missing.
+    """
+
+    ops: tuple[Op, ...]
+    version: int
+    invis: Optional[Op]
+    faulty: tuple[ProcessId, ...] = ()
+
+    @property
+    def final_op(self) -> Op:
+        """The operation that creates ``version`` itself."""
+        return self.ops[-1]
+
+
+@dataclass(frozen=True, slots=True)
+class ProposeOk:
+    """Phase II response."""
+
+    version: int
+
+
+@dataclass(frozen=True, slots=True)
+class ReconfigCommit:
+    """Phase III commit: install ``version``, adopt r as Mgr, start invis."""
+
+    ops: tuple[Op, ...]
+    version: int
+    invis: Optional[Op]
+    faulty: tuple[ProcessId, ...] = ()
+
+
+_RECONFIG_TYPES = (Interrogate, InterrogateOk, Propose, ProposeOk, ReconfigCommit)
+
+
+def is_reconfiguration_message(payload: object) -> bool:
+    """True for messages exempt from future-view buffering (footnote 10)."""
+    return isinstance(payload, _RECONFIG_TYPES)

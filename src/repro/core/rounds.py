@@ -1,0 +1,118 @@
+"""In-flight round bookkeeping for the coordinator and reconfigurers.
+
+An :class:`UpdateRound` tracks one invocation of the two-phase update
+algorithm (whether opened by an explicit Invite or compressed onto the
+previous Commit); a :class:`ReconfigRound` tracks one three-phase
+reconfiguration attempt.  Both implement the paper's
+``await (OK(p) or faulty_p(p))`` pattern: a round *resolves* when every
+awaited process has either answered or been declared faulty, and only then
+is the majority test applied.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ids import ProcessId
+from repro.core.determine import PhaseOneResponse
+from repro.core.messages import Op
+
+__all__ = ["UpdateRound", "ReconfigPhase", "ReconfigRound"]
+
+
+@dataclass
+class UpdateRound:
+    """One two-phase (or compressed) update round run by the coordinator.
+
+    Attributes:
+        op: the operation being committed.
+        version: the view version this round will produce.
+        pending: processes whose OK (or suspicion) is still awaited.
+        oks: processes that have answered OK.
+        compressed: True when the invitation rode on the previous commit.
+    """
+
+    op: Op
+    version: int
+    pending: set[ProcessId]
+    oks: set[ProcessId] = field(default_factory=set)
+    compressed: bool = False
+
+    def record_ok(self, sender: ProcessId) -> None:
+        if sender in self.pending:
+            self.pending.discard(sender)
+            self.oks.add(sender)
+
+    def record_faulty(self, target: ProcessId) -> None:
+        self.pending.discard(target)
+
+    @property
+    def resolved(self) -> bool:
+        """Every awaited process has answered or been suspected."""
+        return not self.pending
+
+    def ok_count(self, including_self: bool = True) -> int:
+        """Participants counted toward the majority test (self included)."""
+        return len(self.oks) + (1 if including_self else 0)
+
+
+class ReconfigPhase(enum.Enum):
+    """Which of the three phases a reconfiguration attempt is in."""
+
+    INTERROGATE = "interrogate"
+    PROPOSE = "propose"
+    DONE = "done"
+
+
+@dataclass
+class ReconfigRound:
+    """One three-phase reconfiguration attempt by an initiator.
+
+    Phase I gathers :class:`PhaseOneResponse` records (the initiator's own
+    state counts as a response); Phase II gathers plain OKs for the
+    determined proposal; Phase III is the commit broadcast, after which the
+    initiator assumes the Mgr role.
+    """
+
+    phase: ReconfigPhase
+    #: size of the initiator's view when the attempt began — the majority
+    #: threshold is fixed against this (``mu_r``).
+    view_size: int
+    pending: set[ProcessId]
+    responses: dict[ProcessId, PhaseOneResponse] = field(default_factory=dict)
+    propose_oks: set[ProcessId] = field(default_factory=set)
+    #: populated at the end of Phase I
+    proposal_ops: tuple[Op, ...] = ()
+    proposal_version: int = 0
+    invis: Optional[Op] = None
+
+    def record_response(self, response: PhaseOneResponse) -> None:
+        if response.proc in self.pending:
+            self.pending.discard(response.proc)
+            self.responses[response.proc] = response
+
+    def record_propose_ok(self, sender: ProcessId) -> None:
+        if sender in self.pending:
+            self.pending.discard(sender)
+            self.propose_oks.add(sender)
+
+    def record_faulty(self, target: ProcessId) -> None:
+        self.pending.discard(target)
+
+    @property
+    def resolved(self) -> bool:
+        return not self.pending
+
+    def majority(self) -> int:
+        """``mu_r``: majority of the view the attempt began in."""
+        return self.view_size // 2 + 1
+
+    def phase_one_count(self) -> int:
+        """|Phase1Resp(r)|: respondents plus the initiator itself."""
+        return len(self.responses) + 1
+
+    def phase_two_count(self) -> int:
+        """|Phase2Resp(r)|: proposal OKs plus the initiator itself."""
+        return len(self.propose_oks) + 1

@@ -1,0 +1,320 @@
+"""Public API: build, drive and interrogate a simulated membership group.
+
+:class:`MembershipCluster` wires together the substrate (scheduler, network,
+trace), a detector per member, and one :class:`GMPMember` per process.  It
+is the entry point used by the examples, the tests, and the benchmark
+harness:
+
+>>> from repro.core.service import MembershipCluster
+>>> cluster = MembershipCluster.of_size(5, seed=42)
+>>> cluster.start()
+>>> cluster.crash("p2", at=10.0)
+>>> cluster.settle()
+>>> [str(m) for m in cluster.agreed_view()]
+['p0', 'p1', 'p3', 'p4']
+
+:class:`GroupMembershipService` is a thin facade over a cluster exposing the
+operations an application embedding the membership service would call.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Literal, Optional
+
+from repro.detectors.base import FailureDetector
+from repro.detectors.heartbeat import HeartbeatDetector
+from repro.detectors.oracle import OracleDetector
+from repro.detectors.scripted import ScriptedDetector
+from repro.errors import SimulationError
+from repro.ids import ProcessId, ordered_view, pid
+from repro.sim.network import DelayModel, Network, UniformDelay
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import RunTrace
+from repro.core.member import GMPMember
+
+__all__ = ["MembershipCluster", "GroupMembershipService", "DetectorKind"]
+
+DetectorKind = Literal["oracle", "heartbeat", "scripted"]
+
+
+class MembershipCluster:
+    """A simulated group of GMP members plus its substrate."""
+
+    def __init__(
+        self,
+        members: Iterable[ProcessId],
+        seed: int = 0,
+        delay_model: Optional[DelayModel] = None,
+        detector: DetectorKind = "oracle",
+        detector_delay: float = 5.0,
+        heartbeat_period: float = 2.0,
+        heartbeat_timeout: float = 8.0,
+        majority_updates: bool = True,
+        member_class: type[GMPMember] | None = None,
+        member_kwargs: Optional[dict] = None,
+    ) -> None:
+        self.initial_view = ordered_view(members)
+        if not self.initial_view:
+            raise ValueError("a cluster needs at least one member")
+        self.scheduler = Scheduler()
+        self.trace = RunTrace()
+        self.network = Network(
+            self.scheduler,
+            self.trace,
+            delay_model=delay_model if delay_model is not None else UniformDelay(),
+            seed=seed,
+        )
+        self.detector_kind: DetectorKind = detector
+        self.detector_delay = detector_delay
+        self.heartbeat_period = heartbeat_period
+        self.heartbeat_timeout = heartbeat_timeout
+        self.majority_updates = majority_updates
+        self.member_class: type[GMPMember] = (
+            member_class if member_class is not None else GMPMember
+        )
+        self.member_kwargs = dict(member_kwargs or {})
+        self.members: dict[ProcessId, GMPMember] = {}
+        self.detectors: dict[ProcessId, FailureDetector] = {}
+        for member in self.initial_view:
+            self._build_member(member, initial_view=list(self.initial_view))
+        self._started = False
+
+    # ------------------------------------------------------------- builders
+
+    @classmethod
+    def of_size(cls, n: int, prefix: str = "p", **kwargs: object) -> "MembershipCluster":
+        """A cluster of ``n`` members named ``p0..p{n-1}`` (p0 is Mgr)."""
+        if n < 1:
+            raise ValueError("cluster size must be at least 1")
+        return cls([pid(f"{prefix}{i}") for i in range(n)], **kwargs)  # type: ignore[arg-type]
+
+    def _make_detector(self) -> FailureDetector:
+        if self.detector_kind == "oracle":
+            return OracleDetector(self.network, delay=self.detector_delay)
+        if self.detector_kind == "heartbeat":
+            return HeartbeatDetector(
+                self.network,
+                period=self.heartbeat_period,
+                timeout=self.heartbeat_timeout,
+            )
+        if self.detector_kind == "scripted":
+            return ScriptedDetector(self.scheduler)
+        raise ValueError(f"unknown detector kind {self.detector_kind!r}")
+
+    def _build_member(
+        self,
+        member: ProcessId,
+        initial_view: Optional[list[ProcessId]] = None,
+        contacts: Optional[list[ProcessId]] = None,
+    ) -> GMPMember:
+        detector = self._make_detector()
+        process = self.member_class(
+            member,
+            self.network,
+            detector,
+            initial_view=initial_view,
+            contacts=contacts,
+            majority_updates=self.majority_updates,
+            **self.member_kwargs,
+        )
+        self.members[member] = process
+        self.detectors[member] = detector
+        return process
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Start every member (records START events, arms detectors)."""
+        if self._started:
+            raise SimulationError("cluster already started")
+        self._started = True
+        for member in self.members.values():
+            member.start()
+
+    def resolve(self, who: ProcessId | str) -> ProcessId:
+        """Accept either a ProcessId or a bare name for convenience."""
+        if isinstance(who, ProcessId):
+            return who
+        matches = [p for p in self.members if p.name == who]
+        if not matches:
+            raise KeyError(f"no member named {who!r}")
+        return max(matches, key=lambda p: p.incarnation)
+
+    def member(self, who: ProcessId | str) -> GMPMember:
+        return self.members[self.resolve(who)]
+
+    # ------------------------------------------------------------- controls
+
+    def crash(self, who: ProcessId | str, at: Optional[float] = None) -> None:
+        """Crash a member now or at an absolute simulation time."""
+        victim = self.resolve(who)
+        if at is None:
+            self.members[victim].crash()
+        else:
+            self.scheduler.at(at, lambda: self.members[victim].crash())
+
+    def suspect(
+        self, observer: ProcessId | str, target: ProcessId | str, at: float = 0.0
+    ) -> None:
+        """Schedule a (possibly spurious) suspicion — scripted detectors only."""
+        obs = self.resolve(observer)
+        tgt = self.resolve(target)
+        detector = self.detectors[obs]
+        if not isinstance(detector, ScriptedDetector):
+            raise SimulationError(
+                "suspect() requires detector='scripted' "
+                f"(cluster uses {self.detector_kind!r})"
+            )
+        detector.suspect_at(at, tgt)
+
+    def join(
+        self,
+        name: str,
+        contact: Optional[ProcessId | str] = None,
+        at: Optional[float] = None,
+    ) -> ProcessId:
+        """Create a new process (or incarnation) and have it ask to join."""
+        incarnation = max(
+            (p.incarnation + 1 for p in self.members if p.name == name), default=0
+        )
+        joiner = pid(name, incarnation)
+        contacts = list(self.initial_view)
+        if contact is not None:
+            preferred = self.resolve(contact)
+            contacts = [preferred] + [c for c in contacts if c != preferred]
+        process = self._build_member(joiner, contacts=contacts)
+        if not self._started:
+            return joiner
+        if at is None:
+            process.start()
+        else:
+            self.scheduler.at(at, process.start)
+        return joiner
+
+    def partition(self, side_a: Iterable[ProcessId | str], side_b: Iterable[ProcessId | str]) -> None:
+        self.network.partition(
+            {self.resolve(p) for p in side_a}, {self.resolve(p) for p in side_b}
+        )
+
+    def heal(self) -> None:
+        self.network.heal()
+
+    # -------------------------------------------------------------- running
+
+    def run(self, until: float, max_events: int = 1_000_000) -> None:
+        """Advance simulation time to ``until``."""
+        self.scheduler.run(until=until, max_events=max_events)
+
+    def settle(self, max_events: int = 1_000_000) -> None:
+        """Run until the event queue drains (oracle/scripted detectors only;
+        heartbeat clusters never quiesce — use :meth:`run_until_agreement`)."""
+        self.scheduler.run(max_events=max_events)
+
+    def run_until_agreement(
+        self, until: float = 10_000.0, max_events: int = 2_000_000
+    ) -> bool:
+        """Run until all surviving members agree on version and view."""
+        return self.scheduler.run_until(
+            self._surviving_members_agree, until=until, max_events=max_events
+        )
+
+    def _surviving_members_agree(self) -> bool:
+        alive = [m for m in self.members.values() if m.is_member]
+        if not alive:
+            return False
+        versions = {m.version for m in alive}
+        views = {tuple(m.view) for m in alive}
+        if len(versions) != 1 or len(views) != 1:
+            return False
+        view = next(iter(views))
+        # Agreement also means the view contains exactly the live members
+        # and nobody is mid-round.
+        if set(view) != {m.pid for m in alive}:
+            return False
+        return all(
+            getattr(m, "update_round", None) is None
+            and getattr(m, "reconfig", None) is None
+            for m in alive
+        )
+
+    # -------------------------------------------------------------- queries
+
+    def live_members(self) -> list[GMPMember]:
+        return [m for m in self.members.values() if m.is_member]
+
+    def views(self) -> dict[ProcessId, tuple[int, tuple[ProcessId, ...]]]:
+        """Current (version, view) per surviving member."""
+        return {
+            p: (m.version, tuple(m.view))
+            for p, m in self.members.items()
+            if m.is_member and m.version is not None
+        }
+
+    def agreed_view(self) -> tuple[ProcessId, ...]:
+        """The common view of all surviving members.
+
+        Raises:
+            SimulationError: if survivors disagree (settle first, or the run
+                is mid-transition).
+        """
+        views = {view for _, view in self.views().values()}
+        if len(views) != 1:
+            raise SimulationError(f"survivors disagree: {self.views()}")
+        return next(iter(views))
+
+    def agreed_version(self) -> int:
+        versions = {version for version, _ in self.views().values()}
+        if len(versions) != 1:
+            raise SimulationError(f"survivors disagree: {self.views()}")
+        return next(iter(versions))
+
+
+class GroupMembershipService:
+    """Application-facing facade over one member of a cluster.
+
+    This is the API shape a consumer of the membership service programs
+    against: query the current view and version, learn the coordinator,
+    report suspicions, and ask for the full view history.
+    """
+
+    def __init__(self, cluster: MembershipCluster, me: ProcessId | str) -> None:
+        self._cluster = cluster
+        self._me = cluster.resolve(me)
+
+    @property
+    def process_id(self) -> ProcessId:
+        return self._me
+
+    def _member(self) -> GMPMember:
+        return self._cluster.members[self._me]
+
+    def is_member(self) -> bool:
+        """Am I currently a member of the group (not excluded/crashed)?"""
+        return self._member().is_member
+
+    def current_view(self) -> tuple[ProcessId, ...]:
+        """``Memb(me)`` — my current local view."""
+        return self._member().view
+
+    def current_version(self) -> Optional[int]:
+        """``ver(me)`` — my current view version."""
+        return self._member().version
+
+    def coordinator(self) -> Optional[ProcessId]:
+        """The process I currently believe coordinates updates (Mgr)."""
+        member = self._member()
+        return None if member.state is None else member.state.mgr
+
+    def report_suspicion(self, target: ProcessId | str) -> None:
+        """Feed a ``faulty_me(target)`` input (application-level F1)."""
+        self._member().on_suspect(self._cluster.resolve(target))
+
+    def view_history(self) -> list[tuple[int, tuple[ProcessId, ...]]]:
+        """Every (version, view) I installed, in order."""
+        from repro.model.events import EventKind
+
+        history = []
+        for event in self._cluster.trace.events_of(self._me, EventKind.INSTALL):
+            assert event.version is not None and event.view is not None
+            history.append((event.version, event.view))
+        return history

@@ -1,0 +1,186 @@
+"""Per-process protocol state: the variables the paper names.
+
+:class:`LocalState` is pure bookkeeping — no I/O, no scheduling — so every
+transition can be unit-tested directly and the hypothesis-based property
+tests can drive it through arbitrary op sequences.
+
+The state corresponds to the paper's variables as follows:
+
+=================  ========================================================
+paper              here
+=================  ========================================================
+``Memb(p)``        :attr:`LocalState.view` (ordered, seniority first)
+``ver(p)``         :attr:`LocalState.version`
+``seq(p)``         :attr:`LocalState.seq`
+``next(p)``        :attr:`LocalState.plans`
+``Faulty(p)``      :attr:`LocalState.faulty` (believed faulty, still in view)
+``Recovered(p)``   :attr:`LocalState.recovered` (join queue; Mgr role only)
+``HiFaulty(p)``    :meth:`LocalState.hi_faulty` (derived from rank + faulty)
+``Mgr``            :attr:`LocalState.mgr`
+``rank(p)``        :meth:`LocalState.rank` (positional seniority)
+=================  ========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import NotInViewError
+from repro.ids import ProcessId, majority_size, rank_of
+from repro.core.messages import Op, Plan
+
+__all__ = ["LocalState"]
+
+
+@dataclass
+class LocalState:
+    """The protocol state of one group member."""
+
+    me: ProcessId
+    view: list[ProcessId]
+    version: int = 0
+    seq: list[Op] = field(default_factory=list)
+    plans: list[Plan] = field(default_factory=list)
+    #: believed faulty and still present in ``view`` (the paper's Faulty(p)).
+    faulty: set[ProcessId] = field(default_factory=set)
+    #: every process ever believed faulty — drives S1 isolation forever.
+    ever_faulty: set[ProcessId] = field(default_factory=set)
+    #: join queue (order matters: FIFO admission).
+    recovered: list[ProcessId] = field(default_factory=list)
+    mgr: ProcessId = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.mgr is None:
+            if not self.view:
+                raise ValueError("a member must start with a non-empty view")
+            self.mgr = self.view[0]
+
+    # ----------------------------------------------------------- membership
+
+    def is_member(self, proc: ProcessId) -> bool:
+        return proc in self.view
+
+    def rank(self, proc: ProcessId) -> int:
+        """Seniority rank within the current view (Mgr highest)."""
+        return rank_of(proc, self.view)
+
+    def my_rank(self) -> int:
+        return self.rank(self.me)
+
+    def seniors(self) -> tuple[ProcessId, ...]:
+        """Members strictly senior to me, most senior first."""
+        index = self.view.index(self.me)
+        return tuple(self.view[:index])
+
+    def majority(self) -> int:
+        """``mu`` for the current view size."""
+        return majority_size(len(self.view))
+
+    # --------------------------------------------------------------- faults
+
+    def note_faulty(self, target: ProcessId) -> bool:
+        """Record belief that ``target`` is faulty.  Returns True if new."""
+        if target == self.me or target in self.ever_faulty:
+            return False
+        self.ever_faulty.add(target)
+        if target in self.view:
+            self.faulty.add(target)
+        if target in self.recovered:
+            self.recovered.remove(target)
+        return True
+
+    def note_operating(self, target: ProcessId) -> bool:
+        """Record that ``target`` is a (new) operational joiner."""
+        if target == self.me or target in self.ever_faulty:
+            return False
+        if target in self.view or target in self.recovered:
+            return False
+        self.recovered.append(target)
+        return True
+
+    def hi_faulty(self) -> tuple[ProcessId, ...]:
+        """``HiFaulty(me)``: higher-ranked members believed faulty."""
+        return tuple(p for p in self.seniors() if p in self.faulty)
+
+    def should_initiate_reconfiguration(self) -> bool:
+        """The initiation rule of Section 4.2.
+
+        True when I believe *every* member ranked above me faulty — which is
+        only a reconfiguration trigger when there is someone above me (the
+        coordinator never reconfigures against itself) and I am not already
+        the coordinator.
+        """
+        if self.me == self.mgr or not self.is_member(self.me):
+            return False
+        seniors = self.seniors()
+        return bool(seniors) and all(p in self.faulty for p in seniors)
+
+    def faulty_members(self) -> tuple[ProcessId, ...]:
+        """Members of the current view believed faulty, in view order."""
+        return tuple(p for p in self.view if p in self.faulty)
+
+    # ------------------------------------------------------------------ ops
+
+    def can_apply(self, op: Op) -> bool:
+        if op.is_remove:
+            return op.target in self.view
+        return op.target not in self.view
+
+    def apply(self, op: Op, new_version: int) -> None:
+        """Apply one committed operation, advancing to ``new_version``."""
+        if new_version != self.version + 1:
+            raise NotInViewError(
+                f"{self.me}: cannot install version {new_version} from "
+                f"{self.version} (views change one at a time)"
+            )
+        if op.is_remove:
+            if op.target not in self.view:
+                raise NotInViewError(
+                    f"{self.me}: committed removal of non-member {op.target}"
+                )
+            self.view.remove(op.target)
+            self.faulty.discard(op.target)
+        else:
+            if op.target in self.view:
+                raise NotInViewError(
+                    f"{self.me}: committed addition of existing member {op.target}"
+                )
+            self.view.append(op.target)
+        self.version = new_version
+        self.seq.append(op)
+
+    def next_operation(self, skip: Optional[ProcessId] = None) -> Optional[Op]:
+        """The paper's ``GetNext``: the next pending view change, if any.
+
+        Joins are served before removals (Figure 8 checks Recovered first).
+        ``skip`` excludes one process (used when that process is already the
+        subject of the operation being committed right now).
+        """
+        for joiner in self.recovered:
+            if joiner != skip and joiner not in self.view:
+                return Op("add", joiner)
+        for member in self.view:
+            if member != skip and member in self.faulty:
+                return Op("remove", member)
+        return None
+
+    # ---------------------------------------------------------------- plans
+
+    def set_plan(self, plan: Optional[Plan]) -> None:
+        """Replace ``next(me)`` wholesale (None clears it)."""
+        self.plans = [plan] if plan is not None else []
+
+    def append_placeholder(self, coord: ProcessId) -> None:
+        """Record the paper's ``(? : coord : ?)`` after answering an
+        interrogation."""
+        self.plans.append(Plan(None, coord, None))
+
+    def snapshot_plans(self) -> tuple[Plan, ...]:
+        return tuple(self.plans)
+
+    def snapshot_seq(self) -> tuple[Op, ...]:
+        return tuple(self.seq)
+
+    def snapshot_view(self) -> tuple[ProcessId, ...]:
+        return tuple(self.view)

@@ -1,0 +1,39 @@
+"""Failure detection mechanisms (the paper's input F1).
+
+The paper deliberately abstracts the detection mechanism: "*For whatever
+reason, process p determines that q has crashed.  We are not concerned with
+the details of the mechanism used here, but for liveness, we do assume that
+it occurs in finite time after a real crash*" (F1, Section 2.2).  Three
+implementations cover the design space:
+
+* :class:`~repro.detectors.oracle.OracleDetector` — suspicion fires a fixed
+  delay after a *real* crash (never spuriously).  This is the clean detector
+  used by the complexity benchmarks, so message counts contain protocol
+  traffic only, matching Section 7.2's accounting.
+* :class:`~repro.detectors.heartbeat.HeartbeatDetector` — realistic
+  ping/timeout detection over the same unreliable-timing network; it *can*
+  suspect slow-but-live processes, which is exactly the perceived-failure
+  phenomenon the paper is about.
+* :class:`~repro.detectors.scripted.ScriptedDetector` — suspicions fire only
+  when a test says so, enabling the adversarial schedules of Figures 4 and
+  11 and Table 1's spurious-detection scenarios.
+
+Gossip (F2) is not a detector concern: it is carried by the protocol
+messages themselves (Faulty lists on commits, HiFaulty on interrogations)
+and implemented in :mod:`repro.core.member`.
+"""
+
+from repro.detectors.base import FailureDetector, Suspectable
+from repro.detectors.oracle import OracleDetector
+from repro.detectors.heartbeat import HeartbeatDetector, Ping, Pong
+from repro.detectors.scripted import ScriptedDetector
+
+__all__ = [
+    "FailureDetector",
+    "Suspectable",
+    "OracleDetector",
+    "HeartbeatDetector",
+    "Ping",
+    "Pong",
+    "ScriptedDetector",
+]

@@ -1,0 +1,85 @@
+"""Detector interface.
+
+A detector is attached to one protocol process (anything satisfying
+:class:`Suspectable`).  It delivers suspicions by calling
+``owner.on_suspect(q)`` — the protocol's ``faulty_p(q)`` input — and may be
+given *watch hints*: the protocol calls :meth:`FailureDetector.watch` when
+it starts awaiting a response from ``q`` and :meth:`unwatch` when the await
+resolves, letting timeout-style detectors focus where the paper's "p may be
+expecting a message from q and does not receive it within a pre-determined
+time-out period" applies.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.ids import ProcessId
+
+__all__ = ["Suspectable", "FailureDetector"]
+
+
+@runtime_checkable
+class Suspectable(Protocol):
+    """What a detector needs from its owning protocol process."""
+
+    pid: ProcessId
+
+    def on_suspect(self, target: ProcessId) -> None:
+        """Deliver the ``faulty_p(target)`` input (must be idempotent)."""
+        ...  # pragma: no cover
+
+    def current_members(self) -> tuple[ProcessId, ...]:
+        """The owner's current local view ``Memb(p)``."""
+        ...  # pragma: no cover
+
+    def believes_faulty(self, target: ProcessId) -> bool:
+        """Whether the owner already believes ``target`` faulty."""
+        ...  # pragma: no cover
+
+
+class FailureDetector:
+    """Base detector: no-op.  Subclasses override what they need."""
+
+    def __init__(self) -> None:
+        self.owner: Suspectable | None = None
+
+    def attach(self, owner: Suspectable) -> None:
+        """Bind this detector to its protocol process (once)."""
+        if self.owner is not None:
+            raise RuntimeError("detector already attached")
+        self.owner = owner
+
+    def start(self) -> None:
+        """Begin operating (called when the owner starts)."""
+
+    def stop(self) -> None:
+        """Cease operating (called when the owner crashes or quits)."""
+
+    def watch(self, target: ProcessId, reason: str = "") -> None:
+        """Hint: the owner is awaiting a message from ``target``."""
+
+    def unwatch(self, target: ProcessId) -> None:
+        """Hint: the owner is no longer awaiting ``target``."""
+
+    def on_message(self, sender: ProcessId, payload: object) -> bool:
+        """Offer a delivered payload to the detector.
+
+        Returns True if the payload was detector traffic and has been fully
+        consumed (the protocol should ignore it).
+        """
+        return False
+
+    def observed_traffic(self, sender: ProcessId) -> None:
+        """Note that protocol traffic arrived from ``sender`` (evidence of
+        life for timeout-style detectors; no-op otherwise)."""
+
+    def _suspect(self, target: ProcessId) -> None:
+        """Deliver a suspicion to the owner, if still meaningful."""
+        if self.owner is None:
+            raise RuntimeError("detector not attached")
+        if target == self.owner.pid:
+            return
+        if self.owner.believes_faulty(target):
+            return
+        self.owner.on_suspect(target)

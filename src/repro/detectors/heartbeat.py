@@ -1,0 +1,116 @@
+"""Heartbeat detector: periodic pings with a reply deadline.
+
+This is the paper's motivating mechanism made concrete: "*p may be expecting
+a message from q and does not receive it within a pre-determined 'time-out'
+period*".  Every ``period`` the detector pings each current group member; a
+member that has not been heard from (ping *or* pong counts — any traffic is
+evidence of life) for ``timeout`` time units is suspected.
+
+Because network delays are unbounded, this detector can and does suspect
+live processes when delays exceed the timeout — the spurious "perceived
+failure" the protocol must (and does) survive.  Detector traffic is sent
+with ``category="detector"`` so benchmarks can exclude it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.detectors.base import FailureDetector, Suspectable
+from repro.ids import ProcessId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import Network
+
+__all__ = ["Ping", "Pong", "HeartbeatDetector"]
+
+
+@dataclass(frozen=True, slots=True)
+class Ping:
+    """Heartbeat probe.  ``nonce`` pairs pongs with pings."""
+
+    nonce: int
+
+
+@dataclass(frozen=True, slots=True)
+class Pong:
+    """Heartbeat reply."""
+
+    nonce: int
+
+
+class HeartbeatDetector(FailureDetector):
+    """Ping/timeout failure detection over the simulated network."""
+
+    def __init__(
+        self,
+        network: "Network",
+        period: float = 2.0,
+        timeout: float = 8.0,
+    ) -> None:
+        super().__init__()
+        if period <= 0 or timeout <= 0:
+            raise ValueError("period and timeout must be positive")
+        self.network = network
+        self.period = period
+        self.timeout = timeout
+        self._last_heard: dict[ProcessId, float] = {}
+        self._nonce = 0
+        self._running = False
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        self._running = True
+        now = self.network.scheduler.now
+        assert self.owner is not None
+        for member in self.owner.current_members():
+            self._last_heard.setdefault(member, now)
+        self._tick()
+
+    def stop(self) -> None:
+        self._running = False
+
+    # ----------------------------------------------------------------- ticks
+
+    def _tick(self) -> None:
+        if not self._running or self.owner is None:
+            return
+        owner = self.owner
+        own = self.network.processes().get(owner.pid)
+        if own is None or own.crashed:
+            self._running = False
+            return
+        now = self.network.scheduler.now
+        for member in owner.current_members():
+            if member == owner.pid or owner.believes_faulty(member):
+                continue
+            last = self._last_heard.setdefault(member, now)
+            if now - last > self.timeout:
+                self._suspect(member)
+                continue
+            self._nonce += 1
+            self.network.send(
+                owner.pid, member, Ping(self._nonce), category="detector"
+            )
+        self.network.scheduler.after(self.period, self._tick)
+
+    # -------------------------------------------------------------- messages
+
+    def on_message(self, sender: ProcessId, payload: object) -> bool:
+        """Consume Ping/Pong; any delivered message refreshes liveness."""
+        self._last_heard[sender] = self.network.scheduler.now
+        if isinstance(payload, Ping):
+            owner = self.owner
+            own = self.network.processes().get(owner.pid) if owner else None
+            if owner is not None and own is not None and not own.crashed:
+                self.network.send(
+                    owner.pid, sender, Pong(payload.nonce), category="detector"
+                )
+            return True
+        return isinstance(payload, Pong)
+
+    def observed_traffic(self, sender: ProcessId) -> None:
+        """Protocol hook: any protocol message from ``sender`` is evidence."""
+        self._last_heard[sender] = self.network.scheduler.now

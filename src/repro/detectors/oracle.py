@@ -1,0 +1,80 @@
+"""Oracle detector: perfect suspicion, a fixed delay after a real crash.
+
+This detector satisfies F1's liveness clause exactly ("occurs in finite
+time after a real crash") and never suspects a live process.  It stands
+outside the asynchronous model — it reads simulator ground truth via the
+network's crash-observer hook — which is legitimate for a detector: the
+paper explicitly does not model the mechanism, only its interface.
+
+Benchmarks use it because it injects *zero* messages, so protocol message
+counts line up with Section 7.2's accounting.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.detectors.base import FailureDetector, Suspectable
+from repro.ids import ProcessId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import Network
+
+__all__ = ["OracleDetector"]
+
+
+class OracleDetector(FailureDetector):
+    """Suspect every crashed group member after ``delay`` time units.
+
+    Each owner gets its own instance.  When any process crashes (or quits),
+    the owner will suspect it ``delay`` later — provided the victim is then
+    relevant to the owner (in its view or being awaited) and the owner is
+    itself still operational.
+    """
+
+    def __init__(self, network: "Network", delay: float = 5.0) -> None:
+        super().__init__()
+        if delay <= 0:
+            raise ValueError("oracle delay must be positive")
+        self.network = network
+        self.delay = delay
+        self._started = False
+        self._watched: set[ProcessId] = set()
+
+    def attach(self, owner: Suspectable) -> None:
+        super().attach(owner)
+        self.network.add_crash_observer(self._on_real_crash)
+
+    def start(self) -> None:
+        self._started = True
+        # Processes that crashed before we started still count.
+        for pid in self.network.trace.quit_or_crashed():
+            self._on_real_crash(pid)
+
+    def stop(self) -> None:
+        self._started = False
+
+    def watch(self, target: ProcessId, reason: str = "") -> None:
+        self._watched.add(target)
+        # If the target is already down, the pending suspicion timer set by
+        # _on_real_crash will cover it; nothing extra needed.
+
+    def unwatch(self, target: ProcessId) -> None:
+        self._watched.discard(target)
+
+    def _on_real_crash(self, victim: ProcessId) -> None:
+        owner = self.owner
+        if owner is None or victim == owner.pid:
+            return
+        self.network.scheduler.after(self.delay, lambda: self._maybe_suspect(victim))
+
+    def _maybe_suspect(self, victim: ProcessId) -> None:
+        owner = self.owner
+        if owner is None or not self._started:
+            return
+        own_process = self.network.processes().get(owner.pid)
+        if own_process is None or own_process.crashed:
+            return
+        relevant = victim in owner.current_members() or victim in self._watched
+        if relevant:
+            self._suspect(victim)

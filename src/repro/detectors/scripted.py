@@ -1,0 +1,58 @@
+"""Scripted detector: suspicions fire exactly when the test says.
+
+Adversarial schedules — Figure 4's crossing reconfigurations, Figure 11's
+two invisible partial commits, Table 1's spurious detections of live
+processes — need precise control over *who suspects whom, when*, including
+suspicions of processes that are perfectly healthy.  The scripted detector
+provides that and nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.detectors.base import FailureDetector
+from repro.ids import ProcessId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.scheduler import Scheduler
+
+__all__ = ["ScriptedDetector"]
+
+
+class ScriptedDetector(FailureDetector):
+    """Deliver only explicitly scheduled suspicions."""
+
+    def __init__(self, scheduler: "Scheduler") -> None:
+        super().__init__()
+        self.scheduler = scheduler
+        self._pending: list[tuple[float, ProcessId]] = []
+        self._started = False
+
+    def start(self) -> None:
+        self._started = True
+        pending, self._pending = self._pending, []
+        for at, target in pending:
+            self.suspect_at(at, target)
+
+    def stop(self) -> None:
+        self._started = False
+
+    def suspect_at(self, time: float, target: ProcessId) -> None:
+        """Schedule ``faulty_owner(target)`` at absolute time ``time``.
+
+        May be called before :meth:`start`; such requests are queued.
+        """
+        if not self._started:
+            self._pending.append((time, target))
+            return
+        when = max(time, self.scheduler.now)
+        self.scheduler.at(when, lambda: self._fire(target))
+
+    def suspect_now(self, target: ProcessId) -> None:
+        """Deliver the suspicion immediately (synchronously)."""
+        self._fire(target)
+
+    def _fire(self, target: ProcessId) -> None:
+        if self._started:
+            self._suspect(target)

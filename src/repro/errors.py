@@ -1,0 +1,90 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without masking programming errors.
+Protocol-level anomalies (which indicate a *bug* in a protocol
+implementation, since the algorithms are proven safe) derive from
+:class:`ProtocolInvariantError` and are never silently swallowed — the
+property checkers in :mod:`repro.properties` rely on them surfacing.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "SchedulerExhaustedError",
+    "ChannelClosedError",
+    "ProcessCrashedError",
+    "ProtocolInvariantError",
+    "ViewDivergenceError",
+    "NotInViewError",
+    "MajorityLostError",
+    "TraceError",
+    "PropertyViolation",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """A problem in the discrete-event simulation substrate."""
+
+
+class SchedulerExhaustedError(SimulationError):
+    """The scheduler ran out of events before a requested condition held."""
+
+
+class ChannelClosedError(SimulationError):
+    """A send was attempted on a closed or disconnected channel."""
+
+
+class ProcessCrashedError(SimulationError):
+    """An operation was attempted on a process that has already crashed."""
+
+
+class ProtocolInvariantError(ReproError):
+    """An internal protocol invariant was violated (implementation bug)."""
+
+
+class ViewDivergenceError(ProtocolInvariantError):
+    """Two processes committed different local views for the same version.
+
+    This is exactly a GMP-3 violation; the correct protocol never raises it,
+    while the strawman baselines of Section 7.3 do under the adversarial
+    schedules of Claims 7.1 and 7.2.
+    """
+
+
+class NotInViewError(ProtocolInvariantError):
+    """A protocol step referenced a process that is not in the local view."""
+
+
+class MajorityLostError(ReproError):
+    """An initiator could not assemble the majority its phase requires.
+
+    Per Section 4.3 this is not a safety problem — the initiator simply
+    cannot proceed (the paper's ``quit_r``) — but surfacing it lets the
+    harness distinguish *blocked* from *wedged*.
+    """
+
+
+class TraceError(ReproError):
+    """A malformed or incomplete run trace was given to an analysis."""
+
+
+class PropertyViolation(ReproError):
+    """A GMP property checker found a violation in a run trace.
+
+    Attributes:
+        property_name: which of GMP-0..GMP-5 (or an auxiliary invariant)
+            was violated.
+        details: human-readable description with the offending events.
+    """
+
+    def __init__(self, property_name: str, details: str) -> None:
+        super().__init__(f"{property_name} violated: {details}")
+        self.property_name = property_name
+        self.details = details

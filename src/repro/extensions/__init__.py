@@ -1,0 +1,36 @@
+"""Extensions from the paper's conclusion (Section 8).
+
+The paper closes by sketching variations of its specification that other
+applications would want.  This package implements the first of them:
+
+* :mod:`repro.extensions.hierarchy` — "by not requiring processes to be
+  members of their own local views, we can create a hierarchical management
+  service.  The group might be a set of clients with exclusion from it
+  modelling the end of that client's need for the service."  A replicated
+  client directory managed *by* the member group, whose clients are
+  monitored and expelled without ever running the membership protocol
+  themselves.
+
+* :mod:`repro.extensions.vsync` — view-synchronous multicast, the ISIS
+  layer the membership service exists to support: application multicasts
+  attributed to agreed views, with a flush on view agreement that closes
+  each view's delivery set identically at every survivor.
+
+Extensions attach to members through :class:`repro.core.member.AppLayer` —
+the same hook an ISIS-style toolkit would use to build services on the
+membership abstraction.
+"""
+
+from repro.extensions.compose import CompositeLayer
+from repro.extensions.hierarchy import ClientDirectory, ClientView
+from repro.extensions.partitions import PrimaryPartitionTracker
+from repro.extensions.vsync import Delivery, VsyncLayer
+
+__all__ = [
+    "ClientDirectory",
+    "ClientView",
+    "VsyncLayer",
+    "Delivery",
+    "CompositeLayer",
+    "PrimaryPartitionTracker",
+]

@@ -1,0 +1,43 @@
+"""Composite application layer: stack several services on one member.
+
+A member has one ``app`` slot; :class:`CompositeLayer` fans every hook out
+to multiple layers so a deployment can run, say, view-synchronous multicast
+*and* a client directory on the same group.
+
+Messages are offered to each child in order; children are expected to
+ignore payload types they do not own (both bundled extensions do).
+"""
+
+from __future__ import annotations
+
+from repro.ids import ProcessId
+from repro.core.member import AppLayer, GMPMember
+
+__all__ = ["CompositeLayer"]
+
+
+class CompositeLayer(AppLayer):
+    """Fan-out AppLayer."""
+
+    def __init__(self, member: GMPMember, *layers: AppLayer) -> None:
+        self.member = member
+        self.layers: list[AppLayer] = list(layers)
+        member.app = self
+
+    def add(self, layer: AppLayer) -> None:
+        """Append another child layer."""
+        self.layers.append(layer)
+
+    def on_message(self, sender: ProcessId, payload: object) -> None:
+        for layer in self.layers:
+            layer.on_message(sender, payload)
+
+    def on_view_installed(
+        self, version: int, view: tuple[ProcessId, ...], mgr: ProcessId
+    ) -> None:
+        for layer in self.layers:
+            layer.on_view_installed(version, view, mgr)
+
+    def before_view_agreement(self, version: int) -> None:
+        for layer in self.layers:
+            layer.before_view_agreement(version)

@@ -1,0 +1,285 @@
+"""Hierarchical management: a client group managed by the member group (§8).
+
+"The group might be a set of clients with exclusion from it modelling the
+end of that client's need for the service."  Clients never run the
+membership protocol; the server group maintains a replicated *client view*
+on their behalf:
+
+* the **coordinator of the current membership view** is the single writer:
+  it serialises client admissions/expulsions and broadcasts
+  :class:`ClientUpdate` records, numbered by a client-view version;
+* members apply updates in order; a gap triggers a :class:`ClientSyncRequest`
+  to the coordinator (full-state resynchronisation);
+* on a **membership change that installs a new coordinator**, the new
+  coordinator reconciles: it asks the surviving members for their client
+  states, adopts the newest (single-writer-per-view makes max-version safe,
+  exactly the primary-backup-over-membership pattern the paper's protocol
+  exists to support), and rebroadcasts it.
+
+This is deliberately a *layer*: it uses only the
+:class:`~repro.core.member.AppLayer` hook, the agreed membership views, and
+ordinary sends — demonstrating how ISIS-style tools consume the membership
+abstraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ids import ProcessId
+from repro.model.events import EventKind
+from repro.core.member import AppLayer, GMPMember
+
+__all__ = [
+    "ClientOp",
+    "ClientUpdate",
+    "ClientSyncRequest",
+    "ClientState",
+    "ClientView",
+    "ClientDirectory",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ClientOp:
+    """One client-view change."""
+
+    kind: str  # 'admit' | 'expel'
+    client: ProcessId
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("admit", "expel"):
+            raise ValueError(f"unknown client op {self.kind!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class ClientUpdate:
+    """Coordinator -> members: apply ``op`` producing client version ``version``."""
+
+    op: ClientOp
+    version: int
+
+
+@dataclass(frozen=True, slots=True)
+class ClientSyncRequest:
+    """Ask the target for its full client state (reconciliation/catch-up)."""
+
+
+@dataclass(frozen=True, slots=True)
+class ClientState:
+    """Full client-view snapshot."""
+
+    clients: tuple[ProcessId, ...]
+    version: int
+
+
+@dataclass(frozen=True, slots=True)
+class ClientView:
+    """What applications read: the current client set and its version."""
+
+    clients: tuple[ProcessId, ...]
+    version: int
+
+    def __contains__(self, client: ProcessId) -> bool:
+        return client in self.clients
+
+
+@dataclass
+class _Registry:
+    clients: list[ProcessId] = field(default_factory=list)
+    version: int = 0
+
+    def snapshot(self) -> ClientView:
+        return ClientView(tuple(self.clients), self.version)
+
+    def apply(self, op: ClientOp) -> bool:
+        if op.kind == "admit":
+            if op.client in self.clients:
+                return False
+            self.clients.append(op.client)
+        else:
+            if op.client not in self.clients:
+                return False
+            self.clients.remove(op.client)
+        self.version += 1
+        return True
+
+
+class ClientDirectory(AppLayer):
+    """The replicated client registry, one instance per member."""
+
+    def __init__(self, member: GMPMember, sync_timeout: float = 15.0) -> None:
+        self.member = member
+        self.sync_timeout = sync_timeout
+        self.registry = _Registry()
+        #: highest membership view version in which we acted as coordinator
+        #: and have completed reconciliation.
+        self._reconciled_as_mgr: Optional[int] = None
+        #: pending reconciliation: responses awaited from these members.
+        self._sync_pending: set[ProcessId] = set()
+        self._sync_best: Optional[ClientState] = None
+        member.app = self
+
+    # --------------------------------------------------------------- reads
+
+    @property
+    def view(self) -> ClientView:
+        return self.registry.snapshot()
+
+    def _is_coordinator(self) -> bool:
+        state = self.member.state
+        return state is not None and state.mgr == self.member.pid
+
+    # ----------------------------------------------------- coordinator API
+
+    def admit(self, client: ProcessId) -> bool:
+        """Admit a client (coordinator only).  Returns False if redundant."""
+        return self._coordinate(ClientOp("admit", client))
+
+    def expel(self, client: ProcessId) -> bool:
+        """Expel a client — "the end of that client's need for the service"."""
+        return self._coordinate(ClientOp("expel", client))
+
+    def report_client_failure(self, client: ProcessId) -> None:
+        """Any member may report a monitored client as failed; the report
+        is routed to the coordinator, which expels the client."""
+        if self._is_coordinator():
+            self.expel(client)
+            return
+        state = self.member.state
+        if state is not None and not self.member.believes_faulty(state.mgr):
+            self.member.send(state.mgr, _ClientFailureReport(client))
+
+    def _coordinate(self, op: ClientOp) -> bool:
+        if not self._is_coordinator():
+            raise RuntimeError(
+                f"{self.member.pid} is not the coordinator; route client "
+                "operations to the coordinator"
+            )
+        if not self.registry.apply(op):
+            return False
+        self._record(f"client-{op.kind}: {op.client} -> v{self.registry.version}")
+        update = ClientUpdate(op=op, version=self.registry.version)
+        state = self.member.state
+        assert state is not None
+        self.member.broadcast(state.view, update, category="clients")
+        return True
+
+    # ------------------------------------------------------------ messages
+
+    def on_message(self, sender: ProcessId, payload: object) -> None:
+        if isinstance(payload, ClientUpdate):
+            self._on_update(sender, payload)
+        elif isinstance(payload, ClientSyncRequest):
+            self.member.send(
+                sender,
+                ClientState(
+                    clients=tuple(self.registry.clients),
+                    version=self.registry.version,
+                ),
+                category="clients",
+            )
+        elif isinstance(payload, ClientState):
+            self._on_state(sender, payload)
+        elif isinstance(payload, _ClientFailureReport):
+            if self._is_coordinator() and payload.client in self.registry.clients:
+                self.expel(payload.client)
+
+    def _on_update(self, sender: ProcessId, update: ClientUpdate) -> None:
+        state = self.member.state
+        if state is None or sender != state.mgr:
+            return  # only the current coordinator writes
+        if update.version <= self.registry.version:
+            return  # duplicate
+        if update.version == self.registry.version + 1:
+            self.registry.apply(update.op)
+            return
+        # Gap: fall back to full resynchronisation.
+        self.member.send(sender, ClientSyncRequest(), category="clients")
+
+    def _on_state(self, sender: ProcessId, snapshot: ClientState) -> None:
+        if self._sync_pending:
+            # Reconciliation responses (we are the new coordinator).
+            self._sync_pending.discard(sender)
+            best = self._sync_best
+            if best is None or snapshot.version > best.version:
+                self._sync_best = snapshot
+            if not self._sync_pending:
+                self._finish_reconciliation()
+            return
+        # Catch-up response from the coordinator.
+        state = self.member.state
+        if state is not None and sender == state.mgr:
+            if snapshot.version > self.registry.version:
+                self.registry.clients = list(snapshot.clients)
+                self.registry.version = snapshot.version
+
+    # --------------------------------------------------------- view changes
+
+    def on_view_installed(
+        self, version: int, view: tuple[ProcessId, ...], mgr: ProcessId
+    ) -> None:
+        if mgr != self.member.pid:
+            return
+        if self._reconciled_as_mgr is not None:
+            return  # already the established writer
+        # We just became the coordinator: reconcile the client registry
+        # before accepting new client operations.
+        self._reconciled_as_mgr = version
+        others = [
+            m
+            for m in view
+            if m != self.member.pid and not self.member.believes_faulty(m)
+        ]
+        if not others:
+            self._finish_reconciliation()
+            return
+        self._sync_pending = set(others)
+        self._sync_best = ClientState(
+            clients=tuple(self.registry.clients), version=self.registry.version
+        )
+        for target in others:
+            self.member.send(target, ClientSyncRequest(), category="clients")
+        # A respondent may crash mid-sync; do not wait forever for it.
+        self.member.set_timer(self.sync_timeout, self._sync_deadline)
+
+    def _sync_deadline(self) -> None:
+        if self._sync_pending:
+            self._sync_pending = set()
+            self._finish_reconciliation()
+
+    def _finish_reconciliation(self) -> None:
+        best = self._sync_best
+        self._sync_best = None
+        self._sync_pending = set()
+        if best is not None and best.version > self.registry.version:
+            self.registry.clients = list(best.clients)
+            self.registry.version = best.version
+        self._record(
+            f"client registry reconciled at v{self.registry.version} "
+            f"({len(self.registry.clients)} clients)"
+        )
+        # Rebroadcast the authoritative state so stragglers converge.
+        state = self.member.state
+        if state is not None and not self.member.crashed:
+            snapshot = ClientState(
+                clients=tuple(self.registry.clients), version=self.registry.version
+            )
+            self.member.broadcast(state.view, snapshot, category="clients")
+
+    def _record(self, detail: str) -> None:
+        if not self.member.crashed:
+            self.member.network.trace.record(
+                self.member.pid,
+                EventKind.INTERNAL,
+                time=self.member.network.scheduler.now,
+                detail=detail,
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class _ClientFailureReport:
+    """Member -> coordinator: a monitored client appears to have failed."""
+
+    client: ProcessId

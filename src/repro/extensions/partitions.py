@@ -1,0 +1,88 @@
+"""Primary-partition tracking (§8's partition-aware variation).
+
+"We need not require the sets S_x to be unique; some applications (for
+example the Deceit File System [19] and El Abbadi and Toueg's database
+consistency algorithm [1]) may wish to allow partitions to exist and have
+them dealt with at a different level."
+
+The core protocol already *prevents* split brain: a side of a partition
+without a majority installs nothing.  What a replicated application needs
+on top is a local predicate — *am I in the primary partition right now?* —
+so it can keep serving on the majority side and refuse (or serve stale
+reads) on the minority side.  :class:`PrimaryPartitionTracker` provides it:
+
+* a view is **primary** iff it contains a majority of the previous primary
+  view (the El Abbadi/Toueg chain condition);
+* a member that believes a majority of its current view faulty — i.e. one
+  that *would* be on the losing side of a split — reports itself
+  non-primary immediately, without waiting for any view change (during a
+  symmetric split nobody can install views, yet the minority must stop
+  serving writes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ids import ProcessId, majority_size
+from repro.core.member import AppLayer, GMPMember
+
+__all__ = ["PrimaryPartitionTracker"]
+
+
+class PrimaryPartitionTracker(AppLayer):
+    """Tracks whether this member currently sits in the primary partition."""
+
+    def __init__(self, member: GMPMember) -> None:
+        self.member = member
+        state = member.state
+        self._last_primary_view: Optional[tuple[ProcessId, ...]] = (
+            state.snapshot_view() if state is not None else None
+        )
+        self._primary_chain_intact = state is not None
+        member.app = self
+
+    # -------------------------------------------------------------- queries
+
+    def is_primary(self) -> bool:
+        """May this member serve operations requiring the primary partition?
+
+        False while excluded, while the primary chain is broken, or while a
+        majority of the current view is locally believed faulty (we are on
+        the minority side of a split, whether or not a view change ever
+        completes).
+        """
+        member = self.member
+        if not member.is_member or member.state is None:
+            return False
+        if not self._primary_chain_intact:
+            return False
+        state = member.state
+        live = [m for m in state.view if m not in state.ever_faulty]
+        return len(live) >= majority_size(len(state.view))
+
+    @property
+    def last_primary_view(self) -> Optional[tuple[ProcessId, ...]]:
+        return self._last_primary_view
+
+    # ---------------------------------------------------------------- hooks
+
+    def on_view_installed(
+        self, version: int, view: tuple[ProcessId, ...], mgr: ProcessId
+    ) -> None:
+        previous = self._last_primary_view
+        if previous is None:
+            # A joiner's first view: it inherits primariness from the group
+            # that admitted it (a non-primary group cannot commit the add).
+            self._last_primary_view = view
+            self._primary_chain_intact = True
+            return
+        overlap = sum(1 for m in view if m in previous)
+        if overlap >= majority_size(len(previous)):
+            self._last_primary_view = view
+            self._primary_chain_intact = True
+        else:
+            # The chain condition failed: this view does not descend from
+            # the primary lineage.  (Unreachable under the majority rule,
+            # but the tracker is defensive by design.)
+            self._primary_chain_intact = False

@@ -1,0 +1,194 @@
+"""View-synchronous multicast on top of the membership protocol.
+
+This is the layer the paper's membership service exists to support (its
+authors' ISIS system [3, 4]): application multicasts delivered relative to
+the agreed sequence of views, so that all surviving members of a view agree
+on *exactly which* messages belong to it.
+
+Guarantees provided (and tested in ``tests/test_extensions_vsync.py``):
+
+* **per-sender FIFO** within a view (inherited from the FIFO channels);
+* **view attribution** — every delivery is labelled with the view version
+  the sender multicast it in;
+* **same-set delivery** — for every view version v, all members that
+  survive v deliver the same set of view-v messages, even when senders
+  crash partway through their multicast broadcasts.
+
+The mechanism is the classic flush: before a member *agrees* to a view
+change (the :meth:`~repro.core.member.AppLayer.before_view_agreement`
+hook — invoked before every OK it sends for the new view, and before a
+coordinator commits it), it re-broadcasts every view-v message it has
+delivered from senders it believes faulty.  Over reliable FIFO channels a
+*live* sender's multicast reaches everyone without help; only a crashed
+sender's multicast can have reached a mere subset, and any survivor holding
+such a message forwards it to the full view before agreeing — so either no
+survivor has it (dropped everywhere) or all survivors get it.
+
+Messages arriving after their view has locally closed are still delivered,
+attributed to their original view (the set *converges*; the flush makes it
+equal at every survivor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.ids import ProcessId
+from repro.model.events import EventKind
+from repro.core.member import AppLayer, GMPMember
+
+__all__ = ["VsMessage", "VsForward", "Delivery", "VsyncLayer"]
+
+
+@dataclass(frozen=True, slots=True)
+class VsMessage:
+    """An application multicast: (origin, seq) unique within ``view_version``."""
+
+    origin: ProcessId
+    seq: int
+    view_version: int
+    payload: Any
+
+
+@dataclass(frozen=True, slots=True)
+class VsForward:
+    """A flush forward: ``message`` re-sent on behalf of its (dead) origin."""
+
+    message: VsMessage
+
+
+@dataclass(frozen=True, slots=True)
+class Delivery:
+    """One delivered multicast, as handed to the application."""
+
+    view_version: int
+    origin: ProcessId
+    seq: int
+    payload: Any
+
+
+class VsyncLayer(AppLayer):
+    """View-synchronous multicast for one group member."""
+
+    def __init__(
+        self,
+        member: GMPMember,
+        deliver: Optional[Callable[[Delivery], None]] = None,
+    ) -> None:
+        self.member = member
+        self._deliver_cb = deliver
+        self._next_seq = 0
+        #: all deliveries, in local delivery order.
+        self.deliveries: list[Delivery] = []
+        #: per view version: set of (origin, seq) delivered.
+        self._seen: dict[int, set[tuple[ProcessId, int]]] = {}
+        #: per view version: messages delivered (for flush forwarding).
+        self._log: dict[int, list[VsMessage]] = {}
+        #: view versions whose agreement we have already flushed for.
+        self._flushed_for: set[int] = set()
+        #: (origin, seq) pairs already forwarded (avoid re-flooding).
+        self._forwarded: set[tuple[ProcessId, int]] = set()
+        member.app = self
+
+    # ------------------------------------------------------------ sending
+
+    def multicast(self, payload: Any) -> VsMessage:
+        """Multicast ``payload`` to the current view (including ourselves)."""
+        member = self.member
+        if not member.is_member or member.state is None:
+            raise RuntimeError(f"{member.pid} is not a group member")
+        self._next_seq += 1
+        message = VsMessage(
+            origin=member.pid,
+            seq=self._next_seq,
+            view_version=member.state.version,
+            payload=payload,
+        )
+        self._deliver(message)
+        member.broadcast(
+            member._ordered(member.state.view), message, category="vsync"
+        )
+        return message
+
+    # ----------------------------------------------------------- delivery
+
+    def on_message(self, sender: ProcessId, payload: object) -> None:
+        if isinstance(payload, VsMessage):
+            self._deliver(payload)
+        elif isinstance(payload, VsForward):
+            self._deliver(payload.message)
+
+    def _deliver(self, message: VsMessage) -> None:
+        key = (message.origin, message.seq)
+        seen = self._seen.setdefault(message.view_version, set())
+        if key in seen:
+            return
+        seen.add(key)
+        self._log.setdefault(message.view_version, []).append(message)
+        delivery = Delivery(
+            view_version=message.view_version,
+            origin=message.origin,
+            seq=message.seq,
+            payload=message.payload,
+        )
+        self.deliveries.append(delivery)
+        if self._deliver_cb is not None:
+            self._deliver_cb(delivery)
+
+    def delivered_in(self, view_version: int) -> list[Delivery]:
+        """Deliveries attributed to one view, in local delivery order."""
+        return [d for d in self.deliveries if d.view_version == view_version]
+
+    def delivered_set(self, view_version: int) -> set[tuple[ProcessId, int]]:
+        """The (origin, seq) set of one view — the object of the same-set
+        guarantee."""
+        return set(self._seen.get(view_version, set()))
+
+    # -------------------------------------------------------------- flush
+
+    def before_view_agreement(self, version: int) -> None:
+        """Forward dead senders' messages before agreeing to the new view.
+
+        Live senders need no help (reliable channels deliver their
+        broadcasts everywhere); only messages whose origin we believe
+        faulty may have reached a mere subset of the view.  All views'
+        logs are scanned — a sender may be suspected several views after
+        the views its partial multicasts belong to — with already-forwarded
+        messages skipped.
+        """
+        member = self.member
+        state = member.state
+        if state is None or member.crashed or version in self._flushed_for:
+            return
+        self._flushed_for.add(version)
+        forwards = [
+            message
+            for log in self._log.values()
+            for message in log
+            if message.origin != member.pid
+            and member.believes_faulty(message.origin)
+            and (message.origin, message.seq) not in self._forwarded
+        ]
+        if not forwards:
+            return
+        for message in forwards:
+            self._forwarded.add((message.origin, message.seq))
+        member.network.trace.record(
+            member.pid,
+            EventKind.INTERNAL,
+            time=member.network.scheduler.now,
+            detail=f"vsync flush for v{version}: forwarding {len(forwards)} message(s)",
+        )
+        for message in forwards:
+            member.broadcast(state.view, VsForward(message), category="vsync")
+
+    # ---------------------------------------------------------- view hook
+
+    def on_view_installed(
+        self, version: int, view: tuple[ProcessId, ...], mgr: ProcessId
+    ) -> None:
+        # Nothing to reset: sequence numbers are per-origin for the whole
+        # run, and late arrivals are attributed to their original view.
+        self._seen.setdefault(version, set())
+        self._log.setdefault(version, [])

@@ -1,0 +1,129 @@
+"""Process identity and rank arithmetic.
+
+The paper models process recovery by treating a recovered process as a *new
+and different process instance* (Section 2.1).  We therefore identify a
+process by a ``(name, incarnation)`` pair: the name is stable across restarts
+of the same host/role while the incarnation distinguishes instances.  A
+crashed ``("a", 0)`` that later rejoins does so as ``("a", 1)``, which keeps
+property GMP-4 (no re-instatement) meaningful without forbidding re-admission
+of the underlying host.
+
+Rank (Section 4.2) is *seniority* within the current local view: the view is
+an ordered sequence with the coordinator (``Mgr``) first, and
+``rank(p) = len(view) - index(p)`` so that ``rank(Mgr) == len(view)`` and the
+most junior member has rank 1.  Whenever a member is removed every
+lower-ranked member's rank rises by one automatically, exactly as the paper
+prescribes, because rank is derived from position rather than stored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = [
+    "ProcessId",
+    "pid",
+    "rank_of",
+    "manager_of",
+    "higher_ranked",
+    "lower_ranked",
+    "majority_size",
+    "ordered_view",
+]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class ProcessId:
+    """Identity of one process instance.
+
+    Ordering is lexicographic on ``(name, incarnation)``; it is used only for
+    deterministic tie-breaking in tests and workload generators, never for
+    protocol rank (which is positional seniority).
+    """
+
+    name: str
+    incarnation: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        if self.incarnation == 0:
+            return self.name
+        return f"{self.name}#{self.incarnation}"
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"ProcessId({self.name!r}, {self.incarnation})"
+
+    def next_incarnation(self) -> "ProcessId":
+        """The identity this process would rejoin under after a crash."""
+        return ProcessId(self.name, self.incarnation + 1)
+
+
+def pid(name: str, incarnation: int = 0) -> ProcessId:
+    """Shorthand constructor used pervasively in tests and examples."""
+    return ProcessId(name, incarnation)
+
+
+def rank_of(member: ProcessId, view: Sequence[ProcessId]) -> int:
+    """Seniority rank of ``member`` within ``view``.
+
+    ``rank(Mgr) == len(view)`` and the most junior member has rank 1.
+
+    Raises:
+        ValueError: if ``member`` is not in ``view`` (the paper leaves the
+            rank of an excluded process undefined; we fail loudly instead).
+    """
+    try:
+        index = view.index(member)  # type: ignore[arg-type]
+    except (ValueError, AttributeError):
+        index = _index_of(member, view)
+    return len(view) - index
+
+
+def _index_of(member: ProcessId, view: Sequence[ProcessId]) -> int:
+    for i, candidate in enumerate(view):
+        if candidate == member:
+            return i
+    raise ValueError(f"{member} is not a member of view {list(view)}")
+
+
+def manager_of(view: Sequence[ProcessId]) -> ProcessId:
+    """The coordinator of ``view``: its highest-ranked (most senior) member."""
+    if not view:
+        raise ValueError("an empty view has no manager")
+    return view[0]
+
+
+def higher_ranked(member: ProcessId, view: Sequence[ProcessId]) -> tuple[ProcessId, ...]:
+    """All members strictly senior to ``member``, most senior first."""
+    index = _index_of(member, view)
+    return tuple(view[:index])
+
+
+def lower_ranked(member: ProcessId, view: Sequence[ProcessId]) -> tuple[ProcessId, ...]:
+    """All members strictly junior to ``member``, most senior first."""
+    index = _index_of(member, view)
+    return tuple(view[index + 1 :])
+
+
+def majority_size(view_size: int) -> int:
+    """Cardinality of a majority subset: ``mu(S) = floor(|S|/2) + 1``.
+
+    This is the paper's :math:`\\mu` (Section 4.3); Facts 7.1-7.3 and
+    Proposition 7.1 about intersecting majorities of neighbouring views are
+    exercised against this definition in the property tests.
+    """
+    if view_size <= 0:
+        raise ValueError("majority of an empty set is undefined")
+    return view_size // 2 + 1
+
+
+def ordered_view(members: Iterable[ProcessId]) -> tuple[ProcessId, ...]:
+    """Normalise an iterable of members into an immutable view tuple.
+
+    The *order is preserved* — seniority is positional — so callers must pass
+    members most-senior-first.  Duplicates are rejected.
+    """
+    view = tuple(members)
+    if len(set(view)) != len(view):
+        raise ValueError(f"view contains duplicate members: {view}")
+    return view

@@ -1,0 +1,47 @@
+"""Formal model of Section 2 of the paper.
+
+This package implements the paper's system model as *executable
+definitions*: event records and process histories (Section 2.1), consistent
+cuts and the prefix orderings on them, Lamport causality, the local and
+system view functions ``Memb(p, c)`` and ``Sys(c, S)`` (Section 2.2), and the
+epistemic operators of the Appendix.
+
+The protocol implementations in :mod:`repro.core` never import these
+definitions for their own operation — they are *checked against* them by
+:mod:`repro.properties` and the test suite, which is exactly the relationship
+between an algorithm and its specification.
+"""
+
+from repro.model.events import Event, EventKind, MessageRecord
+from repro.model.history import ProcessHistory, history_of, is_prefix, is_strict_prefix
+from repro.model.cuts import Cut, consistent_cuts_leq, cut_leq, cut_ll, is_consistent
+from repro.model.causality import CausalOrder, VectorClock
+from repro.model.views import (
+    SystemView,
+    local_view,
+    system_view,
+    view_sequences,
+    extract_system_views,
+)
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "MessageRecord",
+    "ProcessHistory",
+    "history_of",
+    "is_prefix",
+    "is_strict_prefix",
+    "Cut",
+    "is_consistent",
+    "cut_leq",
+    "cut_ll",
+    "consistent_cuts_leq",
+    "CausalOrder",
+    "VectorClock",
+    "SystemView",
+    "local_view",
+    "system_view",
+    "view_sequences",
+    "extract_system_views",
+]

@@ -1,0 +1,149 @@
+"""Happens-before over a run, via vector clocks (Lamport [12]).
+
+The protocol itself never consults causality — asynchronous processes cannot
+— but the specification is phrased over consistent cuts, so the property
+checkers and the epistemic analysis need an oracle for ``e -> e'``.  We
+reconstruct it offline from a complete run trace: each process's events are
+totally ordered by their history index, and SEND/RECV pairs (matched by
+``msg_id``) contribute the cross-process edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import TraceError
+from repro.ids import ProcessId
+from repro.model.events import Event, EventKind
+from repro.model.history import ProcessHistory, history_of
+
+__all__ = ["VectorClock", "CausalOrder"]
+
+
+@dataclass(frozen=True, slots=True)
+class VectorClock:
+    """An immutable vector timestamp.
+
+    Components are keyed by :class:`ProcessId`; absent keys are zero.
+    """
+
+    components: tuple[tuple[ProcessId, int], ...]
+
+    @staticmethod
+    def of(mapping: Mapping[ProcessId, int]) -> "VectorClock":
+        items = tuple(sorted(mapping.items(), key=lambda kv: (kv[0].name, kv[0].incarnation)))
+        return VectorClock(items)
+
+    def as_dict(self) -> dict[ProcessId, int]:
+        return dict(self.components)
+
+    def get(self, proc: ProcessId) -> int:
+        for p, v in self.components:
+            if p == proc:
+                return v
+        return 0
+
+    def leq(self, other: "VectorClock") -> bool:
+        """Component-wise <=, the vector-clock causal order."""
+        mine = self.as_dict()
+        theirs = other.as_dict()
+        return all(v <= theirs.get(p, 0) for p, v in mine.items())
+
+    def lt(self, other: "VectorClock") -> bool:
+        return self.leq(other) and self.components != other.components
+
+    def merge(self, other: "VectorClock") -> "VectorClock":
+        merged = self.as_dict()
+        for p, v in other.as_dict().items():
+            if v > merged.get(p, 0):
+                merged[p] = v
+        return VectorClock.of(merged)
+
+
+class CausalOrder:
+    """Offline happens-before oracle for a complete run.
+
+    Construction walks every history once, assigning each event a vector
+    timestamp: a process's own component counts its events; a RECV merges in
+    the timestamp of the matching SEND.  ``happens_before(a, b)`` is then a
+    vector comparison.
+
+    Raises:
+        TraceError: if a RECV has no matching SEND, or an event stream is
+            malformed (per-process indices not dense).
+    """
+
+    def __init__(self, events: Iterable[Event]) -> None:
+        all_events = list(events)
+        procs = {e.proc for e in all_events}
+        self._histories: dict[ProcessId, ProcessHistory] = {
+            p: history_of(all_events, p) for p in procs
+        }
+        self._stamps: dict[tuple[ProcessId, int], VectorClock] = {}
+        self._send_stamp_by_msg: dict[int, VectorClock] = {}
+        self._compute()
+
+    @property
+    def histories(self) -> Mapping[ProcessId, ProcessHistory]:
+        return self._histories
+
+    def _compute(self) -> None:
+        # RECVs may causally depend on SENDs later in our arbitrary process
+        # iteration order, so we process events in a globally valid order:
+        # repeatedly advance any process whose next event is enabled (not a
+        # RECV, or a RECV whose SEND is already stamped).
+        cursors: dict[ProcessId, int] = {p: 0 for p in self._histories}
+        local: dict[ProcessId, dict[ProcessId, int]] = {p: {} for p in self._histories}
+        remaining = sum(len(h) for h in self._histories.values())
+
+        while remaining:
+            progressed = False
+            for proc, history in self._histories.items():
+                i = cursors[proc]
+                while i < len(history):
+                    event = history[i]
+                    if event.kind is EventKind.RECV and event.message is not None:
+                        if event.message.msg_id not in self._send_stamp_by_msg:
+                            break
+                    self._stamp(event, local[proc])
+                    i += 1
+                    remaining -= 1
+                    progressed = True
+                cursors[proc] = i
+            if not progressed and remaining:
+                raise TraceError(
+                    "run trace contains a RECV with no matching SEND "
+                    "(or a causal cycle, which cannot occur in a real run)"
+                )
+
+    def _stamp(self, event: Event, clock: dict[ProcessId, int]) -> None:
+        clock[event.proc] = clock.get(event.proc, 0) + 1
+        if event.kind is EventKind.RECV and event.message is not None:
+            sender_stamp = self._send_stamp_by_msg[event.message.msg_id]
+            for p, v in sender_stamp.as_dict().items():
+                if v > clock.get(p, 0):
+                    clock[p] = v
+        stamp = VectorClock.of(clock)
+        self._stamps[(event.proc, event.index)] = stamp
+        if event.kind is EventKind.SEND and event.message is not None:
+            self._send_stamp_by_msg[event.message.msg_id] = stamp
+
+    def stamp(self, event: Event) -> VectorClock:
+        """The vector timestamp assigned to ``event``."""
+        try:
+            return self._stamps[(event.proc, event.index)]
+        except KeyError:
+            raise TraceError(f"event {event} is not part of this run") from None
+
+    def happens_before(self, a: Event, b: Event) -> bool:
+        """Lamport's ``a -> b`` (irreflexive)."""
+        if a.proc == b.proc:
+            return a.index < b.index
+        return self.stamp(a).leq(self.stamp(b))
+
+    def concurrent(self, a: Event, b: Event) -> bool:
+        """Neither ``a -> b`` nor ``b -> a``."""
+        if a.proc == b.proc and a.index == b.index:
+            return False
+        return not self.happens_before(a, b) and not self.happens_before(b, a)

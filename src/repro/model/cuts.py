@@ -1,0 +1,132 @@
+"""Consistent cuts and the orderings on them (Section 2.1).
+
+A cut assigns to every process a prefix of its history; it is *consistent*
+when it is closed under happens-before — operationally, when every RECV it
+contains has its matching SEND inside the cut as well (message edges are the
+only cross-process causal edges, and each history prefix is trivially closed
+under local order).
+
+The paper's two orderings are implemented as :func:`cut_leq` (every prefix a
+prefix, written ``c <= c'``) and :func:`cut_ll` (every prefix a *strict*
+prefix, written ``c << c'``); GMP-2's unique sequence of system views is a
+``<<``-chain of cuts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import TraceError
+from repro.ids import ProcessId
+from repro.model.events import Event, EventKind
+from repro.model.history import ProcessHistory
+
+__all__ = ["Cut", "is_consistent", "cut_leq", "cut_ll", "consistent_cuts_leq"]
+
+
+@dataclass(frozen=True, slots=True)
+class Cut:
+    """A cut: for each process, how many events of its history are included.
+
+    ``lengths[p] == k`` means the first ``k`` events of ``p``'s history are
+    in the cut.  Processes absent from ``lengths`` contribute the empty
+    prefix (not even their START event) — convenient when a run involves
+    late joiners.
+    """
+
+    lengths: Mapping[ProcessId, int]
+
+    def length(self, proc: ProcessId) -> int:
+        return self.lengths.get(proc, 0)
+
+    def includes(self, event: Event) -> bool:
+        """True if ``event`` lies inside this cut."""
+        return event.index < self.length(event.proc)
+
+    def processes(self) -> Iterator[ProcessId]:
+        return iter(self.lengths)
+
+    def restrict(self, histories: Mapping[ProcessId, ProcessHistory]) -> dict[ProcessId, list[Event]]:
+        """Materialise the per-process event prefixes selected by this cut."""
+        out: dict[ProcessId, list[Event]] = {}
+        for proc, history in histories.items():
+            k = self.length(proc)
+            if k > len(history):
+                raise TraceError(
+                    f"cut selects {k} events of {proc} but history has {len(history)}"
+                )
+            out[proc] = list(history.events[:k])
+        return out
+
+
+def is_consistent(cut: Cut, histories: Mapping[ProcessId, ProcessHistory]) -> bool:
+    """True iff ``cut`` is closed under happens-before.
+
+    Checks that for every RECV inside the cut, the matching SEND (identified
+    by ``msg_id``) is inside the cut too.  A RECV whose SEND does not appear
+    anywhere in the run makes the *run* malformed and raises
+    :class:`TraceError`.
+    """
+    send_positions: dict[int, tuple[ProcessId, int]] = {}
+    for proc, history in histories.items():
+        for event in history:
+            if event.kind is EventKind.SEND and event.message is not None:
+                send_positions[event.message.msg_id] = (proc, event.index)
+
+    for proc, history in histories.items():
+        limit = cut.length(proc)
+        for event in history.events[:limit]:
+            if event.kind is not EventKind.RECV or event.message is None:
+                continue
+            try:
+                sender, send_index = send_positions[event.message.msg_id]
+            except KeyError:
+                raise TraceError(
+                    f"RECV of message {event.message.msg_id} has no matching SEND"
+                ) from None
+            if send_index >= cut.length(sender):
+                return False
+    return True
+
+
+def cut_leq(c: Cut, c_prime: Cut) -> bool:
+    """The paper's ``c <= c'``: every prefix of c is a prefix of c'."""
+    procs = set(c.lengths) | set(c_prime.lengths)
+    return all(c.length(p) <= c_prime.length(p) for p in procs)
+
+
+def cut_ll(c: Cut, c_prime: Cut, histories: Mapping[ProcessId, ProcessHistory] | None = None) -> bool:
+    """The paper's ``c << c'``: every prefix of c is a *strict* prefix in c'.
+
+    The strict relation only constrains processes that still have events to
+    take: a process whose entire history is already inside ``c`` (it crashed
+    or quit) cannot strictly extend, and requiring it to would make ``<<``
+    vacuous in any run with failures.  When ``histories`` is given, such
+    exhausted processes are exempted; without it the raw definition is used.
+    """
+    procs = set(c.lengths) | set(c_prime.lengths)
+    for p in procs:
+        if histories is not None:
+            full = len(histories[p]) if p in histories else 0
+            if c.length(p) >= full:
+                if c.length(p) > c_prime.length(p):
+                    return False
+                continue
+        if c.length(p) >= c_prime.length(p):
+            return False
+    return True
+
+
+def consistent_cuts_leq(
+    cuts: Iterable[Cut], histories: Mapping[ProcessId, ProcessHistory]
+) -> bool:
+    """True iff every cut is consistent and the sequence is ``<=``-monotone."""
+    previous: Cut | None = None
+    for cut in cuts:
+        if not is_consistent(cut, histories):
+            return False
+        if previous is not None and not cut_leq(previous, cut):
+            return False
+        previous = cut
+    return True

@@ -1,0 +1,122 @@
+"""Event records: the atoms of process histories (Section 2.1).
+
+A process history is a sequence ``start_p, e1, e2, ...`` of events.  The
+paper's model distinguishes ``send(p, q, m)``, ``recv(p, q, m)``, the failure
+detection input ``faulty_p(q)`` (and its join analogue ``operating_p(q)``),
+the view-update internal events ``remove_p(q)`` / ``add_p(q)``, and the
+modelling convenience ``quit_p``.  We add two bookkeeping kinds that the
+checkers need: ``INSTALL`` (a local view transition with its version number
+and full membership snapshot — this is what "committing local version x"
+looks like in a trace) and ``CRASH`` (the ground-truth crash instant, which
+no process can observe but the simulator knows; it lets tests separate *real*
+failures from *perceived* ones, the paper's central distinction).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.ids import ProcessId
+
+__all__ = ["EventKind", "MessageRecord", "Event"]
+
+
+class EventKind(enum.Enum):
+    """The kinds of events that may appear in a process history."""
+
+    START = "start"
+    SEND = "send"
+    RECV = "recv"
+    #: ``faulty_p(q)`` — p begins to believe q faulty (inputs F1/F2, §2.2).
+    FAULTY = "faulty"
+    #: ``operating_p(q)`` — join analogue of FAULTY (§7.1).
+    OPERATING = "operating"
+    #: ``remove_p(q)`` — p deletes q from its local view.
+    REMOVE = "remove"
+    #: ``add_p(q)`` — p adds q to its local view (join procedure).
+    ADD = "add"
+    #: ``quit_p`` — final event; p permanently ceases communication.
+    QUIT = "quit"
+    #: Local view transition: carries version number and membership snapshot.
+    INSTALL = "install"
+    #: Ground-truth crash instant (simulator-only; not observable).
+    CRASH = "crash"
+    #: A message was discarded by the S1 isolation filter.
+    DISCARD = "discard"
+    #: Generic internal event (timer fired, buffered message deferred, ...).
+    INTERNAL = "internal"
+
+
+_message_counter = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class MessageRecord:
+    """A single message instance in flight.
+
+    ``msg_id`` is globally unique so a RECV event can be matched to its SEND
+    for causality reconstruction; ``payload`` is the protocol message object
+    (anything with a useful ``repr``), and ``category`` tags the message for
+    per-category counting in the complexity benchmarks (e.g. ``"protocol"``
+    vs ``"detector"`` traffic, which Section 7.2 does not charge to the
+    algorithm).
+    """
+
+    sender: ProcessId
+    receiver: ProcessId
+    payload: Any
+    msg_id: int = field(default_factory=lambda: next(_message_counter))
+    category: str = "protocol"
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"m{self.msg_id}[{self.sender}->{self.receiver}: {self.payload}]"
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One event of one process history.
+
+    Attributes:
+        proc: the process whose history this event belongs to.
+        kind: the :class:`EventKind`.
+        index: position of this event within ``proc``'s history (0 = START).
+        time: simulation time at which the event occurred.  The *protocol*
+            never reads this; it exists for the detector layer, the trace,
+            and human-readable reports (the paper uses time "only as an
+            (approximate) tool for detecting possible crash failures").
+        peer: the other process involved, when there is one (the q in
+            ``faulty_p(q)``, the counterparty of a SEND/RECV, ...).
+        message: the :class:`MessageRecord` for SEND/RECV/DISCARD events.
+        version: local view version for INSTALL events.
+        view: membership snapshot for INSTALL events.
+        detail: free-form annotation for reports.
+    """
+
+    proc: ProcessId
+    kind: EventKind
+    index: int
+    time: float = 0.0
+    peer: Optional[ProcessId] = None
+    message: Optional[MessageRecord] = None
+    version: Optional[int] = None
+    view: Optional[tuple[ProcessId, ...]] = None
+    detail: str = ""
+
+    def is_communication(self) -> bool:
+        """True for SEND/RECV events (the only cross-history causal edges)."""
+        return self.kind in (EventKind.SEND, EventKind.RECV)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        core = f"{self.proc}[{self.index}] {self.kind.value}"
+        if self.peer is not None:
+            core += f"({self.peer})"
+        if self.message is not None:
+            core += f" {self.message}"
+        if self.version is not None:
+            core += f" v{self.version}={self.view}"
+        if self.detail:
+            core += f" <{self.detail}>"
+        return core

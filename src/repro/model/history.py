@@ -1,0 +1,111 @@
+"""Process histories and the prefix relations on them (Section 2.1).
+
+A history for process p is ``h_p = start_p, e1, e2, ...``.  A *system run*
+is a tuple of histories, one per process.  The prefix and strict-prefix
+relations defined here are exactly the paper's, and they induce the
+orderings on consistent cuts implemented in :mod:`repro.model.cuts`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import TraceError
+from repro.ids import ProcessId
+from repro.model.events import Event, EventKind
+
+__all__ = ["ProcessHistory", "history_of", "is_prefix", "is_strict_prefix", "group_by_process"]
+
+
+@dataclass(slots=True)
+class ProcessHistory:
+    """The ordered sequence of events of a single process.
+
+    Invariants enforced on construction:
+
+    * the first event (if any) is START;
+    * event ``index`` fields are exactly ``0, 1, 2, ...``;
+    * nothing follows a QUIT or CRASH event (crashed processes causally
+      influence no one, Section 2.1).
+    """
+
+    proc: ProcessId
+    events: list[Event] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`TraceError` if this history is malformed."""
+        terminal_seen = False
+        for i, event in enumerate(self.events):
+            if event.proc != self.proc:
+                raise TraceError(
+                    f"event {event} belongs to {event.proc}, not {self.proc}"
+                )
+            if event.index != i:
+                raise TraceError(
+                    f"event {event} has index {event.index}, expected {i}"
+                )
+            if i == 0 and event.kind is not EventKind.START:
+                raise TraceError(f"history of {self.proc} does not begin with START")
+            if terminal_seen:
+                raise TraceError(
+                    f"history of {self.proc} has events after a terminal event: {event}"
+                )
+            if event.kind in (EventKind.QUIT, EventKind.CRASH):
+                terminal_seen = True
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self.events[index]
+
+    def prefix(self, length: int) -> "ProcessHistory":
+        """The prefix of this history containing the first ``length`` events."""
+        if not 0 <= length <= len(self.events):
+            raise ValueError(f"prefix length {length} out of range for {self.proc}")
+        return ProcessHistory(self.proc, self.events[:length])
+
+    def terminated(self) -> bool:
+        """True if this history ends with QUIT or CRASH."""
+        return bool(self.events) and self.events[-1].kind in (
+            EventKind.QUIT,
+            EventKind.CRASH,
+        )
+
+    def events_of_kind(self, kind: EventKind) -> list[Event]:
+        """All events of the given kind, in history order."""
+        return [e for e in self.events if e.kind is kind]
+
+
+def group_by_process(events: Iterable[Event]) -> dict[ProcessId, list[Event]]:
+    """Partition a flat event stream into per-process ordered lists."""
+    histories: dict[ProcessId, list[Event]] = {}
+    for event in events:
+        histories.setdefault(event.proc, []).append(event)
+    return histories
+
+
+def history_of(events: Iterable[Event], proc: ProcessId) -> ProcessHistory:
+    """Build the validated :class:`ProcessHistory` of ``proc``."""
+    own = [e for e in events if e.proc == proc]
+    own.sort(key=lambda e: e.index)
+    return ProcessHistory(proc, own)
+
+
+def is_prefix(shorter: Sequence[Event], longer: Sequence[Event]) -> bool:
+    """The paper's prefix relation on histories."""
+    if len(shorter) > len(longer):
+        return False
+    return all(shorter[i] == longer[i] for i in range(len(shorter)))
+
+
+def is_strict_prefix(shorter: Sequence[Event], longer: Sequence[Event]) -> bool:
+    """The paper's strict-prefix relation on histories."""
+    return len(shorter) < len(longer) and is_prefix(shorter, longer)

@@ -1,0 +1,271 @@
+"""Executable epistemic analysis of GMP runs (the paper's Appendix).
+
+Full epistemic model checking quantifies over *all* runs consistent with a
+local history; over a single recorded run we can still check the semantic
+content of the Appendix's claims, and that is what this module does:
+
+* ``exact_view_cut(trace, x)`` constructs the canonical consistent cut along
+  which ``IsSysView(x)`` holds — the union of the causal pasts of every
+  INSTALL(x) event (this is the cut ``c_x`` of Theorem 6.1).
+* ``hindsight_points(trace)`` locates, for every process p and version x,
+  the event at which Equation 4 of the Appendix is realised: upon installing
+  version x, p can conclude (by FIFO reasoning) that ``Sys^{x-1}`` *was*
+  defined — ``K_p \\bar{\\Diamond} IsSysView(x-1)``.  We verify the semantic
+  content: the witnessing cut for x-1 exists and strictly precedes p's
+  install event wherever the two cuts overlap.
+* ``is_locally_distinguishable(trace, x)`` checks the Appendix's concurrent
+  common knowledge condition for runs in which Mgr never fails: ``c_x`` is
+  locally distinguishable — its frontier at every surviving member of the
+  view *is* that member's INSTALL(x) event, so each member can identify the
+  cut from local state alone (Taylor [21]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.errors import TraceError
+from repro.ids import ProcessId
+from repro.model.causality import CausalOrder
+from repro.model.cuts import Cut, cut_leq, is_consistent
+from repro.model.events import Event, EventKind
+from repro.model.history import ProcessHistory
+from repro.model.views import SystemView, view_sequences
+
+__all__ = [
+    "KnowledgeAnalysis",
+    "HindsightPoint",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class HindsightPoint:
+    """Where process ``proc`` attains ``K_p \\bar{\\Diamond} IsSysView(version)``."""
+
+    proc: ProcessId
+    #: the *past* version whose existence becomes known.
+    version: int
+    #: the install event (of ``version + 1``) at which the knowledge arises.
+    at_event: Event
+    #: whether the witnessing cut for ``version`` exists in the run.
+    witnessed: bool
+
+
+class KnowledgeAnalysis:
+    """Epistemic analysis of one complete run trace."""
+
+    def __init__(self, events: Iterable[Event]) -> None:
+        self._events = list(events)
+        self._causality = CausalOrder(self._events)
+        self._histories: Mapping[ProcessId, ProcessHistory] = self._causality.histories
+        self._installs: dict[tuple[ProcessId, int], Event] = {}
+        for event in self._events:
+            if event.kind is EventKind.INSTALL and event.version is not None:
+                self._installs[(event.proc, event.version)] = event
+        self._sequences = view_sequences(self._events)
+
+    @property
+    def histories(self) -> Mapping[ProcessId, ProcessHistory]:
+        """The per-process validated histories of the analysed run."""
+        return self._histories
+
+    # ------------------------------------------------------------------ cuts
+
+    def installers_of(self, version: int) -> list[Event]:
+        """All INSTALL events for ``version``, across processes."""
+        return [e for (_, v), e in sorted(
+            self._installs.items(), key=lambda kv: (kv[0][0].name, kv[0][1])
+        ) if v == version]
+
+    def exact_view_cut(self, version: int) -> Optional[Cut]:
+        """The canonical consistent cut along which ``IsSysView(version)`` holds.
+
+        Returns ``None`` when nobody installed ``version``.  The cut is the
+        union of the causal pasts of every INSTALL(version) event; it is
+        consistent by construction (a union of causal pasts is causally
+        closed) and we verify that no process has gone *past* ``version``
+        along it.
+        """
+        installs = self.installers_of(version)
+        if not installs:
+            return None
+        lengths: dict[ProcessId, int] = {}
+        for install in installs:
+            stamp = self._causality.stamp(install)
+            for proc, count in stamp.as_dict().items():
+                if count > lengths.get(proc, 0):
+                    lengths[proc] = count
+        cut = Cut(lengths)
+        if not is_consistent(cut, self._histories):
+            raise TraceError(
+                f"union of causal pasts of INSTALL({version}) events is not "
+                "consistent — the trace is malformed"
+            )
+        return cut
+
+    def version_along(self, proc: ProcessId, cut: Cut) -> Optional[int]:
+        """The local version of ``proc`` at the frontier of ``cut``.
+
+        ``None`` when ``proc`` has installed nothing inside the cut (it is
+        still at its initial view, or it is not part of the run).
+        """
+        history = self._histories.get(proc)
+        if history is None:
+            return None
+        best: Optional[int] = None
+        for event in history.events[: cut.length(proc)]:
+            if event.kind is EventKind.INSTALL and event.version is not None:
+                best = event.version
+        return best
+
+    def view_holds_along_cut(self, version: int) -> bool:
+        """True iff the canonical cut for ``version`` exists and no installer
+        of ``version`` has moved beyond it along that cut."""
+        cut = self.exact_view_cut(version)
+        if cut is None:
+            return False
+        for (proc, v), _ in self._installs.items():
+            if v != version:
+                continue
+            at = self.version_along(proc, cut)
+            if at != version:
+                return False
+        return True
+
+    # ------------------------------------------------------------- hindsight
+
+    def hindsight_points(self) -> list[HindsightPoint]:
+        """Equation 4: installing x yields knowledge that Sys^{x-1} existed.
+
+        For every INSTALL(x) event with x at least one greater than the
+        installer's first version, we check that the witnessing cut for
+        ``x - 1`` exists and precedes the install event in the causal order
+        wherever both are defined.
+        """
+        points: list[HindsightPoint] = []
+        for (proc, version), install in sorted(
+            self._installs.items(), key=lambda kv: (kv[0][1], kv[0][0].name)
+        ):
+            past = version - 1
+            witness = self.exact_view_cut(past)
+            if witness is None:
+                witnessed = past < min(
+                    (v.version for seq in self._sequences.values() for v in seq),
+                    default=version,
+                )
+                points.append(HindsightPoint(proc, past, install, witnessed))
+                continue
+            install_past = Cut(self._causality.stamp(install).as_dict())
+            # The witness cut must not require events of `proc` beyond its
+            # install point: p's knowledge is grounded in its own past.
+            ok = witness.length(proc) <= install_past.length(proc)
+            points.append(HindsightPoint(proc, past, install, ok))
+        return points
+
+    def hindsight_holds(self) -> bool:
+        """True iff every hindsight point in the run is witnessed."""
+        return all(p.witnessed for p in self.hindsight_points())
+
+    # --------------------------------------------- concurrent common knowledge
+
+    def is_locally_distinguishable(self, version: int) -> bool:
+        """Taylor's sufficient condition for concurrent common knowledge.
+
+        The Appendix shows that when Mgr does not fail, each install of
+        version x sits on a locally distinguishable cut: every member
+        received version x's commit from *one committer, in one indivisible
+        broadcast*, so each member can identify the cut from local state —
+        it knows every other functional member receives the very same
+        broadcast.  When the committer dies mid-broadcast, the version is
+        completed later by a different process's re-commit, and no receiver
+        of the original commit could have known that; the cut is not
+        distinguishable and only the eventual ``(E\\Diamond)^y`` chain holds.
+
+        Concretely we require (a) exactly one process installed the version
+        *without* a triggering message (the committer), (b) every other
+        installer was triggered by a message from that committer, and
+        (c) the committer's sends of those messages are contiguous in its
+        history (one indivisible Bcast: no intervening receive).
+        """
+        installs = self.installers_of(version)
+        if not installs:
+            return False
+        committer: Optional[ProcessId] = None
+        trigger_send_indices: list[int] = []
+        for install in installs:
+            trigger = self._triggering_recv(install)
+            if trigger is None:
+                if committer is not None and committer != install.proc:
+                    return False  # two spontaneous committers
+                committer = install.proc
+                continue
+            sender = trigger.message.sender if trigger.message else None
+            if sender is None:
+                return False
+            if committer is None:
+                committer = sender
+            elif committer != sender:
+                return False  # installs triggered by different committers
+            send = self._send_of(trigger)
+            if send is None:
+                return False
+            trigger_send_indices.append(send.index)
+        if committer is None:
+            return False
+        if trigger_send_indices:
+            history = self._histories.get(committer)
+            if history is None:
+                return False
+            lo, hi = min(trigger_send_indices), max(trigger_send_indices)
+            for event in history.events[lo : hi + 1]:
+                if event.kind is EventKind.RECV:
+                    return False  # broadcast was not indivisible
+        return True
+
+    def _triggering_recv(self, install: Event) -> Optional[Event]:
+        """The RECV whose handler performed this install (None for the
+        committer, whose install is spontaneous).
+
+        Only *version-carrying* messages count as triggers — a committer's
+        install is immediately preceded by response receipts (UpdateOks),
+        which do not deliver a view.
+        """
+        assert install.version is not None
+        history = self._histories[install.proc]
+        for event in reversed(history.events[: install.index]):
+            if event.kind is not EventKind.RECV or event.message is None:
+                continue
+            payload = event.message.payload
+            carried = getattr(payload, "version", None)
+            if carried is None or not isinstance(carried, int):
+                continue
+            name = type(payload).__name__
+            if name not in ("Commit", "ReconfigCommit", "StateTransfer"):
+                continue
+            if carried >= install.version:
+                return event
+            # A version-carrying message older than this install cannot be
+            # its trigger; anything earlier is older still.
+            return None
+        return None
+
+    def _send_of(self, recv: Event) -> Optional[Event]:
+        if recv.message is None:
+            return None
+        sender_history = self._histories.get(recv.message.sender)
+        if sender_history is None:
+            return None
+        for event in sender_history:
+            if (
+                event.kind is EventKind.SEND
+                and event.message is not None
+                and event.message.msg_id == recv.message.msg_id
+            ):
+                return event
+        return None
+
+    def common_knowledge_versions(self) -> list[int]:
+        """Versions whose composition attains concurrent common knowledge."""
+        versions = sorted({v for (_, v) in self._installs})
+        return [v for v in versions if self.is_locally_distinguishable(v)]

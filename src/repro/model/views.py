@@ -1,0 +1,176 @@
+"""Local and system views: ``Memb(p, c)`` and ``Sys(c, S)`` (Section 2.2).
+
+``Memb(p, c)`` is obtained by folding the REMOVE/ADD events of ``p``'s
+history prefix (selected by cut ``c``) over the initial membership.  The
+system view ``Sys(c, S)`` is defined when all functional members of ``S``
+agree; it is ``undefined`` otherwise — we model "undefined" as ``None``.
+
+This module also extracts, from a complete trace, the *sequence* of local
+views each process installed (``Memb_p^x``) and the sequence of system views
+``Sys^x`` whose existence and uniqueness GMP-2 demands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.errors import TraceError
+from repro.ids import ProcessId
+from repro.model.cuts import Cut
+from repro.model.events import Event, EventKind
+from repro.model.history import ProcessHistory
+
+__all__ = [
+    "SystemView",
+    "local_view",
+    "is_down",
+    "up_processes",
+    "system_view",
+    "view_sequences",
+    "extract_system_views",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SystemView:
+    """One element of the unique sequence ``Views(r)`` of GMP-2."""
+
+    version: int
+    members: tuple[ProcessId, ...]
+
+    def __contains__(self, proc: ProcessId) -> bool:
+        return proc in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Sys^{self.version}{{{', '.join(map(str, self.members))}}}"
+
+
+def is_down(proc: ProcessId, cut: Cut, histories: Mapping[ProcessId, ProcessHistory]) -> bool:
+    """The proposition ``down(p)``: p's quit/crash event lies inside the cut."""
+    history = histories.get(proc)
+    if history is None:
+        return False
+    limit = cut.length(proc)
+    return any(
+        e.kind in (EventKind.QUIT, EventKind.CRASH) for e in history.events[:limit]
+    )
+
+
+def up_processes(
+    cut: Cut, histories: Mapping[ProcessId, ProcessHistory]
+) -> set[ProcessId]:
+    """``UP(c)``: all processes for which ``up(p)`` holds along the cut."""
+    return {p for p in histories if not is_down(p, cut, histories)}
+
+
+def local_view(
+    proc: ProcessId,
+    cut: Cut,
+    histories: Mapping[ProcessId, ProcessHistory],
+    initial: Sequence[ProcessId],
+) -> Optional[tuple[ProcessId, ...]]:
+    """``Memb(p, c)``: fold REMOVE/ADD events in p's prefix over ``initial``.
+
+    Returns ``None`` when ``down(p)`` holds along ``c`` (the paper leaves the
+    view undefined there).  Raises :class:`TraceError` on a REMOVE of an
+    absent member or ADD of a present one — those indicate a broken protocol
+    implementation, not a property violation.
+    """
+    if is_down(proc, cut, histories):
+        return None
+    history = histories.get(proc)
+    view = list(initial)
+    if history is None:
+        return tuple(view)
+    for event in history.events[: cut.length(proc)]:
+        if event.kind is EventKind.REMOVE:
+            if event.peer not in view:
+                raise TraceError(f"{proc} removed absent member {event.peer}")
+            view.remove(event.peer)  # type: ignore[arg-type]
+        elif event.kind is EventKind.ADD:
+            if event.peer in view:
+                raise TraceError(f"{proc} added already-present member {event.peer}")
+            view.append(event.peer)  # type: ignore[arg-type]
+    return tuple(view)
+
+
+def system_view(
+    cut: Cut,
+    determining: Iterable[ProcessId],
+    histories: Mapping[ProcessId, ProcessHistory],
+    initial: Sequence[ProcessId],
+) -> Optional[tuple[ProcessId, ...]]:
+    """``Sys(c, S)``: the common local view of S's functional members.
+
+    Undefined (``None``) when no member of S is functional along the cut, or
+    when two functional members disagree.
+    """
+    views: list[tuple[ProcessId, ...]] = []
+    for proc in determining:
+        if is_down(proc, cut, histories):
+            continue
+        view = local_view(proc, cut, histories, initial)
+        assert view is not None
+        views.append(view)
+    if not views:
+        return None
+    first = views[0]
+    if any(set(v) != set(first) for v in views[1:]):
+        return None
+    return first
+
+
+def view_sequences(
+    events: Iterable[Event],
+) -> dict[ProcessId, list[SystemView]]:
+    """Per-process sequence of installed local views, from INSTALL events.
+
+    The result maps each process to ``[Memb_p^v0, Memb_p^v0+1, ...]`` in
+    installation order.  Version numbers must be strictly increasing per
+    process (GMP-4 forbids going back); a violation raises
+    :class:`TraceError` because it means the trace itself is inconsistent
+    with being a protocol run.
+    """
+    sequences: dict[ProcessId, list[SystemView]] = {}
+    for event in events:
+        if event.kind is not EventKind.INSTALL:
+            continue
+        if event.version is None or event.view is None:
+            raise TraceError(f"INSTALL event without version/view: {event}")
+        seq = sequences.setdefault(event.proc, [])
+        if seq and event.version <= seq[-1].version:
+            raise TraceError(
+                f"{event.proc} installed version {event.version} after "
+                f"{seq[-1].version}"
+            )
+        seq.append(SystemView(event.version, event.view))
+    return sequences
+
+
+def extract_system_views(
+    events: Iterable[Event],
+) -> list[SystemView]:
+    """The run's agreed sequence of system views, merged across processes.
+
+    For each version installed by anyone, all installers must agree on the
+    membership (this is GMP-3; disagreement raises :class:`TraceError` so
+    that callers checking properties use :mod:`repro.properties`, which
+    reports violations instead of raising).  The result is sorted by
+    version.
+    """
+    by_version: dict[int, SystemView] = {}
+    for proc, seq in view_sequences(events).items():
+        for view in seq:
+            existing = by_version.get(view.version)
+            if existing is None:
+                by_version[view.version] = view
+            elif set(existing.members) != set(view.members):
+                raise TraceError(
+                    f"version {view.version} installed with different "
+                    f"memberships: {existing.members} vs {view.members}"
+                )
+    return [by_version[v] for v in sorted(by_version)]

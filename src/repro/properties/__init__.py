@@ -1,0 +1,14 @@
+"""GMP-0..GMP-5 property checkers over run traces.
+
+The protocol is *specified* by the six properties of Section 2.3; this
+package decides them over a recorded run.  Tests and benchmarks call
+:func:`check_gmp` after every scenario, so each of the hundreds of runs in
+the suite doubles as a safety check — and the strawman baselines of Section
+7.3 are shown to *fail* these same checkers under the paper's adversarial
+schedules.
+"""
+
+from repro.properties.checker import PropertyReport, Violation, check_gmp
+from repro.properties.report import format_report
+
+__all__ = ["PropertyReport", "Violation", "check_gmp", "format_report"]

@@ -1,0 +1,358 @@
+"""Deciding GMP-0..GMP-5 (Section 2.3) over a recorded run.
+
+Each property maps to a check over the trace's event structure:
+
+* **GMP-0** — the initial system view exists: every process's installs start
+  at version 1 or later (version 0 *is* the commonly-known initial view).
+* **GMP-1** — no capricious removal: in every history, ``remove_p(q)`` is
+  preceded by ``faulty_p(q)``; symmetrically ``add_p(q)`` by
+  ``operating_p(q)``.
+* **GMP-2** — a unique sequence of system views exists: all installers of a
+  version agree (uniqueness), versions are dense, each transition changes
+  exactly one process, and the canonical cuts for successive versions are
+  consistent and monotonically ordered.
+* **GMP-3** — identical local view sequences: for every version installed by
+  two processes, the views are identical (including seniority order, which
+  the ranking rule of Section 4.2 depends on).
+* **GMP-4** — no re-instatement: within one process's view sequence, a
+  removed process (same incarnation) never reappears.
+* **GMP-5** — suspicion is consequential: for every ``faulty_p(q)`` with p
+  surviving in the final view, eventually q or p leaves the system view.
+
+Plus the system property **S1** (isolation): no history contains a RECV
+from q after ``faulty_p(q)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import TraceError
+from repro.ids import ProcessId
+from repro.model.cuts import cut_leq, is_consistent
+from repro.model.events import Event, EventKind
+from repro.model.knowledge import KnowledgeAnalysis
+from repro.model.views import SystemView, view_sequences
+from repro.sim.trace import RunTrace
+
+__all__ = ["Violation", "PropertyReport", "check_gmp"]
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One property violation found in a run."""
+
+    prop: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.prop}: {self.detail}"
+
+
+@dataclass
+class PropertyReport:
+    """Outcome of checking a run against the GMP specification."""
+
+    checked: list[str] = field(default_factory=list)
+    violations: list[Violation] = field(default_factory=list)
+    system_views: list[SystemView] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def violated(self, prop: str) -> bool:
+        return any(v.prop == prop for v in self.violations)
+
+    def raise_if_violated(self) -> None:
+        from repro.errors import PropertyViolation
+
+        if self.violations:
+            worst = self.violations[0]
+            raise PropertyViolation(worst.prop, worst.detail)
+
+
+def check_gmp(
+    trace: RunTrace | Iterable[Event],
+    initial_view: Sequence[ProcessId],
+    check_liveness: bool = True,
+    check_cuts: bool = True,
+) -> PropertyReport:
+    """Check every GMP property (plus S1) over a complete run.
+
+    Args:
+        trace: the run (a :class:`RunTrace` or raw event iterable).
+        initial_view: the commonly-known initial membership, Mgr first.
+        check_liveness: include GMP-5 (only meaningful on quiesced runs).
+        check_cuts: include the consistent-cut portion of GMP-2 (costs a
+            causality reconstruction; large sweeps may skip it).
+    """
+    events = list(trace)
+    report = PropertyReport()
+    histories = _histories_by_process(events)
+
+    _check_gmp0(report, histories, initial_view)
+    _check_gmp1(report, histories)
+    sequences = _safe_view_sequences(report, events)
+    _check_gmp3(report, sequences)
+    _check_gmp2(report, events, sequences, initial_view, check_cuts)
+    _check_gmp4(report, sequences, initial_view)
+    if check_liveness:
+        _check_gmp5(report, events, sequences, initial_view)
+    _check_s1(report, histories)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# individual properties
+# ---------------------------------------------------------------------------
+
+
+def _histories_by_process(events: list[Event]) -> dict[ProcessId, list[Event]]:
+    histories: dict[ProcessId, list[Event]] = {}
+    for event in events:
+        histories.setdefault(event.proc, []).append(event)
+    return histories
+
+
+def _safe_view_sequences(
+    report: PropertyReport, events: list[Event]
+) -> dict[ProcessId, list[SystemView]]:
+    try:
+        return view_sequences(events)
+    except TraceError as exc:
+        report.violations.append(Violation("GMP-4", f"malformed view sequence: {exc}"))
+        return {}
+
+
+def _check_gmp0(
+    report: PropertyReport,
+    histories: dict[ProcessId, list[Event]],
+    initial_view: Sequence[ProcessId],
+) -> None:
+    report.checked.append("GMP-0")
+    initial = set(initial_view)
+    for proc, events in histories.items():
+        if proc not in initial:
+            continue
+        for event in events:
+            if event.kind is EventKind.INSTALL and (event.version or 0) < 1:
+                report.violations.append(
+                    Violation(
+                        "GMP-0",
+                        f"{proc} installed version {event.version}, clobbering "
+                        "the initial system view",
+                    )
+                )
+
+
+def _check_gmp1(report: PropertyReport, histories: dict[ProcessId, list[Event]]) -> None:
+    report.checked.append("GMP-1")
+    for proc, events in histories.items():
+        believed_faulty: set[ProcessId] = set()
+        believed_operating: set[ProcessId] = set()
+        for event in events:
+            if event.kind is EventKind.FAULTY and event.peer is not None:
+                believed_faulty.add(event.peer)
+            elif event.kind is EventKind.OPERATING and event.peer is not None:
+                believed_operating.add(event.peer)
+            elif event.kind is EventKind.REMOVE and event.peer is not None:
+                if event.peer not in believed_faulty:
+                    report.violations.append(
+                        Violation(
+                            "GMP-1",
+                            f"{proc} removed {event.peer} without a prior "
+                            f"faulty_{proc}({event.peer}) event",
+                        )
+                    )
+            elif event.kind is EventKind.ADD and event.peer is not None:
+                if event.peer != proc and event.peer not in believed_operating:
+                    report.violations.append(
+                        Violation(
+                            "GMP-1",
+                            f"{proc} added {event.peer} without a prior "
+                            f"operating_{proc}({event.peer}) event",
+                        )
+                    )
+
+
+def _check_gmp2(
+    report: PropertyReport,
+    events: list[Event],
+    sequences: dict[ProcessId, list[SystemView]],
+    initial_view: Sequence[ProcessId],
+    check_cuts: bool,
+) -> None:
+    report.checked.append("GMP-2")
+    by_version: dict[int, SystemView] = {}
+    for seq in sequences.values():
+        for view in seq:
+            existing = by_version.setdefault(view.version, view)
+            if tuple(existing.members) != tuple(view.members):
+                report.violations.append(
+                    Violation(
+                        "GMP-2",
+                        f"version {view.version} is not unique: "
+                        f"{existing.members} vs {view.members}",
+                    )
+                )
+    if not by_version:
+        report.system_views = [SystemView(0, tuple(initial_view))]
+        return
+    versions = sorted(by_version)
+    if versions != list(range(versions[0], versions[-1] + 1)) or versions[0] != 1:
+        report.violations.append(
+            Violation("GMP-2", f"system view versions are not dense from 1: {versions}")
+        )
+    chain = [SystemView(0, tuple(initial_view))] + [by_version[v] for v in versions]
+    report.system_views = chain
+    for prev, curr in zip(chain, chain[1:]):
+        removed = set(prev.members) - set(curr.members)
+        added = set(curr.members) - set(prev.members)
+        if not ((len(removed) == 1 and not added) or (len(added) == 1 and not removed)):
+            report.violations.append(
+                Violation(
+                    "GMP-2",
+                    f"transition {prev.version}->{curr.version} changes "
+                    f"-{removed} +{added}; views must change by exactly one "
+                    "process",
+                )
+            )
+    if not check_cuts:
+        return
+    try:
+        analysis = KnowledgeAnalysis(events)
+    except TraceError as exc:
+        report.violations.append(Violation("GMP-2", f"causality reconstruction failed: {exc}"))
+        return
+    # Monotonicity is checked over *cumulative* cuts (pointwise maxima of
+    # the minimal install cuts so far): a straggler catching up late makes
+    # the minimal cut for an old version extend past the minimal cut for a
+    # newer one at third parties, but the cumulative chain is the paper's
+    # c_0 << c_1 << ... once crash-terminated histories are exempted.
+    from repro.model.cuts import Cut
+
+    cumulative: dict[ProcessId, int] = {}
+    previous_cut: Optional[Cut] = None
+    for version in versions:
+        cut = analysis.exact_view_cut(version)
+        if cut is None:
+            continue
+        if not is_consistent(cut, analysis.histories):
+            report.violations.append(
+                Violation("GMP-2", f"install cut for version {version} is inconsistent")
+            )
+        for proc, length in cut.lengths.items():
+            if length > cumulative.get(proc, 0):
+                cumulative[proc] = length
+        cumulative_cut = Cut(dict(cumulative))
+        if not is_consistent(cumulative_cut, analysis.histories):
+            report.violations.append(
+                Violation(
+                    "GMP-2",
+                    f"cumulative install cut through version {version} is "
+                    "inconsistent",
+                )
+            )
+        if previous_cut is not None and not cut_leq(previous_cut, cumulative_cut):
+            report.violations.append(
+                Violation(
+                    "GMP-2",
+                    f"install cuts through versions {version - 1} and "
+                    f"{version} are not monotonically ordered",
+                )
+            )
+        previous_cut = cumulative_cut
+
+
+def _check_gmp3(
+    report: PropertyReport, sequences: dict[ProcessId, list[SystemView]]
+) -> None:
+    report.checked.append("GMP-3")
+    by_version: dict[int, tuple[ProcessId, SystemView]] = {}
+    for proc, seq in sequences.items():
+        for view in seq:
+            if view.version not in by_version:
+                by_version[view.version] = (proc, view)
+                continue
+            first_proc, first = by_version[view.version]
+            if tuple(first.members) != tuple(view.members):
+                report.violations.append(
+                    Violation(
+                        "GMP-3",
+                        f"Memb^{view.version} differs: {first_proc} installed "
+                        f"{first.members}, {proc} installed {view.members}",
+                    )
+                )
+
+
+def _check_gmp4(
+    report: PropertyReport,
+    sequences: dict[ProcessId, list[SystemView]],
+    initial_view: Sequence[ProcessId],
+) -> None:
+    report.checked.append("GMP-4")
+    for proc, seq in sequences.items():
+        present = set(initial_view)
+        removed: set[ProcessId] = set()
+        for view in seq:
+            members = set(view.members)
+            newly_removed = present - members
+            reinstalled = removed & members
+            if reinstalled:
+                report.violations.append(
+                    Violation(
+                        "GMP-4",
+                        f"{proc} re-instated {sorted(map(str, reinstalled))} "
+                        f"in version {view.version}",
+                    )
+                )
+            removed |= newly_removed
+            present = members
+
+
+def _check_gmp5(
+    report: PropertyReport,
+    events: list[Event],
+    sequences: dict[ProcessId, list[SystemView]],
+    initial_view: Sequence[ProcessId],
+) -> None:
+    report.checked.append("GMP-5")
+    final_members: set[ProcessId] = set(initial_view)
+    final_version = -1
+    for seq in sequences.values():
+        for view in seq:
+            if view.version > final_version:
+                final_version = view.version
+                final_members = set(view.members)
+    for event in events:
+        if event.kind is not EventKind.FAULTY or event.peer is None:
+            continue
+        suspecter, suspected = event.proc, event.peer
+        if suspecter in final_members and suspected in final_members:
+            report.violations.append(
+                Violation(
+                    "GMP-5",
+                    f"faulty_{suspecter}({suspected}) at t={event.time:.2f} "
+                    f"but both remain in the final view (version {final_version})",
+                )
+            )
+
+
+def _check_s1(report: PropertyReport, histories: dict[ProcessId, list[Event]]) -> None:
+    report.checked.append("S1")
+    for proc, events in histories.items():
+        believed_faulty: set[ProcessId] = set()
+        for event in events:
+            if event.kind is EventKind.FAULTY and event.peer is not None:
+                believed_faulty.add(event.peer)
+            elif event.kind is EventKind.RECV and event.peer is not None:
+                if event.peer in believed_faulty:
+                    report.violations.append(
+                        Violation(
+                            "S1",
+                            f"{proc} received a message from {event.peer} "
+                            f"after believing it faulty (t={event.time:.2f})",
+                        )
+                    )

@@ -1,0 +1,25 @@
+"""Human-readable rendering of property-check results."""
+
+from __future__ import annotations
+
+from repro.properties.checker import PropertyReport
+
+__all__ = ["format_report"]
+
+
+def format_report(report: PropertyReport) -> str:
+    """Render a :class:`PropertyReport` as a terminal-friendly summary."""
+    lines = []
+    verdict = "PASS" if report.ok else "FAIL"
+    lines.append(f"GMP property check: {verdict}")
+    lines.append(f"  properties checked: {', '.join(report.checked)}")
+    if report.system_views:
+        lines.append("  system view sequence:")
+        for view in report.system_views:
+            members = ", ".join(str(m) for m in view.members)
+            lines.append(f"    Sys^{view.version} = {{{members}}}")
+    if report.violations:
+        lines.append("  violations:")
+        for violation in report.violations:
+            lines.append(f"    - {violation}")
+    return "\n".join(lines)

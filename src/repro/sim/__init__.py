@@ -1,0 +1,46 @@
+"""Discrete-event asynchronous network substrate.
+
+The paper assumes a completely connected network of reliable, lossless,
+FIFO channels with *unbounded* message delays and no global clock
+(Section 2.1).  This package implements that substrate as a deterministic,
+seeded discrete-event simulation:
+
+* :mod:`repro.sim.scheduler` — the event loop and timers;
+* :mod:`repro.sim.network` — FIFO channels, delay models, partitions;
+* :mod:`repro.sim.process` — the base class protocol processes extend;
+* :mod:`repro.sim.failures` — crash injection, including crashes *mid
+  broadcast* (needed for the invisible-commit scenarios of Figures 3/11);
+* :mod:`repro.sim.trace` — the global run trace consumed by the property
+  checkers and the complexity benchmarks.
+
+Determinism matters: every adversarial schedule in the paper's proofs is a
+specific interleaving, and reproducing it requires exact control over
+delivery order.  All nondeterminism flows through one seeded RNG, and ties
+in the event queue break by insertion order.
+"""
+
+from repro.sim.scheduler import Scheduler, Timer
+from repro.sim.trace import RunTrace
+from repro.sim.network import (
+    Network,
+    DelayModel,
+    FixedDelay,
+    UniformDelay,
+    PerPairDelay,
+)
+from repro.sim.process import SimProcess
+from repro.sim.failures import CrashRule, crash_after_matching_sends
+
+__all__ = [
+    "Scheduler",
+    "Timer",
+    "RunTrace",
+    "Network",
+    "DelayModel",
+    "FixedDelay",
+    "UniformDelay",
+    "PerPairDelay",
+    "SimProcess",
+    "CrashRule",
+    "crash_after_matching_sends",
+]

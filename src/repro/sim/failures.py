@@ -1,0 +1,117 @@
+"""Crash injection, including crashes in the middle of a broadcast.
+
+The paper's hardest scenarios hinge on a coordinator crashing after sending
+a commit to only *some* of the group (Figure 3: "If Mgr fails in the middle
+of an update commit broadcast no system view will exist"; Figure 11's
+two invisible partial commits).  :func:`crash_after_matching_sends` arms a
+rule on the network's send-observer hook: after the victim has sent its
+k-th message matching a predicate, the victim crashes — truncating the rest
+of the broadcast, because :meth:`SimProcess.broadcast` checks the crashed
+flag between sends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.ids import ProcessId
+from repro.model.events import MessageRecord
+from repro.sim.network import Network
+
+__all__ = ["CrashRule", "crash_after_matching_sends", "crash_at"]
+
+MessagePredicate = Callable[[MessageRecord], bool]
+
+
+@dataclass
+class CrashRule:
+    """An armed crash trigger.
+
+    Attributes:
+        victim: the process to crash.
+        predicate: which sends count toward the trigger.
+        after: crash after this many matching sends have completed.
+        fired: whether the rule has triggered.
+        matched: how many sends have matched so far.
+    """
+
+    victim: ProcessId
+    predicate: MessagePredicate
+    after: int = 1
+    detail: str = "crash-rule"
+    fired: bool = False
+    matched: int = field(default=0)
+
+    def disarm(self) -> None:
+        """Prevent the rule from ever firing."""
+        self.fired = True
+
+
+def crash_after_matching_sends(
+    network: Network,
+    victim: ProcessId,
+    predicate: MessagePredicate,
+    after: int = 1,
+    detail: str = "",
+) -> CrashRule:
+    """Crash ``victim`` immediately after its ``after``-th matching send.
+
+    The matching send itself *is* delivered (it was already handed to the
+    network); subsequent sends of the same broadcast are lost.  This is
+    exactly "Mgr crashed having committed to only k members".
+    """
+    rule = CrashRule(
+        victim=victim,
+        predicate=predicate,
+        after=after,
+        detail=detail or f"after {after} matching sends",
+    )
+
+    def observer(record: MessageRecord) -> None:
+        if rule.fired or record.sender != victim:
+            return
+        if not rule.predicate(record):
+            return
+        rule.matched += 1
+        if rule.matched >= rule.after:
+            rule.fired = True
+            network.process(victim).crash(detail=rule.detail)
+
+    network.add_send_observer(observer)
+    return rule
+
+
+def crash_at(network: Network, victim: ProcessId, time: float, detail: str = "") -> None:
+    """Crash ``victim`` at an absolute simulation time."""
+    network.scheduler.at(
+        time, lambda: network.process(victim).crash(detail=detail or f"at t={time}")
+    )
+
+
+def payload_type_is(*type_names: str) -> MessagePredicate:
+    """Predicate matching payloads by class name (e.g. ``"Commit"``)."""
+    names = set(type_names)
+
+    def predicate(record: MessageRecord) -> bool:
+        return type(record.payload).__name__ in names
+
+    return predicate
+
+
+def sent_to(receiver: ProcessId) -> MessagePredicate:
+    """Predicate matching messages addressed to one process."""
+
+    def predicate(record: MessageRecord) -> bool:
+        return record.receiver == receiver
+
+    return predicate
+
+
+def both(*predicates: MessagePredicate) -> MessagePredicate:
+    """Conjunction of message predicates."""
+
+    def predicate(record: MessageRecord) -> bool:
+        return all(p(record) for p in predicates)
+
+    return predicate

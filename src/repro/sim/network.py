@@ -1,0 +1,230 @@
+"""Reliable FIFO channels with unbounded delays and partitions.
+
+Channels are lossless and non-generating (Section 2.1).  FIFO is enforced
+per directed channel: a message is never delivered before an earlier message
+on the same channel, whatever delays the delay model draws.  Partitions HOLD
+messages (they are delivered, in order, when the partition heals) — the
+paper's channels are reliable, so a partition manifests as arbitrarily long
+delay, which is indistinguishable from failure and is exactly what the
+protocol must survive.
+
+Messages to a crashed process are silently discarded at delivery time: a
+crashed process executes no further events, so nothing can be recorded for
+it (its history is crash-terminated).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable, Optional, Protocol
+
+from repro.errors import ProcessCrashedError, SimulationError
+from repro.ids import ProcessId
+from repro.model.events import EventKind, MessageRecord
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import RunTrace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import SimProcess
+
+__all__ = ["DelayModel", "FixedDelay", "UniformDelay", "PerPairDelay", "Network"]
+
+#: Minimal spacing between FIFO deliveries on one channel.
+_FIFO_EPSILON = 1e-9
+
+
+class DelayModel(Protocol):
+    """Strategy drawing a one-way delay for a message."""
+
+    def delay(self, sender: ProcessId, receiver: ProcessId, rng: random.Random) -> float:
+        ...  # pragma: no cover
+
+
+class FixedDelay:
+    """Every message takes exactly ``value`` time units."""
+
+    def __init__(self, value: float = 1.0) -> None:
+        if value < 0:
+            raise ValueError("delay must be non-negative")
+        self.value = value
+
+    def delay(self, sender: ProcessId, receiver: ProcessId, rng: random.Random) -> float:
+        return self.value
+
+
+class UniformDelay:
+    """Delays drawn uniformly from ``[low, high]`` — the asynchronous default."""
+
+    def __init__(self, low: float = 0.5, high: float = 2.0) -> None:
+        if not 0 <= low <= high:
+            raise ValueError(f"invalid delay range [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def delay(self, sender: ProcessId, receiver: ProcessId, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class PerPairDelay:
+    """Adversarial delays: explicit per-channel values over a default.
+
+    Used to script the paper's interleavings (e.g. Figure 4's two concurrent
+    reconfigurers whose interrogations must cross).
+    """
+
+    def __init__(
+        self,
+        default: DelayModel | None = None,
+        overrides: dict[tuple[ProcessId, ProcessId], float] | None = None,
+    ) -> None:
+        self.default: DelayModel = default if default is not None else FixedDelay(1.0)
+        self.overrides = dict(overrides or {})
+
+    def set(self, sender: ProcessId, receiver: ProcessId, value: float) -> None:
+        self.overrides[(sender, receiver)] = value
+
+    def delay(self, sender: ProcessId, receiver: ProcessId, rng: random.Random) -> float:
+        try:
+            return self.overrides[(sender, receiver)]
+        except KeyError:
+            return self.default.delay(sender, receiver, rng)
+
+
+class Network:
+    """The completely connected network of FIFO channels."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        trace: RunTrace,
+        delay_model: Optional[DelayModel] = None,
+        seed: int = 0,
+    ) -> None:
+        self.scheduler = scheduler
+        self.trace = trace
+        self.delay_model: DelayModel = (
+            delay_model if delay_model is not None else UniformDelay()
+        )
+        self.rng = random.Random(seed)
+        self._processes: dict[ProcessId, "SimProcess"] = {}
+        #: per-channel time before which no further delivery may occur (FIFO)
+        self._channel_clock: dict[tuple[ProcessId, ProcessId], float] = {}
+        #: held messages per blocked channel, FIFO order
+        self._held: dict[tuple[ProcessId, ProcessId], list[MessageRecord]] = {}
+        self._partitioned: set[frozenset[ProcessId]] = set()
+        self._send_observers: list[Callable[[MessageRecord], None]] = []
+        self._crash_observers: list[Callable[[ProcessId], None]] = []
+
+    # ------------------------------------------------------------ membership
+
+    def register(self, process: "SimProcess") -> None:
+        if process.pid in self._processes:
+            raise SimulationError(f"duplicate process id {process.pid}")
+        self._processes[process.pid] = process
+
+    def process(self, pid: ProcessId) -> "SimProcess":
+        return self._processes[pid]
+
+    def processes(self) -> dict[ProcessId, "SimProcess"]:
+        return dict(self._processes)
+
+    def live_processes(self) -> list["SimProcess"]:
+        return [p for p in self._processes.values() if not p.crashed]
+
+    # ------------------------------------------------------------ partitions
+
+    def partition(self, side_a: set[ProcessId], side_b: set[ProcessId]) -> None:
+        """Block (hold) all traffic between the two sides, both directions."""
+        for a in side_a:
+            for b in side_b:
+                if a != b:
+                    self._partitioned.add(frozenset((a, b)))
+
+    def heal(self) -> None:
+        """Remove all partitions and flush held messages in FIFO order."""
+        self._partitioned.clear()
+        held, self._held = self._held, {}
+        for channel, records in held.items():
+            for record in records:
+                self._schedule_delivery(record, extra_delay=0.0)
+
+    def is_partitioned(self, a: ProcessId, b: ProcessId) -> bool:
+        return frozenset((a, b)) in self._partitioned
+
+    # --------------------------------------------------------------- sending
+
+    def add_send_observer(self, observer: Callable[[MessageRecord], None]) -> None:
+        """Register a hook called on every successful send (crash triggers)."""
+        self._send_observers.append(observer)
+
+    def add_crash_observer(self, observer: Callable[[ProcessId], None]) -> None:
+        """Register a hook called whenever a process crashes or quits.
+
+        This is *simulator ground truth*, available only to components that
+        legitimately stand outside the asynchronous model: the oracle
+        failure detector (which models "suspicion in finite time after a
+        real crash", F1's liveness clause) and test assertions.
+        """
+        self._crash_observers.append(observer)
+
+    def notify_crash(self, pid: ProcessId) -> None:
+        """Called by :class:`SimProcess` when it crashes or quits."""
+        for observer in list(self._crash_observers):
+            observer(pid)
+
+    def send(
+        self,
+        sender: ProcessId,
+        receiver: ProcessId,
+        payload: object,
+        category: str = "protocol",
+    ) -> MessageRecord:
+        """Send a message; records the SEND event and schedules delivery."""
+        process = self._processes.get(sender)
+        if process is None:
+            raise SimulationError(f"unknown sender {sender}")
+        if process.crashed:
+            raise ProcessCrashedError(f"{sender} is crashed and cannot send")
+        if receiver == sender:
+            raise SimulationError(f"{sender} attempted to send to itself")
+        record = MessageRecord(
+            sender=sender, receiver=receiver, payload=payload, category=category
+        )
+        self.trace.record(
+            sender,
+            EventKind.SEND,
+            time=self.scheduler.now,
+            peer=receiver,
+            message=record,
+        )
+        for observer in list(self._send_observers):
+            observer(record)
+        # The observer may have crashed the sender (crash-mid-broadcast),
+        # but this message was already sent: it stays in flight.
+        if self.is_partitioned(sender, receiver):
+            self._held.setdefault((sender, receiver), []).append(record)
+        else:
+            self._schedule_delivery(record)
+        return record
+
+    def _schedule_delivery(self, record: MessageRecord, extra_delay: float | None = None) -> None:
+        delay = (
+            extra_delay
+            if extra_delay is not None
+            else self.delay_model.delay(record.sender, record.receiver, self.rng)
+        )
+        channel = (record.sender, record.receiver)
+        earliest_fifo = self._channel_clock.get(channel, 0.0) + _FIFO_EPSILON
+        when = max(self.scheduler.now + delay, earliest_fifo)
+        self._channel_clock[channel] = when
+        self.scheduler.at(when, lambda: self._deliver(record))
+
+    def _deliver(self, record: MessageRecord) -> None:
+        receiver = self._processes.get(record.receiver)
+        if receiver is None or receiver.crashed:
+            return  # messages to crashed processes vanish with them
+        if self.is_partitioned(record.sender, record.receiver):
+            # Partition raised after the send: hold for heal-time delivery.
+            self._held.setdefault((record.sender, record.receiver), []).append(record)
+            return
+        receiver._receive(record)

@@ -1,0 +1,172 @@
+"""Base class for simulated processes.
+
+A :class:`SimProcess` owns a process id, can send/broadcast messages, set
+timers, and crash.  Subclasses implement :meth:`on_message` (and optionally
+:meth:`on_start`).  Two hooks matter to the protocol layer:
+
+* :meth:`should_accept` implements incoming-channel disconnection — the
+  paper's isolation rule **S1** ("once p believes q faulty, p never receives
+  messages from q again").  Rejected messages are recorded as DISCARD events
+  and never reach :meth:`on_message`.
+* :meth:`broadcast` is *indivisible but not failure-atomic* (Section 3.1's
+  ``Bcast``): all sends happen at one simulation instant, but a crash rule
+  firing mid-loop truncates the broadcast — the mechanism behind every
+  invisible-commit scenario in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.errors import ProcessCrashedError
+from repro.ids import ProcessId
+from repro.model.events import EventKind, MessageRecord
+from repro.sim.network import Network
+from repro.sim.scheduler import Timer
+
+__all__ = ["SimProcess"]
+
+
+class SimProcess:
+    """One simulated process."""
+
+    def __init__(self, pid: ProcessId, network: Network) -> None:
+        self.pid = pid
+        self.network = network
+        self.crashed = False
+        self.quit = False
+        self._timers: list[Timer] = []
+        network.register(self)
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        """Record the START event and run subclass startup logic."""
+        self.network.trace.record(
+            self.pid, EventKind.START, time=self.network.scheduler.now
+        )
+        self.on_start()
+
+    def on_start(self) -> None:
+        """Subclass hook; runs once at startup."""
+
+    def crash(self, detail: str = "") -> None:
+        """Crash-stop this process (ground truth; unobservable by others)."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self._cancel_timers()
+        self.network.trace.record(
+            self.pid,
+            EventKind.CRASH,
+            time=self.network.scheduler.now,
+            detail=detail,
+        )
+        self.network.notify_crash(self.pid)
+
+    def quit_protocol(self, detail: str = "") -> None:
+        """The paper's ``quit_p``: permanently cease communication.
+
+        Unlike :meth:`crash` this is a *protocol* event (it appears in the
+        history as QUIT); it is how a process reacts to discovering it has
+        been excluded.
+        """
+        if self.crashed or self.quit:
+            return
+        self.quit = True
+        self.crashed = True  # ceases all communication, like a crash
+        self._cancel_timers()
+        self.network.trace.record(
+            self.pid,
+            EventKind.QUIT,
+            time=self.network.scheduler.now,
+            detail=detail,
+        )
+        self.network.notify_crash(self.pid)
+
+    def _cancel_timers(self) -> None:
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+
+    # ----------------------------------------------------------------- comms
+
+    def send(self, to: ProcessId, payload: object, category: str = "protocol") -> None:
+        """Send one message (raises if this process has crashed)."""
+        if self.crashed:
+            raise ProcessCrashedError(f"{self.pid} is crashed")
+        self.network.send(self.pid, to, payload, category=category)
+
+    def broadcast(
+        self,
+        targets: Iterable[ProcessId],
+        payload: object,
+        category: str = "protocol",
+    ) -> int:
+        """The paper's ``Bcast``: send to each target, skipping self.
+
+        Indivisible (all sends at one instant) but not failure-atomic: if a
+        crash rule fires partway, remaining sends are silently skipped.
+        Returns the number of messages actually sent.
+        """
+        sent = 0
+        for target in targets:
+            if target == self.pid:
+                continue
+            if self.crashed:
+                break  # crash mid-broadcast: remaining sends lost
+            self.network.send(self.pid, target, payload, category=category)
+            sent += 1
+        return sent
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Schedule a local timer; auto-suppressed if this process crashes."""
+        if self.crashed:
+            raise ProcessCrashedError(f"{self.pid} is crashed")
+
+        def guarded() -> None:
+            if not self.crashed:
+                callback()
+
+        timer = self.network.scheduler.after(delay, guarded)
+        self._timers.append(timer)
+        return timer
+
+    # -------------------------------------------------------------- delivery
+
+    def _receive(self, record: MessageRecord) -> None:
+        """Called by the network at delivery time."""
+        if self.crashed:
+            return
+        if not self.should_accept(record.sender, record.payload):
+            self.network.trace.record(
+                self.pid,
+                EventKind.DISCARD,
+                time=self.network.scheduler.now,
+                peer=record.sender,
+                message=record,
+                detail="S1-isolation",
+            )
+            return
+        self.network.trace.record(
+            self.pid,
+            EventKind.RECV,
+            time=self.network.scheduler.now,
+            peer=record.sender,
+            message=record,
+        )
+        self.on_message(record.sender, record.payload)
+
+    def should_accept(self, sender: ProcessId, payload: object) -> bool:
+        """S1 hook: return False to discard (protocol layer overrides)."""
+        return True
+
+    def on_message(self, sender: ProcessId, payload: object) -> None:
+        """Subclass hook: handle one delivered message."""
+        raise NotImplementedError
+
+    # ----------------------------------------------------------------- debug
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self.crashed else "live"
+        return f"<{type(self).__name__} {self.pid} {state}>"

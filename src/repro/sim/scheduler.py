@@ -1,0 +1,159 @@
+"""Deterministic discrete-event scheduler.
+
+A minimal, fast event loop: callbacks keyed by ``(time, insertion_seq)`` in
+a binary heap, so simultaneous events run in the order they were scheduled.
+Protocol code never reads the clock — only the network (for delays) and the
+failure detectors (the paper's F1 "time-out" mechanism) do.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import SchedulerExhaustedError
+
+__all__ = ["Scheduler", "Timer"]
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Timer:
+    """A cancellable handle on a scheduled callback."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _Entry) -> None:
+        self._entry = entry
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self._entry.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+    @property
+    def deadline(self) -> float:
+        return self._entry.time
+
+
+class Scheduler:
+    """The event loop.
+
+    Attributes:
+        now: current simulation time.  Monotonically non-decreasing.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[_Entry] = []
+        self._seq = itertools.count()
+        self._events_run = 0
+
+    @property
+    def events_run(self) -> int:
+        """Total callbacks executed so far (useful as a runaway guard)."""
+        return self._events_run
+
+    def at(self, time: float, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        entry = _Entry(time, next(self._seq), callback)
+        heapq.heappush(self._heap, entry)
+        return Timer(entry)
+
+    def after(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback`` ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.at(self.now + delay, callback)
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled scheduled callbacks."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the queue is empty."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            self.now = entry.time
+            self._events_run += 1
+            entry.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 1_000_000,
+    ) -> None:
+        """Run events until the queue drains or ``until`` is reached.
+
+        Raises:
+            SchedulerExhaustedError: if ``max_events`` callbacks run without
+                draining — a runaway-loop guard, since protocol bugs can
+                easily produce infinite message ping-pong.
+        """
+        executed = 0
+        while self._heap:
+            next_live = self._peek_live()
+            if next_live is None:
+                return
+            if until is not None and next_live.time > until:
+                self.now = until
+                return
+            if not self.step():
+                return
+            executed += 1
+            if executed > max_events:
+                raise SchedulerExhaustedError(
+                    f"exceeded {max_events} events without quiescing"
+                )
+        if until is not None and until > self.now:
+            self.now = until
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        until: Optional[float] = None,
+        max_events: int = 1_000_000,
+    ) -> bool:
+        """Run until ``predicate()`` is true.  Returns whether it became true.
+
+        The predicate is checked before every event, so the loop stops at
+        the earliest instant the condition holds.
+        """
+        executed = 0
+        while True:
+            if predicate():
+                return True
+            next_live = self._peek_live()
+            if next_live is None:
+                return predicate()
+            if until is not None and next_live.time > until:
+                self.now = until
+                return predicate()
+            self.step()
+            executed += 1
+            if executed > max_events:
+                raise SchedulerExhaustedError(
+                    f"exceeded {max_events} events while waiting for condition"
+                )
+
+    def _peek_live(self) -> Optional[_Entry]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None

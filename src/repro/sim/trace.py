@@ -1,0 +1,164 @@
+"""Global run trace: every event of every process, in order.
+
+The trace is the bridge between the running system and the formal model: it
+is a *system run* in the paper's sense (a tuple of process histories), and
+everything in :mod:`repro.model` and :mod:`repro.properties` consumes it.
+It also powers the complexity benchmarks: messages are tagged with a
+category so detector traffic (which Section 7.2 does not charge to the
+algorithm) can be counted separately from protocol traffic.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import TraceError
+from repro.ids import ProcessId
+from repro.model.events import Event, EventKind, MessageRecord
+from repro.model.history import ProcessHistory, history_of
+
+__all__ = ["RunTrace"]
+
+
+class RunTrace:
+    """Append-only record of a run.
+
+    Per-process event indices are assigned here so processes themselves stay
+    oblivious to trace bookkeeping.  After a process records QUIT or CRASH,
+    further events for it are rejected (histories are crash-terminated,
+    Section 2.1).
+    """
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+        self._indices: dict[ProcessId, int] = {}
+        self._terminated: set[ProcessId] = set()
+
+    # ------------------------------------------------------------- recording
+
+    def record(
+        self,
+        proc: ProcessId,
+        kind: EventKind,
+        time: float,
+        peer: Optional[ProcessId] = None,
+        message: Optional[MessageRecord] = None,
+        version: Optional[int] = None,
+        view: Optional[tuple[ProcessId, ...]] = None,
+        detail: str = "",
+    ) -> Event:
+        """Append one event to ``proc``'s history and return it."""
+        if proc in self._terminated:
+            raise TraceError(f"{proc} already terminated; cannot record {kind}")
+        index = self._indices.get(proc)
+        if index is None:
+            if kind is not EventKind.START:
+                # Auto-insert the START event the model requires.
+                start = Event(proc=proc, kind=EventKind.START, index=0, time=time)
+                self._events.append(start)
+                self._indices[proc] = 1
+                index = 1
+            else:
+                index = 0
+        event = Event(
+            proc=proc,
+            kind=kind,
+            index=index,
+            time=time,
+            peer=peer,
+            message=message,
+            version=version,
+            view=view,
+            detail=detail,
+        )
+        self._events.append(event)
+        self._indices[proc] = index + 1
+        if kind in (EventKind.QUIT, EventKind.CRASH):
+            self._terminated.add(proc)
+        return event
+
+    # --------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> list[Event]:
+        """All events, globally ordered by occurrence."""
+        return list(self._events)
+
+    def processes(self) -> set[ProcessId]:
+        return set(self._indices)
+
+    def history(self, proc: ProcessId) -> ProcessHistory:
+        """The validated history of one process."""
+        return history_of(self._events, proc)
+
+    def histories(self) -> dict[ProcessId, ProcessHistory]:
+        """All validated histories, keyed by process."""
+        return {p: self.history(p) for p in self.processes()}
+
+    def events_of(self, proc: ProcessId, kind: Optional[EventKind] = None) -> list[Event]:
+        return [
+            e
+            for e in self._events
+            if e.proc == proc and (kind is None or e.kind is kind)
+        ]
+
+    def events_of_kind(self, kind: EventKind) -> list[Event]:
+        return [e for e in self._events if e.kind is kind]
+
+    def crashed(self) -> set[ProcessId]:
+        """Processes with a ground-truth CRASH event (``DOWN`` in the model)."""
+        return {e.proc for e in self._events if e.kind is EventKind.CRASH}
+
+    def quit_or_crashed(self) -> set[ProcessId]:
+        return set(self._terminated)
+
+    # ------------------------------------------------------ message counting
+
+    def message_count(self, category: Optional[str] = "protocol") -> int:
+        """Number of SEND events, optionally restricted to one category.
+
+        Pass ``category=None`` to count everything.  Section 7.2 counts
+        protocol messages only, so that is the default.
+        """
+        return sum(
+            1
+            for e in self._events
+            if e.kind is EventKind.SEND
+            and e.message is not None
+            and (category is None or e.message.category == category)
+        )
+
+    def message_counts_by_category(self) -> Counter[str]:
+        counts: Counter[str] = Counter()
+        for e in self._events:
+            if e.kind is EventKind.SEND and e.message is not None:
+                counts[e.message.category] += 1
+        return counts
+
+    def message_counts_by_type(self, category: str = "protocol") -> Counter[str]:
+        """SEND counts keyed by payload class name — per-phase breakdowns."""
+        counts: Counter[str] = Counter()
+        for e in self._events:
+            if e.kind is EventKind.SEND and e.message is not None:
+                if e.message.category == category:
+                    counts[type(e.message.payload).__name__] += 1
+        return counts
+
+    # ---------------------------------------------------------------- output
+
+    def format(self, kinds: Optional[Iterable[EventKind]] = None) -> str:
+        """Human-readable rendering, optionally filtered by kind."""
+        wanted = set(kinds) if kinds is not None else None
+        lines = [
+            f"{e.time:10.3f}  {e}"
+            for e in self._events
+            if wanted is None or e.kind in wanted
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Transport-level substrates.
+
+The main simulator's channels are FIFO by construction; this package shows
+how the paper's channel properties are *implemented* when the underlying
+network is not so kind: "the former [FIFO] requires a (1-bit) sequence
+number on each message and an acknowledgement protocol" (Section 3).
+"""
+
+from repro.transport.stopwait import (
+    DataFrame,
+    AckFrame,
+    StopAndWaitSender,
+    StopAndWaitReceiver,
+    LossyChannel,
+)
+
+__all__ = [
+    "DataFrame",
+    "AckFrame",
+    "StopAndWaitSender",
+    "StopAndWaitReceiver",
+    "LossyChannel",
+]

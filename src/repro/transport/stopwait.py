@@ -1,0 +1,170 @@
+"""The 1-bit sequence-number / acknowledgement FIFO link of Section 3.
+
+A sans-I/O alternating-bit protocol: the sender transmits one frame at a
+time, stamped with a single bit, retransmitting until the matching ack
+arrives; the receiver delivers a frame exactly when its bit matches the
+expected bit, acking every frame either way.  Over a channel that may lose
+and duplicate (but not corrupt) frames, this yields the paper's reliable,
+non-generating, FIFO channel.
+
+The endpoints are pure state machines — ``offer``/``on_frame`` consume
+inputs and return frames to transmit — so tests can drive arbitrary loss,
+duplication and delay adversarially, and :class:`LossyChannel` provides a
+seeded randomised harness on top.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = [
+    "DataFrame",
+    "AckFrame",
+    "StopAndWaitSender",
+    "StopAndWaitReceiver",
+    "LossyChannel",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class DataFrame:
+    """A payload frame carrying the alternating bit."""
+
+    bit: int
+    payload: Any
+
+    def __post_init__(self) -> None:
+        if self.bit not in (0, 1):
+            raise ValueError(f"sequence bit must be 0 or 1, got {self.bit}")
+
+
+@dataclass(frozen=True, slots=True)
+class AckFrame:
+    """Acknowledgement of the frame carrying ``bit``."""
+
+    bit: int
+
+    def __post_init__(self) -> None:
+        if self.bit not in (0, 1):
+            raise ValueError(f"ack bit must be 0 or 1, got {self.bit}")
+
+
+class StopAndWaitSender:
+    """Sender endpoint of the alternating-bit protocol."""
+
+    def __init__(self) -> None:
+        self._bit = 0
+        self._outstanding: Optional[DataFrame] = None
+        self._queue: deque[Any] = deque()
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is in flight and nothing is queued."""
+        return self._outstanding is None and not self._queue
+
+    @property
+    def in_flight(self) -> Optional[DataFrame]:
+        return self._outstanding
+
+    def offer(self, payload: Any) -> Optional[DataFrame]:
+        """Enqueue a payload; returns a frame to transmit if the link is free."""
+        self._queue.append(payload)
+        return self._pump()
+
+    def on_ack(self, ack: AckFrame) -> Optional[DataFrame]:
+        """Process an ack; returns the next frame to transmit, if any.
+
+        A stale ack (wrong bit, or nothing outstanding) is ignored — that is
+        what makes duplication harmless.
+        """
+        if self._outstanding is None or ack.bit != self._outstanding.bit:
+            return None
+        self._outstanding = None
+        self._bit ^= 1
+        return self._pump()
+
+    def on_timeout(self) -> Optional[DataFrame]:
+        """Retransmit the outstanding frame (None when idle)."""
+        return self._outstanding
+
+    def _pump(self) -> Optional[DataFrame]:
+        if self._outstanding is not None or not self._queue:
+            return None
+        self._outstanding = DataFrame(self._bit, self._queue.popleft())
+        return self._outstanding
+
+
+class StopAndWaitReceiver:
+    """Receiver endpoint: delivers in order, acks everything."""
+
+    def __init__(self) -> None:
+        self._expected = 0
+        self.delivered: list[Any] = []
+
+    def on_frame(self, frame: DataFrame) -> AckFrame:
+        """Process a data frame; returns the ack to transmit.
+
+        A duplicate (wrong-bit) frame is re-acked but not re-delivered —
+        the non-generating property.
+        """
+        if frame.bit == self._expected:
+            self.delivered.append(frame.payload)
+            self._expected ^= 1
+        return AckFrame(frame.bit)
+
+
+class LossyChannel:
+    """Randomised harness: run the protocol over a lossy, duplicating link.
+
+    Each direction independently loses frames with probability ``loss`` and
+    duplicates them with probability ``duplicate``.  :meth:`run` pushes a
+    payload sequence through and returns what the receiver delivered; the
+    alternating-bit protocol guarantees it equals the input exactly.
+    """
+
+    def __init__(self, loss: float = 0.2, duplicate: float = 0.1, seed: int = 0) -> None:
+        if not 0 <= loss < 1 or not 0 <= duplicate < 1:
+            raise ValueError("loss and duplicate must be probabilities < 1")
+        self.loss = loss
+        self.duplicate = duplicate
+        self.rng = random.Random(seed)
+
+    def _transmit(self, frame: Any) -> list[Any]:
+        """Apply loss/duplication; returns the copies that arrive."""
+        if self.rng.random() < self.loss:
+            return []
+        copies = [frame]
+        while self.rng.random() < self.duplicate:
+            copies.append(frame)
+        return copies
+
+    def run(self, payloads: list[Any], max_steps: int = 100_000) -> list[Any]:
+        """Drive ``payloads`` across the link until all are delivered."""
+        sender = StopAndWaitSender()
+        receiver = StopAndWaitReceiver()
+        to_receiver: deque[DataFrame] = deque()
+        to_sender: deque[AckFrame] = deque()
+
+        def transmit_data(frame: Optional[DataFrame]) -> None:
+            if frame is not None:
+                to_receiver.extend(self._transmit(frame))
+
+        for payload in payloads:
+            transmit_data(sender.offer(payload))
+
+        steps = 0
+        while not sender.idle:
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError("stop-and-wait did not converge")
+            if to_receiver:
+                ack = receiver.on_frame(to_receiver.popleft())
+                to_sender.extend(self._transmit(ack))
+            elif to_sender:
+                transmit_data(sender.on_ack(to_sender.popleft()))
+            else:
+                transmit_data(sender.on_timeout())
+        return list(receiver.delivered)

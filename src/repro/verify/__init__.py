@@ -1,0 +1,15 @@
+"""Systematic state-space exploration of the protocol.
+
+Seeded simulation (the test suite's storms) samples interleavings; this
+package *enumerates* them: for small configurations it explores every
+FIFO-respecting order of message deliveries, suspicion firings, and crash
+injections, checking the GMP properties on every terminal run.  It is the
+closest thing to model checking the implementation itself — the actual
+:class:`~repro.core.member.GMPMember` code runs in every branch.
+
+See :mod:`repro.verify.explore`.
+"""
+
+from repro.verify.explore import ExplorationResult, Explorer, explore_membership
+
+__all__ = ["Explorer", "ExplorationResult", "explore_membership"]

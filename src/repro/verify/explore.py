@@ -1,0 +1,375 @@
+"""Bounded exhaustive exploration of protocol interleavings.
+
+The discrete-event simulator runs one schedule per seed; the explorer runs
+*all of them* (up to bounds): at every step the pending events are
+
+* deliver the **oldest in-flight message of some channel** (per-channel
+  FIFO is a model assumption, so only channel heads are candidates — this
+  prunes the space massively without losing any real schedule);
+* fire one of the scripted **suspicions** whose trigger point has passed;
+* inject one of the scripted **crashes**.
+
+Each choice forks a deep copy of the whole world — network, members,
+trace — so the actual :class:`~repro.core.member.GMPMember` implementation
+executes in every branch.  Terminal states (no pending events) are checked
+against the full GMP specification.
+
+The world is built on exploration-specific fabric (no scheduler, no
+timers): messages queue in the network until the explorer delivers them,
+and failure detection is entirely under explorer control.  Joins are not
+supported here (their retry timers need a clock); crashes and spurious
+suspicions — the paper's hard part — are.
+
+Bounds: ``max_states`` caps the total worlds expanded; ``max_width`` caps
+the branching explored per state (the first ``max_width`` choices in a
+deterministic order — set it high enough and the run is exhaustive, which
+:func:`Explorer.run` reports via ``complete``).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.errors import ProcessCrashedError, ReproError, SimulationError
+from repro.ids import ProcessId
+from repro.model.events import EventKind, MessageRecord
+from repro.properties import PropertyReport, check_gmp
+from repro.core.member import GMPMember
+from repro.detectors.base import FailureDetector
+from repro.sim.trace import RunTrace
+
+__all__ = ["Explorer", "ExplorationResult", "explore_membership"]
+
+
+class _StepClock:
+    """A fake scheduler: 'time' is just the number of events applied.
+
+    Timers are accepted and discarded — nothing in the explored fragment
+    of the protocol (exclusion/reconfiguration, no joins) relies on them.
+    """
+
+    class _DeadTimer:
+        def cancel(self) -> None:
+            pass
+
+        cancelled = True
+        deadline = 0.0
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def tick(self) -> None:
+        self.now += 1.0
+
+    def after(self, delay: float, callback: Callable[[], None]):
+        return self._DeadTimer()
+
+    def at(self, time: float, callback: Callable[[], None]):
+        return self._DeadTimer()
+
+
+class _FrontierNetwork:
+    """Network surface whose deliveries happen when the explorer says so."""
+
+    def __init__(self) -> None:
+        self.scheduler = _StepClock()
+        self.trace = RunTrace()
+        self._processes: dict[ProcessId, GMPMember] = {}
+        #: per directed channel: FIFO queue of in-flight messages.
+        self.channels: dict[tuple[ProcessId, ProcessId], list[MessageRecord]] = {}
+
+    # -- registry -----------------------------------------------------------
+
+    def register(self, process) -> None:
+        if process.pid in self._processes:
+            raise SimulationError(f"duplicate process id {process.pid}")
+        self._processes[process.pid] = process
+
+    def process(self, pid: ProcessId):
+        return self._processes[pid]
+
+    def processes(self):
+        return dict(self._processes)
+
+    def live_processes(self):
+        return [p for p in self._processes.values() if not p.crashed]
+
+    # -- observers (unused in exploration) -----------------------------------
+
+    def add_send_observer(self, observer) -> None:
+        raise ReproError("send observers are not supported under exploration")
+
+    def add_crash_observer(self, observer) -> None:
+        pass  # exploration drives suspicions itself
+
+    def notify_crash(self, pid: ProcessId) -> None:
+        pass
+
+    # -- traffic --------------------------------------------------------------
+
+    def send(self, sender, receiver, payload, category="protocol"):
+        process = self._processes.get(sender)
+        if process is None:
+            raise SimulationError(f"unknown sender {sender}")
+        if process.crashed:
+            raise ProcessCrashedError(f"{sender} is crashed")
+        record = MessageRecord(
+            sender=sender, receiver=receiver, payload=payload, category=category
+        )
+        self.trace.record(
+            sender,
+            EventKind.SEND,
+            time=self.scheduler.now,
+            peer=receiver,
+            message=record,
+        )
+        self.channels.setdefault((sender, receiver), []).append(record)
+        return record
+
+    def deliver_head(self, channel: tuple[ProcessId, ProcessId]) -> None:
+        queue = self.channels.get(channel)
+        if not queue:
+            raise SimulationError(f"channel {channel} has nothing in flight")
+        record = queue.pop(0)
+        if not queue:
+            del self.channels[channel]
+        receiver = self._processes.get(record.receiver)
+        if receiver is None or receiver.crashed:
+            return
+        receiver._receive(record)
+
+
+class _InertDetector(FailureDetector):
+    """Suspicions come only from the explorer."""
+
+
+# ---------------------------------------------------------------------------
+# Events the explorer can choose
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class _Deliver:
+    channel: tuple[ProcessId, ProcessId]
+
+    def describe(self) -> str:
+        sender, receiver = self.channel
+        return f"deliver {sender}->{receiver}"
+
+
+@dataclass(frozen=True, slots=True)
+class _Suspect:
+    observer: ProcessId
+    target: ProcessId
+
+    def describe(self) -> str:
+        return f"suspect {self.observer}:{self.target}"
+
+
+@dataclass(frozen=True, slots=True)
+class _Crash:
+    victim: ProcessId
+
+    def describe(self) -> str:
+        return f"crash {self.victim}"
+
+
+@dataclass
+class _World:
+    network: _FrontierNetwork
+    members: dict[ProcessId, GMPMember]
+    #: scripted suspicions not yet fired: (observer, target); a suspicion
+    #: is enabled once its target has crashed (real detection) or
+    #: unconditionally when marked spurious.
+    suspicions: list[tuple[ProcessId, ProcessId, bool]]
+    crashes: list[ProcessId]
+
+    def clone(self) -> "_World":
+        return copy.deepcopy(self)
+
+    def enabled_events(self) -> list[object]:
+        events: list[object] = []
+        for victim in self.crashes:
+            if not self.members[victim].crashed:
+                events.append(_Crash(victim))
+        crashed = {p for p, m in self.members.items() if m.crashed}
+        for observer, target, spurious in self.suspicions:
+            member = self.members[observer]
+            if member.crashed or member.believes_faulty(target):
+                continue
+            if spurious or target in crashed:
+                events.append(_Suspect(observer, target))
+        for channel, queue in sorted(
+            self.network.channels.items(),
+            key=lambda kv: (kv[0][0].name, kv[0][1].name),
+        ):
+            receiver = self.members.get(channel[1])
+            if queue and receiver is not None and not receiver.crashed:
+                events.append(_Deliver(channel))
+        return events
+
+    def apply(self, event: object) -> None:
+        self.network.scheduler.tick()
+        if isinstance(event, _Crash):
+            self.members[event.victim].crash()
+            self.crashes.remove(event.victim)
+        elif isinstance(event, _Suspect):
+            self.suspicions = [
+                s
+                for s in self.suspicions
+                if (s[0], s[1]) != (event.observer, event.target)
+            ]
+            self.members[event.observer].on_suspect(event.target)
+        elif isinstance(event, _Deliver):
+            self.network.deliver_head(event.channel)
+        else:  # pragma: no cover - defensive
+            raise ReproError(f"unknown exploration event {event!r}")
+
+
+# ---------------------------------------------------------------------------
+# The explorer
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one exploration."""
+
+    terminals: int = 0
+    states: int = 0
+    #: True when no bound was hit: every schedule was examined.
+    complete: bool = True
+    violations: list[tuple[str, PropertyReport]] = field(default_factory=list)
+    #: distinct final (version, view) outcomes among surviving members.
+    outcomes: set = field(default_factory=set)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class Explorer:
+    """Bounded-exhaustive DFS over protocol schedules."""
+
+    def __init__(
+        self,
+        initial_view: Sequence[ProcessId],
+        crashes: Iterable[ProcessId] = (),
+        suspicions: Iterable[tuple[ProcessId, ProcessId, bool]] = (),
+        max_states: int = 200_000,
+        max_width: int = 64,
+        check_liveness: bool = False,
+    ) -> None:
+        self.initial_view = list(initial_view)
+        self.crashes = list(crashes)
+        self.suspicions = list(suspicions)
+        self.max_states = max_states
+        self.max_width = max_width
+        self.check_liveness = check_liveness
+
+    def _root(self) -> _World:
+        network = _FrontierNetwork()
+        members: dict[ProcessId, GMPMember] = {}
+        for proc in self.initial_view:
+            member = GMPMember(
+                proc,
+                network,  # type: ignore[arg-type]
+                _InertDetector(),
+                initial_view=list(self.initial_view),
+            )
+            members[proc] = member
+        for member in members.values():
+            member.start()
+        return _World(
+            network=network,
+            members=members,
+            suspicions=list(self.suspicions),
+            crashes=list(self.crashes),
+        )
+
+    def run(self) -> ExplorationResult:
+        result = ExplorationResult()
+        stack: list[tuple[_World, str]] = [(self._root(), "init")]
+        while stack:
+            world, path = stack.pop()
+            result.states += 1
+            if result.states > self.max_states:
+                result.complete = False
+                break
+            events = world.enabled_events()
+            if not events:
+                self._check_terminal(world, path, result)
+                continue
+            if len(events) > self.max_width:
+                events = events[: self.max_width]
+                result.complete = False
+            # Expand children; reuse the parent world for the last child to
+            # halve the deepcopy volume.
+            for event in events[:-1]:
+                child = world.clone()
+                child.apply(event)
+                stack.append((child, f"{path} | {event.describe()}"))
+            last = events[-1]
+            world.apply(last)
+            stack.append((world, f"{path} | {last.describe()}"))
+        return result
+
+    def _check_terminal(self, world: _World, path: str, result: ExplorationResult) -> None:
+        result.terminals += 1
+        report = check_gmp(
+            world.network.trace,
+            self.initial_view,
+            check_liveness=self.check_liveness,
+            check_cuts=False,  # causality reconstruction per terminal is costly
+        )
+        if not report.ok:
+            result.violations.append((path, report))
+        outcome = frozenset(
+            (member.version, tuple(member.view))
+            for member in world.members.values()
+            if member.is_member
+        )
+        result.outcomes.add(outcome)
+
+
+def explore_membership(
+    n: int,
+    crash_names: Iterable[str] = (),
+    spurious: Iterable[tuple[str, str]] = (),
+    observers: Optional[Iterable[str]] = None,
+    max_states: int = 200_000,
+    max_width: int = 64,
+) -> ExplorationResult:
+    """Convenience wrapper: explore a ``p0..p{n-1}`` group.
+
+    Args:
+        n: group size.
+        crash_names: members that may crash (the explorer chooses when).
+        spurious: (observer, target) suspicions that may fire even though
+            the target is alive.
+        observers: who may detect each crash (default: every other member).
+    """
+    from repro.ids import pid
+
+    view = [pid(f"p{i}") for i in range(n)]
+    crashes = [pid(name) for name in crash_names]
+    suspicion_list: list[tuple[ProcessId, ProcessId, bool]] = []
+    observer_names = (
+        list(observers) if observers is not None else [f"p{i}" for i in range(n)]
+    )
+    for victim in crashes:
+        for observer in observer_names:
+            if observer != victim.name:
+                suspicion_list.append((pid(observer), victim, False))
+    for observer, target in spurious:
+        suspicion_list.append((pid(observer), pid(target), True))
+    explorer = Explorer(
+        view,
+        crashes=crashes,
+        suspicions=suspicion_list,
+        max_states=max_states,
+        max_width=max_width,
+    )
+    return explorer.run()

@@ -1,0 +1,32 @@
+"""Workload generators and canned paper scenarios.
+
+:mod:`repro.workloads.churn` generates failure/join schedules (single
+failures, streaks, storms, mixed online churn) used by the benchmarks;
+:mod:`repro.workloads.scenarios` reconstructs the paper's named scenarios —
+Table 1's initiation matrix, Figure 3's interrupted commit, Figure 4's
+concurrent reconfigurers, and Figure 11's two invisible partial commits —
+as ready-to-run cluster setups.
+"""
+
+from repro.workloads.churn import ChurnEvent, ChurnSchedule, streak_schedule, mixed_churn
+from repro.workloads.scenarios import (
+    Table1Row,
+    run_table1_row,
+    run_figure3,
+    run_figure4,
+    run_figure11,
+    TABLE1_EXPECTED,
+)
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnSchedule",
+    "streak_schedule",
+    "mixed_churn",
+    "Table1Row",
+    "run_table1_row",
+    "run_figure3",
+    "run_figure4",
+    "run_figure11",
+    "TABLE1_EXPECTED",
+]

@@ -1,0 +1,116 @@
+"""Failure/join schedules for the benchmarks.
+
+A :class:`ChurnSchedule` is a list of timed crash/join events that can be
+applied to any :class:`~repro.core.service.MembershipCluster`, letting one
+workload drive the paper's protocol and every baseline identically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.core.service import MembershipCluster
+
+__all__ = ["ChurnEvent", "ChurnSchedule", "streak_schedule", "mixed_churn"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnEvent:
+    """One timed membership disturbance."""
+
+    time: float
+    kind: Literal["crash", "join"]
+    subject: str  # process *name* (clusters resolve incarnations)
+
+
+@dataclass
+class ChurnSchedule:
+    """A reproducible sequence of churn events."""
+
+    events: list[ChurnEvent] = field(default_factory=list)
+
+    def apply(self, cluster: MembershipCluster) -> None:
+        """Arm every event on the cluster (before or after start)."""
+        for event in self.events:
+            if event.kind == "crash":
+                cluster.crash(event.subject, at=event.time)
+            else:
+                cluster.join(event.subject, at=event.time)
+
+    @property
+    def crashes(self) -> int:
+        return sum(1 for e in self.events if e.kind == "crash")
+
+    @property
+    def joins(self) -> int:
+        return sum(1 for e in self.events if e.kind == "join")
+
+
+def streak_schedule(
+    n: int,
+    victims: int,
+    start: float = 5.0,
+    spacing: float = 0.5,
+    keep_coordinator: bool = True,
+) -> ChurnSchedule:
+    """Back-to-back failures — the compressed-algorithm workload (§7.2).
+
+    Crashes ``victims`` members at ``spacing`` intervals.  With
+    ``keep_coordinator=True`` the coordinator survives (best-case streak:
+    "n - 1 successive failure updates, none of which are Mgr"); victims are
+    taken most junior first so rank bookkeeping is exercised.
+    """
+    if victims >= n:
+        raise ValueError("cannot crash the whole group")
+    names = [f"p{i}" for i in range(n)]
+    if keep_coordinator:
+        chosen = list(reversed(names[1:]))[:victims]
+    else:
+        # The coordinator goes first (the interesting case: every later
+        # exclusion happens under its successor).
+        chosen = [names[0]] + list(reversed(names[1:]))[: victims - 1]
+    events = [
+        ChurnEvent(time=start + i * spacing, kind="crash", subject=name)
+        for i, name in enumerate(chosen)
+    ]
+    return ChurnSchedule(events)
+
+
+def mixed_churn(
+    n: int,
+    operations: int,
+    seed: int = 0,
+    start: float = 5.0,
+    mean_gap: float = 30.0,
+    join_fraction: float = 0.5,
+) -> ChurnSchedule:
+    """The "fully online" workload of Section 7: interleaved joins/crashes.
+
+    Keeps the group population safe: never crashes below a quorum of the
+    *current* simulated population, and joins fresh names (``j0``, ``j1``,
+    ...) or re-incarnations of crashed ones.  The coordinator of the moment
+    is fair game — reconfigurations are part of online operation.
+    """
+    rng = random.Random(seed)
+    alive = [f"p{i}" for i in range(n)]
+    next_join = 0
+    events: list[ChurnEvent] = []
+    t = start
+    for _ in range(operations):
+        t += rng.expovariate(1.0 / mean_gap)
+        want_join = rng.random() < join_fraction
+        # Keep a solid majority alive so progress is always possible.
+        if not want_join and len(alive) <= max(3, n // 2 + 1):
+            want_join = True
+        if want_join:
+            name = f"j{next_join}"
+            next_join += 1
+            events.append(ChurnEvent(time=t, kind="join", subject=name))
+            alive.append(name)
+        else:
+            victim = rng.choice(alive)
+            alive.remove(victim)
+            events.append(ChurnEvent(time=t, kind="crash", subject=victim))
+    return ChurnSchedule(events)

@@ -1,0 +1,305 @@
+"""The paper's named scenarios, reconstructed as runnable schedules.
+
+Each function builds a cluster, arms the exact interleaving the paper's
+figure or table describes (scripted suspicions, per-channel delays, crashes
+mid-broadcast), runs it to quiescence, and returns the cluster for
+assertions.  These are the sharpest tests in the repository: they force the
+protocol down the paths the correctness proofs exist for.
+
+* :func:`run_table1_row` — the initiation matrix of Table 1 (§4.2).
+* :func:`run_figure3` — Mgr dies mid-commit; no system view exists until a
+  reconfigurer restores one (§4).
+* :func:`run_figure4` — two concurrent reconfigurers; the majority rule
+  lets at most one install a view (§4.3).
+* :func:`run_figure11` — two invisible partial commits for the same version;
+  a third reconfigurer must determine which one could have committed
+  (§7.3 / Claim 7.2).  Run with the real member class the GetStable choice
+  is exercised and safe; run with the two-phase strawman it guesses wrong
+  and diverges.
+* :func:`run_claim71` — the R/S split of Claim 7.1 (§7.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.member import GMPMember
+from repro.core.service import MembershipCluster
+from repro.ids import pid
+from repro.model.events import EventKind
+from repro.sim.failures import crash_after_matching_sends, payload_type_is
+from repro.sim.network import FixedDelay, PerPairDelay
+
+__all__ = [
+    "Table1Row",
+    "TABLE1_EXPECTED",
+    "run_table1_row",
+    "run_figure3",
+    "run_figure4",
+    "run_figure11",
+    "run_claim71",
+    "initiators_of",
+]
+
+
+def initiators_of(cluster: MembershipCluster) -> set[str]:
+    """Names of processes that started a reconfiguration in the run."""
+    return {
+        event.proc.name
+        for event in cluster.trace.events_of_kind(EventKind.INTERNAL)
+        if event.detail.startswith("initiating reconfiguration")
+    }
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — multiple reconfiguration initiations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Table1Row:
+    """One row of Table 1: p's actual state × q's belief about p."""
+
+    p_actually_up: bool
+    q_thinks_p_up: bool
+    #: the paper's entries: does q initiate ("no" / "eventually" / "yes")?
+    q_initiates: str
+    #: does p initiate?
+    p_initiates: bool
+
+
+TABLE1_EXPECTED: list[Table1Row] = [
+    Table1Row(p_actually_up=True, q_thinks_p_up=True, q_initiates="no", p_initiates=True),
+    Table1Row(p_actually_up=False, q_thinks_p_up=True, q_initiates="eventually", p_initiates=False),
+    Table1Row(p_actually_up=True, q_thinks_p_up=False, q_initiates="yes", p_initiates=True),
+    Table1Row(p_actually_up=False, q_thinks_p_up=False, q_initiates="yes", p_initiates=False),
+]
+
+
+def run_table1_row(row: Table1Row, seed: int = 0) -> MembershipCluster:
+    """Run one Table 1 scenario.
+
+    Group ``[m, p, q, r, s]`` with ``rank(m) > rank(p) > rank(q)``; m
+    crashes, and both p and q believe m faulty.  The row parameters control
+    whether p has actually failed and whether q believes it has.
+    """
+    cluster = MembershipCluster(
+        [pid(n) for n in ("m", "p", "q", "r", "s")],
+        seed=seed,
+        detector="scripted",
+        delay_model=FixedDelay(1.0),
+    )
+    cluster.start()
+    cluster.crash("m", at=5.0)
+    if not row.p_actually_up:
+        cluster.crash("p", at=6.0)
+    # Everyone learns of m's crash at t=10 (scripted "time-out").
+    for observer in ("p", "q", "r", "s"):
+        if row.p_actually_up or observer != "p":
+            cluster.suspect(observer, "m", at=10.0)
+    if not row.q_thinks_p_up:
+        # q's (possibly spurious) detection of p at the same time.
+        cluster.suspect("q", "p", at=10.0)
+    elif not row.p_actually_up:
+        # Row 2: q waits for p to reconfigure, eventually times out on it.
+        cluster.suspect("q", "p", at=30.0)
+    # Junior members eventually time out on whichever initiator stalls;
+    # give them the same beliefs q has so the run can complete.
+    if not row.p_actually_up or not row.q_thinks_p_up:
+        for observer in ("r", "s"):
+            cluster.suspect(observer, "p", at=35.0)
+    cluster.settle()
+    return cluster
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — Mgr fails in the middle of an update commit broadcast
+# ---------------------------------------------------------------------------
+
+
+def run_figure3(
+    n: int = 5,
+    commit_sends_before_crash: int = 1,
+    seed: int = 0,
+    member_class: type[GMPMember] | None = None,
+) -> MembershipCluster:
+    """Mgr commits a removal to only ``commit_sends_before_crash`` members.
+
+    Along the resulting cut no system view exists (some processes installed
+    version 1, others never will from Mgr); the reconfiguration algorithm
+    must detect the possibly-invisible commit and restore a unique view.
+    """
+    cluster = MembershipCluster.of_size(
+        n, seed=seed, delay_model=FixedDelay(1.0), member_class=member_class
+    )
+    victim = cluster.resolve(f"p{n - 1}")
+    crash_after_matching_sends(
+        cluster.network,
+        cluster.resolve("p0"),
+        payload_type_is("Commit"),
+        after=commit_sends_before_crash,
+        detail="figure-3 mid-commit crash",
+    )
+    cluster.start()
+    cluster.crash(victim, at=5.0)
+    cluster.settle()
+    return cluster
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — concurrent reconfigurers and the majority requirement
+# ---------------------------------------------------------------------------
+
+
+def run_figure4(seed: int = 0) -> MembershipCluster:
+    """Two concurrent reconfigurers, q and r, with crossing suspicions.
+
+    Group ``[m, q, r, a, b, c]``: m crashes; q initiates believing m faulty;
+    r initiates believing m *and q* faulty.  Whichever assembles a majority
+    first installs the next view; GMP-2's uniqueness must survive.
+    """
+    cluster = MembershipCluster(
+        [pid(n) for n in ("m", "q", "r", "a", "b", "c")],
+        seed=seed,
+        detector="scripted",
+        delay_model=FixedDelay(1.0),
+    )
+    cluster.start()
+    cluster.crash("m", at=5.0)
+    cluster.suspect("q", "m", at=10.0)
+    # r concurrently believes both m and q faulty (q's detection of m is
+    # real; r's detection of q is spurious — Figure 4's crossing pattern).
+    cluster.suspect("r", "m", at=10.0)
+    cluster.suspect("r", "q", at=10.0)
+    # The outer processes time out on m as well.
+    for observer in ("a", "b", "c"):
+        cluster.suspect(observer, "m", at=10.0)
+    cluster.settle()
+    return cluster
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 — two invisible partial commits for the same version
+# ---------------------------------------------------------------------------
+
+
+def run_figure11(
+    seed: int = 0,
+    member_class: type[GMPMember] | None = None,
+    member_kwargs: dict | None = None,
+    strawman: bool = False,
+) -> MembershipCluster:
+    """The Claim 7.2 / Proposition 5.5-5.6 schedule: two plans for version 1.
+
+    View (seniority order): ``[m, p, a, b, e, f, g, h, w]`` (n=9, mu=5).
+
+    1. ``a`` crashes.  m begins excluding it, but its Invite rides slow
+       channels to everyone except w, and m crashes at t=6 — so w alone
+       holds m's plan ``(remove a : m : 1)``.
+    2. p reconfigures at t=8 believing m faulty.  The p→w channel is slow,
+       so p (spuriously) times out on w and completes Phase I without
+       seeing m's plan; it therefore proposes m's removal for version 1
+       (line D.4).  Its proposal broadcast is ordered ``b, f, g, h`` first
+       (the paper's Bcast fixes no order) and p crashes after those four
+       sends — so f, g, h hold p's plan, while e and w never hear of it
+       (and, crucially, never adopt p's spurious suspicion of w).
+    3. e reconfigures at t=15 (believing m, p, a faulty, plus a spurious
+       suspicion of b) and its Phase I responses contain **two** proposals
+       for version 1: m's (from w) and p's (from f, g, h).  Proposition 5.6
+       says only the junior proposer's — p's — can have reached a commit,
+       and ``GetStable`` must choose it.
+
+    With ``strawman=True`` the schedule is adapted to the two-phase
+    baseline: p commits directly after its interrogation and dies after the
+    commit reaches the single witness b.  Because the strawman has no
+    proposal phase, p's plan never spread to f, g, h; e sees only m's plan,
+    trusts it, installs ``remove(a)`` as version 1, and diverges from the
+    witness — the unavoidable wrong guess of Claim 7.2.  Pass
+    ``member_class=TwoPhaseReconfigMember`` together with ``strawman=True``.
+    """
+    delays = PerPairDelay(default=FixedDelay(1.0))
+    names = ("m", "p", "a", "b", "e", "f", "g", "h", "w")
+    members = [pid(n) for n in names]
+    for slow in ("p", "b", "e", "f", "g", "h"):
+        delays.set(pid("m"), pid(slow), 10_000.0)
+    delays.set(pid("p"), pid("w"), 10_000.0)  # w never hears p at all
+    cluster = MembershipCluster(
+        members,
+        seed=seed,
+        detector="scripted",
+        delay_model=delays,
+        member_class=member_class,
+        member_kwargs=member_kwargs,
+    )
+    # Choose p's broadcast order so its crash truncates the subset we need.
+    cluster.member("p").broadcast_first = (pid("b"), pid("f"), pid("g"), pid("h"))
+    if strawman:
+        # Two-phase baseline: p commits right after Phase I; the commit
+        # reaches only the witness b before p dies.
+        crash_after_matching_sends(
+            cluster.network,
+            cluster.resolve("p"),
+            payload_type_is("ReconfigCommit"),
+            after=1,
+            detail="figure-11: p dies after committing to the witness b",
+        )
+    else:
+        # Three-phase protocol: p dies mid proposal broadcast, after the
+        # sends to b, f, g, h.
+        crash_after_matching_sends(
+            cluster.network,
+            cluster.resolve("p"),
+            payload_type_is("Propose"),
+            after=4,
+            detail="figure-11: p dies mid proposal broadcast",
+        )
+    cluster.start()
+    cluster.crash("a", at=2.0)
+    # m times out on a and starts the exclusion that will be cut short.
+    cluster.suspect("m", "a", at=4.0)
+    for observer in ("p", "b", "e", "f", "g", "h", "w"):
+        cluster.suspect(observer, "a", at=4.0)
+    cluster.crash("m", at=6.0)
+    # p initiates once it times out on m (a real crash), then times out on
+    # w whose answer crawls along the slow channel (a spurious detection).
+    cluster.suspect("p", "m", at=8.0)
+    cluster.suspect("p", "w", at=10.0)
+    # e initiates after p's crash; its spurious detection of b keeps the
+    # witness out of its Phase I (b is excluded later, satisfying GMP-5).
+    cluster.suspect("e", "p", at=15.0)
+    cluster.suspect("e", "b", at=15.0)
+    cluster.settle()
+    return cluster
+
+
+# ---------------------------------------------------------------------------
+# Claim 7.1 — one-phase algorithms diverge under coordinator failure
+# ---------------------------------------------------------------------------
+
+
+def run_claim71(
+    seed: int = 0,
+    member_class: type[GMPMember] | None = None,
+) -> MembershipCluster:
+    """The R/S split: ``faulty_R(Mgr)`` and ``faulty_S(r)`` concurrently.
+
+    R = {p1, p3, p5} suspects the coordinator p0; S = {p0, p2, p4} suspects
+    p1.  Under a one-phase algorithm both p0 and p1 commit removals that
+    only their own side receives (S1 isolates the other side), installing
+    divergent version-1 views.  The paper's protocol cannot commit either
+    way without a majority and stays safe.
+    """
+    cluster = MembershipCluster.of_size(
+        6,
+        seed=seed,
+        detector="scripted",
+        delay_model=FixedDelay(1.0),
+        member_class=member_class,
+    )
+    cluster.start()
+    for observer in ("p1", "p3", "p5"):
+        cluster.suspect(observer, "p0", at=5.0)
+    for observer in ("p0", "p2", "p4"):
+        cluster.suspect(observer, "p1", at=5.0)
+    cluster.settle()
+    return cluster

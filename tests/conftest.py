@@ -1,0 +1,51 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.service import MembershipCluster
+from repro.ids import ProcessId, pid
+from repro.properties import check_gmp, format_report
+from repro.sim.network import FixedDelay, Network, UniformDelay
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import RunTrace
+
+
+@pytest.fixture
+def scheduler() -> Scheduler:
+    return Scheduler()
+
+
+@pytest.fixture
+def trace() -> RunTrace:
+    return RunTrace()
+
+
+@pytest.fixture
+def network(scheduler: Scheduler, trace: RunTrace) -> Network:
+    return Network(scheduler, trace, delay_model=FixedDelay(1.0), seed=0)
+
+
+def make_cluster(n: int = 5, seed: int = 0, **kwargs) -> MembershipCluster:
+    """A started cluster with deterministic-ish delays."""
+    kwargs.setdefault("delay_model", UniformDelay(0.5, 2.0))
+    cluster = MembershipCluster.of_size(n, seed=seed, **kwargs)
+    cluster.start()
+    return cluster
+
+
+def assert_gmp(cluster: MembershipCluster, liveness: bool = True) -> None:
+    """Assert the full GMP specification over a finished run."""
+    report = check_gmp(cluster.trace, cluster.initial_view, check_liveness=liveness)
+    assert report.ok, format_report(report)
+
+
+def names(members) -> list[str]:
+    """Names of a ProcessId collection, for readable assertions."""
+    return [m.name for m in members]
+
+
+def p(*parts: str) -> list[ProcessId]:
+    """Shorthand: build a ProcessId list from names."""
+    return [pid(name) for name in parts]

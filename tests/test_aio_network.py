@@ -1,0 +1,153 @@
+"""Unit tests for the asyncio in-memory network fabric."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.aio.network import AioNetwork
+from repro.aio.scheduler import AioScheduler, AioTimer
+from repro.errors import ProcessCrashedError, SimulationError
+from repro.ids import pid
+from repro.model.events import EventKind
+from repro.sim.network import FixedDelay
+from repro.sim.process import SimProcess
+
+A, B = pid("a"), pid("b")
+
+
+class Echo(SimProcess):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.received = []
+
+    def on_message(self, sender, payload):
+        self.received.append((sender, payload))
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAioScheduler:
+    def test_now_advances_with_loop_time(self):
+        async def scenario():
+            scheduler = AioScheduler()
+            t0 = scheduler.now
+            await asyncio.sleep(0.02)
+            return scheduler.now - t0
+
+        assert run(scenario()) >= 0.015
+
+    def test_after_fires_callback(self):
+        async def scenario():
+            scheduler = AioScheduler()
+            fired = []
+            scheduler.after(0.01, lambda: fired.append(1))
+            await asyncio.sleep(0.05)
+            return fired
+
+        assert run(scenario()) == [1]
+
+    def test_cancel_prevents_firing(self):
+        async def scenario():
+            scheduler = AioScheduler()
+            fired = []
+            timer = scheduler.after(0.01, lambda: fired.append(1))
+            timer.cancel()
+            assert timer.cancelled
+            await asyncio.sleep(0.05)
+            return fired
+
+        assert run(scenario()) == []
+
+    def test_negative_delay_rejected(self):
+        async def scenario():
+            scheduler = AioScheduler()
+            with pytest.raises(ValueError):
+                scheduler.after(-1.0, lambda: None)
+
+        run(scenario())
+
+
+class TestAioNetwork:
+    def test_delivery_and_trace(self):
+        async def scenario():
+            scheduler = AioScheduler()
+            network = AioNetwork(scheduler, delay_model=FixedDelay(0.005))
+            a, b = Echo(A, network), Echo(B, network)
+            network.send(A, B, "hello")
+            await asyncio.sleep(0.05)
+            return b.received, network.trace
+
+        received, trace = run(scenario())
+        assert received == [(A, "hello")]
+        assert len(trace.events_of(A, EventKind.SEND)) == 1
+        assert len(trace.events_of(B, EventKind.RECV)) == 1
+
+    def test_fifo_preserved_under_jitter(self):
+        async def scenario():
+            scheduler = AioScheduler()
+            network = AioNetwork(scheduler, seed=3)  # jittered delays
+            a, b = Echo(A, network), Echo(B, network)
+            for i in range(30):
+                network.send(A, B, i)
+            for _ in range(200):
+                if len(b.received) == 30:
+                    break
+                await asyncio.sleep(0.005)
+            return [payload for _, payload in b.received]
+
+        assert run(scenario()) == list(range(30))
+
+    def test_crashed_sender_rejected(self):
+        async def scenario():
+            network = AioNetwork(AioScheduler())
+            a = Echo(A, network)
+            Echo(B, network)
+            a.crash()
+            with pytest.raises(ProcessCrashedError):
+                network.send(A, B, "x")
+
+        run(scenario())
+
+    def test_unknown_sender_rejected(self):
+        async def scenario():
+            network = AioNetwork(AioScheduler())
+            Echo(B, network)
+            with pytest.raises(SimulationError):
+                network.send(A, B, "x")
+
+        run(scenario())
+
+    def test_delivery_to_crashed_receiver_dropped(self):
+        async def scenario():
+            network = AioNetwork(AioScheduler(), delay_model=FixedDelay(0.005))
+            a, b = Echo(A, network), Echo(B, network)
+            network.send(A, B, "x")
+            b.crash()
+            await asyncio.sleep(0.05)
+            return b.received
+
+        assert run(scenario()) == []
+
+    def test_crash_observers_fire(self):
+        async def scenario():
+            network = AioNetwork(AioScheduler())
+            seen = []
+            network.add_crash_observer(seen.append)
+            a = Echo(A, network)
+            a.crash()
+            return seen
+
+        assert run(scenario()) == [A]
+
+    def test_duplicate_registration_rejected(self):
+        async def scenario():
+            network = AioNetwork(AioScheduler())
+            Echo(A, network)
+            with pytest.raises(SimulationError):
+                Echo(A, network)
+
+        run(scenario())

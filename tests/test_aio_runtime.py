@@ -1,0 +1,113 @@
+"""Tests for the asyncio runtime — the same state machines, live."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.aio import AioMembershipRuntime
+from repro.properties import check_gmp, format_report
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_runtime(n: int = 5, **kwargs) -> AioMembershipRuntime:
+    kwargs.setdefault("detector", "heartbeat")
+    kwargs.setdefault("heartbeat_period", 0.02)
+    kwargs.setdefault("heartbeat_timeout", 0.12)
+    return AioMembershipRuntime([f"n{i}" for i in range(n)], **kwargs)
+
+
+class TestLiveCluster:
+    def test_crash_is_detected_and_excluded(self):
+        async def scenario():
+            runtime = make_runtime(5)
+            runtime.start()
+            await runtime.run_for(0.1)
+            runtime.crash("n2")
+            assert await runtime.wait_for_agreement(timeout=10.0)
+            return runtime
+
+        runtime = run(scenario())
+        views = runtime.views()
+        assert all("n2" not in {m.name for m in view} for _, view in views.values())
+        report = check_gmp(runtime.trace, runtime.initial_view, check_liveness=False)
+        assert report.ok, format_report(report)
+
+    def test_coordinator_crash_reconfigures_live(self):
+        async def scenario():
+            runtime = make_runtime(5)
+            runtime.start()
+            await runtime.run_for(0.1)
+            runtime.crash("n0")
+            assert await runtime.wait_for_agreement(timeout=10.0)
+            return runtime
+
+        runtime = run(scenario())
+        for member in runtime.live_members():
+            assert member.state is not None and member.state.mgr.name == "n1"
+        report = check_gmp(runtime.trace, runtime.initial_view, check_liveness=False)
+        assert report.ok, format_report(report)
+
+    def test_join_live(self):
+        async def scenario():
+            runtime = make_runtime(4)
+            runtime.start()
+            await runtime.run_for(0.05)
+            joiner = runtime.join("n9")
+            deadline = asyncio.get_event_loop().time() + 10.0
+            while asyncio.get_event_loop().time() < deadline:
+                if runtime.members[joiner].is_member and runtime.in_agreement():
+                    break
+                await asyncio.sleep(0.02)
+            return runtime, joiner
+
+        runtime, joiner = run(scenario())
+        assert runtime.members[joiner].is_member
+        report = check_gmp(runtime.trace, runtime.initial_view, check_liveness=False)
+        assert report.ok, format_report(report)
+
+    def test_oracle_detector_variant(self):
+        async def scenario():
+            runtime = make_runtime(4, detector="oracle", oracle_delay=0.02)
+            runtime.start()
+            await runtime.run_for(0.05)
+            runtime.crash("n3")
+            assert await runtime.wait_for_agreement(timeout=10.0)
+            return runtime
+
+        runtime = run(scenario())
+        assert len(runtime.live_members()) == 3
+
+    def test_crash_then_rejoin_as_new_incarnation(self):
+        async def scenario():
+            runtime = make_runtime(4)
+            runtime.start()
+            await runtime.run_for(0.05)
+            runtime.crash("n1")
+            await runtime.wait_for_agreement(timeout=10.0)
+            rejoined = runtime.join("n1")
+            deadline = asyncio.get_event_loop().time() + 10.0
+            while asyncio.get_event_loop().time() < deadline:
+                if runtime.members[rejoined].is_member and runtime.in_agreement():
+                    break
+                await asyncio.sleep(0.02)
+            return runtime, rejoined
+
+        runtime, rejoined = run(scenario())
+        assert rejoined.incarnation == 1
+        assert runtime.members[rejoined].is_member
+        report = check_gmp(runtime.trace, runtime.initial_view, check_liveness=False)
+        assert report.ok, format_report(report)
+
+    def test_runtime_rejects_double_start(self):
+        async def scenario():
+            runtime = make_runtime(3)
+            runtime.start()
+            with pytest.raises(RuntimeError):
+                runtime.start()
+
+        run(scenario())

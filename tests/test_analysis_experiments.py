@@ -1,0 +1,35 @@
+"""Tests for the programmatic experiment-table generator."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import baseline_table, best_case_table, report
+
+
+class TestBestCaseTable:
+    def test_measured_matches_paper_exactly_for_two_phase(self):
+        table = best_case_table(sizes=[4, 8])
+        for row in table.rows:
+            assert row[1] == row[2]  # 3n-5 column == measured column
+
+    def test_render_is_aligned(self):
+        text = best_case_table(sizes=[4]).render()
+        lines = text.splitlines()
+        assert len({len(l) for l in lines[1:]}) == 1  # equal-width rows
+
+    def test_small_groups_skip_compressed_column(self):
+        table = best_case_table(sizes=[4])
+        assert table.rows[0][4] == "-"
+
+
+class TestBaselineTable:
+    def test_ratios_grow_with_n(self):
+        table = baseline_table(sizes=[6, 16])
+        ratio_small = float(table.rows[0][3].strip("()x"))
+        ratio_large = float(table.rows[1][3].strip("()x"))
+        assert ratio_large > ratio_small
+
+
+class TestReport:
+    def test_report_contains_pointers(self):
+        text = report()
+        assert "EXPERIMENTS.md" in text and "benchmarks/" in text

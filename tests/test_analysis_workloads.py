@@ -1,0 +1,145 @@
+"""Tests for the complexity formulas, message accounting, and workloads."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    breakdown,
+    compressed_streak_total,
+    compressed_update_messages,
+    protocol_messages,
+    reconfiguration_messages,
+    standard_streak_total,
+    tolerable_failures,
+    two_phase_update_messages,
+    worst_case_total,
+)
+from repro.workloads.churn import ChurnEvent, ChurnSchedule, mixed_churn, streak_schedule
+
+from conftest import assert_gmp, make_cluster
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("n,expected", [(3, 4), (5, 10), (10, 25)])
+    def test_two_phase(self, n, expected):
+        assert two_phase_update_messages(n) == expected
+
+    @pytest.mark.parametrize("n,expected", [(3, 3), (5, 7), (10, 17)])
+    def test_compressed(self, n, expected):
+        assert compressed_update_messages(n) == expected
+
+    @pytest.mark.parametrize("n,expected", [(3, 6), (5, 16), (10, 41)])
+    def test_reconfiguration(self, n, expected):
+        assert reconfiguration_messages(n) == expected
+
+    def test_streak_totals_match_paper(self):
+        # (n-1)^2 for the compressed streak, averaging n-1 per exclusion.
+        assert compressed_streak_total(10) == 81
+        assert compressed_streak_total(10) / 9 == 9.0
+
+    def test_standard_streak_costs_more(self):
+        for n in range(3, 30):
+            assert standard_streak_total(n) > compressed_streak_total(n)
+
+    def test_standard_streak_extra_is_about_half_n_per_exclusion(self):
+        n = 20
+        extra_per_exclusion = (
+            standard_streak_total(n) - compressed_streak_total(n)
+        ) / (n - 1)
+        assert n / 2 - 2 <= extra_per_exclusion <= n / 2 + 2
+
+    @pytest.mark.parametrize("n,expected", [(4, 1), (5, 2), (6, 2), (7, 3), (9, 4)])
+    def test_tolerable_failures_is_minority(self, n, expected):
+        assert tolerable_failures(n) == expected
+
+    def test_worst_case_is_quadratic(self):
+        # Doubling n should roughly quadruple the worst-case total.
+        assert worst_case_total(40) > 3 * worst_case_total(20)
+
+    @given(st.integers(min_value=4, max_value=200))
+    def test_ordering_of_best_cases(self, n):
+        """compressed < two-phase < reconfiguration, at every size."""
+        assert (
+            compressed_update_messages(n)
+            < two_phase_update_messages(n)
+            < reconfiguration_messages(n)
+        )
+
+    def test_small_groups_rejected(self):
+        with pytest.raises(ValueError):
+            two_phase_update_messages(1)
+        with pytest.raises(ValueError):
+            reconfiguration_messages(2)
+
+
+class TestMessageAccounting:
+    def test_awareness_traffic_not_charged(self):
+        cluster = make_cluster(5, seed=1, detector="scripted")
+        cluster.suspect("p2", "p4", at=5.0)  # produces a FaultyNotice
+        cluster.settle()
+        counts = breakdown(cluster.trace)
+        assert counts.awareness >= 1
+        assert counts.algorithm == counts.total - counts.awareness
+
+    def test_update_vs_reconfiguration_split(self):
+        cluster = make_cluster(5, seed=2)
+        cluster.crash("p0", at=5.0)
+        cluster.crash("p4", at=60.0)
+        cluster.settle()
+        counts = breakdown(cluster.trace)
+        assert counts.reconfiguration > 0 and counts.update > 0
+        assert counts.algorithm == counts.update + counts.reconfiguration
+
+    def test_protocol_messages_helper(self):
+        cluster = make_cluster(4, seed=3)
+        cluster.crash("p3", at=5.0)
+        cluster.settle()
+        assert protocol_messages(cluster.trace) == breakdown(cluster.trace).algorithm
+
+    def test_format_is_readable(self):
+        cluster = make_cluster(4, seed=4)
+        cluster.crash("p3", at=5.0)
+        cluster.settle()
+        text = breakdown(cluster.trace).format()
+        assert "Invite" in text and "algorithm=" in text
+
+
+class TestChurnSchedules:
+    def test_streak_schedule_spares_coordinator(self):
+        schedule = streak_schedule(6, victims=3)
+        assert schedule.crashes == 3
+        assert all(e.subject != "p0" for e in schedule.events)
+
+    def test_streak_schedule_can_include_coordinator(self):
+        schedule = streak_schedule(6, victims=5, keep_coordinator=False)
+        assert any(e.subject == "p0" for e in schedule.events)
+
+    def test_streak_cannot_kill_everyone(self):
+        with pytest.raises(ValueError):
+            streak_schedule(4, victims=4)
+
+    def test_mixed_churn_is_reproducible(self):
+        one = mixed_churn(5, operations=20, seed=9)
+        two = mixed_churn(5, operations=20, seed=9)
+        assert one.events == two.events
+
+    def test_mixed_churn_preserves_quorum(self):
+        schedule = mixed_churn(6, operations=40, seed=10)
+        alive = 6
+        for event in schedule.events:
+            alive += 1 if event.kind == "join" else -1
+            assert alive >= 3
+
+    def test_schedule_apply_runs_cleanly(self):
+        cluster = make_cluster(6, seed=11)
+        streak_schedule(6, victims=2, start=5.0, spacing=30.0).apply(cluster)
+        cluster.settle()
+        assert len(cluster.agreed_view()) == 4
+        assert_gmp(cluster)
+
+    def test_events_are_value_objects(self):
+        assert ChurnEvent(1.0, "crash", "p1") == ChurnEvent(1.0, "crash", "p1")
+        assert ChurnSchedule([ChurnEvent(1.0, "join", "x")]).joins == 1

@@ -1,0 +1,121 @@
+"""Integration tests: baseline protocols and their comparison to GMP."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import breakdown, two_phase_update_messages
+from repro.baselines import (
+    AbcastMember,
+    OnePhaseMember,
+    SymmetricMember,
+    TwoPhaseReconfigMember,
+)
+from repro.core.service import MembershipCluster
+from repro.properties import check_gmp
+
+from conftest import make_cluster, names
+
+
+def run_single_failure(member_class, n=10, seed=1):
+    kwargs = {} if member_class is None else {"member_class": member_class}
+    cluster = make_cluster(n, seed=seed, **kwargs)
+    cluster.crash(f"p{n // 2}", at=5.0)
+    cluster.settle()
+    return cluster
+
+
+class TestBenignEquivalence:
+    """On benign single-failure runs every baseline reaches the same view."""
+
+    @pytest.mark.parametrize(
+        "member_class", [None, SymmetricMember, AbcastMember, OnePhaseMember]
+    )
+    def test_survivor_views_agree(self, member_class):
+        cluster = run_single_failure(member_class)
+        view = names(cluster.agreed_view())
+        assert "p5" not in view and len(view) == 9
+
+    @pytest.mark.parametrize(
+        "member_class", [None, SymmetricMember, AbcastMember]
+    )
+    def test_gmp_safety_on_benign_run(self, member_class):
+        cluster = run_single_failure(member_class)
+        report = check_gmp(cluster.trace, cluster.initial_view, check_liveness=False)
+        assert report.ok
+
+
+class TestMessageCosts:
+    def test_symmetric_costs_an_order_of_magnitude_more(self):
+        ours = breakdown(run_single_failure(None).trace).algorithm
+        theirs = breakdown(run_single_failure(SymmetricMember).trace).algorithm
+        assert ours == two_phase_update_messages(10)
+        assert theirs >= 5 * ours  # "order of magnitude more" (Section 1)
+
+    def test_abcast_costs_quadratically_more(self):
+        ours = breakdown(run_single_failure(None).trace).algorithm
+        theirs = breakdown(run_single_failure(AbcastMember).trace).algorithm
+        assert theirs > 3 * ours
+
+    def test_symmetric_cost_scales_quadratically(self):
+        small = breakdown(run_single_failure(SymmetricMember, n=6).trace).algorithm
+        large = breakdown(run_single_failure(SymmetricMember, n=12).trace).algorithm
+        # doubling n should roughly quadruple the cost
+        assert large > 3 * small
+
+    def test_gmp_cost_scales_linearly(self):
+        small = breakdown(run_single_failure(None, n=6).trace).algorithm
+        large = breakdown(run_single_failure(None, n=12).trace).algorithm
+        assert large < 3 * small
+
+
+class TestStrawmen:
+    def test_one_phase_cheapest_but_unsound(self):
+        # Cheapest on benign runs...
+        ours = breakdown(run_single_failure(None).trace).algorithm
+        theirs = breakdown(run_single_failure(OnePhaseMember).trace).algorithm
+        assert theirs < ours
+        # ...but unsound under the Claim 7.1 schedule (see test_scenarios).
+
+    def test_two_phase_reconfig_matches_gmp_on_benign_runs(self):
+        cluster = make_cluster(6, seed=2, member_class=TwoPhaseReconfigMember)
+        cluster.crash("p0", at=5.0)
+        cluster.settle()
+        report = check_gmp(cluster.trace, cluster.initial_view, check_liveness=False)
+        assert report.ok
+        assert names(cluster.agreed_view()) == ["p1", "p2", "p3", "p4", "p5"]
+
+    def test_two_phase_reconfig_saves_a_phase(self):
+        def reconfig_cost(member_class):
+            kwargs = {} if member_class is None else {"member_class": member_class}
+            cluster = make_cluster(8, seed=3, **kwargs)
+            cluster.crash("p0", at=5.0)
+            cluster.settle()
+            return breakdown(cluster.trace).reconfiguration
+
+        assert reconfig_cost(TwoPhaseReconfigMember) < reconfig_cost(None)
+
+
+class TestBaselineConstraints:
+    def test_baselines_require_initial_view(self):
+        cluster = MembershipCluster.of_size(3, member_class=SymmetricMember)
+        with pytest.raises(ValueError):
+            cluster.join("x")
+
+    def test_symmetric_removal_needs_unanimous_accusation(self):
+        # With only one accuser and no real crash, nothing is removed:
+        # the symmetric protocol waits for everyone it trusts to accuse.
+        cluster = make_cluster(5, seed=4, detector="scripted", member_class=SymmetricMember)
+        cluster.suspect("p1", "p4", at=5.0)
+        cluster.run(until=50.0)
+        # accusation floods make everyone accuse, so p4 *is* removed —
+        # gossip in the symmetric protocol is total.
+        cluster.settle()
+        assert "p4" not in names(cluster.agreed_view())
+
+    def test_abcast_sequencer_failover(self):
+        cluster = make_cluster(8, seed=5, member_class=AbcastMember)
+        cluster.crash("p0", at=5.0)  # the sequencer itself
+        cluster.settle()
+        view = names(cluster.agreed_view())
+        assert "p0" not in view and len(view) == 7

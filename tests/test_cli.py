@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemo:
+    def test_demo_succeeds(self, capsys):
+        assert main(["demo", "--size", "5", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "Sys^" in out
+
+    def test_demo_prints_message_count(self, capsys):
+        main(["demo", "--size", "4"])
+        assert "protocol messages:" in capsys.readouterr().out
+
+
+class TestScenario:
+    @pytest.mark.parametrize("name", ["figure3", "figure4", "figure11"])
+    def test_paper_scenarios_pass(self, name, capsys):
+        assert main(["scenario", name]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_table1_lists_initiators(self, capsys):
+        assert main(["scenario", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "row 1" in out and "row 4" in out
+
+    def test_strawman_scenarios_report_violations(self, capsys):
+        main(["scenario", "claim71"])
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        main(["scenario", "figure11-strawman"])
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "figure99"])
+
+
+class TestSweep:
+    def test_sweep_prints_table(self, capsys):
+        assert main(["sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "3n-5" in out and "5n-9" in out
+        # The exact-match column: n=8 row shows 19 twice.
+        assert "19     19" in out
+
+
+class TestCheck:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_storms_pass(self, seed, capsys):
+        assert main(["check", "--seed", str(seed)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+
+class TestExplore:
+    def test_explore_exhaustive_scenario(self, capsys):
+        assert main(["explore", "--size", "3", "--crash", "p2"]) == 0
+        out = capsys.readouterr().out
+        assert "exhaustive" in out and "satisfies GMP" in out
+
+    def test_explore_spurious_pairs(self, capsys):
+        assert main(["explore", "--size", "3", "--spurious", "p0:p1"]) == 0
+        assert "satisfies GMP" in capsys.readouterr().out
+
+    def test_explore_reports_bounded(self, capsys):
+        assert (
+            main(["explore", "--size", "4", "--crash", "p0", "--max-states", "100"])
+            == 0
+        )
+        assert "bounded" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_renders_both_tables(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "best cases" in out and "symmetric" in out
+        # E1's exact match shows in the rendered rows.
+        assert "3n-5" in out and "5n-9" in out

@@ -1,0 +1,191 @@
+"""Tests for the JSON wire codec: every message type round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import codec
+from repro.codec import CodecError, decode, decode_bytes, encode, encode_bytes
+from repro.detectors.heartbeat import Ping, Pong
+from repro.ids import ProcessId, pid
+from repro.core.messages import (
+    Commit,
+    FaultyNotice,
+    Interrogate,
+    InterrogateOk,
+    Invite,
+    JoinRequest,
+    Op,
+    Plan,
+    Propose,
+    ProposeOk,
+    ReconfigCommit,
+    StateTransfer,
+    UpdateOk,
+    add,
+    remove,
+)
+
+A, B, C = pid("a"), pid("b", 2), pid("c")
+
+ALL_MESSAGES = [
+    FaultyNotice(target=C),
+    JoinRequest(joiner=pid("x", 3)),
+    Invite(op=remove(C), version=4),
+    UpdateOk(version=4),
+    Commit(
+        op=remove(C),
+        version=4,
+        contingent=add(pid("y")),
+        faulty=(C, pid("z")),
+        recovered=(pid("y"),),
+    ),
+    Commit(op=add(pid("y")), version=1, contingent=None),
+    StateTransfer(
+        view=(A, B),
+        version=2,
+        seq=(remove(C), add(B)),
+        mgr=A,
+        contingent=remove(B),
+        faulty=(C,),
+    ),
+    Interrogate(hi_faulty=(A, C)),
+    Interrogate(hi_faulty=()),
+    InterrogateOk(
+        version=3,
+        seq=(remove(C),),
+        plans=(Plan(remove(B), A, 4), Plan(None, B, None)),
+    ),
+    Propose(ops=(remove(A), remove(C)), version=5, invis=add(B), faulty=(A,)),
+    ProposeOk(version=5),
+    ReconfigCommit(ops=(remove(A),), version=5, invis=None, faulty=()),
+    Ping(nonce=17),
+    Pong(nonce=17),
+]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "message", ALL_MESSAGES, ids=lambda m: type(m).__name__ + "/" + str(hash(m) % 97)
+    )
+    def test_dict_round_trip(self, message):
+        frame = encode(message, A, B)
+        sender, receiver, decoded, category, msg_id = decode(frame)
+        assert (sender, receiver, decoded, category) == (A, B, message, "protocol")
+        assert msg_id is None
+
+    @pytest.mark.parametrize(
+        "message", ALL_MESSAGES, ids=lambda m: type(m).__name__ + "/" + str(hash(m) % 97)
+    )
+    def test_bytes_round_trip(self, message):
+        data = encode_bytes(message, A, B, category="detector", msg_id=42)
+        assert data.endswith(b"\n")
+        sender, receiver, decoded, category, msg_id = decode_bytes(data)
+        assert decoded == message and category == "detector" and msg_id == 42
+
+    def test_frames_are_plain_json(self):
+        for message in ALL_MESSAGES:
+            frame = encode(message, A, B)
+            json.dumps(frame)  # must not raise
+
+    def test_incarnations_preserved(self):
+        frame = encode(UpdateOk(version=1), B, A)
+        sender, _, _, _, _ = decode(frame)
+        assert sender == ProcessId("b", 2)
+
+
+class TestRejections:
+    def test_unknown_payload_type(self):
+        with pytest.raises(CodecError):
+            encode(object(), A, B)
+
+    def test_unknown_frame_type(self):
+        frame = encode(UpdateOk(version=1), A, B)
+        frame["t"] = "Nonsense"
+        with pytest.raises(CodecError):
+            decode(frame)
+
+    def test_wrong_wire_version(self):
+        frame = encode(UpdateOk(version=1), A, B)
+        frame["v"] = 99
+        with pytest.raises(CodecError):
+            decode(frame)
+
+    def test_missing_body_field(self):
+        frame = encode(Invite(op=remove(C), version=1), A, B)
+        del frame["body"]["op"]
+        with pytest.raises((CodecError, KeyError)):
+            decode(frame)
+
+    def test_invalid_json_bytes(self):
+        with pytest.raises(CodecError):
+            decode_bytes(b"{not json\n")
+
+    def test_non_dict_frame(self):
+        with pytest.raises(CodecError):
+            decode([1, 2, 3])  # type: ignore[arg-type]
+
+    def test_malformed_pid(self):
+        frame = encode(UpdateOk(version=1), A, B)
+        frame["from"] = "just-a-string"
+        with pytest.raises(CodecError):
+            decode(frame)
+
+    def test_null_op_in_sequence(self):
+        frame = encode(Propose(ops=(remove(A),), version=1, invis=None), A, B)
+        frame["body"]["ops"] = [None]
+        with pytest.raises(CodecError):
+            decode(frame)
+
+
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_-", min_size=1, max_size=12
+)
+pids = st.builds(ProcessId, names, st.integers(0, 5))
+ops = st.builds(Op, st.sampled_from(["add", "remove"]), pids)
+
+
+class TestPropertyRoundTrips:
+    @given(op=ops, version=st.integers(1, 10_000), sender=pids, receiver=pids)
+    def test_invite_round_trips(self, op, version, sender, receiver):
+        message = Invite(op=op, version=version)
+        data = encode_bytes(message, sender, receiver)
+        s, r, decoded, _, _ = decode_bytes(data)
+        assert (s, r, decoded) == (sender, receiver, message)
+
+    @given(
+        ops_list=st.lists(ops, min_size=1, max_size=4),
+        version=st.integers(1, 100),
+        invis=st.none() | ops,
+        faulty=st.lists(pids, max_size=4),
+    )
+    def test_reconfig_commit_round_trips(self, ops_list, version, invis, faulty):
+        message = ReconfigCommit(
+            ops=tuple(ops_list), version=version, invis=invis, faulty=tuple(faulty)
+        )
+        data = encode_bytes(message, A, B)
+        _, _, decoded, _, _ = decode_bytes(data)
+        assert decoded == message
+
+    @given(
+        version=st.integers(0, 50),
+        seq=st.lists(ops, max_size=5),
+        plans=st.lists(
+            st.builds(
+                Plan,
+                st.none() | ops,
+                pids,
+                st.none() | st.integers(1, 50),
+            ),
+            max_size=3,
+        ),
+    )
+    def test_interrogate_ok_round_trips(self, version, seq, plans):
+        message = InterrogateOk(version=version, seq=tuple(seq), plans=tuple(plans))
+        data = encode_bytes(message, A, B)
+        _, _, decoded, _, _ = decode_bytes(data)
+        assert decoded == message

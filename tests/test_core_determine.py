@@ -1,0 +1,244 @@
+"""Unit tests for Determine / GetStable / ProposalsForVer (Figure 6).
+
+These are the trickiest lines of the protocol; every branch of the figure
+gets a direct test, plus the typo-interpretations documented in DESIGN.md §4
+and property tests over random response sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.determine import (
+    DetermineResult,
+    PhaseOneResponse,
+    determine,
+    get_stable,
+    proposals_for_ver,
+)
+from repro.core.messages import Op, Plan, add, remove
+from repro.errors import ProtocolInvariantError, ViewDivergenceError
+from repro.ids import pid
+
+M, P, Q, R, S = (pid(n) for n in "mpqrs")
+VIEW = (M, P, Q, R, S)
+
+
+def resp(proc, version=0, seq=(), plans=()):
+    return PhaseOneResponse(proc=proc, version=version, seq=tuple(seq), plans=tuple(plans))
+
+
+def no_next(skip=None):
+    return None
+
+
+class TestProposalsForVer:
+    def test_collects_by_version(self):
+        responses = [
+            resp(Q, plans=[Plan(remove(S), M, 1)]),
+            resp(R, plans=[Plan(remove(S), M, 1), Plan(remove(M), P, 2)]),
+        ]
+        found = proposals_for_ver(responses, 1)
+        assert found == {remove(S): [M]}
+
+    def test_placeholders_ignored(self):
+        responses = [resp(Q, plans=[Plan(None, P, None)])]
+        assert proposals_for_ver(responses, 1) == {}
+
+    def test_distinct_proposers_accumulate(self):
+        responses = [
+            resp(Q, plans=[Plan(remove(S), M, 1)]),
+            resp(R, plans=[Plan(remove(S), P, 1)]),
+        ]
+        found = proposals_for_ver(responses, 1)
+        assert set(found[remove(S)]) == {M, P}
+
+
+class TestGetStable:
+    def test_junior_proposer_wins(self):
+        proposals = {remove(S): [M], remove(M): [P]}
+        assert get_stable(proposals, VIEW) == remove(M)
+
+    def test_senior_preference_inverts(self):
+        proposals = {remove(S): [M], remove(M): [P]}
+        assert get_stable(proposals, VIEW, prefer="senior") == remove(S)
+
+    def test_unknown_coordinator_is_maximally_senior(self):
+        gone = pid("gone")
+        proposals = {remove(S): [gone], remove(M): [Q]}
+        assert get_stable(proposals, VIEW) == remove(M)
+
+    def test_empty_proposals_rejected(self):
+        with pytest.raises(ProtocolInvariantError):
+            get_stable({}, VIEW)
+
+    def test_more_than_two_proposals_rejected(self):
+        proposals = {remove(S): [M], remove(M): [P], remove(Q): [R]}
+        with pytest.raises(ProtocolInvariantError):
+            get_stable(proposals, VIEW)
+
+    def test_invalid_preference_rejected(self):
+        with pytest.raises(ValueError):
+            get_stable({remove(S): [M]}, VIEW, prefer="random")
+
+
+class TestDetermineAllCurrent:
+    """The L = S = 0 branch: every respondent at the initiator's version."""
+
+    def test_no_candidates_proposes_mgr_removal(self):
+        responses = [resp(Q), resp(R), resp(S)]
+        result = determine(Q, responses, VIEW, M, no_next)
+        assert result.ops == (remove(M),) and result.version == 1
+        assert result.candidate_count == 0
+
+    def test_single_candidate_propagated(self):
+        responses = [
+            resp(Q, plans=[Plan(remove(S), M, 1)]),
+            resp(R),
+        ]
+        result = determine(Q, responses, VIEW, M, no_next)
+        assert result.ops == (remove(S),)
+        assert result.candidate_count == 1
+
+    def test_two_candidates_resolved_by_get_stable(self):
+        responses = [
+            resp(Q, plans=[Plan(remove(S), M, 1)]),
+            resp(R, plans=[Plan(remove(M), P, 1)]),
+        ]
+        result = determine(Q, responses, VIEW, M, no_next)
+        assert result.ops == (remove(M),)  # junior proposer P wins
+        assert result.candidate_count == 2
+
+    def test_invis_comes_from_get_next(self):
+        responses = [resp(Q), resp(R)]
+        result = determine(Q, responses, VIEW, M, lambda skip: remove(S))
+        assert result.invis == remove(S)
+
+
+class TestDetermineIncomplete:
+    """The L != 0 / S != 0 branches: respondents straddle versions."""
+
+    def test_ahead_respondent_donates_missing_op(self):
+        # R already installed version 1 (removing S); Q must complete it.
+        responses = [
+            resp(Q, version=0, seq=[]),
+            resp(R, version=1, seq=[remove(S)]),
+        ]
+        result = determine(Q, responses, VIEW, M, no_next)
+        assert result.ops == (remove(S),) and result.version == 1
+
+    def test_behind_respondent_receives_initiators_op(self):
+        # Q installed version 1; straggler R did not — re-commit it.
+        responses = [
+            resp(Q, version=1, seq=[remove(S)]),
+            resp(R, version=0, seq=[]),
+        ]
+        result = determine(Q, responses, VIEW, M, no_next)
+        assert result.ops == (remove(S),) and result.version == 1
+
+    def test_one_version_gap_bridges_only_missing_op(self):
+        responses = [
+            resp(Q, version=2, seq=[remove(S), remove(R)]),
+            resp(P, version=1, seq=[remove(S)]),
+        ]
+        result = determine(Q, responses, VIEW, M, no_next)
+        assert result.ops == (remove(R),) and result.version == 2
+
+    def test_two_version_gap_yields_multi_op_proposal(self):
+        # Footnote 11: the proposal may be a sequence of events — it must
+        # carry every operation the oldest respondent is missing.  The
+        # initiator sits mid-window (Proposition 5.1 bounds respondents to
+        # one version either side of it).
+        responses = [
+            resp(Q, version=1, seq=[remove(S)]),
+            resp(P, version=2, seq=[remove(S), remove(R)]),
+            resp(pid("x"), version=0, seq=[]),
+        ]
+        view = VIEW + (pid("x"),)
+        result = determine(Q, responses, view, M, no_next)
+        assert result.ops == (remove(S), remove(R)) and result.version == 2
+
+    def test_contingent_proposal_for_next_version_becomes_invis(self):
+        responses = [
+            resp(Q, version=0, seq=[]),
+            resp(R, version=1, seq=[remove(S)], plans=[Plan(remove(P), M, 2)]),
+        ]
+        result = determine(Q, responses, VIEW, M, no_next)
+        assert result.invis == remove(P)
+
+    def test_two_contingent_proposals_resolved_by_get_stable(self):
+        responses = [
+            resp(Q, version=1, seq=[remove(S)], plans=[Plan(remove(P), M, 2)]),
+            resp(R, version=1, seq=[remove(S)], plans=[Plan(remove(M), Q, 2)]),
+            resp(P, version=0, seq=[]),
+        ]
+        result = determine(P, responses, VIEW, M, no_next)
+        # Q is junior to M, so Q's contingent proposal could have committed.
+        assert result.invis == remove(M)
+
+
+class TestDetermineRejections:
+    def test_version_spread_beyond_window_rejected(self):
+        responses = [resp(Q, version=0), resp(R, version=2, seq=[remove(S), remove(P)])]
+        with pytest.raises(ProtocolInvariantError):
+            determine(Q, responses, VIEW, M, no_next)
+
+    def test_initiator_must_be_among_responses(self):
+        with pytest.raises(ProtocolInvariantError):
+            determine(Q, [resp(R)], VIEW, M, no_next)
+
+    def test_empty_responses_rejected(self):
+        with pytest.raises(ProtocolInvariantError):
+            determine(Q, [], VIEW, M, no_next)
+
+    def test_non_prefix_seqs_rejected(self):
+        responses = [
+            resp(Q, version=1, seq=[remove(S)]),
+            resp(R, version=1, seq=[remove(P)]),
+        ]
+        with pytest.raises(ViewDivergenceError):
+            determine(Q, responses, VIEW, M, no_next)
+
+    def test_version_seq_mismatch_rejected(self):
+        responses = [resp(Q, version=2, seq=[remove(S)])]
+        with pytest.raises(ProtocolInvariantError):
+            determine(Q, responses, VIEW, M, no_next)
+
+
+class TestDetermineProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        ahead=st.booleans(),
+        straggler=st.booleans(),
+        n_respondents=st.integers(1, 4),
+        with_plan=st.booleans(),
+    )
+    def test_result_always_reaches_max_version(
+        self, ahead, straggler, n_respondents, with_plan
+    ):
+        """Whatever the mix, the proposal completes the highest version seen
+        (Proposition 5.2: the last r-defined view plus one)."""
+        others = [P, R, S][:n_respondents]
+        base_seq = [remove(pid("z"))] if (ahead or straggler) else []
+        view = list(VIEW) + [pid("z")]
+        responses = [resp(Q, version=0, seq=[])]
+        max_version = 0
+        for i, proc in enumerate(others):
+            if ahead and i == 0:
+                responses.append(resp(proc, version=1, seq=base_seq))
+                max_version = 1
+            else:
+                plans = [Plan(remove(S), M, 1)] if with_plan else []
+                responses.append(resp(proc, version=0, seq=[], plans=plans))
+        result = determine(Q, responses, tuple(view), M, no_next)
+        versions = [r.version for r in responses]
+        if max(versions) > min(versions):
+            # Completing an in-flight version: exactly bridge the spread.
+            assert result.version == max(versions)
+            assert len(result.ops) == max(versions) - min(versions)
+        else:
+            # Everyone current: create the next version with one operation.
+            assert result.version == max(versions) + 1
+            assert len(result.ops) == 1

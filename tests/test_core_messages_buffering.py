@@ -1,0 +1,159 @@
+"""Unit tests for wire messages, plans, rounds, and future-view buffering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.buffering import FutureViewBuffer, version_of
+from repro.core.messages import (
+    Commit,
+    Interrogate,
+    Invite,
+    Op,
+    Plan,
+    Propose,
+    ReconfigCommit,
+    add,
+    remove,
+    is_reconfiguration_message,
+)
+from repro.core.rounds import ReconfigPhase, ReconfigRound, UpdateRound
+from repro.ids import pid
+
+A, B, C, D = (pid(n) for n in "abcd")
+
+
+class TestOps:
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            Op("banish", A)
+
+    def test_predicates(self):
+        assert remove(A).is_remove and not remove(A).is_add
+        assert add(A).is_add and not add(A).is_remove
+
+    def test_ops_are_value_types(self):
+        assert remove(A) == Op("remove", A)
+        assert len({remove(A), remove(A), add(A)}) == 2
+
+
+class TestPlans:
+    def test_placeholder_detection(self):
+        assert Plan(None, A, None).is_placeholder
+        assert not Plan(remove(B), A, 1).is_placeholder
+
+    def test_str_renders_question_marks(self):
+        assert "?" in str(Plan(None, A, None))
+
+
+class TestReconfigClassification:
+    @pytest.mark.parametrize(
+        "payload,expected",
+        [
+            (Interrogate(hi_faulty=()), True),
+            (Propose(ops=(remove(A),), version=1, invis=None), True),
+            (ReconfigCommit(ops=(remove(A),), version=1, invis=None), True),
+            (Invite(remove(A), 1), False),
+            (Commit(remove(A), 1, None), False),
+        ],
+    )
+    def test_is_reconfiguration_message(self, payload, expected):
+        assert is_reconfiguration_message(payload) is expected
+
+    def test_propose_final_op(self):
+        proposal = Propose(ops=(remove(A), remove(B)), version=2, invis=None)
+        assert proposal.final_op == remove(B)
+
+
+class TestVersionOf:
+    def test_versioned_payloads(self):
+        assert version_of(Invite(remove(A), 3)) == 3
+        assert version_of(Commit(remove(A), 4, None)) == 4
+        assert version_of(ReconfigCommit(ops=(remove(A),), version=5, invis=None)) == 5
+
+    def test_unversioned_payload_is_none(self):
+        assert version_of("not a protocol message") is None
+
+
+class TestFutureViewBuffer:
+    def test_hold_and_release_in_version_order(self):
+        buffer = FutureViewBuffer()
+        buffer.hold(A, Invite(remove(B), 3))
+        buffer.hold(A, Invite(remove(C), 2))
+        released = list(buffer.release(1))
+        assert [version_of(m) for _, m in released] == [2]
+        released = list(buffer.release(2))
+        assert [version_of(m) for _, m in released] == [3]
+
+    def test_stale_messages_dropped(self):
+        buffer = FutureViewBuffer()
+        buffer.hold(A, Invite(remove(B), 2))
+        assert list(buffer.release(5)) == []
+        assert len(buffer) == 0
+
+    def test_unversioned_payload_rejected(self):
+        with pytest.raises(ValueError):
+            FutureViewBuffer().hold(A, "junk")
+
+    def test_drop_from_sender(self):
+        buffer = FutureViewBuffer()
+        buffer.hold(A, Invite(remove(B), 2))
+        buffer.hold(C, Invite(remove(B), 2))
+        buffer.drop_from(A)
+        released = list(buffer.release(1))
+        assert [sender for sender, _ in released] == [C]
+
+    def test_consecutive_versions_release_together(self):
+        buffer = FutureViewBuffer()
+        buffer.hold(A, Commit(remove(B), 2, None))
+        buffer.hold(A, Commit(remove(C), 3, None))
+        # Caller at version 1: only version 2 is applicable; after applying
+        # it the caller would call release(2) for version 3.
+        assert len(list(buffer.release(1))) == 1
+        assert len(list(buffer.release(2))) == 1
+
+
+class TestUpdateRound:
+    def test_resolution_by_oks(self):
+        round_ = UpdateRound(op=remove(C), version=1, pending={A, B})
+        round_.record_ok(A)
+        assert not round_.resolved
+        round_.record_ok(B)
+        assert round_.resolved and round_.ok_count() == 3
+
+    def test_resolution_by_faults(self):
+        round_ = UpdateRound(op=remove(C), version=1, pending={A, B})
+        round_.record_faulty(A)
+        round_.record_ok(B)
+        assert round_.resolved and round_.ok_count() == 2
+
+    def test_ok_from_unexpected_sender_ignored(self):
+        round_ = UpdateRound(op=remove(C), version=1, pending={A})
+        round_.record_ok(D)
+        assert not round_.resolved and round_.ok_count() == 1
+
+
+class TestReconfigRound:
+    def test_majority_fixed_at_start(self):
+        round_ = ReconfigRound(
+            phase=ReconfigPhase.INTERROGATE, view_size=7, pending={A, B}
+        )
+        assert round_.majority() == 4
+
+    def test_phase_counts_include_initiator(self):
+        from repro.core.determine import PhaseOneResponse
+
+        round_ = ReconfigRound(
+            phase=ReconfigPhase.INTERROGATE, view_size=5, pending={A}
+        )
+        round_.record_response(PhaseOneResponse(A, 0, (), ()))
+        assert round_.phase_one_count() == 2
+        assert round_.resolved
+
+    def test_propose_oks_counted_separately(self):
+        round_ = ReconfigRound(
+            phase=ReconfigPhase.PROPOSE, view_size=5, pending={A, B}
+        )
+        round_.record_propose_ok(A)
+        round_.record_faulty(B)
+        assert round_.resolved and round_.phase_two_count() == 2

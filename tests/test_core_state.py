@@ -1,0 +1,259 @@
+"""Unit and property tests for LocalState — the paper's per-process variables."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import Op, Plan, add, remove
+from repro.core.state import LocalState
+from repro.errors import NotInViewError
+from repro.ids import pid
+
+M, P, Q, R, S = (pid(n) for n in "mpqrs")
+
+
+def state(me=Q, view=(M, P, Q, R, S)) -> LocalState:
+    return LocalState(me=me, view=list(view))
+
+
+class TestBasics:
+    def test_initial_mgr_is_most_senior(self):
+        assert state().mgr == M
+
+    def test_empty_view_rejected(self):
+        with pytest.raises(ValueError):
+            LocalState(me=Q, view=[])
+
+    def test_rank_and_seniors(self):
+        s = state()
+        assert s.my_rank() == 3
+        assert s.seniors() == (M, P)
+
+    def test_majority(self):
+        assert state().majority() == 3
+
+
+class TestFaultBookkeeping:
+    def test_note_faulty_tracks_both_sets(self):
+        s = state()
+        assert s.note_faulty(P)
+        assert P in s.faulty and P in s.ever_faulty
+
+    def test_note_faulty_idempotent(self):
+        s = state()
+        s.note_faulty(P)
+        assert not s.note_faulty(P)
+
+    def test_never_faults_self(self):
+        s = state()
+        assert not s.note_faulty(Q)
+        assert Q not in s.ever_faulty
+
+    def test_non_member_goes_to_ever_faulty_only(self):
+        s = state()
+        x = pid("x")
+        assert s.note_faulty(x)
+        assert x in s.ever_faulty and x not in s.faulty
+
+    def test_faulty_joiner_removed_from_recovered(self):
+        s = state()
+        x = pid("x")
+        s.note_operating(x)
+        s.note_faulty(x)
+        assert x not in s.recovered
+
+    def test_hi_faulty_only_contains_seniors(self):
+        s = state()
+        s.note_faulty(P)
+        s.note_faulty(R)
+        assert s.hi_faulty() == (P,)
+
+    def test_note_operating_rejects_members_and_faulty(self):
+        s = state()
+        assert not s.note_operating(P)
+        x = pid("x")
+        s.note_faulty(x)
+        assert not s.note_operating(x)
+
+    def test_note_operating_queues_in_order(self):
+        s = state()
+        x, y = pid("x"), pid("y")
+        s.note_operating(x)
+        s.note_operating(y)
+        assert s.recovered == [x, y]
+
+
+class TestInitiationRule:
+    def test_no_initiation_without_faulty_seniors(self):
+        assert not state().should_initiate_reconfiguration()
+
+    def test_initiates_when_all_seniors_faulty(self):
+        s = state()
+        s.note_faulty(M)
+        s.note_faulty(P)
+        assert s.should_initiate_reconfiguration()
+
+    def test_partial_senior_faults_do_not_initiate(self):
+        s = state()
+        s.note_faulty(M)
+        assert not s.should_initiate_reconfiguration()
+
+    def test_manager_never_initiates(self):
+        s = state(me=M)
+        assert not s.should_initiate_reconfiguration()
+
+    def test_most_junior_initiates_only_if_everyone_above_faulty(self):
+        s = state(me=S)
+        for senior in (M, P, Q, R):
+            s.note_faulty(senior)
+        assert s.should_initiate_reconfiguration()
+
+
+class TestApply:
+    def test_remove_advances_version_and_seq(self):
+        s = state()
+        s.note_faulty(R)
+        s.apply(remove(R), 1)
+        assert R not in s.view and s.version == 1 and s.seq == [remove(R)]
+        assert R not in s.faulty  # cleared on removal
+
+    def test_add_appends_at_lowest_rank(self):
+        s = state()
+        x = pid("x")
+        s.apply(add(x), 1)
+        assert s.view[-1] == x
+
+    def test_version_must_be_successor(self):
+        s = state()
+        with pytest.raises(NotInViewError):
+            s.apply(remove(R), 2)
+
+    def test_remove_non_member_rejected(self):
+        s = state()
+        with pytest.raises(NotInViewError):
+            s.apply(remove(pid("x")), 1)
+
+    def test_add_existing_member_rejected(self):
+        s = state()
+        with pytest.raises(NotInViewError):
+            s.apply(add(P), 1)
+
+    def test_version_equals_seq_length_invariant(self):
+        s = state()
+        s.apply(remove(R), 1)
+        s.apply(add(pid("x")), 2)
+        assert s.version == len(s.seq)
+
+
+class TestGetNext:
+    def test_joins_served_before_removals(self):
+        s = state()
+        s.note_faulty(R)
+        x = pid("x")
+        s.note_operating(x)
+        assert s.next_operation() == add(x)
+
+    def test_removals_in_view_order(self):
+        s = state()
+        s.note_faulty(R)
+        s.note_faulty(P)
+        assert s.next_operation() == remove(P)
+
+    def test_skip_excludes_subject(self):
+        s = state()
+        s.note_faulty(P)
+        assert s.next_operation(skip=P) is None
+
+    def test_none_when_nothing_pending(self):
+        assert state().next_operation() is None
+
+
+class TestPlans:
+    def test_set_plan_replaces(self):
+        s = state()
+        s.set_plan(Plan(remove(R), M, 1))
+        s.set_plan(Plan(remove(P), M, 2))
+        assert len(s.plans) == 1 and s.plans[0].version == 2
+
+    def test_set_plan_none_clears(self):
+        s = state()
+        s.set_plan(Plan(remove(R), M, 1))
+        s.set_plan(None)
+        assert s.plans == []
+
+    def test_placeholder_appends(self):
+        s = state()
+        s.set_plan(Plan(remove(R), M, 1))
+        s.append_placeholder(P)
+        assert len(s.plans) == 2 and s.plans[1].is_placeholder
+
+
+@st.composite
+def op_sequences(draw):
+    """Random feasible op sequences over a growing/shrinking view."""
+    ops = []
+    view = [pid(f"n{i}") for i in range(draw(st.integers(3, 6)))]
+    me = view[-1]
+    pool = [pid(f"x{i}") for i in range(6)]
+    for _ in range(draw(st.integers(0, 10))):
+        removable = [m for m in view if m != me]
+        choices = []
+        if removable:
+            choices.append("remove")
+        addable = [x for x in pool if x not in view]
+        if addable:
+            choices.append("add")
+        kind = draw(st.sampled_from(choices))
+        if kind == "remove":
+            target = draw(st.sampled_from(removable))
+            view.remove(target)
+            ops.append(remove(target))
+        else:
+            target = draw(st.sampled_from(addable))
+            view.append(target)
+            ops.append(add(target))
+    return me, ops
+
+
+class TestStateProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(op_sequences())
+    def test_apply_maintains_invariants(self, seq):
+        me, ops = seq
+        initial = [pid(f"n{i}") for i in range(int(me.name[1:]) + 1)]
+        s = LocalState(me=me, view=list(initial))
+        for i, op in enumerate(ops, start=1):
+            if op.is_remove:
+                s.note_faulty(op.target)
+            else:
+                s.note_operating(op.target)
+            s.apply(op, i)
+            # Invariants: version == |seq|; me stays present; no duplicates.
+            assert s.version == len(s.seq) == i
+            assert s.me in s.view
+            assert len(set(s.view)) == len(s.view)
+            # Every faulty member is actually a member.
+            assert all(f in s.view for f in s.faulty)
+
+    @settings(max_examples=60, deadline=None)
+    @given(op_sequences())
+    def test_replaying_seq_reconstructs_view(self, seq):
+        """Memb(p, c) is a fold of seq over the initial view (Section 2.2)."""
+        me, ops = seq
+        initial = [pid(f"n{i}") for i in range(int(me.name[1:]) + 1)]
+        s = LocalState(me=me, view=list(initial))
+        for i, op in enumerate(ops, start=1):
+            if op.is_remove:
+                s.note_faulty(op.target)
+            else:
+                s.note_operating(op.target)
+            s.apply(op, i)
+        replay = list(initial)
+        for op in s.seq:
+            if op.is_remove:
+                replay.remove(op.target)
+            else:
+                replay.append(op.target)
+        assert replay == s.view

@@ -1,0 +1,203 @@
+"""Unit tests for the failure detector implementations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detectors.heartbeat import HeartbeatDetector, Ping, Pong
+from repro.detectors.oracle import OracleDetector
+from repro.detectors.scripted import ScriptedDetector
+from repro.ids import pid
+from repro.model.events import EventKind
+from repro.sim.network import FixedDelay, Network
+from repro.sim.process import SimProcess
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import RunTrace
+
+A, B, C = pid("a"), pid("b"), pid("c")
+
+
+class Host(SimProcess):
+    """Minimal Suspectable process hosting a detector."""
+
+    def __init__(self, pid_, network, detector, members):
+        super().__init__(pid_, network)
+        self.detector = detector
+        self.members = tuple(members)
+        self.suspected: list = []
+        detector.attach(self)
+
+    def on_start(self):
+        self.detector.start()
+
+    def current_members(self):
+        return self.members
+
+    def believes_faulty(self, target):
+        return target in self.suspected
+
+    def on_suspect(self, target):
+        self.suspected.append(target)
+
+    def on_message(self, sender, payload):
+        self.detector.on_message(sender, payload)
+
+
+@pytest.fixture
+def fabric():
+    scheduler = Scheduler()
+    network = Network(scheduler, RunTrace(), delay_model=FixedDelay(0.5), seed=0)
+    return scheduler, network
+
+
+class TestOracle:
+    def test_suspects_crashed_member_after_delay(self, fabric):
+        scheduler, network = fabric
+        a = Host(A, network, OracleDetector(network, delay=5.0), [A, B])
+        b = Host(B, network, OracleDetector(network, delay=5.0), [A, B])
+        a.start(), b.start()
+        scheduler.at(1.0, b.crash)
+        scheduler.run()
+        assert a.suspected == [B]
+        assert scheduler.now >= 6.0
+
+    def test_never_suspects_live_process(self, fabric):
+        scheduler, network = fabric
+        a = Host(A, network, OracleDetector(network, delay=1.0), [A, B])
+        b = Host(B, network, OracleDetector(network, delay=1.0), [A, B])
+        a.start(), b.start()
+        scheduler.run(until=100.0)
+        assert a.suspected == [] and b.suspected == []
+
+    def test_ignores_irrelevant_crashes(self, fabric):
+        scheduler, network = fabric
+        a = Host(A, network, OracleDetector(network, delay=1.0), [A, B])
+        c = Host(C, network, OracleDetector(network, delay=1.0), [C])
+        a.start(), c.start()
+        c.crash()
+        scheduler.run()
+        assert a.suspected == []  # C is not in A's view nor watched
+
+    def test_watched_non_member_is_suspected(self, fabric):
+        scheduler, network = fabric
+        a = Host(A, network, OracleDetector(network, delay=1.0), [A])
+        c = Host(C, network, OracleDetector(network, delay=1.0), [C])
+        a.start(), c.start()
+        a.detector.watch(C, "awaiting")
+        c.crash()
+        scheduler.run()
+        assert a.suspected == [C]
+
+    def test_crash_before_start_still_detected(self, fabric):
+        scheduler, network = fabric
+        b = Host(B, network, OracleDetector(network, delay=1.0), [A, B])
+        b.crash()
+        a = Host(A, network, OracleDetector(network, delay=1.0), [A, B])
+        a.start()
+        scheduler.run()
+        assert a.suspected == [B]
+
+    def test_detector_requires_positive_delay(self, fabric):
+        _, network = fabric
+        with pytest.raises(ValueError):
+            OracleDetector(network, delay=0.0)
+
+
+class TestScripted:
+    def test_fires_only_when_scheduled(self, fabric):
+        scheduler, network = fabric
+        a = Host(A, network, ScriptedDetector(scheduler), [A, B])
+        a.start()
+        a.detector.suspect_at(5.0, B)
+        scheduler.run()
+        assert a.suspected == [B]
+
+    def test_queues_before_start(self, fabric):
+        scheduler, network = fabric
+        a = Host(A, network, ScriptedDetector(scheduler), [A, B])
+        a.detector.suspect_at(5.0, B)
+        a.start()
+        scheduler.run()
+        assert a.suspected == [B]
+
+    def test_does_not_fire_after_stop(self, fabric):
+        scheduler, network = fabric
+        a = Host(A, network, ScriptedDetector(scheduler), [A, B])
+        a.start()
+        a.detector.suspect_at(5.0, B)
+        a.detector.stop()
+        scheduler.run()
+        assert a.suspected == []
+
+    def test_suspicion_is_idempotent(self, fabric):
+        scheduler, network = fabric
+        a = Host(A, network, ScriptedDetector(scheduler), [A, B])
+        a.start()
+        a.detector.suspect_now(B)
+        a.detector.suspect_now(B)
+        assert a.suspected == [B]
+
+    def test_never_suspects_self(self, fabric):
+        scheduler, network = fabric
+        a = Host(A, network, ScriptedDetector(scheduler), [A])
+        a.start()
+        a.detector.suspect_now(A)
+        assert a.suspected == []
+
+
+class TestHeartbeat:
+    def build_pair(self, fabric, period=1.0, timeout=4.0):
+        scheduler, network = fabric
+        a = Host(A, network, HeartbeatDetector(network, period, timeout), [A, B])
+        b = Host(B, network, HeartbeatDetector(network, period, timeout), [A, B])
+        a.start(), b.start()
+        return scheduler, network, a, b
+
+    def test_live_processes_not_suspected(self, fabric):
+        scheduler, network, a, b = self.build_pair(fabric)
+        scheduler.run(until=50.0)
+        assert a.suspected == [] and b.suspected == []
+
+    def test_crashed_process_suspected_within_timeout(self, fabric):
+        scheduler, network, a, b = self.build_pair(fabric)
+        scheduler.at(10.0, b.crash)
+        scheduler.run_until(lambda: bool(a.suspected), until=100.0)
+        assert a.suspected == [B]
+        assert scheduler.now <= 10.0 + 4.0 + 2.0  # timeout plus one period
+
+    def test_detector_traffic_is_categorised(self, fabric):
+        scheduler, network, a, b = self.build_pair(fabric)
+        scheduler.run(until=5.0)
+        assert network.trace.message_count("detector") > 0
+        assert network.trace.message_count("protocol") == 0
+
+    def test_slow_network_causes_spurious_suspicion(self):
+        # Delays beyond the timeout make a *live* process look faulty —
+        # the perceived-failure phenomenon of Section 2.
+        scheduler = Scheduler()
+        network = Network(scheduler, RunTrace(), delay_model=FixedDelay(10.0), seed=0)
+        a = Host(A, network, HeartbeatDetector(network, 1.0, 4.0), [A, B])
+        b = Host(B, network, HeartbeatDetector(network, 1.0, 4.0), [A, B])
+        a.start(), b.start()
+        scheduler.run_until(lambda: bool(a.suspected), until=60.0)
+        assert B in a.suspected and not b.crashed
+
+    def test_rejects_nonpositive_parameters(self, fabric):
+        _, network = fabric
+        with pytest.raises(ValueError):
+            HeartbeatDetector(network, period=0.0)
+        with pytest.raises(ValueError):
+            HeartbeatDetector(network, timeout=-1.0)
+
+    def test_ping_consumed_and_ponged(self, fabric):
+        scheduler, network, a, b = self.build_pair(fabric)
+        consumed = b.detector.on_message(A, Ping(nonce=1))
+        assert consumed
+        scheduler.run(until=2.0)
+        # a pong went back on the wire
+        assert any(
+            e.message is not None
+            and e.proc == B
+            and isinstance(e.message.payload, Pong)
+            for e in network.trace.events_of_kind(EventKind.SEND)
+        )

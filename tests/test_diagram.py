@@ -1,0 +1,89 @@
+"""Tests for the ASCII space-time diagram renderer."""
+
+from __future__ import annotations
+
+from repro.analysis.diagram import render, render_legend
+from repro.ids import pid
+from repro.model.events import Event, EventKind, MessageRecord
+
+from conftest import make_cluster
+
+A, B = pid("a"), pid("b")
+
+
+def simple_events():
+    m = MessageRecord(sender=A, receiver=B, payload="x")
+    return [
+        Event(proc=A, kind=EventKind.START, index=0),
+        Event(proc=B, kind=EventKind.START, index=0),
+        Event(proc=A, kind=EventKind.SEND, index=1, peer=B, message=m),
+        Event(proc=B, kind=EventKind.RECV, index=1, peer=A, message=m),
+        Event(proc=B, kind=EventKind.INSTALL, index=2, version=1, view=(A, B)),
+        Event(proc=A, kind=EventKind.CRASH, index=2),
+    ]
+
+
+class TestRender:
+    def test_one_row_per_process(self):
+        text = render(simple_events())
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert len(lines) == 2
+        assert lines[0].startswith("a |") or lines[0].startswith("a  |") or "a" in lines[0]
+
+    def test_glyphs_present(self):
+        text = render(simple_events())
+        assert "o" in text and "s" in text and "r" in text
+        assert "V" in text and "X" in text
+
+    def test_line_goes_blank_after_crash(self):
+        events = simple_events() + [
+            Event(proc=B, kind=EventKind.INTERNAL, index=3),
+        ]
+        text = render(events)
+        a_line = next(
+            l for l in text.splitlines() if "|" in l and l.split("|")[0].strip() == "a"
+        )
+        # After A's crash glyph there is no '-' continuation.
+        after_crash = a_line.split("X", 1)[1]
+        assert after_crash.strip() == ""
+
+    def test_matching_send_recv_share_tag(self):
+        text = render(simple_events())
+        tag_line = text.splitlines()[0]
+        # Exactly one message pair: tag 'a' appears twice.
+        assert tag_line.count("a") == 2
+
+    def test_kind_filter(self):
+        events = simple_events()
+        text = render(events, kinds={EventKind.CRASH})
+        assert "X" in text and "s" not in text.split("|", 1)[1]
+
+    def test_truncation_noted(self):
+        events = simple_events() * 1  # base
+        # Repeat INTERNAL events to exceed the column budget.
+        long = list(events[:2]) + [
+            Event(proc=B, kind=EventKind.INTERNAL, index=i) for i in range(1, 60)
+        ]
+        text = render(long, max_columns=10)
+        assert "truncated" in text
+
+    def test_row_order_override(self):
+        text = render(simple_events(), processes=[B, A])
+        rows = [l for l in text.splitlines() if "|" in l]
+        assert rows[0].lstrip().startswith("b")
+
+    def test_legend_covers_core_glyphs(self):
+        legend = render_legend()
+        for token in ("send", "recv", "install", "crash", "quit"):
+            assert token in legend
+
+    def test_real_cluster_trace_renders(self):
+        cluster = make_cluster(4, seed=1)
+        cluster.crash("p3", at=5.0)
+        cluster.settle()
+        text = render(
+            cluster.trace.events,
+            kinds={EventKind.INSTALL, EventKind.CRASH, EventKind.FAULTY},
+        )
+        assert text.count("V") == 3  # three survivors install version 1
+        assert text.count("X") == 1

@@ -1,0 +1,193 @@
+"""Integration tests: the two-phase and compressed update algorithms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    breakdown,
+    compressed_update_messages,
+    two_phase_update_messages,
+)
+from repro.ids import pid
+from repro.model.events import EventKind
+from repro.sim.network import FixedDelay
+
+from conftest import assert_gmp, make_cluster, names
+
+
+class TestSingleExclusion:
+    def test_crashed_member_is_excluded(self):
+        cluster = make_cluster(5, seed=1)
+        cluster.crash("p3", at=5.0)
+        cluster.settle()
+        assert names(cluster.agreed_view()) == ["p0", "p1", "p2", "p4"]
+        assert cluster.agreed_version() == 1
+        assert_gmp(cluster)
+
+    def test_all_survivors_install_same_sequence(self):
+        cluster = make_cluster(6, seed=2)
+        cluster.crash("p5", at=5.0)
+        cluster.settle()
+        histories = {
+            p: [
+                (e.version, e.view)
+                for e in cluster.trace.events_of(p, EventKind.INSTALL)
+            ]
+            for p, m in cluster.members.items()
+            if m.is_member
+        }
+        assert len({tuple(h) for h in histories.values()}) == 1
+
+    def test_excluded_live_process_quits(self):
+        # A live process wrongly suspected by everyone is excluded and, upon
+        # learning it, quits (the paper's quit_p on seeing its own removal).
+        cluster = make_cluster(5, seed=3, detector="scripted")
+        for observer in ("p0", "p1", "p2", "p4"):
+            cluster.suspect(observer, "p3", at=5.0)
+        cluster.settle()
+        victim = cluster.member("p3")
+        assert victim.quit
+        assert names(cluster.agreed_view()) == ["p0", "p1", "p2", "p4"]
+        assert_gmp(cluster)
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 8, 12])
+    def test_message_cost_matches_paper_bound(self, n):
+        """Best case #1 (§7.2): plain two-phase costs 3n - 5 messages."""
+        cluster = make_cluster(n, seed=4, delay_model=FixedDelay(1.0))
+        cluster.crash(f"p{n - 1}", at=5.0)
+        cluster.settle()
+        counts = breakdown(cluster.trace)
+        assert counts.algorithm == two_phase_update_messages(n)
+        assert_gmp(cluster)
+
+    def test_faulty_precedes_remove_in_every_history(self):
+        cluster = make_cluster(5, seed=5)
+        cluster.crash("p2", at=5.0)
+        cluster.settle()
+        for proc in cluster.trace.processes():
+            seen_faulty = set()
+            for event in cluster.trace.events_of(proc):
+                if event.kind is EventKind.FAULTY:
+                    seen_faulty.add(event.peer)
+                elif event.kind is EventKind.REMOVE:
+                    assert event.peer in seen_faulty
+
+
+class TestCompressedUpdates:
+    def test_back_to_back_failures_use_contingent_invitations(self):
+        cluster = make_cluster(6, seed=6, delay_model=FixedDelay(1.0))
+        # Both crash within the detector delay: the second exclusion should
+        # ride the first commit's contingent plan (no second Invite).
+        cluster.crash("p4", at=5.0)
+        cluster.crash("p5", at=5.2)
+        cluster.settle()
+        counts = breakdown(cluster.trace)
+        # One Invite *broadcast* (n-1 sends) covers both exclusions; the
+        # second round's invitation rode the first commit's contingency.
+        assert counts.by_type["Invite"] == 5
+        assert cluster.agreed_version() == 2
+        assert_gmp(cluster)
+
+    def test_compressed_round_message_cost(self):
+        """Best case #2 (§7.2): a compressed round costs about 2n - 3."""
+        n = 8
+        cluster = make_cluster(n, seed=7, delay_model=FixedDelay(1.0))
+        cluster.crash("p6", at=5.0)
+        cluster.crash("p7", at=5.1)
+        cluster.settle()
+        counts = breakdown(cluster.trace)
+        first_round = two_phase_update_messages(n)
+        second_round = counts.algorithm - first_round
+        # Our compressed round saves the invite wave: commit (n-2 targets)
+        # plus OKs; the paper's bound is 2n - 3.
+        assert second_round <= compressed_update_messages(n)
+        assert second_round < two_phase_update_messages(n - 1)
+        assert_gmp(cluster)
+
+    def test_streak_excludes_all_victims(self):
+        # tau(7) = 3: three near-simultaneous failures are the most the
+        # majority rule tolerates in a group of seven.
+        cluster = make_cluster(7, seed=8)
+        for i, victim in enumerate(["p6", "p5", "p4"]):
+            cluster.crash(victim, at=5.0 + 0.2 * i)
+        cluster.settle()
+        assert names(cluster.agreed_view()) == ["p0", "p1", "p2", "p3"]
+        assert cluster.agreed_version() == 3
+        assert_gmp(cluster)
+
+    def test_spaced_failures_fall_back_to_plain_rounds(self):
+        cluster = make_cluster(5, seed=9, delay_model=FixedDelay(1.0))
+        cluster.crash("p3", at=5.0)
+        cluster.crash("p4", at=200.0)  # far apart: no compression possible
+        cluster.settle()
+        counts = breakdown(cluster.trace)
+        # Two separate Invite broadcasts: 4 sends in the 5-view, then 3.
+        assert counts.by_type["Invite"] == 7
+        assert_gmp(cluster)
+
+
+class TestUpdateEdgeCases:
+    def test_two_member_group_tolerates_no_failure_under_majority_rule(self):
+        # mu(2) = 2: a pair cannot exclude anyone with majority commits —
+        # the survivor blocks (quits) rather than act alone.
+        cluster = make_cluster(2, seed=10)
+        cluster.crash("p1", at=5.0)
+        cluster.settle()
+        assert cluster.views() == {}
+        assert_gmp(cluster, liveness=False)
+
+    def test_two_member_group_excludes_in_basic_mode(self):
+        # Section 3.1's basic algorithm (no majority rule) handles it.
+        cluster = make_cluster(2, seed=10, majority_updates=False)
+        cluster.crash("p1", at=5.0)
+        cluster.settle()
+        assert names(cluster.agreed_view()) == ["p0"]
+        assert_gmp(cluster)
+
+    def test_outer_notice_reaches_coordinator(self):
+        # Only an outer process suspects the victim; the coordinator must
+        # learn via FaultyNotice and run the exclusion.
+        cluster = make_cluster(5, seed=11, detector="scripted")
+        cluster.suspect("p2", "p4", at=5.0)
+        cluster.settle()
+        assert "p4" not in names(cluster.agreed_view())
+        assert_gmp(cluster)
+
+    def test_duplicate_notices_cause_single_exclusion(self):
+        cluster = make_cluster(5, seed=12, detector="scripted")
+        for observer in ("p1", "p2", "p3"):
+            cluster.suspect(observer, "p4", at=5.0)
+        cluster.settle()
+        assert cluster.agreed_version() == 1
+        assert_gmp(cluster)
+
+    def test_victim_detected_by_coordinator_only(self):
+        cluster = make_cluster(5, seed=13, detector="scripted")
+        cluster.suspect("p0", "p3", at=5.0)
+        cluster.settle()
+        assert "p3" not in names(cluster.agreed_view())
+        assert_gmp(cluster)
+
+    def test_basic_mode_tolerates_near_total_failure(self):
+        # §3.1: with Mgr immortal and no majority rule, |Memb|-1 failures
+        # are tolerated.
+        cluster = make_cluster(5, seed=14, majority_updates=False)
+        for i, victim in enumerate(["p1", "p2", "p3", "p4"]):
+            cluster.crash(victim, at=5.0 + i)
+        cluster.settle()
+        assert names(cluster.agreed_view()) == ["p0"]
+        assert_gmp(cluster)
+
+    def test_majority_mode_coordinator_blocks_on_majority_loss(self):
+        # The final algorithm requires majority OKs; crashing a majority
+        # between views leaves the coordinator unable to commit (it quits,
+        # per Figure 8), but never unsafe.
+        cluster = make_cluster(5, seed=15)
+        for victim in ("p1", "p2", "p3"):
+            cluster.crash(victim, at=5.0)
+        cluster.settle()
+        assert_gmp(cluster, liveness=False)
+        # No view containing fewer than a majority of the old view exists.
+        for _, (version, view) in cluster.views().items():
+            assert len(view) >= 3 or version == 0

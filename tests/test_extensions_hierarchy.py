@@ -1,0 +1,164 @@
+"""Tests for the hierarchical client-group extension (§8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.extensions import ClientDirectory
+from repro.ids import pid
+
+from conftest import assert_gmp, make_cluster
+
+
+def cluster_with_directories(n: int = 4, **kwargs):
+    cluster = make_cluster(n, **kwargs)
+    directories = {
+        p: ClientDirectory(member) for p, member in cluster.members.items()
+    }
+    return cluster, directories
+
+
+def coordinator_directory(cluster, directories):
+    mgr = cluster.live_members()[0].state.mgr
+    return directories[mgr]
+
+
+class TestClientAdmission:
+    def test_admit_replicates_to_all_members(self):
+        cluster, dirs = cluster_with_directories()
+        cluster.run(until=5.0)
+        dirs[pid("p0")].admit(pid("client-a"))
+        dirs[pid("p0")].admit(pid("client-b"))
+        cluster.settle()
+        for p, directory in dirs.items():
+            assert list(directory.view.clients) == [pid("client-a"), pid("client-b")]
+            assert directory.view.version == 2
+
+    def test_clients_are_not_group_members(self):
+        # The whole point of the hierarchy: clients appear in the managed
+        # view but never in the membership view.
+        cluster, dirs = cluster_with_directories()
+        cluster.run(until=5.0)
+        dirs[pid("p0")].admit(pid("client-a"))
+        cluster.settle()
+        assert pid("client-a") in dirs[pid("p1")].view
+        assert pid("client-a") not in cluster.agreed_view()
+        assert_gmp(cluster)
+
+    def test_duplicate_admission_rejected(self):
+        cluster, dirs = cluster_with_directories()
+        cluster.run(until=5.0)
+        assert dirs[pid("p0")].admit(pid("client-a"))
+        assert not dirs[pid("p0")].admit(pid("client-a"))
+
+    def test_non_coordinator_cannot_write(self):
+        cluster, dirs = cluster_with_directories()
+        cluster.run(until=5.0)
+        with pytest.raises(RuntimeError):
+            dirs[pid("p2")].admit(pid("client-a"))
+
+
+class TestClientExpulsion:
+    def test_expel_models_end_of_service(self):
+        cluster, dirs = cluster_with_directories()
+        cluster.run(until=5.0)
+        dirs[pid("p0")].admit(pid("client-a"))
+        dirs[pid("p0")].admit(pid("client-b"))
+        cluster.settle()
+        dirs[pid("p0")].expel(pid("client-a"))
+        cluster.settle()
+        for directory in dirs.values():
+            assert pid("client-a") not in directory.view
+            assert pid("client-b") in directory.view
+
+    def test_member_reported_client_failure_is_expelled(self):
+        # Any member monitoring a client can report it; the coordinator
+        # serialises the expulsion.
+        cluster, dirs = cluster_with_directories()
+        cluster.run(until=5.0)
+        dirs[pid("p0")].admit(pid("client-a"))
+        cluster.settle()
+        dirs[pid("p2")].report_client_failure(pid("client-a"))
+        cluster.settle()
+        for directory in dirs.values():
+            assert pid("client-a") not in directory.view
+
+    def test_expelling_unknown_client_is_a_noop(self):
+        cluster, dirs = cluster_with_directories()
+        cluster.run(until=5.0)
+        assert not dirs[pid("p0")].expel(pid("ghost"))
+
+
+class TestFailover:
+    def test_registry_survives_coordinator_failure(self):
+        cluster, dirs = cluster_with_directories(5)
+        cluster.run(until=5.0)
+        dirs[pid("p0")].admit(pid("client-a"))
+        dirs[pid("p0")].admit(pid("client-b"))
+        cluster.settle()
+        cluster.crash("p0", at=cluster.scheduler.now + 1.0)
+        cluster.settle()
+        # p1 took over the membership AND the client registry.
+        assert_gmp(cluster, liveness=False)
+        new_dir = coordinator_directory(cluster, dirs)
+        assert new_dir is dirs[pid("p1")]
+        assert set(new_dir.view.clients) == {pid("client-a"), pid("client-b")}
+        # And it can keep writing.
+        new_dir.admit(pid("client-c"))
+        cluster.settle()
+        for p, member in cluster.members.items():
+            if member.is_member:
+                assert pid("client-c") in dirs[p].view
+
+    def test_failover_adopts_newest_surviving_state(self):
+        # The old coordinator's very last update reached only some members;
+        # reconciliation must adopt the newest surviving copy.
+        cluster, dirs = cluster_with_directories(5)
+        cluster.run(until=5.0)
+        dirs[pid("p0")].admit(pid("client-a"))
+        cluster.settle()
+        # Partition delays the update to most members, then crash p0: only
+        # p1 saw the second admission.
+        cluster.partition(["p0"], ["p2", "p3", "p4"])
+        dirs[pid("p0")].admit(pid("client-b"))
+        cluster.run(until=cluster.scheduler.now + 5.0)
+        assert pid("client-b") in dirs[pid("p1")].view
+        assert pid("client-b") not in dirs[pid("p3")].view
+        cluster.heal()
+        cluster.crash("p0", at=cluster.scheduler.now + 1.0)
+        cluster.settle()
+        for p, member in cluster.members.items():
+            if member.is_member:
+                assert pid("client-b") in dirs[p].view
+
+    def test_membership_properties_untouched_by_layer(self):
+        cluster, dirs = cluster_with_directories(5)
+        cluster.run(until=5.0)
+        for i in range(4):
+            dirs[pid("p0")].admit(pid(f"c{i}"))
+        cluster.crash("p4", at=30.0)
+        cluster.crash("p0", at=60.0)
+        cluster.settle()
+        assert_gmp(cluster)
+        surviving = coordinator_directory(cluster, dirs)
+        assert len(surviving.view.clients) == 4
+
+
+class TestLateMemberCatchUp:
+    def test_gap_triggers_resync(self):
+        cluster, dirs = cluster_with_directories(4)
+        cluster.run(until=5.0)
+        # Hold p3's traffic while two updates happen, then heal: p3 sees a
+        # version gap and resynchronises.
+        cluster.partition(["p3"], ["p0"])
+        dirs[pid("p0")].admit(pid("client-a"))
+        dirs[pid("p0")].admit(pid("client-b"))
+        cluster.run(until=cluster.scheduler.now + 10.0)
+        cluster.heal()
+        dirs[pid("p0")].admit(pid("client-c"))
+        cluster.settle()
+        assert set(dirs[pid("p3")].view.clients) == {
+            pid("client-a"),
+            pid("client-b"),
+            pid("client-c"),
+        }

@@ -1,0 +1,158 @@
+"""Tests for the primary-partition tracker and the composite app layer."""
+
+from __future__ import annotations
+
+from repro.extensions import (
+    ClientDirectory,
+    CompositeLayer,
+    PrimaryPartitionTracker,
+    VsyncLayer,
+)
+from repro.ids import pid
+
+from conftest import assert_gmp, make_cluster, names
+
+
+def cluster_with_trackers(n: int = 5, **kwargs):
+    cluster = make_cluster(n, **kwargs)
+    trackers = {
+        p: PrimaryPartitionTracker(m) for p, m in cluster.members.items()
+    }
+    return cluster, trackers
+
+
+class TestPrimaryTracking:
+    def test_everyone_primary_in_steady_state(self):
+        cluster, trackers = cluster_with_trackers()
+        cluster.run(until=5.0)
+        assert all(t.is_primary() for t in trackers.values())
+
+    def test_crashed_member_not_primary(self):
+        cluster, trackers = cluster_with_trackers()
+        cluster.crash("p2", at=5.0)
+        cluster.settle()
+        assert not trackers[pid("p2")].is_primary()
+        for name in ("p0", "p1", "p3", "p4"):
+            assert trackers[pid(name)].is_primary()
+
+    def test_minority_side_of_split_loses_primary_immediately(self):
+        # Beliefs split 3/2: the minority must stop claiming primariness
+        # even though no view change can complete on its side.
+        cluster, trackers = cluster_with_trackers(5, detector="scripted")
+        cluster.run(until=5.0)
+        majority = ["p0", "p1", "p2"]
+        minority = ["p3", "p4"]
+        for a in majority:
+            for b in minority:
+                cluster.suspect(a, b, at=6.0)
+                cluster.suspect(b, a, at=6.0)
+        cluster.settle()
+        for name in minority:
+            assert not trackers[pid(name)].is_primary()
+        for name in majority:
+            assert trackers[pid(name)].is_primary()
+
+    def test_primary_chain_follows_view_changes(self):
+        cluster, trackers = cluster_with_trackers(5)
+        cluster.crash("p0", at=5.0)
+        cluster.crash("p4", at=40.0)
+        cluster.settle()
+        survivors = [p for p, m in cluster.members.items() if m.is_member]
+        for p in survivors:
+            tracker = trackers[p]
+            assert tracker.is_primary()
+            assert names(tracker.last_primary_view) == ["p1", "p2", "p3"]
+
+    def test_joiner_inherits_primariness(self):
+        cluster, trackers = cluster_with_trackers(4)
+        joiner = cluster.join("x", at=5.0)
+        cluster.settle()
+        tracker = PrimaryPartitionTracker(cluster.members[joiner])
+        # Attach after join: seeds from the current state.
+        assert tracker.is_primary()
+
+
+class TestCompositeLayer:
+    def test_multiple_services_on_one_member(self):
+        cluster = make_cluster(4, seed=3)
+        # Each member runs vsync + a client directory; each child constructor
+        # claims member.app, and the composite (built last) reclaims it.
+        composites = {}
+        for p, member in cluster.members.items():
+            vsync = VsyncLayer(member)
+            directory = ClientDirectory(member)
+            CompositeLayer(member, vsync, directory)
+            composites[p] = (vsync, directory)
+        cluster.run(until=5.0)
+        vsync0, dir0 = composites[pid("p0")]
+        vsync0.multicast("hello")
+        dir0.admit(pid("client-a"))
+        cluster.settle()
+        for p, (vsync, directory) in composites.items():
+            assert [d.payload for d in vsync.deliveries] == ["hello"]
+            assert pid("client-a") in directory.view
+
+    def test_composite_fans_out_view_installs_and_flushes(self):
+        cluster = make_cluster(4, seed=4)
+        events = []
+
+        from repro.core.member import AppLayer
+
+        class Probe(AppLayer):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def on_view_installed(self, version, view, mgr):
+                events.append((self.tag, "install", version))
+
+            def before_view_agreement(self, version):
+                events.append((self.tag, "flush", version))
+
+        member = cluster.member("p1")
+        CompositeLayer(member, Probe("x"), Probe("y"))
+        cluster.crash("p3", at=5.0)
+        cluster.settle()
+        assert ("x", "flush", 1) in events and ("y", "flush", 1) in events
+        assert ("x", "install", 1) in events and ("y", "install", 1) in events
+        # Order within one hook: children in composition order.
+        flushes = [e for e in events if e[1] == "flush"]
+        assert flushes[0][0] == "x" and flushes[1][0] == "y"
+
+    def test_add_child_later(self):
+        cluster = make_cluster(3, seed=5)
+        member = cluster.member("p0")
+        composite = CompositeLayer(member)
+        vsync = VsyncLayer(member)  # steals member.app...
+        composite.add(vsync)
+        member.app = composite  # ...restore composite as the root
+        cluster.run(until=5.0)
+        vsync.multicast("later")
+        cluster.settle()
+        assert [d.payload for d in vsync.deliveries] == ["later"]
+
+    def test_vsync_flush_still_works_under_composition(self):
+        from repro.sim.failures import crash_after_matching_sends, payload_type_is
+        from repro.sim.network import FixedDelay
+
+        cluster = make_cluster(5, seed=6, delay_model=FixedDelay(1.0))
+        vsyncs = {}
+        for p, member in cluster.members.items():
+            vsync = VsyncLayer(member)
+            directory = ClientDirectory(member)
+            CompositeLayer(member, vsync, directory)
+            vsyncs[p] = vsync
+        crash_after_matching_sends(
+            cluster.network,
+            cluster.resolve("p3"),
+            payload_type_is("VsMessage"),
+            after=1,
+        )
+        cluster.run(until=5.0)
+        vsyncs[pid("p3")].multicast("torn")
+        cluster.settle()
+        survivors = {
+            p: v for p, v in vsyncs.items() if cluster.members[p].is_member
+        }
+        sets = {frozenset(v.delivered_set(0)) for v in survivors.values()}
+        assert len(sets) == 1 and next(iter(sets))
+        assert_gmp(cluster)

@@ -1,0 +1,258 @@
+"""Tests for view-synchronous multicast: the ISIS layer on the membership."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.service import MembershipCluster
+from repro.extensions.vsync import VsyncLayer
+from repro.ids import pid
+from repro.sim.failures import crash_after_matching_sends, payload_type_is
+from repro.sim.network import FixedDelay
+
+from conftest import assert_gmp, make_cluster
+
+
+def cluster_with_vsync(n: int = 4, **kwargs):
+    cluster = make_cluster(n, **kwargs)
+    layers = {p: VsyncLayer(member) for p, member in cluster.members.items()}
+    return cluster, layers
+
+
+def surviving_layers(cluster, layers):
+    return {p: layers[p] for p, m in cluster.members.items() if m.is_member}
+
+
+class TestBasicMulticast:
+    def test_all_members_deliver(self):
+        cluster, layers = cluster_with_vsync()
+        cluster.run(until=5.0)
+        layers[pid("p1")].multicast("hello")
+        cluster.settle()
+        for layer in layers.values():
+            assert [d.payload for d in layer.deliveries] == ["hello"]
+
+    def test_sender_delivers_its_own_message_immediately(self):
+        cluster, layers = cluster_with_vsync()
+        cluster.run(until=5.0)
+        layers[pid("p2")].multicast("mine")
+        assert layers[pid("p2")].deliveries[0].payload == "mine"
+
+    def test_per_sender_fifo(self):
+        cluster, layers = cluster_with_vsync()
+        cluster.run(until=5.0)
+        for i in range(10):
+            layers[pid("p1")].multicast(i)
+        cluster.settle()
+        for layer in layers.values():
+            from_p1 = [d.payload for d in layer.deliveries if d.origin == pid("p1")]
+            assert from_p1 == list(range(10))
+
+    def test_view_attribution(self):
+        cluster, layers = cluster_with_vsync(5)
+        cluster.run(until=5.0)
+        layers[pid("p1")].multicast("in-view-0")
+        cluster.settle()
+        cluster.crash("p4", at=cluster.scheduler.now + 1.0)
+        cluster.settle()
+        layers[pid("p1")].multicast("in-view-1")
+        cluster.settle()
+        layer = layers[pid("p2")]
+        assert [d.payload for d in layer.delivered_in(0)] == ["in-view-0"]
+        assert [d.payload for d in layer.delivered_in(1)] == ["in-view-1"]
+
+    def test_non_member_cannot_multicast(self):
+        cluster, layers = cluster_with_vsync()
+        cluster.crash("p3", at=5.0)
+        cluster.settle()
+        with pytest.raises(RuntimeError):
+            layers[pid("p3")].multicast("ghost")
+
+    def test_delivery_callback_invoked(self):
+        cluster = make_cluster(3)
+        received = []
+        layer = VsyncLayer(cluster.member("p0"), deliver=received.append)
+        VsyncLayer(cluster.member("p1"))
+        VsyncLayer(cluster.member("p2"))
+        cluster.run(until=5.0)
+        layer.multicast("x")
+        cluster.settle()
+        assert [d.payload for d in received] == ["x"]
+
+
+class TestSameSetUnderSenderCrash:
+    def test_partial_multicast_is_flushed_to_all_survivors(self):
+        """The defining vsync scenario: a sender crashes after its multicast
+        reached only one member; the flush closes the set."""
+        cluster, layers = cluster_with_vsync(5, delay_model=FixedDelay(1.0))
+        crash_after_matching_sends(
+            cluster.network,
+            cluster.resolve("p3"),
+            payload_type_is("VsMessage"),
+            after=1,
+            detail="sender dies mid-multicast",
+        )
+        cluster.run(until=5.0)
+        layers[pid("p3")].multicast("last words")
+        cluster.settle()  # p3 crashed mid-broadcast; membership excludes it
+        survivors = surviving_layers(cluster, layers)
+        assert len(survivors) == 4
+        sets = {p: layer.delivered_set(0) for p, layer in survivors.items()}
+        assert len(set(map(frozenset, sets.values()))) == 1
+        # ...and the set is non-empty: at least one survivor got the partial
+        # broadcast and the flush spread it.
+        assert all(sets[p] for p in sets)
+        assert_gmp(cluster)
+
+    def test_unheard_multicast_is_dropped_everywhere(self):
+        """If the partial multicast reached nobody (first send went to a
+        crashed process), no survivor delivers it — same set, empty."""
+        cluster, layers = cluster_with_vsync(5, delay_model=FixedDelay(1.0))
+        cluster.run(until=3.0)
+        # p4 crashes first; p3's multicast broadcast order starts at p0...
+        # use broadcast_first to aim the single send at the dead p4.
+        cluster.member("p3").broadcast_first = (pid("p4"),)
+        cluster.crash("p4", at=4.0)
+        cluster.run(until=5.0)
+        crash_after_matching_sends(
+            cluster.network,
+            cluster.resolve("p3"),
+            payload_type_is("VsMessage"),
+            after=1,
+            detail="multicast reached only the dead",
+        )
+        layers[pid("p3")].multicast("heard by no one")
+        cluster.settle()
+        survivors = surviving_layers(cluster, layers)
+        for p, layer in survivors.items():
+            assert layer.delivered_set(0) == set()
+
+    def test_sender_crash_after_full_broadcast_needs_no_flush(self):
+        cluster, layers = cluster_with_vsync(4, delay_model=FixedDelay(1.0))
+        cluster.run(until=5.0)
+        layers[pid("p2")].multicast("complete")
+        cluster.crash("p2", at=cluster.scheduler.now + 0.5)
+        cluster.settle()
+        survivors = surviving_layers(cluster, layers)
+        for layer in survivors.values():
+            assert [d.payload for d in layer.delivered_in(0)] == ["complete"]
+
+    def test_flush_covers_messages_from_older_views(self):
+        """A sender's partial multicast in view v is still flushed when the
+        sender is only excluded several views later."""
+        cluster, layers = cluster_with_vsync(6, delay_model=FixedDelay(1.0))
+        crash_after_matching_sends(
+            cluster.network,
+            cluster.resolve("p4"),
+            payload_type_is("VsMessage"),
+            after=1,
+        )
+        cluster.run(until=5.0)
+        layers[pid("p4")].multicast("from view 0")  # p4 dies mid-broadcast
+        # Another exclusion happens first (p5), moving everyone to view 1
+        # before p4's own exclusion in view 2.
+        cluster.crash("p5", at=6.0)
+        cluster.settle()
+        survivors = surviving_layers(cluster, layers)
+        sets = [frozenset(layer.delivered_set(0)) for layer in survivors.values()]
+        assert len(set(sets)) == 1
+        assert sets[0]  # the view-0 message survived into every survivor
+        assert_gmp(cluster)
+
+
+class TestSameSetRandomised:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_survivor_sets_agree_per_view(self, seed):
+        rng = random.Random(seed * 131 + 7)
+        n = rng.randint(4, 7)
+        cluster = MembershipCluster.of_size(n, seed=seed)
+        layers = {p: VsyncLayer(m) for p, m in cluster.members.items()}
+        # Arm a mid-multicast crash for one random sender.
+        victim = f"p{rng.randint(1, n - 1)}"
+        crash_after_matching_sends(
+            cluster.network,
+            cluster.resolve(victim),
+            payload_type_is("VsMessage"),
+            after=rng.randint(1, n - 1),
+        )
+        cluster.start()
+        cluster.run(until=5.0)
+        # Everyone chats; the victim's multicast eventually kills it.
+        for i in range(rng.randint(3, 10)):
+            sender = pid(f"p{rng.randint(0, n - 1)}")
+            if cluster.members[sender].is_member:
+                layers[sender].multicast(f"m{i}")
+                cluster.run(until=cluster.scheduler.now + rng.uniform(0.1, 3.0))
+        cluster.settle(max_events=500_000)
+        survivors = surviving_layers(cluster, layers)
+        if not survivors:
+            return
+        versions = {
+            version
+            for layer in survivors.values()
+            for version in layer._seen  # noqa: SLF001 - test introspection
+        }
+        for version in versions:
+            sets = {frozenset(l.delivered_set(version)) for l in survivors.values()}
+            assert len(sets) == 1, f"view {version} sets diverge (seed {seed})"
+        assert_gmp(cluster, liveness=False)
+
+
+class TestVsyncUnderChurn:
+    def test_same_set_through_coordinator_reconfiguration(self):
+        cluster, layers = cluster_with_vsync(6, delay_model=FixedDelay(1.0))
+        cluster.run(until=5.0)
+        layers[pid("p2")].multicast("before")
+        cluster.run(until=6.0)
+        cluster.crash("p0", at=7.0)  # coordinator dies; reconfiguration
+        cluster.settle()
+        layers[pid("p2")].multicast("after")
+        cluster.settle()
+        survivors = surviving_layers(cluster, layers)
+        for version in (0, 1):
+            sets = {frozenset(l.delivered_set(version)) for l in survivors.values()}
+            assert len(sets) == 1
+        assert_gmp(cluster)
+
+    def test_joiner_participates_in_new_views_only(self):
+        cluster, layers = cluster_with_vsync(4)
+        cluster.run(until=5.0)
+        layers[pid("p1")].multicast("pre-join")
+        cluster.settle()
+        joiner = cluster.join("x")
+        cluster.settle()
+        layers[joiner] = VsyncLayer(cluster.members[joiner])
+        layers[pid("p1")].multicast("post-join")
+        cluster.settle()
+        # The joiner delivers only the post-join message (view 1)...
+        assert [d.payload for d in layers[joiner].deliveries] == ["post-join"]
+        # ...and everyone attributes it to view 1.
+        for p, layer in surviving_layers(cluster, layers).items():
+            assert [d.payload for d in layer.delivered_in(1)] == ["post-join"]
+
+    def test_multicast_storm_with_two_failures(self):
+        cluster, layers = cluster_with_vsync(7, delay_model=FixedDelay(1.0))
+        crash_after_matching_sends(
+            cluster.network,
+            cluster.resolve("p5"),
+            payload_type_is("VsMessage"),
+            after=2,
+        )
+        cluster.run(until=5.0)
+        for i in range(4):
+            layers[pid("p1")].multicast(f"a{i}")
+            layers[pid("p2")].multicast(f"b{i}")
+        cluster.run(until=6.0)
+        layers[pid("p5")].multicast("torn")  # kills p5 mid-broadcast
+        cluster.crash("p6", at=8.0)
+        cluster.settle()
+        survivors = surviving_layers(cluster, layers)
+        versions = {
+            v for layer in survivors.values() for v in layer._seen  # noqa: SLF001
+        }
+        for version in versions:
+            sets = {frozenset(l.delivered_set(version)) for l in survivors.values()}
+            assert len(sets) == 1
+        assert_gmp(cluster)

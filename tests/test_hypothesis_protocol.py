@@ -1,0 +1,121 @@
+"""Property-based end-to-end tests: GMP must hold on arbitrary schedules.
+
+Hypothesis generates whole workloads — group size, crash subsets, timings,
+crash-mid-broadcast rules, joins, delay regimes — and every generated run
+is checked against the full GMP specification.  This is the library's
+broadest safety net: the scenarios of the paper's proofs are points in this
+space; hypothesis samples the rest of it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.service import MembershipCluster
+from repro.properties import check_gmp, format_report
+from repro.sim.failures import crash_after_matching_sends, payload_type_is
+from repro.sim.network import FixedDelay, UniformDelay
+
+BROADCASTS = payload_type_is("Commit", "ReconfigCommit", "Invite", "Propose")
+
+workload = st.fixed_dictionaries(
+    {
+        "n": st.integers(3, 9),
+        "seed": st.integers(0, 10_000),
+        "delay": st.sampled_from(["fixed", "uniform", "wide"]),
+        "crash_fraction": st.floats(0.0, 0.45),
+        "mid_broadcast": st.booleans(),
+        "mid_broadcast_after": st.integers(1, 4),
+        "join": st.booleans(),
+        "crash_times": st.lists(st.floats(1.0, 120.0), min_size=0, max_size=4),
+    }
+)
+
+
+def build_cluster(params) -> MembershipCluster:
+    delay = {
+        "fixed": FixedDelay(1.0),
+        "uniform": UniformDelay(0.5, 2.0),
+        "wide": UniformDelay(0.1, 8.0),
+    }[params["delay"]]
+    cluster = MembershipCluster.of_size(
+        params["n"], seed=params["seed"], delay_model=delay
+    )
+    n = params["n"]
+    max_victims = max(0, min(int(n * params["crash_fraction"]), (n - 1) // 2))
+    victims = [f"p{n - 1 - i}" for i in range(max_victims)]
+    times = sorted(params["crash_times"])[:max_victims] or []
+    for i, victim in enumerate(victims):
+        when = times[i] if i < len(times) else 5.0 + 10.0 * i
+        if params["mid_broadcast"] and i == 0:
+            crash_after_matching_sends(
+                cluster.network,
+                cluster.resolve(victim),
+                BROADCASTS,
+                after=params["mid_broadcast_after"],
+            )
+            # The rule may never fire if the junior victim never broadcasts;
+            # give it a backstop crash so the run still exercises failure.
+            cluster.crash(victim, at=when + 60.0)
+        else:
+            cluster.crash(victim, at=when)
+    if params["join"]:
+        cluster.join("jx", at=25.0)
+    cluster.start()
+    return cluster
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(workload)
+def test_gmp_safety_on_arbitrary_workloads(params):
+    cluster = build_cluster(params)
+    cluster.settle(max_events=500_000)
+    report = check_gmp(cluster.trace, cluster.initial_view, check_liveness=False)
+    assert report.ok, format_report(report) + "\n" + repr(params)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    n=st.integers(4, 9),
+    seed=st.integers(0, 10_000),
+    spacing=st.floats(15.0, 40.0),
+)
+def test_liveness_under_spaced_minority_failures(n, seed, spacing):
+    """Spaced failures of a strict minority always end in agreement on
+    exactly the survivor set (GMP-5 plus progress)."""
+    cluster = MembershipCluster.of_size(n, seed=seed)
+    victims = [f"p{n - 1 - i}" for i in range((n - 1) // 2)]
+    for i, victim in enumerate(victims):
+        cluster.crash(victim, at=5.0 + spacing * i)
+    cluster.start()
+    cluster.settle(max_events=500_000)
+    report = check_gmp(cluster.trace, cluster.initial_view, check_liveness=True)
+    assert report.ok, format_report(report)
+    survivors = {m.name for m in cluster.agreed_view()}
+    assert survivors == {f"p{i}" for i in range(n)} - set(victims)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(3, 7),
+    seed=st.integers(0, 10_000),
+    joins=st.integers(1, 3),
+)
+def test_joins_always_reach_agreement(n, seed, joins):
+    cluster = MembershipCluster.of_size(n, seed=seed)
+    for i in range(joins):
+        cluster.join(f"j{i}", at=5.0 + 20.0 * i)
+    cluster.start()
+    cluster.settle(max_events=500_000)
+    report = check_gmp(cluster.trace, cluster.initial_view, check_liveness=True)
+    assert report.ok, format_report(report)
+    assert len(cluster.agreed_view()) == n + joins

@@ -1,0 +1,139 @@
+"""Unit tests for process identity and rank arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ids import (
+    ProcessId,
+    higher_ranked,
+    lower_ranked,
+    majority_size,
+    manager_of,
+    ordered_view,
+    pid,
+    rank_of,
+)
+
+
+class TestProcessId:
+    def test_equality_by_value(self):
+        assert pid("a") == ProcessId("a", 0)
+
+    def test_incarnations_are_distinct_identities(self):
+        assert pid("a", 0) != pid("a", 1)
+
+    def test_next_incarnation_increments(self):
+        assert pid("a", 3).next_incarnation() == pid("a", 4)
+
+    def test_str_omits_zero_incarnation(self):
+        assert str(pid("a")) == "a"
+
+    def test_str_shows_nonzero_incarnation(self):
+        assert str(pid("a", 2)) == "a#2"
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({pid("a"), pid("a"), pid("b")}) == 2
+
+    def test_ordering_is_lexicographic(self):
+        assert pid("a", 1) < pid("b", 0)
+        assert pid("a", 0) < pid("a", 1)
+
+
+class TestRank:
+    def setup_method(self):
+        self.view = ordered_view(p(*"mpqrs"))
+
+    def test_manager_has_highest_rank(self):
+        assert rank_of(pid("m"), self.view) == 5
+
+    def test_most_junior_has_rank_one(self):
+        assert rank_of(pid("s"), self.view) == 1
+
+    def test_rank_of_non_member_raises(self):
+        with pytest.raises(ValueError):
+            rank_of(pid("x"), self.view)
+
+    def test_removal_moves_juniors_up_one_position(self):
+        # Removing q moves r and s up one position; their rank value
+        # (distance from the bottom) is preserved while every senior's
+        # drops by one, keeping rank(Mgr) == |view| (Section 4.2).
+        after = ordered_view(p("m", "p", "r", "s"))
+        assert rank_of(pid("r"), after) == rank_of(pid("r"), self.view)
+        assert rank_of(pid("m"), after) == len(after)
+        assert list(after).index(pid("r")) == list(self.view).index(pid("r")) - 1
+
+    def test_relative_rank_stable_under_removal_of_others(self):
+        after = ordered_view(p("m", "p", "r", "s"))
+        assert rank_of(pid("m"), after) > rank_of(pid("p"), after)
+        assert rank_of(pid("r"), after) > rank_of(pid("s"), after)
+
+    def test_manager_of_is_first(self):
+        assert manager_of(self.view) == pid("m")
+
+    def test_manager_of_empty_view_raises(self):
+        with pytest.raises(ValueError):
+            manager_of(())
+
+    def test_higher_ranked(self):
+        assert higher_ranked(pid("q"), self.view) == (pid("m"), pid("p"))
+
+    def test_higher_ranked_of_manager_is_empty(self):
+        assert higher_ranked(pid("m"), self.view) == ()
+
+    def test_lower_ranked(self):
+        assert lower_ranked(pid("q"), self.view) == (pid("r"), pid("s"))
+
+    def test_lower_ranked_of_most_junior_is_empty(self):
+        assert lower_ranked(pid("s"), self.view) == ()
+
+
+class TestMajority:
+    @pytest.mark.parametrize(
+        "size,expected",
+        [(1, 1), (2, 2), (3, 2), (4, 3), (5, 3), (6, 4), (7, 4), (10, 6)],
+    )
+    def test_majority_size(self, size, expected):
+        assert majority_size(size) == expected
+
+    def test_majority_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            majority_size(0)
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_majority_is_more_than_half(self, n):
+        assert 2 * majority_size(n) > n
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_two_majorities_always_intersect(self, n):
+        # mu + mu > n, so two majority subsets of the same set intersect.
+        assert majority_size(n) + majority_size(n) > n
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_paper_proposition_7_1(self, n):
+        """mu(S) + mu(S') > |S'| when |S'| = |S| + 1 — neighbouring views."""
+        assert majority_size(n) + majority_size(n + 1) > n + 1
+
+    @given(st.integers(min_value=2, max_value=10_000))
+    def test_neighbouring_majorities_intersect_downward(self, n):
+        """Same for a removal: majorities of sizes n and n-1 overlap in the
+        larger view."""
+        assert majority_size(n) + majority_size(n - 1) > n - 1
+
+
+class TestOrderedView:
+    def test_preserves_order(self):
+        assert ordered_view(p("b", "a")) == (pid("b"), pid("a"))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            ordered_view(p("a", "a"))
+
+    def test_empty_is_allowed(self):
+        assert ordered_view([]) == ()
+
+
+def p(*parts: str):
+    return [pid(name) for name in parts]

@@ -1,0 +1,149 @@
+"""Integration tests: the join procedure and the fully online algorithm."""
+
+from __future__ import annotations
+
+from repro.ids import pid
+from repro.model.events import EventKind
+from repro.workloads.churn import mixed_churn
+
+from conftest import assert_gmp, make_cluster, names
+
+
+class TestBasicJoin:
+    def test_joiner_admitted_with_state(self):
+        cluster = make_cluster(4, seed=1)
+        joiner = cluster.join("x", at=5.0)
+        cluster.settle()
+        assert names(cluster.agreed_view()) == ["p0", "p1", "p2", "p3", "x"]
+        member = cluster.members[joiner]
+        assert member.is_member and member.version == 1
+        assert_gmp(cluster)
+
+    def test_joiner_enters_at_lowest_rank(self):
+        cluster = make_cluster(4, seed=2)
+        cluster.join("x", at=5.0)
+        cluster.settle()
+        assert cluster.agreed_view()[-1].name == "x"
+
+    def test_joiner_has_full_seq(self):
+        # The state transfer carries the whole committed history, keeping
+        # the version == |seq| invariant for late joiners.
+        cluster = make_cluster(4, seed=3)
+        cluster.crash("p3", at=5.0)
+        cluster.join("x", at=40.0)
+        cluster.settle()
+        member = cluster.member("x")
+        assert member.version == len(member.state.seq) == 2
+
+    def test_multiple_joins_are_serialised(self):
+        cluster = make_cluster(3, seed=4)
+        cluster.join("x", at=5.0)
+        cluster.join("y", at=5.5)
+        cluster.join("z", at=6.0)
+        cluster.settle()
+        assert names(cluster.agreed_view()) == ["p0", "p1", "p2", "x", "y", "z"]
+        assert cluster.agreed_version() == 3
+        assert_gmp(cluster)
+
+    def test_join_via_non_coordinator_contact_is_forwarded(self):
+        cluster = make_cluster(4, seed=5)
+        cluster.join("x", contact="p2", at=5.0)
+        cluster.settle()
+        assert "x" in names(cluster.agreed_view())
+        assert_gmp(cluster)
+
+    def test_joiner_rotates_contacts_when_first_is_dead(self):
+        cluster = make_cluster(4, seed=6)
+        cluster.crash("p0", at=1.0)
+        cluster.join("x", contact="p0", at=30.0)
+        cluster.settle()
+        assert "x" in names(cluster.agreed_view())
+        assert_gmp(cluster)
+
+
+class TestRejoinIncarnations:
+    def test_crashed_process_rejoins_as_new_incarnation(self):
+        cluster = make_cluster(4, seed=7)
+        cluster.crash("p3", at=5.0)
+        cluster.settle()
+        rejoined = cluster.join("p3")
+        cluster.settle()
+        assert rejoined == pid("p3", 1)
+        view = cluster.agreed_view()
+        assert pid("p3", 1) in view and pid("p3", 0) not in view
+        assert_gmp(cluster)
+
+    def test_gmp4_no_reinstatement_of_same_incarnation(self):
+        cluster = make_cluster(4, seed=8)
+        cluster.crash("p3", at=5.0)
+        cluster.settle()
+        cluster.join("p3")
+        cluster.settle()
+        # GMP-4 is checked over the whole run by assert_gmp; additionally
+        # verify the old incarnation never reappears in any install.
+        for event in cluster.trace.events_of_kind(EventKind.INSTALL):
+            if event.time > 10.0:
+                assert pid("p3", 0) not in (event.view or ())
+        assert_gmp(cluster)
+
+
+class TestJoinUnderFailures:
+    def test_join_interleaved_with_exclusion(self):
+        cluster = make_cluster(5, seed=9)
+        cluster.crash("p4", at=5.0)
+        cluster.join("x", at=5.5)
+        cluster.settle()
+        view = names(cluster.agreed_view())
+        assert "x" in view and "p4" not in view
+        assert_gmp(cluster)
+
+    def test_join_during_reconfiguration(self):
+        cluster = make_cluster(5, seed=10)
+        cluster.crash("p0", at=5.0)  # triggers reconfiguration
+        cluster.join("x", at=6.0)  # arrives mid-upheaval
+        cluster.settle()
+        view = names(cluster.agreed_view())
+        assert "x" in view and "p0" not in view
+        assert_gmp(cluster)
+
+    def test_joiner_crashes_right_after_admission(self):
+        cluster = make_cluster(4, seed=11)
+        cluster.join("x", at=5.0)
+        cluster.crash("x", at=40.0)
+        cluster.settle()
+        assert "x" not in names(cluster.agreed_view())
+        assert_gmp(cluster)
+
+    def test_new_coordinator_serves_join_queue(self):
+        # The join request lands at p0, which dies before serving it; the
+        # retry must reach the next coordinator.
+        cluster = make_cluster(4, seed=12)
+        cluster.crash("p0", at=4.9)
+        cluster.join("x", contact="p1", at=30.0)
+        cluster.settle()
+        view = names(cluster.agreed_view())
+        assert "x" in view and "p0" not in view
+        assert_gmp(cluster)
+
+
+class TestOnlineChurn:
+    def test_mixed_schedule_stays_agreed(self):
+        cluster = make_cluster(6, seed=13)
+        schedule = mixed_churn(6, operations=12, seed=13, mean_gap=40.0)
+        schedule.apply(cluster)
+        cluster.settle(max_events=2_000_000)
+        assert_gmp(cluster, liveness=False)
+        assert cluster.agreed_view()  # survivors agree
+
+    def test_long_streak_of_alternating_operations(self):
+        cluster = make_cluster(5, seed=14)
+        t = 5.0
+        for i in range(6):
+            cluster.join(f"x{i}", at=t)
+            t += 40.0
+            cluster.crash(f"x{i}", at=t)
+            t += 40.0
+        cluster.settle(max_events=2_000_000)
+        assert names(cluster.agreed_view()) == ["p0", "p1", "p2", "p3", "p4"]
+        assert cluster.agreed_version() == 12
+        assert_gmp(cluster)

@@ -1,0 +1,101 @@
+"""Tests for the epistemic analysis (the paper's Appendix)."""
+
+from __future__ import annotations
+
+from repro.model.knowledge import KnowledgeAnalysis
+from repro.workloads.scenarios import run_figure3
+
+from conftest import make_cluster
+
+
+def analysed(cluster) -> KnowledgeAnalysis:
+    return KnowledgeAnalysis(cluster.trace.events)
+
+
+class TestViewCuts:
+    def test_cut_exists_for_every_installed_version(self):
+        cluster = make_cluster(5, seed=1)
+        cluster.crash("p3", at=5.0)
+        cluster.crash("p4", at=60.0)
+        cluster.settle()
+        analysis = analysed(cluster)
+        assert analysis.exact_view_cut(1) is not None
+        assert analysis.exact_view_cut(2) is not None
+        assert analysis.exact_view_cut(3) is None  # never installed
+
+    def test_view_holds_along_cut(self):
+        cluster = make_cluster(5, seed=2)
+        cluster.crash("p3", at=5.0)
+        cluster.settle()
+        analysis = analysed(cluster)
+        assert analysis.view_holds_along_cut(1)
+
+    def test_version_along_cut(self):
+        cluster = make_cluster(4, seed=3)
+        cluster.crash("p3", at=5.0)
+        cluster.settle()
+        analysis = analysed(cluster)
+        cut = analysis.exact_view_cut(1)
+        assert cut is not None
+        for member in cluster.live_members():
+            assert analysis.version_along(member.pid, cut) == 1
+
+
+class TestHindsight:
+    def test_equation4_holds_in_benign_runs(self):
+        """Installing version x grounds knowledge that Sys^{x-1} existed."""
+        cluster = make_cluster(6, seed=4)
+        cluster.crash("p4", at=5.0)
+        cluster.crash("p5", at=60.0)
+        cluster.settle()
+        analysis = analysed(cluster)
+        assert analysis.hindsight_holds()
+
+    def test_hindsight_survives_reconfiguration(self):
+        cluster = make_cluster(6, seed=5)
+        cluster.crash("p0", at=5.0)
+        cluster.settle()
+        analysis = analysed(cluster)
+        assert analysis.hindsight_holds()
+
+    def test_hindsight_points_enumerate_installs(self):
+        cluster = make_cluster(4, seed=6)
+        cluster.crash("p3", at=5.0)
+        cluster.settle()
+        points = analysed(cluster).hindsight_points()
+        # Three survivors each install version 1 -> three hindsight points
+        # about version 0.
+        assert len([p for p in points if p.version == 0]) == 3
+
+
+class TestConcurrentCommonKnowledge:
+    def test_attained_when_coordinator_survives(self):
+        """Appendix: with Mgr alive, view composition is concurrent common
+        knowledge along the install cut."""
+        cluster = make_cluster(5, seed=7)
+        cluster.crash("p4", at=5.0)
+        cluster.settle()
+        analysis = analysed(cluster)
+        assert 1 in analysis.common_knowledge_versions()
+
+    def test_interrupted_commit_weakens_knowledge(self):
+        """When Mgr dies mid-commit, the partially installed version is not
+        locally distinguishable — receivers cannot tell whether the rest of
+        the group will ever see it (it takes the reconfiguration's later
+        re-commit to stabilise it)."""
+        cluster = run_figure3(n=5, commit_sends_before_crash=1)
+        analysis = analysed(cluster)
+        # Version 1's install events straddle the original commit and the
+        # reconfigurer's re-commit: the canonical cut contains communication
+        # past the early installer's install event.
+        assert not analysis.is_locally_distinguishable(1)
+
+    def test_post_reconfiguration_versions_recover_knowledge(self):
+        cluster = run_figure3(n=5, commit_sends_before_crash=1)
+        analysis = analysed(cluster)
+        versions = analysis.common_knowledge_versions()
+        # The final (stable) version regains concurrent common knowledge.
+        final = max(
+            v for seq in analysis._sequences.values() for v in [s.version for s in seq]
+        )
+        assert final in versions

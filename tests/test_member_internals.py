@@ -1,0 +1,242 @@
+"""White-box tests of GMPMember edge cases.
+
+These drive the member state machine through paths the scenario tests may
+only hit incidentally: future-view buffering, S1 discards, stale and
+misattributed messages, broadcast ordering, and the AppLayer hook.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.member import AppLayer, GMPMember
+from repro.core.messages import Commit, Invite, UpdateOk, remove
+from repro.detectors.scripted import ScriptedDetector
+from repro.ids import pid
+from repro.model.events import EventKind
+from repro.sim.network import FixedDelay, Network, PerPairDelay
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import RunTrace
+
+from conftest import assert_gmp, make_cluster, names
+
+M, A, B, C = pid("m"), pid("a"), pid("b"), pid("c")
+
+
+def build_group(n_extra: int = 3, delay_model=None):
+    """A hand-wired group [m, a, b, c...] with scripted detectors."""
+    scheduler = Scheduler()
+    trace = RunTrace()
+    network = Network(
+        scheduler,
+        trace,
+        delay_model=delay_model if delay_model is not None else FixedDelay(1.0),
+    )
+    view = [M, A, B, C][: n_extra + 1]
+    members = {}
+    for proc in view:
+        detector = ScriptedDetector(scheduler)
+        members[proc] = GMPMember(proc, network, detector, initial_view=list(view))
+    for member in members.values():
+        member.start()
+    return scheduler, network, members
+
+
+class TestFutureViewBuffering:
+    def test_future_commit_is_buffered_until_applicable(self):
+        # Per-channel FIFO means a single coordinator cannot reorder its own
+        # rounds, so drive the member directly: a version-2 commit arriving
+        # (from the member's perspective) before version 1 must be held,
+        # then applied once version 1 lands — installs stay dense.
+        scheduler, network, members = build_group()
+        b = members[B]
+        commit_v2 = Commit(remove(A), 2, None)
+        commit_v1 = Commit(remove(C), 1, None)
+        b.on_message(M, commit_v2)
+        assert b.version == 0 and len(b.buffer) == 1
+        b.on_message(M, commit_v1)
+        assert b.version == 2
+        assert names(b.view) == ["m", "b"]
+        installs = [
+            e.version for e in network.trace.events_of(B, EventKind.INSTALL)
+        ]
+        assert installs == [1, 2]
+
+    def test_stale_invite_ignored(self):
+        scheduler, network, members = build_group()
+        members[M].on_suspect(C)
+        scheduler.run()
+        b = members[B]
+        before = b.version
+        # Replay an old invite directly at b: version 1 <= current version.
+        b.on_message(M, Invite(remove(C), 1))
+        assert b.version == before
+        assert b.update_round is None
+
+    def test_invite_from_non_coordinator_ignored(self):
+        scheduler, network, members = build_group()
+        scheduler.run(until=2.0)
+        b = members[B]
+        b.on_message(A, Invite(remove(C), 1))  # a is not the coordinator
+        assert not b.state.plans
+        scheduler.run()
+        assert b.version == 0
+
+
+class TestS1Isolation:
+    def test_messages_from_suspected_sender_discarded(self):
+        scheduler, network, members = build_group()
+        scheduler.run(until=2.0)
+        members[B].on_suspect(A)
+        # a (alive, unaware) multicasts... any message to b.
+        members[A].send(B, UpdateOk(1))
+        scheduler.run(until=5.0)
+        discards = network.trace.events_of(B, EventKind.DISCARD)
+        assert any(e.peer == A for e in discards)
+
+    def test_buffered_messages_dropped_when_sender_suspected(self):
+        delays = PerPairDelay(default=FixedDelay(1.0))
+        scheduler, network, members = build_group(3, delay_model=delays)
+        b = members[B]
+        # A future-view commit lands in b's buffer...
+        b.buffer.hold(M, Commit(remove(C), 3, None))
+        assert len(b.buffer) == 1
+        # ...then b starts believing m faulty: the buffer entry must die.
+        b.on_suspect(M)
+        assert len(b.buffer) == 0
+
+
+class TestStaleRoundResponses:
+    def test_update_ok_for_wrong_version_ignored(self):
+        scheduler, network, members = build_group()
+        m = members[M]
+        m.on_suspect(C)  # opens round for version 1
+        assert m.update_round is not None
+        m.on_message(A, UpdateOk(7))  # nonsense version
+        assert m.update_round is not None
+        assert A not in m.update_round.oks
+
+    def test_update_ok_at_non_coordinator_ignored(self):
+        scheduler, network, members = build_group()
+        b = members[B]
+        b.on_message(A, UpdateOk(1))  # b never opened a round
+        assert b.update_round is None
+
+
+class TestBroadcastOrdering:
+    def test_broadcast_first_reorders(self):
+        scheduler, network, members = build_group()
+        m = members[M]
+        m.broadcast_first = (C,)
+        assert m._ordered([A, B, C]) == [C, A, B]
+
+    def test_default_order_preserved(self):
+        scheduler, network, members = build_group()
+        assert members[M]._ordered([A, B, C]) == [A, B, C]
+
+
+class TestAppLayerHook:
+    def test_unknown_payloads_routed_to_app(self):
+        scheduler, network, members = build_group()
+
+        class Recorder(AppLayer):
+            def __init__(self):
+                self.messages = []
+                self.views = []
+                self.flushes = []
+
+            def on_message(self, sender, payload):
+                self.messages.append((sender, payload))
+
+            def on_view_installed(self, version, view, mgr):
+                self.views.append((version, view, mgr))
+
+            def before_view_agreement(self, version):
+                self.flushes.append(version)
+
+        recorder = Recorder()
+        members[B].app = recorder
+        members[A].send(B, "application payload")
+        scheduler.run(until=3.0)
+        assert recorder.messages == [(A, "application payload")]
+        # Drive a view change: app sees the flush then the install.
+        members[M].on_suspect(C)
+        scheduler.run()
+        assert recorder.flushes == [1]
+        assert [v for v, _, _ in recorder.views] == [1]
+        mgr_of_view = recorder.views[0][2]
+        assert mgr_of_view == M
+
+    def test_coordinator_flush_fires_before_commit(self):
+        scheduler, network, members = build_group()
+
+        class FlushProbe(AppLayer):
+            def __init__(self, member):
+                self.member = member
+                self.version_at_flush = None
+
+            def before_view_agreement(self, version):
+                self.version_at_flush = self.member.state.version
+
+        probe = FlushProbe(members[M])
+        members[M].app = probe
+        members[M].on_suspect(C)
+        scheduler.run()
+        # The coordinator flushed while still at version 0 — before apply.
+        assert probe.version_at_flush == 0
+
+
+class TestQuitPaths:
+    def test_member_listed_in_commit_faulty_quits(self):
+        cluster = make_cluster(5, seed=1, detector="scripted")
+        # p0 believes both p3 and p4 faulty; the commit for p4's removal
+        # lists p3 in Faulty — p3 must quit on receipt.
+        cluster.suspect("p0", "p4", at=5.0)
+        cluster.suspect("p0", "p3", at=5.1)
+        cluster.settle()
+        assert cluster.member("p3").quit
+        assert cluster.member("p4").quit
+        assert names(cluster.agreed_view()) == ["p0", "p1", "p2"]
+        assert_gmp(cluster)
+
+    def test_contingent_target_quits_without_separate_invite(self):
+        cluster = make_cluster(5, seed=2, detector="scripted")
+        cluster.suspect("p0", "p3", at=5.0)
+        cluster.suspect("p0", "p4", at=5.05)
+        cluster.settle()
+        # p4's exclusion rode the commit of p3's: it saw itself in the
+        # contingency and quit.
+        assert cluster.member("p4").quit
+        assert cluster.agreed_version() == 2
+        assert_gmp(cluster)
+
+
+class TestConstructorValidation:
+    def test_member_must_be_in_its_view(self):
+        scheduler = Scheduler()
+        network = Network(scheduler, RunTrace(), delay_model=FixedDelay(1.0))
+        with pytest.raises(ValueError):
+            GMPMember(
+                pid("x"),
+                network,
+                ScriptedDetector(scheduler),
+                initial_view=[A, B],
+            )
+
+    def test_joiner_without_contacts_rejected(self):
+        scheduler = Scheduler()
+        network = Network(scheduler, RunTrace(), delay_model=FixedDelay(1.0))
+        with pytest.raises(ValueError):
+            GMPMember(pid("x"), network, ScriptedDetector(scheduler))
+
+    def test_invalid_reconfig_phases_rejected(self):
+        scheduler = Scheduler()
+        network = Network(scheduler, RunTrace(), delay_model=FixedDelay(1.0))
+        with pytest.raises(ValueError):
+            GMPMember(
+                A,
+                network,
+                ScriptedDetector(scheduler),
+                initial_view=[A],
+                reconfig_phases=1,
+            )

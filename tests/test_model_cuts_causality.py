@@ -1,0 +1,177 @@
+"""Unit tests for consistent cuts and happens-before reconstruction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.ids import pid
+from repro.model.causality import CausalOrder, VectorClock
+from repro.model.cuts import Cut, cut_leq, cut_ll, is_consistent
+from repro.model.events import Event, EventKind, MessageRecord
+from repro.model.history import history_of
+
+A, B, C = pid("a"), pid("b"), pid("c")
+
+
+def build_message_run():
+    """a sends m1 to b; b sends m2 to c.  Returns the event list."""
+    m1 = MessageRecord(sender=A, receiver=B, payload="m1")
+    m2 = MessageRecord(sender=B, receiver=C, payload="m2")
+    return [
+        Event(proc=A, kind=EventKind.START, index=0),
+        Event(proc=B, kind=EventKind.START, index=0),
+        Event(proc=C, kind=EventKind.START, index=0),
+        Event(proc=A, kind=EventKind.SEND, index=1, peer=B, message=m1),
+        Event(proc=B, kind=EventKind.RECV, index=1, peer=A, message=m1),
+        Event(proc=B, kind=EventKind.SEND, index=2, peer=C, message=m2),
+        Event(proc=C, kind=EventKind.RECV, index=1, peer=B, message=m2),
+    ]
+
+
+def histories(events):
+    procs = {e.proc for e in events}
+    return {p: history_of(events, p) for p in procs}
+
+
+class TestConsistency:
+    def test_full_run_is_consistent(self):
+        events = build_message_run()
+        cut = Cut({A: 2, B: 3, C: 2})
+        assert is_consistent(cut, histories(events))
+
+    def test_recv_without_send_is_inconsistent(self):
+        events = build_message_run()
+        # b's RECV included but a's SEND not.
+        cut = Cut({A: 1, B: 2, C: 1})
+        assert not is_consistent(cut, histories(events))
+
+    def test_send_without_recv_is_consistent(self):
+        events = build_message_run()
+        cut = Cut({A: 2, B: 1, C: 1})
+        assert is_consistent(cut, histories(events))
+
+    def test_transitive_inconsistency(self):
+        events = build_message_run()
+        # c's RECV of m2 needs b's SEND which needs b's RECV of m1...
+        cut = Cut({A: 2, B: 1, C: 2})
+        assert not is_consistent(cut, histories(events))
+
+    def test_empty_cut_is_consistent(self):
+        events = build_message_run()
+        assert is_consistent(Cut({}), histories(events))
+
+    def test_orphan_recv_raises(self):
+        orphan = MessageRecord(sender=A, receiver=B, payload="x")
+        events = [
+            Event(proc=B, kind=EventKind.START, index=0),
+            Event(proc=B, kind=EventKind.RECV, index=1, peer=A, message=orphan),
+        ]
+        with pytest.raises(TraceError):
+            is_consistent(Cut({B: 2}), histories(events))
+
+
+class TestCutOrderings:
+    def test_leq_reflexive(self):
+        cut = Cut({A: 1, B: 2})
+        assert cut_leq(cut, cut)
+
+    def test_leq_pointwise(self):
+        assert cut_leq(Cut({A: 1}), Cut({A: 2, B: 1}))
+        assert not cut_leq(Cut({A: 3}), Cut({A: 2}))
+
+    def test_ll_strict_everywhere(self):
+        assert cut_ll(Cut({A: 1, B: 1}), Cut({A: 2, B: 2}))
+        assert not cut_ll(Cut({A: 1, B: 1}), Cut({A: 2, B: 1}))
+
+    def test_ll_exempts_terminated_histories(self):
+        events = build_message_run()
+        hist = histories(events)
+        # A's full history has 2 events; a cut already containing all of A
+        # cannot strictly extend there and is exempted.
+        assert cut_ll(Cut({A: 2, B: 1, C: 1}), Cut({A: 2, B: 2, C: 2}), hist)
+
+    def test_includes(self):
+        cut = Cut({A: 2})
+        events = build_message_run()
+        a_send = events[3]
+        assert cut.includes(a_send)
+        assert not Cut({A: 1}).includes(a_send)
+
+
+class TestCausalOrder:
+    def test_local_order(self):
+        events = build_message_run()
+        order = CausalOrder(events)
+        assert order.happens_before(events[0], events[3])
+
+    def test_message_edge(self):
+        events = build_message_run()
+        order = CausalOrder(events)
+        send, recv = events[3], events[4]
+        assert order.happens_before(send, recv)
+        assert not order.happens_before(recv, send)
+
+    def test_transitivity_across_processes(self):
+        events = build_message_run()
+        order = CausalOrder(events)
+        a_send, c_recv = events[3], events[6]
+        assert order.happens_before(a_send, c_recv)
+
+    def test_concurrent_starts(self):
+        events = build_message_run()
+        order = CausalOrder(events)
+        assert order.concurrent(events[0], events[1])
+
+    def test_event_not_concurrent_with_itself(self):
+        events = build_message_run()
+        order = CausalOrder(events)
+        assert not order.concurrent(events[0], events[0])
+
+    def test_out_of_order_event_stream_still_resolves(self):
+        # CausalOrder must not depend on the input ordering of the stream.
+        events = list(reversed(build_message_run()))
+        order = CausalOrder(events)
+        assert order is not None
+
+    def test_unknown_event_raises(self):
+        events = build_message_run()
+        order = CausalOrder(events)
+        foreign = Event(proc=pid("z"), kind=EventKind.START, index=0)
+        with pytest.raises(TraceError):
+            order.stamp(foreign)
+
+
+class TestVectorClock:
+    def test_leq_componentwise(self):
+        v1 = VectorClock.of({A: 1, B: 2})
+        v2 = VectorClock.of({A: 1, B: 3})
+        assert v1.leq(v2)
+        assert not v2.leq(v1)
+
+    def test_missing_components_are_zero(self):
+        v1 = VectorClock.of({A: 1})
+        v2 = VectorClock.of({A: 1, B: 1})
+        assert v1.leq(v2)
+        assert v1.get(B) == 0
+
+    def test_merge_takes_maxima(self):
+        v1 = VectorClock.of({A: 3, B: 1})
+        v2 = VectorClock.of({A: 1, B: 4})
+        merged = v1.merge(v2)
+        assert merged.get(A) == 3 and merged.get(B) == 4
+
+    @given(
+        st.dictionaries(
+            st.sampled_from([A, B, C]), st.integers(0, 20), max_size=3
+        ),
+        st.dictionaries(
+            st.sampled_from([A, B, C]), st.integers(0, 20), max_size=3
+        ),
+    )
+    def test_merge_is_upper_bound(self, d1, d2):
+        v1, v2 = VectorClock.of(d1), VectorClock.of(d2)
+        merged = v1.merge(v2)
+        assert v1.leq(merged) and v2.leq(merged)

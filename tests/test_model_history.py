@@ -1,0 +1,121 @@
+"""Unit tests for process histories and prefix relations (Section 2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.ids import pid
+from repro.model.events import Event, EventKind
+from repro.model.history import (
+    ProcessHistory,
+    history_of,
+    is_prefix,
+    is_strict_prefix,
+)
+
+A = pid("a")
+B = pid("b")
+
+
+def ev(proc, kind, index, **kw):
+    return Event(proc=proc, kind=kind, index=index, **kw)
+
+
+def simple_history(*kinds: EventKind) -> list[Event]:
+    events = [ev(A, EventKind.START, 0)]
+    for i, kind in enumerate(kinds, start=1):
+        events.append(ev(A, kind, i))
+    return events
+
+
+class TestProcessHistoryValidation:
+    def test_valid_history_constructs(self):
+        history = ProcessHistory(A, simple_history(EventKind.INTERNAL))
+        assert len(history) == 2
+
+    def test_empty_history_is_valid(self):
+        assert len(ProcessHistory(A, [])) == 0
+
+    def test_must_begin_with_start(self):
+        with pytest.raises(TraceError):
+            ProcessHistory(A, [ev(A, EventKind.INTERNAL, 0)])
+
+    def test_rejects_foreign_events(self):
+        events = [ev(A, EventKind.START, 0), ev(B, EventKind.INTERNAL, 1)]
+        with pytest.raises(TraceError):
+            ProcessHistory(A, events)
+
+    def test_rejects_non_dense_indices(self):
+        events = [ev(A, EventKind.START, 0), ev(A, EventKind.INTERNAL, 5)]
+        with pytest.raises(TraceError):
+            ProcessHistory(A, events)
+
+    def test_nothing_after_quit(self):
+        events = simple_history(EventKind.QUIT, EventKind.INTERNAL)
+        with pytest.raises(TraceError):
+            ProcessHistory(A, events)
+
+    def test_nothing_after_crash(self):
+        events = simple_history(EventKind.CRASH, EventKind.INTERNAL)
+        with pytest.raises(TraceError):
+            ProcessHistory(A, events)
+
+    def test_terminated_detection(self):
+        history = ProcessHistory(A, simple_history(EventKind.QUIT))
+        assert history.terminated()
+
+    def test_not_terminated_without_terminal_event(self):
+        history = ProcessHistory(A, simple_history(EventKind.INTERNAL))
+        assert not history.terminated()
+
+
+class TestPrefix:
+    def test_prefix_of_itself(self):
+        events = simple_history(EventKind.INTERNAL)
+        assert is_prefix(events, events)
+
+    def test_shorter_prefix(self):
+        events = simple_history(EventKind.INTERNAL, EventKind.INTERNAL)
+        assert is_prefix(events[:2], events)
+
+    def test_strict_prefix_excludes_equality(self):
+        events = simple_history(EventKind.INTERNAL)
+        assert not is_strict_prefix(events, events)
+        assert is_strict_prefix(events[:1], events)
+
+    def test_longer_is_not_prefix(self):
+        events = simple_history(EventKind.INTERNAL)
+        assert not is_prefix(events, events[:1])
+
+    def test_divergent_is_not_prefix(self):
+        one = simple_history(EventKind.INTERNAL)
+        other = simple_history(EventKind.FAULTY)
+        assert not is_prefix(one, other)
+
+    def test_prefix_method_returns_validated_history(self):
+        history = ProcessHistory(A, simple_history(EventKind.INTERNAL))
+        assert len(history.prefix(1)) == 1
+
+    def test_prefix_method_rejects_bad_length(self):
+        history = ProcessHistory(A, simple_history())
+        with pytest.raises(ValueError):
+            history.prefix(5)
+
+
+class TestHistoryOf:
+    def test_filters_and_orders(self):
+        events = [
+            ev(B, EventKind.START, 0),
+            ev(A, EventKind.START, 0),
+            ev(A, EventKind.INTERNAL, 1),
+        ]
+        history = history_of(events, A)
+        assert len(history) == 2
+        assert all(e.proc == A for e in history)
+
+    def test_events_of_kind(self):
+        history = ProcessHistory(
+            A, simple_history(EventKind.FAULTY, EventKind.INTERNAL, EventKind.FAULTY)
+        )
+        assert len(history.events_of_kind(EventKind.FAULTY)) == 2

@@ -1,0 +1,160 @@
+"""Unit tests for Memb(p,c), Sys(c,S) and view-sequence extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.ids import pid
+from repro.model.cuts import Cut
+from repro.model.events import Event, EventKind
+from repro.model.history import history_of
+from repro.model.views import (
+    extract_system_views,
+    is_down,
+    local_view,
+    system_view,
+    up_processes,
+    view_sequences,
+)
+
+A, B, C = pid("a"), pid("b"), pid("c")
+INITIAL = [A, B, C]
+
+
+def run_events(*specs):
+    """Build per-process event lists from (proc, kind, peer/version/view)."""
+    counters: dict = {}
+    events = []
+    for spec in specs:
+        proc = spec[0]
+        if proc not in counters:
+            events.append(Event(proc=proc, kind=EventKind.START, index=0))
+            counters[proc] = 1
+        kind = spec[1]
+        kw = spec[2] if len(spec) > 2 else {}
+        events.append(Event(proc=proc, kind=kind, index=counters[proc], **kw))
+        counters[proc] += 1
+    return events
+
+
+def hist(events):
+    return {p: history_of(events, p) for p in {e.proc for e in events}}
+
+
+class TestDownUp:
+    def test_down_after_crash(self):
+        events = run_events((A, EventKind.CRASH))
+        assert is_down(A, Cut({A: 2}), hist(events))
+
+    def test_not_down_before_crash_in_cut(self):
+        events = run_events((A, EventKind.CRASH))
+        assert not is_down(A, Cut({A: 1}), hist(events))
+
+    def test_quit_counts_as_down(self):
+        events = run_events((A, EventKind.QUIT))
+        assert is_down(A, Cut({A: 2}), hist(events))
+
+    def test_up_processes(self):
+        events = run_events((A, EventKind.CRASH), (B, EventKind.INTERNAL))
+        up = up_processes(Cut({A: 2, B: 2}), hist(events))
+        assert up == {B}
+
+
+class TestLocalView:
+    def test_initial_view(self):
+        events = run_events((A, EventKind.INTERNAL))
+        assert local_view(A, Cut({A: 1}), hist(events), INITIAL) == tuple(INITIAL)
+
+    def test_removal_folds(self):
+        events = run_events((A, EventKind.REMOVE, {"peer": B}))
+        view = local_view(A, Cut({A: 2}), hist(events), INITIAL)
+        assert view == (A, C)
+
+    def test_add_folds_at_end(self):
+        d = pid("d")
+        events = run_events((A, EventKind.ADD, {"peer": d}))
+        view = local_view(A, Cut({A: 2}), hist(events), INITIAL)
+        assert view == (A, B, C, d)
+
+    def test_undefined_when_down(self):
+        events = run_events((A, EventKind.CRASH))
+        assert local_view(A, Cut({A: 2}), hist(events), INITIAL) is None
+
+    def test_remove_absent_member_raises(self):
+        events = run_events((A, EventKind.REMOVE, {"peer": pid("x")}))
+        with pytest.raises(TraceError):
+            local_view(A, Cut({A: 2}), hist(events), INITIAL)
+
+    def test_double_add_raises(self):
+        events = run_events((A, EventKind.ADD, {"peer": B}))
+        with pytest.raises(TraceError):
+            local_view(A, Cut({A: 2}), hist(events), INITIAL)
+
+
+class TestSystemView:
+    def test_agreeing_views_define_system_view(self):
+        events = run_events(
+            (A, EventKind.REMOVE, {"peer": C}),
+            (B, EventKind.REMOVE, {"peer": C}),
+        )
+        cut = Cut({A: 2, B: 2})
+        assert system_view(cut, [A, B], hist(events), INITIAL) == (A, B)
+
+    def test_disagreeing_views_are_undefined(self):
+        events = run_events((A, EventKind.REMOVE, {"peer": C}), (B, EventKind.INTERNAL))
+        cut = Cut({A: 2, B: 2})
+        assert system_view(cut, [A, B], hist(events), INITIAL) is None
+
+    def test_down_members_do_not_determine(self):
+        # B crashed, so only A's local view determines Sys(c, {A, B}).
+        events = run_events(
+            (A, EventKind.REMOVE, {"peer": C}),
+            (B, EventKind.CRASH),
+        )
+        cut = Cut({A: 2, B: 2})
+        assert system_view(cut, [A, B], hist(events), INITIAL) == (A, B)
+
+    def test_all_down_is_undefined(self):
+        events = run_events((A, EventKind.CRASH), (B, EventKind.CRASH))
+        cut = Cut({A: 2, B: 2})
+        assert system_view(cut, [A, B], hist(events), INITIAL) is None
+
+
+class TestViewSequences:
+    def test_install_events_build_sequences(self):
+        events = run_events(
+            (A, EventKind.INSTALL, {"version": 1, "view": (A, B)}),
+            (A, EventKind.INSTALL, {"version": 2, "view": (A,)}),
+        )
+        seqs = view_sequences(events)
+        assert [v.version for v in seqs[A]] == [1, 2]
+
+    def test_non_monotone_versions_raise(self):
+        events = run_events(
+            (A, EventKind.INSTALL, {"version": 2, "view": (A,)}),
+            (A, EventKind.INSTALL, {"version": 1, "view": (A, B)}),
+        )
+        with pytest.raises(TraceError):
+            view_sequences(events)
+
+    def test_install_without_view_raises(self):
+        events = run_events((A, EventKind.INSTALL, {"version": 1}))
+        with pytest.raises(TraceError):
+            view_sequences(events)
+
+    def test_extract_agreeing_system_views(self):
+        events = run_events(
+            (A, EventKind.INSTALL, {"version": 1, "view": (A, B)}),
+            (B, EventKind.INSTALL, {"version": 1, "view": (A, B)}),
+        )
+        views = extract_system_views(events)
+        assert len(views) == 1 and views[0].members == (A, B)
+
+    def test_extract_flags_disagreement(self):
+        events = run_events(
+            (A, EventKind.INSTALL, {"version": 1, "view": (A, B)}),
+            (B, EventKind.INSTALL, {"version": 1, "view": (B, C)}),
+        )
+        with pytest.raises(TraceError):
+            extract_system_views(events)

@@ -1,0 +1,192 @@
+"""Tests for the §8 phase-reuse optimisation (the paper's future work).
+
+"We are currently investigating an optimization to our algorithm that
+would allow a process, in specific circumstances, to take advantage of
+previous communication phases initiated by other processes... we would
+pare down required communication when failures of reconfiguration
+initiators are continuous."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import breakdown
+from repro.core.service import MembershipCluster
+from repro.model.events import EventKind
+from repro.sim.failures import crash_after_matching_sends, payload_type_is
+from repro.sim.network import FixedDelay
+
+from conftest import assert_gmp, names
+
+
+def cascade_cluster(reuse: bool, seed: int = 0, n: int = 8, failed_initiators: int = 2):
+    """p0 crashes; the next `failed_initiators` reconfigurers die right
+    after their Propose broadcast (their phase II completed at the outers,
+    making their proposal inheritable)."""
+    cluster = MembershipCluster.of_size(
+        n,
+        seed=seed,
+        delay_model=FixedDelay(1.0),
+        member_kwargs={"reuse_phases": reuse},
+    )
+    for i in range(1, failed_initiators + 1):
+        crash_after_matching_sends(
+            cluster.network,
+            cluster.resolve(f"p{i}"),
+            payload_type_is("Propose"),
+            after=n - 1,  # complete the propose broadcast, then die
+            detail=f"initiator p{i} dies after proposing",
+        )
+    cluster.start()
+    cluster.crash("p0", at=5.0)
+    cluster.settle(max_events=1_000_000)
+    return cluster
+
+
+def reuse_events(cluster) -> int:
+    return sum(
+        1
+        for e in cluster.trace.events_of_kind(EventKind.INTERNAL)
+        if e.detail.startswith("reusing predecessor's proposal phase")
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("failed", [1, 2, 3])
+    def test_cascade_safe_with_reuse(self, failed):
+        cluster = cascade_cluster(reuse=True, failed_initiators=failed, n=9)
+        assert_gmp(cluster, liveness=False)
+        survivors = set(names(cluster.agreed_view()))
+        crashed = {p.name for p in cluster.trace.crashed()}
+        # Every real crash is excluded, every survivor is in the view.
+        assert survivors.isdisjoint(crashed)
+        assert "p0" in crashed
+
+    def test_reuse_shortens_the_cascade(self):
+        # A striking side effect of the optimisation: an initiator whose
+        # death trigger is "crash while broadcasting a Propose" never gets
+        # to die, because it inherits its predecessor's proposal phase and
+        # skips the broadcast entirely.  Fewer casualties, same safety.
+        plain = cascade_cluster(reuse=False, failed_initiators=2)
+        optimised = cascade_cluster(reuse=True, failed_initiators=2)
+        assert_gmp(plain, liveness=False)
+        assert_gmp(optimised, liveness=False)
+        assert len(optimised.trace.crashed()) < len(plain.trace.crashed())
+        assert len(optimised.agreed_view()) > len(plain.agreed_view())
+
+    def test_reuse_actually_triggered(self):
+        cluster = cascade_cluster(reuse=True, failed_initiators=2)
+        assert reuse_events(cluster) >= 1
+
+    def test_no_reuse_without_flag(self):
+        cluster = cascade_cluster(reuse=False, failed_initiators=2)
+        assert reuse_events(cluster) == 0
+
+    def test_plain_single_reconfiguration_unaffected(self):
+        # With no failed predecessor there is nothing to inherit: identical
+        # message counts with and without the flag.
+        def run(reuse):
+            cluster = MembershipCluster.of_size(
+                6,
+                seed=1,
+                delay_model=FixedDelay(1.0),
+                member_kwargs={"reuse_phases": reuse},
+            )
+            cluster.start()
+            cluster.crash("p0", at=5.0)
+            cluster.settle()
+            return breakdown(cluster.trace).algorithm
+
+        assert run(True) == run(False)
+
+
+class TestSavings:
+    def test_reuse_saves_messages_in_cascades(self):
+        plain = cascade_cluster(reuse=False, failed_initiators=1)
+        optimised = cascade_cluster(reuse=True, failed_initiators=1)
+        cost_plain = breakdown(plain.trace).algorithm
+        cost_optimised = breakdown(optimised.trace).algorithm
+        # The successor inherits the dead initiator's proposal phase:
+        # one Propose broadcast and its OK wave never happen.
+        assert cost_optimised < cost_plain
+
+    def test_reuse_fires_in_longer_cascades_too(self):
+        for failed in (1, 2, 3):
+            cluster = cascade_cluster(reuse=True, failed_initiators=failed, n=9)
+            assert reuse_events(cluster) >= 1
+            assert_gmp(cluster, liveness=False)
+
+
+class TestInheritanceFromCoordinator:
+    def test_invite_acknowledged_by_majority_is_inherited(self):
+        """The optimisation also covers a coordinator that died after its
+        Invite reached everyone: the respondents' plans prove the
+        invitation phase completed, so the reconfigurer commits the
+        exclusion directly."""
+        cluster = MembershipCluster.of_size(
+            6,
+            seed=3,
+            delay_model=FixedDelay(1.0),
+            member_kwargs={"reuse_phases": True},
+        )
+        crash_after_matching_sends(
+            cluster.network,
+            cluster.resolve("p0"),
+            payload_type_is("Invite"),
+            after=5,  # full invite broadcast, then die before commit
+        )
+        cluster.start()
+        cluster.crash("p5", at=5.0)  # triggers p0's exclusion round
+        cluster.settle()
+        assert_gmp(cluster, liveness=False)
+        assert reuse_events(cluster) == 1
+        survivors = names(cluster.agreed_view())
+        assert "p5" not in survivors and "p0" not in survivors
+
+
+class TestAdversarialSafetyWithReuse:
+    def test_figure11_still_safe_with_reuse(self):
+        """The invisible-commit disambiguation schedule must stay safe when
+        phase reuse is enabled (the inheritance condition requires a full
+        majority of identical acknowledgements, which Figure 11's split
+        responses do not provide)."""
+        from repro.properties import check_gmp
+        from repro.workloads.scenarios import run_figure11
+
+        cluster = run_figure11(member_kwargs={"reuse_phases": True})
+        report = check_gmp(cluster.trace, cluster.initial_view, check_liveness=True)
+        assert report.ok
+        survivor = cluster.live_members()[0]
+        assert str(survivor.state.seq[0]) == "remove(m)"
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_storms_safe_with_reuse(self, seed):
+        import random
+
+        from repro.properties import check_gmp, format_report
+
+        rng = random.Random(seed * 37 + 11)
+        n = rng.randint(4, 9)
+        cluster = MembershipCluster.of_size(
+            n, seed=seed, member_kwargs={"reuse_phases": True}
+        )
+        victims = rng.sample(
+            [f"p{i}" for i in range(n)], k=rng.randint(1, max(1, (n - 1) // 2))
+        )
+        t = 5.0
+        for victim in victims:
+            if rng.random() < 0.5:
+                crash_after_matching_sends(
+                    cluster.network,
+                    cluster.resolve(victim),
+                    payload_type_is("Propose", "ReconfigCommit", "Commit", "Invite"),
+                    after=rng.randint(1, n - 1),
+                )
+            else:
+                cluster.crash(victim, at=t)
+            t += rng.uniform(0.5, 20.0)
+        cluster.start()
+        cluster.settle(max_events=500_000)
+        report = check_gmp(cluster.trace, cluster.initial_view, check_liveness=False)
+        assert report.ok, format_report(report)

@@ -1,0 +1,203 @@
+"""Tests that the GMP property checkers actually detect violations.
+
+A checker that always passes is worthless; these tests feed synthetic
+traces containing each class of violation and assert the right property is
+flagged — and that clean traces pass.
+"""
+
+from __future__ import annotations
+
+from repro.ids import pid
+from repro.model.events import EventKind
+from repro.properties import check_gmp, format_report
+from repro.sim.trace import RunTrace
+
+A, B, C = pid("a"), pid("b"), pid("c")
+INITIAL = [A, B, C]
+
+
+def clean_exclusion_trace() -> RunTrace:
+    """A minimal correct run: everyone faults C, removes it, installs v1."""
+    trace = RunTrace()
+    for proc in (A, B):
+        trace.record(proc, EventKind.START, time=0.0)
+    for proc in (A, B):
+        trace.record(proc, EventKind.FAULTY, time=1.0, peer=C)
+        trace.record(proc, EventKind.REMOVE, time=2.0, peer=C)
+        trace.record(
+            proc, EventKind.INSTALL, time=2.0, version=1, view=(A, B)
+        )
+    trace.record(C, EventKind.CRASH, time=0.5)
+    return trace
+
+
+class TestCleanRunsPass:
+    def test_clean_trace_passes_all(self):
+        report = check_gmp(clean_exclusion_trace(), INITIAL)
+        assert report.ok, format_report(report)
+
+    def test_empty_run_passes(self):
+        trace = RunTrace()
+        for proc in INITIAL:
+            trace.record(proc, EventKind.START, time=0.0)
+        assert check_gmp(trace, INITIAL).ok
+
+    def test_system_views_reported(self):
+        report = check_gmp(clean_exclusion_trace(), INITIAL)
+        assert [v.version for v in report.system_views] == [0, 1]
+
+
+class TestGMP1:
+    def test_capricious_removal_flagged(self):
+        trace = RunTrace()
+        trace.record(A, EventKind.START, time=0.0)
+        trace.record(A, EventKind.REMOVE, time=1.0, peer=C)
+        trace.record(A, EventKind.INSTALL, time=1.0, version=1, view=(A, B))
+        report = check_gmp(trace, INITIAL, check_liveness=False)
+        assert report.violated("GMP-1")
+
+    def test_capricious_addition_flagged(self):
+        trace = RunTrace()
+        trace.record(A, EventKind.START, time=0.0)
+        trace.record(A, EventKind.ADD, time=1.0, peer=pid("x"))
+        trace.record(
+            A, EventKind.INSTALL, time=1.0, version=1, view=(A, B, C, pid("x"))
+        )
+        report = check_gmp(trace, INITIAL, check_liveness=False)
+        assert report.violated("GMP-1")
+
+
+class TestGMP2:
+    def test_version_skip_flagged(self):
+        trace = RunTrace()
+        trace.record(A, EventKind.START, time=0.0)
+        trace.record(A, EventKind.FAULTY, time=0.5, peer=C)
+        trace.record(A, EventKind.INSTALL, time=1.0, version=2, view=(A, B))
+        report = check_gmp(trace, INITIAL, check_liveness=False, check_cuts=False)
+        assert report.violated("GMP-2")
+
+    def test_multi_process_transition_flagged(self):
+        trace = RunTrace()
+        trace.record(A, EventKind.START, time=0.0)
+        trace.record(A, EventKind.INSTALL, time=1.0, version=1, view=(A,))
+        report = check_gmp(trace, INITIAL, check_liveness=False, check_cuts=False)
+        assert report.violated("GMP-2")
+
+
+class TestGMP3:
+    def test_divergent_views_flagged(self):
+        trace = RunTrace()
+        for proc in (A, B):
+            trace.record(proc, EventKind.START, time=0.0)
+        trace.record(A, EventKind.INSTALL, time=1.0, version=1, view=(A, B))
+        trace.record(B, EventKind.INSTALL, time=1.0, version=1, view=(B, C))
+        report = check_gmp(trace, INITIAL, check_liveness=False, check_cuts=False)
+        assert report.violated("GMP-3")
+
+    def test_order_divergence_also_flagged(self):
+        # Seniority order is part of the view (rank depends on it).
+        trace = RunTrace()
+        for proc in (A, B):
+            trace.record(proc, EventKind.START, time=0.0)
+        trace.record(A, EventKind.INSTALL, time=1.0, version=1, view=(A, B))
+        trace.record(B, EventKind.INSTALL, time=1.0, version=1, view=(B, A))
+        report = check_gmp(trace, INITIAL, check_liveness=False, check_cuts=False)
+        assert report.violated("GMP-3")
+
+
+class TestGMP4:
+    def test_reinstatement_flagged(self):
+        trace = RunTrace()
+        trace.record(A, EventKind.START, time=0.0)
+        trace.record(A, EventKind.FAULTY, time=0.5, peer=C)
+        trace.record(A, EventKind.INSTALL, time=1.0, version=1, view=(A, B))
+        trace.record(A, EventKind.INSTALL, time=2.0, version=2, view=(A, B, C))
+        report = check_gmp(trace, INITIAL, check_liveness=False, check_cuts=False)
+        assert report.violated("GMP-4")
+
+    def test_new_incarnation_is_not_reinstatement(self):
+        c1 = pid("c", 1)
+        trace = RunTrace()
+        trace.record(A, EventKind.START, time=0.0)
+        trace.record(A, EventKind.FAULTY, time=0.5, peer=C)
+        trace.record(A, EventKind.REMOVE, time=1.0, peer=C)
+        trace.record(A, EventKind.INSTALL, time=1.0, version=1, view=(A, B))
+        trace.record(A, EventKind.OPERATING, time=1.5, peer=c1)
+        trace.record(A, EventKind.ADD, time=2.0, peer=c1)
+        trace.record(A, EventKind.INSTALL, time=2.0, version=2, view=(A, B, c1))
+        report = check_gmp(trace, INITIAL, check_liveness=False, check_cuts=False)
+        assert not report.violated("GMP-4")
+
+
+class TestGMP5:
+    def test_unserved_suspicion_flagged(self):
+        trace = RunTrace()
+        for proc in (A, B):
+            trace.record(proc, EventKind.START, time=0.0)
+        trace.record(A, EventKind.FAULTY, time=1.0, peer=B)
+        report = check_gmp(trace, INITIAL, check_liveness=True)
+        assert report.violated("GMP-5")
+
+    def test_suspicion_resolved_by_exclusion_passes(self):
+        report = check_gmp(clean_exclusion_trace(), INITIAL, check_liveness=True)
+        assert not report.violated("GMP-5")
+
+    def test_suspecter_leaving_also_satisfies(self):
+        # faulty_A(B) where A itself ends outside the final view is fine.
+        trace = RunTrace()
+        for proc in (A, B):
+            trace.record(proc, EventKind.START, time=0.0)
+        trace.record(A, EventKind.FAULTY, time=1.0, peer=B)
+        trace.record(A, EventKind.QUIT, time=2.0)
+        trace.record(B, EventKind.FAULTY, time=1.5, peer=A)
+        trace.record(B, EventKind.REMOVE, time=2.5, peer=A)
+        trace.record(B, EventKind.INSTALL, time=2.5, version=1, view=(B, C))
+        report = check_gmp(trace, INITIAL, check_liveness=True, check_cuts=False)
+        assert not report.violated("GMP-5")
+
+
+class TestS1:
+    def test_receive_after_faulty_flagged(self):
+        from repro.model.events import MessageRecord
+
+        trace = RunTrace()
+        for proc in (A, B):
+            trace.record(proc, EventKind.START, time=0.0)
+        record = MessageRecord(sender=B, receiver=A, payload="late")
+        trace.record(B, EventKind.SEND, time=0.5, peer=A, message=record)
+        trace.record(A, EventKind.FAULTY, time=1.0, peer=B)
+        trace.record(A, EventKind.RECV, time=2.0, peer=B, message=record)
+        report = check_gmp(trace, INITIAL, check_liveness=False, check_cuts=False)
+        assert report.violated("S1")
+
+    def test_discard_after_faulty_is_fine(self):
+        from repro.model.events import MessageRecord
+
+        trace = RunTrace()
+        for proc in (A, B):
+            trace.record(proc, EventKind.START, time=0.0)
+        record = MessageRecord(sender=B, receiver=A, payload="late")
+        trace.record(B, EventKind.SEND, time=0.5, peer=A, message=record)
+        trace.record(A, EventKind.FAULTY, time=1.0, peer=B)
+        trace.record(A, EventKind.DISCARD, time=2.0, peer=B, message=record)
+        report = check_gmp(trace, INITIAL, check_liveness=False, check_cuts=False)
+        assert not report.violated("S1")
+
+
+class TestReportApi:
+    def test_raise_if_violated(self):
+        import pytest
+
+        from repro.errors import PropertyViolation
+
+        trace = RunTrace()
+        trace.record(A, EventKind.START, time=0.0)
+        trace.record(A, EventKind.REMOVE, time=1.0, peer=C)
+        trace.record(A, EventKind.INSTALL, time=1.0, version=1, view=(A, B))
+        report = check_gmp(trace, INITIAL, check_liveness=False)
+        with pytest.raises(PropertyViolation):
+            report.raise_if_violated()
+
+    def test_format_mentions_verdict(self):
+        report = check_gmp(clean_exclusion_trace(), INITIAL)
+        assert "PASS" in format_report(report)

@@ -1,0 +1,120 @@
+"""Robustness tests: malformed inputs must fail loudly, never corrupt.
+
+A membership service is a trust root; these tests fuzz its parsing
+boundaries (the wire codec) and verify the property checkers are *sound*
+detectors — a mutated trace of a correct run must be flagged.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import codec
+from repro.codec import CodecError
+from repro.ids import pid
+from repro.model.events import Event, EventKind
+from repro.properties import check_gmp
+
+from conftest import make_cluster
+
+
+class TestCodecFuzzing:
+    @settings(max_examples=100)
+    @given(st.binary(max_size=200))
+    def test_random_bytes_never_crash_the_decoder(self, data):
+        try:
+            codec.decode_bytes(data)
+        except CodecError:
+            pass  # the only acceptable failure mode
+        # Anything decoded successfully must be a well-formed 5-tuple.
+
+    @settings(max_examples=100)
+    @given(
+        st.recursive(
+            st.none() | st.booleans() | st.integers() | st.text(max_size=8),
+            lambda children: st.lists(children, max_size=4)
+            | st.dictionaries(st.text(max_size=6), children, max_size=4),
+            max_leaves=12,
+        )
+    )
+    def test_random_json_structures_never_crash(self, structure):
+        try:
+            codec.decode(structure)  # type: ignore[arg-type]
+        except CodecError:
+            pass
+
+    def test_frame_with_tampered_body_types(self):
+        frame = codec.encode(
+            __import__("repro.core.messages", fromlist=["UpdateOk"]).UpdateOk(1),
+            pid("a"),
+            pid("b"),
+        )
+        frame["body"]["version"] = {"not": "an int"}
+        with pytest.raises((CodecError, TypeError, ValueError)):
+            codec.decode(frame)
+
+
+def mutate_trace(events: list[Event], seed: int) -> list[Event]:
+    """Inject one realistic corruption into a correct run's events."""
+    rng = random.Random(seed)
+    events = list(events)
+    installs = [i for i, e in enumerate(events) if e.kind is EventKind.INSTALL]
+    removes = [i for i, e in enumerate(events) if e.kind is EventKind.REMOVE]
+    choice = rng.choice(["divergent-view", "drop-faulty", "skip-version"])
+    if choice == "divergent-view" and installs:
+        i = rng.choice(installs)
+        e = events[i]
+        assert e.view is not None
+        mutated_view = tuple(reversed(e.view))
+        if mutated_view == e.view and len(e.view) >= 1:
+            mutated_view = e.view[:-1]
+        events[i] = Event(
+            proc=e.proc, kind=e.kind, index=e.index, time=e.time,
+            version=e.version, view=mutated_view,
+        )
+    elif choice == "drop-faulty" and removes:
+        i = rng.choice(removes)
+        e = events[i]
+        # Retarget the removal at a process nobody ever suspected.
+        ghost = pid("ghost")
+        events[i] = Event(
+            proc=e.proc, kind=e.kind, index=e.index, time=e.time, peer=ghost,
+        )
+    elif installs:
+        i = rng.choice(installs)
+        e = events[i]
+        events[i] = Event(
+            proc=e.proc, kind=e.kind, index=e.index, time=e.time,
+            version=(e.version or 0) + 7, view=e.view,
+        )
+    return events
+
+
+class TestCheckerSoundness:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_mutated_correct_runs_are_flagged(self, seed):
+        cluster = make_cluster(5, seed=seed)
+        cluster.crash("p3", at=5.0)
+        cluster.settle()
+        clean = check_gmp(cluster.trace, cluster.initial_view, check_liveness=False)
+        assert clean.ok
+        mutated = mutate_trace(cluster.trace.events, seed)
+        try:
+            report = check_gmp(
+                mutated, cluster.initial_view, check_liveness=False, check_cuts=False
+            )
+        except Exception:
+            return  # structurally invalid is also a loud failure
+        assert not report.ok, f"mutation (seed {seed}) went undetected"
+
+    def test_checker_not_trivially_rejecting(self):
+        # Soundness cuts both ways: an untouched correct run must pass.
+        cluster = make_cluster(6, seed=99)
+        cluster.crash("p0", at=5.0)
+        cluster.join("x", at=40.0)
+        cluster.settle()
+        assert check_gmp(cluster.trace, cluster.initial_view).ok

@@ -1,0 +1,128 @@
+"""Tests for the public API: MembershipCluster and GroupMembershipService."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.service import GroupMembershipService, MembershipCluster
+from repro.errors import SimulationError
+from repro.ids import pid
+
+from conftest import assert_gmp, make_cluster, names
+
+
+class TestClusterConstruction:
+    def test_of_size_names_and_ranks(self):
+        cluster = MembershipCluster.of_size(4)
+        assert [m.name for m in cluster.initial_view] == ["p0", "p1", "p2", "p3"]
+
+    def test_custom_prefix(self):
+        cluster = MembershipCluster.of_size(2, prefix="node")
+        assert cluster.initial_view[0].name == "node0"
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            MembershipCluster.of_size(0)
+
+    def test_unknown_detector_rejected(self):
+        with pytest.raises(ValueError):
+            MembershipCluster.of_size(3, detector="psychic")
+
+    def test_double_start_rejected(self):
+        cluster = make_cluster(3)
+        with pytest.raises(SimulationError):
+            cluster.start()
+
+
+class TestResolution:
+    def test_resolve_by_name(self):
+        cluster = make_cluster(3)
+        assert cluster.resolve("p1") == pid("p1")
+
+    def test_resolve_prefers_latest_incarnation(self):
+        cluster = make_cluster(3)
+        cluster.crash("p2", at=1.0)
+        cluster.settle()
+        cluster.join("p2")
+        assert cluster.resolve("p2") == pid("p2", 1)
+
+    def test_resolve_unknown_raises(self):
+        cluster = make_cluster(3)
+        with pytest.raises(KeyError):
+            cluster.resolve("ghost")
+
+    def test_resolve_passes_through_pids(self):
+        cluster = make_cluster(3)
+        assert cluster.resolve(pid("p0")) == pid("p0")
+
+
+class TestRunControls:
+    def test_suspect_requires_scripted_detector(self):
+        cluster = make_cluster(3)  # oracle detector
+        with pytest.raises(SimulationError):
+            cluster.suspect("p0", "p1", at=1.0)
+
+    def test_run_until_agreement(self):
+        cluster = make_cluster(5, seed=1)
+        cluster.crash("p4", at=5.0)
+        cluster.run(until=6.0)  # past the crash: agreement is non-trivial
+        assert cluster.run_until_agreement(until=500.0)
+        assert names(cluster.agreed_view()) == ["p0", "p1", "p2", "p3"]
+
+    def test_agreed_view_raises_mid_transition(self):
+        cluster = make_cluster(5, seed=2)
+        cluster.crash("p4", at=5.0)
+        cluster.run(until=10.5)  # mid-protocol
+        views = cluster.views()
+        if len({view for _, view in views.values()}) > 1:
+            with pytest.raises(SimulationError):
+                cluster.agreed_view()
+
+    def test_partition_and_heal(self):
+        cluster = make_cluster(5, seed=3)
+        cluster.partition(["p0", "p1", "p2"], ["p3", "p4"])
+        cluster.run(until=30.0)
+        cluster.heal()
+        cluster.settle()
+        # Nobody was suspected (oracle never fires for live processes), so
+        # the group simply resumes intact.
+        assert len(cluster.agreed_view()) == 5
+        assert_gmp(cluster)
+
+
+class TestServiceFacade:
+    def test_view_and_version_queries(self):
+        cluster = make_cluster(4, seed=4)
+        service = GroupMembershipService(cluster, "p2")
+        cluster.crash("p3", at=5.0)
+        cluster.settle()
+        assert service.is_member()
+        assert service.current_version() == 1
+        assert names(service.current_view()) == ["p0", "p1", "p2"]
+
+    def test_coordinator_query_tracks_reconfiguration(self):
+        cluster = make_cluster(4, seed=5)
+        service = GroupMembershipService(cluster, "p2")
+        assert service.coordinator() == pid("p0")
+        cluster.crash("p0", at=5.0)
+        cluster.settle()
+        assert service.coordinator() == pid("p1")
+
+    def test_report_suspicion_drives_exclusion(self):
+        cluster = make_cluster(4, seed=6, detector="scripted")
+        service = GroupMembershipService(cluster, "p1")
+        cluster.run(until=5.0)
+        service.report_suspicion("p3")
+        cluster.settle()
+        assert "p3" not in names(cluster.agreed_view())
+        assert_gmp(cluster)
+
+    def test_view_history(self):
+        cluster = make_cluster(4, seed=7)
+        service = GroupMembershipService(cluster, "p1")
+        cluster.crash("p3", at=5.0)
+        cluster.crash("p2", at=40.0)
+        cluster.settle()
+        history = service.view_history()
+        assert [version for version, _ in history] == [1, 2]
+        assert names(history[-1][1]) == ["p0", "p1"]

@@ -1,0 +1,245 @@
+"""Unit tests for the network substrate and the process base class."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProcessCrashedError, SimulationError
+from repro.ids import pid
+from repro.model.events import EventKind
+from repro.sim.failures import (
+    both,
+    crash_after_matching_sends,
+    crash_at,
+    payload_type_is,
+    sent_to,
+)
+from repro.sim.network import FixedDelay, Network, PerPairDelay, UniformDelay
+from repro.sim.process import SimProcess
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import RunTrace
+
+A, B, C = pid("a"), pid("b"), pid("c")
+
+
+class Echo(SimProcess):
+    """Records payloads; optionally refuses senders (S1 testing)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.received: list[tuple] = []
+        self.refuse: set = set()
+
+    def should_accept(self, sender, payload):
+        return sender not in self.refuse
+
+    def on_message(self, sender, payload):
+        self.received.append((sender, payload))
+
+
+@pytest.fixture
+def net():
+    scheduler = Scheduler()
+    trace = RunTrace()
+    network = Network(scheduler, trace, delay_model=FixedDelay(1.0), seed=1)
+    procs = {name: Echo(pid(name), network) for name in "abc"}
+    for proc in procs.values():
+        proc.start()
+    return network, procs
+
+
+class TestDelivery:
+    def test_message_delivered(self, net):
+        network, procs = net
+        procs["a"].send(B, "hello")
+        network.scheduler.run()
+        assert procs["b"].received == [(A, "hello")]
+
+    def test_fifo_per_channel_with_random_delays(self):
+        scheduler = Scheduler()
+        network = Network(scheduler, RunTrace(), delay_model=UniformDelay(0.1, 5.0), seed=7)
+        a, b = Echo(A, network), Echo(B, network)
+        a.start(), b.start()
+        for i in range(20):
+            a.send(B, i)
+        scheduler.run()
+        assert [payload for _, payload in b.received] == list(range(20))
+
+    def test_send_to_self_rejected(self, net):
+        network, procs = net
+        with pytest.raises(SimulationError):
+            procs["a"].send(A, "loop")
+
+    def test_crashed_sender_raises(self, net):
+        network, procs = net
+        procs["a"].crash()
+        with pytest.raises(ProcessCrashedError):
+            procs["a"].send(B, "x")
+
+    def test_message_to_crashed_receiver_vanishes(self, net):
+        network, procs = net
+        procs["a"].send(B, "x")
+        procs["b"].crash()
+        network.scheduler.run()
+        assert procs["b"].received == []
+        # No RECV event recorded for the crashed process.
+        assert not network.trace.events_of(B, EventKind.RECV)
+
+    def test_per_pair_delay_overrides(self):
+        scheduler = Scheduler()
+        delays = PerPairDelay(default=FixedDelay(1.0), overrides={(A, B): 50.0})
+        network = Network(scheduler, RunTrace(), delay_model=delays)
+        a, b, c = Echo(A, network), Echo(B, network), Echo(C, network)
+        a.start(), b.start(), c.start()
+        a.send(B, "slow")
+        a.send(C, "fast")
+        scheduler.run_until(lambda: bool(c.received))
+        assert not b.received
+        scheduler.run()
+        assert b.received
+
+
+class TestPartitions:
+    def test_partition_holds_messages(self, net):
+        network, procs = net
+        network.partition({A}, {B})
+        procs["a"].send(B, "held")
+        network.scheduler.run()
+        assert procs["b"].received == []
+
+    def test_heal_delivers_in_order(self, net):
+        network, procs = net
+        network.partition({A}, {B})
+        procs["a"].send(B, 1)
+        procs["a"].send(B, 2)
+        network.scheduler.run()
+        network.heal()
+        network.scheduler.run()
+        assert [payload for _, payload in procs["b"].received] == [1, 2]
+
+    def test_partition_is_symmetric(self, net):
+        network, procs = net
+        network.partition({A}, {B})
+        assert network.is_partitioned(A, B) and network.is_partitioned(B, A)
+
+    def test_unrelated_channels_unaffected(self, net):
+        network, procs = net
+        network.partition({A}, {B})
+        procs["a"].send(C, "through")
+        network.scheduler.run()
+        assert procs["c"].received == [(A, "through")]
+
+
+class TestS1Isolation:
+    def test_refused_sender_recorded_as_discard(self, net):
+        network, procs = net
+        procs["b"].refuse.add(A)
+        procs["a"].send(B, "ignored")
+        network.scheduler.run()
+        assert procs["b"].received == []
+        discards = network.trace.events_of(B, EventKind.DISCARD)
+        assert len(discards) == 1 and discards[0].peer == A
+
+
+class TestBroadcast:
+    def test_broadcast_skips_self(self, net):
+        network, procs = net
+        sent = procs["a"].broadcast([A, B, C], "all")
+        assert sent == 2
+        network.scheduler.run()
+        assert procs["b"].received and procs["c"].received
+
+    def test_broadcast_not_failure_atomic(self, net):
+        network, procs = net
+        crash_after_matching_sends(network, A, lambda record: True, after=1)
+        sent = procs["a"].broadcast([B, C], "partial")
+        assert sent == 1
+        assert procs["a"].crashed
+        network.scheduler.run()
+        assert procs["b"].received and not procs["c"].received
+
+
+class TestCrashRules:
+    def test_crash_at_time(self, net):
+        network, procs = net
+        crash_at(network, A, 5.0)
+        network.scheduler.run()
+        assert procs["a"].crashed
+        crash_events = network.trace.events_of(A, EventKind.CRASH)
+        assert crash_events and crash_events[0].time == 5.0
+
+    def test_predicate_by_payload_type(self, net):
+        network, procs = net
+        rule = crash_after_matching_sends(network, A, payload_type_is("int"), after=2)
+        procs["a"].send(B, "string")  # does not match
+        procs["a"].send(B, 1)
+        assert not procs["a"].crashed
+        procs["a"].send(B, 2)
+        assert procs["a"].crashed and rule.fired
+
+    def test_predicate_sent_to(self, net):
+        network, procs = net
+        crash_after_matching_sends(network, A, sent_to(C), after=1)
+        procs["a"].send(B, "x")
+        assert not procs["a"].crashed
+        procs["a"].send(C, "y")
+        assert procs["a"].crashed
+
+    def test_conjunction_predicate(self, net):
+        network, procs = net
+        crash_after_matching_sends(
+            network, A, both(payload_type_is("int"), sent_to(B)), after=1
+        )
+        procs["a"].send(B, "not int")
+        procs["a"].send(C, 7)
+        assert not procs["a"].crashed
+        procs["a"].send(B, 7)
+        assert procs["a"].crashed
+
+    def test_disarm(self, net):
+        network, procs = net
+        rule = crash_after_matching_sends(network, A, lambda r: True, after=1)
+        rule.disarm()
+        procs["a"].send(B, "x")
+        assert not procs["a"].crashed
+
+    def test_victim_other_process_unaffected(self, net):
+        network, procs = net
+        crash_after_matching_sends(network, A, lambda r: True, after=1)
+        procs["b"].send(C, "fine")
+        assert not procs["b"].crashed
+
+
+class TestLifecycle:
+    def test_quit_records_quit_event(self, net):
+        network, procs = net
+        procs["a"].quit_protocol("done")
+        assert network.trace.events_of(A, EventKind.QUIT)
+        assert procs["a"].crashed  # quit ceases communication
+
+    def test_crash_cancels_timers(self, net):
+        network, procs = net
+        fired = []
+        procs["a"].set_timer(5.0, lambda: fired.append(1))
+        procs["a"].crash()
+        network.scheduler.run()
+        assert not fired
+
+    def test_timer_fires_when_alive(self, net):
+        network, procs = net
+        fired = []
+        procs["a"].set_timer(5.0, lambda: fired.append(1))
+        network.scheduler.run()
+        assert fired == [1]
+
+    def test_crash_observers_notified(self, net):
+        network, procs = net
+        seen = []
+        network.add_crash_observer(seen.append)
+        procs["a"].crash()
+        assert seen == [A]
+
+    def test_duplicate_registration_rejected(self, net):
+        network, procs = net
+        with pytest.raises(SimulationError):
+            Echo(A, network)

@@ -1,0 +1,167 @@
+"""Unit tests for the discrete-event scheduler and the run trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulerExhaustedError, TraceError
+from repro.ids import pid
+from repro.model.events import EventKind
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import RunTrace
+
+A, B = pid("a"), pid("b")
+
+
+class TestScheduler:
+    def test_runs_in_time_order(self):
+        sched = Scheduler()
+        order = []
+        sched.at(2.0, lambda: order.append("late"))
+        sched.at(1.0, lambda: order.append("early"))
+        sched.run()
+        assert order == ["early", "late"]
+
+    def test_ties_break_by_insertion(self):
+        sched = Scheduler()
+        order = []
+        sched.at(1.0, lambda: order.append(1))
+        sched.at(1.0, lambda: order.append(2))
+        sched.run()
+        assert order == [1, 2]
+
+    def test_now_advances(self):
+        sched = Scheduler()
+        seen = []
+        sched.at(5.0, lambda: seen.append(sched.now))
+        sched.run()
+        assert seen == [5.0] and sched.now == 5.0
+
+    def test_after_is_relative(self):
+        sched = Scheduler()
+        sched.at(3.0, lambda: sched.after(2.0, lambda: None))
+        sched.run()
+        assert sched.now == 5.0
+
+    def test_cannot_schedule_in_past(self):
+        sched = Scheduler()
+        sched.at(5.0, lambda: None)
+        sched.run()
+        with pytest.raises(ValueError):
+            sched.at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler().after(-1.0, lambda: None)
+
+    def test_cancel_prevents_execution(self):
+        sched = Scheduler()
+        ran = []
+        timer = sched.at(1.0, lambda: ran.append(1))
+        timer.cancel()
+        sched.run()
+        assert not ran and timer.cancelled
+
+    def test_run_until_time_bound(self):
+        sched = Scheduler()
+        ran = []
+        sched.at(1.0, lambda: ran.append(1))
+        sched.at(10.0, lambda: ran.append(2))
+        sched.run(until=5.0)
+        assert ran == [1] and sched.now == 5.0
+
+    def test_run_until_predicate(self):
+        sched = Scheduler()
+        state = []
+        for t in range(1, 6):
+            sched.at(float(t), lambda t=t: state.append(t))
+        assert sched.run_until(lambda: len(state) >= 3)
+        assert len(state) == 3
+
+    def test_run_until_predicate_never_true(self):
+        sched = Scheduler()
+        sched.at(1.0, lambda: None)
+        assert not sched.run_until(lambda: False)
+
+    def test_runaway_guard(self):
+        sched = Scheduler()
+
+        def reschedule():
+            sched.after(1.0, reschedule)
+
+        sched.after(1.0, reschedule)
+        with pytest.raises(SchedulerExhaustedError):
+            sched.run(max_events=100)
+
+    def test_pending_counts_live_entries(self):
+        sched = Scheduler()
+        t1 = sched.at(1.0, lambda: None)
+        sched.at(2.0, lambda: None)
+        t1.cancel()
+        assert sched.pending() == 1
+
+
+class TestRunTrace:
+    def test_auto_inserts_start(self):
+        trace = RunTrace()
+        trace.record(A, EventKind.INTERNAL, time=1.0)
+        kinds = [e.kind for e in trace.events_of(A)]
+        assert kinds == [EventKind.START, EventKind.INTERNAL]
+
+    def test_indices_are_dense_per_process(self):
+        trace = RunTrace()
+        trace.record(A, EventKind.INTERNAL, time=1.0)
+        trace.record(B, EventKind.INTERNAL, time=1.0)
+        trace.record(A, EventKind.INTERNAL, time=2.0)
+        assert [e.index for e in trace.events_of(A)] == [0, 1, 2]
+        assert [e.index for e in trace.events_of(B)] == [0, 1]
+
+    def test_rejects_events_after_crash(self):
+        trace = RunTrace()
+        trace.record(A, EventKind.CRASH, time=1.0)
+        with pytest.raises(TraceError):
+            trace.record(A, EventKind.INTERNAL, time=2.0)
+
+    def test_rejects_events_after_quit(self):
+        trace = RunTrace()
+        trace.record(A, EventKind.QUIT, time=1.0)
+        with pytest.raises(TraceError):
+            trace.record(A, EventKind.INTERNAL, time=2.0)
+
+    def test_crashed_query(self):
+        trace = RunTrace()
+        trace.record(A, EventKind.CRASH, time=1.0)
+        trace.record(B, EventKind.QUIT, time=1.0)
+        assert trace.crashed() == {A}
+        assert trace.quit_or_crashed() == {A, B}
+
+    def test_histories_validate(self):
+        trace = RunTrace()
+        trace.record(A, EventKind.INTERNAL, time=1.0)
+        history = trace.history(A)
+        assert len(history) == 2
+
+    def test_message_count_by_category(self):
+        from repro.model.events import MessageRecord
+
+        trace = RunTrace()
+        record = MessageRecord(sender=A, receiver=B, payload="x", category="detector")
+        trace.record(A, EventKind.SEND, time=0.0, peer=B, message=record)
+        assert trace.message_count("protocol") == 0
+        assert trace.message_count("detector") == 1
+        assert trace.message_count(None) == 1
+
+    def test_counts_by_type(self):
+        from repro.model.events import MessageRecord
+
+        trace = RunTrace()
+        for payload in ("x", "y"):
+            record = MessageRecord(sender=A, receiver=B, payload=payload)
+            trace.record(A, EventKind.SEND, time=0.0, peer=B, message=record)
+        assert trace.message_counts_by_type()["str"] == 2
+
+    def test_format_filters_by_kind(self):
+        trace = RunTrace()
+        trace.record(A, EventKind.FAULTY, time=1.0, peer=B)
+        text = trace.format(kinds=[EventKind.FAULTY])
+        assert "faulty" in text and "start" not in text

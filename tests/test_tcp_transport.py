@@ -1,0 +1,170 @@
+"""Tests for the TCP transport: the protocol over real loopback sockets."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.aio import AioMembershipRuntime
+from repro.aio.tcp import TcpNetwork
+from repro.aio.scheduler import AioScheduler
+from repro.ids import pid
+from repro.properties import check_gmp, format_report
+from repro.sim.process import SimProcess
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class Echo(SimProcess):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.received = []
+
+    def on_message(self, sender, payload):
+        self.received.append((sender, payload))
+
+
+class TestRawTransport:
+    def test_point_to_point_delivery(self):
+        async def scenario():
+            network = TcpNetwork(AioScheduler())
+            a = Echo(pid("a"), network)
+            b = Echo(pid("b"), network)
+            await network.start()
+            from repro.core.messages import UpdateOk
+
+            network.send(pid("a"), pid("b"), UpdateOk(version=3))
+            for _ in range(200):
+                if b.received:
+                    break
+                await asyncio.sleep(0.01)
+            await network.stop()
+            return b.received
+
+        received = run(scenario())
+        assert len(received) == 1
+        sender, payload = received[0]
+        assert sender == pid("a") and payload.version == 3
+
+    def test_fifo_over_one_connection(self):
+        async def scenario():
+            network = TcpNetwork(AioScheduler())
+            a = Echo(pid("a"), network)
+            b = Echo(pid("b"), network)
+            await network.start()
+            from repro.core.messages import UpdateOk
+
+            for i in range(50):
+                network.send(pid("a"), pid("b"), UpdateOk(version=i + 1))
+            for _ in range(500):
+                if len(b.received) == 50:
+                    break
+                await asyncio.sleep(0.01)
+            await network.stop()
+            return [payload.version for _, payload in b.received]
+
+        versions = run(scenario())
+        assert versions == list(range(1, 51))
+
+    def test_send_to_dead_peer_is_silent(self):
+        async def scenario():
+            network = TcpNetwork(AioScheduler())
+            a = Echo(pid("a"), network)
+            b = Echo(pid("b"), network)
+            await network.start()
+            b.crash()
+            from repro.core.messages import UpdateOk
+
+            network.send(pid("a"), pid("b"), UpdateOk(version=1))
+            await asyncio.sleep(0.05)
+            await network.stop()
+            return b.received
+
+        assert run(scenario()) == []
+
+    def test_trace_records_matching_msg_ids(self):
+        async def scenario():
+            network = TcpNetwork(AioScheduler())
+            a = Echo(pid("a"), network)
+            b = Echo(pid("b"), network)
+            await network.start()
+            from repro.core.messages import UpdateOk
+
+            record = network.send(pid("a"), pid("b"), UpdateOk(version=1))
+            for _ in range(200):
+                if b.received:
+                    break
+                await asyncio.sleep(0.01)
+            await network.stop()
+            return network.trace, record
+
+        trace, record = run(scenario())
+        from repro.model.events import EventKind
+
+        sends = trace.events_of(pid("a"), EventKind.SEND)
+        recvs = trace.events_of(pid("b"), EventKind.RECV)
+        assert sends and recvs
+        assert sends[0].message.msg_id == recvs[0].message.msg_id == record.msg_id
+
+
+class TestProtocolOverTcp:
+    def test_exclusion_and_reconfiguration_over_sockets(self):
+        async def scenario():
+            runtime = AioMembershipRuntime(
+                [f"n{i}" for i in range(5)],
+                detector="heartbeat",
+                heartbeat_period=0.03,
+                heartbeat_timeout=0.15,
+                transport="tcp",
+            )
+            await runtime.start_async()
+            await runtime.run_for(0.15)
+            runtime.crash("n2")
+            assert await runtime.wait_for_agreement(timeout=15.0)
+            runtime.crash("n0")  # the coordinator
+            assert await runtime.wait_for_agreement(timeout=15.0)
+            await runtime.stop_async()
+            return runtime
+
+        runtime = run(scenario())
+        survivors = {m.pid.name for m in runtime.live_members()}
+        assert survivors == {"n1", "n3", "n4"}
+        assert all(m.state.mgr.name == "n1" for m in runtime.live_members())
+        report = check_gmp(runtime.trace, runtime.initial_view, check_liveness=False)
+        assert report.ok, format_report(report)
+
+    def test_join_over_sockets(self):
+        async def scenario():
+            runtime = AioMembershipRuntime(
+                [f"n{i}" for i in range(4)],
+                detector="heartbeat",
+                heartbeat_period=0.03,
+                heartbeat_timeout=0.15,
+                transport="tcp",
+            )
+            await runtime.start_async()
+            await runtime.run_for(0.1)
+            joiner = runtime.join("n9")
+            deadline = asyncio.get_event_loop().time() + 15.0
+            while asyncio.get_event_loop().time() < deadline:
+                if runtime.members[joiner].is_member and runtime.in_agreement():
+                    break
+                await asyncio.sleep(0.02)
+            await runtime.stop_async()
+            return runtime, joiner
+
+        runtime, joiner = run(scenario())
+        assert runtime.members[joiner].is_member
+        report = check_gmp(runtime.trace, runtime.initial_view, check_liveness=False)
+        assert report.ok, format_report(report)
+
+    def test_tcp_requires_async_start(self):
+        async def scenario():
+            runtime = AioMembershipRuntime(["n0", "n1"], transport="tcp")
+            with pytest.raises(RuntimeError):
+                runtime.start()
+
+        run(scenario())

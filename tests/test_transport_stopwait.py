@@ -1,0 +1,125 @@
+"""Unit and property tests for the alternating-bit FIFO link (Section 3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transport.stopwait import (
+    AckFrame,
+    DataFrame,
+    LossyChannel,
+    StopAndWaitReceiver,
+    StopAndWaitSender,
+)
+
+
+class TestFrames:
+    def test_data_frame_bit_validated(self):
+        with pytest.raises(ValueError):
+            DataFrame(bit=2, payload="x")
+
+    def test_ack_frame_bit_validated(self):
+        with pytest.raises(ValueError):
+            AckFrame(bit=-1)
+
+
+class TestSender:
+    def test_offer_transmits_when_idle(self):
+        sender = StopAndWaitSender()
+        frame = sender.offer("a")
+        assert frame is not None and frame.bit == 0 and frame.payload == "a"
+
+    def test_second_offer_queues_behind_outstanding(self):
+        sender = StopAndWaitSender()
+        sender.offer("a")
+        assert sender.offer("b") is None
+
+    def test_matching_ack_releases_next(self):
+        sender = StopAndWaitSender()
+        sender.offer("a")
+        sender.offer("b")
+        frame = sender.on_ack(AckFrame(0))
+        assert frame is not None and frame.payload == "b" and frame.bit == 1
+
+    def test_stale_ack_ignored(self):
+        sender = StopAndWaitSender()
+        sender.offer("a")
+        assert sender.on_ack(AckFrame(1)) is None
+        assert sender.in_flight is not None
+
+    def test_ack_with_nothing_outstanding_ignored(self):
+        sender = StopAndWaitSender()
+        assert sender.on_ack(AckFrame(0)) is None
+
+    def test_timeout_retransmits_same_frame(self):
+        sender = StopAndWaitSender()
+        first = sender.offer("a")
+        assert sender.on_timeout() is first
+
+    def test_timeout_when_idle_is_none(self):
+        assert StopAndWaitSender().on_timeout() is None
+
+    def test_bit_alternates(self):
+        sender = StopAndWaitSender()
+        bits = []
+        for payload in "abcd":
+            frame = sender.offer(payload) or sender.on_ack(AckFrame(bits[-1]))
+            bits.append(frame.bit)
+            sender.on_ack(AckFrame(frame.bit))
+        assert bits == [0, 1, 0, 1]
+
+    def test_idle_after_final_ack(self):
+        sender = StopAndWaitSender()
+        frame = sender.offer("a")
+        sender.on_ack(AckFrame(frame.bit))
+        assert sender.idle
+
+
+class TestReceiver:
+    def test_delivers_expected_bit(self):
+        receiver = StopAndWaitReceiver()
+        ack = receiver.on_frame(DataFrame(0, "a"))
+        assert receiver.delivered == ["a"] and ack.bit == 0
+
+    def test_duplicate_reacked_not_redelivered(self):
+        receiver = StopAndWaitReceiver()
+        receiver.on_frame(DataFrame(0, "a"))
+        ack = receiver.on_frame(DataFrame(0, "a"))
+        assert receiver.delivered == ["a"] and ack.bit == 0
+
+    def test_alternation(self):
+        receiver = StopAndWaitReceiver()
+        receiver.on_frame(DataFrame(0, "a"))
+        receiver.on_frame(DataFrame(1, "b"))
+        receiver.on_frame(DataFrame(0, "c"))
+        assert receiver.delivered == ["a", "b", "c"]
+
+
+class TestLossyChannel:
+    def test_reliable_channel_passthrough(self):
+        channel = LossyChannel(loss=0.0, duplicate=0.0)
+        assert channel.run(list(range(10))) == list(range(10))
+
+    def test_lossy_channel_still_fifo_exactly_once(self):
+        channel = LossyChannel(loss=0.3, duplicate=0.2, seed=3)
+        payloads = list(range(50))
+        assert channel.run(payloads) == payloads
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            LossyChannel(loss=1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        payloads=st.lists(st.integers(), max_size=30),
+        loss=st.floats(0.0, 0.6),
+        duplicate=st.floats(0.0, 0.5),
+        seed=st.integers(0, 1000),
+    )
+    def test_exactly_once_in_order_under_adversity(self, payloads, loss, duplicate, seed):
+        """The paper's channel properties: lossless (exactly once) and FIFO,
+        implemented over a lossy, duplicating link."""
+        channel = LossyChannel(loss=loss, duplicate=duplicate, seed=seed)
+        assert channel.run(payloads) == payloads

@@ -1,0 +1,120 @@
+"""Tests for the bounded-exhaustive interleaving explorer.
+
+Each test enumerates *every* FIFO-respecting schedule of a small
+configuration (crash timing, suspicion order, message delivery order) and
+asserts the GMP properties on every terminal run — model checking the
+actual implementation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ids import pid
+from repro.verify import Explorer, explore_membership
+
+
+def describe_failures(result) -> str:
+    if result.ok:
+        return ""
+    path, report = result.violations[0]
+    return f"{path}\n" + "\n".join(str(v) for v in report.violations[:3])
+
+
+class TestExhaustiveSmallConfigs:
+    def test_single_member_crash_all_schedules(self):
+        result = explore_membership(3, crash_names=["p2"])
+        assert result.complete, "expected full exploration"
+        assert result.ok, describe_failures(result)
+        assert result.terminals > 0
+        # Every schedule converges to the same final configuration.
+        assert len(result.outcomes) == 1
+        (outcome,) = result.outcomes
+        assert all(version == 1 for version, _ in outcome)
+
+    def test_coordinator_crash_all_schedules(self):
+        result = explore_membership(4, crash_names=["p0"])
+        assert result.complete and result.ok, describe_failures(result)
+        assert result.terminals >= 1000  # the space is genuinely large
+        assert len(result.outcomes) == 1
+
+    def test_spurious_suspicion_of_live_member(self):
+        result = explore_membership(3, spurious=[("p0", "p1")])
+        assert result.complete and result.ok, describe_failures(result)
+        # The wrongly suspected member is excluded in every schedule where
+        # the suspicion fires; all outcomes satisfy GMP.
+        assert result.terminals > 0
+
+    def test_crossing_spurious_suspicions(self):
+        """The Figure 4 family: coordinator and outer suspect each other.
+        Every one of the thousands of schedules must stay safe; several
+        distinct final configurations are legitimate (who wins the race),
+        but each individual run satisfies GMP."""
+        result = explore_membership(3, spurious=[("p1", "p0"), ("p0", "p1")])
+        assert result.complete and result.ok, describe_failures(result)
+        assert result.terminals > 1000
+        assert len(result.outcomes) >= 2  # genuinely racy, genuinely safe
+
+    def test_partial_detection_only_one_observer(self):
+        # Only p1 ever detects the crash; gossip must carry the belief.
+        result = explore_membership(4, crash_names=["p3"], observers=["p1"])
+        assert result.complete and result.ok, describe_failures(result)
+        assert len(result.outcomes) == 1
+
+
+class TestBoundedLargerConfigs:
+    def test_two_crashes_bounded(self):
+        result = explore_membership(
+            4, crash_names=["p2", "p3"], max_states=12_000
+        )
+        # The space exceeds the bound; whatever was explored must be safe.
+        assert result.ok, describe_failures(result)
+        assert result.terminals > 1000
+
+    def test_coordinator_crash_plus_spurious_bounded(self):
+        result = explore_membership(
+            4,
+            crash_names=["p0"],
+            spurious=[("p2", "p3")],
+            max_states=12_000,
+        )
+        assert result.ok, describe_failures(result)
+
+
+class TestExplorerMechanics:
+    def test_no_events_means_single_trivial_terminal(self):
+        result = explore_membership(3)
+        assert result.complete and result.ok
+        assert result.terminals == 1 and result.states == 1
+
+    def test_width_bound_marks_incomplete(self):
+        result = explore_membership(4, crash_names=["p0"], max_width=1)
+        # Width 1 = one arbitrary schedule end-to-end.
+        assert not result.complete
+        assert result.ok
+        assert result.terminals == 1
+
+    def test_state_bound_marks_incomplete(self):
+        result = explore_membership(4, crash_names=["p0"], max_states=50)
+        assert not result.complete
+
+    def test_explorer_accepts_explicit_suspicion_triples(self):
+        view = [pid("a"), pid("b"), pid("c")]
+        explorer = Explorer(
+            view,
+            crashes=[pid("c")],
+            suspicions=[
+                (pid("a"), pid("c"), False),
+                (pid("b"), pid("c"), False),
+            ],
+        )
+        result = explorer.run()
+        assert result.complete and result.ok
+
+    def test_crash_detected_by_nobody_just_wedges_safely(self):
+        # A crash with no observers: nothing can ever be excluded, but no
+        # schedule violates safety either.
+        result = explore_membership(3, crash_names=["p2"], observers=[])
+        assert result.complete and result.ok
+        for outcome in result.outcomes:
+            assert all(version == 0 for version, _ in outcome)
