@@ -60,4 +60,10 @@ class AioScheduler:
         return AioTimer(handle, self.now + delay)
 
     def at(self, time: float, callback: Callable[[], None]) -> AioTimer:
-        return self.after(max(0.0, time - self.now), callback)
+        # call_at with an absolute loop deadline, not after(time - now):
+        # converting to a relative delay re-reads loop.time() inside
+        # call_later, and that per-call drift can reorder timers scheduled
+        # microseconds apart (e.g. the FIFO-spacing timestamps the aio
+        # channel emits).
+        handle = self._loop.call_at(self._t0 + time, callback)
+        return AioTimer(handle, time)

@@ -65,7 +65,9 @@ class SymmetricMember(BaselineMember):
             if payload.target == self.pid:
                 self.quit_protocol("accused by the group")
                 return
-            self.send(sender, AccuseAck(payload.target))
+            # AccuseAcks only contribute to the message count; they are
+            # intentionally outside the codec/dispatch registry.
+            self.send(sender, AccuseAck(payload.target))  # lint: allow[schema]
             if self.note_faulty(payload.target):
                 self._flood(payload.target)
             else:

@@ -9,7 +9,10 @@ Commands:
   print the verdict;
 * ``sweep`` — print the §7.2 message-complexity table (paper vs measured);
 * ``check`` — run a randomized storm at a given seed and report the GMP
-  verdict (useful for quick fuzzing from the shell).
+  verdict (useful for quick fuzzing from the shell);
+* ``lint`` — run the protocol-aware static analysis suite
+  (see ``docs/LINTING.md``); extra arguments are forwarded to
+  ``repro.lint`` (e.g. ``repro lint --format json``).
 """
 
 from __future__ import annotations
@@ -169,6 +172,22 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import main as lint_main
+
+    argv: list[str] = []
+    if args.root is not None:
+        argv.append(args.root)
+    argv += ["--format", args.format]
+    for prefix in args.select or []:
+        argv += ["--select", prefix]
+    for prefix in args.ignore or []:
+        argv += ["--ignore", prefix]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -217,6 +236,16 @@ def main(argv: list[str] | None = None) -> int:
         "report", help="regenerate the headline paper-vs-measured tables"
     )
     report.set_defaults(func=_cmd_report)
+
+    lint = sub.add_parser(
+        "lint", help="protocol-aware static analysis (determinism, schema, mutation)"
+    )
+    lint.add_argument("root", nargs="?", default=None, help="package root to scan")
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--select", action="append", metavar="PREFIX")
+    lint.add_argument("--ignore", action="append", metavar="PREFIX")
+    lint.add_argument("--list-rules", action="store_true")
+    lint.set_defaults(func=_cmd_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

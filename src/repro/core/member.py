@@ -32,7 +32,7 @@ from repro.model.events import EventKind
 from repro.sim.network import Network
 from repro.sim.process import SimProcess
 from repro.core.buffering import FutureViewBuffer
-from repro.core.determine import PhaseOneResponse, determine
+from repro.core.determine import DetermineResult, PhaseOneResponse, determine
 from repro.core.messages import (
     Commit,
     FaultyNotice,
@@ -363,7 +363,7 @@ class GMPMember(SimProcess):
             seq=list(msg.seq),
             mgr=msg.mgr,
         )
-        for target in self._pre_join_faulty:
+        for target in sorted(self._pre_join_faulty):
             self.state.note_faulty(target)
         for target in msg.faulty:
             self._note_faulty(target)
@@ -425,7 +425,7 @@ class GMPMember(SimProcess):
         self.broadcast(self._ordered(state.view), Invite(op, version))
         pending = self._awaitees(op)
         self.update_round = UpdateRound(op=op, version=version, pending=pending)
-        for target in pending:
+        for target in sorted(pending):
             self.detector.watch(target, "update-ok")
         self._check_update_round()
 
@@ -553,7 +553,7 @@ class GMPMember(SimProcess):
                 pending=pending,
                 compressed=True,
             )
-            for target in pending:
+            for target in sorted(pending):
                 self.detector.watch(target, "compressed-ok")
 
     def _apply_committed_op(self, op: Op, version: int) -> None:
@@ -665,7 +665,7 @@ class GMPMember(SimProcess):
         )
         round_.responses[self.pid] = own
         self.reconfig = round_
-        for target in pending:
+        for target in sorted(pending):
             self.detector.watch(target, "interrogate-ok")
         self._check_reconfig()
 
@@ -826,7 +826,9 @@ class GMPMember(SimProcess):
             self.reconfig = None
             self._commit_reconfiguration(round_)
 
-    def _predecessor_phase_complete(self, round_, result) -> bool:
+    def _predecessor_phase_complete(
+        self, round_: ReconfigRound, result: DetermineResult
+    ) -> bool:
         """Did a failed predecessor's proposal already reach a majority?
 
         True when the determined proposal is a single operation for the
@@ -859,7 +861,7 @@ class GMPMember(SimProcess):
         self._apply_reconfig_ops(round_.proposal_ops, round_.proposal_version)
         if self.crashed:
             return
-        state.mgr = self.pid
+        state.set_mgr(self.pid)
         state.set_plan(None)
         self._record(EventKind.INTERNAL, detail="assumed Mgr role")
         commit = ReconfigCommit(
@@ -901,7 +903,7 @@ class GMPMember(SimProcess):
                 pending=pending,
                 compressed=True,
             )
-            for target in pending:
+            for target in sorted(pending):
                 self.detector.watch(target, "compressed-ok")
             self._check_update_round()
         else:
@@ -970,7 +972,7 @@ class GMPMember(SimProcess):
             self._apply_reconfig_ops(msg.ops, msg.version)
             if self.crashed:
                 return
-        state.mgr = sender
+        state.set_mgr(sender)
         if msg.invis is not None:
             self._adopt_contingent(msg.invis, sender, msg.version + 1)
         else:

@@ -19,7 +19,7 @@ operations an application embedding the membership service would call.
 
 from __future__ import annotations
 
-from typing import Iterable, Literal, Optional
+from typing import Any, Iterable, Literal, Optional
 
 from repro.detectors.base import FailureDetector
 from repro.detectors.heartbeat import HeartbeatDetector
@@ -51,7 +51,7 @@ class MembershipCluster:
         heartbeat_timeout: float = 8.0,
         majority_updates: bool = True,
         member_class: type[GMPMember] | None = None,
-        member_kwargs: Optional[dict] = None,
+        member_kwargs: Optional[dict[str, Any]] = None,
     ) -> None:
         self.initial_view = ordered_view(members)
         if not self.initial_view:

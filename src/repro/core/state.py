@@ -165,6 +165,19 @@ class LocalState:
                 return Op("remove", member)
         return None
 
+    # ------------------------------------------------------------------ mgr
+
+    def set_mgr(self, mgr: ProcessId) -> None:
+        """Install a new coordinator (``Mgr``).
+
+        The coordinator changes only at the commit point of a three-phase
+        reconfiguration (Section 4.2) — either when this process assumes the
+        role itself or when it installs a ``ReconfigCommit`` from the new
+        coordinator — so, like the other protocol variables, the field is
+        written through this method rather than assigned ad hoc.
+        """
+        self.mgr = mgr
+
     # ---------------------------------------------------------------- plans
 
     def set_plan(self, plan: Optional[Plan]) -> None:

@@ -1,0 +1,80 @@
+"""Protocol-aware static analysis for the GMP reproduction.
+
+Three AST passes keep the implementation honest against the paper's model
+assumptions (see ``docs/LINTING.md``):
+
+* :mod:`repro.lint.determinism` (``DET1xx``) — the sim/core/verify layers
+  must be replayable: no wall-clock, no global RNG, no address- or
+  hash-order-dependent behaviour;
+* :mod:`repro.lint.schema` (``SCH2xx``) — the message dataclasses, the
+  codec tables, and the isinstance dispatch must agree;
+* :mod:`repro.lint.mutation` (``MUT3xx``) — view/membership state mutates
+  only through the commit path (the paper's Section 3 two-phase
+  discipline).
+
+Use :func:`run_lint` programmatically, or ``python -m repro.lint`` /
+``repro lint`` from the shell.  Findings are suppressed line-by-line with
+``# lint: allow[RULE-or-family]`` comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.lint.base import RULES, ModuleIndex
+from repro.lint.determinism import DEFAULT_DETERMINISM_SCOPE, DeterminismPass
+from repro.lint.findings import Finding
+from repro.lint.mutation import MutationPass
+from repro.lint.schema import SchemaPass
+
+__all__ = ["Finding", "LintResult", "run_lint", "RULES"]
+
+
+@dataclass(frozen=True, slots=True)
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: tuple[Finding, ...]
+    files_scanned: int
+    #: files that exist but could not be parsed (reported, never silently
+    #: dropped — a broken file must not pass the merge gate unseen).
+    skipped: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def run_lint(
+    root: Path | str,
+    determinism_scope: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Run all three passes over ``root`` and return sorted findings.
+
+    ``root`` is a package directory (or a single file).  The determinism
+    auditor restricts itself to the replay-critical sub-packages when the
+    root looks like the ``repro`` package itself; for any other root (e.g.
+    a test fixture tree) it scans everything, so fixtures behave the same
+    without mimicking the full package layout.
+    """
+    root = Path(root)
+    index = ModuleIndex.build(root)
+    if determinism_scope is None:
+        is_repro_pkg = index.get("core/messages.py") is not None
+        scope: Optional[Sequence[str]] = (
+            DEFAULT_DETERMINISM_SCOPE if is_repro_pkg else None
+        )
+    else:
+        scope = determinism_scope
+    passes = [DeterminismPass(scope=scope), SchemaPass(), MutationPass()]
+    findings: list[Finding] = []
+    for lint_pass in passes:
+        findings.extend(lint_pass.run(index))
+    findings.sort(key=Finding.sort_key)
+    return LintResult(
+        findings=tuple(findings),
+        files_scanned=len(index.modules),
+        skipped=index.skipped,
+    )

@@ -1,0 +1,359 @@
+"""Shared infrastructure for the lint passes.
+
+:class:`ModuleIndex` walks a package root once, parsing every module into an
+AST and its allowlist, so the three passes share one parse.  The module also
+hosts the small static-inference helpers the passes lean on:
+
+* :func:`attribute_chain` — flatten ``a.b.c`` into ``("a", "b", "c")``;
+* :class:`SetTypeInferencer` — decide whether an expression is statically
+  known to evaluate to a ``set``/``frozenset`` (literals, comprehensions,
+  ``set()`` calls, annotated attributes/parameters, local aliases, and
+  same-class helper methods that return sets).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional, Protocol
+
+from repro.lint.findings import Allowlist, Finding
+
+__all__ = [
+    "LintedModule",
+    "ModuleIndex",
+    "LintPass",
+    "RULES",
+    "rule",
+    "attribute_chain",
+    "SetTypeInferencer",
+    "iter_functions",
+    "walk_scope",
+]
+
+
+#: rule id -> one-line description, populated by :func:`rule` at import time.
+RULES: dict[str, str] = {}
+
+
+def rule(rule_id: str, description: str) -> str:
+    """Register a rule id with its description; returns the id."""
+    RULES[rule_id] = description
+    return rule_id
+
+
+@dataclass
+class LintedModule:
+    """One parsed source module."""
+
+    path: Path
+    #: path relative to the scanned root (stable across machines, used in
+    #: findings and reports).
+    rel_path: str
+    source: str
+    tree: ast.Module
+    allowlist: Allowlist
+
+    @classmethod
+    def parse(cls, path: Path, rel_path: str) -> Optional["LintedModule"]:
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError):
+            return None
+        return cls(
+            path=path,
+            rel_path=rel_path,
+            source=source,
+            tree=tree,
+            allowlist=Allowlist.from_source(source),
+        )
+
+
+class ModuleIndex:
+    """All parsed modules under one package root."""
+
+    def __init__(
+        self,
+        root: Path,
+        modules: list[LintedModule],
+        skipped: tuple[str, ...] = (),
+    ) -> None:
+        self.root = root
+        self.modules = modules
+        #: files that exist but could not be read or parsed — surfaced so a
+        #: broken file cannot silently pass the merge gate.
+        self.skipped = skipped
+        self._by_rel = {m.rel_path: m for m in modules}
+
+    @classmethod
+    def build(cls, root: Path) -> "ModuleIndex":
+        root = root.resolve()
+        modules: list[LintedModule] = []
+        skipped: list[str] = []
+        if root.is_file():
+            parsed = LintedModule.parse(root, root.name)
+            if parsed is not None:
+                modules.append(parsed)
+            else:
+                skipped.append(root.name)
+            return cls(root.parent, modules, tuple(skipped))
+        for path in sorted(root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            rel = path.relative_to(root).as_posix()
+            parsed = LintedModule.parse(path, rel)
+            if parsed is not None:
+                modules.append(parsed)
+            else:
+                skipped.append(rel)
+        return cls(root, modules, tuple(skipped))
+
+    def get(self, rel_path: str) -> Optional[LintedModule]:
+        return self._by_rel.get(rel_path)
+
+    def under(self, *prefixes: str) -> Iterator[LintedModule]:
+        """Modules whose relative path starts with any prefix (all when
+        no prefix is given)."""
+        for module in self.modules:
+            if not prefixes or any(
+                module.rel_path == p or module.rel_path.startswith(p.rstrip("/") + "/")
+                for p in prefixes
+            ):
+                yield module
+
+
+class LintPass(Protocol):
+    """One analysis pass over the module index."""
+
+    name: str
+
+    def run(self, index: ModuleIndex) -> list[Finding]:
+        ...  # pragma: no cover
+
+
+def emit(
+    module: LintedModule,
+    node: ast.AST,
+    rule_id: str,
+    message: str,
+    severity: str = "error",
+) -> Optional[Finding]:
+    """Build a finding for ``node`` unless its line is allowlisted."""
+    line = getattr(node, "lineno", 1)
+    col = getattr(node, "col_offset", 0)
+    if module.allowlist.permits(line, rule_id):
+        return None
+    return Finding(
+        file=module.rel_path,
+        line=line,
+        col=col,
+        rule=rule_id,
+        severity=severity,
+        message=message,
+    )
+
+
+def attribute_chain(node: ast.AST) -> tuple[str, ...]:
+    """Flatten ``a.b.c`` / ``a.b.c()``-style expressions to name parts.
+
+    Returns ``()`` when the expression is not a pure name/attribute chain
+    (e.g. a subscript or call in the middle).
+    """
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def _annotation_is_set(annotation: Optional[ast.expr]) -> bool:
+    """True when an annotation names ``set``/``frozenset`` (bare or
+    subscripted, e.g. ``set[ProcessId]``)."""
+    if annotation is None:
+        return False
+    target = annotation
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    chain = attribute_chain(target)
+    return bool(chain) and chain[-1] in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet")
+
+
+class SetTypeInferencer:
+    """Static 'is this expression a set?' oracle for one class or module.
+
+    The inference is deliberately shallow — single-function alias tracking,
+    declared attribute annotations, and same-class helper methods whose
+    return expression is itself a set — which keeps it fast, predictable,
+    and free of false positives from deep dataflow guessing.
+    """
+
+    _SET_BUILTINS = ("set", "frozenset")
+
+    def __init__(self, class_node: Optional[ast.ClassDef] = None) -> None:
+        #: attributes of ``self`` declared (or initialised) as sets
+        self.set_attributes: set[str] = set()
+        #: methods of the class whose return value is statically a set
+        self.set_returning_methods: set[str] = set()
+        if class_node is not None:
+            self._scan_class(class_node)
+
+    # ------------------------------------------------------------ class scan
+
+    def _scan_class(self, class_node: ast.ClassDef) -> None:
+        for stmt in class_node.body:
+            # Dataclass-style field declarations: ``faulty: set[ProcessId]``.
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                if _annotation_is_set(stmt.annotation):
+                    self.set_attributes.add(stmt.target.id)
+        for method in (
+            n for n in class_node.body if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ):
+            for stmt in ast.walk(method):
+                # ``self.x: set[...] = ...`` annotated attribute assignment.
+                if (
+                    isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Attribute)
+                    and isinstance(stmt.target.value, ast.Name)
+                    and stmt.target.value.id == "self"
+                    and _annotation_is_set(stmt.annotation)
+                ):
+                    self.set_attributes.add(stmt.target.attr)
+                # Un-annotated ``self.x = set()`` / set literal in __init__.
+                if isinstance(stmt, ast.Assign) and self._is_set_literal(stmt.value, {}):
+                    for target in stmt.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            self.set_attributes.add(target.attr)
+        # Second sweep: methods whose every return is a set expression.
+        for method in (
+            n for n in class_node.body if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ):
+            returns = [
+                s for s in ast.walk(method) if isinstance(s, ast.Return) and s.value is not None
+            ]
+            if returns and all(self.is_set_expr(r.value, {}) for r in returns):
+                self.set_returning_methods.add(method.name)
+
+    # ----------------------------------------------------------- expressions
+
+    def _is_set_literal(self, node: Optional[ast.expr], aliases: dict[str, bool]) -> bool:
+        if node is None:
+            return False
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            chain = attribute_chain(node.func)
+            if chain and chain[-1] in self._SET_BUILTINS:
+                return True
+        return False
+
+    def is_set_expr(self, node: Optional[ast.expr], aliases: dict[str, bool]) -> bool:
+        """Is ``node`` statically known to produce a set/frozenset?"""
+        if node is None:
+            return False
+        if self._is_set_literal(node, aliases):
+            return True
+        # Set algebra preserves set-ness.
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set_expr(node.left, aliases) or self.is_set_expr(
+                node.right, aliases
+            )
+        if isinstance(node, ast.Name):
+            return aliases.get(node.id, False)
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                return node.attr in self.set_attributes
+            return False
+        if isinstance(node, ast.Call):
+            chain = attribute_chain(node.func)
+            # ``self.helper()`` where helper returns a set.
+            if (
+                len(chain) == 2
+                and chain[0] == "self"
+                and chain[1] in self.set_returning_methods
+            ):
+                return True
+            # ``x.union(...)`` etc. on a known set.
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr
+                in ("union", "intersection", "difference", "symmetric_difference", "copy")
+                and self.is_set_expr(node.func.value, aliases)
+            ):
+                return True
+        return False
+
+    def local_aliases(self, func: ast.AST) -> dict[str, bool]:
+        """Names bound to set expressions within one function body.
+
+        Parameters annotated as sets count; so do simple assignments of a
+        set expression to a bare name.  A later non-set rebind clears the
+        alias (last assignment wins, in source order).
+        """
+        aliases: dict[str, bool] = {}
+        if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = list(func.args.posonlyargs) + list(func.args.args) + list(
+                func.args.kwonlyargs
+            )
+            for arg in args:
+                if _annotation_is_set(arg.annotation):
+                    aliases[arg.arg] = True
+        for stmt in ast.walk(func):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    aliases[target.id] = self.is_set_expr(stmt.value, aliases)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                if _annotation_is_set(stmt.annotation):
+                    aliases[stmt.target.id] = True
+        return aliases
+
+
+def iter_functions(tree: ast.Module) -> Iterator[tuple[Optional[ast.ClassDef], ast.AST]]:
+    """Yield ``(enclosing_class_or_None, scope_node)`` pairs.
+
+    The module itself is yielded first as a pseudo-scope for top-level
+    code; every (possibly nested) function follows, tagged with its nearest
+    enclosing class so ``self``-attribute inference works inside methods
+    and their nested helpers.  Pair with :func:`walk_scope`, which prunes
+    nested definitions, so every statement belongs to exactly one scope.
+    """
+    yield None, tree
+
+    def visit(
+        node: ast.AST, cls: Optional[ast.ClassDef]
+    ) -> Iterator[tuple[Optional[ast.ClassDef], ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from visit(child, child)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield cls, child
+                yield from visit(child, cls)
+            else:
+                yield from visit(child, cls)
+
+    yield from visit(tree, None)
+
+
+def walk_scope(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nested function/class
+    definitions — the statements of this one scope only."""
+    stack: list[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            stack.append(child)

@@ -1,0 +1,101 @@
+"""Command-line front end: ``python -m repro.lint [root]``.
+
+Runs the three protocol-aware passes over a package root (default:
+``src/repro`` when run from the repo, else the installed ``repro``
+package) and reports findings.  Exit status: 0 clean, 1 findings, 2 usage
+error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.lint import run_lint
+from repro.lint.base import RULES
+from repro.lint.reporters import render_json, render_text
+
+__all__ = ["main"]
+
+
+def _default_root() -> Path:
+    """Prefer the source tree when invoked from a checkout."""
+    candidate = Path("src/repro")
+    if (candidate / "core" / "messages.py").exists():
+        return candidate
+    return Path(__file__).resolve().parent.parent
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Protocol-aware static analysis: determinism auditor, "
+        "message-schema cross-checker, two-phase mutation lint.",
+    )
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default=None,
+        help="package root to scan (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="PREFIX",
+        help="only report rules matching this id/prefix (repeatable, "
+        "e.g. --select DET --select MUT301)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="PREFIX",
+        help="suppress rules matching this id/prefix (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, description in sorted(RULES.items()):
+            print(f"{rule_id}  {description}")
+        return 0
+
+    root = Path(args.root) if args.root is not None else _default_root()
+    if not root.exists():
+        print(f"repro.lint: no such path: {root}", file=sys.stderr)
+        return 2
+
+    result = run_lint(root)
+    for rel in result.skipped:
+        print(
+            f"repro.lint: warning: could not parse {rel}; it was NOT checked",
+            file=sys.stderr,
+        )
+    findings = result.findings
+    if args.select:
+        findings = [
+            f for f in findings if any(f.rule.startswith(p) for p in args.select)
+        ]
+    if args.ignore:
+        findings = [
+            f
+            for f in findings
+            if not any(f.rule.startswith(p) for p in args.ignore)
+        ]
+
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(findings, files_scanned=result.files_scanned))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

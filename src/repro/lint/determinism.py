@@ -1,0 +1,349 @@
+"""DET1xx — determinism auditor.
+
+The sim/core/verify layers must be bit-for-bit replayable: every run is a
+function of the seed and the schedule, nothing else.  This pass flags the
+four ways nondeterminism typically leaks in:
+
+* **DET101** — wall-clock reads (``time.time``, ``datetime.now``, …).  The
+  simulator's logical clock (``scheduler.now``) is the only time source.
+* **DET102** — the process-global RNG (``random.random()`` et al., bare
+  ``random.Random()`` with no seed, ``random.seed``).  Randomness must flow
+  through an explicitly seeded ``random.Random`` instance.
+* **DET103** — ``id()``-based ordering (``key=id`` or ``id()`` inside a
+  sort/min/max or comparison): CPython object addresses vary run to run.
+* **DET104** — iteration over a ``set``/``frozenset`` that feeds an
+  order-sensitive sink (message sends, trace records, detector watches,
+  scheduler calls) or builds an ordered collection.  Set iteration order
+  depends on ``PYTHONHASHSEED``; iterate ``sorted(...)`` instead.  (Dict
+  iteration is insertion-ordered in Python 3.7+ and therefore exempt.)
+
+The ``aio/`` real-network layer legitimately touches wall-clock machinery;
+it carries explicit ``# lint: allow[nondeterminism]`` comments where it
+does.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Sequence
+
+from repro.lint.base import (
+    LintedModule,
+    ModuleIndex,
+    SetTypeInferencer,
+    attribute_chain,
+    emit,
+    iter_functions,
+    rule,
+    walk_scope,
+)
+from repro.lint.findings import Finding
+
+__all__ = ["DeterminismPass", "DEFAULT_DETERMINISM_SCOPE"]
+
+DET101 = rule("DET101", "wall-clock read in replay-critical code")
+DET102 = rule("DET102", "process-global / unseeded RNG use")
+DET103 = rule("DET103", "id()-based ordering is address-dependent")
+DET104 = rule("DET104", "set iteration feeds an order-sensitive sink")
+
+#: Directories (relative to the package root) the auditor covers by default.
+DEFAULT_DETERMINISM_SCOPE: tuple[str, ...] = (
+    "core",
+    "sim",
+    "verify",
+    "transport",
+    "detectors",
+    "aio",
+)
+
+_WALL_CLOCK_CHAINS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "process_time"),
+    ("time", "sleep"),
+}
+
+_DATETIME_FACTORIES = {"now", "utcnow", "today"}
+
+_GLOBAL_RNG_FUNCS = {
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "gauss",
+    "normalvariate",
+    "lognormvariate",
+    "expovariate",
+    "betavariate",
+    "gammavariate",
+    "paretovariate",
+    "vonmisesvariate",
+    "weibullvariate",
+    "triangular",
+    "getrandbits",
+    "randbytes",
+    "seed",
+}
+
+#: Callee names whose argument order is observable: message emission, trace
+#: recording, detector bookkeeping, scheduler insertion, FIFO queueing.
+_ORDER_SINKS = {
+    "send",
+    "broadcast",
+    "record",
+    "watch",
+    "unwatch",
+    "at",
+    "after",
+    "set_timer",
+    "suspect",
+    "suspect_at",
+    "on_suspect",
+    "on_message",
+    "note_faulty",
+    "note_operating",
+    "append",
+    "appendleft",
+    "extend",
+    "hold",
+    "offer",
+    "put",
+    "push",
+    "schedule",
+    "_receive",
+    "_deliver",
+    "_suspect",
+    "_note_faulty",
+    "_note_operating",
+}
+
+
+class DeterminismPass:
+    """AST pass implementing rules DET101–DET104."""
+
+    name = "determinism"
+
+    def __init__(self, scope: Optional[Sequence[str]] = None) -> None:
+        #: path prefixes to audit; ``None`` means every module in the index.
+        self.scope = tuple(scope) if scope is not None else None
+
+    def run(self, index: ModuleIndex) -> list[Finding]:
+        findings: list[Finding] = []
+        modules = (
+            index.under(*self.scope) if self.scope is not None else index.under()
+        )
+        for module in modules:
+            findings.extend(self._check_module(module))
+        return findings
+
+    # ------------------------------------------------------------ per module
+
+    def _check_module(self, module: LintedModule) -> list[Finding]:
+        findings: list[Finding] = []
+        bare_rng_names = self._bare_random_imports(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_call(module, node, bare_rng_names))
+            elif isinstance(node, ast.keyword):
+                findings.extend(self._check_keyword(module, node))
+            elif isinstance(node, ast.Compare):
+                findings.extend(self._check_compare(module, node))
+        findings.extend(self._check_set_iteration(module))
+        return [f for f in findings if f is not None]
+
+    @staticmethod
+    def _bare_random_imports(tree: ast.Module) -> set[str]:
+        """Names imported via ``from random import x`` (global RNG access)."""
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name in _GLOBAL_RNG_FUNCS:
+                        names.add(alias.asname or alias.name)
+        return names
+
+    # ------------------------------------------------------- DET101 / DET102
+
+    def _check_call(
+        self, module: LintedModule, node: ast.Call, bare_rng: set[str]
+    ) -> list:
+        out = []
+        chain = attribute_chain(node.func)
+        if chain[-2:] in _WALL_CLOCK_CHAINS or (
+            len(chain) >= 2
+            and chain[-1] in _DATETIME_FACTORIES
+            and "datetime" in chain[:-1]
+        ):
+            out.append(
+                emit(
+                    module,
+                    node,
+                    DET101,
+                    f"wall-clock call {'.'.join(chain)}(); use the logical "
+                    "scheduler clock (scheduler.now) instead",
+                )
+            )
+        if len(chain) == 2 and chain[0] == "random" and chain[1] in _GLOBAL_RNG_FUNCS:
+            out.append(
+                emit(
+                    module,
+                    node,
+                    DET102,
+                    f"global RNG call random.{chain[1]}(); thread a seeded "
+                    "random.Random instance through instead",
+                )
+            )
+        if (
+            chain[-2:] == ("random", "Random")
+            and not node.args
+            and not node.keywords
+        ):
+            out.append(
+                emit(
+                    module,
+                    node,
+                    DET102,
+                    "random.Random() constructed without a seed; pass an "
+                    "explicit seed so runs replay",
+                )
+            )
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in bare_rng
+        ):
+            out.append(
+                emit(
+                    module,
+                    node,
+                    DET102,
+                    f"global RNG call {node.func.id}() (imported from "
+                    "random); thread a seeded random.Random through instead",
+                )
+            )
+        # DET103: id() as an ordering key inside sorted/min/max arguments.
+        if chain[-1:] == ("sorted",) or chain[-1:] in (("min",), ("max",)):
+            for arg in node.args:
+                if self._contains_id_call(arg):
+                    out.append(
+                        emit(
+                            module,
+                            node,
+                            DET103,
+                            "id() inside a sort/min/max expression orders by "
+                            "object address; use an explicit key",
+                        )
+                    )
+                    break
+        return out
+
+    # ----------------------------------------------------------------- DET103
+
+    @staticmethod
+    def _contains_id_call(node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id == "id"
+            ):
+                return True
+        return False
+
+    def _check_keyword(self, module: LintedModule, node: ast.keyword) -> list:
+        if node.arg != "key":
+            return []
+        value = node.value
+        is_id = isinstance(value, ast.Name) and value.id == "id"
+        if isinstance(value, ast.Lambda) and self._contains_id_call(value.body):
+            is_id = True
+        if not is_id:
+            return []
+        return [
+            emit(
+                module,
+                node.value,
+                DET103,
+                "key=id orders by object address, which varies between "
+                "runs; use a value-based key",
+            )
+        ]
+
+    def _check_compare(self, module: LintedModule, node: ast.Compare) -> list:
+        ordering_ops = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+        if not any(isinstance(op, ordering_ops) for op in node.ops):
+            return []
+        operands = [node.left, *node.comparators]
+        if any(
+            isinstance(o, ast.Call)
+            and isinstance(o.func, ast.Name)
+            and o.func.id == "id"
+            for o in operands
+        ):
+            return [
+                emit(
+                    module,
+                    node,
+                    DET103,
+                    "ordering comparison on id() is address-dependent",
+                )
+            ]
+        return []
+
+    # ----------------------------------------------------------------- DET104
+
+    def _check_set_iteration(self, module: LintedModule) -> list:
+        out = []
+        for class_node, func in iter_functions(module.tree):
+            inferencer = SetTypeInferencer(class_node)
+            aliases = (
+                inferencer.local_aliases(func)
+                if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+                else {}
+            )
+            for node in walk_scope(func):
+                if isinstance(node, ast.For) and inferencer.is_set_expr(
+                    node.iter, aliases
+                ):
+                    if self._has_order_sink(node):
+                        out.append(
+                            emit(
+                                module,
+                                node,
+                                DET104,
+                                "for-loop over a set feeds an order-sensitive "
+                                "operation; iterate sorted(...) for a "
+                                "deterministic order",
+                            )
+                        )
+                elif isinstance(node, (ast.ListComp, ast.DictComp)):
+                    for gen in node.generators:
+                        if inferencer.is_set_expr(gen.iter, aliases):
+                            out.append(
+                                emit(
+                                    module,
+                                    node,
+                                    DET104,
+                                    "comprehension builds an ordered "
+                                    "collection from a set; iterate "
+                                    "sorted(...) for a deterministic order",
+                                )
+                            )
+                            break
+        return out
+
+    @staticmethod
+    def _has_order_sink(loop: ast.For) -> bool:
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Call):
+                chain = attribute_chain(node.func)
+                if chain and chain[-1] in _ORDER_SINKS:
+                    return True
+        return False

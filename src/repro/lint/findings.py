@@ -1,0 +1,122 @@
+"""Finding and rule metadata shared by every lint pass.
+
+A :class:`Finding` is one structured diagnostic — file, line, rule id,
+severity, message — the common currency of the three passes and the two
+reporters.  Rule ids are grouped into *families* (``DET1xx`` determinism,
+``SCH2xx`` schema, ``MUT3xx`` mutation); the allowlist comment syntax
+accepts either a concrete rule id or a family alias::
+
+    risky_call()  # lint: allow[DET101]
+    risky_call()  # lint: allow[nondeterminism]
+
+An allow comment suppresses findings on its own line, or — when it stands
+alone on a line — on the next code line below it.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+
+#: Family aliases accepted inside ``# lint: allow[...]`` comments.
+FAMILY_ALIASES: dict[str, str] = {
+    "nondeterminism": "DET",
+    "determinism": "DET",
+    "schema": "SCH",
+    "mutation": "MUT",
+}
+
+_ALLOW_RE = re.compile(r"lint:\s*allow\[([A-Za-z0-9_,\s-]+)\]")
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One diagnostic emitted by a lint pass."""
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    severity: str  # 'error' | 'warning'
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.file, self.line, self.col, self.rule)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Allowlist:
+    """Per-file map of line -> allow tokens parsed from comments."""
+
+    #: line number -> set of tokens (rule ids or family prefixes, uppercased)
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, source: str) -> "Allowlist":
+        """Extract every ``# lint: allow[...]`` comment via the tokenizer.
+
+        Tokenizing (rather than regexing raw lines) means allow markers
+        inside string literals are ignored, and comments are found even on
+        continuation lines.
+        """
+        allow = cls()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            comments = [
+                tok for tok in tokens if tok.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return allow
+        # Lines that hold code (so a standalone comment can cover the next
+        # code line, not just the line below it).
+        code_lines = {
+            i + 1
+            for i, text in enumerate(source.splitlines())
+            if text.strip() and not text.lstrip().startswith("#")
+        }
+        max_line = len(source.splitlines())
+        for tok in comments:
+            match = _ALLOW_RE.search(tok.string)
+            if match is None:
+                continue
+            tokens_set = {
+                _normalise_token(part)
+                for part in match.group(1).split(",")
+                if part.strip()
+            }
+            line = tok.start[0]
+            allow.by_line.setdefault(line, set()).update(tokens_set)
+            if line not in code_lines:
+                # Standalone comment: also cover the next code line.
+                nxt = line + 1
+                while nxt <= max_line and nxt not in code_lines:
+                    nxt += 1
+                if nxt <= max_line:
+                    allow.by_line.setdefault(nxt, set()).update(tokens_set)
+        return allow
+
+    def permits(self, line: int, rule: str) -> bool:
+        """True when ``rule`` on ``line`` is covered by an allow comment."""
+        tokens = self.by_line.get(line)
+        if not tokens:
+            return False
+        family = rule[:3]
+        return rule.upper() in tokens or family.upper() in tokens
+
+
+def _normalise_token(raw: str) -> str:
+    token = raw.strip()
+    return FAMILY_ALIASES.get(token.lower(), token).upper()

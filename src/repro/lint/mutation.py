@@ -1,0 +1,265 @@
+"""MUT3xx — two-phase mutation lint.
+
+Section 3 of the paper is a *commit discipline*: view/membership state
+changes exactly once per agreed operation, inside the commit path, never
+ad hoc.  In this codebase that discipline is embodied by
+:class:`repro.core.state.LocalState`: its fields (``view``, ``version``,
+``seq``, ``plans``, ``faulty``, ``ever_faulty``, ``recovered``, ``mgr``)
+may only be written through its own methods (``apply``, ``note_faulty``,
+``set_plan``, ``set_mgr``, …) or by the whitelisted round/commit modules.
+
+This pass flags, in every module *outside* the whitelist:
+
+* **MUT301** — a direct attribute write to a protected field
+  (``state.version = 7``, ``member.state.mgr = x``, ``del state.view[0]``);
+* **MUT302** — a mutating container-method call on a protected field
+  (``state.view.append(...)``, ``state.faulty.add(...)``).
+
+Expressions are considered *state-like* when they are an attribute access
+ending in ``.state`` (``self.state``, ``member.state``), a local alias of
+one (``state = self.state``), or a parameter annotated ``LocalState``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.lint.base import (
+    LintedModule,
+    ModuleIndex,
+    attribute_chain,
+    emit,
+    iter_functions,
+    rule,
+    walk_scope,
+)
+from repro.lint.findings import Finding
+
+__all__ = ["MutationPass", "COMMIT_PATH_WHITELIST"]
+
+MUT301 = rule("MUT301", "direct write to protected view/membership state")
+MUT302 = rule("MUT302", "mutating call on protected view/membership state")
+
+_STATE_PATH = "core/state.py"
+_STATE_CLASS = "LocalState"
+
+#: Modules allowed to mutate LocalState fields directly: the state class
+#: itself and the round/commit bookkeeping (the paper's commit path).
+COMMIT_PATH_WHITELIST: tuple[str, ...] = (
+    "core/state.py",
+    "core/rounds.py",
+    "core/determine.py",
+)
+
+_MUTATORS = {
+    "append",
+    "appendleft",
+    "add",
+    "remove",
+    "discard",
+    "clear",
+    "pop",
+    "popleft",
+    "popitem",
+    "insert",
+    "extend",
+    "update",
+    "setdefault",
+    "sort",
+    "reverse",
+}
+
+#: Fallback when core/state.py cannot be parsed (fixture trees).
+_DEFAULT_PROTECTED = frozenset(
+    {"view", "version", "seq", "plans", "faulty", "ever_faulty", "recovered", "mgr"}
+)
+
+
+class MutationPass:
+    """AST pass implementing rules MUT301–MUT302."""
+
+    name = "mutation"
+
+    def run(self, index: ModuleIndex) -> list[Finding]:
+        protected = self._protected_fields(index)
+        findings: list[Finding] = []
+        for module in index.under():
+            if module.rel_path in COMMIT_PATH_WHITELIST:
+                continue
+            findings.extend(self._check_module(module, protected))
+        return findings
+
+    # -------------------------------------------------------------- registry
+
+    def _protected_fields(self, index: ModuleIndex) -> frozenset[str]:
+        """Field names of LocalState, parsed from core/state.py."""
+        state_mod = index.get(_STATE_PATH)
+        if state_mod is None:
+            return _DEFAULT_PROTECTED
+        for node in state_mod.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == _STATE_CLASS:
+                fields = {
+                    stmt.target.id
+                    for stmt in node.body
+                    if isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                }
+                if fields:
+                    return frozenset(fields)
+        return _DEFAULT_PROTECTED
+
+    # ------------------------------------------------------------- per module
+
+    def _check_module(
+        self, module: LintedModule, protected: frozenset[str]
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for _class_node, func in iter_functions(module.tree):
+            aliases = self._state_aliases(func)
+            for node in walk_scope(func):
+                if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        findings.extend(
+                            self._check_write_target(
+                                module, node, target, protected, aliases
+                            )
+                        )
+                elif isinstance(node, ast.Delete):
+                    for target in node.targets:
+                        findings.extend(
+                            self._check_write_target(
+                                module, node, target, protected, aliases
+                            )
+                        )
+                elif isinstance(node, ast.Call):
+                    findings.extend(
+                        self._check_mutating_call(module, node, protected, aliases)
+                    )
+        return [f for f in findings if f is not None]
+
+    # --------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _state_aliases(func: ast.AST) -> set[str]:
+        """Local names bound to a ``*.state`` expression (or annotated
+        LocalState parameters) within one function."""
+        aliases: set[str] = set()
+        if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = list(func.args.posonlyargs) + list(func.args.args) + list(
+                func.args.kwonlyargs
+            )
+            for arg in args:
+                annotation = arg.annotation
+                if annotation is not None:
+                    chain = attribute_chain(annotation)
+                    if chain and chain[-1] == _STATE_CLASS:
+                        aliases.add(arg.arg)
+        for stmt in ast.walk(func):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    if (
+                        isinstance(stmt.value, ast.Attribute)
+                        and stmt.value.attr == "state"
+                    ):
+                        aliases.add(target.id)
+                    elif target.id in aliases:
+                        aliases.discard(target.id)
+        return aliases
+
+    def _is_state_expr(self, node: ast.expr, aliases: set[str]) -> bool:
+        """Does ``node`` denote a LocalState instance?"""
+        if isinstance(node, ast.Attribute) and node.attr == "state":
+            return True
+        if isinstance(node, ast.Name) and node.id in aliases:
+            return True
+        return False
+
+    def _protected_attribute(
+        self, node: ast.expr, protected: frozenset[str], aliases: set[str]
+    ) -> Optional[str]:
+        """When ``node`` is ``<state>.<protected-field>``, return the field."""
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr in protected
+            and self._is_state_expr(node.value, aliases)
+        ):
+            return node.attr
+        return None
+
+    # ---------------------------------------------------------------- checks
+
+    def _check_write_target(
+        self,
+        module: LintedModule,
+        stmt: ast.AST,
+        target: ast.expr,
+        protected: frozenset[str],
+        aliases: set[str],
+    ) -> list:
+        # Unpack tuple/list targets: ``a, state.mgr = ...``.
+        if isinstance(target, (ast.Tuple, ast.List)):
+            out = []
+            for elt in target.elts:
+                out.extend(
+                    self._check_write_target(module, stmt, elt, protected, aliases)
+                )
+            return out
+        # ``state.view[i] = ...`` / ``del state.view[i]``.
+        if isinstance(target, ast.Subscript):
+            field = self._protected_attribute(target.value, protected, aliases)
+            if field is not None:
+                return [
+                    emit(
+                        module,
+                        stmt,
+                        MUT301,
+                        f"item write to protected field '{field}' outside "
+                        "the commit path; use the LocalState API "
+                        "(core/state.py) instead",
+                    )
+                ]
+            return []
+        field = self._protected_attribute(target, protected, aliases)
+        if field is not None:
+            return [
+                emit(
+                    module,
+                    stmt,
+                    MUT301,
+                    f"direct write to protected field '{field}' outside the "
+                    "commit path (core/state.py, core/rounds.py, "
+                    "core/determine.py); route it through the LocalState API",
+                )
+            ]
+        return []
+
+    def _check_mutating_call(
+        self,
+        module: LintedModule,
+        node: ast.Call,
+        protected: frozenset[str],
+        aliases: set[str],
+    ) -> list:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _MUTATORS:
+            return []
+        field = self._protected_attribute(func.value, protected, aliases)
+        if field is None:
+            return []
+        return [
+            emit(
+                module,
+                node,
+                MUT302,
+                f"mutating call .{func.attr}() on protected field '{field}' "
+                "outside the commit path; route it through the LocalState "
+                "API (core/state.py)",
+            )
+        ]

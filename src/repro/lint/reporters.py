@@ -1,0 +1,47 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from repro.lint.findings import Finding
+
+__all__ = ["render_text", "render_json"]
+
+#: Bump when the JSON report shape changes incompatibly.
+REPORT_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding], files_scanned: int = 0) -> str:
+    """GCC-style one-line-per-finding rendering plus a summary footer."""
+    lines = [
+        f"{f.file}:{f.line}:{f.col + 1}: {f.severity} {f.rule}: {f.message}"
+        for f in sorted(findings, key=Finding.sort_key)
+    ]
+    by_rule = Counter(f.rule for f in findings)
+    if findings:
+        summary = ", ".join(f"{rule} x{n}" for rule, n in sorted(by_rule.items()))
+        lines.append("")
+        lines.append(
+            f"{len(findings)} finding(s) in {files_scanned} file(s) scanned "
+            f"({summary})"
+        )
+    else:
+        lines.append(f"clean: 0 findings in {files_scanned} file(s) scanned")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files_scanned: int = 0) -> str:
+    report = {
+        "version": REPORT_VERSION,
+        "files_scanned": files_scanned,
+        "counts": dict(
+            sorted(Counter(f.rule for f in findings).items())
+        ),
+        "findings": [
+            f.to_dict() for f in sorted(findings, key=Finding.sort_key)
+        ],
+    }
+    return json.dumps(report, indent=2)

@@ -1,0 +1,285 @@
+"""SCH2xx — message-schema cross-checker.
+
+The wire protocol is defined three times over: the dataclasses in
+``core/messages.py``, the explicit per-type encoder/decoder tables in
+``codec.py``, and the ``isinstance`` dispatch in the protocol handlers
+(``core/member.py``, ``core/service.py``, ``baselines/*``, extensions,
+detectors).  Drift between the three is exactly the "implementation drift"
+class of membership bug; this pass cross-checks them statically:
+
+* **SCH201** — a wire message type in ``core/messages.py`` has no entry in
+  the codec's ``_ENCODERS`` table (it cannot leave the simulator).
+* **SCH202** — the codec's encoder and decoder tables disagree (a type
+  encodes but cannot decode, or vice versa — round-trip broken).
+* **SCH203** — a wire message type has no ``isinstance`` handler anywhere
+  in the tree (it can be sent but never acted on).
+* **SCH204** — a ``send``/``broadcast`` call site constructs a payload type
+  that is neither codec-registered nor handled by any ``isinstance``
+  dispatch: an unregistered message type.
+
+"Wire message" means a dataclass in ``core/messages.py`` that is not a
+*component* type — a class referenced inside another message's field
+annotations (``Op``, ``Plan``) travels only inside frames, never as one.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.lint.base import (
+    LintedModule,
+    ModuleIndex,
+    attribute_chain,
+    emit,
+    rule,
+)
+from repro.lint.findings import Finding
+
+__all__ = ["SchemaPass"]
+
+SCH201 = rule("SCH201", "wire message type missing from the codec encoder table")
+SCH202 = rule("SCH202", "codec encoder/decoder tables disagree (round-trip broken)")
+SCH203 = rule("SCH203", "wire message type has no isinstance handler")
+SCH204 = rule("SCH204", "send/broadcast of an unregistered payload type")
+
+_MESSAGES_PATH = "core/messages.py"
+_CODEC_PATH = "codec.py"
+_SEND_NAMES = {"send", "broadcast"}
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        chain = attribute_chain(target)
+        if chain and chain[-1] == "dataclass":
+            return True
+    return False
+
+
+class SchemaPass:
+    """AST pass implementing rules SCH201–SCH204."""
+
+    name = "schema"
+
+    def run(self, index: ModuleIndex) -> list[Finding]:
+        messages_mod = index.get(_MESSAGES_PATH)
+        codec_mod = index.get(_CODEC_PATH)
+        if messages_mod is None:
+            return []  # nothing to cross-check (fixture tree without a protocol)
+
+        wire_messages = self._wire_messages(messages_mod)
+        handled = self._handled_type_names(index)
+        findings: list[Finding] = []
+
+        encoder_names: set[str] = set()
+        decoder_names: set[str] = set()
+        if codec_mod is not None:
+            encoder_names, encoders_node = self._dict_key_names(codec_mod, "_ENCODERS")
+            decoder_names, decoders_node = self._dict_key_strings(codec_mod, "_DECODERS")
+            # SCH201: every wire message must encode.
+            for name, node in sorted(wire_messages.items()):
+                if name not in encoder_names:
+                    finding = emit(
+                        messages_mod,
+                        node,
+                        SCH201,
+                        f"message type {name} has no encoder in "
+                        f"{_CODEC_PATH}::_ENCODERS — it cannot cross a real "
+                        "transport",
+                    )
+                    if finding:
+                        findings.append(finding)
+            # SCH202: encoder and decoder tables must agree exactly.
+            for name in sorted(encoder_names - decoder_names):
+                finding = emit(
+                    codec_mod,
+                    encoders_node or codec_mod.tree,
+                    SCH202,
+                    f"type {name} has an encoder but no decoder — frames it "
+                    "produces cannot be read back",
+                )
+                if finding:
+                    findings.append(finding)
+            for name in sorted(decoder_names - encoder_names):
+                finding = emit(
+                    codec_mod,
+                    decoders_node or codec_mod.tree,
+                    SCH202,
+                    f"type {name} has a decoder but no encoder — it can "
+                    "never be produced by this codec",
+                )
+                if finding:
+                    findings.append(finding)
+
+        # SCH203: every wire message needs a handler somewhere.
+        for name, node in sorted(wire_messages.items()):
+            if name not in handled:
+                finding = emit(
+                    messages_mod,
+                    node,
+                    SCH203,
+                    f"message type {name} is never dispatched via "
+                    "isinstance() in any handler — it would be sent and "
+                    "silently ignored",
+                )
+                if finding:
+                    findings.append(finding)
+
+        # SCH204: call-site check on constructed payloads.
+        registered = set(wire_messages) | encoder_names | decoder_names | handled
+        for module in index.under():
+            findings.extend(
+                self._check_send_sites(module, registered)
+            )
+        return findings
+
+    # ------------------------------------------------------------- registries
+
+    def _wire_messages(self, module: LintedModule) -> dict[str, ast.ClassDef]:
+        """Dataclasses in the messages module, minus component types."""
+        classes = {
+            node.name: node
+            for node in module.tree.body
+            if isinstance(node, ast.ClassDef) and _is_dataclass(node)
+        }
+        referenced: set[str] = set()
+        for node in classes.values():
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and stmt.annotation is not None:
+                    for sub in ast.walk(stmt.annotation):
+                        if isinstance(sub, ast.Name) and sub.id in classes:
+                            referenced.add(sub.id)
+                        elif isinstance(sub, ast.Constant) and isinstance(
+                            sub.value, str
+                        ):
+                            # String annotations: a crude but adequate scan.
+                            for name in classes:
+                                if name in sub.value:
+                                    referenced.add(name)
+        return {
+            name: node for name, node in classes.items() if name not in referenced
+        }
+
+    @staticmethod
+    def _handled_type_names(index: ModuleIndex) -> set[str]:
+        """Every class name appearing as an isinstance() type argument."""
+        handled: set[str] = set()
+
+        def collect(type_arg: ast.expr) -> None:
+            if isinstance(type_arg, ast.Tuple):
+                for elt in type_arg.elts:
+                    collect(elt)
+                return
+            chain = attribute_chain(type_arg)
+            if chain:
+                handled.add(chain[-1])
+
+        for module in index.under():
+            for node in ast.walk(module.tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "isinstance"
+                    and len(node.args) == 2
+                ):
+                    collect(node.args[1])
+                # Tuples of types assigned to *_TYPES constants participate
+                # in isinstance dispatch via is_reconfiguration_message etc.
+                if isinstance(node, ast.Assign) and isinstance(node.value, ast.Tuple):
+                    targets = [
+                        t.id for t in node.targets if isinstance(t, ast.Name)
+                    ]
+                    if any(t.endswith("_TYPES") for t in targets):
+                        collect(node.value)
+        return handled
+
+    @staticmethod
+    def _find_assign(module: LintedModule, name: str) -> Optional[ast.Assign]:
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == name:
+                        return node
+            elif isinstance(node, ast.AnnAssign):
+                if (
+                    isinstance(node.target, ast.Name)
+                    and node.target.id == name
+                    and node.value is not None
+                ):
+                    synthetic = ast.Assign(targets=[node.target], value=node.value)
+                    ast.copy_location(synthetic, node)
+                    return synthetic
+        return None
+
+    def _dict_key_names(
+        self, module: LintedModule, var: str
+    ) -> tuple[set[str], Optional[ast.AST]]:
+        """Class names used as keys of a ``{Type: ...}`` table."""
+        assign = self._find_assign(module, var)
+        if assign is None or not isinstance(assign.value, ast.Dict):
+            return set(), None
+        names: set[str] = set()
+        for key in assign.value.keys:
+            if key is None:
+                continue
+            chain = attribute_chain(key)
+            if chain:
+                names.add(chain[-1])
+        return names, assign
+
+    def _dict_key_strings(
+        self, module: LintedModule, var: str
+    ) -> tuple[set[str], Optional[ast.AST]]:
+        """String keys of a ``{"Type": ...}`` table."""
+        assign = self._find_assign(module, var)
+        if assign is None or not isinstance(assign.value, ast.Dict):
+            return set(), None
+        names = {
+            key.value
+            for key in assign.value.keys
+            if isinstance(key, ast.Constant) and isinstance(key.value, str)
+        }
+        return names, assign
+
+    # -------------------------------------------------------------- call sites
+
+    def _check_send_sites(
+        self, module: LintedModule, registered: set[str]
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attribute_chain(node.func)
+            if not chain or chain[-1] not in _SEND_NAMES:
+                continue
+            for arg in node.args:
+                payload_type = self._constructed_type(arg)
+                if payload_type is None:
+                    continue
+                if payload_type not in registered:
+                    finding = emit(
+                        module,
+                        arg,
+                        SCH204,
+                        f"payload type {payload_type} is sent here but is "
+                        "neither codec-registered nor handled by any "
+                        "isinstance dispatch",
+                    )
+                    if finding:
+                        findings.append(finding)
+        return findings
+
+    @staticmethod
+    def _constructed_type(arg: ast.expr) -> Optional[str]:
+        """The class name when ``arg`` looks like ``SomeType(...)``."""
+        if not isinstance(arg, ast.Call):
+            return None
+        chain = attribute_chain(arg.func)
+        if not chain:
+            return None
+        name = chain[-1]
+        if name and name[0].isupper():
+            return name
+        return None

@@ -100,7 +100,7 @@ class RunTrace:
 
     def histories(self) -> dict[ProcessId, ProcessHistory]:
         """All validated histories, keyed by process."""
-        return {p: self.history(p) for p in self.processes()}
+        return {p: self.history(p) for p in sorted(self.processes())}
 
     def events_of(self, proc: ProcessId, kind: Optional[EventKind] = None) -> list[Event]:
         return [

@@ -125,12 +125,21 @@ class LossyChannel:
     alternating-bit protocol guarantees it equals the input exactly.
     """
 
-    def __init__(self, loss: float = 0.2, duplicate: float = 0.1, seed: int = 0) -> None:
+    def __init__(
+        self,
+        loss: float = 0.2,
+        duplicate: float = 0.1,
+        seed: int = 0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         if not 0 <= loss < 1 or not 0 <= duplicate < 1:
             raise ValueError("loss and duplicate must be probabilities < 1")
         self.loss = loss
         self.duplicate = duplicate
-        self.rng = random.Random(seed)
+        # An injected generator lets a harness share one seeded stream
+        # across several channels; otherwise each channel derives its own
+        # from the explicit seed.
+        self.rng = rng if rng is not None else random.Random(seed)
 
     def _transmit(self, frame: Any) -> list[Any]:
         """Apply loss/duplication; returns the copies that arrive."""

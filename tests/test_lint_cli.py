@@ -1,0 +1,141 @@
+"""The lint CLI: exit codes, report formats, and the repo-wide smoke run."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lint.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def write(root: Path, rel: str, source: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+@pytest.fixture()
+def dirty_tree(tmp_path: Path) -> Path:
+    write(
+        tmp_path,
+        "clock.py",
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+    )
+    return tmp_path
+
+
+def test_exit_zero_on_clean_tree(tmp_path: Path, capsys) -> None:
+    write(tmp_path, "ok.py", "X = 1\n")
+    assert lint_main([str(tmp_path)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_exit_one_on_findings(dirty_tree: Path, capsys) -> None:
+    assert lint_main([str(dirty_tree)]) == 1
+    out = capsys.readouterr().out
+    assert "DET101" in out
+    assert "clock.py" in out
+
+
+def test_exit_two_on_missing_path(tmp_path: Path, capsys) -> None:
+    assert lint_main([str(tmp_path / "nope")]) == 2
+
+
+def test_json_report_shape(dirty_tree: Path, capsys) -> None:
+    assert lint_main([str(dirty_tree), "--format", "json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["version"] == 1
+    assert report["files_scanned"] == 1
+    assert report["counts"].get("DET101") == 1
+    (finding,) = report["findings"]
+    assert finding["file"] == "clock.py"
+    assert finding["rule"] == "DET101"
+    assert finding["severity"] == "error"
+    assert finding["line"] > 0
+
+
+def test_select_and_ignore_filters(dirty_tree: Path, capsys) -> None:
+    assert lint_main([str(dirty_tree), "--select", "MUT"]) == 0
+    assert lint_main([str(dirty_tree), "--ignore", "DET"]) == 0
+    assert lint_main([str(dirty_tree), "--select", "DET101"]) == 1
+
+
+def test_list_rules(capsys) -> None:
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("DET101", "DET104", "SCH201", "SCH204", "MUT301", "MUT302"):
+        assert rule_id in out
+
+
+def test_single_file_root(dirty_tree: Path, capsys) -> None:
+    assert lint_main([str(dirty_tree / "clock.py")]) == 1
+
+
+def test_unparseable_file_is_warned_not_silently_skipped(
+    tmp_path: Path, capsys
+) -> None:
+    write(tmp_path, "bad_syntax.py", "def broken(:\n")
+    write(tmp_path, "ok.py", "X = 1\n")
+    assert lint_main([str(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    assert "bad_syntax.py" in captured.err
+    assert "NOT checked" in captured.err
+
+
+def test_repro_cli_lint_subcommand(tmp_path: Path, capsys) -> None:
+    write(tmp_path, "ok.py", "X = 1\n")
+    assert repro_main(["lint", str(tmp_path)]) == 0
+    write(
+        tmp_path,
+        "bad.py",
+        """
+        import time
+        T = time.time()
+        """,
+    )
+    assert repro_main(["lint", str(tmp_path)]) == 1
+
+
+def test_module_invocation_on_repo_tree_is_clean() -> None:
+    """`python -m repro.lint src/repro` exits 0 on the merged tree."""
+    env = dict(os.environ, PYTHONPATH=str(SRC))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(SRC / "repro")],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
+
+
+def test_module_invocation_flags_violation_fixture(dirty_tree: Path) -> None:
+    env = dict(os.environ, PYTHONPATH=str(SRC))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(dirty_tree)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 1
+    assert "DET101" in proc.stdout

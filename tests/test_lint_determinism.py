@@ -1,0 +1,318 @@
+"""DET1xx determinism auditor: seeded violation fixtures and allowlisting."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import run_lint
+from repro.lint.findings import Allowlist, Finding
+
+
+def write(root: Path, rel: str, source: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def rules_of(result) -> set[str]:
+    return {f.rule for f in result.findings}
+
+
+def findings_for(result, rule: str) -> list[Finding]:
+    return [f for f in result.findings if f.rule == rule]
+
+
+# --------------------------------------------------------------------- DET101
+
+
+def test_wall_clock_call_fires_det101(tmp_path: Path) -> None:
+    write(
+        tmp_path,
+        "clock.py",
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+    )
+    result = run_lint(tmp_path)
+    assert "DET101" in rules_of(result)
+    (finding,) = findings_for(result, "DET101")
+    assert finding.file == "clock.py"
+    assert "time.time" in finding.message
+
+
+def test_datetime_now_fires_det101(tmp_path: Path) -> None:
+    write(
+        tmp_path,
+        "clock.py",
+        """
+        import datetime
+
+        def stamp():
+            return datetime.datetime.now()
+        """,
+    )
+    assert "DET101" in rules_of(run_lint(tmp_path))
+
+
+# --------------------------------------------------------------------- DET102
+
+
+def test_global_rng_fires_det102(tmp_path: Path) -> None:
+    write(
+        tmp_path,
+        "dice.py",
+        """
+        import random
+
+        def roll():
+            return random.random()
+        """,
+    )
+    result = run_lint(tmp_path)
+    (finding,) = findings_for(result, "DET102")
+    assert "random.random" in finding.message
+
+
+def test_unseeded_random_instance_fires_det102(tmp_path: Path) -> None:
+    write(
+        tmp_path,
+        "dice.py",
+        """
+        import random
+
+        rng = random.Random()
+        """,
+    )
+    assert "DET102" in rules_of(run_lint(tmp_path))
+
+
+def test_seeded_random_instance_is_clean(tmp_path: Path) -> None:
+    write(
+        tmp_path,
+        "dice.py",
+        """
+        import random
+
+        rng = random.Random(42)
+
+        def roll():
+            return rng.random()
+        """,
+    )
+    assert run_lint(tmp_path).ok
+
+
+def test_bare_import_of_rng_func_fires_det102(tmp_path: Path) -> None:
+    write(
+        tmp_path,
+        "dice.py",
+        """
+        from random import choice
+
+        def pick(xs):
+            return choice(xs)
+        """,
+    )
+    assert "DET102" in rules_of(run_lint(tmp_path))
+
+
+# --------------------------------------------------------------------- DET103
+
+
+def test_key_id_fires_det103(tmp_path: Path) -> None:
+    write(
+        tmp_path,
+        "order.py",
+        """
+        def stable(xs):
+            return sorted(xs, key=id)
+        """,
+    )
+    assert "DET103" in rules_of(run_lint(tmp_path))
+
+
+def test_id_comparison_fires_det103(tmp_path: Path) -> None:
+    write(
+        tmp_path,
+        "order.py",
+        """
+        def older(a, b):
+            return id(a) < id(b)
+        """,
+    )
+    assert "DET103" in rules_of(run_lint(tmp_path))
+
+
+# --------------------------------------------------------------------- DET104
+
+
+def test_set_iteration_into_send_fires_det104(tmp_path: Path) -> None:
+    write(
+        tmp_path,
+        "node.py",
+        """
+        class Node:
+            def __init__(self):
+                self.peers: set[str] = set()
+
+            def fanout(self, net):
+                for p in self.peers:
+                    net.send(p, "ping")
+        """,
+    )
+    result = run_lint(tmp_path)
+    (finding,) = findings_for(result, "DET104")
+    assert finding.file == "node.py"
+
+
+def test_sorted_set_iteration_is_clean(tmp_path: Path) -> None:
+    write(
+        tmp_path,
+        "node.py",
+        """
+        class Node:
+            def __init__(self):
+                self.peers: set[str] = set()
+
+            def fanout(self, net):
+                for p in sorted(self.peers):
+                    net.send(p, "ping")
+        """,
+    )
+    assert run_lint(tmp_path).ok
+
+
+def test_set_iteration_without_sink_is_clean(tmp_path: Path) -> None:
+    write(
+        tmp_path,
+        "node.py",
+        """
+        def total(weights: set[int]) -> int:
+            acc = 0
+            for w in weights:
+                acc += w
+            return acc
+        """,
+    )
+    assert run_lint(tmp_path).ok
+
+
+def test_comprehension_over_set_fires_det104(tmp_path: Path) -> None:
+    write(
+        tmp_path,
+        "node.py",
+        """
+        def as_list(members: set[str]) -> list[str]:
+            return [m for m in members]
+        """,
+    )
+    assert "DET104" in rules_of(run_lint(tmp_path))
+
+
+def test_local_set_alias_is_tracked(tmp_path: Path) -> None:
+    write(
+        tmp_path,
+        "node.py",
+        """
+        def fanout(net, view):
+            pending = {p for p in view}
+            for p in pending:
+                net.send(p, "ping")
+        """,
+    )
+    assert "DET104" in rules_of(run_lint(tmp_path))
+
+
+def test_nested_function_reported_once(tmp_path: Path) -> None:
+    # A loop inside a nested helper must yield exactly one finding, not one
+    # per enclosing scope.
+    write(
+        tmp_path,
+        "node.py",
+        """
+        def outer(net, view: set[str]):
+            def inner(targets: set[str]):
+                for p in targets:
+                    net.send(p, "ping")
+            return inner
+        """,
+    )
+    result = run_lint(tmp_path)
+    assert len(findings_for(result, "DET104")) == 1
+
+
+# ------------------------------------------------------------------ allowlist
+
+
+def test_inline_allow_comment_suppresses(tmp_path: Path) -> None:
+    write(
+        tmp_path,
+        "clock.py",
+        """
+        import time
+
+        def stamp():
+            return time.time()  # lint: allow[nondeterminism]
+        """,
+    )
+    assert run_lint(tmp_path).ok
+
+
+def test_standalone_allow_comment_covers_next_line(tmp_path: Path) -> None:
+    write(
+        tmp_path,
+        "clock.py",
+        """
+        import time
+
+        def stamp():
+            # lint: allow[DET101]
+            return time.time()
+        """,
+    )
+    assert run_lint(tmp_path).ok
+
+
+def test_allow_comment_is_rule_specific(tmp_path: Path) -> None:
+    # An allow for the schema family must not silence a determinism finding.
+    write(
+        tmp_path,
+        "clock.py",
+        """
+        import time
+
+        def stamp():
+            return time.time()  # lint: allow[schema]
+        """,
+    )
+    assert "DET101" in rules_of(run_lint(tmp_path))
+
+
+def test_allowlist_parsing() -> None:
+    allow = Allowlist.from_source(
+        "x = 1  # lint: allow[DET101, mutation]\n"
+        "# lint: allow[SCH204]\n"
+        "y = 2\n"
+    )
+    assert allow.permits(1, "DET101")
+    assert allow.permits(1, "MUT302")
+    assert not allow.permits(1, "SCH204")
+    assert allow.permits(3, "SCH204")
+    assert not allow.permits(2, "DET101")
+
+
+# ----------------------------------------------------------------- repo scope
+
+
+def test_repro_tree_is_clean() -> None:
+    """The shipped package must lint clean (the merge gate)."""
+    pkg_root = Path(__file__).resolve().parent.parent / "src" / "repro"
+    result = run_lint(pkg_root)
+    assert result.ok, "\n".join(
+        f"{f.file}:{f.line}: {f.rule}: {f.message}" for f in result.findings
+    )

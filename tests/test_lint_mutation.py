@@ -1,0 +1,186 @@
+"""MUT3xx two-phase mutation lint: commit-discipline fixtures."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import run_lint
+
+
+def write(root: Path, rel: str, source: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def rules_of(result) -> set[str]:
+    return {f.rule for f in result.findings}
+
+
+STATE_MODULE = """
+    from dataclasses import dataclass, field
+
+    @dataclass
+    class LocalState:
+        view: list = field(default_factory=list)
+        version: int = 0
+        mgr: object = None
+        faulty: frozenset = frozenset()
+
+        def set_mgr(self, mgr):
+            self.mgr = mgr
+"""
+
+
+def make_tree(tmp_path: Path, offender: str, rel: str = "member.py") -> Path:
+    write(tmp_path, "core/state.py", STATE_MODULE)
+    write(tmp_path, rel, offender)
+    return tmp_path
+
+
+def test_direct_field_write_fires_mut301(tmp_path: Path) -> None:
+    make_tree(
+        tmp_path,
+        """
+        class Member:
+            def takeover(self):
+                self.state.mgr = "me"
+        """,
+    )
+    result = run_lint(tmp_path)
+    mut301 = [f for f in result.findings if f.rule == "MUT301"]
+    assert len(mut301) == 1
+    assert "'mgr'" in mut301[0].message
+    assert mut301[0].file == "member.py"
+
+
+def test_write_through_local_alias_fires_mut301(tmp_path: Path) -> None:
+    make_tree(
+        tmp_path,
+        """
+        class Member:
+            def takeover(self):
+                state = self.state
+                state.version = 3
+        """,
+    )
+    assert "MUT301" in rules_of(run_lint(tmp_path))
+
+
+def test_write_through_annotated_param_fires_mut301(tmp_path: Path) -> None:
+    make_tree(
+        tmp_path,
+        """
+        from core.state import LocalState
+
+        def hijack(s: LocalState):
+            s.mgr = "me"
+        """,
+    )
+    assert "MUT301" in rules_of(run_lint(tmp_path))
+
+
+def test_item_write_fires_mut301(tmp_path: Path) -> None:
+    make_tree(
+        tmp_path,
+        """
+        class Member:
+            def swap(self):
+                self.state.view[0] = "intruder"
+        """,
+    )
+    assert "MUT301" in rules_of(run_lint(tmp_path))
+
+
+def test_mutating_call_fires_mut302(tmp_path: Path) -> None:
+    make_tree(
+        tmp_path,
+        """
+        class Member:
+            def accuse(self, target):
+                self.state.faulty.add(target)
+        """,
+    )
+    result = run_lint(tmp_path)
+    mut302 = [f for f in result.findings if f.rule == "MUT302"]
+    assert len(mut302) == 1
+    assert "'faulty'" in mut302[0].message
+
+
+def test_commit_path_modules_are_whitelisted(tmp_path: Path) -> None:
+    # The state class itself and the round modules ARE the commit path.
+    make_tree(
+        tmp_path,
+        """
+        def commit(state, op):
+            state.version = state.version + 1
+        """,
+        rel="core/rounds.py",
+    )
+    result = run_lint(tmp_path)
+    assert "MUT301" not in rules_of(result)
+
+
+def test_method_call_on_state_is_clean(tmp_path: Path) -> None:
+    # Going through the LocalState API is exactly what the rule wants.
+    make_tree(
+        tmp_path,
+        """
+        class Member:
+            def takeover(self):
+                self.state.set_mgr("me")
+        """,
+    )
+    result = run_lint(tmp_path)
+    assert "MUT301" not in rules_of(result)
+    assert "MUT302" not in rules_of(result)
+
+
+def test_unprotected_field_is_clean(tmp_path: Path) -> None:
+    make_tree(
+        tmp_path,
+        """
+        class Member:
+            def scribble(self):
+                self.state.scratch = 1
+        """,
+    )
+    assert run_lint(tmp_path).ok
+
+
+def test_non_state_object_is_clean(tmp_path: Path) -> None:
+    make_tree(
+        tmp_path,
+        """
+        class Member:
+            def tune(self):
+                self.config.version = 2
+        """,
+    )
+    assert run_lint(tmp_path).ok
+
+
+def test_allow_comment_suppresses_mut301(tmp_path: Path) -> None:
+    make_tree(
+        tmp_path,
+        """
+        class Member:
+            def takeover(self):
+                self.state.mgr = "me"  # lint: allow[mutation]
+        """,
+    )
+    assert run_lint(tmp_path).ok
+
+
+def test_tuple_unpack_write_fires_mut301(tmp_path: Path) -> None:
+    make_tree(
+        tmp_path,
+        """
+        class Member:
+            def shuffle(self):
+                other, self.state.mgr = 1, "me"
+        """,
+    )
+    assert "MUT301" in rules_of(run_lint(tmp_path))

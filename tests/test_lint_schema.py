@@ -1,0 +1,218 @@
+"""SCH2xx message-schema cross-checker: registry drift fixtures."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import run_lint
+
+
+def write(root: Path, rel: str, source: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def rules_of(result) -> set[str]:
+    return {f.rule for f in result.findings}
+
+
+def make_protocol(
+    tmp_path: Path,
+    messages: str,
+    codec: str | None = None,
+    handler: str | None = None,
+) -> Path:
+    write(tmp_path, "core/messages.py", messages)
+    if codec is not None:
+        write(tmp_path, "codec.py", codec)
+    if handler is not None:
+        write(tmp_path, "handler.py", handler)
+    return tmp_path
+
+
+CLEAN_MESSAGES = """
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class Ping:
+        nonce: int
+
+    @dataclass(frozen=True)
+    class Pong:
+        nonce: int
+"""
+
+CLEAN_CODEC = """
+    from core.messages import Ping, Pong
+
+    _ENCODERS = {Ping: None, Pong: None}
+    _DECODERS = {"Ping": None, "Pong": None}
+"""
+
+CLEAN_HANDLER = """
+    from core.messages import Ping, Pong
+
+    def on_message(self, sender, payload):
+        if isinstance(payload, Ping):
+            self.send(sender, Pong(payload.nonce))
+        elif isinstance(payload, Pong):
+            pass
+"""
+
+
+def test_consistent_registry_is_clean(tmp_path: Path) -> None:
+    make_protocol(tmp_path, CLEAN_MESSAGES, CLEAN_CODEC, CLEAN_HANDLER)
+    result = run_lint(tmp_path)
+    assert result.ok, [f.message for f in result.findings]
+
+
+def test_unencoded_message_fires_sch201(tmp_path: Path) -> None:
+    messages = textwrap.dedent(CLEAN_MESSAGES) + textwrap.dedent(
+        """
+        @dataclass(frozen=True)
+        class Orphan:
+            data: int
+        """
+    )
+    make_protocol(tmp_path, messages, CLEAN_CODEC, CLEAN_HANDLER)
+    result = run_lint(tmp_path)
+    assert "SCH201" in rules_of(result)
+    # An unencoded and undispatched type also fires the handler check.
+    assert "SCH203" in rules_of(result)
+    messages_findings = [f for f in result.findings if f.rule == "SCH201"]
+    assert all(f.file == "core/messages.py" for f in messages_findings)
+
+
+def test_codec_table_mismatch_fires_sch202(tmp_path: Path) -> None:
+    codec = """
+        from core.messages import Ping, Pong
+
+        _ENCODERS = {Ping: None, Pong: None}
+        _DECODERS = {"Ping": None}
+    """
+    make_protocol(tmp_path, CLEAN_MESSAGES, codec, CLEAN_HANDLER)
+    result = run_lint(tmp_path)
+    sch202 = [f for f in result.findings if f.rule == "SCH202"]
+    assert len(sch202) == 1
+    assert "Pong" in sch202[0].message
+
+
+def test_decoder_without_encoder_fires_sch202(tmp_path: Path) -> None:
+    codec = """
+        from core.messages import Ping, Pong
+
+        _ENCODERS = {Ping: None, Pong: None}
+        _DECODERS = {"Ping": None, "Pong": None, "Ghost": None}
+    """
+    make_protocol(tmp_path, CLEAN_MESSAGES, codec, CLEAN_HANDLER)
+    result = run_lint(tmp_path)
+    sch202 = [f for f in result.findings if f.rule == "SCH202"]
+    assert len(sch202) == 1
+    assert "Ghost" in sch202[0].message
+
+
+def test_unhandled_message_fires_sch203(tmp_path: Path) -> None:
+    handler = """
+        from core.messages import Ping
+
+        def on_message(self, sender, payload):
+            if isinstance(payload, Ping):
+                pass
+    """
+    make_protocol(tmp_path, CLEAN_MESSAGES, CLEAN_CODEC, handler)
+    result = run_lint(tmp_path)
+    sch203 = [f for f in result.findings if f.rule == "SCH203"]
+    assert len(sch203) == 1
+    assert "Pong" in sch203[0].message
+
+
+def test_types_tuple_counts_as_dispatch(tmp_path: Path) -> None:
+    handler = """
+        from core.messages import Ping, Pong
+
+        WIRE_TYPES = (Ping, Pong)
+
+        def on_message(self, sender, payload):
+            if isinstance(payload, WIRE_TYPES):
+                pass
+    """
+    make_protocol(tmp_path, CLEAN_MESSAGES, CLEAN_CODEC, handler)
+    result = run_lint(tmp_path)
+    assert "SCH203" not in rules_of(result)
+
+
+def test_component_types_are_not_wire_messages(tmp_path: Path) -> None:
+    # A dataclass referenced inside another message's fields travels inside
+    # frames, never as a payload; it needs no codec entry or handler.
+    messages = """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Op:
+            kind: str
+
+        @dataclass(frozen=True)
+        class Ping:
+            op: Op
+    """
+    codec = """
+        from core.messages import Ping
+
+        _ENCODERS = {Ping: None}
+        _DECODERS = {"Ping": None}
+    """
+    handler = """
+        from core.messages import Ping
+
+        def on_message(self, sender, payload):
+            if isinstance(payload, Ping):
+                pass
+    """
+    make_protocol(tmp_path, messages, codec, handler)
+    result = run_lint(tmp_path)
+    assert result.ok, [f.message for f in result.findings]
+
+
+def test_unregistered_send_fires_sch204(tmp_path: Path) -> None:
+    handler = textwrap.dedent(CLEAN_HANDLER) + textwrap.dedent(
+        """
+        class Rogue:
+            def probe(self, target):
+                self.send(target, Mystery(1))
+        """
+    )
+    make_protocol(tmp_path, CLEAN_MESSAGES, CLEAN_CODEC, handler)
+    result = run_lint(tmp_path)
+    sch204 = [f for f in result.findings if f.rule == "SCH204"]
+    assert len(sch204) == 1
+    assert "Mystery" in sch204[0].message
+    assert sch204[0].file == "handler.py"
+
+
+def test_sch204_allowlisted_send_is_clean(tmp_path: Path) -> None:
+    handler = textwrap.dedent(CLEAN_HANDLER) + textwrap.dedent(
+        """
+        class Rogue:
+            def probe(self, target):
+                self.send(target, Mystery(1))  # lint: allow[schema]
+        """
+    )
+    make_protocol(tmp_path, CLEAN_MESSAGES, CLEAN_CODEC, handler)
+    assert "SCH204" not in rules_of(run_lint(tmp_path))
+
+
+def test_no_messages_module_skips_schema_pass(tmp_path: Path) -> None:
+    # A tree without core/messages.py has no registries to cross-check.
+    write(
+        tmp_path,
+        "lonely.py",
+        """
+        def probe(self, target):
+            self.send(target, Mystery(1))
+        """,
+    )
+    result = run_lint(tmp_path)
+    assert "SCH204" not in rules_of(result)
