@@ -15,30 +15,10 @@ from __future__ import annotations
 
 from repro.core.service import MembershipCluster
 from repro.properties import check_gmp, format_report
-from repro.sim.network import FixedDelay
-
-
-def single_failure_run(
-    n: int, seed: int = 0, member_class=None, victim: str | None = None
-) -> MembershipCluster:
-    """One crash of a junior member in a group of size n, fixed delays."""
-    kwargs = {} if member_class is None else {"member_class": member_class}
-    cluster = MembershipCluster.of_size(
-        n, seed=seed, delay_model=FixedDelay(1.0), **kwargs
-    )
-    cluster.start()
-    cluster.crash(victim or f"p{n - 1}", at=5.0)
-    cluster.settle()
-    return cluster
-
-
-def coordinator_failure_run(n: int, seed: int = 0) -> MembershipCluster:
-    """Crash the coordinator: one full reconfiguration."""
-    cluster = MembershipCluster.of_size(n, seed=seed, delay_model=FixedDelay(1.0))
-    cluster.start()
-    cluster.crash("p0", at=5.0)
-    cluster.settle()
-    return cluster
+from repro.workloads.failures import (  # noqa: F401  (re-exported to benchmarks)
+    coordinator_failure_run,
+    single_failure_run,
+)
 
 
 def assert_safe(cluster: MembershipCluster, liveness: bool = False) -> None:

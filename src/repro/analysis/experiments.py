@@ -4,20 +4,30 @@ The benchmark suite (``pytest benchmarks/ --benchmark-only``) runs every
 experiment with timing; this module re-derives the *numbers* quickly and
 without pytest, for the ``python -m repro report`` command and for anyone
 embedding the reproduction in a notebook.
+
+Every table cell is an independent deterministic simulation, so the
+tables are built as a flat job matrix handed to the
+:mod:`repro.runner` worker pool (``workers`` > 1 shards the cells across
+processes; results come back in matrix order, so the rendered table is
+byte-identical at any worker count) and, optionally, memoised through a
+:class:`repro.runner.cache.ScenarioCache` (keyed on the scenario
+parameters plus a fingerprint of the protocol source, so a re-run after
+an unrelated edit skips the simulations entirely).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
 
 from repro.analysis.complexity import (
     compressed_update_messages,
     reconfiguration_messages,
     two_phase_update_messages,
 )
-from repro.analysis.messages import breakdown
-from repro.core.service import MembershipCluster
-from repro.sim.network import FixedDelay
+from repro.runner.cache import ScenarioCache
+from repro.runner.pool import ScenarioJob, run_jobs
+from repro.workloads.failures import double_failure_messages, single_failure_messages
 
 __all__ = ["ExperimentTable", "best_case_table", "baseline_table", "report"]
 
@@ -44,35 +54,65 @@ class ExperimentTable:
         return "\n".join(lines)
 
 
-def _single_failure(n: int, member_class=None, victim: str | None = None) -> int:
-    kwargs = {} if member_class is None else {"member_class": member_class}
-    cluster = MembershipCluster.of_size(n, seed=0, delay_model=FixedDelay(1.0), **kwargs)
-    cluster.start()
-    cluster.crash(victim or f"p{n - 1}", at=5.0)
-    cluster.settle()
-    return breakdown(cluster.trace).algorithm
+def _gather(
+    specs: list[tuple[str, Callable[..., int], dict[str, Any]]],
+    workers: Optional[int],
+    cache: Optional[ScenarioCache],
+) -> list[int]:
+    """Resolve a scenario matrix: cache hits first, the pool for the rest.
+
+    ``specs`` is an ordered list of ``(name, fn, params)``; the returned
+    values are in the same order regardless of worker count, which is what
+    keeps the rendered tables byte-identical serial vs parallel.
+    """
+    values: list[Optional[int]] = [None] * len(specs)
+    misses: list[int] = []
+    for index, (name, _fn, params) in enumerate(specs):
+        hit = cache.get(name, params) if cache is not None else None
+        if hit is not None:
+            values[index] = hit
+        else:
+            misses.append(index)
+    jobs = [
+        ScenarioJob(fn=specs[index][1], kwargs=specs[index][2], label=specs[index][0])
+        for index in misses
+    ]
+    for index, value in zip(misses, run_jobs(jobs, workers=workers)):
+        values[index] = value
+        if cache is not None:
+            name, _fn, params = specs[index]
+            cache.put(name, params, value)
+    return values  # type: ignore[return-value]
 
 
-def _double_failure(n: int) -> int:
-    cluster = MembershipCluster.of_size(n, seed=0, delay_model=FixedDelay(1.0))
-    cluster.start()
-    cluster.crash(f"p{n - 1}", at=5.0)
-    cluster.crash(f"p{n - 2}", at=5.1)
-    cluster.settle()
-    return breakdown(cluster.trace).algorithm
-
-
-def best_case_table(sizes: list[int] | None = None) -> ExperimentTable:
+def best_case_table(
+    sizes: list[int] | None = None,
+    workers: Optional[int] = None,
+    cache: Optional[ScenarioCache] = None,
+) -> ExperimentTable:
     """E1/E2/E3: the three §7.2 best cases, paper vs measured."""
     sizes = sizes or [4, 6, 8, 12, 16]
+    specs: list[tuple[str, Callable[..., int], dict[str, Any]]] = []
+    for n in sizes:
+        specs.append(("single-failure", single_failure_messages, {"n": n, "seed": 0}))
+        if n >= 6:
+            specs.append(("double-failure", double_failure_messages, {"n": n, "seed": 0}))
+        specs.append(
+            (
+                "coordinator-failure",
+                single_failure_messages,
+                {"n": n, "seed": 0, "victim": "p0"},
+            )
+        )
+    values = iter(_gather(specs, workers, cache))
     table = ExperimentTable(
         title="§7.2 best cases — paper bound vs measured protocol messages",
         header=["n", "3n-5", "meas", "2n-3", "meas", "5n-9", "meas"],
     )
     for n in sizes:
-        one = _single_failure(n)
-        compressed = str(_double_failure(n) - one) if n >= 6 else "-"
-        reconfig = _single_failure(n, victim="p0")
+        one = next(values)
+        compressed = str(next(values) - one) if n >= 6 else "-"
+        reconfig = next(values)
         table.rows.append(
             [
                 str(n),
@@ -87,19 +127,41 @@ def best_case_table(sizes: list[int] | None = None) -> ExperimentTable:
     return table
 
 
-def baseline_table(sizes: list[int] | None = None) -> ExperimentTable:
+def baseline_table(
+    sizes: list[int] | None = None,
+    workers: Optional[int] = None,
+    cache: Optional[ScenarioCache] = None,
+) -> ExperimentTable:
     """E9: one exclusion, GMP vs the related protocols."""
     from repro.baselines import AbcastMember, SymmetricMember
 
     sizes = sizes or [6, 12, 16, 24]
+    specs: list[tuple[str, Callable[..., int], dict[str, Any]]] = []
+    for n in sizes:
+        specs.append(("single-failure", single_failure_messages, {"n": n, "seed": 0}))
+        specs.append(
+            (
+                "single-failure-symmetric",
+                single_failure_messages,
+                {"n": n, "seed": 0, "member_class": SymmetricMember},
+            )
+        )
+        specs.append(
+            (
+                "single-failure-abcast",
+                single_failure_messages,
+                {"n": n, "seed": 0, "member_class": AbcastMember},
+            )
+        )
+    values = iter(_gather(specs, workers, cache))
     table = ExperimentTable(
         title="E9 — one exclusion: GMP vs symmetric (Bruso) vs abcast (Moser)",
         header=["n", "GMP", "symmetric", "", "abcast", ""],
     )
     for n in sizes:
-        ours = _single_failure(n)
-        symmetric = _single_failure(n, member_class=SymmetricMember)
-        abcast = _single_failure(n, member_class=AbcastMember)
+        ours = next(values)
+        symmetric = next(values)
+        abcast = next(values)
         table.rows.append(
             [
                 str(n),
@@ -113,12 +175,14 @@ def baseline_table(sizes: list[int] | None = None) -> ExperimentTable:
     return table
 
 
-def report() -> str:
+def report(
+    workers: Optional[int] = None, cache: Optional[ScenarioCache] = None
+) -> str:
     """Render the quick report (used by ``python -m repro report``)."""
     parts = [
-        best_case_table().render(),
+        best_case_table(workers=workers, cache=cache).render(),
         "",
-        baseline_table().render(),
+        baseline_table(workers=workers, cache=cache).render(),
         "",
         "Full experiment suite: pytest benchmarks/ --benchmark-only",
         "Recorded results and deviations: EXPERIMENTS.md",

@@ -10,6 +10,8 @@ Commands:
 * ``sweep`` — print the §7.2 message-complexity table (paper vs measured);
 * ``check`` — run a randomized storm at a given seed and report the GMP
   verdict (useful for quick fuzzing from the shell);
+* ``bench`` — run the timed scenario matrix and the explorer engine
+  comparison, writing machine-readable ``BENCH_results.json``;
 * ``lint`` — run the protocol-aware static analysis suite
   (see ``docs/LINTING.md``); extra arguments are forwarded to
   ``repro.lint`` (e.g. ``repro lint --format json``).
@@ -148,6 +150,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         crash_names=args.crash or [],
         spurious=[tuple(s.split(":", 1)) for s in (args.spurious or [])],
         max_states=args.max_states,
+        engine=args.engine,
+        workers=args.workers,
     )
     print(
         f"explored {result.states} states, {result.terminals} terminal "
@@ -167,8 +171,22 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.experiments import report
+    from repro.runner.cache import ScenarioCache
 
-    print(report())
+    cache = ScenarioCache(root=args.cache) if args.cache is not None else None
+    print(report(workers=args.workers, cache=cache))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runner.bench import run_bench, summarize
+
+    out = run_bench(quick=args.quick, workers=args.workers, out_dir=args.out)
+    payload = json.loads(out.read_text())
+    print(summarize(payload))
+    print(f"\nwrote {out}")
     return 0
 
 
@@ -230,12 +248,50 @@ def main(argv: list[str] | None = None) -> int:
         help="spurious suspicion that may fire",
     )
     explore.add_argument("--max-states", type=int, default=200_000)
+    explore.add_argument(
+        "--engine",
+        choices=["snapshot", "deepcopy"],
+        default="snapshot",
+        help="snapshot = pickle forking + state dedup; deepcopy = baseline",
+    )
+    explore.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard independent subtrees across this many processes",
+    )
     explore.set_defaults(func=_cmd_explore)
 
     report = sub.add_parser(
         "report", help="regenerate the headline paper-vs-measured tables"
     )
+    report.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run the scenario matrix across this many processes",
+    )
+    report.add_argument(
+        "--cache",
+        nargs="?",
+        const=".repro-cache",
+        default=None,
+        metavar="DIR",
+        help="reuse cached scenario results (invalidated on source change)",
+    )
     report.set_defaults(func=_cmd_report)
+
+    bench = sub.add_parser(
+        "bench", help="timed scenario matrix + explorer engine comparison"
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="small matrix for CI smoke runs"
+    )
+    bench.add_argument("--workers", type=int, default=None)
+    bench.add_argument(
+        "--out", default=".", metavar="DIR", help="where to write BENCH_results.json"
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     lint = sub.add_parser(
         "lint", help="protocol-aware static analysis (determinism, schema, mutation)"

@@ -54,6 +54,7 @@ DEFAULT_DETERMINISM_SCOPE: tuple[str, ...] = (
     "transport",
     "detectors",
     "aio",
+    "runner",
 )
 
 _WALL_CLOCK_CHAINS = {

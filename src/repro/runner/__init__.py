@@ -1,0 +1,31 @@
+"""Parallel execution engine for the reproduction harness.
+
+Three pieces, composed by the heavy consumers (experiment tables, the
+schedule explorer, ``python -m repro bench``):
+
+* :mod:`repro.runner.pool` — a multiprocessing worker pool that shards any
+  matrix of ``(scenario fn, params, seed)`` jobs across cores with
+  deterministic result ordering;
+* :mod:`repro.runner.cache` — an on-disk content-addressed cache keyed on
+  scenario parameters plus a fingerprint of the protocol/simulator source,
+  so unchanged scenarios are never re-simulated;
+* :mod:`repro.runner.bench` — the benchmark driver behind
+  ``python -m repro bench``, emitting machine-readable ``BENCH_*.json``.
+
+``bench`` is not imported here: it pulls in the explorer and the analysis
+tables, and the pool/cache surface must stay importable from worker
+processes without that weight.
+"""
+
+from repro.runner.cache import ScenarioCache, default_cache_dir, source_fingerprint
+from repro.runner.pool import ScenarioJob, default_workers, parallel_map, run_jobs
+
+__all__ = [
+    "ScenarioJob",
+    "run_jobs",
+    "parallel_map",
+    "default_workers",
+    "ScenarioCache",
+    "source_fingerprint",
+    "default_cache_dir",
+]

@@ -1,0 +1,199 @@
+"""The benchmark driver behind ``python -m repro bench``.
+
+Runs three families of measurements and writes one machine-readable
+``BENCH_results.json``:
+
+* **scenarios** — the §7.2/E9 scenario matrix (single/double/coordinator
+  failure at several group sizes), each cell timed and its protocol
+  message count recorded; the matrix shards across the
+  :mod:`repro.runner.pool` worker pool.
+* **explorer** — the Figure 4 concurrent-reconfigurer scenario run under
+  both exploration engines (``deepcopy`` baseline vs ``snapshot`` with
+  fingerprint dedup).  The comparable rate is **tree states covered per
+  second**: both engines account for the same schedule tree, the snapshot
+  engine just doesn't re-execute converged subtrees.
+* **dedup** — a symmetric 5-process double-suspicion scenario whose
+  schedule tree is astronomically larger than its state *graph*,
+  demonstrating the fingerprint DAG reduction (``states`` vs
+  ``tree_states``).
+
+``--quick`` shrinks the scenario matrix for CI smoke runs; the explorer
+comparison always runs (it is the headline claim and takes seconds).
+
+Wall-clock reads in this module are the measurement itself, so they carry
+``# lint: allow[DET101]`` — nothing here feeds back into simulations.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.runner.pool import ScenarioJob, default_workers, run_jobs
+from repro.workloads.failures import (
+    double_failure_messages,
+    single_failure_messages,
+)
+
+__all__ = ["run_bench", "BENCH_FILENAME"]
+
+BENCH_FILENAME = "BENCH_results.json"
+
+_QUICK_SIZES = [4, 6]
+_FULL_SIZES = [4, 6, 8, 12, 16]
+
+#: the Figure 4 family: coordinator and an outer member suspect each other.
+_FIGURE4_PARAMS: dict[str, Any] = {
+    "n": 3,
+    "spurious": [("p1", "p0"), ("p0", "p1")],
+}
+
+#: two outer members race to suspect the same victim in a 5-process group:
+#: hugely symmetric, so the schedule tree dwarfs the state graph.
+_DEDUP_PARAMS: dict[str, Any] = {
+    "n": 5,
+    "spurious": [("p1", "p4"), ("p2", "p4")],
+}
+
+
+def _timed_call(fn, params: dict[str, Any]) -> dict[str, Any]:
+    """Run one scenario in a worker, timing it (top-level: picklable)."""
+    start = time.perf_counter()  # lint: allow[DET101]
+    value = fn(**params)
+    wall = time.perf_counter() - start  # lint: allow[DET101]
+    return {"wall_s": wall, "messages": value}
+
+
+def _scenario_matrix(sizes: list[int]) -> list[tuple[str, Any, dict[str, Any]]]:
+    specs: list[tuple[str, Any, dict[str, Any]]] = []
+    for n in sizes:
+        specs.append(("single-failure", single_failure_messages, {"n": n, "seed": 0}))
+        if n >= 6:
+            specs.append(
+                ("double-failure", double_failure_messages, {"n": n, "seed": 0})
+            )
+        specs.append(
+            (
+                "coordinator-failure",
+                single_failure_messages,
+                {"n": n, "seed": 0, "victim": "p0"},
+            )
+        )
+    return specs
+
+
+def _bench_scenarios(
+    sizes: list[int], workers: Optional[int]
+) -> list[dict[str, Any]]:
+    specs = _scenario_matrix(sizes)
+    jobs = [
+        ScenarioJob(fn=_timed_call, kwargs={"fn": fn, "params": params}, label=name)
+        for name, fn, params in specs
+    ]
+    results = run_jobs(jobs, workers=workers)
+    return [
+        {"name": name, "params": params, **measured}
+        for (name, _fn, params), measured in zip(specs, results)
+    ]
+
+
+def _bench_explorer_engine(engine: str, params: dict[str, Any]) -> dict[str, Any]:
+    from repro.verify.explore import explore_membership
+
+    start = time.perf_counter()  # lint: allow[DET101]
+    result = explore_membership(engine=engine, **params)
+    wall = time.perf_counter() - start  # lint: allow[DET101]
+    return {
+        "wall_s": wall,
+        "states": result.states,
+        "tree_states": result.tree_states,
+        "terminals": result.terminals,
+        "complete": result.complete,
+        "ok": result.ok,
+        "tree_states_per_sec": result.tree_states / wall if wall > 0 else 0.0,
+    }
+
+
+def _bench_explorer() -> dict[str, Any]:
+    engines = {
+        "deepcopy": _bench_explorer_engine("deepcopy", _FIGURE4_PARAMS),
+        "snapshot": _bench_explorer_engine("snapshot", _FIGURE4_PARAMS),
+    }
+    baseline = engines["deepcopy"]["tree_states_per_sec"]
+    optimised = engines["snapshot"]["tree_states_per_sec"]
+    return {
+        "scenario": "figure4-concurrent-reconfigurers",
+        "params": _FIGURE4_PARAMS,
+        "engines": engines,
+        "speedup_tree_states_per_sec": optimised / baseline if baseline else 0.0,
+    }
+
+
+def _bench_dedup() -> dict[str, Any]:
+    measured = _bench_explorer_engine("snapshot", _DEDUP_PARAMS)
+    states = measured["states"]
+    return {
+        "scenario": "symmetric-double-suspicion",
+        "params": _DEDUP_PARAMS,
+        **measured,
+        "state_reduction_factor": measured["tree_states"] / states if states else 0.0,
+    }
+
+
+def run_bench(
+    quick: bool = False,
+    workers: Optional[int] = None,
+    out_dir: str | Path = ".",
+) -> Path:
+    """Run the full bench suite and write ``BENCH_results.json``.
+
+    Returns the path of the written file.
+    """
+    resolved_workers = workers if workers is not None else default_workers()
+    payload: dict[str, Any] = {
+        "schema": "repro-bench/1",
+        "quick": quick,
+        "workers": resolved_workers,
+        "scenarios": _bench_scenarios(
+            _QUICK_SIZES if quick else _FULL_SIZES, workers
+        ),
+        "explorer": _bench_explorer(),
+        "dedup": _bench_dedup(),
+    }
+    out = Path(out_dir) / BENCH_FILENAME
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def summarize(payload: dict[str, Any]) -> str:
+    """Human-readable digest of a bench payload (printed by the CLI)."""
+    lines = [f"scenarios ({len(payload['scenarios'])} cells):"]
+    for cell in payload["scenarios"]:
+        params = cell["params"]
+        extras = {k: v for k, v in params.items() if k not in ("n", "seed")}
+        suffix = f" {extras}" if extras else ""
+        lines.append(
+            f"  {cell['name']:<22} n={params['n']:<3}{suffix} "
+            f"{cell['messages']:>5} msgs  {cell['wall_s'] * 1000:7.1f} ms"
+        )
+    explorer = payload["explorer"]
+    lines.append(f"explorer ({explorer['scenario']}):")
+    for engine, row in sorted(explorer["engines"].items()):
+        lines.append(
+            f"  {engine:<9} {row['tree_states']:>9} tree states in "
+            f"{row['wall_s']:6.2f}s  ({row['tree_states_per_sec']:>9.0f}/s)"
+        )
+    lines.append(
+        f"  speedup: {explorer['speedup_tree_states_per_sec']:.1f}x "
+        "tree states covered per second"
+    )
+    dedup = payload["dedup"]
+    lines.append(
+        f"dedup ({dedup['scenario']}): {dedup['tree_states']} tree states "
+        f"as {dedup['states']} unique expansions "
+        f"({dedup['state_reduction_factor']:.0f}x reduction)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""On-disk content-addressed cache for scenario results.
+
+``python -m repro report`` and ``python -m repro bench`` re-run the same
+deterministic scenarios over and over.  A scenario's result is fully
+determined by three things: the scenario name, its parameters (including
+the seed), and the protocol/simulator source it ran against.  The cache
+keys on exactly that triple:
+
+    key = sha256(name + canonical-JSON(params) + source_fingerprint)
+
+where :func:`source_fingerprint` hashes every file under
+``src/repro/core`` and ``src/repro/sim`` (sorted by relative path, so the
+digest is stable across filesystems).  Touch any protocol or simulator
+source line and every cached entry silently misses — no staleness, no
+manual invalidation.
+
+Values must be JSON-serialisable (the tables cache message *counts*, not
+cluster objects).  Each entry is one small JSON file under the cache root
+(``REPRO_CACHE_DIR`` env var, else ``.repro-cache/`` in the working
+directory), so the cache is trivially inspectable and `rm -rf`-able.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+__all__ = ["ScenarioCache", "source_fingerprint", "default_cache_dir"]
+
+#: Packages whose source determines scenario outcomes.  verify/ and
+#: analysis/ consume results but do not change what a scenario *does*.
+_FINGERPRINT_PACKAGES = ("core", "sim")
+
+_MISS = object()
+
+
+def _package_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def source_fingerprint(extra_files: Iterable[Path] = ()) -> str:
+    """SHA-256 over the protocol + simulator source tree.
+
+    Hashes ``(relative path, file bytes)`` pairs in sorted-path order so
+    the digest depends only on content, never on directory enumeration
+    order.  ``extra_files`` lets tests fold additional files in to prove
+    that a content change flips the digest.
+    """
+    root = _package_root()
+    digest = hashlib.sha256()
+    paths: list[Path] = []
+    for package in _FINGERPRINT_PACKAGES:
+        paths.extend((root / package).rglob("*.py"))
+    paths.extend(Path(p) for p in extra_files)
+    for path in sorted(paths, key=lambda p: str(p.relative_to(root) if p.is_relative_to(root) else p)):
+        rel = path.relative_to(root) if path.is_relative_to(root) else path
+        digest.update(str(rel).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path(".repro-cache")
+
+
+class ScenarioCache:
+    """Content-addressed store mapping (name, params, source) -> JSON value.
+
+    The source fingerprint is computed once per cache instance (hashing the
+    tree costs a few ms; doing it per lookup would dominate small runs).
+    Pass ``fingerprint`` explicitly to pin or fake it in tests.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Path] = None,
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.fingerprint = fingerprint if fingerprint is not None else source_fingerprint()
+
+    def _key(self, name: str, params: dict[str, Any]) -> str:
+        payload = json.dumps(
+            {"name": name, "params": params, "fingerprint": self.fingerprint},
+            sort_keys=True,
+            separators=(",", ":"),
+            default=str,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, name: str, params: dict[str, Any]) -> Path:
+        return self.root / f"{self._key(name, params)}.json"
+
+    def get(self, name: str, params: dict[str, Any], default: Any = None) -> Any:
+        """Cached value, or ``default`` on miss/corruption."""
+        path = self._path(name, params)
+        try:
+            with path.open() as handle:
+                return json.load(handle)["value"]
+        except (OSError, ValueError, KeyError):
+            return default
+
+    def put(self, name: str, params: dict[str, Any], value: Any) -> None:
+        """Store a JSON-serialisable value (atomic rename, safe under races)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(name, params)
+        entry = {
+            "name": name,
+            "params": params,
+            "fingerprint": self.fingerprint,
+            "value": value,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(entry, sort_keys=True, default=str, indent=1))
+        tmp.replace(path)
+
+    def get_or_compute(self, name: str, params: dict[str, Any], compute) -> Any:
+        """Return the cached value, computing and storing it on a miss."""
+        value = self.get(name, params, default=_MISS)
+        if value is not _MISS:
+            return value
+        value = compute()
+        self.put(name, params, value)
+        return value

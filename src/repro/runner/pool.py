@@ -1,0 +1,126 @@
+"""Parallel scenario fan-out: shard independent jobs across cores.
+
+Every heavy consumer in this repository — the §7.2/E9 experiment tables,
+the benchmark harness, the schedule explorer — runs many *independent,
+deterministic* simulations.  :func:`run_jobs` shards any matrix of
+``(scenario fn, params, seed)`` jobs across a multiprocessing pool while
+guaranteeing **deterministic result ordering**: results come back in job
+submission order regardless of worker count or completion order, so a
+parallel run is byte-identical to a serial one.
+
+Design constraints:
+
+* jobs must be *picklable*: top-level functions with picklable arguments
+  (see :mod:`repro.workloads.failures` for the canonical scenario fns);
+* ``workers=0``/``workers=1`` (or a single job) short-circuits to an
+  in-process serial loop — no pool, no pickling, easiest to debug;
+* a failing job raises in the parent with the original traceback chained,
+  never silently drops a result;
+* worker processes run simulations only — they never nest another pool.
+
+The default worker count comes from ``REPRO_WORKERS`` (environment) or
+``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from multiprocessing import get_all_start_methods, get_context
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+__all__ = ["ScenarioJob", "run_jobs", "parallel_map", "default_workers"]
+
+
+@dataclass(frozen=True)
+class ScenarioJob:
+    """One cell of a scenario matrix: a callable plus its parameters.
+
+    ``seed`` is kept as an explicit field (rather than folded into
+    ``kwargs``) because it is the replay handle: the cache and the bench
+    report both key on it.  ``None`` means the scenario takes no seed.
+    """
+
+    fn: Callable[..., Any]
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+    label: str = ""
+
+    def call(self) -> Any:
+        kwargs = dict(self.kwargs)
+        if self.seed is not None:
+            kwargs["seed"] = self.seed
+        return self.fn(**kwargs)
+
+
+def default_workers() -> int:
+    """Worker count: ``REPRO_WORKERS`` env var, else ``os.cpu_count()``."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def _invoke(job: ScenarioJob) -> Any:
+    """Module-level trampoline so jobs pickle under any start method."""
+    return job.call()
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits the loaded package); fall back to spawn."""
+    if "fork" in get_all_start_methods():
+        return get_context("fork")
+    return get_context("spawn")
+
+
+def run_jobs(
+    jobs: Sequence[ScenarioJob],
+    workers: Optional[int] = None,
+    chunksize: int = 1,
+) -> list[Any]:
+    """Run every job, returning results in job order.
+
+    Args:
+        jobs: the scenario matrix, in the order results are wanted.
+        workers: process count; ``None`` = :func:`default_workers`,
+            ``<= 1`` = serial in-process execution.
+        chunksize: jobs handed to a worker per dispatch; 1 gives the best
+            load balance for uneven job sizes (the default matters for
+            tables whose largest-n cells dominate).
+    """
+    jobs = list(jobs)
+    if workers is None:
+        workers = default_workers()
+    if workers <= 1 or len(jobs) <= 1:
+        return [job.call() for job in jobs]
+    ctx = _pool_context()
+    processes = min(workers, len(jobs))
+    with ctx.Pool(processes=processes) as pool:
+        # Pool.map preserves submission order: deterministic by construction.
+        return pool.map(_invoke, jobs, chunksize=chunksize)
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    workers: Optional[int] = None,
+    chunksize: int = 1,
+) -> list[Any]:
+    """Order-preserving parallel map over picklable items.
+
+    A thin convenience over :func:`run_jobs` for callers that already have
+    a single top-level function of one argument (the explorer's subtree
+    shards use this).
+    """
+    item_list = list(items)
+    if workers is None:
+        workers = default_workers()
+    if workers <= 1 or len(item_list) <= 1:
+        return [fn(item) for item in item_list]
+    ctx = _pool_context()
+    processes = min(workers, len(item_list))
+    with ctx.Pool(processes=processes) as pool:
+        return pool.map(fn, item_list, chunksize=chunksize)

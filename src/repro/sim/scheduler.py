@@ -24,19 +24,27 @@ class _Entry:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: set once the callback has run (a late cancel() must not double-count).
+    finished: bool = field(default=False, compare=False)
 
 
 class Timer:
     """A cancellable handle on a scheduled callback."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_scheduler")
 
-    def __init__(self, entry: _Entry) -> None:
+    def __init__(self, entry: _Entry, scheduler: "Scheduler") -> None:
         self._entry = entry
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
         """Prevent the callback from running (idempotent)."""
-        self._entry.cancelled = True
+        entry = self._entry
+        if entry.cancelled:
+            return
+        entry.cancelled = True
+        if not entry.finished:
+            self._scheduler._live -= 1
 
     @property
     def cancelled(self) -> bool:
@@ -59,6 +67,9 @@ class Scheduler:
         self._heap: list[_Entry] = []
         self._seq = itertools.count()
         self._events_run = 0
+        #: count of scheduled-but-not-yet-run, not-cancelled entries, so
+        #: :meth:`pending` is O(1) rather than an O(n) heap scan.
+        self._live = 0
 
     @property
     def events_run(self) -> int:
@@ -71,7 +82,8 @@ class Scheduler:
             raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
         entry = _Entry(time, next(self._seq), callback)
         heapq.heappush(self._heap, entry)
-        return Timer(entry)
+        self._live += 1
+        return Timer(entry, self)
 
     def after(self, delay: float, callback: Callable[[], None]) -> Timer:
         """Schedule ``callback`` ``delay`` time units from now."""
@@ -80,8 +92,8 @@ class Scheduler:
         return self.at(self.now + delay, callback)
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled scheduled callbacks."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled scheduled callbacks (O(1))."""
+        return self._live
 
     def step(self) -> bool:
         """Run the next event.  Returns False when the queue is empty."""
@@ -89,6 +101,8 @@ class Scheduler:
             entry = heapq.heappop(self._heap)
             if entry.cancelled:
                 continue
+            entry.finished = True
+            self._live -= 1
             self.now = entry.time
             self._events_run += 1
             entry.callback()

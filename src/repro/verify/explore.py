@@ -9,10 +9,10 @@ The discrete-event simulator runs one schedule per seed; the explorer runs
 * fire one of the scripted **suspicions** whose trigger point has passed;
 * inject one of the scripted **crashes**.
 
-Each choice forks a deep copy of the whole world — network, members,
-trace — so the actual :class:`~repro.core.member.GMPMember` implementation
-executes in every branch.  Terminal states (no pending events) are checked
-against the full GMP specification.
+Each choice forks the world — network, members, trace — so the actual
+:class:`~repro.core.member.GMPMember` implementation executes in every
+branch.  Terminal states (no pending events) are checked against the full
+GMP specification.
 
 The world is built on exploration-specific fabric (no scheduler, no
 timers): messages queue in the network until the explorer delivers them,
@@ -20,8 +20,45 @@ and failure detection is entirely under explorer control.  Joins are not
 supported here (their retry timers need a clock); crashes and spurious
 suspicions — the paper's hard part — are.
 
-Bounds: ``max_states`` caps the total worlds expanded; ``max_width`` caps
-the branching explored per state (the first ``max_width`` choices in a
+Engines
+-------
+
+``engine="snapshot"`` (the default) forks worlds by pickling each branch
+node once (with the trace's event list detached — it is append-only along
+a path, so a ``(list, length)`` prefix reference restores it exactly) and
+restoring per sibling.  It also fingerprints every branch node and
+terminal: two schedules that converge on the same protocol state — same
+member states, same in-flight messages, same remaining script — have
+identical futures, so the subtree is explored once and its summary
+(terminal count with path multiplicity, distinct outcomes) is replayed on
+every later convergence.  The DFS tree becomes a DAG; ``terminals`` still
+counts *schedules* (paths), exactly as the tree engine would, while
+``states`` counts the unique expansions actually executed and
+``tree_states`` the nodes the tree engine would have expanded.
+
+Dedup soundness: with ``check_liveness=False, check_cuts=False`` (the
+explorer's settings) every checked property is a function of per-process
+install sequences — reconstructible from each member's ``seq``/``view``/
+``version``, all part of the fingerprint — plus orderings (GMP-1's
+faulty-before-remove, S1's no-receive-after-faulty) that the member code
+enforces structurally on every path and whose bookkeeping (``ever_faulty``,
+DISCARD instead of RECV) is itself fingerprinted.  Fingerprint-equal
+states therefore yield property-equal terminal checks.
+
+``engine="deepcopy"`` is the original one-``copy.deepcopy``-per-child
+tree walk, kept as the benchmark baseline and as an independent oracle
+for equivalence tests.
+
+``workers=N`` (snapshot engine only) breadth-first expands the root into
+a frontier of independent subtree seeds and shards them across a
+:func:`repro.runner.pool.parallel_map` worker pool; shard results merge
+in deterministic seed order.  Fingerprint memos are per-shard, so
+``terminals``/``tree_states``/``outcomes``/``ok`` match the serial run
+while ``states`` (unique work) may be higher; ``max_states`` applies per
+shard.
+
+Bounds: ``max_states`` caps the states expanded; ``max_width`` caps the
+branching explored per state (the first ``max_width`` choices in a
 deterministic order — set it high enough and the run is exhaustive, which
 :func:`Explorer.run` reports via ``complete``).
 """
@@ -29,6 +66,8 @@ deterministic order — set it high enough and the run is exhaustive, which
 from __future__ import annotations
 
 import copy
+import pickle
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
@@ -38,6 +77,7 @@ from repro.model.events import EventKind, MessageRecord
 from repro.properties import PropertyReport, check_gmp
 from repro.core.member import GMPMember
 from repro.detectors.base import FailureDetector
+from repro.runner.pool import parallel_map
 from repro.sim.trace import RunTrace
 
 __all__ = ["Explorer", "ExplorationResult", "explore_membership"]
@@ -229,6 +269,154 @@ class _World:
 
 
 # ---------------------------------------------------------------------------
+# Snapshot/restore and state fingerprinting (the snapshot engine's fabric)
+# ---------------------------------------------------------------------------
+
+
+def _snapshot(world: _World) -> tuple[bytes, list, int]:
+    """Pickle the world once, with the trace's event list detached.
+
+    The event list is append-only along any exploration path, so a
+    reference to the live list plus its current length identifies the
+    exact prefix this snapshot saw — restoring slices it back out.  This
+    keeps the pickled blob independent of path depth (the dominant cost
+    of naive deep copies on long schedules).
+    """
+    trace = world.network.trace
+    events = trace._events
+    trace._events = []
+    try:
+        blob = pickle.dumps(world, protocol=pickle.HIGHEST_PROTOCOL)
+    finally:
+        trace._events = events
+    return blob, events, len(events)
+
+
+def _restore(blob: bytes, events: list, length: int) -> _World:
+    world: _World = pickle.loads(blob)
+    world.network.trace._events = events[:length]
+    return world
+
+
+def _member_fingerprint(member: GMPMember) -> tuple:
+    """Canonical hashable digest of one member's protocol-relevant state.
+
+    Detector internals, join bookkeeping, and the app layer are excluded:
+    under exploration the detector never fires and joins never run, so
+    they cannot influence any future transition.  Sets are frozen so the
+    digest is independent of insertion order.
+    """
+    state = member.state
+    if state is None:
+        state_fp = None
+    else:
+        state_fp = (
+            state.version,
+            tuple(state.view),
+            tuple(state.seq),
+            tuple(state.plans),
+            frozenset(state.faulty),
+            frozenset(state.ever_faulty),
+            tuple(state.recovered),
+            state.mgr,
+        )
+    round_ = member.update_round
+    if round_ is None:
+        round_fp = None
+    else:
+        round_fp = (
+            round_.op,
+            round_.version,
+            frozenset(round_.pending),
+            frozenset(round_.oks),
+            round_.compressed,
+        )
+    reconfig = member.reconfig
+    if reconfig is None:
+        reconfig_fp = None
+    else:
+        reconfig_fp = (
+            reconfig.phase,
+            reconfig.view_size,
+            frozenset(reconfig.pending),
+            tuple(sorted(reconfig.responses.items())),
+            frozenset(reconfig.propose_oks),
+            reconfig.proposal_ops,
+            reconfig.proposal_version,
+            reconfig.invis,
+        )
+    return (
+        member.crashed,
+        member.quit,
+        state_fp,
+        round_fp,
+        reconfig_fp,
+        tuple(member.buffer._held),
+        frozenset(member._noticed),
+        frozenset(member._pre_join_faulty),
+        member.broadcast_first,
+    )
+
+
+def _fingerprint(world: _World) -> tuple:
+    """Canonical digest of a whole world.
+
+    Message identity is ``(payload, category)`` — ``msg_id`` and send
+    times are bookkeeping that differs between converging paths without
+    changing any future transition, so they must not split the DAG.
+    The remaining scripts (suspicions/crashes) are sets: their list order
+    only permutes child ordering, never the reachable state set.
+    """
+    members = tuple(
+        (proc, _member_fingerprint(world.members[proc]))
+        for proc in sorted(world.members)
+    )
+    channels = tuple(
+        (channel, tuple((record.payload, record.category) for record in queue))
+        for channel, queue in sorted(world.network.channels.items())
+    )
+    return (
+        members,
+        channels,
+        frozenset(world.suspicions),
+        frozenset(world.crashes),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class _Summary:
+    """Memoised result of one fully explored subtree (tree semantics)."""
+
+    terminals: int
+    tree_states: int
+    outcomes: frozenset
+
+
+class _Frame:
+    """One branch node on the iterative DFS stack."""
+
+    __slots__ = (
+        "fp",
+        "blob",
+        "events_ref",
+        "events_len",
+        "events",
+        "index",
+        "path",
+        "chain",
+        "chain_truncated",
+        "terminals",
+        "tree_states",
+        "outcomes",
+        "complete",
+    )
+
+
+class _StateBudget(Exception):
+    """Raised when ``max_states`` expansions have been performed."""
+
+
+# ---------------------------------------------------------------------------
 # The explorer
 # ---------------------------------------------------------------------------
 
@@ -237,17 +425,30 @@ class _World:
 class ExplorationResult:
     """Outcome of one exploration."""
 
+    #: terminal *schedules* reached, with path multiplicity — identical
+    #: across engines (a memoised subtree contributes every path through it).
     terminals: int = 0
+    #: state expansions actually executed by this run.
     states: int = 0
+    #: states a tree walk (no dedup) would have expanded; equals ``states``
+    #: for the deepcopy engine and ``>= states`` under fingerprint dedup.
+    tree_states: int = 0
     #: True when no bound was hit: every schedule was examined.
     complete: bool = True
     violations: list[tuple[str, PropertyReport]] = field(default_factory=list)
     #: distinct final (version, view) outcomes among surviving members.
+    #: A mutable set while the engines accumulate; finalised by
+    #: :meth:`Explorer.run` into a deterministically sorted tuple.
     outcomes: set = field(default_factory=set)
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+
+def _ordered_outcomes(outcomes: Iterable[frozenset]) -> tuple:
+    """Deterministic outcome ordering: sort by the sorted member entries."""
+    return tuple(sorted(outcomes, key=lambda outcome: tuple(sorted(outcome))))
 
 
 class Explorer:
@@ -261,13 +462,21 @@ class Explorer:
         max_states: int = 200_000,
         max_width: int = 64,
         check_liveness: bool = False,
+        engine: str = "snapshot",
+        workers: Optional[int] = None,
     ) -> None:
+        if engine not in ("snapshot", "deepcopy"):
+            raise ValueError(f"unknown exploration engine {engine!r}")
+        if engine == "deepcopy" and workers is not None and workers > 1:
+            raise ValueError("parallel exploration requires the snapshot engine")
         self.initial_view = list(initial_view)
         self.crashes = list(crashes)
         self.suspicions = list(suspicions)
         self.max_states = max_states
         self.max_width = max_width
         self.check_liveness = check_liveness
+        self.engine = engine
+        self.workers = workers
 
     def _root(self) -> _World:
         network = _FrontierNetwork()
@@ -290,11 +499,27 @@ class Explorer:
         )
 
     def run(self) -> ExplorationResult:
+        if self.engine == "deepcopy":
+            result = self._run_deepcopy()
+        elif self.workers is not None and self.workers > 1:
+            result = self._run_parallel(self.workers)
+        else:
+            result = self._run_snapshot()
+        result.outcomes = _ordered_outcomes(result.outcomes)
+        return result
+
+    # ------------------------------------------------------------------
+    # Baseline engine: one deepcopy per child (kept for benchmarking and
+    # as an independent oracle in equivalence tests)
+    # ------------------------------------------------------------------
+
+    def _run_deepcopy(self) -> ExplorationResult:
         result = ExplorationResult()
         stack: list[tuple[_World, str]] = [(self._root(), "init")]
         while stack:
             world, path = stack.pop()
             result.states += 1
+            result.tree_states += 1
             if result.states > self.max_states:
                 result.complete = False
                 break
@@ -326,12 +551,294 @@ class Explorer:
         )
         if not report.ok:
             result.violations.append((path, report))
-        outcome = frozenset(
+        result.outcomes.add(self._terminal_outcome(world))
+
+    def _terminal_outcome(self, world: _World) -> frozenset:
+        return frozenset(
             (member.version, tuple(member.view))
             for member in world.members.values()
             if member.is_member
         )
+
+    # ------------------------------------------------------------------
+    # Snapshot engine: pickle-based forking + fingerprint memoisation
+    # ------------------------------------------------------------------
+
+    def _run_snapshot(self) -> ExplorationResult:
+        result = ExplorationResult()
+        memo: dict[tuple, _Summary] = {}
+        try:
+            self._explore_subtree(self._root(), "init", result, memo)
+        except _StateBudget:
+            result.complete = False
+        return result
+
+    def _count_state(self, result: ExplorationResult) -> None:
+        result.states += 1
+        result.tree_states += 1
+        if result.states > self.max_states:
+            result.complete = False
+            raise _StateBudget
+
+    def _segment(
+        self, world: _World, path: str, result: ExplorationResult
+    ) -> tuple[list, int, str, bool, bool]:
+        """Advance through forced (single-choice) nodes without snapshots.
+
+        Returns ``(events, chain, path, chain_truncated, node_truncated)``:
+        the enabled events at the first branching or terminal node, how
+        many forced nodes were traversed, the extended path, whether the
+        width bound cut choices *along* the chain (parent subtrees are then
+        incomplete), and whether it cut choices at the returned node.
+        """
+        chain = 0
+        chain_truncated = False
+        while True:
+            events = world.enabled_events()
+            node_truncated = False
+            if len(events) > self.max_width:
+                events = events[: self.max_width]
+                node_truncated = True
+                result.complete = False
+            if len(events) != 1:
+                return events, chain, path, chain_truncated, node_truncated
+            if node_truncated:
+                chain_truncated = True
+            chain += 1
+            self._count_state(result)
+            event = events[0]
+            world.apply(event)
+            path = f"{path} | {event.describe()}"
+
+    def _handle_terminal(
+        self,
+        world: _World,
+        path: str,
+        result: ExplorationResult,
+        memo: dict,
+    ) -> frozenset:
+        """Count one terminal arrival; GMP-check each unique terminal once."""
+        result.terminals += 1
+        fp = _fingerprint(world)
+        hit = memo.get(fp)
+        if hit is not None:
+            result.outcomes |= hit.outcomes
+            return hit.outcomes
+        report = check_gmp(
+            world.network.trace,
+            self.initial_view,
+            check_liveness=self.check_liveness,
+            check_cuts=False,
+        )
+        if not report.ok:
+            result.violations.append((path, report))
+        outcome = self._terminal_outcome(world)
         result.outcomes.add(outcome)
+        outcomes = frozenset((outcome,))
+        memo[fp] = _Summary(terminals=1, tree_states=1, outcomes=outcomes)
+        return outcomes
+
+    def _explore_subtree(
+        self,
+        world: _World,
+        path: str,
+        result: ExplorationResult,
+        memo: dict,
+    ) -> None:
+        """Iterative DFS from ``world`` with snapshot forking and dedup.
+
+        ``result`` accumulates global counts as work happens (so a budget
+        abort leaves an honest partial result); each stack frame separately
+        accumulates its subtree's tree-semantic summary, which is memoised
+        by fingerprint once the subtree completes untruncated.
+        """
+        frames: list[_Frame] = []
+
+        def contribute(
+            terminals: int, tree_states: int, outcomes: frozenset, complete: bool
+        ) -> None:
+            if frames:
+                top = frames[-1]
+                top.terminals += terminals
+                top.tree_states += tree_states
+                top.outcomes |= outcomes
+                top.complete = top.complete and complete
+
+        descending = True
+        while True:
+            if descending:
+                events, chain, path, chain_truncated, node_truncated = self._segment(
+                    world, path, result
+                )
+                if not events:
+                    self._count_state(result)
+                    outcomes = self._handle_terminal(world, path, result, memo)
+                    contribute(1, chain + 1, outcomes, not chain_truncated)
+                    descending = False
+                    continue
+                fp = _fingerprint(world)
+                hit = memo.get(fp)
+                if hit is not None:
+                    # Converged on an already-explored state: replay its
+                    # summary (the chain above was executed live and is
+                    # already in the global counts).
+                    result.terminals += hit.terminals
+                    result.tree_states += hit.tree_states
+                    result.outcomes |= hit.outcomes
+                    contribute(
+                        hit.terminals,
+                        hit.tree_states + chain,
+                        hit.outcomes,
+                        not chain_truncated,
+                    )
+                    descending = False
+                    continue
+                self._count_state(result)
+                blob, events_ref, events_len = _snapshot(world)
+                frame = _Frame()
+                frame.fp = fp
+                frame.blob = blob
+                frame.events_ref = events_ref
+                frame.events_len = events_len
+                frame.events = events
+                frame.index = 1
+                frame.path = path
+                frame.chain = chain
+                frame.chain_truncated = chain_truncated
+                frame.terminals = 0
+                frame.tree_states = 1
+                frame.outcomes = set()
+                frame.complete = not node_truncated
+                frames.append(frame)
+                # First child runs on the live world — no restore needed.
+                event = events[0]
+                world.apply(event)
+                path = f"{path} | {event.describe()}"
+                continue
+            # Ascending: resume the deepest frame with children left.
+            if not frames:
+                return
+            top = frames[-1]
+            if top.index < len(top.events):
+                world = _restore(top.blob, top.events_ref, top.events_len)
+                event = top.events[top.index]
+                top.index += 1
+                world.apply(event)
+                path = f"{top.path} | {event.describe()}"
+                descending = True
+                continue
+            frames.pop()
+            if top.complete:
+                memo[top.fp] = _Summary(
+                    terminals=top.terminals,
+                    tree_states=top.tree_states,
+                    outcomes=frozenset(top.outcomes),
+                )
+            contribute(
+                top.terminals,
+                top.tree_states + top.chain,
+                frozenset(top.outcomes),
+                top.complete and not top.chain_truncated,
+            )
+
+    # ------------------------------------------------------------------
+    # Parallel sharding (snapshot engine)
+    # ------------------------------------------------------------------
+
+    def _config(self) -> tuple:
+        return (
+            self.initial_view,
+            self.crashes,
+            self.suspicions,
+            self.max_states,
+            self.max_width,
+            self.check_liveness,
+        )
+
+    def _run_parallel(self, workers: int) -> ExplorationResult:
+        result = ExplorationResult()
+        memo: dict[tuple, _Summary] = {}
+        target = max(workers * 4, 2)
+        queue: deque[tuple[_World, str]] = deque([(self._root(), "init")])
+        try:
+            while queue and len(queue) < target:
+                world, path = queue.popleft()
+                events, chain, path, chain_truncated, node_truncated = self._segment(
+                    world, path, result
+                )
+                if not events:
+                    self._count_state(result)
+                    self._handle_terminal(world, path, result, memo)
+                    continue
+                self._count_state(result)
+                blob, events_ref, events_len = _snapshot(world)
+                for index, event in enumerate(events):
+                    # Seeds are NOT deduplicated: each child is a distinct
+                    # tree edge, and dropping one would lose its paths'
+                    # multiplicity from `terminals`.
+                    if index < len(events) - 1:
+                        child = _restore(blob, events_ref, events_len)
+                    else:
+                        child = world
+                    child.apply(event)
+                    queue.append((child, f"{path} | {event.describe()}"))
+        except _StateBudget:
+            result.complete = False
+            return result
+        payloads = []
+        for world, path in queue:
+            blob, events_ref, events_len = _snapshot(world)
+            payloads.append(
+                self._config() + (blob, list(events_ref[:events_len]), path)
+            )
+        for shard in parallel_map(_run_shard, payloads, workers=workers):
+            terminals, states, tree_states, complete, violations, outcomes = shard
+            result.terminals += terminals
+            result.states += states
+            result.tree_states += tree_states
+            result.complete = result.complete and complete
+            result.violations.extend(violations)
+            result.outcomes |= outcomes
+        return result
+
+
+def _run_shard(payload: tuple) -> tuple:
+    """Worker-side entry: explore one seed subtree serially (picklable)."""
+    (
+        initial_view,
+        crashes,
+        suspicions,
+        max_states,
+        max_width,
+        check_liveness,
+        blob,
+        events,
+        path,
+    ) = payload
+    explorer = Explorer(
+        initial_view,
+        crashes=crashes,
+        suspicions=suspicions,
+        max_states=max_states,
+        max_width=max_width,
+        check_liveness=check_liveness,
+    )
+    world = pickle.loads(blob)
+    world.network.trace._events = list(events)
+    result = ExplorationResult()
+    memo: dict[tuple, _Summary] = {}
+    try:
+        explorer._explore_subtree(world, path, result, memo)
+    except _StateBudget:
+        result.complete = False
+    return (
+        result.terminals,
+        result.states,
+        result.tree_states,
+        result.complete,
+        result.violations,
+        set(result.outcomes),
+    )
 
 
 def explore_membership(
@@ -341,6 +848,8 @@ def explore_membership(
     observers: Optional[Iterable[str]] = None,
     max_states: int = 200_000,
     max_width: int = 64,
+    engine: str = "snapshot",
+    workers: Optional[int] = None,
 ) -> ExplorationResult:
     """Convenience wrapper: explore a ``p0..p{n-1}`` group.
 
@@ -350,6 +859,10 @@ def explore_membership(
         spurious: (observer, target) suspicions that may fire even though
             the target is alive.
         observers: who may detect each crash (default: every other member).
+        engine: ``"snapshot"`` (pickle forking + state dedup, the default)
+            or ``"deepcopy"`` (the baseline tree walk).
+        workers: shard independent subtrees across this many processes
+            (snapshot engine only; ``None``/1 = serial).
     """
     from repro.ids import pid
 
@@ -371,5 +884,7 @@ def explore_membership(
         suspicions=suspicion_list,
         max_states=max_states,
         max_width=max_width,
+        engine=engine,
+        workers=workers,
     )
     return explorer.run()

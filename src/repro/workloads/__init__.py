@@ -2,6 +2,9 @@
 
 :mod:`repro.workloads.churn` generates failure/join schedules (single
 failures, streaks, storms, mixed online churn) used by the benchmarks;
+:mod:`repro.workloads.failures` holds the canonical single/double/coordinator
+failure runs shared by the experiment tables, the benchmarks, and the
+:mod:`repro.runner` worker pool;
 :mod:`repro.workloads.scenarios` reconstructs the paper's named scenarios —
 Table 1's initiation matrix, Figure 3's interrupted commit, Figure 4's
 concurrent reconfigurers, and Figure 11's two invisible partial commits —
@@ -9,6 +12,13 @@ as ready-to-run cluster setups.
 """
 
 from repro.workloads.churn import ChurnEvent, ChurnSchedule, streak_schedule, mixed_churn
+from repro.workloads.failures import (
+    coordinator_failure_run,
+    double_failure_messages,
+    double_failure_run,
+    single_failure_messages,
+    single_failure_run,
+)
 from repro.workloads.scenarios import (
     Table1Row,
     run_table1_row,
@@ -23,6 +33,11 @@ __all__ = [
     "ChurnSchedule",
     "streak_schedule",
     "mixed_churn",
+    "single_failure_run",
+    "double_failure_run",
+    "coordinator_failure_run",
+    "single_failure_messages",
+    "double_failure_messages",
     "Table1Row",
     "run_table1_row",
     "run_figure3",

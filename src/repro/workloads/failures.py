@@ -1,0 +1,83 @@
+"""Canonical failure scenarios shared by experiments and benchmarks.
+
+These are the workhorse runs behind the §7.2 best-case tables, the E9
+baseline comparison, and the complexity benchmarks.  They used to be
+duplicated between ``analysis/experiments.py`` and ``benchmarks/conftest.py``;
+this module is now the single definition both import.
+
+Every function here is a **top-level, picklable callable** taking only
+picklable arguments, so the :mod:`repro.runner` worker pool can ship them to
+subprocesses.  The ``*_run`` variants return the full cluster (for callers
+that assert on traces); the ``*_messages`` variants return just the
+protocol-message count (cheap to return across a process boundary, and
+JSON-serialisable for the scenario cache).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.messages import breakdown
+from repro.core.member import GMPMember
+from repro.core.service import MembershipCluster
+from repro.sim.network import FixedDelay
+
+__all__ = [
+    "single_failure_run",
+    "double_failure_run",
+    "coordinator_failure_run",
+    "single_failure_messages",
+    "double_failure_messages",
+]
+
+
+def single_failure_run(
+    n: int,
+    seed: int = 0,
+    member_class: Optional[type[GMPMember]] = None,
+    victim: str | None = None,
+) -> MembershipCluster:
+    """One crash of a junior member in a group of size n, fixed delays.
+
+    Crashing ``p0`` (the coordinator) instead exercises one full
+    reconfiguration — pass ``victim="p0"`` for the 5n-9 column.
+    """
+    kwargs = {} if member_class is None else {"member_class": member_class}
+    cluster = MembershipCluster.of_size(
+        n, seed=seed, delay_model=FixedDelay(1.0), **kwargs
+    )
+    cluster.start()
+    cluster.crash(victim or f"p{n - 1}", at=5.0)
+    cluster.settle()
+    return cluster
+
+
+def double_failure_run(n: int, seed: int = 0) -> MembershipCluster:
+    """Two junior members crash back to back: the compressed second round."""
+    cluster = MembershipCluster.of_size(n, seed=seed, delay_model=FixedDelay(1.0))
+    cluster.start()
+    cluster.crash(f"p{n - 1}", at=5.0)
+    cluster.crash(f"p{n - 2}", at=5.1)
+    cluster.settle()
+    return cluster
+
+
+def coordinator_failure_run(n: int, seed: int = 0) -> MembershipCluster:
+    """Crash the coordinator: one full reconfiguration."""
+    return single_failure_run(n, seed=seed, victim="p0")
+
+
+def single_failure_messages(
+    n: int,
+    seed: int = 0,
+    member_class: Optional[type[GMPMember]] = None,
+    victim: str | None = None,
+) -> int:
+    """Protocol-message count of :func:`single_failure_run`."""
+    cluster = single_failure_run(n, seed=seed, member_class=member_class, victim=victim)
+    return breakdown(cluster.trace).algorithm
+
+
+def double_failure_messages(n: int, seed: int = 0) -> int:
+    """Protocol-message count of :func:`double_failure_run`."""
+    return breakdown(double_failure_run(n, seed=seed).trace).algorithm

@@ -1,0 +1,152 @@
+"""Tests for the parallel execution engine (repro.runner).
+
+Covers the worker pool's deterministic ordering, the content-addressed
+scenario cache (including source-fingerprint invalidation), the
+experiment tables' serial-vs-parallel equivalence, and the bench driver's
+machine-readable output.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.analysis.experiments import baseline_table, best_case_table
+from repro.runner.bench import run_bench
+from repro.runner.cache import ScenarioCache, source_fingerprint
+from repro.runner.pool import ScenarioJob, default_workers, parallel_map, run_jobs
+from repro.workloads.failures import single_failure_messages
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _with_seed(n: int, seed: int = 0) -> tuple[int, int]:
+    return (n, seed)
+
+
+class TestWorkerPool:
+    def test_results_in_submission_order_serial(self):
+        jobs = [ScenarioJob(fn=_square, kwargs={"x": x}) for x in (3, 1, 2)]
+        assert run_jobs(jobs, workers=1) == [9, 1, 4]
+
+    def test_results_in_submission_order_parallel(self):
+        jobs = [ScenarioJob(fn=_square, kwargs={"x": x}) for x in range(8)]
+        assert run_jobs(jobs, workers=2) == [x * x for x in range(8)]
+
+    def test_seed_is_injected_into_kwargs(self):
+        job = ScenarioJob(fn=_with_seed, kwargs={"n": 5}, seed=7)
+        assert job.call() == (5, 7)
+
+    def test_parallel_map_matches_serial(self):
+        items = list(range(10))
+        assert parallel_map(_square, items, workers=2) == [x * x for x in items]
+
+    def test_real_scenario_serial_vs_parallel(self):
+        jobs = [
+            ScenarioJob(fn=single_failure_messages, kwargs={"n": n, "seed": 0})
+            for n in (3, 4, 5)
+        ]
+        assert run_jobs(jobs, workers=1) == run_jobs(jobs, workers=2)
+
+    def test_default_workers_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+        monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
+        assert default_workers() == (os.cpu_count() or 1)
+
+
+class TestScenarioCache:
+    def test_round_trip(self, tmp_path):
+        cache = ScenarioCache(root=tmp_path, fingerprint="fp")
+        assert cache.get("s", {"n": 4}) is None
+        cache.put("s", {"n": 4}, 42)
+        assert cache.get("s", {"n": 4}) == 42
+        assert cache.get("s", {"n": 5}) is None
+
+    def test_get_or_compute_runs_once(self, tmp_path):
+        cache = ScenarioCache(root=tmp_path, fingerprint="fp")
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 7
+
+        assert cache.get_or_compute("s", {"n": 1}, compute) == 7
+        assert cache.get_or_compute("s", {"n": 1}, compute) == 7
+        assert len(calls) == 1
+
+    def test_source_fingerprint_change_invalidates(self, tmp_path):
+        """The acceptance case: touching protocol source must miss the cache."""
+        extra = tmp_path / "fake_core.py"
+        extra.write_text("X = 1\n")
+        before = source_fingerprint(extra_files=[extra])
+        cache = ScenarioCache(root=tmp_path / "cache", fingerprint=before)
+        cache.put("single", {"n": 4, "seed": 0}, 99)
+        assert cache.get("single", {"n": 4, "seed": 0}) == 99
+
+        extra.write_text("X = 2\n")
+        after = source_fingerprint(extra_files=[extra])
+        assert after != before
+        stale = ScenarioCache(root=tmp_path / "cache", fingerprint=after)
+        assert stale.get("single", {"n": 4, "seed": 0}) is None
+
+    def test_fingerprint_is_stable(self):
+        assert source_fingerprint() == source_fingerprint()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ScenarioCache(root=tmp_path, fingerprint="fp")
+        cache.put("s", {"n": 1}, 5)
+        for entry in tmp_path.glob("*.json"):
+            entry.write_text("{not json")
+        assert cache.get("s", {"n": 1}) is None
+
+
+class TestTablesSerialVsParallel:
+    def test_best_case_table_identical_rows(self):
+        serial = best_case_table(sizes=[4, 6], workers=1)
+        parallel = best_case_table(sizes=[4, 6], workers=2)
+        assert serial.rows == parallel.rows
+        assert serial.render() == parallel.render()
+
+    def test_baseline_table_identical_rows(self):
+        serial = baseline_table(sizes=[6], workers=1)
+        parallel = baseline_table(sizes=[6], workers=2)
+        assert serial.rows == parallel.rows
+        assert serial.render() == parallel.render()
+
+    def test_best_case_table_uses_cache(self, tmp_path):
+        cache = ScenarioCache(root=tmp_path, fingerprint="pinned")
+        first = best_case_table(sizes=[4], cache=cache)
+        assert list(tmp_path.glob("*.json")), "expected cache entries"
+        second = best_case_table(sizes=[4], cache=cache)
+        assert first.rows == second.rows
+
+    def test_poisoned_cache_proves_hits_are_used(self, tmp_path):
+        """Seed the cache with a wrong value: the table must reflect it,
+        proving lookups actually bypass the simulation."""
+        cache = ScenarioCache(root=tmp_path, fingerprint="pinned")
+        cache.put("single-failure", {"n": 4, "seed": 0}, 999)
+        table = best_case_table(sizes=[4], cache=cache)
+        assert table.rows[0][2] == "999"
+
+
+class TestBenchDriver:
+    def test_quick_bench_writes_valid_json(self, tmp_path):
+        out = run_bench(quick=True, workers=1, out_dir=tmp_path)
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro-bench/1"
+        assert payload["quick"] is True
+        assert payload["scenarios"], "expected timed scenario cells"
+        for cell in payload["scenarios"]:
+            assert cell["wall_s"] >= 0
+            assert isinstance(cell["messages"], int)
+        engines = payload["explorer"]["engines"]
+        assert engines["deepcopy"]["terminals"] == engines["snapshot"]["terminals"]
+        assert engines["deepcopy"]["tree_states"] == engines["snapshot"]["tree_states"]
+        # The headline acceptance: >= 5x tree states covered per second.
+        assert payload["explorer"]["speedup_tree_states_per_sec"] >= 5.0
+        dedup = payload["dedup"]
+        assert dedup["states"] < dedup["tree_states"]
+        assert dedup["ok"] and dedup["complete"]

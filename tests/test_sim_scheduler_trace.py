@@ -100,6 +100,40 @@ class TestScheduler:
         t1.cancel()
         assert sched.pending() == 1
 
+    def test_pending_stays_exact_under_cancellation(self):
+        """Regression: pending() is a maintained counter; cancels (including
+        double cancels and cancels after execution) must keep it exact."""
+        sched = Scheduler()
+        timers = [sched.at(float(i + 1), lambda: None) for i in range(10)]
+        assert sched.pending() == 10
+        timers[3].cancel()
+        timers[7].cancel()
+        timers[3].cancel()  # idempotent: no double decrement
+        assert sched.pending() == 8
+        sched.step()  # runs t=1.0
+        assert sched.pending() == 7
+        timers[0].cancel()  # cancel after execution: no effect on the count
+        assert sched.pending() == 7
+        sched.run()
+        assert sched.pending() == 0
+        for timer in timers:
+            timer.cancel()  # late cancels on a drained queue stay exact
+        assert sched.pending() == 0
+
+    def test_pending_exact_interleaved_with_scheduling(self):
+        sched = Scheduler()
+        live = []
+        for i in range(50):
+            timer = sched.after(float(i % 5) + 0.5, lambda: None)
+            if i % 3 == 0:
+                timer.cancel()
+            else:
+                live.append(timer)
+        assert sched.pending() == len(live)
+        while sched.step():
+            pass
+        assert sched.pending() == 0
+
 
 class TestRunTrace:
     def test_auto_inserts_start(self):

@@ -81,6 +81,72 @@ class TestBoundedLargerConfigs:
         assert result.ok, describe_failures(result)
 
 
+def summary_of(result) -> tuple:
+    """The engine-independent face of a result (states is engine-specific)."""
+    return (
+        result.terminals,
+        result.tree_states,
+        result.outcomes,
+        result.ok,
+        result.complete,
+    )
+
+
+class TestEngineEquivalence:
+    def test_snapshot_matches_deepcopy_on_figure4(self):
+        """The Figure 4 concurrent-reconfigurer race: the snapshot+dedup
+        engine must report the exact same schedule tree as the baseline."""
+        scenario = dict(n=3, spurious=[("p1", "p0"), ("p0", "p1")])
+        deep = explore_membership(**scenario, engine="deepcopy")
+        snap = explore_membership(**scenario, engine="snapshot")
+        assert summary_of(deep) == summary_of(snap)
+        # deepcopy walks the tree 1:1; dedup must do strictly less work.
+        assert deep.states == deep.tree_states
+        assert snap.states < snap.tree_states
+
+    def test_snapshot_matches_deepcopy_on_crash(self):
+        scenario = dict(n=3, crash_names=["p2"])
+        deep = explore_membership(**scenario, engine="deepcopy")
+        snap = explore_membership(**scenario, engine="snapshot")
+        assert summary_of(deep) == summary_of(snap)
+
+    def test_parallel_matches_serial(self):
+        scenario = dict(n=3, spurious=[("p1", "p0"), ("p0", "p1")])
+        serial = explore_membership(**scenario)
+        sharded = explore_membership(**scenario, workers=2)
+        assert summary_of(serial) == summary_of(sharded)
+
+    def test_parallel_matches_serial_on_crash(self):
+        scenario = dict(n=4, crash_names=["p0"])
+        serial = explore_membership(**scenario)
+        sharded = explore_membership(**scenario, workers=3)
+        assert summary_of(serial) == summary_of(sharded)
+
+    def test_dedup_collapses_symmetric_double_suspicion(self):
+        """Two outer members racing to suspect the same victim in a
+        5-process group: the schedule tree is millions of nodes, the state
+        graph a few hundred — the fingerprint DAG must find that."""
+        result = explore_membership(5, spurious=[("p1", "p4"), ("p2", "p4")])
+        assert result.complete and result.ok, describe_failures(result)
+        assert result.states * 100 < result.tree_states
+        assert result.terminals > result.states
+
+    def test_outcomes_are_deterministically_ordered(self):
+        scenario = dict(n=3, spurious=[("p1", "p0"), ("p0", "p1")])
+        first = explore_membership(**scenario)
+        second = explore_membership(**scenario, engine="deepcopy")
+        assert isinstance(first.outcomes, tuple)
+        assert first.outcomes == second.outcomes  # same order, not just same set
+
+    def test_deepcopy_engine_rejects_workers(self):
+        with pytest.raises(ValueError):
+            Explorer([pid("a")], engine="deepcopy", workers=2)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            Explorer([pid("a")], engine="telepathy")
+
+
 class TestExplorerMechanics:
     def test_no_events_means_single_trivial_terminal(self):
         result = explore_membership(3)
