@@ -61,6 +61,9 @@ class AioNetwork:
     def process(self, pid: ProcessId) -> "SimProcess":
         return self._processes[pid]
 
+    def get_process(self, pid: ProcessId) -> "Optional[SimProcess]":
+        return self._processes.get(pid)
+
     def processes(self) -> dict[ProcessId, "SimProcess"]:
         return dict(self._processes)
 
@@ -112,6 +115,29 @@ class AioNetwork:
         self._channel_clock[channel] = when
         self.scheduler.at(when, lambda: self._deliver(record))
         return record
+
+    def broadcast(
+        self,
+        sender: ProcessId,
+        receivers,
+        payload: object,
+        category: str = "protocol",
+    ) -> int:
+        """Fan-out with :meth:`repro.sim.network.Network.broadcast` semantics:
+        skips self, truncates (without raising) on mid-loop sender crash,
+        returns the number of messages sent."""
+        process = self._processes.get(sender)
+        if process is None:
+            raise SimulationError(f"unknown sender {sender}")
+        sent = 0
+        for receiver in receivers:
+            if receiver == sender:
+                continue
+            if process.crashed:
+                break
+            self.send(sender, receiver, payload, category=category)
+            sent += 1
+        return sent
 
     def _deliver(self, record: MessageRecord) -> None:
         receiver = self._processes.get(record.receiver)

@@ -41,6 +41,7 @@ class AioMembershipRuntime:
         seed: int = 0,
         majority_updates: bool = True,
         transport: Literal["memory", "tcp"] = "memory",
+        wire: str = "json",
     ) -> None:
         self.initial_view = ordered_view(
             m if isinstance(m, ProcessId) else pid(m) for m in members
@@ -50,7 +51,7 @@ class AioMembershipRuntime:
         if transport == "tcp":
             from repro.aio.tcp import TcpNetwork
 
-            self.network = TcpNetwork(self.scheduler)  # type: ignore[assignment]
+            self.network = TcpNetwork(self.scheduler, wire=wire)  # type: ignore[assignment]
         else:
             self.network = AioNetwork(
                 self.scheduler, delay_model=delay_model, seed=seed

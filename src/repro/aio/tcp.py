@@ -1,10 +1,13 @@
 """TCP transport: the protocol over real sockets.
 
 :class:`TcpNetwork` implements the Network surface over loopback TCP using
-the JSON wire codec (:mod:`repro.codec`).  Each member hosts a TCP server;
-a directed channel is one persistent connection, so TCP's in-order delivery
-gives the paper's FIFO channel property for free, and the kernel's send
-buffering gives reliability as long as the peer lives.
+either wire codec from :mod:`repro.codec` — newline-framed JSON
+(``wire="json"``, the default) or length-prefixed compact binary
+(``wire="compact"``, wire version 2; each frame is preceded by a u32
+big-endian byte length).  Each member hosts a TCP server; a directed
+channel is one persistent connection, so TCP's in-order delivery gives the
+paper's FIFO channel property for free, and the kernel's send buffering
+gives reliability as long as the peer lives.
 
 All members still run inside one asyncio event loop (this is a transport
 demonstration, not a deployment harness), but every protocol byte genuinely
@@ -15,6 +18,7 @@ encode/route/decode path a distributed deployment would use.
 from __future__ import annotations
 
 import asyncio
+import struct
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro import codec
@@ -29,6 +33,9 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["TcpNetwork"]
 
+#: framing for wire="compact": u32 big-endian frame length.
+_LEN_PREFIX = struct.Struct("!I")
+
 
 class TcpNetwork:
     """Loopback-TCP message fabric with the simulator's Network API."""
@@ -38,10 +45,14 @@ class TcpNetwork:
         scheduler: AioScheduler,
         trace: Optional[RunTrace] = None,
         host: str = "127.0.0.1",
+        wire: str = "json",
     ) -> None:
+        if wire not in ("json", "compact"):
+            raise ValueError(f"unknown wire format {wire!r} (json or compact)")
         self.scheduler = scheduler
         self.trace = trace if trace is not None else RunTrace()
         self.host = host
+        self.wire = wire
         self._processes: dict[ProcessId, "SimProcess"] = {}
         self._ports: dict[ProcessId, int] = {}
         self._servers: dict[ProcessId, asyncio.AbstractServer] = {}
@@ -61,6 +72,9 @@ class TcpNetwork:
 
     def process(self, pid: ProcessId) -> "SimProcess":
         return self._processes[pid]
+
+    def get_process(self, pid: ProcessId) -> "Optional[SimProcess]":
+        return self._processes.get(pid)
 
     def processes(self) -> dict[ProcessId, "SimProcess"]:
         return dict(self._processes)
@@ -95,13 +109,20 @@ class TcpNetwork:
         if pid in self._ports:
             return self._ports[pid]
 
+        compact = self.wire == "compact"
+
         async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
             try:
                 while True:
-                    line = await reader.readline()
-                    if not line:
-                        break
-                    self._deliver_line(pid, line)
+                    if compact:
+                        header = await reader.readexactly(_LEN_PREFIX.size)
+                        (length,) = _LEN_PREFIX.unpack(header)
+                        frame = await reader.readexactly(length)
+                    else:
+                        frame = await reader.readline()
+                        if not frame:
+                            break
+                    self._deliver_frame(pid, frame)
             except (ConnectionResetError, asyncio.IncompleteReadError):
                 pass
             finally:
@@ -152,9 +173,15 @@ class TcpNetwork:
         )
         for observer in list(self._send_observers):
             observer(record)
-        data = codec.encode_bytes(
-            payload, sender, receiver, category, msg_id=record.msg_id
-        )
+        if self.wire == "compact":
+            frame = codec.encode_compact(
+                payload, sender, receiver, category, msg_id=record.msg_id
+            )
+            data = _LEN_PREFIX.pack(len(frame)) + frame
+        else:
+            data = codec.encode_bytes(
+                payload, sender, receiver, category, msg_id=record.msg_id
+            )
         channel = (sender, receiver)
         outbox = self._outboxes.get(channel)
         if outbox is None:
@@ -165,6 +192,29 @@ class TcpNetwork:
             )
         outbox.put_nowait(data)
         return record
+
+    def broadcast(
+        self,
+        sender: ProcessId,
+        receivers,
+        payload: object,
+        category: str = "protocol",
+    ) -> int:
+        """Fan-out with :meth:`repro.sim.network.Network.broadcast` semantics:
+        skips self, truncates (without raising) on mid-loop sender crash,
+        returns the number of messages sent."""
+        process = self._processes.get(sender)
+        if process is None:
+            raise SimulationError(f"unknown sender {sender}")
+        sent = 0
+        for receiver in receivers:
+            if receiver == sender:
+                continue
+            if process.crashed:
+                break
+            self.send(sender, receiver, payload, category=category)
+            sent += 1
+        return sent
 
     async def _drain(self, channel: tuple[ProcessId, ProcessId], outbox: asyncio.Queue) -> None:
         """One persistent connection per directed channel (FIFO)."""
@@ -198,9 +248,12 @@ class TcpNetwork:
 
     # -------------------------------------------------------------- receipt
 
-    def _deliver_line(self, receiver_pid: ProcessId, line: bytes) -> None:
+    def _deliver_frame(self, receiver_pid: ProcessId, frame: bytes) -> None:
         try:
-            sender, receiver, payload, category, msg_id = codec.decode_bytes(line)
+            if self.wire == "compact":
+                sender, receiver, payload, category, msg_id = codec.decode_compact(frame)
+            else:
+                sender, receiver, payload, category, msg_id = codec.decode_bytes(frame)
         except codec.CodecError:
             return  # malformed frame: drop (never crash the server on input)
         if receiver != receiver_pid:

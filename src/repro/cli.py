@@ -180,13 +180,27 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
+    from pathlib import Path
 
-    from repro.runner.bench import run_bench, summarize
+    from repro.runner.bench import check_scale_regression, run_bench, summarize
 
-    out = run_bench(quick=args.quick, workers=args.workers, out_dir=args.out)
+    out = run_bench(
+        quick=args.quick,
+        workers=args.workers,
+        out_dir=args.out,
+        scale=args.scale,
+    )
     payload = json.loads(out.read_text())
     print(summarize(payload))
     print(f"\nwrote {out}")
+    if args.baseline is not None:
+        baseline = json.loads(Path(args.baseline).read_text())
+        failures = check_scale_regression(payload, baseline)
+        if failures:
+            for message in failures:
+                print(f"REGRESSION {message}")
+            return 1
+        print(f"no scale regression vs {args.baseline}")
     return 0
 
 
@@ -290,6 +304,18 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--workers", type=int, default=None)
     bench.add_argument(
         "--out", default=".", metavar="DIR", help="where to write BENCH_results.json"
+    )
+    bench.add_argument(
+        "--scale",
+        action="store_true",
+        help="add the join-churn-exclude n-sweep (10..1000; --quick caps at 100)",
+    )
+    bench.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="committed BENCH_results.json to diff the scale sweep against "
+        "(exit 1 if churn events/sec regresses more than 30%%)",
     )
     bench.set_defaults(func=_cmd_bench)
 

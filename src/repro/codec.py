@@ -1,22 +1,32 @@
-"""Wire codec: serialise protocol messages to/from JSON.
+"""Wire codec: serialise protocol messages to/from JSON or compact binary.
 
 The simulator passes Python objects by reference; a real deployment needs
 bytes.  This codec gives every protocol message (and the detector's
-ping/pong) a stable, versioned JSON encoding, used by the TCP transport in
-:mod:`repro.aio.tcp` and usable by any other integration.
+ping/pong) two stable, versioned encodings, used by the TCP transport in
+:mod:`repro.aio.tcp` and usable by any other integration:
+
+* **JSON** (wire version 1): human-auditable, newline-framed
+  (:func:`encode`/:func:`decode`, :func:`encode_bytes`/:func:`decode_bytes`);
+* **compact binary** (wire version 2): ``struct``-packed, length-prefix
+  framed, ~4-6x smaller and substantially cheaper to encode
+  (:func:`encode_compact`/:func:`decode_compact`).
 
 Design notes:
 
 * encoding is explicit per message type — no pickling, no reflection on
   arbitrary classes — so the wire format is auditable and injection-safe;
-* ``ProcessId`` round-trips as ``[name, incarnation]``;
-* every frame carries a ``t`` (type) tag and the codec version, so future
-  revisions can interoperate.
+* ``ProcessId`` round-trips as ``[name, incarnation]`` (JSON) or a
+  length-prefixed UTF-8 name plus a u32 incarnation (compact);
+* every frame carries a type tag and the codec version, so future
+  revisions can interoperate;
+* view versions are non-negative by construction; both decoders reject
+  negative versions rather than admitting impossible protocol states.
 """
 
 from __future__ import annotations
 
 import json
+import struct
 from typing import Any, Callable, Optional
 
 from repro.errors import ReproError
@@ -38,10 +48,21 @@ from repro.core.messages import (
     UpdateOk,
 )
 
-__all__ = ["CodecError", "encode", "decode", "encode_bytes", "decode_bytes"]
+__all__ = [
+    "CodecError",
+    "encode",
+    "decode",
+    "encode_bytes",
+    "decode_bytes",
+    "encode_compact",
+    "decode_compact",
+]
 
-#: Bump when the wire format changes incompatibly.
+#: Bump when the JSON wire format changes incompatibly.
 WIRE_VERSION = 1
+
+#: Wire version of the compact binary format (shares the version space).
+COMPACT_WIRE_VERSION = 2
 
 
 class CodecError(ReproError):
@@ -51,6 +72,17 @@ class CodecError(ReproError):
 # --------------------------------------------------------------------------
 # primitives
 # --------------------------------------------------------------------------
+
+
+def _version_in(raw: Any) -> int:
+    """Validate a view version: an int, never negative (views only grow)."""
+    try:
+        version = int(raw)
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"malformed version: {raw!r}") from exc
+    if version < 0:
+        raise CodecError(f"negative version: {version}")
+    return version
 
 
 def _pid_out(proc: ProcessId) -> list:
@@ -110,7 +142,7 @@ def _plan_out(plan: Plan) -> list:
 def _plan_in(raw: Any) -> Plan:
     try:
         op, coord, version = raw
-        return Plan(_op_in(op), _pid_in(coord), None if version is None else int(version))
+        return Plan(_op_in(op), _pid_in(coord), None if version is None else _version_in(version))
     except (TypeError, ValueError) as exc:
         raise CodecError(f"malformed plan: {raw!r}") from exc
 
@@ -171,18 +203,18 @@ _ENCODERS: dict[type, Callable[[Any], dict]] = {
 _DECODERS: dict[str, Callable[[dict], Any]] = {
     "FaultyNotice": lambda d: FaultyNotice(target=_pid_in(d["target"])),
     "JoinRequest": lambda d: JoinRequest(joiner=_pid_in(d["joiner"])),
-    "Invite": lambda d: Invite(op=_require_op(d["op"]), version=int(d["version"])),
-    "UpdateOk": lambda d: UpdateOk(version=int(d["version"])),
+    "Invite": lambda d: Invite(op=_require_op(d["op"]), version=_version_in(d["version"])),
+    "UpdateOk": lambda d: UpdateOk(version=_version_in(d["version"])),
     "Commit": lambda d: Commit(
         op=_require_op(d["op"]),
-        version=int(d["version"]),
+        version=_version_in(d["version"]),
         contingent=_op_in(d["contingent"]),
         faulty=_pids_in(d["faulty"]),
         recovered=_pids_in(d["recovered"]),
     ),
     "StateTransfer": lambda d: StateTransfer(
         view=_pids_in(d["view"]),
-        version=int(d["version"]),
+        version=_version_in(d["version"]),
         seq=_ops_in(d["seq"]),
         mgr=_pid_in(d["mgr"]),
         contingent=_op_in(d["contingent"]),
@@ -190,20 +222,20 @@ _DECODERS: dict[str, Callable[[dict], Any]] = {
     ),
     "Interrogate": lambda d: Interrogate(hi_faulty=_pids_in(d["hi_faulty"])),
     "InterrogateOk": lambda d: InterrogateOk(
-        version=int(d["version"]),
+        version=_version_in(d["version"]),
         seq=_ops_in(d["seq"]),
         plans=_plans_in(d["plans"]),
     ),
     "Propose": lambda d: Propose(
         ops=_ops_in(d["ops"]),
-        version=int(d["version"]),
+        version=_version_in(d["version"]),
         invis=_op_in(d["invis"]),
         faulty=_pids_in(d["faulty"]),
     ),
-    "ProposeOk": lambda d: ProposeOk(version=int(d["version"])),
+    "ProposeOk": lambda d: ProposeOk(version=_version_in(d["version"])),
     "ReconfigCommit": lambda d: ReconfigCommit(
         ops=_ops_in(d["ops"]),
-        version=int(d["version"]),
+        version=_version_in(d["version"]),
         invis=_op_in(d["invis"]),
         faulty=_pids_in(d["faulty"]),
     ),
@@ -293,3 +325,350 @@ def decode_bytes(data: bytes) -> tuple[ProcessId, ProcessId, object, str, Option
     except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
         raise CodecError(f"invalid JSON frame: {exc}") from exc
     return decode(frame)
+
+
+# --------------------------------------------------------------------------
+# compact binary codec (wire version 2)
+# --------------------------------------------------------------------------
+#
+# Frame layout (all integers big-endian):
+#
+#   magic:u8 (0xC3) | wire_version:u8 (2) | type_id:u8 | flags:u8
+#   sender:pid | receiver:pid | category:u8 [+ str if code 255]
+#   [msg_id:i64 if flags bit 0] | body (per message type)
+#
+# with primitives:
+#
+#   str  = u16 byte length + UTF-8 bytes
+#   pid  = str name + u32 incarnation
+#   op   = u8 kind code (0=add, 1=remove) + pid
+#   opt  = u8 presence flag (0/1) + value
+#   list = u16 count + items
+#   version = u32 (negative versions are impossible protocol states and
+#             are rejected on both paths)
+
+_COMPACT_MAGIC = 0xC3
+
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+_I64 = struct.Struct("!q")
+
+_CAT_CODES = {"protocol": 0, "detector": 1}
+_CAT_NAMES = {0: "protocol", 1: "detector"}
+_CAT_OTHER = 255
+
+_OP_KIND_CODES = {"add": 0, "remove": 1}
+_OP_KIND_NAMES = {0: "add", 1: "remove"}
+
+
+def _w_u16(buf: bytearray, value: int) -> None:
+    buf += _U16.pack(value)
+
+
+def _w_str(buf: bytearray, text: str) -> None:
+    data = text.encode("utf-8")
+    if len(data) > 0xFFFF:
+        raise CodecError(f"string too long for compact frame ({len(data)} bytes)")
+    buf += _U16.pack(len(data))
+    buf += data
+
+
+def _w_pid(buf: bytearray, proc: ProcessId) -> None:
+    _w_str(buf, proc.name)
+    if not 0 <= proc.incarnation <= 0xFFFFFFFF:
+        raise CodecError(f"incarnation out of range: {proc.incarnation}")
+    buf += _U32.pack(proc.incarnation)
+
+
+def _w_version(buf: bytearray, version: int) -> None:
+    if not 0 <= version <= 0xFFFFFFFF:
+        raise CodecError(f"version out of range: {version}")
+    buf += _U32.pack(version)
+
+
+def _w_opt_version(buf: bytearray, version: Optional[int]) -> None:
+    if version is None:
+        buf.append(0)
+    else:
+        buf.append(1)
+        _w_version(buf, version)
+
+
+def _w_i64(buf: bytearray, value: int) -> None:
+    try:
+        buf += _I64.pack(value)
+    except struct.error as exc:
+        raise CodecError(f"integer out of range: {value}") from exc
+
+
+def _w_op(buf: bytearray, op: Op) -> None:
+    code = _OP_KIND_CODES.get(op.kind)
+    if code is None:
+        raise CodecError(f"unknown op kind: {op.kind!r}")
+    buf.append(code)
+    _w_pid(buf, op.target)
+
+
+def _w_opt_op(buf: bytearray, op: Optional[Op]) -> None:
+    if op is None:
+        buf.append(0)
+    else:
+        buf.append(1)
+        _w_op(buf, op)
+
+
+def _w_count(buf: bytearray, items) -> None:
+    if len(items) > 0xFFFF:
+        raise CodecError(f"sequence too long for compact frame ({len(items)})")
+    buf += _U16.pack(len(items))
+
+
+def _w_pids(buf: bytearray, procs) -> None:
+    _w_count(buf, procs)
+    for proc in procs:
+        _w_pid(buf, proc)
+
+
+def _w_ops(buf: bytearray, ops) -> None:
+    _w_count(buf, ops)
+    for op in ops:
+        _w_op(buf, op)
+
+
+def _w_plan(buf: bytearray, plan: Plan) -> None:
+    _w_opt_op(buf, plan.op)
+    _w_pid(buf, plan.coord)
+    _w_opt_version(buf, plan.version)
+
+
+def _w_plans(buf: bytearray, plans) -> None:
+    _w_count(buf, plans)
+    for plan in plans:
+        _w_plan(buf, plan)
+
+
+class _Reader:
+    """Bounds-checked cursor over one compact frame."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, size: int) -> bytes:
+        end = self.pos + size
+        if end > len(self.data):
+            raise CodecError(
+                f"truncated frame: wanted {size} bytes at offset {self.pos}, "
+                f"frame is {len(self.data)} bytes"
+            )
+        chunk = self.data[self.pos : end]
+        self.pos = end
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        return _U16.unpack(self.take(2))[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    def i64(self) -> int:
+        return _I64.unpack(self.take(8))[0]
+
+    def str_(self) -> str:
+        length = self.u16()
+        try:
+            return self.take(length).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"invalid UTF-8 in compact frame: {exc}") from exc
+
+    def pid(self) -> ProcessId:
+        return ProcessId(self.str_(), self.u32())
+
+    def flag(self) -> bool:
+        value = self.u8()
+        if value > 1:
+            raise CodecError(f"invalid presence flag: {value}")
+        return bool(value)
+
+    def op(self) -> Op:
+        code = self.u8()
+        kind = _OP_KIND_NAMES.get(code)
+        if kind is None:
+            raise CodecError(f"unknown op kind code: {code}")
+        return Op(kind, self.pid())
+
+    def opt_op(self) -> Optional[Op]:
+        return self.op() if self.flag() else None
+
+    def pids(self) -> tuple[ProcessId, ...]:
+        return tuple(self.pid() for _ in range(self.u16()))
+
+    def ops(self) -> tuple[Op, ...]:
+        return tuple(self.op() for _ in range(self.u16()))
+
+    def plan(self) -> Plan:
+        op = self.opt_op()
+        coord = self.pid()
+        version = self.u32() if self.flag() else None
+        return Plan(op, coord, version)
+
+    def plans(self) -> tuple[Plan, ...]:
+        return tuple(self.plan() for _ in range(self.u16()))
+
+
+def _enc_commit(buf: bytearray, m: Commit) -> None:
+    _w_op(buf, m.op)
+    _w_version(buf, m.version)
+    _w_opt_op(buf, m.contingent)
+    _w_pids(buf, m.faulty)
+    _w_pids(buf, m.recovered)
+
+
+def _enc_state_transfer(buf: bytearray, m: StateTransfer) -> None:
+    _w_pids(buf, m.view)
+    _w_version(buf, m.version)
+    _w_ops(buf, m.seq)
+    _w_pid(buf, m.mgr)
+    _w_opt_op(buf, m.contingent)
+    _w_pids(buf, m.faulty)
+
+
+def _enc_interrogate_ok(buf: bytearray, m: InterrogateOk) -> None:
+    _w_version(buf, m.version)
+    _w_ops(buf, m.seq)
+    _w_plans(buf, m.plans)
+
+
+def _enc_propose_like(buf: bytearray, m) -> None:
+    _w_ops(buf, m.ops)
+    _w_version(buf, m.version)
+    _w_opt_op(buf, m.invis)
+    _w_pids(buf, m.faulty)
+
+
+_COMPACT_ENCODERS: dict[type, tuple[int, Callable[[bytearray, Any], None]]] = {
+    FaultyNotice: (1, lambda buf, m: _w_pid(buf, m.target)),
+    JoinRequest: (2, lambda buf, m: _w_pid(buf, m.joiner)),
+    Invite: (3, lambda buf, m: (_w_op(buf, m.op), _w_version(buf, m.version))),
+    UpdateOk: (4, lambda buf, m: _w_version(buf, m.version)),
+    Commit: (5, _enc_commit),
+    StateTransfer: (6, _enc_state_transfer),
+    Interrogate: (7, lambda buf, m: _w_pids(buf, m.hi_faulty)),
+    InterrogateOk: (8, _enc_interrogate_ok),
+    Propose: (9, _enc_propose_like),
+    ProposeOk: (10, lambda buf, m: _w_version(buf, m.version)),
+    ReconfigCommit: (11, _enc_propose_like),
+    Ping: (12, lambda buf, m: _w_i64(buf, m.nonce)),
+    Pong: (13, lambda buf, m: _w_i64(buf, m.nonce)),
+}
+
+_COMPACT_DECODERS: dict[int, Callable[[_Reader], Any]] = {
+    1: lambda r: FaultyNotice(target=r.pid()),
+    2: lambda r: JoinRequest(joiner=r.pid()),
+    3: lambda r: Invite(op=r.op(), version=r.u32()),
+    4: lambda r: UpdateOk(version=r.u32()),
+    5: lambda r: Commit(
+        op=r.op(),
+        version=r.u32(),
+        contingent=r.opt_op(),
+        faulty=r.pids(),
+        recovered=r.pids(),
+    ),
+    6: lambda r: StateTransfer(
+        view=r.pids(),
+        version=r.u32(),
+        seq=r.ops(),
+        mgr=r.pid(),
+        contingent=r.opt_op(),
+        faulty=r.pids(),
+    ),
+    7: lambda r: Interrogate(hi_faulty=r.pids()),
+    8: lambda r: InterrogateOk(version=r.u32(), seq=r.ops(), plans=r.plans()),
+    9: lambda r: Propose(
+        ops=r.ops(), version=r.u32(), invis=r.opt_op(), faulty=r.pids()
+    ),
+    10: lambda r: ProposeOk(version=r.u32()),
+    11: lambda r: ReconfigCommit(
+        ops=r.ops(), version=r.u32(), invis=r.opt_op(), faulty=r.pids()
+    ),
+    12: lambda r: Ping(nonce=r.i64()),
+    13: lambda r: Pong(nonce=r.i64()),
+}
+
+
+def encode_compact(
+    payload: object,
+    sender: ProcessId,
+    receiver: ProcessId,
+    category: str = "protocol",
+    msg_id: Optional[int] = None,
+) -> bytes:
+    """Encode one message as a compact binary frame (wire version 2).
+
+    The frame carries no length prefix of its own; stream transports add
+    one (:mod:`repro.aio.tcp` uses a u32 prefix).
+    """
+    entry = _COMPACT_ENCODERS.get(type(payload))
+    if entry is None:
+        raise CodecError(f"no encoding for payload type {type(payload).__name__}")
+    type_id, body = entry
+    buf = bytearray()
+    buf.append(_COMPACT_MAGIC)
+    buf.append(COMPACT_WIRE_VERSION)
+    buf.append(type_id)
+    buf.append(1 if msg_id is not None else 0)
+    _w_pid(buf, sender)
+    _w_pid(buf, receiver)
+    code = _CAT_CODES.get(category)
+    if code is None:
+        buf.append(_CAT_OTHER)
+        _w_str(buf, category)
+    else:
+        buf.append(code)
+    if msg_id is not None:
+        _w_i64(buf, msg_id)
+    body(buf, payload)
+    return bytes(buf)
+
+
+def decode_compact(
+    data: bytes,
+) -> tuple[ProcessId, ProcessId, object, str, Optional[int]]:
+    """Decode one compact frame back to
+    ``(sender, receiver, payload, category, msg_id)``."""
+    reader = _Reader(bytes(data))
+    magic = reader.u8()
+    if magic != _COMPACT_MAGIC:
+        raise CodecError(f"bad magic byte: {magic:#04x}")
+    version = reader.u8()
+    if version != COMPACT_WIRE_VERSION:
+        raise CodecError(f"unsupported wire version: {version!r}")
+    type_id = reader.u8()
+    decoder = _COMPACT_DECODERS.get(type_id)
+    if decoder is None:
+        raise CodecError(f"unknown message type id: {type_id}")
+    flags = reader.u8()
+    if flags > 1:
+        raise CodecError(f"unknown flag bits: {flags:#04x}")
+    sender = reader.pid()
+    receiver = reader.pid()
+    cat_code = reader.u8()
+    if cat_code == _CAT_OTHER:
+        category = reader.str_()
+    else:
+        named = _CAT_NAMES.get(cat_code)
+        if named is None:
+            raise CodecError(f"unknown category code: {cat_code}")
+        category = named
+    msg_id = reader.i64() if flags & 1 else None
+    payload = decoder(reader)
+    if reader.pos != len(reader.data):
+        raise CodecError(
+            f"trailing bytes after frame: {len(reader.data) - reader.pos}"
+        )
+    return sender, receiver, payload, category, msg_id

@@ -29,7 +29,7 @@ from repro.errors import SimulationError
 from repro.ids import ProcessId, ordered_view, pid
 from repro.sim.network import DelayModel, Network, UniformDelay
 from repro.sim.scheduler import Scheduler
-from repro.sim.trace import RunTrace
+from repro.sim.trace import RunTrace, TraceLevel
 from repro.core.member import GMPMember
 
 __all__ = ["MembershipCluster", "GroupMembershipService", "DetectorKind"]
@@ -52,12 +52,18 @@ class MembershipCluster:
         majority_updates: bool = True,
         member_class: type[GMPMember] | None = None,
         member_kwargs: Optional[dict[str, Any]] = None,
+        trace_level: TraceLevel | str | int = TraceLevel.FULL,
     ) -> None:
         self.initial_view = ordered_view(members)
         if not self.initial_view:
             raise ValueError("a cluster needs at least one member")
         self.scheduler = Scheduler()
-        self.trace = RunTrace()
+        #: ``trace_level`` below FULL trades trace queryability for
+        #: throughput (see :class:`repro.sim.trace.TraceLevel`); the model
+        #: checkers and ``agreed_view``-style queries need FULL only when
+        #: they read event history — version/view agreement reads live
+        #: member state and works at any level.
+        self.trace = RunTrace(level=trace_level)
         self.network = Network(
             self.scheduler,
             self.trace,

@@ -55,11 +55,18 @@ class LocalState:
             if not self.view:
                 raise ValueError("a member must start with a non-empty view")
             self.mgr = self.view[0]
+        # Parallel set over ``view`` for O(1) membership tests — the single
+        # hottest query at large group sizes.  ``view`` is mutated only by
+        # :meth:`apply`, which keeps the set (and the snapshot cache) in
+        # step.  Not a dataclass field: equality/repr stay view-based.
+        self._view_set: set[ProcessId] = set(self.view)
+        self._view_tuple: Optional[tuple[ProcessId, ...]] = None
+        self._faulty_tuple: Optional[tuple[ProcessId, ...]] = None
 
     # ----------------------------------------------------------- membership
 
     def is_member(self, proc: ProcessId) -> bool:
-        return proc in self.view
+        return proc in self._view_set
 
     def rank(self, proc: ProcessId) -> int:
         """Seniority rank within the current view (Mgr highest)."""
@@ -84,8 +91,9 @@ class LocalState:
         if target == self.me or target in self.ever_faulty:
             return False
         self.ever_faulty.add(target)
-        if target in self.view:
+        if target in self._view_set:
             self.faulty.add(target)
+            self._faulty_tuple = None
         if target in self.recovered:
             self.recovered.remove(target)
         return True
@@ -94,7 +102,7 @@ class LocalState:
         """Record that ``target`` is a (new) operational joiner."""
         if target == self.me or target in self.ever_faulty:
             return False
-        if target in self.view or target in self.recovered:
+        if target in self._view_set or target in self.recovered:
             return False
         self.recovered.append(target)
         return True
@@ -111,21 +119,42 @@ class LocalState:
         coordinator never reconfigures against itself) and I am not already
         the coordinator.
         """
-        if self.me == self.mgr or not self.is_member(self.me):
+        if self.me == self.mgr or self.me not in self._view_set:
             return False
-        seniors = self.seniors()
-        return bool(seniors) and all(p in self.faulty for p in seniors)
+        # Walk the view prefix directly instead of materializing seniors():
+        # this runs once per delivered message, so no tuple per call.
+        faulty = self.faulty
+        have_seniors = False
+        for p in self.view:
+            if p == self.me:
+                break
+            have_seniors = True
+            if p not in faulty:
+                return False
+        return have_seniors
 
     def faulty_members(self) -> tuple[ProcessId, ...]:
-        """Members of the current view believed faulty, in view order."""
-        return tuple(p for p in self.view if p in self.faulty)
+        """Members of the current view believed faulty, in view order.
+
+        Queried once per delivered message by outer members, so the tuple
+        is cached; :meth:`note_faulty` and :meth:`apply` (the only writers
+        of ``faulty``/``view``) invalidate it.
+        """
+        cached = self._faulty_tuple
+        if cached is None:
+            faulty = self.faulty
+            cached = (
+                tuple(p for p in self.view if p in faulty) if faulty else ()
+            )
+            self._faulty_tuple = cached
+        return cached
 
     # ------------------------------------------------------------------ ops
 
     def can_apply(self, op: Op) -> bool:
         if op.is_remove:
-            return op.target in self.view
-        return op.target not in self.view
+            return op.target in self._view_set
+        return op.target not in self._view_set
 
     def apply(self, op: Op, new_version: int) -> None:
         """Apply one committed operation, advancing to ``new_version``."""
@@ -135,18 +164,22 @@ class LocalState:
                 f"{self.version} (views change one at a time)"
             )
         if op.is_remove:
-            if op.target not in self.view:
+            if op.target not in self._view_set:
                 raise NotInViewError(
                     f"{self.me}: committed removal of non-member {op.target}"
                 )
             self.view.remove(op.target)
+            self._view_set.discard(op.target)
             self.faulty.discard(op.target)
         else:
-            if op.target in self.view:
+            if op.target in self._view_set:
                 raise NotInViewError(
                     f"{self.me}: committed addition of existing member {op.target}"
                 )
             self.view.append(op.target)
+            self._view_set.add(op.target)
+        self._view_tuple = None
+        self._faulty_tuple = None
         self.version = new_version
         self.seq.append(op)
 
@@ -158,7 +191,7 @@ class LocalState:
         subject of the operation being committed right now).
         """
         for joiner in self.recovered:
-            if joiner != skip and joiner not in self.view:
+            if joiner != skip and joiner not in self._view_set:
                 return Op("add", joiner)
         for member in self.view:
             if member != skip and member in self.faulty:
@@ -196,4 +229,7 @@ class LocalState:
         return tuple(self.seq)
 
     def snapshot_view(self) -> tuple[ProcessId, ...]:
-        return tuple(self.view)
+        snapshot = self._view_tuple
+        if snapshot is None:
+            snapshot = self._view_tuple = tuple(self.view)
+        return snapshot

@@ -78,21 +78,28 @@ class HeartbeatDetector(FailureDetector):
         if not self._running or self.owner is None:
             return
         owner = self.owner
-        own = self.network.processes().get(owner.pid)
+        own = self.network.get_process(owner.pid)
         if own is None or own.crashed:
             self._running = False
             return
         now = self.network.scheduler.now
+        last_heard = self._last_heard
+        targets: list[ProcessId] = []
         for member in owner.current_members():
             if member == owner.pid or owner.believes_faulty(member):
                 continue
-            last = self._last_heard.setdefault(member, now)
+            last = last_heard.setdefault(member, now)
             if now - last > self.timeout:
                 self._suspect(member)
                 continue
+            targets.append(member)
+        if targets:
+            # One nonce and one batched fan-out per round: the round's pongs
+            # all answer the same probe, so per-member nonces bought nothing
+            # but O(n) extra allocations.
             self._nonce += 1
-            self.network.send(
-                owner.pid, member, Ping(self._nonce), category="detector"
+            self.network.broadcast(
+                owner.pid, targets, Ping(self._nonce), category="detector"
             )
         self.network.scheduler.after(self.period, self._tick)
 
@@ -103,7 +110,7 @@ class HeartbeatDetector(FailureDetector):
         self._last_heard[sender] = self.network.scheduler.now
         if isinstance(payload, Ping):
             owner = self.owner
-            own = self.network.processes().get(owner.pid) if owner else None
+            own = self.network.get_process(owner.pid) if owner else None
             if owner is not None and own is not None and not own.crashed:
                 self.network.send(
                     owner.pid, sender, Pong(payload.nonce), category="detector"

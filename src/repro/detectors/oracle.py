@@ -72,7 +72,7 @@ class OracleDetector(FailureDetector):
         owner = self.owner
         if owner is None or not self._started:
             return
-        own_process = self.network.processes().get(owner.pid)
+        own_process = self.network.get_process(owner.pid)
         if own_process is None or own_process.crashed:
             return
         relevant = victim in owner.current_members() or victim in self._watched

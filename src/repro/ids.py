@@ -45,6 +45,19 @@ class ProcessId:
     name: str
     incarnation: int = 0
 
+    # Hand-written equality/hash: identity comparison is the single hottest
+    # operation in large-group simulations (view membership, round
+    # bookkeeping), and the dataclass-generated methods build a tuple per
+    # call.  Semantics are identical to the generated ones; ``order=True``
+    # still generates the comparison methods.
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is ProcessId:
+            return self.name == other.name and self.incarnation == other.incarnation
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.incarnation))
+
     def __str__(self) -> str:  # pragma: no cover - trivial
         if self.incarnation == 0:
             return self.name

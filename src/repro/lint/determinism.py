@@ -16,6 +16,13 @@ four ways nondeterminism typically leaks in:
   scheduler calls) or builds an ordered collection.  Set iteration order
   depends on ``PYTHONHASHSEED``; iterate ``sorted(...)`` instead.  (Dict
   iteration is insertion-ordered in Python 3.7+ and therefore exempt.)
+* **DET105** — ``sim/`` only: a for-loop over a private mutable dict
+  attribute (``self._held``, ``self._processes``, ...) feeding an
+  order-sensitive sink.  Dict iteration is insertion-ordered, but for
+  these substrate dicts insertion order *is arrival history* — a loop
+  that emits in that order couples replay to incidental event ordering
+  and breaks under any refactor that changes when entries appear.
+  Iterate ``sorted(...)`` over a stable key instead.
 
 The ``aio/`` real-network layer legitimately touches wall-clock machinery;
 it carries explicit ``# lint: allow[nondeterminism]`` comments where it
@@ -45,6 +52,9 @@ DET101 = rule("DET101", "wall-clock read in replay-critical code")
 DET102 = rule("DET102", "process-global / unseeded RNG use")
 DET103 = rule("DET103", "id()-based ordering is address-dependent")
 DET104 = rule("DET104", "set iteration feeds an order-sensitive sink")
+DET105 = rule(
+    "DET105", "arrival-ordered dict iteration feeds an order-sensitive sink"
+)
 
 #: Directories (relative to the package root) the auditor covers by default.
 DEFAULT_DETERMINISM_SCOPE: tuple[str, ...] = (
@@ -127,8 +137,30 @@ _ORDER_SINKS = {
 }
 
 
+_DICT_ANNOTATION_NAMES = (
+    "dict",
+    "Dict",
+    "defaultdict",
+    "OrderedDict",
+    "MutableMapping",
+    "Mapping",
+)
+
+
+def _annotation_is_dict(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    target = annotation
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    if isinstance(target, ast.Constant) and isinstance(target.value, str):
+        return target.value.lstrip().startswith(_DICT_ANNOTATION_NAMES)
+    chain = attribute_chain(target)
+    return bool(chain) and chain[-1] in _DICT_ANNOTATION_NAMES
+
+
 class DeterminismPass:
-    """AST pass implementing rules DET101–DET104."""
+    """AST pass implementing rules DET101–DET105."""
 
     name = "determinism"
 
@@ -158,6 +190,8 @@ class DeterminismPass:
             elif isinstance(node, ast.Compare):
                 findings.extend(self._check_compare(module, node))
         findings.extend(self._check_set_iteration(module))
+        if module.rel_path.split("/", 1)[0] == "sim":
+            findings.extend(self._check_dict_iteration(module))
         return [f for f in findings if f is not None]
 
     @staticmethod
@@ -348,3 +382,112 @@ class DeterminismPass:
                 if chain and chain[-1] in _ORDER_SINKS:
                     return True
         return False
+
+    # ----------------------------------------------------------------- DET105
+
+    _DICT_VIEWS = ("items", "keys", "values")
+
+    @classmethod
+    def _private_dict_attributes(cls, class_node: ast.ClassDef) -> set[str]:
+        """Attributes of ``self`` named ``_x`` and initialised/annotated as
+        dicts anywhere in the class body."""
+        attrs: set[str] = set()
+        for stmt in class_node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                if stmt.target.id.startswith("_") and _annotation_is_dict(
+                    stmt.annotation
+                ):
+                    attrs.add(stmt.target.id)
+        for method in (
+            n
+            for n in class_node.body
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ):
+            for stmt in ast.walk(method):
+                target = None
+                value = None
+                if isinstance(stmt, ast.AnnAssign):
+                    if _annotation_is_dict(stmt.annotation):
+                        target = stmt.target
+                elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target, value = stmt.targets[0], stmt.value
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and target.attr.startswith("_")
+                    and (value is None or cls._is_dict_literal(value))
+                ):
+                    attrs.add(target.attr)
+        return attrs
+
+    @staticmethod
+    def _is_dict_literal(node: ast.expr) -> bool:
+        if isinstance(node, (ast.Dict, ast.DictComp)):
+            return True
+        if isinstance(node, ast.Call):
+            chain = attribute_chain(node.func)
+            return bool(chain) and chain[-1] in ("dict", "defaultdict", "OrderedDict")
+        return False
+
+    def _iterates_private_dict(
+        self, iter_node: ast.expr, dict_attrs: set[str], aliases: set[str]
+    ) -> Optional[str]:
+        """The dict attribute a loop iterates, or None.
+
+        Matches ``self._x``, ``self._x.items()/keys()/values()``, and the
+        same through a hoisted local alias (``held = self._held``).
+        ``sorted(...)`` wrappers never match: the call chain is ``sorted``.
+        """
+        target = iter_node
+        if (
+            isinstance(target, ast.Call)
+            and isinstance(target.func, ast.Attribute)
+            and target.func.attr in self._DICT_VIEWS
+        ):
+            target = target.func.value
+        chain = attribute_chain(target)
+        if len(chain) == 2 and chain[0] == "self" and chain[1] in dict_attrs:
+            return chain[1]
+        if len(chain) == 1 and chain[0] in aliases:
+            return chain[0]
+        return None
+
+    def _check_dict_iteration(self, module: LintedModule) -> list:
+        out = []
+        for class_node, func in iter_functions(module.tree):
+            if class_node is None or not isinstance(
+                func, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            dict_attrs = self._private_dict_attributes(class_node)
+            if not dict_attrs:
+                continue
+            aliases: set[str] = set()
+            for stmt in ast.walk(func):
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target = stmt.targets[0]
+                    value_chain = attribute_chain(stmt.value)
+                    if (
+                        isinstance(target, ast.Name)
+                        and len(value_chain) == 2
+                        and value_chain[0] == "self"
+                        and value_chain[1] in dict_attrs
+                    ):
+                        aliases.add(target.id)
+            for node in walk_scope(func):
+                if not isinstance(node, ast.For):
+                    continue
+                attr = self._iterates_private_dict(node.iter, dict_attrs, aliases)
+                if attr is not None and self._has_order_sink(node):
+                    out.append(
+                        emit(
+                            module,
+                            node,
+                            DET105,
+                            f"for-loop over arrival-ordered dict {attr!r} "
+                            "feeds an order-sensitive operation; iterate "
+                            "sorted(...) over a stable key instead",
+                        )
+                    )
+        return out

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.ids import ProcessId
@@ -53,7 +52,6 @@ class EventKind(enum.Enum):
 _message_counter = itertools.count(1)
 
 
-@dataclass(frozen=True, slots=True)
 class MessageRecord:
     """A single message instance in flight.
 
@@ -63,19 +61,55 @@ class MessageRecord:
     per-category counting in the complexity benchmarks (e.g. ``"protocol"``
     vs ``"detector"`` traffic, which Section 7.2 does not charge to the
     algorithm).
+
+    A plain ``__slots__`` class (not a dataclass): one record is allocated
+    per simulated message, so construction cost is on the hot path.
+    Equality and hashing remain value-based over all five fields.
     """
 
-    sender: ProcessId
-    receiver: ProcessId
-    payload: Any
-    msg_id: int = field(default_factory=lambda: next(_message_counter))
-    category: str = "protocol"
+    __slots__ = ("sender", "receiver", "payload", "msg_id", "category")
+
+    def __init__(
+        self,
+        sender: ProcessId,
+        receiver: ProcessId,
+        payload: Any,
+        msg_id: Optional[int] = None,
+        category: str = "protocol",
+    ) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.payload = payload
+        self.msg_id = next(_message_counter) if msg_id is None else msg_id
+        self.category = category
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not MessageRecord:
+            return NotImplemented
+        return (
+            self.msg_id == other.msg_id
+            and self.sender == other.sender
+            and self.receiver == other.receiver
+            and self.payload == other.payload
+            and self.category == other.category
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.sender, self.receiver, self.payload, self.msg_id, self.category)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MessageRecord(sender={self.sender!r}, receiver={self.receiver!r}, "
+            f"payload={self.payload!r}, msg_id={self.msg_id!r}, "
+            f"category={self.category!r})"
+        )
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return f"m{self.msg_id}[{self.sender}->{self.receiver}: {self.payload}]"
 
 
-@dataclass(frozen=True, slots=True)
 class Event:
     """One event of one process history.
 
@@ -93,17 +127,82 @@ class Event:
         version: local view version for INSTALL events.
         view: membership snapshot for INSTALL events.
         detail: free-form annotation for reports.
+
+    Like :class:`MessageRecord`, a plain ``__slots__`` class: a FULL-level
+    trace allocates one per SEND/RECV/deliver, making construction cost
+    part of the simulator's inner loop.
     """
 
-    proc: ProcessId
-    kind: EventKind
-    index: int
-    time: float = 0.0
-    peer: Optional[ProcessId] = None
-    message: Optional[MessageRecord] = None
-    version: Optional[int] = None
-    view: Optional[tuple[ProcessId, ...]] = None
-    detail: str = ""
+    __slots__ = (
+        "proc",
+        "kind",
+        "index",
+        "time",
+        "peer",
+        "message",
+        "version",
+        "view",
+        "detail",
+    )
+
+    def __init__(
+        self,
+        proc: ProcessId,
+        kind: EventKind,
+        index: int,
+        time: float = 0.0,
+        peer: Optional[ProcessId] = None,
+        message: Optional[MessageRecord] = None,
+        version: Optional[int] = None,
+        view: Optional[tuple[ProcessId, ...]] = None,
+        detail: str = "",
+    ) -> None:
+        self.proc = proc
+        self.kind = kind
+        self.index = index
+        self.time = time
+        self.peer = peer
+        self.message = message
+        self.version = version
+        self.view = view
+        self.detail = detail
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Event:
+            return NotImplemented
+        return (
+            self.proc == other.proc
+            and self.kind == other.kind
+            and self.index == other.index
+            and self.time == other.time
+            and self.peer == other.peer
+            and self.message == other.message
+            and self.version == other.version
+            and self.view == other.view
+            and self.detail == other.detail
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.proc,
+                self.kind,
+                self.index,
+                self.time,
+                self.peer,
+                self.message,
+                self.version,
+                self.view,
+                self.detail,
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Event(proc={self.proc!r}, kind={self.kind!r}, index={self.index!r}, "
+            f"time={self.time!r}, peer={self.peer!r}, message={self.message!r}, "
+            f"version={self.version!r}, view={self.view!r}, detail={self.detail!r})"
+        )
 
     def is_communication(self) -> bool:
         """True for SEND/RECV events (the only cross-history causal edges)."""

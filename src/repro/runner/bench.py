@@ -37,12 +37,16 @@ from repro.workloads.failures import (
     single_failure_messages,
 )
 
-__all__ = ["run_bench", "BENCH_FILENAME"]
+__all__ = ["run_bench", "check_scale_regression", "BENCH_FILENAME"]
 
 BENCH_FILENAME = "BENCH_results.json"
 
 _QUICK_SIZES = [4, 6]
 _FULL_SIZES = [4, 6, 8, 12, 16]
+
+#: the ``--scale`` n-sweep (``--quick`` keeps only the CI-sized prefix).
+_SCALE_SIZES = [10, 50, 100, 250, 500, 1000]
+_SCALE_QUICK_SIZES = [10, 50, 100]
 
 #: the Figure 4 family: coordinator and an outer member suspect each other.
 _FIGURE4_PARAMS: dict[str, Any] = {
@@ -142,10 +146,72 @@ def _bench_dedup() -> dict[str, Any]:
     }
 
 
+def _churn_cell(n: int) -> dict[str, Any]:
+    """One ``--scale`` cell: join-churn-exclude throughput at size ``n``."""
+    from repro.workloads.failures import churn_run
+
+    start = time.perf_counter()  # lint: allow[DET101]
+    cluster = churn_run(n, seed=0, trace_level="counts")
+    wall = time.perf_counter() - start  # lint: allow[DET101]
+    events = cluster.scheduler.events_run
+    msgs = cluster.trace.message_count(None)
+    return {
+        "n": n,
+        "wall_s": wall,
+        "events": events,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "msgs": msgs,
+        "msgs_per_sec": msgs / wall if wall > 0 else 0.0,
+    }
+
+
+def _bench_scale(sizes: list[int]) -> dict[str, Any]:
+    """The n-sweep.  Cells run sequentially on purpose: sharding them across
+    the worker pool would have every cell contending for the same cores and
+    turn the per-n wall clocks into noise."""
+    return {
+        "workload": "join-churn-exclude",
+        "trace_level": "counts",
+        "cells": [_churn_cell(n) for n in sizes],
+    }
+
+
+def check_scale_regression(
+    payload: dict[str, Any],
+    baseline: dict[str, Any],
+    threshold: float = 0.30,
+) -> list[str]:
+    """Compare a fresh ``scale`` section against a committed baseline.
+
+    Returns one message per cell whose churn events/sec dropped by more
+    than ``threshold`` relative to the baseline cell of the same ``n``
+    (cells present on only one side are skipped — quick sweeps cover a
+    prefix of the full sweep).  Empty list means no regression.
+    """
+    if "scale" not in payload or "scale" not in baseline:
+        return ["baseline or fresh run has no 'scale' section (run with --scale)"]
+    base_by_n = {cell["n"]: cell for cell in baseline["scale"]["cells"]}
+    failures = []
+    for cell in payload["scale"]["cells"]:
+        base = base_by_n.get(cell["n"])
+        if base is None or base["events_per_sec"] <= 0:
+            continue
+        ratio = cell["events_per_sec"] / base["events_per_sec"]
+        if ratio < 1.0 - threshold:
+            failures.append(
+                f"n={cell['n']}: {cell['events_per_sec']:,.0f} events/s is "
+                f"{(1.0 - ratio) * 100:.0f}% below baseline "
+                f"{base['events_per_sec']:,.0f} events/s "
+                f"(threshold {threshold * 100:.0f}%)"
+            )
+    return failures
+
+
 def run_bench(
     quick: bool = False,
     workers: Optional[int] = None,
     out_dir: str | Path = ".",
+    scale: bool = False,
 ) -> Path:
     """Run the full bench suite and write ``BENCH_results.json``.
 
@@ -162,6 +228,10 @@ def run_bench(
         "explorer": _bench_explorer(),
         "dedup": _bench_dedup(),
     }
+    if scale:
+        payload["scale"] = _bench_scale(
+            _SCALE_QUICK_SIZES if quick else _SCALE_SIZES
+        )
     out = Path(out_dir) / BENCH_FILENAME
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -196,4 +266,15 @@ def summarize(payload: dict[str, Any]) -> str:
         f"as {dedup['states']} unique expansions "
         f"({dedup['state_reduction_factor']:.0f}x reduction)"
     )
+    scale = payload.get("scale")
+    if scale is not None:
+        lines.append(
+            f"scale ({scale['workload']}, trace={scale['trace_level']}):"
+        )
+        for cell in scale["cells"]:
+            lines.append(
+                f"  n={cell['n']:<5} {cell['events']:>8} events  "
+                f"{cell['wall_s']:8.3f}s  {cell['events_per_sec']:>10,.0f} ev/s  "
+                f"{cell['msgs_per_sec']:>10,.0f} msg/s"
+            )
     return "\n".join(lines)

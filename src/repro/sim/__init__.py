@@ -20,7 +20,7 @@ in the event queue break by insertion order.
 """
 
 from repro.sim.scheduler import Scheduler, Timer
-from repro.sim.trace import RunTrace
+from repro.sim.trace import RunTrace, TraceLevel
 from repro.sim.network import (
     Network,
     DelayModel,
@@ -35,6 +35,7 @@ __all__ = [
     "Scheduler",
     "Timer",
     "RunTrace",
+    "TraceLevel",
     "Network",
     "DelayModel",
     "FixedDelay",

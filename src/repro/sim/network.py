@@ -16,7 +16,7 @@ it (its history is crash-terminated).
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Callable, Optional, Protocol
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Protocol
 
 from repro.errors import ProcessCrashedError, SimulationError
 from repro.ids import ProcessId
@@ -112,8 +112,10 @@ class Network:
         #: held messages per blocked channel, FIFO order
         self._held: dict[tuple[ProcessId, ProcessId], list[MessageRecord]] = {}
         self._partitioned: set[frozenset[ProcessId]] = set()
-        self._send_observers: list[Callable[[MessageRecord], None]] = []
-        self._crash_observers: list[Callable[[ProcessId], None]] = []
+        #: observers live in immutable tuples: iteration needs no defensive
+        #: copy (registration rebinds), which matters on the per-send path.
+        self._send_observers: tuple[Callable[[MessageRecord], None], ...] = ()
+        self._crash_observers: tuple[Callable[[ProcessId], None], ...] = ()
 
     # ------------------------------------------------------------ membership
 
@@ -124,6 +126,11 @@ class Network:
 
     def process(self, pid: ProcessId) -> "SimProcess":
         return self._processes[pid]
+
+    def get_process(self, pid: ProcessId) -> "Optional[SimProcess]":
+        """O(1) lookup, or ``None`` — no defensive copy (hot-path accessor;
+        :meth:`processes` copies the whole registry on every call)."""
+        return self._processes.get(pid)
 
     def processes(self) -> dict[ProcessId, "SimProcess"]:
         return dict(self._processes)
@@ -144,7 +151,9 @@ class Network:
         """Remove all partitions and flush held messages in FIFO order."""
         self._partitioned.clear()
         held, self._held = self._held, {}
-        for channel, records in held.items():
+        # Sorted by (sender, receiver) so heal-time delivery order does not
+        # depend on dict insertion/hash order across Python hash seeds.
+        for channel, records in sorted(held.items()):
             for record in records:
                 self._schedule_delivery(record, extra_delay=0.0)
 
@@ -155,7 +164,7 @@ class Network:
 
     def add_send_observer(self, observer: Callable[[MessageRecord], None]) -> None:
         """Register a hook called on every successful send (crash triggers)."""
-        self._send_observers.append(observer)
+        self._send_observers = (*self._send_observers, observer)
 
     def add_crash_observer(self, observer: Callable[[ProcessId], None]) -> None:
         """Register a hook called whenever a process crashes or quits.
@@ -165,11 +174,11 @@ class Network:
         failure detector (which models "suspicion in finite time after a
         real crash", F1's liveness clause) and test assertions.
         """
-        self._crash_observers.append(observer)
+        self._crash_observers = (*self._crash_observers, observer)
 
     def notify_crash(self, pid: ProcessId) -> None:
         """Called by :class:`SimProcess` when it crashes or quits."""
-        for observer in list(self._crash_observers):
+        for observer in self._crash_observers:
             observer(pid)
 
     def send(
@@ -197,7 +206,7 @@ class Network:
             peer=receiver,
             message=record,
         )
-        for observer in list(self._send_observers):
+        for observer in self._send_observers:
             observer(record)
         # The observer may have crashed the sender (crash-mid-broadcast),
         # but this message was already sent: it stays in flight.
@@ -206,6 +215,61 @@ class Network:
         else:
             self._schedule_delivery(record)
         return record
+
+    def broadcast(
+        self,
+        sender: ProcessId,
+        receivers: Iterable[ProcessId],
+        payload: object,
+        category: str = "protocol",
+    ) -> int:
+        """Batched fan-out of one payload to many receivers.
+
+        Per-receiver behaviour — message record, SEND trace event, send
+        observers, partition check, delay draw, FIFO channel clock — is
+        exactly that of a sequence of :meth:`send` calls, but the attribute
+        lookups are amortized over the whole fan-out.  ``sender`` itself is
+        skipped, and a crash of the sender mid-fan-out (e.g. via a send
+        observer) truncates the broadcast: already-sent messages stay in
+        flight, the rest are never sent.  Returns the number of messages
+        actually sent (0, without raising, if the sender is already
+        crashed).
+        """
+        process = self._processes.get(sender)
+        if process is None:
+            raise SimulationError(f"unknown sender {sender}")
+        scheduler = self.scheduler
+        now = scheduler.now
+        at = scheduler.at
+        record_event = self.trace.record
+        delay_model_delay = self.delay_model.delay
+        rng = self.rng
+        clock = self._channel_clock
+        partitioned = self._partitioned
+        held = self._held
+        deliver = self._deliver
+        sent = 0
+        for receiver in receivers:
+            if receiver == sender:
+                continue
+            if process.crashed:
+                break
+            record = MessageRecord(sender, receiver, payload, None, category)
+            record_event(sender, EventKind.SEND, time=now, peer=receiver, message=record)
+            for observer in self._send_observers:
+                observer(record)
+            if partitioned and frozenset((sender, receiver)) in partitioned:
+                held.setdefault((sender, receiver), []).append(record)
+            else:
+                channel = (sender, receiver)
+                when = now + delay_model_delay(sender, receiver, rng)
+                earliest_fifo = clock.get(channel, 0.0) + _FIFO_EPSILON
+                if when < earliest_fifo:
+                    when = earliest_fifo
+                clock[channel] = when
+                at(when, lambda record=record: deliver(record))
+            sent += 1
+        return sent
 
     def _schedule_delivery(self, record: MessageRecord, extra_delay: float | None = None) -> None:
         delay = (

@@ -108,16 +108,11 @@ class SimProcess:
         Indivisible (all sends at one instant) but not failure-atomic: if a
         crash rule fires partway, remaining sends are silently skipped.
         Returns the number of messages actually sent.
+
+        Delegates to :meth:`Network.broadcast`, which preserves those
+        semantics while amortizing the per-send lookups over the fan-out.
         """
-        sent = 0
-        for target in targets:
-            if target == self.pid:
-                continue
-            if self.crashed:
-                break  # crash mid-broadcast: remaining sends lost
-            self.network.send(self.pid, target, payload, category=category)
-            sent += 1
-        return sent
+        return self.network.broadcast(self.pid, targets, payload, category=category)
 
     def set_timer(self, delay: float, callback: Callable[[], None]) -> Timer:
         """Schedule a local timer; auto-suppressed if this process crashes."""

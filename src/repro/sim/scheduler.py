@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.errors import SchedulerExhaustedError
@@ -18,14 +17,25 @@ from repro.errors import SchedulerExhaustedError
 __all__ = ["Scheduler", "Timer"]
 
 
-@dataclass(order=True)
 class _Entry:
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    #: set once the callback has run (a late cancel() must not double-count).
-    finished: bool = field(default=False, compare=False)
+    """One heap cell.  A plain ``__slots__`` class — one is allocated per
+    scheduled callback, so construction is on the simulator's hot path."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "finished")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        #: set once the callback has run (a late cancel() must not
+        #: double-count).
+        self.finished = False
+
+    def __lt__(self, other: "_Entry") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
 
 class Timer:
@@ -116,26 +126,39 @@ class Scheduler:
     ) -> None:
         """Run events until the queue drains or ``until`` is reached.
 
+        At most ``max_events`` callbacks run; if a further live event would
+        remain, :class:`SchedulerExhaustedError` is raised *before* running
+        it (the guard used to allow ``max_events + 1`` callbacks through).
+
         Raises:
             SchedulerExhaustedError: if ``max_events`` callbacks run without
                 draining — a runaway-loop guard, since protocol bugs can
                 easily produce infinite message ping-pong.
         """
+        heap = self._heap
+        pop = heapq.heappop
         executed = 0
-        while self._heap:
-            next_live = self._peek_live()
-            if next_live is None:
-                return
-            if until is not None and next_live.time > until:
+        while heap:
+            entry = heap[0]
+            if entry.cancelled:
+                pop(heap)
+                continue
+            if until is not None and entry.time > until:
                 self.now = until
                 return
-            if not self.step():
-                return
-            executed += 1
-            if executed > max_events:
+            if executed >= max_events:
                 raise SchedulerExhaustedError(
                     f"exceeded {max_events} events without quiescing"
                 )
+            # Execute the entry we just peeked at directly instead of
+            # re-popping through step().
+            pop(heap)
+            entry.finished = True
+            self._live -= 1
+            self.now = entry.time
+            self._events_run += 1
+            executed += 1
+            entry.callback()
         if until is not None and until > self.now:
             self.now = until
 
@@ -148,24 +171,34 @@ class Scheduler:
         """Run until ``predicate()`` is true.  Returns whether it became true.
 
         The predicate is checked before every event, so the loop stops at
-        the earliest instant the condition holds.
+        the earliest instant the condition holds.  Like :meth:`run`, at most
+        ``max_events`` callbacks are executed.
         """
+        heap = self._heap
+        pop = heapq.heappop
         executed = 0
         while True:
             if predicate():
                 return True
-            next_live = self._peek_live()
-            if next_live is None:
+            while heap and heap[0].cancelled:
+                pop(heap)
+            if not heap:
                 return predicate()
-            if until is not None and next_live.time > until:
+            entry = heap[0]
+            if until is not None and entry.time > until:
                 self.now = until
                 return predicate()
-            self.step()
-            executed += 1
-            if executed > max_events:
+            if executed >= max_events:
                 raise SchedulerExhaustedError(
                     f"exceeded {max_events} events while waiting for condition"
                 )
+            pop(heap)
+            entry.finished = True
+            self._live -= 1
+            self.now = entry.time
+            self._events_run += 1
+            executed += 1
+            entry.callback()
 
     def _peek_live(self) -> Optional[_Entry]:
         while self._heap and self._heap[0].cancelled:

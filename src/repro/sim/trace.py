@@ -6,19 +6,62 @@ everything in :mod:`repro.model` and :mod:`repro.properties` consumes it.
 It also powers the complexity benchmarks: messages are tagged with a
 category so detector traffic (which Section 7.2 does not charge to the
 algorithm) can be counted separately from protocol traffic.
+
+Trace levels
+------------
+
+Large-group throughput runs spend a surprising fraction of their time
+allocating :class:`Event` objects that nobody ever reads.  The trace is
+therefore *leveled*:
+
+* :attr:`TraceLevel.FULL` (the default) — record every event object,
+  byte-identical to the historical behaviour.  Required by the model
+  checkers, the explorer and every correctness test.
+* :attr:`TraceLevel.COUNTS` — allocate nothing per event; maintain only
+  per-kind and per-category/per-type SEND counters (enough for the
+  complexity benchmarks' ``message_count`` queries).
+* :attr:`TraceLevel.OFF` — bookkeeping only (indices, termination, ground
+  truth crashes); all counts read as zero.
+
+Every level keeps the crash-termination guard and the ``quit_or_crashed``
+set exact — the oracle detector reads them during a run.
 """
 
 from __future__ import annotations
 
+import enum
 from collections import Counter
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator, Optional, Union
 
 from repro.errors import TraceError
 from repro.ids import ProcessId
 from repro.model.events import Event, EventKind, MessageRecord
 from repro.model.history import ProcessHistory, history_of
 
-__all__ = ["RunTrace"]
+__all__ = ["RunTrace", "TraceLevel"]
+
+
+class TraceLevel(enum.IntEnum):
+    """How much a :class:`RunTrace` records (see the module docstring)."""
+
+    OFF = 0
+    COUNTS = 1
+    FULL = 2
+
+    @classmethod
+    def coerce(cls, value: Union["TraceLevel", str, int]) -> "TraceLevel":
+        """Accept a level, its name (any case), or its integer value."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls[value.upper()]
+            except KeyError:
+                raise ValueError(
+                    f"unknown trace level {value!r}; "
+                    f"expected one of {[m.name.lower() for m in cls]}"
+                ) from None
+        return cls(value)
 
 
 class RunTrace:
@@ -30,10 +73,23 @@ class RunTrace:
     Section 2.1).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, level: Union[TraceLevel, str, int] = TraceLevel.FULL) -> None:
+        self._level = TraceLevel.coerce(level)
+        self._full = self._level is TraceLevel.FULL
         self._events: list[Event] = []
         self._indices: dict[ProcessId, int] = {}
         self._terminated: set[ProcessId] = set()
+        self._crashed: set[ProcessId] = set()
+        #: events recorded at non-FULL levels (FULL uses ``len(_events)``).
+        self._recorded = 0
+        #: COUNTS-level counters (empty at other levels).
+        self._kind_counts: dict[EventKind, int] = {}
+        self._send_by_category: dict[str, int] = {}
+        self._send_by_type: dict[str, dict[str, int]] = {}
+
+    @property
+    def level(self) -> TraceLevel:
+        return self._level
 
     # ------------------------------------------------------------- recording
 
@@ -47,59 +103,86 @@ class RunTrace:
         version: Optional[int] = None,
         view: Optional[tuple[ProcessId, ...]] = None,
         detail: str = "",
-    ) -> Event:
-        """Append one event to ``proc``'s history and return it."""
+    ) -> Optional[Event]:
+        """Append one event to ``proc``'s history and return it.
+
+        Returns ``None`` below :attr:`TraceLevel.FULL` (no event object is
+        allocated there).
+        """
         if proc in self._terminated:
             raise TraceError(f"{proc} already terminated; cannot record {kind}")
-        index = self._indices.get(proc)
+        full = self._full
+        indices = self._indices
+        index = indices.get(proc)
         if index is None:
             if kind is not EventKind.START:
                 # Auto-insert the START event the model requires.
-                start = Event(proc=proc, kind=EventKind.START, index=0, time=time)
-                self._events.append(start)
-                self._indices[proc] = 1
+                if full:
+                    self._events.append(Event(proc, EventKind.START, 0, time))
+                else:
+                    self._recorded += 1
+                    if self._level is TraceLevel.COUNTS:
+                        kc = self._kind_counts
+                        kc[EventKind.START] = kc.get(EventKind.START, 0) + 1
                 index = 1
             else:
                 index = 0
-        event = Event(
-            proc=proc,
-            kind=kind,
-            index=index,
-            time=time,
-            peer=peer,
-            message=message,
-            version=version,
-            view=view,
-            detail=detail,
-        )
-        self._events.append(event)
-        self._indices[proc] = index + 1
-        if kind in (EventKind.QUIT, EventKind.CRASH):
+        event: Optional[Event] = None
+        if full:
+            event = Event(proc, kind, index, time, peer, message, version, view, detail)
+            self._events.append(event)
+        else:
+            self._recorded += 1
+            if self._level is TraceLevel.COUNTS:
+                kc = self._kind_counts
+                kc[kind] = kc.get(kind, 0) + 1
+                if kind is EventKind.SEND and message is not None:
+                    category = message.category
+                    sends = self._send_by_category
+                    sends[category] = sends.get(category, 0) + 1
+                    by_type = self._send_by_type.get(category)
+                    if by_type is None:
+                        by_type = self._send_by_type[category] = {}
+                    name = type(message.payload).__name__
+                    by_type[name] = by_type.get(name, 0) + 1
+        indices[proc] = index + 1
+        if kind is EventKind.QUIT or kind is EventKind.CRASH:
             self._terminated.add(proc)
+            if kind is EventKind.CRASH:
+                self._crashed.add(proc)
         return event
 
     # --------------------------------------------------------------- queries
 
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._events) if self._full else self._recorded
 
     def __iter__(self) -> Iterator[Event]:
         return iter(self._events)
 
     @property
     def events(self) -> list[Event]:
-        """All events, globally ordered by occurrence."""
+        """All events, globally ordered by occurrence (empty below FULL)."""
         return list(self._events)
 
     def processes(self) -> set[ProcessId]:
         return set(self._indices)
 
+    def _require_full(self, what: str) -> None:
+        if not self._full:
+            raise TraceError(
+                f"{what} requires TraceLevel.FULL (this trace is "
+                f"{self._level.name})"
+            )
+
     def history(self, proc: ProcessId) -> ProcessHistory:
         """The validated history of one process."""
+        self._require_full("history()")
         return history_of(self._events, proc)
 
     def histories(self) -> dict[ProcessId, ProcessHistory]:
         """All validated histories, keyed by process."""
+        self._require_full("histories()")
         return {p: self.history(p) for p in sorted(self.processes())}
 
     def events_of(self, proc: ProcessId, kind: Optional[EventKind] = None) -> list[Event]:
@@ -114,10 +197,16 @@ class RunTrace:
 
     def crashed(self) -> set[ProcessId]:
         """Processes with a ground-truth CRASH event (``DOWN`` in the model)."""
-        return {e.proc for e in self._events if e.kind is EventKind.CRASH}
+        return set(self._crashed)
 
     def quit_or_crashed(self) -> set[ProcessId]:
         return set(self._terminated)
+
+    def kind_counts(self) -> Counter[EventKind]:
+        """Events recorded per kind (available at FULL and COUNTS)."""
+        if self._full:
+            return Counter(e.kind for e in self._events)
+        return Counter(self._kind_counts)
 
     # ------------------------------------------------------ message counting
 
@@ -127,29 +216,37 @@ class RunTrace:
         Pass ``category=None`` to count everything.  Section 7.2 counts
         protocol messages only, so that is the default.
         """
-        return sum(
-            1
-            for e in self._events
-            if e.kind is EventKind.SEND
-            and e.message is not None
-            and (category is None or e.message.category == category)
-        )
+        if self._full:
+            return sum(
+                1
+                for e in self._events
+                if e.kind is EventKind.SEND
+                and e.message is not None
+                and (category is None or e.message.category == category)
+            )
+        if category is None:
+            return sum(self._send_by_category.values())
+        return self._send_by_category.get(category, 0)
 
     def message_counts_by_category(self) -> Counter[str]:
-        counts: Counter[str] = Counter()
-        for e in self._events:
-            if e.kind is EventKind.SEND and e.message is not None:
-                counts[e.message.category] += 1
-        return counts
+        if self._full:
+            counts: Counter[str] = Counter()
+            for e in self._events:
+                if e.kind is EventKind.SEND and e.message is not None:
+                    counts[e.message.category] += 1
+            return counts
+        return Counter(self._send_by_category)
 
     def message_counts_by_type(self, category: str = "protocol") -> Counter[str]:
         """SEND counts keyed by payload class name — per-phase breakdowns."""
-        counts: Counter[str] = Counter()
-        for e in self._events:
-            if e.kind is EventKind.SEND and e.message is not None:
-                if e.message.category == category:
-                    counts[type(e.message.payload).__name__] += 1
-        return counts
+        if self._full:
+            counts: Counter[str] = Counter()
+            for e in self._events:
+                if e.kind is EventKind.SEND and e.message is not None:
+                    if e.message.category == category:
+                        counts[type(e.message.payload).__name__] += 1
+            return counts
+        return Counter(self._send_by_type.get(category, {}))
 
     # ---------------------------------------------------------------- output
 

@@ -168,6 +168,23 @@ class _FrontierNetwork:
         self.channels.setdefault((sender, receiver), []).append(record)
         return record
 
+    def broadcast(self, sender, receivers, payload, category="protocol"):
+        """Sequential-send fan-out, mirroring :meth:`Network.broadcast`:
+        skips self, truncates (without raising) if the sender crashes
+        mid-loop, returns the number of messages sent."""
+        process = self._processes.get(sender)
+        if process is None:
+            raise SimulationError(f"unknown sender {sender}")
+        sent = 0
+        for receiver in receivers:
+            if receiver == sender:
+                continue
+            if process.crashed:
+                break
+            self.send(sender, receiver, payload, category=category)
+            sent += 1
+        return sent
+
     def deliver_head(self, channel: tuple[ProcessId, ProcessId]) -> None:
         queue = self.channels.get(channel)
         if not queue:

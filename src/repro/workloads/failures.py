@@ -26,6 +26,7 @@ __all__ = [
     "single_failure_run",
     "double_failure_run",
     "coordinator_failure_run",
+    "churn_run",
     "single_failure_messages",
     "double_failure_messages",
 ]
@@ -65,6 +66,31 @@ def double_failure_run(n: int, seed: int = 0) -> MembershipCluster:
 def coordinator_failure_run(n: int, seed: int = 0) -> MembershipCluster:
     """Crash the coordinator: one full reconfiguration."""
     return single_failure_run(n, seed=seed, victim="p0")
+
+
+def churn_run(
+    n: int,
+    seed: int = 0,
+    trace_level: "TraceLevel | str | int" = "full",
+) -> MembershipCluster:
+    """Join-churn-exclude at size ``n``: the ``bench --scale`` workload.
+
+    One joiner at t=5 (StateTransfer + add round), the most junior member
+    crashing at t=40 (a plain update round), and the coordinator crashing
+    at t=60 (a full three-phase reconfiguration) — the three structurally
+    distinct view changes in a single run.  Pass ``trace_level="counts"``
+    for throughput measurements; the default FULL trace stays byte-for-byte
+    what it was before the level knob existed.
+    """
+    cluster = MembershipCluster.of_size(
+        n, seed=seed, delay_model=FixedDelay(1.0), trace_level=trace_level
+    )
+    cluster.start()
+    cluster.join("j0", at=5.0)
+    cluster.crash(f"p{n - 1}", at=40.0)
+    cluster.crash("p0", at=60.0)
+    cluster.settle(max_events=5_000_000)
+    return cluster
 
 
 def single_failure_messages(

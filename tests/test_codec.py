@@ -189,3 +189,143 @@ class TestPropertyRoundTrips:
         data = encode_bytes(message, A, B)
         _, _, decoded, _, _ = decode_bytes(data)
         assert decoded == message
+
+
+# ------------------------------------------------------------- compact wire
+
+
+class TestCompactRoundTrips:
+    """Every message type must survive the struct-packed wire exactly, and
+    agree byte-for-meaning with the JSON wire (the cross-codec check)."""
+
+    @pytest.mark.parametrize(
+        "message", ALL_MESSAGES, ids=lambda m: type(m).__name__
+    )
+    @pytest.mark.parametrize("category", ["protocol", "detector", "gossip"])
+    @pytest.mark.parametrize("msg_id", [None, 42])
+    def test_cross_codec_round_trip(self, message, category, msg_id):
+        frame = codec.encode_compact(message, A, B, category, msg_id=msg_id)
+        compact = codec.decode_compact(frame)
+        via_json = decode_bytes(
+            encode_bytes(message, A, B, category, msg_id=msg_id)
+        )
+        assert compact == via_json
+        sender, receiver, payload, cat, mid = compact
+        assert (sender, receiver, payload) == (A, B, message)
+        assert (cat, mid) == (category, msg_id)
+
+    def test_wire_version_and_magic(self):
+        frame = codec.encode_compact(UpdateOk(version=1), A, B)
+        assert frame[0] == 0xC3
+        assert frame[1] == codec.COMPACT_WIRE_VERSION == 2
+
+    @pytest.mark.parametrize(
+        "message", ALL_MESSAGES, ids=lambda m: type(m).__name__
+    )
+    def test_compact_beats_json_size(self, message):
+        compact = codec.encode_compact(message, A, B)
+        as_json = encode_bytes(message, A, B)
+        assert len(compact) < len(as_json)
+
+    @given(
+        version=st.integers(1, 100),
+        seq=st.lists(ops, max_size=5),
+        plans=st.lists(
+            st.builds(Plan, st.none() | ops, pids, st.none() | st.integers(1, 50)),
+            max_size=3,
+        ),
+    )
+    def test_interrogate_ok_compact_round_trips(self, version, seq, plans):
+        message = InterrogateOk(version=version, seq=tuple(seq), plans=tuple(plans))
+        frame = codec.encode_compact(message, A, B)
+        _, _, decoded, _, _ = codec.decode_compact(frame)
+        assert decoded == message
+
+
+class TestCompactRejections:
+    @pytest.mark.parametrize(
+        "message", ALL_MESSAGES, ids=lambda m: type(m).__name__
+    )
+    def test_every_truncation_is_rejected(self, message):
+        """No prefix of any frame may decode — covers truncated pid lists,
+        truncated strings, and missing bodies in one sweep."""
+        frame = codec.encode_compact(message, A, B, "detector", msg_id=7)
+        for cut in range(len(frame)):
+            with pytest.raises(CodecError):
+                codec.decode_compact(frame[:cut])
+
+    def test_trailing_bytes_rejected(self):
+        frame = codec.encode_compact(UpdateOk(version=1), A, B)
+        with pytest.raises(CodecError):
+            codec.decode_compact(frame + b"\x00")
+
+    def test_bad_magic(self):
+        frame = bytearray(codec.encode_compact(UpdateOk(version=1), A, B))
+        frame[0] = 0x00
+        with pytest.raises(CodecError):
+            codec.decode_compact(bytes(frame))
+
+    def test_wrong_wire_version(self):
+        frame = bytearray(codec.encode_compact(UpdateOk(version=1), A, B))
+        frame[1] = 99
+        with pytest.raises(CodecError):
+            codec.decode_compact(bytes(frame))
+
+    def test_unknown_type_id(self):
+        frame = bytearray(codec.encode_compact(UpdateOk(version=1), A, B))
+        frame[2] = 0xEE
+        with pytest.raises(CodecError):
+            codec.decode_compact(bytes(frame))
+
+    def test_unknown_flag_bits(self):
+        frame = bytearray(codec.encode_compact(UpdateOk(version=1), A, B))
+        frame[3] = 0x07
+        with pytest.raises(CodecError):
+            codec.decode_compact(bytes(frame))
+
+    def test_unknown_category_code(self):
+        frame = bytearray(codec.encode_compact(UpdateOk(version=1), A, B))
+        # category byte sits right after the two pids
+        offset = 4
+        for _ in range(2):  # sender, receiver
+            (name_len,) = codec._U16.unpack_from(frame, offset)
+            offset += 2 + name_len + 4
+        frame[offset] = 0x7F
+        with pytest.raises(CodecError):
+            codec.decode_compact(bytes(frame))
+
+    def test_negative_version_refused_by_encoder(self):
+        with pytest.raises(CodecError):
+            codec.encode_compact(UpdateOk(version=-1), A, B)
+
+    def test_oversize_version_refused_by_encoder(self):
+        with pytest.raises(CodecError):
+            codec.encode_compact(UpdateOk(version=2**32), A, B)
+
+
+class TestJsonRejectionsExtended:
+    """Error paths shared with (and mirrored by) the compact wire."""
+
+    def test_frame_missing_body(self):
+        frame = encode(UpdateOk(version=1), A, B)
+        del frame["body"]
+        with pytest.raises(CodecError):
+            decode(frame)
+
+    def test_negative_version(self):
+        frame = encode(UpdateOk(version=1), A, B)
+        frame["body"]["version"] = -3
+        with pytest.raises(CodecError):
+            decode(frame)
+
+    def test_non_numeric_version(self):
+        frame = encode(UpdateOk(version=1), A, B)
+        frame["body"]["version"] = "three"
+        with pytest.raises(CodecError):
+            decode(frame)
+
+    def test_truncated_pid_list(self):
+        frame = encode(Interrogate(hi_faulty=(A, C)), A, B)
+        frame["body"]["hi_faulty"] = [[A.name]]  # pid missing incarnation
+        with pytest.raises(CodecError):
+            decode(frame)

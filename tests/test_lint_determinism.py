@@ -306,6 +306,110 @@ def test_allowlist_parsing() -> None:
     assert not allow.permits(2, "DET101")
 
 
+# --------------------------------------------------------------------- DET105
+
+_HELD_LOOP = """
+class Network:
+    def __init__(self):
+        self._held: dict[tuple, list] = {}
+
+    def heal(self, scheduler):
+        for channel, records in self._held.items():
+            for record in records:
+                scheduler.at(0.0, record)
+"""
+
+
+def test_arrival_ordered_dict_loop_fires_det105(tmp_path: Path) -> None:
+    write(tmp_path, "sim/network.py", _HELD_LOOP)
+    result = run_lint(tmp_path)
+    (finding,) = findings_for(result, "DET105")
+    assert finding.file == "sim/network.py"
+    assert "_held" in finding.message
+
+
+def test_det105_scoped_to_sim_tree(tmp_path: Path) -> None:
+    """The same loop outside sim/ is exempt (dict order is deterministic;
+    only the simulation substrate treats insertion order as arrival
+    history)."""
+    write(tmp_path, "core/network.py", _HELD_LOOP)
+    assert "DET105" not in rules_of(run_lint(tmp_path))
+
+
+def test_sorted_dict_iteration_is_clean(tmp_path: Path) -> None:
+    write(
+        tmp_path,
+        "sim/network.py",
+        """
+        class Network:
+            def __init__(self):
+                self._held: dict[tuple, list] = {}
+
+            def heal(self, scheduler):
+                for channel, records in sorted(self._held.items()):
+                    for record in records:
+                        scheduler.at(0.0, record)
+        """,
+    )
+    assert "DET105" not in rules_of(run_lint(tmp_path))
+
+
+def test_det105_tracks_hoisted_alias(tmp_path: Path) -> None:
+    write(
+        tmp_path,
+        "sim/network.py",
+        """
+        class Network:
+            def __init__(self):
+                self._processes = {}
+
+            def fanout(self, net):
+                procs = self._processes
+                for pid in procs:
+                    net.send(pid, "ping")
+        """,
+    )
+    assert "DET105" in rules_of(run_lint(tmp_path))
+
+
+def test_dict_loop_without_sink_is_clean(tmp_path: Path) -> None:
+    write(
+        tmp_path,
+        "sim/network.py",
+        """
+        class Network:
+            def __init__(self):
+                self._processes = {}
+
+            def count_live(self):
+                alive = 0
+                for pid, proc in self._processes.items():
+                    if not proc.crashed:
+                        alive += 1
+                return alive
+        """,
+    )
+    assert "DET105" not in rules_of(run_lint(tmp_path))
+
+
+def test_public_dict_attribute_is_exempt(tmp_path: Path) -> None:
+    """Only private ``_x`` dicts carry the arrival-order convention."""
+    write(
+        tmp_path,
+        "sim/registry.py",
+        """
+        class Registry:
+            def __init__(self):
+                self.members = {}
+
+            def fanout(self, net):
+                for pid in self.members:
+                    net.send(pid, "ping")
+        """,
+    )
+    assert "DET105" not in rules_of(run_lint(tmp_path))
+
+
 # ----------------------------------------------------------------- repo scope
 
 

@@ -150,3 +150,98 @@ class TestBenchDriver:
         dedup = payload["dedup"]
         assert dedup["states"] < dedup["tree_states"]
         assert dedup["ok"] and dedup["complete"]
+
+
+class TestScaleBench:
+    def test_churn_cell_measures_throughput(self):
+        from repro.runner.bench import _churn_cell
+
+        cell = _churn_cell(6)
+        assert cell["n"] == 6
+        assert cell["events"] > 0 and cell["msgs"] > 0
+        assert cell["events_per_sec"] > 0 and cell["msgs_per_sec"] > 0
+
+    @staticmethod
+    def _payload(rates: dict[int, float]) -> dict:
+        return {
+            "scale": {
+                "workload": "join-churn-exclude",
+                "trace_level": "counts",
+                "cells": [
+                    {"n": n, "events_per_sec": rate} for n, rate in rates.items()
+                ],
+            }
+        }
+
+    def test_regression_beyond_threshold_flagged(self):
+        from repro.runner.bench import check_scale_regression
+
+        fresh = self._payload({100: 500.0})
+        baseline = self._payload({100: 1000.0})
+        failures = check_scale_regression(fresh, baseline)
+        assert len(failures) == 1 and "n=100" in failures[0]
+
+    def test_within_threshold_passes(self):
+        from repro.runner.bench import check_scale_regression
+
+        fresh = self._payload({100: 800.0})
+        baseline = self._payload({100: 1000.0})
+        assert check_scale_regression(fresh, baseline) == []
+
+    def test_faster_run_passes(self):
+        from repro.runner.bench import check_scale_regression
+
+        assert (
+            check_scale_regression(
+                self._payload({100: 2000.0}), self._payload({100: 1000.0})
+            )
+            == []
+        )
+
+    def test_sizes_only_in_baseline_skipped(self):
+        from repro.runner.bench import check_scale_regression
+
+        fresh = self._payload({100: 900.0})
+        baseline = self._payload({100: 1000.0, 1000: 500.0})
+        assert check_scale_regression(fresh, baseline) == []
+
+    def test_missing_scale_section_reported(self):
+        from repro.runner.bench import check_scale_regression
+
+        failures = check_scale_regression({}, self._payload({100: 1000.0}))
+        assert failures and "scale" in failures[0]
+
+    def test_summarize_renders_scale_cells(self):
+        from repro.runner.bench import summarize
+
+        payload = {
+            "scenarios": [],
+            "explorer": {
+                "scenario": "x",
+                "engines": {},
+                "speedup_tree_states_per_sec": 1.0,
+            },
+            "dedup": {
+                "scenario": "y",
+                "tree_states": 2,
+                "states": 1,
+                "state_reduction_factor": 2.0,
+            },
+            "scale": {
+                "workload": "join-churn-exclude",
+                "trace_level": "counts",
+                "cells": [
+                    {
+                        "n": 10,
+                        "wall_s": 0.5,
+                        "events": 100,
+                        "events_per_sec": 200.0,
+                        "msgs": 80,
+                        "msgs_per_sec": 160.0,
+                    }
+                ],
+            },
+        }
+        text = summarize(payload)
+        assert "join-churn-exclude" in text
+        assert "n=10" in text and "200" in text

@@ -158,6 +158,55 @@ class TestBroadcast:
         network.scheduler.run()
         assert procs["b"].received and not procs["c"].received
 
+    def test_broadcast_unknown_sender_rejected(self, net):
+        network, _ = net
+        with pytest.raises(SimulationError):
+            network.broadcast(pid("ghost"), [B], "boo")
+
+    def test_broadcast_respects_partitions(self, net):
+        network, procs = net
+        network.partition({A}, {C})
+        sent = network.broadcast(A, [B, C], "split")
+        assert sent == 2  # held counts as sent: the message exists, undelivered
+        network.scheduler.run()
+        assert procs["b"].received and not procs["c"].received
+        network.heal()
+        network.scheduler.run()
+        assert procs["c"].received
+
+    def test_broadcast_matches_sequential_sends_exactly(self):
+        """The batched fan-out must be invisible in the FULL trace: same
+        events, same message ids, same delivery schedule as a send loop."""
+        import itertools
+
+        from repro.model import events as events_module
+
+        def run_one(use_broadcast: bool) -> str:
+            events_module._message_counter = itertools.count(1)
+            scheduler = Scheduler()
+            trace = RunTrace()
+            network = Network(
+                scheduler, trace, delay_model=UniformDelay(0.1, 5.0), seed=11
+            )
+            procs = {name: Echo(pid(name), network) for name in "abcd"}
+            for proc in procs.values():
+                proc.start()
+            targets = [pid(name) for name in "abcd"]
+            if use_broadcast:
+                network.broadcast(A, targets, "round-1")
+                network.broadcast(A, targets, "round-2")
+            else:
+                for target in targets:
+                    if target != A:
+                        network.send(A, target, "round-1")
+                for target in targets:
+                    if target != A:
+                        network.send(A, target, "round-2")
+            scheduler.run()
+            return trace.format()
+
+        assert run_one(True) == run_one(False)
+
 
 class TestCrashRules:
     def test_crash_at_time(self, net):

@@ -93,6 +93,34 @@ class TestScheduler:
         with pytest.raises(SchedulerExhaustedError):
             sched.run(max_events=100)
 
+    def test_max_events_budget_is_exact(self):
+        """Exactly ``max_events`` callbacks run before the guard trips."""
+        sched = Scheduler()
+        runs: list[float] = []
+
+        def reschedule():
+            runs.append(sched.now)
+            sched.after(1.0, reschedule)
+
+        sched.after(1.0, reschedule)
+        with pytest.raises(SchedulerExhaustedError):
+            sched.run(max_events=5)
+        assert len(runs) == 5
+        assert sched.events_run == 5
+
+    def test_run_until_budget_is_exact(self):
+        sched = Scheduler()
+        runs: list[float] = []
+
+        def reschedule():
+            runs.append(sched.now)
+            sched.after(1.0, reschedule)
+
+        sched.after(1.0, reschedule)
+        with pytest.raises(SchedulerExhaustedError):
+            sched.run_until(lambda: False, max_events=5)
+        assert len(runs) == 5
+
     def test_pending_counts_live_entries(self):
         sched = Scheduler()
         t1 = sched.at(1.0, lambda: None)

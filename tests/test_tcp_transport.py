@@ -168,3 +168,85 @@ class TestProtocolOverTcp:
                 runtime.start()
 
         run(scenario())
+
+
+class TestCompactWire:
+    """The struct-packed wire (wire="compact") over real sockets."""
+
+    def test_unknown_wire_rejected(self):
+        async def scenario():
+            with pytest.raises(ValueError):
+                TcpNetwork(AioScheduler(), wire="msgpack")
+
+        run(scenario())
+
+    def test_point_to_point_delivery_compact(self):
+        async def scenario():
+            network = TcpNetwork(AioScheduler(), wire="compact")
+            Echo(pid("a"), network)
+            b = Echo(pid("b"), network)
+            await network.start()
+            from repro.core.messages import Commit, remove
+
+            payload = Commit(
+                op=remove(pid("c")), version=4, contingent=None, faulty=(pid("c"),)
+            )
+            network.send(pid("a"), pid("b"), payload)
+            for _ in range(200):
+                if b.received:
+                    break
+                await asyncio.sleep(0.01)
+            await network.stop()
+            return b.received
+
+        received = run(scenario())
+        assert len(received) == 1
+        sender, payload = received[0]
+        assert sender == pid("a")
+        assert payload.version == 4 and payload.faulty == (pid("c"),)
+
+    def test_fifo_preserved_compact(self):
+        async def scenario():
+            network = TcpNetwork(AioScheduler(), wire="compact")
+            Echo(pid("a"), network)
+            b = Echo(pid("b"), network)
+            await network.start()
+            from repro.core.messages import UpdateOk
+
+            for version in range(1, 21):
+                network.send(pid("a"), pid("b"), UpdateOk(version=version))
+            for _ in range(500):
+                if len(b.received) == 20:
+                    break
+                await asyncio.sleep(0.01)
+            await network.stop()
+            return [payload.version for _, payload in b.received]
+
+        assert run(scenario()) == list(range(1, 21))
+
+    def test_exclusion_over_compact_sockets(self):
+        """The full protocol (crash, exclusion, reconfiguration) survives the
+        binary wire end to end."""
+
+        async def scenario():
+            runtime = AioMembershipRuntime(
+                [f"n{i}" for i in range(4)],
+                detector="heartbeat",
+                heartbeat_period=0.03,
+                heartbeat_timeout=0.15,
+                transport="tcp",
+                wire="compact",
+            )
+            await runtime.start_async()
+            await runtime.run_for(0.15)
+            runtime.crash("n2")
+            ok = await runtime.wait_for_agreement(timeout=15.0)
+            await runtime.stop_async()
+            return runtime, ok
+
+        runtime, ok = run(scenario())
+        assert ok
+        survivors = {m.pid.name for m in runtime.live_members()}
+        assert survivors == {"n0", "n1", "n3"}
+        report = check_gmp(runtime.trace, runtime.initial_view, check_liveness=False)
+        assert report.ok, format_report(report)

@@ -1,0 +1,109 @@
+"""Trace levels: COUNTS/OFF must agree with FULL wherever they answer at all."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.service import MembershipCluster
+from repro.errors import TraceError
+from repro.ids import pid
+from repro.model.events import EventKind
+from repro.sim.network import FixedDelay
+from repro.sim.trace import RunTrace, TraceLevel
+from repro.workloads.failures import churn_run
+
+
+class TestCoerce:
+    def test_identity(self):
+        assert TraceLevel.coerce(TraceLevel.COUNTS) is TraceLevel.COUNTS
+
+    @pytest.mark.parametrize("name", ["full", "FULL", "Counts", "off"])
+    def test_names_any_case(self, name):
+        assert TraceLevel.coerce(name) is TraceLevel[name.upper()]
+
+    def test_integers(self):
+        assert TraceLevel.coerce(0) is TraceLevel.OFF
+        assert TraceLevel.coerce(2) is TraceLevel.FULL
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLevel.coerce("verbose")
+
+    def test_unknown_integer_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLevel.coerce(7)
+
+
+def _churn_pair(n: int = 6):
+    """The same deterministic run at FULL and at COUNTS."""
+    full = churn_run(n, seed=0, trace_level="full")
+    counts = churn_run(n, seed=0, trace_level="counts")
+    return full.trace, counts.trace
+
+
+class TestCountsAgreesWithFull:
+    def test_message_counts(self):
+        full, counts = _churn_pair()
+        assert counts.message_count() == full.message_count()
+        assert counts.message_count(None) == full.message_count(None)
+        assert counts.message_count("detector") == full.message_count("detector")
+
+    def test_counts_by_category_and_type(self):
+        full, counts = _churn_pair()
+        assert counts.message_counts_by_category() == full.message_counts_by_category()
+        assert counts.message_counts_by_type() == full.message_counts_by_type()
+
+    def test_kind_counts(self):
+        full, counts = _churn_pair()
+        assert counts.kind_counts() == full.kind_counts()
+
+    def test_event_tally_matches(self):
+        full, counts = _churn_pair()
+        assert len(counts) == len(full)
+
+    def test_crash_sets_exact_at_every_level(self):
+        full, counts = _churn_pair()
+        assert counts.crashed() == full.crashed()
+        assert counts.quit_or_crashed() == full.quit_or_crashed()
+
+
+class TestLevelRestrictions:
+    def test_history_requires_full(self):
+        trace = RunTrace(level="counts")
+        trace.record(pid("a"), EventKind.START, time=0.0)
+        with pytest.raises(TraceError):
+            trace.history(pid("a"))
+        with pytest.raises(TraceError):
+            trace.histories()
+
+    def test_record_returns_none_below_full(self):
+        trace = RunTrace(level="counts")
+        assert trace.record(pid("a"), EventKind.START, time=0.0) is None
+        full = RunTrace()
+        assert full.record(pid("a"), EventKind.START, time=0.0) is not None
+
+    def test_off_level_counts_read_zero(self):
+        cluster = churn_run(4, seed=0, trace_level="off")
+        assert cluster.trace.message_count(None) == 0
+        assert cluster.trace.message_counts_by_category() == {}
+        # ...but ground truth stays exact (the oracle depends on it).
+        assert {p.name for p in cluster.trace.crashed()} == {"p0", "p3"}
+
+
+class TestClusterPlumbing:
+    def test_cluster_accepts_level_strings(self):
+        cluster = MembershipCluster.of_size(
+            3, seed=0, delay_model=FixedDelay(1.0), trace_level="counts"
+        )
+        assert cluster.trace.level is TraceLevel.COUNTS
+
+    def test_default_level_is_full(self):
+        cluster = MembershipCluster.of_size(3, seed=0)
+        assert cluster.trace.level is TraceLevel.FULL
+
+    def test_counts_cluster_reaches_same_agreement(self):
+        full = churn_run(6, seed=0, trace_level="full")
+        counts = churn_run(6, seed=0, trace_level="counts")
+        assert counts.agreed_view() == full.agreed_view()
+        assert counts.agreed_version() == full.agreed_version()
+        assert counts.scheduler.events_run == full.scheduler.events_run
