@@ -50,6 +50,7 @@ class AioNetwork:
         self._channel_clock: dict[tuple[ProcessId, ProcessId], float] = {}
         self._send_observers: list[Callable[[MessageRecord], None]] = []
         self._crash_observers: list[Callable[[ProcessId], None]] = []
+        self._fault_injector = None  # duck-typed: .on_send(record) -> decision
 
     # ----------------------------------------------------------- registry
 
@@ -82,6 +83,10 @@ class AioNetwork:
         for observer in list(self._crash_observers):
             observer(pid)
 
+    def set_fault_injector(self, injector) -> None:
+        """Install a chaos injector consulted on every send (None clears)."""
+        self._fault_injector = injector
+
     # -------------------------------------------------------------- sending
 
     def send(
@@ -109,11 +114,25 @@ class AioNetwork:
         for observer in list(self._send_observers):
             observer(record)
         delay = self.delay_model.delay(sender, receiver, self.rng)
+        copies = 1
+        injector = self._fault_injector
+        if injector is not None:
+            decision = injector.on_send(record)
+            if decision is not None:
+                if decision.drop:
+                    return record
+                delay += decision.delay
+                copies += decision.duplicates
         channel = (sender, receiver)
         earliest = self._channel_clock.get(channel, 0.0) + _FIFO_EPSILON
         when = max(self.scheduler.now + delay, earliest)
-        self._channel_clock[channel] = when
-        self.scheduler.at(when, lambda: self._deliver(record))
+        # Injected extra delay participates in the channel clock, so a
+        # delayed frame stalls the channel rather than being overtaken —
+        # the per-channel FIFO property is preserved under chaos.
+        for _ in range(copies):
+            self._channel_clock[channel] = when
+            self.scheduler.at(when, lambda: self._deliver(record))
+            when += _FIFO_EPSILON
         return record
 
     def broadcast(

@@ -109,14 +109,23 @@ class AioMembershipRuntime:
             member.start()
 
     async def start_async(self) -> None:
-        """Start a TCP-transport runtime: open sockets, then start members."""
+        """Start the runtime on the running loop (required for TCP: it opens
+        sockets first; a harmless alternative to :meth:`start` for memory)."""
         if self._started:
             raise RuntimeError("runtime already started")
         self._started = True
         if self.transport == "tcp":
             await self.network.start()  # type: ignore[attr-defined]
+            # A crashed member never answers again: close its server so
+            # senders stop retrying promptly instead of filling kernel queues.
+            self.network.add_crash_observer(self._on_tcp_crash)
         for member in self.members.values():
             member.start()
+
+    def _on_tcp_crash(self, who: ProcessId) -> None:
+        asyncio.get_running_loop().create_task(
+            self.network.close_server(who)  # type: ignore[attr-defined]
+        )
 
     async def stop_async(self) -> None:
         """Close a TCP-transport runtime's sockets (no-op for memory)."""
@@ -152,10 +161,30 @@ class AioMembershipRuntime:
                     if not process.crashed:
                         process.start()
 
-                asyncio.get_event_loop().create_task(bring_up())
+                asyncio.get_running_loop().create_task(bring_up())
             else:
                 process.start()
         return joiner
+
+    def restart(self, name: str, contact: Optional[ProcessId | str] = None) -> ProcessId:
+        """Recover a crashed member as a new incarnation (Section 7).
+
+        The paper treats a recovered process as a new and different process
+        instance, so restart is join-with-the-same-name: the new incarnation
+        runs the join procedure against the surviving group.  Over TCP the
+        new incarnation gets its own server socket (the old one was closed
+        when the crash was observed), so recovery genuinely works end to
+        end: peers reconnect to the new instance rather than retrying the
+        dead one.
+        """
+        current = max(
+            (p for p in self.members if p.name == name),
+            key=lambda p: p.incarnation,
+            default=None,
+        )
+        if current is not None and not self.members[current].crashed:
+            raise RuntimeError(f"{name} is still running; crash it before restarting")
+        return self.join(name, contact=contact)
 
     # -------------------------------------------------------------- queries
 
@@ -186,7 +215,7 @@ class AioMembershipRuntime:
 
     async def wait_for_agreement(self, timeout: float = 10.0, poll: float = 0.02) -> bool:
         """Poll until all surviving members agree (or time out)."""
-        loop = asyncio.get_event_loop()
+        loop = asyncio.get_running_loop()
         deadline = loop.time() + timeout
         while loop.time() < deadline:
             if self.in_agreement():

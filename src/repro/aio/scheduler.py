@@ -41,7 +41,15 @@ class AioScheduler:
     """The protocol-facing clock/timer surface over an asyncio loop."""
 
     def __init__(self, loop: asyncio.AbstractEventLoop | None = None) -> None:
-        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        if loop is None:
+            # Prefer the running loop (get_event_loop is deprecated there and
+            # a wrong-loop hazard under nested runners); fall back for
+            # schedulers constructed before the loop starts running.
+            try:
+                loop = asyncio.get_running_loop()
+            except RuntimeError:
+                loop = asyncio.get_event_loop()
+        self._loop = loop
         self._t0 = self._loop.time()
 
     @property

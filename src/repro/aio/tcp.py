@@ -1,13 +1,32 @@
-"""TCP transport: the protocol over real sockets.
+"""TCP transport: the protocol over real sockets, hardened for failures.
 
 :class:`TcpNetwork` implements the Network surface over loopback TCP using
 either wire codec from :mod:`repro.codec` — newline-framed JSON
 (``wire="json"``, the default) or length-prefixed compact binary
 (``wire="compact"``, wire version 2; each frame is preceded by a u32
 big-endian byte length).  Each member hosts a TCP server; a directed
-channel is one persistent connection, so TCP's in-order delivery gives the
-paper's FIFO channel property for free, and the kernel's send buffering
-gives reliability as long as the peer lives.
+channel is one persistent connection.
+
+TCP alone gives in-order delivery *per connection*; it does not give the
+paper's reliable-FIFO channel across connection failures — a frame sitting
+in the kernel send buffer when the peer's server dies is silently gone.
+The channel layer therefore adds its own reliability on top:
+
+* every protocol frame carries its globally monotonic ``msg_id`` (already
+  present in both wire codecs), which is strictly increasing per directed
+  channel;
+* the receiver acknowledges receipt by writing the high-water ``msg_id``
+  back on the same connection (8-byte big-endian records — the reverse
+  direction of a channel connection carries only acks);
+* the sender keeps every frame in a retransmission buffer until it is
+  acknowledged, and on reconnect resends the entire unacknowledged suffix
+  in order;
+* the receiver drops frames at or below its per-channel high-water mark,
+  so retransmissions (and wire-level duplicates injected by
+  :mod:`repro.chaos`) collapse to exactly-once in-order delivery;
+* reconnects use capped exponential backoff with seeded jitter, and a
+  channel gives up only when a crash observer (or the fault plan, via
+  :meth:`mark_dead`) says the peer is dead.
 
 All members still run inside one asyncio event loop (this is a transport
 demonstration, not a deployment harness), but every protocol byte genuinely
@@ -18,7 +37,10 @@ encode/route/decode path a distributed deployment would use.
 from __future__ import annotations
 
 import asyncio
+import random
 import struct
+from collections import deque
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro import codec
@@ -31,10 +53,61 @@ from repro.aio.scheduler import AioScheduler
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.process import SimProcess
 
-__all__ = ["TcpNetwork"]
+__all__ = ["TcpNetwork", "TcpStats"]
 
 #: framing for wire="compact": u32 big-endian frame length.
 _LEN_PREFIX = struct.Struct("!I")
+
+#: receiver->sender acknowledgement record: high-water delivered msg_id.
+_ACK = struct.Struct("!Q")
+
+
+@dataclass
+class TcpStats:
+    """Channel-layer counters, exposed for tests and chaos verdicts."""
+
+    frames_enqueued: int = 0
+    frames_written: int = 0
+    frames_acked: int = 0
+    frames_resent: int = 0
+    frames_abandoned_dead: int = 0
+    duplicates_dropped: int = 0
+    connects: int = 0
+    reconnects: int = 0
+    injected_drops: int = 0
+    injected_duplicates: int = 0
+    injected_delays: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "frames_enqueued": self.frames_enqueued,
+            "frames_written": self.frames_written,
+            "frames_acked": self.frames_acked,
+            "frames_resent": self.frames_resent,
+            "frames_abandoned_dead": self.frames_abandoned_dead,
+            "duplicates_dropped": self.duplicates_dropped,
+            "connects": self.connects,
+            "reconnects": self.reconnects,
+            "injected_drops": self.injected_drops,
+            "injected_duplicates": self.injected_duplicates,
+            "injected_delays": self.injected_delays,
+        }
+
+
+@dataclass
+class _Channel:
+    """Sender-side state of one directed channel.
+
+    ``unacked[:cursor]`` has been written on the current connection and
+    awaits acknowledgement; ``unacked[cursor:]`` has not been written yet.
+    A reconnect resets ``cursor`` to 0, resending the whole buffer; the
+    receiver's high-water mark absorbs the duplicates.
+    """
+
+    unacked: deque = field(default_factory=deque)  # (msg_id, bytes, release_at)
+    cursor: int = 0
+    conn_lost: bool = False
+    event: asyncio.Event = field(default_factory=asyncio.Event)
 
 
 class TcpNetwork:
@@ -46,6 +119,10 @@ class TcpNetwork:
         trace: Optional[RunTrace] = None,
         host: str = "127.0.0.1",
         wire: str = "json",
+        reconnect_base: float = 0.02,
+        reconnect_cap: float = 0.5,
+        reconnect_jitter: float = 0.5,
+        seed: int = 0,
     ) -> None:
         if wire not in ("json", "compact"):
             raise ValueError(f"unknown wire format {wire!r} (json or compact)")
@@ -53,14 +130,27 @@ class TcpNetwork:
         self.trace = trace if trace is not None else RunTrace()
         self.host = host
         self.wire = wire
+        self.reconnect_base = reconnect_base
+        self.reconnect_cap = reconnect_cap
+        self.reconnect_jitter = reconnect_jitter
+        self.stats = TcpStats()
+        self._rng = random.Random(seed)
         self._processes: dict[ProcessId, "SimProcess"] = {}
         self._ports: dict[ProcessId, int] = {}
         self._servers: dict[ProcessId, asyncio.AbstractServer] = {}
-        #: per-directed-channel outbound queue + writer task
-        self._outboxes: dict[tuple[ProcessId, ProcessId], asyncio.Queue] = {}
+        #: inbound connections per server, so a server bounce severs them.
+        self._inbound: dict[ProcessId, set[asyncio.StreamWriter]] = {}
+        #: per-directed-channel retransmission state + writer task
+        self._channels: dict[tuple[ProcessId, ProcessId], _Channel] = {}
         self._writers: dict[tuple[ProcessId, ProcessId], asyncio.Task] = {}
+        #: receiver-side exactly-once high-water mark per directed channel
+        self._delivered_hwm: dict[tuple[ProcessId, ProcessId], int] = {}
+        #: peers declared dead (crash observer or fault plan): channels to
+        #: them stop retrying and abandon their buffers.
+        self._dead: set[ProcessId] = set()
         self._send_observers: list[Callable[[MessageRecord], None]] = []
         self._crash_observers: list[Callable[[ProcessId], None]] = []
+        self._fault_injector = None  # duck-typed: .on_send(record) -> decision
         self._started = False
 
     # ----------------------------------------------------------- registry
@@ -91,8 +181,26 @@ class TcpNetwork:
         self._crash_observers.append(observer)
 
     def notify_crash(self, pid: ProcessId) -> None:
+        self.mark_dead(pid)
         for observer in list(self._crash_observers):
             observer(pid)
+
+    def set_fault_injector(self, injector) -> None:
+        """Install a chaos injector consulted on every send (None clears)."""
+        self._fault_injector = injector
+
+    def mark_dead(self, pid: ProcessId) -> None:
+        """Declare a peer dead: channels to it abandon their buffers."""
+        self._dead.add(pid)
+        for (sender, receiver), ch in self._channels.items():
+            if receiver == pid:
+                ch.event.set()
+
+    def _peer_gone(self, pid: ProcessId) -> bool:
+        if pid in self._dead:
+            return True
+        process = self._processes.get(pid)
+        return process is None or process.crashed
 
     # ------------------------------------------------------------ serving
 
@@ -112,6 +220,7 @@ class TcpNetwork:
         compact = self.wire == "compact"
 
         async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+            self._inbound.setdefault(pid, set()).add(writer)
             try:
                 while True:
                     if compact:
@@ -122,10 +231,11 @@ class TcpNetwork:
                         frame = await reader.readline()
                         if not frame:
                             break
-                    self._deliver_frame(pid, frame)
-            except (ConnectionResetError, asyncio.IncompleteReadError):
+                    self._receive_frame(pid, frame, writer)
+            except (ConnectionResetError, asyncio.IncompleteReadError, OSError):
                 pass
             finally:
+                self._inbound.get(pid, set()).discard(writer)
                 writer.close()
 
         server = await asyncio.start_server(handle, self.host, 0)
@@ -134,10 +244,32 @@ class TcpNetwork:
         self._ports[pid] = port
         return port
 
+    async def close_server(self, pid: ProcessId) -> None:
+        """Tear down one process's server and its inbound connections.
+
+        Models the receiver side of a process restart: senders observe a
+        reset, keep their unacknowledged frames, and reconnect (to the new
+        port) once :meth:`serve` brings the server back.
+        """
+        server = self._servers.pop(pid, None)
+        self._ports.pop(pid, None)
+        if server is not None:
+            server.close()
+        for writer in list(self._inbound.pop(pid, set())):
+            writer.close()
+        if server is not None:
+            await server.wait_closed()
+
     async def stop(self) -> None:
-        """Close all sockets and writer tasks."""
-        for task in self._writers.values():
+        """Close all sockets and writer tasks; the network is restartable."""
+        tasks = list(self._writers.values())
+        for task in tasks:
             task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        for writers in self._inbound.values():
+            for writer in list(writers):
+                writer.close()
         for server in self._servers.values():
             server.close()
         await asyncio.gather(
@@ -145,7 +277,11 @@ class TcpNetwork:
             return_exceptions=True,
         )
         self._writers.clear()
+        self._channels.clear()
         self._servers.clear()
+        self._ports.clear()
+        self._inbound.clear()
+        self._started = False
 
     # -------------------------------------------------------------- sending
 
@@ -173,6 +309,25 @@ class TcpNetwork:
         )
         for observer in list(self._send_observers):
             observer(record)
+
+        copies = 1
+        hold = 0.0
+        injector = self._fault_injector
+        if injector is not None:
+            decision = injector.on_send(record)
+            if decision is not None:
+                if decision.drop:
+                    self.stats.injected_drops += 1
+                    return record
+                if decision.delay > 0.0:
+                    # Absolute release time: consecutive held frames on one
+                    # channel wait out the *same* window, they don't stack.
+                    hold = self.scheduler.now + decision.delay
+                    self.stats.injected_delays += 1
+                if decision.duplicates > 0:
+                    copies += decision.duplicates
+                    self.stats.injected_duplicates += decision.duplicates
+
         if self.wire == "compact":
             frame = codec.encode_compact(
                 payload, sender, receiver, category, msg_id=record.msg_id
@@ -183,14 +338,17 @@ class TcpNetwork:
                 payload, sender, receiver, category, msg_id=record.msg_id
             )
         channel = (sender, receiver)
-        outbox = self._outboxes.get(channel)
-        if outbox is None:
-            outbox = asyncio.Queue()
-            self._outboxes[channel] = outbox
-            self._writers[channel] = asyncio.get_event_loop().create_task(
-                self._drain(channel, outbox)
+        ch = self._channels.get(channel)
+        if ch is None:
+            ch = _Channel()
+            self._channels[channel] = ch
+            self._writers[channel] = asyncio.get_running_loop().create_task(
+                self._drain(channel, ch)
             )
-        outbox.put_nowait(data)
+        for _ in range(copies):
+            ch.unacked.append((record.msg_id, data, hold))
+            self.stats.frames_enqueued += 1
+        ch.event.set()
         return record
 
     def broadcast(
@@ -216,39 +374,154 @@ class TcpNetwork:
             sent += 1
         return sent
 
-    async def _drain(self, channel: tuple[ProcessId, ProcessId], outbox: asyncio.Queue) -> None:
-        """One persistent connection per directed channel (FIFO)."""
+    # ------------------------------------------------------------- draining
+
+    def _next_backoff(self, attempt: int) -> float:
+        base = min(self.reconnect_cap, self.reconnect_base * (2 ** attempt))
+        return base * (1.0 + self.reconnect_jitter * self._rng.random())
+
+    async def _drain(self, channel: tuple[ProcessId, ProcessId], ch: _Channel) -> None:
+        """One persistent connection per directed channel.
+
+        Retries (reconnect + resend of the unacknowledged suffix) until the
+        frames are acknowledged or the peer is declared dead — the channel
+        never silently abandons a frame to a live peer.
+        """
         _, receiver = channel
         writer: Optional[asyncio.StreamWriter] = None
+        ack_task: Optional[asyncio.Task] = None
+        attempt = 0
+        connected_before = False
         try:
             while True:
-                data = await outbox.get()
-                while True:
-                    if writer is None:
-                        port = self._ports.get(receiver)
-                        if port is None:
-                            break  # receiver never came up: drop (it is down)
-                        try:
-                            _, writer = await asyncio.open_connection(self.host, port)
-                        except OSError:
-                            break  # receiver unreachable: message dies with it
+                if ch.conn_lost and writer is not None:
+                    if ack_task is not None:
+                        ack_task.cancel()
+                        ack_task = None
+                    writer.close()
+                    writer = None
+                    self.stats.frames_resent += ch.cursor
+                    ch.cursor = 0
+                ch.conn_lost = False
+                if self._peer_gone(receiver):
+                    if ack_task is not None:
+                        ack_task.cancel()
+                        ack_task = None
+                    if writer is not None:
+                        writer.close()
+                        writer = None
+                    abandoned = len(ch.unacked)
+                    if abandoned:
+                        self.stats.frames_abandoned_dead += abandoned
+                        ch.unacked.clear()
+                    ch.cursor = 0
+                    ch.event.clear()
+                    await ch.event.wait()
+                    continue
+                if ch.cursor >= len(ch.unacked):
+                    # Fully written (or empty): wait for new frames, acks
+                    # pruning the buffer, or connection loss.
+                    ch.event.clear()
+                    if ch.conn_lost or ch.cursor < len(ch.unacked):
+                        continue
+                    await ch.event.wait()
+                    continue
+                if writer is None:
+                    port = self._ports.get(receiver)
+                    if port is None:
+                        # Receiver's server is (re)starting: back off, retry.
+                        await asyncio.sleep(self._next_backoff(attempt))
+                        attempt += 1
+                        continue
                     try:
-                        writer.write(data)
-                        await writer.drain()
-                        break
-                    except (ConnectionResetError, BrokenPipeError, OSError):
-                        writer = None  # reconnect once, then give up
-                        port = None
-                        break
+                        reader, writer = await asyncio.open_connection(self.host, port)
+                    except OSError:
+                        await asyncio.sleep(self._next_backoff(attempt))
+                        attempt += 1
+                        continue
+                    self.stats.connects += 1
+                    if connected_before:
+                        self.stats.reconnects += 1
+                    connected_before = True
+                    attempt = 0
+                    ch.conn_lost = False
+                    self.stats.frames_resent += ch.cursor
+                    ch.cursor = 0
+                    ack_task = asyncio.get_running_loop().create_task(
+                        self._read_acks(reader, ch)
+                    )
+                msg_id, data, hold = ch.unacked[ch.cursor]
+                remaining = hold - self.scheduler.now if hold > 0.0 else 0.0
+                if remaining > 0.0:
+                    # Injected latency: stall the channel until the frame's
+                    # absolute release time (FIFO-preserving), then re-check
+                    # state — the connection may have died while we slept.
+                    await asyncio.sleep(remaining)
+                    continue
+                try:
+                    writer.write(data)
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    ch.conn_lost = True
+                    continue
+                self.stats.frames_written += 1
+                # The ack reader may have pruned the buffer while we awaited
+                # drain(); only advance if our frame is still at the cursor.
+                if ch.cursor < len(ch.unacked) and ch.unacked[ch.cursor][0] == msg_id:
+                    ch.cursor += 1
         except asyncio.CancelledError:
             pass
         finally:
+            if ack_task is not None:
+                ack_task.cancel()
             if writer is not None:
                 writer.close()
 
+    async def _read_acks(self, reader: asyncio.StreamReader, ch: _Channel) -> None:
+        """Prune the retransmission buffer as receipt acknowledgements arrive;
+        flag the connection lost when the ack stream dies."""
+        try:
+            while True:
+                raw = await reader.readexactly(_ACK.size)
+                (acked,) = _ACK.unpack(raw)
+                while ch.unacked and ch.unacked[0][0] <= acked:
+                    ch.unacked.popleft()
+                    self.stats.frames_acked += 1
+                    if ch.cursor > 0:
+                        ch.cursor -= 1
+                ch.event.set()
+        except asyncio.CancelledError:
+            return  # deliberate teardown; the drain loop owns the state
+        except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
+            pass
+        ch.conn_lost = True
+        ch.event.set()
+
+    # ------------------------------------------------------------ quiescence
+
+    def pending_frames(self) -> dict[tuple[ProcessId, ProcessId], int]:
+        """Unacknowledged frame counts on channels whose peer is live."""
+        return {
+            channel: len(ch.unacked)
+            for channel, ch in self._channels.items()
+            if ch.unacked and not self._peer_gone(channel[1])
+        }
+
+    async def wait_quiet(self, timeout: float = 5.0, poll: float = 0.02) -> bool:
+        """Wait until every channel to a live peer has drained (acked)."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while loop.time() < deadline:
+            if not self.pending_frames():
+                return True
+            await asyncio.sleep(poll)
+        return not self.pending_frames()
+
     # -------------------------------------------------------------- receipt
 
-    def _deliver_frame(self, receiver_pid: ProcessId, frame: bytes) -> None:
+    def _receive_frame(
+        self, server_pid: ProcessId, frame: bytes, writer: asyncio.StreamWriter
+    ) -> None:
         try:
             if self.wire == "compact":
                 sender, receiver, payload, category, msg_id = codec.decode_compact(frame)
@@ -256,9 +529,27 @@ class TcpNetwork:
                 sender, receiver, payload, category, msg_id = codec.decode_bytes(frame)
         except codec.CodecError:
             return  # malformed frame: drop (never crash the server on input)
-        if receiver != receiver_pid:
+        mid = msg_id if msg_id is not None else 0
+        channel = (sender, receiver)
+        duplicate = False
+        if mid:
+            hwm = self._delivered_hwm.get(channel, 0)
+            if mid <= hwm:
+                duplicate = True
+                self.stats.duplicates_dropped += 1
+            else:
+                self._delivered_hwm[channel] = mid
+            # Acknowledge receipt (even of duplicates) with the channel's
+            # high-water mark, so resent prefixes prune the sender's buffer.
+            try:
+                writer.write(_ACK.pack(self._delivered_hwm[channel]))
+            except (ConnectionResetError, OSError):  # pragma: no cover - rare
+                pass
+        if duplicate:
+            return
+        if receiver != server_pid:
             return  # misrouted frame
-        process = self._processes.get(receiver_pid)
+        process = self._processes.get(server_pid)
         if process is None or process.crashed:
             return
         record = MessageRecord(

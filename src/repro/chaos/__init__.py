@@ -1,0 +1,53 @@
+"""Deterministic fault injection for the live transports.
+
+The simulator can already subject the protocol to adversarial schedules
+(:mod:`repro.sim.failures`, :mod:`repro.verify.explore`), but until this
+package the *live* runtime (:mod:`repro.aio`) could only be tested against
+faults nobody could inject.  ``repro.chaos`` closes that gap:
+
+* :class:`~repro.chaos.plan.FaultPlan` — a seeded, deterministic schedule
+  of drop / delay / duplicate / one-way-partition / crash-restart faults,
+  expressed with the same predicate vocabulary as ``sim/failures.py``
+  (``payload_type_is``, ``sent_to``, ``after=k``) so adversarial scenarios
+  port between simulator and live runtime;
+* :class:`~repro.chaos.inject.FaultInjector` — binds a plan to the
+  transport boundary of :class:`~repro.aio.network.AioNetwork` or
+  :class:`~repro.aio.tcp.TcpNetwork`;
+* :func:`~repro.chaos.runner.run_chaos` — runs an n-member live cluster
+  under a seeded plan for a bounded duration and produces a
+  machine-readable verdict: agreement, the GMP properties
+  (:func:`repro.properties.check_gmp`), and the transport's frame-loss
+  accounting.  The CLI front-end is ``repro chaos``.
+
+See ``docs/ROBUSTNESS.md`` for the full story.
+"""
+
+from repro.chaos.plan import (
+    CrashRestart,
+    Decision,
+    FaultPlan,
+    FaultRule,
+    Partition,
+    both,
+    category_is,
+    payload_type_is,
+    sent_to,
+)
+from repro.chaos.inject import FaultInjector
+from repro.chaos.runner import ChaosVerdict, run_chaos, run_chaos_sync
+
+__all__ = [
+    "CrashRestart",
+    "Decision",
+    "FaultPlan",
+    "FaultRule",
+    "Partition",
+    "FaultInjector",
+    "ChaosVerdict",
+    "run_chaos",
+    "run_chaos_sync",
+    "both",
+    "category_is",
+    "payload_type_is",
+    "sent_to",
+]

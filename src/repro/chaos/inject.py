@@ -1,0 +1,55 @@
+"""Binding a :class:`~repro.chaos.plan.FaultPlan` to a live transport.
+
+Both live fabrics (:class:`repro.aio.network.AioNetwork` and
+:class:`repro.aio.tcp.TcpNetwork`) consult an installed injector on every
+``send`` — the transport boundary, after the SEND event is traced and the
+send observers have run, before the frame enters the wire.  A dropped frame
+therefore looks exactly like wire loss: the sender's history has the SEND,
+the receiver's history never gets the RECV.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.model.events import MessageRecord
+from repro.chaos.plan import Decision, FaultPlan
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Consulted by a network's ``send``; counts what it inflicted."""
+
+    def __init__(self, plan: FaultPlan, network) -> None:
+        self.plan = plan
+        self.network = network
+        self.dropped = 0
+        self.dropped_protocol = 0
+        self.delayed = 0
+        self.duplicated = 0
+
+    def on_send(self, record: MessageRecord) -> Optional[Decision]:
+        decision = self.plan.decide(record, self.network.scheduler.now)
+        if decision is None:
+            return None
+        if decision.drop:
+            self.dropped += 1
+            if record.category == "protocol":
+                self.dropped_protocol += 1
+        if decision.delay > 0.0:
+            self.delayed += 1
+        self.duplicated += decision.duplicates
+        return decision
+
+    def install(self) -> "FaultInjector":
+        self.network.set_fault_injector(self)
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "dropped": self.dropped,
+            "dropped_protocol": self.dropped_protocol,
+            "delayed": self.delayed,
+            "duplicated": self.duplicated,
+        }

@@ -1,0 +1,400 @@
+"""Seeded, deterministic fault plans for the live transports.
+
+A :class:`FaultPlan` is a declarative schedule of transport-boundary faults:
+
+* frame faults (:class:`FaultRule`): **drop**, **delay**, **duplicate** —
+  applied per matching frame at send time;
+* **one-way partitions** (:class:`Partition`): all frames from ``src`` to
+  ``dst`` are *held* for the window and flushed at its end, mirroring
+  :meth:`repro.sim.network.Network.partition` / ``heal`` semantics (the
+  paper assumes reliable channels, so a partition delays rather than
+  destroys — but it still starves the receiver long enough to force the
+  "perceived failure" the protocol must survive);
+* **crash-restart** (:class:`CrashRestart`): the victim crash-stops at
+  ``at`` and, optionally, recovers ``restart_after`` seconds later as a new
+  incarnation via the Section 7 join procedure.
+
+Rules select frames with the same predicate vocabulary as
+:mod:`repro.sim.failures` — :func:`payload_type_is`, :func:`sent_to`,
+:func:`both`, and an ``after=k`` threshold — so adversarial scenarios port
+between the simulator and the live runtime.  Rules address processes by
+*name* (not pid), so they keep matching across incarnation bumps.
+
+Every decision is deterministic: matching is counted per directed channel
+(per-channel frame order is FIFO and therefore stable across runs, unlike
+the cross-channel interleaving), and probabilistic rules derive each
+verdict from ``hash(seed, rule, channel, match#)`` rather than shared RNG
+state.  Same seed → same fault schedule, run to run.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.model.events import MessageRecord
+from repro.sim.failures import MessagePredicate, both, payload_type_is, sent_to
+
+__all__ = [
+    "Decision",
+    "FaultRule",
+    "Partition",
+    "CrashRestart",
+    "FaultPlan",
+    "both",
+    "category_is",
+    "payload_type_is",
+    "sent_to",
+]
+
+FRAME_FAULT_KINDS = ("drop", "delay", "duplicate")
+
+
+def category_is(*names: str) -> MessagePredicate:
+    """Predicate matching messages by category (e.g. ``"detector"``)."""
+    allowed = set(names)
+
+    def predicate(record: MessageRecord) -> bool:
+        return record.category in allowed
+
+    return predicate
+
+
+@dataclass(frozen=True, slots=True)
+class Decision:
+    """The injector's verdict for one frame (merged across rules)."""
+
+    drop: bool = False
+    delay: float = 0.0
+    duplicates: int = 0
+
+
+@dataclass
+class FaultRule:
+    """One frame-fault rule.
+
+    Attributes:
+        kind: ``"drop"``, ``"delay"`` or ``"duplicate"``.
+        src: sender name this rule applies to (``"*"`` = any).
+        dst: receiver name this rule applies to (``"*"`` = any).
+        category: restrict to one message category (None = any).
+        payload_types: restrict to payload class names (None = any).
+        predicate: extra arbitrary predicate (not serialized; None = any).
+        after: first matching frame affected, 1-based per directed channel
+            (mirrors ``sim.failures`` ``after=k``).
+        count: at most this many frames affected per channel (None = all).
+        probability: chance an eligible frame is affected (deterministic,
+            derived from the plan seed + per-channel match index).
+        delay: held time for ``kind="delay"``.
+        start, end: active window in scheduler time.
+    """
+
+    kind: str
+    src: str = "*"
+    dst: str = "*"
+    category: Optional[str] = None
+    payload_types: Optional[tuple[str, ...]] = None
+    predicate: Optional[MessagePredicate] = None
+    after: int = 1
+    count: Optional[int] = None
+    probability: float = 1.0
+    delay: float = 0.0
+    start: float = 0.0
+    end: float = math.inf
+    #: per-directed-channel (matched, applied) counters (runtime state)
+    _progress: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FRAME_FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (one of {FRAME_FAULT_KINDS})")
+        if self.kind == "delay" and self.delay <= 0.0:
+            raise ValueError("delay rules need a positive delay")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability out of range: {self.probability}")
+        if self.after < 1:
+            raise ValueError(f"after must be >= 1, got {self.after}")
+
+    def matches(self, record: MessageRecord, now: float) -> bool:
+        if not (self.start <= now < self.end):
+            return False
+        if self.src != "*" and record.sender.name != self.src:
+            return False
+        if self.dst != "*" and record.receiver.name != self.dst:
+            return False
+        if self.category is not None and record.category != self.category:
+            return False
+        if self.payload_types is not None:
+            if type(record.payload).__name__ not in self.payload_types:
+                return False
+        if self.predicate is not None and not self.predicate(record):
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "src": self.src,
+            "dst": self.dst,
+            "category": self.category,
+            "payload_types": list(self.payload_types) if self.payload_types else None,
+            "predicate": None if self.predicate is None else "<custom>",
+            "after": self.after,
+            "count": self.count,
+            "probability": round(self.probability, 6),
+            "delay": round(self.delay, 6),
+            "start": round(self.start, 6),
+            "end": None if math.isinf(self.end) else round(self.end, 6),
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class Partition:
+    """One-way partition: frames ``src -> dst`` are held during the window
+    and flushed (in FIFO order) at ``end``."""
+
+    src: str
+    dst: str
+    start: float
+    end: float
+
+    def holds(self, record: MessageRecord, now: float) -> bool:
+        if not (self.start <= now < self.end):
+            return False
+        if self.src != "*" and record.sender.name != self.src:
+            return False
+        if self.dst != "*" and record.receiver.name != self.dst:
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        return {
+            "src": self.src,
+            "dst": self.dst,
+            "start": round(self.start, 6),
+            "end": round(self.end, 6),
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class CrashRestart:
+    """Crash ``victim`` at ``at``; recover it ``restart_after`` later (as a
+    new incarnation, via the join procedure) unless ``restart_after`` is
+    None."""
+
+    victim: str
+    at: float
+    restart_after: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "victim": self.victim,
+            "at": round(self.at, 6),
+            "restart_after": None
+            if self.restart_after is None
+            else round(self.restart_after, 6),
+        }
+
+
+class FaultPlan:
+    """A seeded bundle of fault rules, partitions and crash-restarts."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rules: Optional[list[FaultRule]] = None,
+        partitions: Optional[list[Partition]] = None,
+        crashes: Optional[list[CrashRestart]] = None,
+    ) -> None:
+        self.seed = seed
+        self.rules: list[FaultRule] = list(rules or [])
+        self.partitions: list[Partition] = list(partitions or [])
+        self.crashes: list[CrashRestart] = list(crashes or [])
+        self._dead: set[str] = set()
+
+    # ------------------------------------------------------------- authoring
+
+    def add_rule(self, rule: FaultRule) -> FaultRule:
+        self.rules.append(rule)
+        return rule
+
+    def add_partition(self, partition: Partition) -> Partition:
+        self.partitions.append(partition)
+        return partition
+
+    def add_crash(self, crash: CrashRestart) -> CrashRestart:
+        self.crashes.append(crash)
+        return crash
+
+    # -------------------------------------------------------------- verdicts
+
+    def declare_dead(self, name: str) -> None:
+        """Tell transports that retrying ``name`` is pointless."""
+        self._dead.add(name)
+
+    def considers_dead(self, name: str) -> bool:
+        return name in self._dead
+
+    def _chance(self, rule_index: int, channel: tuple[str, str], k: int) -> float:
+        token = f"{self.seed}:{rule_index}:{channel[0]}>{channel[1]}:{k}"
+        return random.Random(token).random()
+
+    def decide(self, record: MessageRecord, now: float) -> Optional[Decision]:
+        """Merge every matching rule's effect on one frame.
+
+        Drop wins over everything; otherwise delays sum (a partition hold
+        counts as a delay until the window's end) and duplicates sum.
+        """
+        drop = False
+        delay = 0.0
+        duplicates = 0
+        channel = (record.sender.name, record.receiver.name)
+        for index, rule in enumerate(self.rules):
+            if not rule.matches(record, now):
+                continue
+            matched, applied = rule._progress.get(channel, (0, 0))
+            matched += 1
+            rule._progress[channel] = (matched, applied)
+            if matched < rule.after:
+                continue
+            if rule.count is not None and applied >= rule.count:
+                continue
+            if rule.probability < 1.0 and self._chance(index, channel, matched) >= rule.probability:
+                continue
+            rule._progress[channel] = (matched, applied + 1)
+            if rule.kind == "drop":
+                drop = True
+            elif rule.kind == "delay":
+                delay += rule.delay
+            else:
+                duplicates += 1
+        if not drop:
+            for partition in self.partitions:
+                if partition.holds(record, now):
+                    delay += max(0.0, partition.end - now)
+        if not drop and delay == 0.0 and duplicates == 0:
+            return None
+        return Decision(drop=drop, delay=delay, duplicates=duplicates)
+
+    # ----------------------------------------------------------- description
+
+    def to_dict(self) -> dict:
+        """Stable, machine-readable schedule (the determinism contract:
+        one seed, one schedule)."""
+        return {
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+            "partitions": [p.to_dict() for p in self.partitions],
+            "crashes": [c.to_dict() for c in self.crashes],
+        }
+
+    def horizon(self) -> float:
+        """Latest instant at which any scheduled fault is still active."""
+        times = [0.0]
+        for rule in self.rules:
+            if not math.isinf(rule.end):
+                times.append(rule.end)
+        for partition in self.partitions:
+            times.append(partition.end)
+        for crash in self.crashes:
+            times.append(crash.at + (crash.restart_after or 0.0))
+        return max(times)
+
+    # ------------------------------------------------------------ generation
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        members: list[str],
+        duration: float,
+        heartbeat_period: float = 0.05,
+        heartbeat_timeout: float = 0.25,
+        transport: str = "tcp",
+    ) -> "FaultPlan":
+        """Derive a randomized-but-deterministic adversarial plan.
+
+        The generated faults are chosen from the classes the protocol is
+        specified to survive: lost and delayed *detector* traffic (spurious
+        suspicion), duplicated frames on any channel (absorbed by the
+        channel's exactly-once delivery), a one-way partition long enough
+        to force an exclusion, and a crash-restart exercising the Section 7
+        recovery path.
+
+        Faults are *staggered*, not stacked: the protocol tolerates a
+        minority of failures **per view transition**, so a plan that lands
+        a partition on top of an in-flight crash exclusion can legally
+        annihilate the whole group (every initiator loses its majority and
+        quits — safety holds, the agreement verdict does not).  The
+        crash-restart runs first, then the partition, and everything ends
+        by ~80% of ``duration`` so the group re-converges before judgment.
+        """
+        if len(members) < 3:
+            raise ValueError("chaos plans need at least 3 members")
+        rng = random.Random(seed)
+        names = sorted(members)
+        plan = cls(seed=seed)
+        quiet_by = 0.8 * duration
+
+        # Phase 1 — crash-restart: any member, including the coordinator
+        # (the hard case: Figure 3's mid-broadcast coordinator loss, live).
+        victim = rng.choice(names)
+        crash_at = rng.uniform(0.08, 0.12) * duration
+        restart_after = rng.uniform(0.15, 0.2) * duration
+        plan.add_crash(CrashRestart(victim, at=crash_at, restart_after=restart_after))
+
+        # Phase 2 — one-way partition, after the exclusion/rejoin settles.
+        # Blind the *coordinator* to one survivor: the coordinator suspects
+        # it and runs the clean two-phase exclusion (the target learns its
+        # removal from the Invite, which travels the open direction).
+        # Aiming the partition at a junior member instead could stack a
+        # second concurrent failure onto whatever round is in flight.
+        others = [n for n in names if n != victim]
+        dst = others[0]  # seniority order: the coordinator at partition time
+        src = rng.choice(others[1:])
+        window = max(2.5 * heartbeat_timeout, 0.12 * duration)
+        p_start = rng.uniform(0.45, 0.5) * duration
+        p_end = min(p_start + window, quiet_by)
+        plan.add_partition(Partition(src=src, dst=dst, start=p_start, end=p_end))
+
+        # Lossy detector traffic on one directed channel: flaky, not dead.
+        lossy_src, lossy_dst = rng.sample(others, 2)
+        plan.add_rule(
+            FaultRule(
+                kind="drop",
+                src=lossy_src,
+                dst=lossy_dst,
+                category="detector",
+                probability=rng.uniform(0.2, 0.5),
+                start=0.0,
+                end=quiet_by,
+            )
+        )
+        # Jittery detector traffic everywhere (bounded below the timeout so
+        # it perturbs rather than guarantees suspicion).
+        plan.add_rule(
+            FaultRule(
+                kind="delay",
+                category="detector",
+                probability=rng.uniform(0.1, 0.3),
+                delay=rng.uniform(1.0, 3.0) * heartbeat_period,
+                start=0.0,
+                end=quiet_by,
+            )
+        )
+        # Duplicated frames: over TCP any channel (the exactly-once layer
+        # must absorb them); over memory only idempotent detector traffic
+        # (the in-memory fabric *is* the channel — wire-level duplicates
+        # below it do not exist in the model it implements).
+        plan.add_rule(
+            FaultRule(
+                kind="duplicate",
+                category=None if transport == "tcp" else "detector",
+                probability=rng.uniform(0.1, 0.3),
+                count=50,
+                start=0.0,
+                end=quiet_by,
+            )
+        )
+        return plan

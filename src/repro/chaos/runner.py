@@ -1,0 +1,181 @@
+"""Run a live cluster under a seeded fault plan and judge the outcome.
+
+:func:`run_chaos` is the chaos harness behind ``repro chaos``: it builds an
+n-member :class:`~repro.aio.runtime.AioMembershipRuntime` (TCP by default),
+installs a :class:`~repro.chaos.inject.FaultInjector` at the transport
+boundary, schedules the plan's crash-restarts, lets the cluster run for a
+bounded duration, and then demands three things:
+
+1. **agreement** — every surviving member installs one view that is exactly
+   the live set (the runtime's ``in_agreement``);
+2. **the GMP properties** — :func:`repro.properties.check_gmp` over the
+   recorded trace (liveness excluded: agreement is asserted directly);
+3. **zero frame loss** — after quiescing, no channel to a live peer still
+   holds unacknowledged protocol frames (TCP transport; the plan's own
+   sanctioned drops are accounted separately).
+
+The verdict is machine-readable (:meth:`ChaosVerdict.to_dict`) and carries
+the full fault schedule, so any run can be reproduced from its seed alone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.properties import check_gmp
+from repro.properties.checker import PropertyReport
+from repro.chaos.inject import FaultInjector
+from repro.chaos.plan import CrashRestart, FaultPlan
+
+__all__ = ["ChaosVerdict", "run_chaos", "run_chaos_sync"]
+
+
+@dataclass
+class ChaosVerdict:
+    """Everything a CI job (or a human) needs to judge one chaos run."""
+
+    seed: int
+    n: int
+    transport: str
+    wire: str
+    duration: float
+    plan: dict = field(default_factory=dict)
+    agreement: bool = False
+    properties_ok: bool = False
+    violations: list[str] = field(default_factory=list)
+    properties: dict = field(default_factory=dict)
+    frame_loss: int = 0
+    injected: dict = field(default_factory=dict)
+    transport_stats: dict = field(default_factory=dict)
+    final_view: list[str] = field(default_factory=list)
+    events: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.agreement and self.properties_ok and self.frame_loss == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "seed": self.seed,
+            "n": self.n,
+            "transport": self.transport,
+            "wire": self.wire,
+            "duration": self.duration,
+            "agreement": self.agreement,
+            "properties_ok": self.properties_ok,
+            "violations": self.violations,
+            "properties": self.properties,
+            "frame_loss": self.frame_loss,
+            "injected": self.injected,
+            "transport_stats": self.transport_stats,
+            "final_view": self.final_view,
+            "events": self.events,
+            "plan": self.plan,
+        }
+
+
+def _schedule_crashes(runtime, plan: FaultPlan) -> None:
+    for crash in plan.crashes:
+        runtime.scheduler.after(crash.at, _crash_firer(runtime, crash))
+        if crash.restart_after is not None:
+            runtime.scheduler.after(
+                crash.at + crash.restart_after, _restart_firer(runtime, crash)
+            )
+
+
+def _crash_firer(runtime, crash: CrashRestart):
+    def fire() -> None:
+        try:
+            runtime.crash(crash.victim)
+        except KeyError:  # pragma: no cover - victim unknown: plan typo
+            pass
+
+    return fire
+
+
+def _restart_firer(runtime, crash: CrashRestart):
+    def fire() -> None:
+        try:
+            runtime.restart(crash.victim)
+        except (KeyError, RuntimeError):  # pragma: no cover - already back
+            pass
+
+    return fire
+
+
+async def run_chaos(
+    n: int = 4,
+    seed: int = 0,
+    duration: float = 2.0,
+    transport: str = "tcp",
+    wire: str = "json",
+    heartbeat_period: float = 0.05,
+    heartbeat_timeout: float = 0.25,
+    settle_timeout: float = 15.0,
+    plan: Optional[FaultPlan] = None,
+) -> ChaosVerdict:
+    """One bounded chaos run; see the module docstring for the contract."""
+    from repro.aio.runtime import AioMembershipRuntime
+
+    names = [f"n{i}" for i in range(n)]
+    if plan is None:
+        plan = FaultPlan.generate(
+            seed,
+            names,
+            duration,
+            heartbeat_period=heartbeat_period,
+            heartbeat_timeout=heartbeat_timeout,
+            transport=transport,
+        )
+    runtime = AioMembershipRuntime(
+        names,
+        detector="heartbeat",
+        heartbeat_period=heartbeat_period,
+        heartbeat_timeout=heartbeat_timeout,
+        transport=transport,
+        wire=wire,
+        seed=seed,
+    )
+    injector = FaultInjector(plan, runtime.network).install()
+    verdict = ChaosVerdict(
+        seed=seed,
+        n=n,
+        transport=transport,
+        wire=wire,
+        duration=duration,
+        plan=plan.to_dict(),
+    )
+    await runtime.start_async()
+    _schedule_crashes(runtime, plan)
+    try:
+        # The fault window, then convergence: plans quiesce by ~75% of the
+        # duration, so the tail plus the settle budget is recovery time.
+        await runtime.run_for(max(duration, plan.horizon()))
+        verdict.agreement = await runtime.wait_for_agreement(timeout=settle_timeout)
+        if transport == "tcp":
+            network = runtime.network
+            await network.wait_quiet(timeout=5.0)
+            verdict.frame_loss = sum(network.pending_frames().values())
+            verdict.transport_stats = network.stats.to_dict()
+        report: PropertyReport = check_gmp(
+            runtime.trace, runtime.initial_view, check_liveness=False
+        )
+        verdict.properties_ok = report.ok
+        verdict.violations = [str(v) for v in report.violations]
+        verdict.properties = report.to_dict()
+        verdict.injected = injector.to_dict()
+        verdict.final_view = sorted(
+            str(m.pid) for m in runtime.live_members()
+        )
+        verdict.events = len(list(runtime.trace))
+    finally:
+        await runtime.stop_async()
+    return verdict
+
+
+def run_chaos_sync(**kwargs) -> ChaosVerdict:
+    """Blocking wrapper around :func:`run_chaos` for the CLI and tests."""
+    return asyncio.run(run_chaos(**kwargs))

@@ -12,6 +12,10 @@ Commands:
   verdict (useful for quick fuzzing from the shell);
 * ``bench`` — run the timed scenario matrix and the explorer engine
   comparison, writing machine-readable ``BENCH_results.json``;
+* ``chaos`` — run an n-member *live* cluster (TCP by default) under a
+  seeded deterministic fault plan and emit a machine-readable verdict:
+  agreement, the GMP properties, and the transport's frame-loss
+  accounting (see ``docs/ROBUSTNESS.md``);
 * ``lint`` — run the protocol-aware static analysis suite
   (see ``docs/LINTING.md``); extra arguments are forwarded to
   ``repro.lint`` (e.g. ``repro lint --format json``).
@@ -204,6 +208,37 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.chaos import FaultPlan, run_chaos_sync
+
+    if args.plan_only:
+        plan = FaultPlan.generate(
+            args.seed,
+            [f"n{i}" for i in range(args.n)],
+            args.duration,
+            transport=args.transport,
+        )
+        print(json.dumps(plan.to_dict(), indent=2, sort_keys=True))
+        return 0
+
+    verdict = run_chaos_sync(
+        n=args.n,
+        seed=args.seed,
+        duration=args.duration,
+        transport=args.transport,
+        wire=args.wire,
+        settle_timeout=args.settle,
+    )
+    payload = verdict.to_dict()
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if args.out is not None:
+        Path(args.out).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return 0 if verdict.ok else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import main as lint_main
 
@@ -318,6 +353,26 @@ def main(argv: list[str] | None = None) -> int:
         "(exit 1 if churn events/sec regresses more than 30%%)",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a live cluster under a seeded fault plan; JSON verdict",
+    )
+    chaos.add_argument("--n", type=int, default=4, help="cluster size")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--duration", type=float, default=2.0, help="fault window (s)")
+    chaos.add_argument("--transport", choices=["tcp", "memory"], default="tcp")
+    chaos.add_argument("--wire", choices=["json", "compact"], default="json")
+    chaos.add_argument(
+        "--settle", type=float, default=15.0, help="post-fault agreement budget (s)"
+    )
+    chaos.add_argument(
+        "--plan-only",
+        action="store_true",
+        help="print the seed's deterministic fault schedule without running",
+    )
+    chaos.add_argument("--out", default=None, metavar="FILE", help="also write verdict here")
+    chaos.set_defaults(func=_cmd_chaos)
 
     lint = sub.add_parser(
         "lint", help="protocol-aware static analysis (determinism, schema, mutation)"

@@ -62,9 +62,10 @@ class HeartbeatDetector(FailureDetector):
     # ------------------------------------------------------------- lifecycle
 
     def start(self) -> None:
+        if self.owner is None:
+            raise RuntimeError("detector not attached; call attach() before start()")
         self._running = True
         now = self.network.scheduler.now
-        assert self.owner is not None
         for member in self.owner.current_members():
             self._last_heard.setdefault(member, now)
         self._tick()
@@ -84,6 +85,12 @@ class HeartbeatDetector(FailureDetector):
             return
         now = self.network.scheduler.now
         last_heard = self._last_heard
+        # Prune liveness entries for processes no longer in the view, or the
+        # table grows without bound under churn (every past incarnation of
+        # every past member would be tracked forever).
+        current = set(owner.current_members())
+        for stale in [m for m in last_heard if m not in current]:
+            del last_heard[stale]
         targets: list[ProcessId] = []
         for member in owner.current_members():
             if member == owner.pid or owner.believes_faulty(member):
@@ -107,6 +114,11 @@ class HeartbeatDetector(FailureDetector):
 
     def on_message(self, sender: ProcessId, payload: object) -> bool:
         """Consume Ping/Pong; any delivered message refreshes liveness."""
+        if not self._running:
+            # A stopped detector must not keep advertising liveness — a
+            # quit/excluded member answering pings forever would look alive
+            # to the whole group.  Still swallow detector traffic.
+            return isinstance(payload, (Ping, Pong))
         self._last_heard[sender] = self.network.scheduler.now
         if isinstance(payload, Ping):
             owner = self.owner

@@ -72,6 +72,20 @@ class PropertyReport:
             worst = self.violations[0]
             raise PropertyViolation(worst.prop, worst.detail)
 
+    def to_dict(self) -> dict:
+        """Machine-readable form (chaos verdicts, CI artifacts)."""
+        return {
+            "ok": self.ok,
+            "checked": list(self.checked),
+            "violations": [
+                {"prop": v.prop, "detail": v.detail} for v in self.violations
+            ],
+            "system_views": [
+                {"version": view.version, "members": [str(m) for m in view.members]}
+                for view in self.system_views
+            ],
+        }
+
 
 def check_gmp(
     trace: RunTrace | Iterable[Event],

@@ -1,0 +1,194 @@
+"""Unit tests for the seeded fault-plan layer (:mod:`repro.chaos.plan`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import (
+    CrashRestart,
+    FaultPlan,
+    FaultRule,
+    Partition,
+    category_is,
+    payload_type_is,
+)
+from repro.detectors.heartbeat import Ping
+from repro.ids import pid
+from repro.model.events import MessageRecord
+
+NAMES = ["n0", "n1", "n2", "n3"]
+
+
+def record(src="a", dst="b", payload=None, category="protocol", incarnation=0):
+    return MessageRecord(
+        sender=pid(src, incarnation),
+        receiver=pid(dst),
+        payload=payload if payload is not None else Ping(nonce=1),
+        category=category,
+    )
+
+
+class TestRuleValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule(kind="corrupt")
+
+    def test_delay_rule_needs_positive_delay(self):
+        with pytest.raises(ValueError):
+            FaultRule(kind="delay", delay=0.0)
+
+    def test_probability_range_enforced(self):
+        with pytest.raises(ValueError):
+            FaultRule(kind="drop", probability=1.5)
+
+    def test_after_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FaultRule(kind="drop", after=0)
+
+
+class TestRuleMatching:
+    def test_window_bounds_are_half_open(self):
+        rule = FaultRule(kind="drop", start=1.0, end=2.0)
+        assert not rule.matches(record(), 0.5)
+        assert rule.matches(record(), 1.0)
+        assert not rule.matches(record(), 2.0)
+
+    def test_src_dst_filters_by_name(self):
+        rule = FaultRule(kind="drop", src="a", dst="b")
+        assert rule.matches(record("a", "b"), 0.0)
+        assert not rule.matches(record("c", "b"), 0.0)
+        assert not rule.matches(record("a", "c"), 0.0)
+
+    def test_names_survive_incarnation_bumps(self):
+        # Rules address names, so a restarted victim (new incarnation) is
+        # still covered by the same plan.
+        rule = FaultRule(kind="drop", src="a")
+        assert rule.matches(record("a", "b", incarnation=3), 0.0)
+
+    def test_category_and_payload_type_filters(self):
+        rule = FaultRule(kind="drop", category="detector", payload_types=("Ping",))
+        assert rule.matches(record(category="detector"), 0.0)
+        assert not rule.matches(record(category="protocol"), 0.0)
+        pong = record(category="detector", payload=object())
+        assert not rule.matches(pong, 0.0)
+
+    def test_predicate_hook_uses_sim_failures_vocabulary(self):
+        rule = FaultRule(kind="drop", predicate=payload_type_is("Ping"))
+        assert rule.matches(record(), 0.0)
+        assert not rule.matches(record(payload=object()), 0.0)
+        assert category_is("detector")(record(category="detector"))
+
+
+class TestDecide:
+    def test_after_threshold_counts_per_channel(self):
+        plan = FaultPlan(rules=[FaultRule(kind="drop", after=3)])
+        # Frames 1 and 2 on the a->b channel pass; frame 3 drops.
+        assert plan.decide(record(), 0.0) is None
+        assert plan.decide(record(), 0.0) is None
+        assert plan.decide(record(), 0.0).drop
+        # A different channel has its own counter.
+        assert plan.decide(record("c", "d"), 0.0) is None
+
+    def test_count_caps_applications(self):
+        plan = FaultPlan(rules=[FaultRule(kind="drop", count=1)])
+        assert plan.decide(record(), 0.0).drop
+        assert plan.decide(record(), 0.0) is None
+
+    def test_probability_verdicts_are_seed_deterministic(self):
+        def verdicts(seed):
+            plan = FaultPlan(
+                seed=seed, rules=[FaultRule(kind="drop", probability=0.5)]
+            )
+            return [plan.decide(record(), 0.0) is not None for _ in range(32)]
+
+        assert verdicts(7) == verdicts(7)
+        assert any(verdicts(7))  # p=0.5 over 32 frames: some drop...
+        assert not all(verdicts(7))  # ...and some pass
+
+    def test_partition_holds_until_window_end(self):
+        plan = FaultPlan(partitions=[Partition(src="a", dst="b", start=1.0, end=2.0)])
+        decision = plan.decide(record(), 1.5)
+        assert decision is not None and not decision.drop
+        assert decision.delay == pytest.approx(0.5)
+        assert plan.decide(record(), 2.5) is None  # healed: flush, no hold
+        assert plan.decide(record("b", "a"), 1.5) is None  # one-way only
+
+    def test_drop_wins_over_delay_and_duplicate(self):
+        plan = FaultPlan(
+            rules=[
+                FaultRule(kind="drop"),
+                FaultRule(kind="delay", delay=1.0),
+                FaultRule(kind="duplicate"),
+            ]
+        )
+        decision = plan.decide(record(), 0.0)
+        assert decision.drop
+
+    def test_effects_merge_across_rules(self):
+        plan = FaultPlan(
+            rules=[
+                FaultRule(kind="delay", delay=0.5),
+                FaultRule(kind="delay", delay=0.25),
+                FaultRule(kind="duplicate"),
+            ]
+        )
+        decision = plan.decide(record(), 0.0)
+        assert decision.delay == pytest.approx(0.75)
+        assert decision.duplicates == 1
+
+
+class TestPlanBookkeeping:
+    def test_declare_dead(self):
+        plan = FaultPlan()
+        assert not plan.considers_dead("n1")
+        plan.declare_dead("n1")
+        assert plan.considers_dead("n1")
+
+    def test_horizon_covers_every_fault(self):
+        plan = FaultPlan(
+            rules=[FaultRule(kind="drop", end=1.0)],
+            partitions=[Partition(src="a", dst="b", start=0.0, end=3.0)],
+            crashes=[CrashRestart("n1", at=1.0, restart_after=1.5)],
+        )
+        assert plan.horizon() == pytest.approx(3.0)
+
+
+class TestGenerate:
+    def test_same_seed_same_schedule(self):
+        one = FaultPlan.generate(5, NAMES, 2.0).to_dict()
+        two = FaultPlan.generate(5, NAMES, 2.0).to_dict()
+        assert one == two
+
+    def test_different_seeds_differ(self):
+        assert FaultPlan.generate(5, NAMES, 2.0).to_dict() != FaultPlan.generate(
+            6, NAMES, 2.0
+        ).to_dict()
+
+    def test_needs_three_members(self):
+        with pytest.raises(ValueError):
+            FaultPlan.generate(0, ["a", "b"], 2.0)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_heavy_faults_are_staggered(self, seed):
+        """Crash-restart completes before the partition opens: stacking them
+        can legally wipe out the whole group (majority lost everywhere), so
+        generated plans must sequence them."""
+        duration = 2.0
+        plan = FaultPlan.generate(seed, NAMES, duration)
+        (crash,) = plan.crashes
+        (partition,) = plan.partitions
+        assert crash.at + crash.restart_after < partition.start
+        assert partition.end <= 0.8 * duration + 1e-9
+        assert crash.victim not in (partition.src, partition.dst)
+        # The blinded side is the coordinator at partition time: seniority
+        # order means the first surviving name.
+        survivors = [n for n in sorted(NAMES) if n != crash.victim]
+        assert partition.dst == survivors[0]
+
+    def test_memory_transport_restricts_duplicates_to_detector(self):
+        tcp = FaultPlan.generate(3, NAMES, 2.0, transport="tcp")
+        memory = FaultPlan.generate(3, NAMES, 2.0, transport="memory")
+        tcp_dup = next(r for r in tcp.rules if r.kind == "duplicate")
+        mem_dup = next(r for r in memory.rules if r.kind == "duplicate")
+        assert tcp_dup.category is None
+        assert mem_dup.category == "detector"

@@ -1,0 +1,91 @@
+"""End-to-end tests for the chaos harness (:mod:`repro.chaos.runner`)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.chaos import ChaosVerdict, FaultPlan, run_chaos_sync
+from repro.cli import main
+
+
+class TestVerdict:
+    def test_ok_requires_agreement_properties_and_zero_loss(self):
+        verdict = ChaosVerdict(seed=0, n=4, transport="tcp", wire="json", duration=1.0)
+        verdict.agreement = True
+        verdict.properties_ok = True
+        assert verdict.ok
+        verdict.frame_loss = 1
+        assert not verdict.ok
+        verdict.frame_loss = 0
+        verdict.agreement = False
+        assert not verdict.ok
+
+    def test_to_dict_is_json_serializable(self):
+        verdict = ChaosVerdict(seed=0, n=4, transport="tcp", wire="json", duration=1.0)
+        payload = json.loads(json.dumps(verdict.to_dict()))
+        assert set(payload) >= {
+            "ok",
+            "seed",
+            "agreement",
+            "properties_ok",
+            "frame_loss",
+            "plan",
+            "final_view",
+        }
+
+
+class TestLiveRuns:
+    def test_tcp_cluster_survives_generated_plan(self):
+        verdict = run_chaos_sync(n=4, seed=1, duration=2.0, transport="tcp")
+        assert verdict.agreement, verdict.to_dict()
+        assert verdict.properties_ok, verdict.violations
+        assert verdict.frame_loss == 0
+        assert verdict.ok
+        # The verdict carries the full reproducible schedule.
+        expected = FaultPlan.generate(
+            1, [f"n{i}" for i in range(4)], 2.0, transport="tcp"
+        )
+        assert verdict.plan == expected.to_dict()
+        # Crash-restart happened: the victim's new incarnation is a member
+        # and exactly one survivor was partitioned out.
+        (crash,) = expected.crashes
+        assert f"{crash.victim}#1" in verdict.final_view
+        assert len(verdict.final_view) == 3
+        assert verdict.transport_stats.get("frames_acked", 0) > 0
+
+    def test_memory_cluster_survives_generated_plan(self):
+        verdict = run_chaos_sync(n=4, seed=1, duration=2.0, transport="memory")
+        assert verdict.ok, verdict.to_dict()
+        assert verdict.transport_stats == {}  # no channel layer to report
+
+
+class TestCli:
+    def test_plan_only_is_deterministic_and_fast(self, capsys):
+        assert main(["chaos", "--plan-only", "--seed", "9"]) == 0
+        first = capsys.readouterr().out
+        assert main(["chaos", "--plan-only", "--seed", "9"]) == 0
+        assert capsys.readouterr().out == first
+        plan = json.loads(first)
+        assert plan["seed"] == 9
+        assert plan["crashes"] and plan["partitions"] and plan["rules"]
+
+    def test_chaos_run_exit_code_and_out_file(self, capsys, tmp_path):
+        out = tmp_path / "verdict.json"
+        code = main(
+            [
+                "chaos",
+                "--n",
+                "4",
+                "--seed",
+                "1",
+                "--duration",
+                "2.0",
+                "--transport",
+                "memory",
+                "--out",
+                str(out),
+            ]
+        )
+        printed = json.loads(capsys.readouterr().out)
+        saved = json.loads(out.read_text())
+        assert code == 0 and printed["ok"] and saved == printed

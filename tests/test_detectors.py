@@ -201,3 +201,40 @@ class TestHeartbeat:
             and isinstance(e.message.payload, Pong)
             for e in network.trace.events_of_kind(EventKind.SEND)
         )
+
+    def test_start_without_attach_raises(self, fabric):
+        _, network = fabric
+        detector = HeartbeatDetector(network)
+        with pytest.raises(RuntimeError, match="not attached"):
+            detector.start()
+
+    def test_stopped_detector_does_not_pong(self, fabric):
+        # A quit/excluded member must stop advertising liveness, or it looks
+        # alive to the whole group forever.
+        scheduler, network, a, b = self.build_pair(fabric)
+        scheduler.run(until=3.0)
+        b.detector.stop()
+
+        def pongs_from_b():
+            return sum(
+                1
+                for e in network.trace.events_of_kind(EventKind.SEND)
+                if e.proc == B
+                and e.message is not None
+                and isinstance(e.message.payload, Pong)
+            )
+
+        before = pongs_from_b()
+        consumed = b.detector.on_message(A, Ping(nonce=99))
+        assert consumed  # still swallowed, never forwarded to the member
+        scheduler.run(until=5.0)
+        assert pongs_from_b() == before
+
+    def test_last_heard_pruned_for_departed_members(self, fabric):
+        scheduler, network, a, b = self.build_pair(fabric)
+        scheduler.run(until=3.0)
+        assert B in a.detector._last_heard
+        a.members = (A,)  # B leaves the view
+        scheduler.run(until=6.0)  # at least one tick with the new view
+        assert B not in a.detector._last_heard
+        assert a.suspected == []  # departed, not suspected

@@ -1,0 +1,169 @@
+"""Regression tests for the hardened TCP channel layer.
+
+The seed's ``_drain`` silently dropped any frame that hit a dead connection
+— a frame sent while the receiver's server restarted was simply gone.  These
+tests pin the fix: the channel retries (reconnect + resend of the
+unacknowledged suffix) until frames are acknowledged or the peer is declared
+dead, and the receiver's high-water mark collapses retransmissions and
+injected duplicates to exactly-once in-order delivery.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.aio.scheduler import AioScheduler
+from repro.aio.tcp import TcpNetwork
+from repro.chaos import FaultInjector, FaultPlan, FaultRule
+from repro.core.messages import UpdateOk
+from repro.ids import pid
+from repro.sim.process import SimProcess
+
+A, B = pid("a"), pid("b")
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class Echo(SimProcess):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.received = []
+
+    def on_message(self, sender, payload):
+        self.received.append((sender, payload))
+
+
+async def _wait_for(predicate, timeout=10.0, poll=0.01):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while loop.time() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(poll)
+    return predicate()
+
+
+class TestServerRestart:
+    def test_frames_sent_during_restart_survive_in_order(self):
+        """The headline regression: a server bounce mid-stream loses nothing."""
+
+        async def scenario():
+            network = TcpNetwork(AioScheduler())
+            Echo(A, network)
+            b = Echo(B, network)
+            await network.start()
+            for version in range(1, 6):
+                network.send(A, B, UpdateOk(version=version))
+            assert await _wait_for(lambda: len(b.received) == 5)
+
+            await network.close_server(B)
+            # The receiver is down: these frames must queue, not vanish.
+            for version in range(6, 16):
+                network.send(A, B, UpdateOk(version=version))
+            await asyncio.sleep(0.1)
+            assert len(b.received) == 5
+
+            await network.serve(B)
+            assert await _wait_for(lambda: len(b.received) == 15)
+            assert await network.wait_quiet(timeout=5.0)
+            await network.stop()
+            return b.received, network.stats
+
+        received, stats = run(scenario())
+        assert [payload.version for _, payload in received] == list(range(1, 16))
+        assert stats.reconnects >= 1
+        assert stats.frames_acked >= 15
+
+    def test_send_with_no_server_at_all_queues_until_serve(self):
+        """First send races the receiver's (re)start: no port yet, no loss."""
+
+        async def scenario():
+            network = TcpNetwork(AioScheduler())
+            Echo(A, network)
+            b = Echo(B, network)
+            await network.start()
+            await network.close_server(B)
+            for version in range(1, 4):
+                network.send(A, B, UpdateOk(version=version))
+            await asyncio.sleep(0.1)
+            await network.serve(B)
+            assert await _wait_for(lambda: len(b.received) == 3)
+            await network.stop()
+            return [payload.version for _, payload in b.received]
+
+        assert run(scenario()) == [1, 2, 3]
+
+
+class TestDeadPeer:
+    def test_frames_to_crashed_peer_are_abandoned_not_retried(self):
+        async def scenario():
+            network = TcpNetwork(AioScheduler())
+            Echo(A, network)
+            b = Echo(B, network)
+            await network.start()
+            b.crash()  # notify_crash -> mark_dead: the channel must give up
+            network.send(A, B, UpdateOk(version=1))
+            assert await _wait_for(
+                lambda: network.stats.frames_abandoned_dead >= 1
+            )
+            assert network.pending_frames() == {}
+            await network.stop()
+            return b.received
+
+        assert run(scenario()) == []
+
+
+class TestStopHygiene:
+    def test_stop_clears_state_and_network_is_restartable(self):
+        async def scenario():
+            network = TcpNetwork(AioScheduler())
+            Echo(A, network)
+            b = Echo(B, network)
+            await network.start()
+            network.send(A, B, UpdateOk(version=1))
+            assert await _wait_for(lambda: len(b.received) == 1)
+
+            await network.stop()
+            # The seed leaked _outboxes and _ports here; the channel layer
+            # must come back empty.
+            assert network._ports == {}
+            assert network._channels == {}
+            assert network._writers == {}
+            assert network._servers == {}
+
+            await network.start()
+            network.send(A, B, UpdateOk(version=2))
+            assert await _wait_for(lambda: len(b.received) == 2)
+            await network.stop()
+            return [payload.version for _, payload in b.received]
+
+        assert run(scenario()) == [1, 2]
+
+
+class TestExactlyOnce:
+    def test_injected_duplicates_collapse_to_exactly_once(self):
+        """Wire-level duplicates (chaos or retransmission) never reach the
+        process twice: the receiver's high-water mark absorbs them."""
+
+        async def scenario():
+            network = TcpNetwork(AioScheduler())
+            Echo(A, network)
+            b = Echo(B, network)
+            plan = FaultPlan(seed=0)
+            plan.add_rule(FaultRule(kind="duplicate"))
+            FaultInjector(plan, network).install()
+            await network.start()
+            for version in range(1, 11):
+                network.send(A, B, UpdateOk(version=version))
+            assert await _wait_for(lambda: len(b.received) >= 10)
+            await network.wait_quiet(timeout=5.0)
+            await asyncio.sleep(0.05)  # let any straggler duplicate land
+            await network.stop()
+            return [payload.version for _, payload in b.received], network.stats
+
+        versions, stats = run(scenario())
+        assert versions == list(range(1, 11))
+        assert stats.injected_duplicates == 10
+        assert stats.duplicates_dropped >= 10
