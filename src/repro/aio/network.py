@@ -46,6 +46,9 @@ class AioNetwork:
             delay_model if delay_model is not None else UniformDelay(0.001, 0.01)
         )
         self.rng = random.Random(seed)
+        #: optional :class:`repro.obs.Obs` capture (same contract as the
+        #: simulator Network: ``None`` means one attribute check per send).
+        self.obs = None
         self._processes: dict[ProcessId, "SimProcess"] = {}
         self._channel_clock: dict[tuple[ProcessId, ProcessId], float] = {}
         self._send_observers: list[Callable[[MessageRecord], None]] = []
@@ -111,6 +114,8 @@ class AioNetwork:
             peer=receiver,
             message=record,
         )
+        if self.obs is not None:
+            self.obs.count_send(sender, category)
         for observer in list(self._send_observers):
             observer(record)
         delay = self.delay_model.delay(sender, receiver, self.rng)

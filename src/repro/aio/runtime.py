@@ -42,6 +42,7 @@ class AioMembershipRuntime:
         majority_updates: bool = True,
         transport: Literal["memory", "tcp"] = "memory",
         wire: str = "json",
+        obs=None,
     ) -> None:
         self.initial_view = ordered_view(
             m if isinstance(m, ProcessId) else pid(m) for m in members
@@ -56,6 +57,10 @@ class AioMembershipRuntime:
             self.network = AioNetwork(
                 self.scheduler, delay_model=delay_model, seed=seed
             )
+        #: optional :class:`repro.obs.Obs` capture shared by the fabric,
+        #: detectors and member spans for this runtime.
+        self.obs = obs
+        self.network.obs = obs
         self.detector_kind = detector
         self.heartbeat_period = heartbeat_period
         self.heartbeat_timeout = heartbeat_timeout

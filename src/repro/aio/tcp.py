@@ -134,6 +134,9 @@ class TcpNetwork:
         self.reconnect_cap = reconnect_cap
         self.reconnect_jitter = reconnect_jitter
         self.stats = TcpStats()
+        #: optional :class:`repro.obs.Obs` capture (``None`` = one attribute
+        #: check per send; see repro.sim.network.Network.obs).
+        self.obs = None
         self._rng = random.Random(seed)
         self._processes: dict[ProcessId, "SimProcess"] = {}
         self._ports: dict[ProcessId, int] = {}
@@ -307,6 +310,8 @@ class TcpNetwork:
             peer=receiver,
             message=record,
         )
+        if self.obs is not None:
+            self.obs.count_send(sender, category)
         for observer in list(self._send_observers):
             observer(record)
 
@@ -442,13 +447,24 @@ class TcpNetwork:
                     self.stats.connects += 1
                     if connected_before:
                         self.stats.reconnects += 1
+                        if self.obs is not None:
+                            # Reconnect-to-drain span: connections only open
+                            # with frames pending, so a resend is in flight.
+                            self.obs.spans.begin(
+                                "tcp.reconnect",
+                                channel,
+                                at=self.scheduler.now,
+                                sender=channel[0],
+                                receiver=receiver,
+                                frames=len(ch.unacked),
+                            )
                     connected_before = True
                     attempt = 0
                     ch.conn_lost = False
                     self.stats.frames_resent += ch.cursor
                     ch.cursor = 0
                     ack_task = asyncio.get_running_loop().create_task(
-                        self._read_acks(reader, ch)
+                        self._read_acks(reader, channel, ch)
                     )
                 msg_id, data, hold = ch.unacked[ch.cursor]
                 remaining = hold - self.scheduler.now if hold > 0.0 else 0.0
@@ -477,7 +493,12 @@ class TcpNetwork:
             if writer is not None:
                 writer.close()
 
-    async def _read_acks(self, reader: asyncio.StreamReader, ch: _Channel) -> None:
+    async def _read_acks(
+        self,
+        reader: asyncio.StreamReader,
+        channel: tuple[ProcessId, ProcessId],
+        ch: _Channel,
+    ) -> None:
         """Prune the retransmission buffer as receipt acknowledgements arrive;
         flag the connection lost when the ack stream dies."""
         try:
@@ -489,6 +510,11 @@ class TcpNetwork:
                     self.stats.frames_acked += 1
                     if ch.cursor > 0:
                         ch.cursor -= 1
+                if not ch.unacked and self.obs is not None:
+                    # Resend buffer fully drained: the reconnect is healed.
+                    self.obs.spans.end(
+                        "tcp.reconnect", channel, at=self.scheduler.now
+                    )
                 ch.event.set()
         except asyncio.CancelledError:
             return  # deliberate teardown; the drain loop owns the state
@@ -496,6 +522,31 @@ class TcpNetwork:
             pass
         ch.conn_lost = True
         ch.event.set()
+
+    # -------------------------------------------------------- observability
+
+    def collect_metrics(self, obs) -> None:
+        """Promote the channel-layer counters into registry gauges.
+
+        Called once post-run (by the chaos runner / CLI); gauges rather than
+        counters because :class:`TcpStats` is the source of truth and this
+        mirrors its final values.
+        """
+        gauges = obs.metrics.gauge(
+            "repro_tcp_stat", "TCP channel-layer counters (TcpStats fields).",
+            labels=("stat",),
+        )
+        for stat, value in self.stats.to_dict().items():
+            gauges.labels(stat).set(value)
+        ack_lag = sum(len(ch.unacked) for ch in self._channels.values())
+        obs.metrics.gauge(
+            "repro_tcp_ack_lag_frames",
+            "Unacknowledged frames across all channels at collection time.",
+        ).set(ack_lag)
+        obs.metrics.gauge(
+            "repro_tcp_pending_frames",
+            "Unacknowledged frames on channels to live peers.",
+        ).set(sum(self.pending_frames().values()))
 
     # ------------------------------------------------------------ quiescence
 

@@ -184,6 +184,10 @@ def report(
         "",
         baseline_table(workers=workers, cache=cache).render(),
         "",
+    ]
+    if cache is not None:
+        parts.append(cache.format_stats())
+    parts += [
         "Full experiment suite: pytest benchmarks/ --benchmark-only",
         "Recorded results and deviations: EXPERIMENTS.md",
     ]

@@ -49,6 +49,7 @@ class ChaosVerdict:
     frame_loss: int = 0
     injected: dict = field(default_factory=dict)
     transport_stats: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
     final_view: list[str] = field(default_factory=list)
     events: int = 0
 
@@ -71,6 +72,7 @@ class ChaosVerdict:
             "frame_loss": self.frame_loss,
             "injected": self.injected,
             "transport_stats": self.transport_stats,
+            "metrics": self.metrics,
             "final_view": self.final_view,
             "events": self.events,
             "plan": self.plan,
@@ -116,6 +118,7 @@ async def run_chaos(
     heartbeat_timeout: float = 0.25,
     settle_timeout: float = 15.0,
     plan: Optional[FaultPlan] = None,
+    obs=None,
 ) -> ChaosVerdict:
     """One bounded chaos run; see the module docstring for the contract."""
     from repro.aio.runtime import AioMembershipRuntime
@@ -138,6 +141,7 @@ async def run_chaos(
         transport=transport,
         wire=wire,
         seed=seed,
+        obs=obs,
     )
     injector = FaultInjector(plan, runtime.network).install()
     verdict = ChaosVerdict(
@@ -171,6 +175,13 @@ async def run_chaos(
             str(m.pid) for m in runtime.live_members()
         )
         verdict.events = len(list(runtime.trace))
+        if obs is not None:
+            if transport == "tcp":
+                runtime.network.collect_metrics(obs)
+            obs.record_trace(runtime.trace)
+            from repro.obs.summary import summary_dict
+
+            verdict.metrics = summary_dict(obs)
     finally:
         await runtime.stop_async()
     return verdict

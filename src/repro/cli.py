@@ -16,6 +16,10 @@ Commands:
   seeded deterministic fault plan and emit a machine-readable verdict:
   agreement, the GMP properties, and the transport's frame-loss
   accounting (see ``docs/ROBUSTNESS.md``);
+* ``obs <file>`` — summarise a JSONL telemetry capture written by
+  ``--metrics-out`` (available on ``scenario``, ``chaos`` and ``bench``):
+  detection-latency / reconfiguration-duration percentiles, the span
+  table, and the metric values (see ``docs/OBSERVABILITY.md``);
 * ``lint`` — run the protocol-aware static analysis suite
   (see ``docs/LINTING.md``); extra arguments are forwarded to
   ``repro.lint`` (e.g. ``repro lint --format json``).
@@ -54,34 +58,68 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _write_metrics(obs, trace, path: str, meta: dict) -> None:
+    """Archive a capture: fold the trace in, write JSONL + ``.prom`` sibling."""
+    from pathlib import Path
+
+    from repro.obs.exposition import write_jsonl, write_prometheus
+
+    if trace is not None:
+        obs.record_trace(trace)
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    write_jsonl(out, obs, meta=meta)
+    write_prometheus(out.with_suffix(".prom"), obs.metrics)
+    print(f"wrote {out} and {out.with_suffix('.prom')}", file=sys.stderr)
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     from repro.baselines import OnePhaseMember, TwoPhaseReconfigMember
     from repro.workloads import scenarios
 
+    obs = None
+    if args.metrics_out is not None:
+        from repro.obs import Obs
+
+        obs = Obs()
     name = args.name
     if name == "table1":
+        trace = None
         for i, row in enumerate(scenarios.TABLE1_EXPECTED, start=1):
-            cluster = scenarios.run_table1_row(row, seed=args.seed)
+            cluster = scenarios.run_table1_row(row, seed=args.seed, obs=obs)
+            trace = cluster.trace
             initiators = sorted(scenarios.initiators_of(cluster))
             print(f"row {i}: initiators = {initiators}")
+        if obs is not None:
+            _write_metrics(
+                obs, trace, args.metrics_out,
+                {"command": "scenario", "name": name, "seed": args.seed},
+            )
         return 0
     if name == "figure3":
-        cluster = scenarios.run_figure3(seed=args.seed)
+        cluster = scenarios.run_figure3(seed=args.seed, obs=obs)
     elif name == "figure4":
-        cluster = scenarios.run_figure4(seed=args.seed)
+        cluster = scenarios.run_figure4(seed=args.seed, obs=obs)
     elif name == "figure11":
-        cluster = scenarios.run_figure11(seed=args.seed)
+        cluster = scenarios.run_figure11(seed=args.seed, obs=obs)
     elif name == "figure11-strawman":
         cluster = scenarios.run_figure11(
-            seed=args.seed, member_class=TwoPhaseReconfigMember, strawman=True
+            seed=args.seed, member_class=TwoPhaseReconfigMember, strawman=True, obs=obs
         )
     elif name == "claim71":
-        cluster = scenarios.run_claim71(seed=args.seed, member_class=OnePhaseMember)
+        cluster = scenarios.run_claim71(
+            seed=args.seed, member_class=OnePhaseMember, obs=obs
+        )
     else:
         print(f"unknown scenario {name!r}", file=sys.stderr)
         return 2
     report = check_gmp(cluster.trace, cluster.initial_view, check_liveness=False)
     print(format_report(report))
+    if obs is not None:
+        _write_metrics(
+            obs, cluster.trace, args.metrics_out,
+            {"command": "scenario", "name": name, "seed": args.seed},
+        )
     return 0
 
 
@@ -186,25 +224,42 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
-    from repro.runner.bench import check_scale_regression, run_bench, summarize
+    from repro.runner.bench import (
+        check_obs_overhead,
+        check_scale_regression,
+        run_bench,
+        summarize,
+    )
+    from repro.runner.cache import ScenarioCache
 
+    cache = ScenarioCache(root=args.cache) if args.cache is not None else None
     out = run_bench(
         quick=args.quick,
         workers=args.workers,
         out_dir=args.out,
         scale=args.scale,
+        cache=cache,
+        metrics_out=args.metrics_out,
     )
     payload = json.loads(out.read_text())
     print(summarize(payload))
     print(f"\nwrote {out}")
+    failures: list[str] = []
     if args.baseline is not None:
         baseline = json.loads(Path(args.baseline).read_text())
-        failures = check_scale_regression(payload, baseline)
-        if failures:
-            for message in failures:
-                print(f"REGRESSION {message}")
-            return 1
-        print(f"no scale regression vs {args.baseline}")
+        scale_failures = check_scale_regression(payload, baseline)
+        if scale_failures:
+            failures += [f"REGRESSION {m}" for m in scale_failures]
+        else:
+            print(f"no scale regression vs {args.baseline}")
+    failures += [f"OBS-OVERHEAD {m}" for m in check_obs_overhead(payload)]
+    failures += [
+        f"STALE-CACHE {m}" for m in payload.get("cache", {}).get("stale", [])
+    ]
+    if failures:
+        for message in failures:
+            print(message)
+        return 1
     return 0
 
 
@@ -224,6 +279,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(json.dumps(plan.to_dict(), indent=2, sort_keys=True))
         return 0
 
+    obs = None
+    if args.metrics_out is not None:
+        from repro.obs import Obs
+
+        obs = Obs()
     verdict = run_chaos_sync(
         n=args.n,
         seed=args.seed,
@@ -231,12 +291,38 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         transport=args.transport,
         wire=args.wire,
         settle_timeout=args.settle,
+        obs=obs,
     )
     payload = verdict.to_dict()
     print(json.dumps(payload, indent=2, sort_keys=True))
     if args.out is not None:
         Path(args.out).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    if obs is not None:
+        # run_chaos already folded the trace into the capture.
+        _write_metrics(
+            obs, None, args.metrics_out,
+            {
+                "command": "chaos",
+                "n": args.n,
+                "seed": args.seed,
+                "transport": args.transport,
+                "ok": verdict.ok,
+            },
+        )
     return 0 if verdict.ok else 1
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.exposition import load_jsonl
+    from repro.obs.summary import summarize_records
+
+    try:
+        records = load_jsonl(args.file)
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    print(summarize_records(records), end="")
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -274,6 +360,12 @@ def main(argv: list[str] | None = None) -> int:
         choices=["table1", "figure3", "figure4", "figure11", "figure11-strawman", "claim71"],
     )
     scenario.add_argument("--seed", type=int, default=0)
+    scenario.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the run's telemetry capture as JSONL (+ .prom sibling)",
+    )
     scenario.set_defaults(func=_cmd_scenario)
 
     sweep = sub.add_parser("sweep", help="§7.2 complexity table, paper vs measured")
@@ -352,6 +444,21 @@ def main(argv: list[str] | None = None) -> int:
         help="committed BENCH_results.json to diff the scale sweep against "
         "(exit 1 if churn events/sec regresses more than 30%%)",
     )
+    bench.add_argument(
+        "--cache",
+        nargs="?",
+        const=".repro-cache",
+        default=None,
+        metavar="DIR",
+        help="cross-check measured message counts against the scenario "
+        "cache shared with `repro report` (exit 1 on stale entries)",
+    )
+    bench.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="archive one instrumented churn run as JSONL (+ .prom sibling)",
+    )
     bench.set_defaults(func=_cmd_bench)
 
     chaos = sub.add_parser(
@@ -372,7 +479,19 @@ def main(argv: list[str] | None = None) -> int:
         help="print the seed's deterministic fault schedule without running",
     )
     chaos.add_argument("--out", default=None, metavar="FILE", help="also write verdict here")
+    chaos.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the run's telemetry capture as JSONL (+ .prom sibling)",
+    )
     chaos.set_defaults(func=_cmd_chaos)
+
+    obs = sub.add_parser(
+        "obs", help="summarise a JSONL telemetry capture (percentile tables)"
+    )
+    obs.add_argument("file", help="capture written by --metrics-out")
+    obs.set_defaults(func=_cmd_obs)
 
     lint = sub.add_parser(
         "lint", help="protocol-aware static analysis (determinism, schema, mutation)"

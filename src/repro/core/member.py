@@ -183,6 +183,36 @@ class GMPMember(SimProcess):
         return () if self.state is None else self.state.snapshot_view()
 
     # ------------------------------------------------------------------
+    # Observability spans (no-ops unless the network carries an Obs)
+    # ------------------------------------------------------------------
+
+    def _span_begin(self, name: str, key: object = None, **labels: object) -> None:
+        """Open a protocol span on the run's Obs capture, if one is attached.
+
+        Spans use logical (scheduler) time, so they are deterministic and
+        replay-safe; with no Obs attached this is one attribute check.
+        """
+        obs = self.network.obs
+        if obs is not None:
+            obs.spans.begin(
+                name,
+                key if key is not None else self.pid,
+                at=self.network.scheduler.now,
+                proc=self.pid,
+                **labels,
+            )
+
+    def _span_end(self, name: str, key: object = None, **labels: object) -> None:
+        obs = self.network.obs
+        if obs is not None:
+            obs.spans.end(
+                name,
+                key if key is not None else self.pid,
+                at=self.network.scheduler.now,
+                **labels,
+            )
+
+    # ------------------------------------------------------------------
     # S1 isolation
     # ------------------------------------------------------------------
 
@@ -385,6 +415,7 @@ class GMPMember(SimProcess):
         else:
             self._note_operating(contingent.target)
         self.state.set_plan(Plan(contingent, coord, version))
+        self._span_begin("view.install", key=(self.pid, version), version=version)
         if self.app is not None:
             self.app.before_view_agreement(version)
         self.send(coord, UpdateOk(version))
@@ -422,6 +453,8 @@ class GMPMember(SimProcess):
             self._note_faulty(op.target)
         else:
             self._note_operating(op.target)
+        self._span_begin("update.round", version=version, compressed=False)
+        self._span_begin("view.install", key=(self.pid, version), version=version)
         self.broadcast(self._ordered(state.view), Invite(op, version))
         pending = self._awaitees(op)
         self.update_round = UpdateRound(op=op, version=version, pending=pending)
@@ -462,6 +495,7 @@ class GMPMember(SimProcess):
                         f"{self.state.majority()} for version {round_.version}"
                     )
                     return
+            self._span_end("update.round", version=round_.version)
             self._commit_update(round_)
             if self.crashed:
                 return
@@ -489,6 +523,8 @@ class GMPMember(SimProcess):
             self._note_faulty(op.target)
         else:
             self._note_operating(op.target)
+        self._span_begin("update.round", version=version, compressed=False)
+        self._span_begin("view.install", key=(self.pid, version), version=version)
         self.broadcast(self._ordered(state.view), Invite(op, version))
         self.update_round = UpdateRound(op=op, version=version, pending=self._awaitees(op))
         for target in self.update_round.pending:
@@ -547,6 +583,14 @@ class GMPMember(SimProcess):
             if contingent.is_add:
                 # The fresh joiner (just state-transferred) also answers.
                 pass
+            self._span_begin(
+                "update.round", version=state.version + 1, compressed=True
+            )
+            self._span_begin(
+                "view.install",
+                key=(self.pid, state.version + 1),
+                version=state.version + 1,
+            )
             self.update_round = UpdateRound(
                 op=contingent,
                 version=state.version + 1,
@@ -596,6 +640,9 @@ class GMPMember(SimProcess):
         else:
             self._note_operating(msg.op.target)
         state.set_plan(Plan(msg.op, sender, msg.version))
+        self._span_begin(
+            "view.install", key=(self.pid, msg.version), version=msg.version
+        )
         if self.app is not None:
             self.app.before_view_agreement(msg.version)
         self.send(sender, UpdateOk(msg.version))
@@ -645,6 +692,8 @@ class GMPMember(SimProcess):
             EventKind.INTERNAL,
             detail=f"initiating reconfiguration, HiFaulty={list(map(str, hi))}",
         )
+        self._span_begin("reconfig.total", hi_faulty=len(hi))
+        self._span_begin("reconfig.phase1")
         self.broadcast(self._ordered(state.view), Interrogate(hi_faulty=hi))
         pending = {
             member
@@ -728,6 +777,9 @@ class GMPMember(SimProcess):
             self.app.before_view_agreement(msg.version)
         self.send(sender, ProposeOk(msg.version))
         state.set_plan(Plan(msg.final_op, sender, msg.version))
+        self._span_begin(
+            "view.install", key=(self.pid, msg.version), version=msg.version
+        )
         self._react()
 
     def _on_propose_ok(self, sender: ProcessId, msg: ProposeOk) -> None:
@@ -765,6 +817,9 @@ class GMPMember(SimProcess):
             round_.proposal_ops = result.ops
             round_.proposal_version = result.version
             round_.invis = result.invis
+            self._span_end(
+                "reconfig.phase1", version=result.version, ops=len(result.ops)
+            )
             self._record(
                 EventKind.INTERNAL,
                 detail=(
@@ -802,6 +857,7 @@ class GMPMember(SimProcess):
                 for member in state.view
                 if member != self.pid and member not in state.ever_faulty
             }
+            self._span_begin("reconfig.phase2", version=result.version)
             self.broadcast(
                 self._ordered(state.view),
                 Propose(
@@ -856,6 +912,7 @@ class GMPMember(SimProcess):
         """Phase III: install, broadcast the commit, assume the Mgr role."""
         state = self.state
         assert state is not None
+        self._span_end("reconfig.phase2", version=round_.proposal_version)
         if self.app is not None:
             self.app.before_view_agreement(round_.proposal_version)
         self._apply_reconfig_ops(round_.proposal_ops, round_.proposal_version)
@@ -864,6 +921,7 @@ class GMPMember(SimProcess):
         state.set_mgr(self.pid)
         state.set_plan(None)
         self._record(EventKind.INTERNAL, detail="assumed Mgr role")
+        self._span_end("reconfig.total", version=round_.proposal_version)
         commit = ReconfigCommit(
             ops=round_.proposal_ops,
             version=round_.proposal_version,
@@ -897,6 +955,14 @@ class GMPMember(SimProcess):
             else:
                 self._note_operating(invis.target)
             pending = self._awaitees(invis)
+            self._span_begin(
+                "update.round", version=state.version + 1, compressed=True
+            )
+            self._span_begin(
+                "view.install",
+                key=(self.pid, state.version + 1),
+                version=state.version + 1,
+            )
             self.update_round = UpdateRound(
                 op=invis,
                 version=state.version + 1,
@@ -1017,6 +1083,7 @@ class GMPMember(SimProcess):
             version=self.state.version,
             view=self.state.snapshot_view(),
         )
+        self._span_end("view.install", key=(self.pid, self.state.version))
         if self.app is not None:
             self.app.on_view_installed(
                 self.state.version, self.state.snapshot_view(), self.state.mgr

@@ -53,6 +53,7 @@ class MembershipCluster:
         member_class: type[GMPMember] | None = None,
         member_kwargs: Optional[dict[str, Any]] = None,
         trace_level: TraceLevel | str | int = TraceLevel.FULL,
+        obs: Optional[Any] = None,
     ) -> None:
         self.initial_view = ordered_view(members)
         if not self.initial_view:
@@ -70,6 +71,10 @@ class MembershipCluster:
             delay_model=delay_model if delay_model is not None else UniformDelay(),
             seed=seed,
         )
+        #: optional :class:`repro.obs.Obs` capture shared by every layer of
+        #: this cluster (network sends, member spans, detector latencies).
+        self.obs = obs
+        self.network.obs = obs
         self.detector_kind: DetectorKind = detector
         self.detector_delay = detector_delay
         self.heartbeat_period = heartbeat_period

@@ -56,8 +56,20 @@ class HeartbeatDetector(FailureDetector):
         self.period = period
         self.timeout = timeout
         self._last_heard: dict[ProcessId, float] = {}
+        #: every target this detector has ever suspected (not pruned on view
+        #: changes: transient suspicions are exactly what it makes visible).
+        self._suspected: set[ProcessId] = set()
         self._nonce = 0
         self._running = False
+
+    def suspicions(self) -> frozenset[ProcessId]:
+        """Read-only view of every suspicion this detector has raised.
+
+        Unlike the owner's ``believes_faulty`` state this records *detector*
+        verdicts, including transient ones that never led to a
+        reconfiguration (e.g. raised against an already-excluded member).
+        """
+        return frozenset(self._suspected)
 
     # ------------------------------------------------------------- lifecycle
 
@@ -91,12 +103,16 @@ class HeartbeatDetector(FailureDetector):
         current = set(owner.current_members())
         for stale in [m for m in last_heard if m not in current]:
             del last_heard[stale]
+        obs = self.network.obs
         targets: list[ProcessId] = []
         for member in owner.current_members():
             if member == owner.pid or owner.believes_faulty(member):
                 continue
             last = last_heard.setdefault(member, now)
+            if obs is not None:
+                obs.observe_last_heard_age(owner.pid, now - last)
             if now - last > self.timeout:
+                self._record_suspicion(member, last_heard=last, now=now)
                 self._suspect(member)
                 continue
             targets.append(member)
@@ -105,10 +121,53 @@ class HeartbeatDetector(FailureDetector):
             # all answer the same probe, so per-member nonces bought nothing
             # but O(n) extra allocations.
             self._nonce += 1
+            if obs is not None:
+                spans = obs.spans
+                for member in targets:
+                    probe_key = (owner.pid, member)
+                    if not spans.is_open("detector.probe", probe_key):
+                        spans.begin(
+                            "detector.probe",
+                            probe_key,
+                            at=now,
+                            proc=owner.pid,
+                            target=member,
+                        )
             self.network.broadcast(
                 owner.pid, targets, Ping(self._nonce), category="detector"
             )
         self.network.scheduler.after(self.period, self._tick)
+
+    def _record_suspicion(
+        self, member: ProcessId, last_heard: float, now: float
+    ) -> None:
+        """Make each *new* suspicion visible the moment it is raised.
+
+        Called before :meth:`_suspect`, which only forwards to the owner —
+        a suspicion the owner already shares (or one against a departed
+        member) would otherwise leave no trace anywhere.
+        """
+        if member in self._suspected:
+            return
+        self._suspected.add(member)
+        obs = self.network.obs
+        if obs is None or self.owner is None:
+            return
+        # Ground truth from the trace: suspecting a never-crashed process is
+        # the paper's "perceived failure" — count it separately.
+        false_suspicion = member not in self.network.trace.crashed()
+        obs.count_suspicion(self.owner.pid, false_suspicion)
+        # Detection latency: silence began at last_heard, verdict is now.
+        obs.spans.emit(
+            "detector.detection",
+            start=last_heard,
+            end=now,
+            proc=self.owner.pid,
+            target=member,
+            false_suspicion=false_suspicion,
+        )
+        # The probe to this target will never be answered.
+        obs.spans.discard("detector.probe", (self.owner.pid, member))
 
     # -------------------------------------------------------------- messages
 
@@ -119,7 +178,7 @@ class HeartbeatDetector(FailureDetector):
             # quit/excluded member answering pings forever would look alive
             # to the whole group.  Still swallow detector traffic.
             return isinstance(payload, (Ping, Pong))
-        self._last_heard[sender] = self.network.scheduler.now
+        self._mark_heard(sender)
         if isinstance(payload, Ping):
             owner = self.owner
             own = self.network.get_process(owner.pid) if owner else None
@@ -132,4 +191,14 @@ class HeartbeatDetector(FailureDetector):
 
     def observed_traffic(self, sender: ProcessId) -> None:
         """Protocol hook: any protocol message from ``sender`` is evidence."""
-        self._last_heard[sender] = self.network.scheduler.now
+        self._mark_heard(sender)
+
+    def _mark_heard(self, sender: ProcessId) -> None:
+        """Refresh liveness; close any in-flight probe span to ``sender``."""
+        now = self.network.scheduler.now
+        self._last_heard[sender] = now
+        obs = self.network.obs
+        if obs is not None and self.owner is not None:
+            rtt = obs.spans.end("detector.probe", (self.owner.pid, sender), at=now)
+            if rtt is not None:
+                obs.observe_probe_rtt(self.owner.pid, rtt)

@@ -1,0 +1,120 @@
+"""``repro.obs`` — unified metrics + protocol-span telemetry.
+
+One :class:`Obs` object per run bundles a :class:`MetricsRegistry` and a
+:class:`SpanLog` and pre-registers the instrument catalogue (see
+``docs/OBSERVABILITY.md``).  Instrumented layers — ``sim.network``,
+``detectors.heartbeat``, ``aio.tcp``, ``core.member`` — each carry an
+``obs`` attribute defaulting to ``None``; every instrumentation site is
+guarded by a single ``if obs is not None`` attribute check, the same
+zero-cost-when-off discipline as :class:`repro.sim.trace.TraceLevel`.
+
+The facade's helper methods keep call sites one line and centralise the
+label vocabulary, so the metric catalogue lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs.registry import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.spans import SpanLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.trace import RunTrace
+
+__all__ = ["Obs", "MetricsRegistry", "SpanLog", "DEFAULT_BUCKETS"]
+
+
+class Obs:
+    """One run's telemetry capture: metrics registry + span log."""
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+        self.spans = SpanLog()
+        # Hot-path instruments, bound once so instrumented loops pay one
+        # attribute access + one dict lookup per event.
+        self._sends = self.metrics.counter(
+            "repro_messages_sent_total",
+            "Messages sent, by sending process and traffic category.",
+            labels=("proc", "category"),
+        )
+        self._suspicions = self.metrics.counter(
+            "repro_suspicions_total",
+            "New suspicions raised by failure detectors, by observer.",
+            labels=("proc",),
+        )
+        self._false_suspicions = self.metrics.counter(
+            "repro_false_suspicions_total",
+            "Suspicions of processes that had not crashed (ground truth).",
+            labels=("proc",),
+        )
+        self._probe_rtt = self.metrics.histogram(
+            "repro_detector_probe_rtt",
+            "Detector probe round-trip time (probe send to first reply).",
+            labels=("proc",),
+        )
+        self._last_heard_age = self.metrics.histogram(
+            "repro_detector_last_heard_age",
+            "Age of last-heard timestamp per peer, sampled at each tick.",
+            labels=("proc",),
+        )
+        # Per-(proc, category) Counter children, memoised so the per-message
+        # path is one dict get + one float add — ``labels()`` re-validates
+        # arity on every call, which the bench overhead gate can't afford.
+        self._send_children: dict = {}
+
+    # ----------------------------------------------------------- hot helpers
+
+    def count_send(self, proc: object, category: str, amount: float = 1.0) -> None:
+        """Count ``amount`` sends (broadcasts batch a whole fan-out)."""
+        child = self._send_children.get((proc, category))
+        if child is None:
+            child = self._send_children[(proc, category)] = self._sends.labels(
+                proc, category
+            )
+        child.value += amount
+
+    def count_suspicion(self, proc: object, false_suspicion: bool) -> None:
+        self._suspicions.labels(proc).inc()
+        if false_suspicion:
+            self._false_suspicions.labels(proc).inc()
+
+    def observe_probe_rtt(self, proc: object, rtt: float) -> None:
+        self._probe_rtt.labels(proc).observe(rtt)
+
+    def observe_last_heard_age(self, proc: object, age: float) -> None:
+        self._last_heard_age.labels(proc).observe(age)
+
+    # ------------------------------------------------------------- snapshots
+
+    def record_trace(self, trace: "RunTrace") -> None:
+        """Mirror a finished run's trace-level accounting into gauges.
+
+        Works at FULL and COUNTS trace levels (the underlying accessors do);
+        called once post-run, so cost is irrelevant.
+        """
+        events = self.metrics.gauge(
+            "repro_trace_events", "Trace events recorded, by event kind.",
+            labels=("kind",),
+        )
+        kind_counts = trace.kind_counts().items()
+        for kind, count in sorted(
+            kind_counts, key=lambda kv: getattr(kv[0], "name", str(kv[0]))
+        ):
+            events.labels(getattr(kind, "name", kind)).set(count)
+        sends = self.metrics.gauge(
+            "repro_trace_sends", "Messages sent during the run, by category.",
+            labels=("category",),
+        )
+        for category, count in sorted(trace.message_counts_by_category().items()):
+            sends.labels(category).set(count)
+        by_type = self.metrics.gauge(
+            "repro_trace_sends_by_type",
+            "Protocol messages sent during the run, by payload type.",
+            labels=("payload",),
+        )
+        for payload, count in sorted(trace.message_counts_by_type().items()):
+            by_type.labels(payload).set(count)
+        self.metrics.gauge(
+            "repro_processes_crashed", "Processes that crashed (ground truth)."
+        ).set(len(trace.crashed()))

@@ -1,0 +1,132 @@
+"""Serialisation of an :class:`~repro.obs.Obs` capture.
+
+Two formats:
+
+* **JSONL** — one self-describing record per line (``meta`` header, then
+  ``span`` and ``metric`` records).  This is the archival format: lossless,
+  greppable, and what ``repro obs <file>`` reads back for summarisation.
+* **Prometheus text exposition** — the ``# HELP``/``# TYPE`` format every
+  scraper understands, for plugging a run into external dashboards.
+  Histograms render cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+  ``_count``, counters get the conventional ``_total``-as-written name (we
+  do not rename; catalogue names already end in ``_total`` where monotonic).
+
+Both serialisers iterate the registry in its deterministic order, so equal
+runs produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs import Obs
+    from repro.obs.registry import MetricsRegistry
+
+__all__ = ["write_jsonl", "load_jsonl", "render_prometheus", "write_prometheus"]
+
+
+def write_jsonl(path: str | Path, obs: "Obs", meta: Optional[dict] = None) -> Path:
+    """Write one run's spans + metrics to ``path`` as JSONL."""
+    path = Path(path)
+    lines: list[str] = []
+    header = {"type": "meta", "format": "repro-obs/1"}
+    if meta:
+        header.update(meta)
+    lines.append(json.dumps(header, sort_keys=True))
+    for record in obs.spans.records:
+        lines.append(json.dumps({"type": "span", **record}, sort_keys=True))
+    snap = obs.metrics.snapshot()
+    for kind in ("counters", "gauges"):
+        for name, value in snap[kind].items():
+            lines.append(
+                json.dumps(
+                    {"type": "metric", "kind": kind[:-1], "name": name, "value": value},
+                    sort_keys=True,
+                )
+            )
+    for name, stats in snap["histograms"].items():
+        lines.append(
+            json.dumps(
+                {"type": "metric", "kind": "histogram", "name": name, **_finite(stats)},
+                sort_keys=True,
+            )
+        )
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def load_jsonl(path: str | Path) -> list[dict]:
+    """Parse a JSONL capture back into its records (blank lines skipped)."""
+    records = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def _finite(stats: dict) -> dict:
+    """JSON has no NaN/Inf; swap them for None so the file stays standard."""
+    return {
+        k: (None if isinstance(v, float) and not math.isfinite(v) else v)
+        for k, v in stats.items()
+    }
+
+
+# --------------------------------------------------------- Prometheus text
+
+
+def render_prometheus(registry: "MetricsRegistry") -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    out: list[str] = []
+    for family in registry.families():
+        out.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        out.append(f"# TYPE {family.name} {family.kind}")
+        for label_values, child in family.children():
+            label_str = _labels(family.label_names, label_values)
+            if family.kind in ("counter", "gauge"):
+                out.append(f"{family.name}{label_str} {_num(child.value)}")
+            else:
+                for upper, cumulative in child.cumulative():
+                    le = "+Inf" if math.isinf(upper) else _num(upper)
+                    bucket_labels = _labels(
+                        family.label_names + ("le",), label_values + (le,)
+                    )
+                    out.append(f"{family.name}_bucket{bucket_labels} {cumulative}")
+                out.append(f"{family.name}_sum{label_str} {_num(child.sum)}")
+                out.append(f"{family.name}_count{label_str} {child.count}")
+    return "\n".join(out) + "\n" if out else ""
+
+
+def write_prometheus(path: str | Path, registry: "MetricsRegistry") -> Path:
+    path = Path(path)
+    path.write_text(render_prometheus(registry))
+    return path
+
+
+def _labels(names: tuple[str, ...], values: tuple[str, ...]) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label(value)}"' for name, value in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _num(value: float) -> str:
+    """Render floats compactly: integral values lose the trailing ``.0``."""
+    if isinstance(value, float) and value.is_integer() and math.isfinite(value):
+        return str(int(value))
+    return repr(value)

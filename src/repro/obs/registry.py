@@ -1,0 +1,304 @@
+"""Zero-dependency metrics registry: counters, gauges, histograms.
+
+The registry is the numeric half of :mod:`repro.obs` (spans are the other).
+It deliberately mirrors the Prometheus data model — metric *families* carry
+a name, a help string and a tuple of label names; each distinct label-value
+tuple owns one child instrument — because that is the shape every external
+scraper understands, and :func:`repro.obs.exposition.render_prometheus`
+dumps it verbatim.
+
+Design constraints, in order:
+
+1. **Disabled must be free.**  Nothing here is consulted when observability
+   is off: instrumented layers hold an ``obs`` attribute that defaults to
+   ``None`` and guard every instrumentation site with one attribute check
+   (the same discipline as :class:`repro.sim.trace.TraceLevel`).
+2. **Enabled must be cheap.**  The hot path of an enabled run is one dict
+   lookup (label tuple → child) plus one float add.  Label values are
+   stored raw (``ProcessId`` included) and stringified only at exposition
+   time.
+3. **Deterministic output.**  Families iterate sorted by name and children
+   sorted by stringified label values, so two identical runs produce
+   byte-identical dumps regardless of instrumentation order.
+
+Histograms use fixed buckets (cumulative counts at exposition, like
+Prometheus); :meth:`Histogram.quantile` gives the standard upper-bound
+estimate, adequate for the percentile tables the benches print.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Log-spaced defaults wide enough for both wall-clock seconds (aio/TCP
+#: runs) and simulated time units (DES runs).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0,
+)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """Value that can go up and down (or be set outright)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact sum/count and min/max tracking.
+
+    ``counts[i]`` is the number of observations ``<= uppers[i]`` minus those
+    in earlier buckets (non-cumulative internally; exposition cumulates).
+    The final implicit bucket is ``+Inf``.
+    """
+
+    __slots__ = ("uppers", "counts", "inf_count", "sum", "count", "min", "max")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        uppers = tuple(sorted(float(b) for b in buckets))
+        if not uppers:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if any(b <= a for a, b in zip(uppers, uppers[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.uppers = uppers
+        self.counts = [0] * len(uppers)
+        self.inf_count = 0
+        self.sum = 0.0
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for index, upper in enumerate(self.uppers):
+            if value <= upper:
+                self.counts[index] += 1
+                return
+        self.inf_count += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last."""
+        pairs: list[tuple[float, int]] = []
+        running = 0
+        for upper, count in zip(self.uppers, self.counts):
+            running += count
+            pairs.append((upper, running))
+        pairs.append((math.inf, running + self.inf_count))
+        return pairs
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-quantile (0 < q <= 1).
+
+        Returns the smallest bucket bound covering rank ``ceil(q * count)``;
+        the ``+Inf`` bucket reports the tracked exact maximum.  ``nan`` on an
+        empty histogram.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = math.ceil(q * self.count)
+        running = 0
+        for upper, count in zip(self.uppers, self.counts):
+            running += count
+            if running >= rank:
+                return upper
+        return self.max
+
+
+class MetricFamily:
+    """One named metric with a fixed label schema and per-labelset children.
+
+    Zero-label families proxy the child API directly (``family.inc()``),
+    so unlabelled metrics read naturally at call sites.
+    """
+
+    __slots__ = ("name", "kind", "help", "label_names", "buckets", "_children")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        label_names: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = tuple(label_names)
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self._children: dict[tuple, object] = {}
+
+    def _make_child(self):
+        if self.kind == "counter":
+            return Counter()
+        if self.kind == "gauge":
+            return Gauge()
+        return Histogram(self.buckets if self.buckets is not None else DEFAULT_BUCKETS)
+
+    def labels(self, *values):
+        """The child instrument for one label-value tuple (created lazily)."""
+        if len(values) != len(self.label_names):
+            raise ValueError(
+                f"{self.name} expects {len(self.label_names)} label value(s) "
+                f"{self.label_names}, got {len(values)}"
+            )
+        child = self._children.get(values)
+        if child is None:
+            child = self._children[values] = self._make_child()
+        return child
+
+    # Zero-label conveniences ------------------------------------------------
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)  # type: ignore[union-attr]
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)  # type: ignore[union-attr]
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.labels().dec(amount)  # type: ignore[union-attr]
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)  # type: ignore[union-attr]
+
+    # Iteration --------------------------------------------------------------
+
+    def children(self) -> list[tuple[tuple[str, ...], object]]:
+        """``(stringified label values, child)`` pairs, deterministically
+        ordered."""
+        items = [
+            (tuple(str(v) for v in key), child)
+            for key, child in self._children.items()
+        ]
+        items.sort(key=lambda pair: pair[0])
+        return items
+
+
+class MetricsRegistry:
+    """Namespace of metric families; registration is idempotent."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labels: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind or existing.label_names != tuple(labels):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind} "
+                    f"with labels {existing.label_names}"
+                )
+            return existing
+        family = MetricFamily(name, kind, help=help, label_names=labels, buckets=buckets)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, "counter", help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, "gauge", help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        return self._register(name, "histogram", help, labels, buckets=buckets)
+
+    def families(self) -> list[MetricFamily]:
+        """All families, sorted by name (deterministic exposition order)."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable dump of every sample (used by chaos verdicts).
+
+        Counters and gauges flatten to ``{"name{a=b}": value}``; histograms
+        to ``{"name{a=b}": {"count", "sum", "p50", "p99", "max"}}``.
+        """
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        for family in self.families():
+            for label_values, child in family.children():
+                key = _flat_name(family.name, family.label_names, label_values)
+                if family.kind == "counter":
+                    counters[key] = child.value  # type: ignore[attr-defined]
+                elif family.kind == "gauge":
+                    gauges[key] = child.value  # type: ignore[attr-defined]
+                else:
+                    hist: Histogram = child  # type: ignore[assignment]
+                    histograms[key] = {
+                        "count": hist.count,
+                        "sum": hist.sum,
+                        "p50": hist.quantile(0.50),
+                        "p99": hist.quantile(0.99),
+                        "max": hist.max if hist.count else math.nan,
+                    }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def _flat_name(
+    name: str, label_names: Iterable[str], label_values: Iterable[str]
+) -> str:
+    pairs = ",".join(f"{k}={v}" for k, v in zip(label_names, label_values))
+    return f"{name}{{{pairs}}}" if pairs else name

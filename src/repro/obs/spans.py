@@ -1,0 +1,100 @@
+"""Protocol spans: begin/end markers around semantically meaningful intervals.
+
+A *span* measures one interval of protocol activity — a detector probe in
+flight, a reconfiguration phase, a view-change install, a TCP reconnect
+draining its resend queue.  Spans are identified by ``(name, key)`` where
+``name`` is the taxonomy entry (``"reconfig.phase1"``, ``"detector.probe"``,
+...) and ``key`` disambiguates concurrent instances of the same span kind
+(usually a process id or a ``(process, peer)`` pair).
+
+Timestamps are always passed explicitly by the caller (``at=scheduler.now``
+in the simulator, ``at=loop.time()`` in the aio layer): the span log itself
+never reads a clock, which keeps it usable inside the deterministic
+simulator without tripping the DET lint rules.
+
+The hot path appends compact tuples; completed spans materialise as plain
+dicts through :attr:`SpanLog.records`, ready for JSONL serialisation.  A
+span whose ``end`` never arrives (the process crashed mid-interval) is
+simply dropped — a half-open interval has no duration to aggregate.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+__all__ = ["SpanLog"]
+
+
+def _as_record(entry: tuple) -> dict:
+    name, start, end, labels = entry
+    return {
+        "name": name,
+        "start": start,
+        "end": end,
+        "duration": end - start,
+        "labels": {k: str(v) for k, v in labels.items()} if labels else {},
+    }
+
+
+class SpanLog:
+    """Accumulates completed spans; at most one open span per (name, key)."""
+
+    __slots__ = ("_records", "_open")
+
+    def __init__(self) -> None:
+        #: completed spans as ``(name, start, end, labels-or-None)`` tuples;
+        #: kept compact because instrumented runs append thousands of these.
+        self._records: list[tuple] = []
+        self._open: dict[tuple[str, Hashable], tuple[float, Optional[dict]]] = {}
+
+    def begin(self, name: str, key: Hashable, at: float, **labels: object) -> None:
+        """Open a span.  Re-beginning an open (name, key) restarts it: the
+        earlier begin is discarded, mirroring how a protocol retry supersedes
+        the attempt it replaces."""
+        self._open[(name, key)] = (at, labels or None)
+
+    def end(
+        self, name: str, key: Hashable, at: float, **labels: object
+    ) -> Optional[float]:
+        """Close a span and record it.  Returns the duration, or ``None``
+        when no matching begin is open (ends are tolerated unpaired so
+        callers need no bookkeeping on crash/quit paths)."""
+        opened = self._open.pop((name, key), None)
+        if opened is None:
+            return None
+        start, merged = opened
+        if labels:
+            merged = {**merged, **labels} if merged else labels
+        self._records.append((name, start, at, merged))
+        return at - start
+
+    def is_open(self, name: str, key: Hashable) -> bool:
+        return (name, key) in self._open
+
+    def discard(self, name: str, key: Hashable) -> None:
+        """Drop an open span without recording it (crash/quit cleanup)."""
+        self._open.pop((name, key), None)
+
+    def emit(self, name: str, start: float, end: float, **labels: object) -> dict:
+        """Record a span retrospectively, both endpoints known.
+
+        Used where the interval is only recognisable at its end — e.g.
+        detection latency, which runs from the last message heard from the
+        victim to the moment suspicion is raised.
+        """
+        entry = (name, start, end, labels or None)
+        self._records.append(entry)
+        return _as_record(entry)
+
+    @property
+    def records(self) -> list[dict]:
+        """Completed spans as dicts with stringified labels (materialised on
+        access; the capture itself stores tuples)."""
+        return [_as_record(entry) for entry in self._records]
+
+    def durations(self, name: str) -> list[float]:
+        """All recorded durations for one span name, in completion order."""
+        return [end - start for n, start, end, _ in self._records if n == name]
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,166 @@
+"""Aggregation of an obs capture into human-readable percentile tables.
+
+Consumes either a live :class:`~repro.obs.Obs` or the records loaded from a
+JSONL capture (``repro obs <file>``), and renders the table the acceptance
+criteria name: per-span-kind count / p50 / p90 / p99 / max, with the two
+headline quantities — detection latency and reconfiguration duration —
+called out first, followed by counters and gauges.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Obs
+
+__all__ = ["percentile", "span_stats", "summarize", "summarize_records", "summary_dict"]
+
+#: Span names whose percentiles answer the paper's headline questions.
+HEADLINE_SPANS = (
+    ("detector.detection", "detection latency"),
+    ("reconfig.total", "reconfiguration duration"),
+)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over raw samples (exact, no interpolation)."""
+    if not values:
+        return math.nan
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"q must be in (0, 1], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def span_stats(records: Iterable[dict]) -> dict[str, dict]:
+    """Group span records by name → {count, p50, p90, p99, max, sum}."""
+    by_name: dict[str, list[float]] = {}
+    for record in records:
+        if record.get("type", "span") != "span" and "duration" not in record:
+            continue
+        if "duration" not in record:
+            continue
+        by_name.setdefault(record["name"], []).append(record["duration"])
+    stats: dict[str, dict] = {}
+    for name in sorted(by_name):
+        durations = by_name[name]
+        stats[name] = {
+            "count": len(durations),
+            "p50": percentile(durations, 0.50),
+            "p90": percentile(durations, 0.90),
+            "p99": percentile(durations, 0.99),
+            "max": max(durations),
+            "sum": sum(durations),
+        }
+    return stats
+
+
+def summarize_records(records: Iterable[dict]) -> str:
+    """Render a full capture (JSONL records) as the ``repro obs`` report."""
+    records = list(records)
+    spans = [r for r in records if r.get("type") == "span" or "duration" in r]
+    metrics = [r for r in records if r.get("type") == "metric"]
+    meta = next((r for r in records if r.get("type") == "meta"), None)
+
+    lines: list[str] = []
+    if meta:
+        described = {k: v for k, v in meta.items() if k not in ("type", "format")}
+        if described:
+            pairs = "  ".join(f"{k}={v}" for k, v in sorted(described.items()))
+            lines.append(f"run: {pairs}")
+            lines.append("")
+
+    stats = span_stats(spans)
+
+    lines.append("headline")
+    lines.append(f"  {'quantity':<28} {'count':>6} {'p50':>10} {'p99':>10} {'max':>10}")
+    for span_name, title in HEADLINE_SPANS:
+        row = stats.get(span_name)
+        if row is None:
+            lines.append(f"  {title:<28} {'-':>6} {'-':>10} {'-':>10} {'-':>10}")
+        else:
+            lines.append(
+                f"  {title:<28} {row['count']:>6} {_fmt(row['p50']):>10}"
+                f" {_fmt(row['p99']):>10} {_fmt(row['max']):>10}"
+            )
+    lines.append("")
+
+    if stats:
+        lines.append("spans")
+        lines.append(
+            f"  {'name':<24} {'count':>6} {'p50':>10} {'p90':>10} {'p99':>10} {'max':>10}"
+        )
+        for name, row in stats.items():
+            lines.append(
+                f"  {name:<24} {row['count']:>6} {_fmt(row['p50']):>10}"
+                f" {_fmt(row['p90']):>10} {_fmt(row['p99']):>10} {_fmt(row['max']):>10}"
+            )
+        lines.append("")
+
+    counters = [m for m in metrics if m.get("kind") == "counter"]
+    gauges = [m for m in metrics if m.get("kind") == "gauge"]
+    histograms = [m for m in metrics if m.get("kind") == "histogram"]
+    if counters:
+        lines.append("counters")
+        for m in sorted(counters, key=lambda m: m["name"]):
+            lines.append(f"  {m['name']:<48} {_fmt(m['value']):>12}")
+        lines.append("")
+    if gauges:
+        lines.append("gauges")
+        for m in sorted(gauges, key=lambda m: m["name"]):
+            lines.append(f"  {m['name']:<48} {_fmt(m['value']):>12}")
+        lines.append("")
+    if histograms:
+        lines.append("histograms")
+        for m in sorted(histograms, key=lambda m: m["name"]):
+            lines.append(
+                f"  {m['name']:<48} count={m.get('count', 0)}"
+                f" p50={_fmt(m.get('p50'))} p99={_fmt(m.get('p99'))}"
+                f" max={_fmt(m.get('max'))}"
+            )
+        lines.append("")
+
+    if not spans and not metrics:
+        lines.append("(capture is empty)")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def summarize(obs: "Obs") -> str:
+    """Render a live capture (used by ``--metrics-out`` console echo)."""
+    return summarize_records(_records_of(obs))
+
+
+def summary_dict(obs: "Obs") -> dict:
+    """Compact JSON-able summary for embedding in verdicts / bench payloads."""
+    return {
+        "spans": span_stats(obs.spans.records),
+        **obs.metrics.snapshot(),
+    }
+
+
+def _records_of(obs: "Obs") -> list[dict]:
+    records: list[dict] = [{"type": "span", **r} for r in obs.spans.records]
+    snap = obs.metrics.snapshot()
+    for kind in ("counters", "gauges"):
+        for name, value in snap[kind].items():
+            records.append(
+                {"type": "metric", "kind": kind[:-1], "name": name, "value": value}
+            )
+    for name, stats in snap["histograms"].items():
+        records.append({"type": "metric", "kind": "histogram", "name": name, **stats})
+    return records
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if value.is_integer() and abs(value) < 1e9:
+            return str(int(value))
+        return f"{value:.4g}"
+    return str(value)

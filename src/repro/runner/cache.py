@@ -88,6 +88,11 @@ class ScenarioCache:
     ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.fingerprint = fingerprint if fingerprint is not None else source_fingerprint()
+        #: lifetime counters for this cache handle — surfaced by ``repro
+        #: report``/``repro bench`` so silent staleness/thrash is visible.
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
 
     def _key(self, name: str, params: dict[str, Any]) -> str:
         payload = json.dumps(
@@ -106,9 +111,12 @@ class ScenarioCache:
         path = self._path(name, params)
         try:
             with path.open() as handle:
-                return json.load(handle)["value"]
+                value = json.load(handle)["value"]
         except (OSError, ValueError, KeyError):
+            self.misses += 1
             return default
+        self.hits += 1
+        return value
 
     def put(self, name: str, params: dict[str, Any], value: Any) -> None:
         """Store a JSON-serialisable value (atomic rename, safe under races)."""
@@ -123,6 +131,18 @@ class ScenarioCache:
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(entry, sort_keys=True, default=str, indent=1))
         tmp.replace(path)
+        self.stores += 1
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/store counts accumulated on this cache handle."""
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+    def format_stats(self) -> str:
+        """One-line rendering for CLI reports."""
+        return (
+            f"cache ({self.root}): {self.hits} hits, "
+            f"{self.misses} misses, {self.stores} stores"
+        )
 
     def get_or_compute(self, name: str, params: dict[str, Any], compute) -> Any:
         """Return the cached value, computing and storing it on a miss."""

@@ -106,6 +106,9 @@ class Network:
             delay_model if delay_model is not None else UniformDelay()
         )
         self.rng = random.Random(seed)
+        #: optional :class:`repro.obs.Obs` capture; ``None`` keeps every
+        #: instrumentation site to a single attribute check.
+        self.obs = None
         self._processes: dict[ProcessId, "SimProcess"] = {}
         #: per-channel time before which no further delivery may occur (FIFO)
         self._channel_clock: dict[tuple[ProcessId, ProcessId], float] = {}
@@ -206,6 +209,8 @@ class Network:
             peer=receiver,
             message=record,
         )
+        if self.obs is not None:
+            self.obs.count_send(sender, category)
         for observer in self._send_observers:
             observer(record)
         # The observer may have crashed the sender (crash-mid-broadcast),
@@ -244,6 +249,7 @@ class Network:
         record_event = self.trace.record
         delay_model_delay = self.delay_model.delay
         rng = self.rng
+        obs = self.obs
         clock = self._channel_clock
         partitioned = self._partitioned
         held = self._held
@@ -269,6 +275,10 @@ class Network:
                 clock[channel] = when
                 at(when, lambda record=record: deliver(record))
             sent += 1
+        # One batched count for the whole fan-out (``sent`` reflects a
+        # crash-mid-broadcast truncation, so totals stay exact).
+        if obs is not None and sent:
+            obs.count_send(sender, category, sent)
         return sent
 
     def _schedule_delivery(self, record: MessageRecord, extra_delay: float | None = None) -> None:

@@ -248,6 +248,29 @@ class RunTrace:
             return counts
         return Counter(self._send_by_type.get(category, {}))
 
+    def metrics_snapshot(self) -> dict:
+        """JSON-able accounting of the run for the bench ``metrics`` section.
+
+        Works at FULL and COUNTS (every accessor used here does); at OFF all
+        counts read zero.  Keys are stable: bench baselines diff them.
+        """
+        return {
+            "trace_level": self._level.name,
+            "events": len(self),
+            "events_by_kind": {
+                kind.name: count
+                for kind, count in sorted(
+                    self.kind_counts().items(), key=lambda kv: kv[0].name
+                )
+            },
+            "sends_by_category": dict(sorted(self.message_counts_by_category().items())),
+            "protocol_sends_by_type": dict(
+                sorted(self.message_counts_by_type().items())
+            ),
+            "crashed": sorted(str(p) for p in self._crashed),
+            "terminated": sorted(str(p) for p in self._terminated),
+        }
+
     # ---------------------------------------------------------------- output
 
     def format(self, kinds: Optional[Iterable[EventKind]] = None) -> str:

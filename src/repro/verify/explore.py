@@ -113,6 +113,10 @@ class _StepClock:
 class _FrontierNetwork:
     """Network surface whose deliveries happen when the explorer says so."""
 
+    #: Network-surface contract: exploration never carries an Obs capture
+    #: (snapshots must stay cheap to copy), so instrumentation is inert.
+    obs = None
+
     def __init__(self) -> None:
         self.scheduler = _StepClock()
         self.trace = RunTrace()

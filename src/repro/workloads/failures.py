@@ -72,6 +72,7 @@ def churn_run(
     n: int,
     seed: int = 0,
     trace_level: "TraceLevel | str | int" = "full",
+    obs=None,
 ) -> MembershipCluster:
     """Join-churn-exclude at size ``n``: the ``bench --scale`` workload.
 
@@ -80,10 +81,15 @@ def churn_run(
     at t=60 (a full three-phase reconfiguration) — the three structurally
     distinct view changes in a single run.  Pass ``trace_level="counts"``
     for throughput measurements; the default FULL trace stays byte-for-byte
-    what it was before the level knob existed.
+    what it was before the level knob existed.  ``obs`` (a
+    :class:`repro.obs.Obs`) captures metrics and protocol spans.
     """
     cluster = MembershipCluster.of_size(
-        n, seed=seed, delay_model=FixedDelay(1.0), trace_level=trace_level
+        n,
+        seed=seed,
+        delay_model=FixedDelay(1.0),
+        trace_level=trace_level,
+        obs=obs,
     )
     cluster.start()
     cluster.join("j0", at=5.0)

@@ -76,7 +76,7 @@ TABLE1_EXPECTED: list[Table1Row] = [
 ]
 
 
-def run_table1_row(row: Table1Row, seed: int = 0) -> MembershipCluster:
+def run_table1_row(row: Table1Row, seed: int = 0, obs=None) -> MembershipCluster:
     """Run one Table 1 scenario.
 
     Group ``[m, p, q, r, s]`` with ``rank(m) > rank(p) > rank(q)``; m
@@ -88,6 +88,7 @@ def run_table1_row(row: Table1Row, seed: int = 0) -> MembershipCluster:
         seed=seed,
         detector="scripted",
         delay_model=FixedDelay(1.0),
+        obs=obs,
     )
     cluster.start()
     cluster.crash("m", at=5.0)
@@ -122,6 +123,7 @@ def run_figure3(
     commit_sends_before_crash: int = 1,
     seed: int = 0,
     member_class: type[GMPMember] | None = None,
+    obs=None,
 ) -> MembershipCluster:
     """Mgr commits a removal to only ``commit_sends_before_crash`` members.
 
@@ -130,7 +132,7 @@ def run_figure3(
     must detect the possibly-invisible commit and restore a unique view.
     """
     cluster = MembershipCluster.of_size(
-        n, seed=seed, delay_model=FixedDelay(1.0), member_class=member_class
+        n, seed=seed, delay_model=FixedDelay(1.0), member_class=member_class, obs=obs
     )
     victim = cluster.resolve(f"p{n - 1}")
     crash_after_matching_sends(
@@ -151,7 +153,7 @@ def run_figure3(
 # ---------------------------------------------------------------------------
 
 
-def run_figure4(seed: int = 0) -> MembershipCluster:
+def run_figure4(seed: int = 0, obs=None) -> MembershipCluster:
     """Two concurrent reconfigurers, q and r, with crossing suspicions.
 
     Group ``[m, q, r, a, b, c]``: m crashes; q initiates believing m faulty;
@@ -163,6 +165,7 @@ def run_figure4(seed: int = 0) -> MembershipCluster:
         seed=seed,
         detector="scripted",
         delay_model=FixedDelay(1.0),
+        obs=obs,
     )
     cluster.start()
     cluster.crash("m", at=5.0)
@@ -188,6 +191,7 @@ def run_figure11(
     member_class: type[GMPMember] | None = None,
     member_kwargs: dict | None = None,
     strawman: bool = False,
+    obs=None,
 ) -> MembershipCluster:
     """The Claim 7.2 / Proposition 5.5-5.6 schedule: two plans for version 1.
 
@@ -230,6 +234,7 @@ def run_figure11(
         delay_model=delays,
         member_class=member_class,
         member_kwargs=member_kwargs,
+        obs=obs,
     )
     # Choose p's broadcast order so its crash truncates the subset we need.
     cluster.member("p").broadcast_first = (pid("b"), pid("f"), pid("g"), pid("h"))
@@ -280,6 +285,7 @@ def run_figure11(
 def run_claim71(
     seed: int = 0,
     member_class: type[GMPMember] | None = None,
+    obs=None,
 ) -> MembershipCluster:
     """The R/S split: ``faulty_R(Mgr)`` and ``faulty_S(r)`` concurrently.
 
@@ -295,6 +301,7 @@ def run_claim71(
         detector="scripted",
         delay_model=FixedDelay(1.0),
         member_class=member_class,
+        obs=obs,
     )
     cluster.start()
     for observer in ("p1", "p3", "p5"):

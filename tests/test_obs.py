@@ -1,0 +1,281 @@
+"""Unit tests for the observability layer (`repro.obs`).
+
+Covers the registry (counters/gauges/histograms, idempotent registration,
+bucketing and quantiles), the span log (pairing, retrospective emits,
+unpaired tolerance), both serialisation formats (Prometheus text exposition
+and JSONL round-trip), and the percentile aggregation behind ``repro obs``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs import Obs
+from repro.obs.exposition import (
+    load_jsonl,
+    render_prometheus,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.spans import SpanLog
+from repro.obs.summary import percentile, span_stats, summarize_records, summary_dict
+
+
+class TestRegistry:
+    def test_counter_accumulates_per_labelset(self):
+        registry = MetricsRegistry()
+        sends = registry.counter("sends_total", "sends", labels=("proc",))
+        sends.labels("p0").inc()
+        sends.labels("p0").inc(2)
+        sends.labels("p1").inc()
+        snap = registry.snapshot()
+        assert snap["counters"] == {"sends_total{proc=p0}": 3, "sends_total{proc=p1}": 1}
+
+    def test_counter_rejects_negative_increment(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="counters only go up"):
+            registry.counter("c").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert registry.snapshot()["gauges"]["depth"] == 4
+
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c", "help", labels=("a",))
+        again = registry.counter("c", "different help", labels=("a",))
+        assert first is again
+
+    def test_registration_rejects_kind_mismatch(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("c")
+
+    def test_registration_rejects_label_mismatch(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels=("a",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("c", labels=("a", "b"))
+
+    def test_wrong_label_arity_rejected(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c", labels=("a", "b"))
+        with pytest.raises(ValueError, match="label value"):
+            family.labels("only-one")
+
+
+class TestHistogram:
+    def test_bucketing_is_upper_bound_inclusive(self):
+        hist = Histogram(buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 1.0, 2.0, 7.0, 100.0):
+            hist.observe(value)
+        # 0.5 and 1.0 land in <=1; 2.0 in <=5; 7.0 in <=10; 100.0 in +Inf.
+        assert hist.counts == [2, 1, 1]
+        assert hist.inf_count == 1
+        assert hist.cumulative() == [(1.0, 2), (5.0, 3), (10.0, 4), (math.inf, 5)]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(110.5)
+        assert hist.min == 0.5 and hist.max == 100.0
+
+    def test_quantile_reports_bucket_upper_bound(self):
+        hist = Histogram(buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 2.0, 2.0, 7.0):
+            hist.observe(value)
+        assert hist.quantile(0.25) == 1.0
+        assert hist.quantile(0.5) == 5.0
+        assert hist.quantile(1.0) == 10.0
+
+    def test_quantile_inf_bucket_reports_exact_max(self):
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(42.0)
+        assert hist.quantile(0.99) == 42.0
+
+    def test_quantile_empty_is_nan(self):
+        assert math.isnan(Histogram(buckets=(1.0,)).quantile(0.5))
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 1.0))
+
+
+class TestSpanLog:
+    def test_begin_end_records_duration_and_labels(self):
+        spans = SpanLog()
+        spans.begin("reconfig.phase1", "p0", at=5.0, proc="p0")
+        assert spans.end("reconfig.phase1", "p0", at=8.0, version=2) == 3.0
+        assert spans.records == [
+            {
+                "name": "reconfig.phase1",
+                "start": 5.0,
+                "end": 8.0,
+                "duration": 3.0,
+                "labels": {"proc": "p0", "version": "2"},
+            }
+        ]
+
+    def test_unpaired_end_is_tolerated(self):
+        spans = SpanLog()
+        assert spans.end("x", "k", at=1.0) is None
+        assert len(spans) == 0
+
+    def test_concurrent_spans_keyed_independently(self):
+        spans = SpanLog()
+        spans.begin("detector.probe", ("p0", "p1"), at=1.0)
+        spans.begin("detector.probe", ("p0", "p2"), at=2.0)
+        assert spans.end("detector.probe", ("p0", "p2"), at=5.0) == 3.0
+        assert spans.is_open("detector.probe", ("p0", "p1"))
+        spans.discard("detector.probe", ("p0", "p1"))
+        assert not spans.is_open("detector.probe", ("p0", "p1"))
+
+    def test_rebegin_restarts_the_interval(self):
+        spans = SpanLog()
+        spans.begin("update.round", "p0", at=1.0)
+        spans.begin("update.round", "p0", at=4.0)
+        assert spans.end("update.round", "p0", at=5.0) == 1.0
+
+    def test_retrospective_emit_and_durations(self):
+        spans = SpanLog()
+        spans.emit("detector.detection", start=2.0, end=5.0, target="p3")
+        spans.emit("detector.detection", start=1.0, end=2.0, target="p4")
+        assert spans.durations("detector.detection") == [3.0, 1.0]
+
+
+class TestPrometheusExposition:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("sends_total", "Messages sent.", labels=("proc",)).labels(
+            "p0"
+        ).inc(3)
+        registry.gauge("crashed", "Crashed processes.").set(1)
+        text = render_prometheus(registry)
+        assert "# HELP sends_total Messages sent.\n" in text
+        assert "# TYPE sends_total counter\n" in text
+        assert 'sends_total{proc="p0"} 3\n' in text
+        assert "# TYPE crashed gauge\n" in text
+        assert "crashed 1\n" in text
+
+    def test_histogram_renders_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        rtt = registry.histogram("rtt", "RTT.", labels=("proc",), buckets=(0.1, 1.0))
+        rtt.labels("p0").observe(0.05)
+        rtt.labels("p0").observe(0.5)
+        rtt.labels("p0").observe(5.0)
+        text = render_prometheus(registry)
+        assert 'rtt_bucket{proc="p0",le="0.1"} 1' in text
+        assert 'rtt_bucket{proc="p0",le="1"} 2' in text
+        assert 'rtt_bucket{proc="p0",le="+Inf"} 3' in text
+        assert 'rtt_sum{proc="p0"} 5.55' in text
+        assert 'rtt_count{proc="p0"} 3' in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels=("x",)).labels('we"ird\\') .inc()
+        assert 'c{x="we\\"ird\\\\"} 1' in render_prometheus(registry)
+
+    def test_deterministic_across_insertion_order(self):
+        def build(order):
+            registry = MetricsRegistry()
+            family = registry.counter("c", labels=("p",))
+            for value in order:
+                family.labels(value).inc()
+            registry.gauge("a_gauge").set(1)
+            return render_prometheus(registry)
+
+        assert build(["p2", "p0", "p1"]) == build(["p0", "p1", "p2"])
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        obs = Obs()
+        obs.count_send("p0", "protocol")
+        obs.observe_probe_rtt("p0", 0.02)
+        obs.spans.emit("detector.detection", start=1.0, end=3.0, target="p1")
+        path = tmp_path / "run.jsonl"
+        write_jsonl(path, obs, meta={"command": "test", "seed": 7})
+        records = load_jsonl(path)
+
+        meta = records[0]
+        assert meta["type"] == "meta"
+        assert meta["format"] == "repro-obs/1"
+        assert meta["seed"] == 7
+        spans = [r for r in records if r["type"] == "span"]
+        assert spans == [
+            {
+                "type": "span",
+                "name": "detector.detection",
+                "start": 1.0,
+                "end": 3.0,
+                "duration": 2.0,
+                "labels": {"target": "p1"},
+            }
+        ]
+        counters = {r["name"]: r["value"] for r in records if r.get("kind") == "counter"}
+        assert counters["repro_messages_sent_total{proc=p0,category=protocol}"] == 1
+        # Every line is standard JSON (NaN from empty histograms must not leak).
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_write_prometheus_file(self, tmp_path):
+        obs = Obs()
+        obs.count_send("p0", "protocol")
+        out = write_prometheus(tmp_path / "run.prom", obs.metrics)
+        assert out.read_text().startswith("# HELP")
+
+
+class TestSummary:
+    def test_percentile_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.5) == 2.0
+        assert percentile(values, 0.75) == 3.0
+        assert percentile(values, 1.0) == 4.0
+        assert math.isnan(percentile([], 0.5))
+        with pytest.raises(ValueError):
+            percentile(values, 0.0)
+
+    def test_span_stats_groups_by_name(self):
+        records = [
+            {"type": "span", "name": "a", "duration": 1.0},
+            {"type": "span", "name": "a", "duration": 3.0},
+            {"type": "span", "name": "b", "duration": 2.0},
+        ]
+        stats = span_stats(records)
+        assert stats["a"]["count"] == 2
+        assert stats["a"]["p50"] == 1.0
+        assert stats["a"]["max"] == 3.0
+        assert stats["b"]["sum"] == 2.0
+
+    def test_summarize_records_renders_headline_and_sections(self):
+        records = [
+            {"type": "meta", "format": "repro-obs/1", "command": "chaos", "seed": 1},
+            {"type": "span", "name": "detector.detection", "duration": 0.25},
+            {"type": "span", "name": "reconfig.total", "duration": 0.5},
+            {"type": "metric", "kind": "counter", "name": "c", "value": 2},
+        ]
+        text = summarize_records(records)
+        assert "run: command=chaos  seed=1" in text
+        assert "detection latency" in text
+        assert "reconfiguration duration" in text
+        assert "counters" in text
+
+    def test_summarize_records_empty_capture(self):
+        assert "(capture is empty)" in summarize_records([])
+
+    def test_summary_dict_is_json_serialisable(self):
+        obs = Obs()
+        obs.count_suspicion("p0", false_suspicion=True)
+        obs.spans.emit("reconfig.total", start=0.0, end=1.0)
+        payload = summary_dict(obs)
+        assert payload["spans"]["reconfig.total"]["count"] == 1
+        assert payload["counters"]["repro_false_suspicions_total{proc=p0}"] == 1
+        json.dumps(payload)

@@ -1,0 +1,110 @@
+"""End-to-end tests for the observability surfacing: ``--metrics-out``,
+``repro obs``, and the cache hit/miss reporting on ``repro report``."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.runner.cache import ScenarioCache
+
+
+class TestScenarioMetricsOut:
+    def test_figure4_capture_and_summary(self, tmp_path, capsys):
+        out = tmp_path / "fig4.jsonl"
+        assert main(["scenario", "figure4", "--metrics-out", str(out)]) == 0
+        assert out.exists()
+        assert out.with_suffix(".prom").exists()
+        # figure4 runs a reconfiguration: both phases must appear as spans.
+        names = {
+            json.loads(line)["name"]
+            for line in out.read_text().splitlines()
+            if json.loads(line).get("type") == "span"
+        }
+        assert {"reconfig.phase1", "reconfig.phase2", "reconfig.total"} <= names
+
+        capsys.readouterr()
+        assert main(["obs", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "reconfiguration duration" in text
+        assert "detection latency" in text
+        assert "run: command=scenario" in text
+
+    def test_prom_sibling_is_valid_exposition(self, tmp_path):
+        out = tmp_path / "fig3.jsonl"
+        assert main(["scenario", "figure3", "--metrics-out", str(out)]) == 0
+        prom = out.with_suffix(".prom").read_text()
+        assert "# TYPE repro_messages_sent_total counter" in prom
+        assert "# TYPE repro_trace_events gauge" in prom
+
+
+class TestObsCommand:
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["obs", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_empty_capture_reported(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["obs", str(path)]) == 0
+        assert "(capture is empty)" in capsys.readouterr().out
+
+
+class TestCacheStats:
+    def test_cache_counts_hits_misses_stores(self, tmp_path):
+        cache = ScenarioCache(root=tmp_path / "c", fingerprint="pinned")
+        assert cache.get("s", {"n": 4}) is None
+        cache.put("s", {"n": 4}, 17)
+        assert cache.get("s", {"n": 4}) == 17
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+        line = cache.format_stats()
+        assert "1 hits" in line and "1 misses" in line and "1 stores" in line
+
+    def test_report_prints_cache_stats(self, tmp_path, capsys):
+        assert main(["report", "--cache", str(tmp_path / "c")]) == 0
+        first = capsys.readouterr().out
+        assert "misses" in first and "stores" in first
+        # Second run over the same cache is all hits.
+        assert main(["report", "--cache", str(tmp_path / "c")]) == 0
+        second = capsys.readouterr().out
+        assert "0 misses" in second and "0 stores" in second
+
+
+class TestBenchObs:
+    def test_overhead_gate_flags_violations(self):
+        from repro.runner.bench import check_obs_overhead
+
+        assert check_obs_overhead({}) == []
+        payload = {
+            "obs_overhead": {"n": 50, "overhead_frac": 0.25, "events_match": False}
+        }
+        failures = check_obs_overhead(payload)
+        assert len(failures) == 2
+        assert any("perturbed" in f for f in failures)
+        assert any("25% slower" in f for f in failures)
+        ok = {"obs_overhead": {"n": 50, "overhead_frac": 0.02, "events_match": True}}
+        assert check_obs_overhead(ok) == []
+
+    def test_bench_cache_cross_check_flags_stale_entries(self, tmp_path):
+        from repro.runner.bench import _cross_check_cache
+
+        cache = ScenarioCache(root=tmp_path / "c", fingerprint="pinned")
+        cells = [
+            {"name": "single-failure", "params": {"n": 4, "seed": 0}, "messages": 7}
+        ]
+        assert _cross_check_cache(cells, cache) == []  # miss: stored
+        assert cache.get("single-failure", {"n": 4, "seed": 0}) == 7
+        cells[0]["messages"] = 9  # simulate a stale cached value
+        stale = _cross_check_cache(cells, cache)
+        assert len(stale) == 1 and "cached 7" in stale[0]
+
+    def test_bench_metrics_out_writes_churn_capture(self, tmp_path):
+        from repro.runner.bench import _write_bench_metrics
+
+        out = _write_bench_metrics(tmp_path / "bench.jsonl", n=6)
+        assert out.exists() and out.with_suffix(".prom").exists()
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert records[0]["format"] == "repro-obs/1"
+        names = {r.get("name") for r in records if r.get("type") == "span"}
+        # The churn workload crashes the coordinator: reconfig spans present.
+        assert "reconfig.total" in names
