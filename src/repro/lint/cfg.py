@@ -1,0 +1,420 @@
+"""Per-function control-flow graphs for the flow-sensitive lint passes.
+
+The AST-pattern passes (DET/SCH/MUT) see one statement at a time; the
+concurrency and span-discipline rules need to reason about *paths* — "does
+an ``await`` sit between this check and that write?", "does every normal
+exit pass a ``spans.end``?".  :func:`build_cfg` lowers one function (or
+module) body into basic blocks:
+
+* a :class:`Block` executes its ``stmts`` linearly, then either falls
+  through (``next``), branches on ``test`` (``true``/``false`` edges, used
+  by ``if``/``while``/``for``/``match``), or leaves the function
+  (``return``/``raise``);
+* every function gets three synthetic blocks: ``entry``, ``exit`` (normal
+  completion — fall-off and ``return``) and ``raise_exit`` (exceptional
+  completion).  Analyses that only care about non-exception paths simply
+  ignore ``raise_exit``;
+* ``try`` bodies are approximated coarsely: every block of the body gains
+  an ``except`` edge to each handler (an exception may occur anywhere) and
+  to ``raise_exit`` (no handler may match).  ``finally`` bodies are
+  sequenced after both the normal and handled paths;
+* ``break``/``continue`` resolve against the innermost enclosing loop;
+  statements after a terminator in the same suite become an unreachable
+  block with no predecessors — exactly how a path-sensitive analysis should
+  treat dead code;
+* nested function/class definitions are opaque single statements — their
+  bodies get their own CFGs via :func:`iter_cfgs`.
+
+Await-points are first-class: :meth:`Block.has_await` and
+:func:`stmt_contains_await` let dataflow clients model the "handler
+atomicity ends here" semantics of the asyncio runtime without re-walking
+the AST.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = [
+    "Block",
+    "CFG",
+    "build_cfg",
+    "iter_cfgs",
+    "stmt_contains_await",
+    "expr_contains_await",
+]
+
+
+def _contains_await(node: ast.AST) -> bool:
+    """True when ``node`` contains an await/async-for/async-with suspension
+    point, not counting nested function bodies."""
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        # Executing a def/lambda statement only binds the function — the
+        # suspension points belong to the nested body, not this scope.
+        return False
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.Await, ast.AsyncFor, ast.AsyncWith)):
+            return True
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.append(child)
+    return False
+
+
+def stmt_contains_await(stmt: ast.stmt) -> bool:
+    """Does executing this one statement (not nested defs) cross an await?"""
+    return _contains_await(stmt)
+
+
+def expr_contains_await(expr: ast.expr) -> bool:
+    """Does evaluating this expression cross an await?"""
+    return _contains_await(expr)
+
+
+@dataclass
+class Block:
+    """One basic block: straight-line statements plus an optional branch test."""
+
+    bid: int
+    #: statements executed unconditionally, in order.
+    stmts: list[ast.stmt] = field(default_factory=list)
+    #: branch condition evaluated after ``stmts`` (if/while tests, for
+    #: iterables, match subjects); ``None`` for fall-through blocks.
+    test: Optional[ast.expr] = None
+    #: successor edges as ``(block, kind)``; kinds: ``next``, ``true``,
+    #: ``false``, ``except``.
+    succs: list[tuple["Block", str]] = field(default_factory=list)
+    preds: list[tuple["Block", str]] = field(default_factory=list)
+
+    def add_edge(self, dst: "Block", kind: str = "next") -> None:
+        if any(b is dst and k == kind for b, k in self.succs):
+            return
+        self.succs.append((dst, kind))
+        dst.preds.append((self, kind))
+
+    def has_await(self) -> bool:
+        """True when executing this block crosses a suspension point."""
+        if any(stmt_contains_await(s) for s in self.stmts):
+            return True
+        return self.test is not None and expr_contains_await(self.test)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = ",".join(f"{b.bid}:{k}" for b, k in self.succs)
+        return f"<Block {self.bid} stmts={len(self.stmts)} -> [{kinds}]>"
+
+
+@dataclass
+class CFG:
+    """The control-flow graph of one function (or module) body."""
+
+    #: the function/module node this graph was built from.
+    scope: ast.AST
+    blocks: list[Block]
+    entry: Block
+    exit: Block
+    raise_exit: Block
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.scope, ast.AsyncFunctionDef)
+
+    def reachable(self) -> set[int]:
+        """Block ids reachable from entry (dead code is excluded)."""
+        seen: set[int] = set()
+        stack = [self.entry]
+        while stack:
+            block = stack.pop()
+            if block.bid in seen:
+                continue
+            seen.add(block.bid)
+            for succ, _ in block.succs:
+                stack.append(succ)
+        return seen
+
+
+class _Builder:
+    """Lowers one statement suite into blocks (recursive descent)."""
+
+    def __init__(self, scope: ast.AST) -> None:
+        self.scope = scope
+        self.blocks: list[Block] = []
+        self.exit = self._new()
+        self.raise_exit = self._new()
+        #: stack of (loop_head, after_loop) for break/continue resolution.
+        self._loops: list[tuple[Block, Block]] = []
+        #: innermost enclosing try-handler entries (for raise edges).
+        self._handlers: list[list[Block]] = []
+
+    def _new(self) -> Block:
+        block = Block(bid=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def build(self, body: list[ast.stmt]) -> CFG:
+        entry = self._new()
+        end = self._suite(body, entry)
+        if end is not None:
+            end.add_edge(self.exit)
+        return CFG(
+            scope=self.scope,
+            blocks=self.blocks,
+            entry=entry,
+            exit=self.exit,
+            raise_exit=self.raise_exit,
+        )
+
+    # ------------------------------------------------------------- plumbing
+
+    def _raise_targets(self) -> list[Block]:
+        """Where control may go when a statement raises: the innermost
+        handlers (if any) and the exceptional exit."""
+        targets = [self.raise_exit]
+        if self._handlers:
+            targets = list(self._handlers[-1]) + targets
+        return targets
+
+    def _suite(
+        self, body: list[ast.stmt], current: Optional[Block]
+    ) -> Optional[Block]:
+        """Lower a statement suite starting in ``current``.
+
+        Returns the block holding control after the suite, or ``None`` when
+        every path left the suite (return/raise/break/continue).
+        """
+        for stmt in body:
+            if current is None:
+                # Dead code after a terminator: park it in an unreachable
+                # block so its statements still exist in exactly one block.
+                current = self._new()
+            current = self._statement(stmt, current)
+        return current
+
+    def _statement(self, stmt: ast.stmt, current: Block) -> Optional[Block]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, current)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, current)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            # Context managers run their body linearly; the enter/exit
+            # expressions live in the same block.
+            current.stmts.append(stmt)
+            with_block = self._new()
+            current.add_edge(with_block)
+            return self._suite(stmt.body, with_block)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, current)
+        if isinstance(stmt, ast.Return):
+            current.stmts.append(stmt)
+            current.add_edge(self.exit)
+            return None
+        if isinstance(stmt, ast.Raise):
+            current.stmts.append(stmt)
+            for target in self._raise_targets():
+                current.add_edge(target, "except")
+            return None
+        if isinstance(stmt, ast.Break):
+            current.stmts.append(stmt)
+            if self._loops:
+                current.add_edge(self._loops[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            current.stmts.append(stmt)
+            if self._loops:
+                current.add_edge(self._loops[-1][0])
+            return None
+        # Plain statement (including nested defs, which stay opaque).
+        current.stmts.append(stmt)
+        return current
+
+    # ------------------------------------------------------------- branches
+
+    def _if(self, stmt: ast.If, current: Block) -> Optional[Block]:
+        current.test = stmt.test
+        after = self._new()
+        true_entry = self._new()
+        current.add_edge(true_entry, "true")
+        true_end = self._suite(stmt.body, true_entry)
+        if true_end is not None:
+            true_end.add_edge(after)
+        if stmt.orelse:
+            false_entry = self._new()
+            current.add_edge(false_entry, "false")
+            false_end = self._suite(stmt.orelse, false_entry)
+            if false_end is not None:
+                false_end.add_edge(after)
+        else:
+            current.add_edge(after, "false")
+        if not after.preds:
+            return None
+        return after
+
+    def _while(self, stmt: ast.While, current: Block) -> Optional[Block]:
+        head = self._new()
+        current.add_edge(head)
+        head.test = stmt.test
+        after = self._new()
+        body_entry = self._new()
+        head.add_edge(body_entry, "true")
+        is_forever = (
+            isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+        )
+        if not is_forever:
+            head.add_edge(after, "false")
+        self._loops.append((head, after))
+        body_end = self._suite(stmt.body, body_entry)
+        self._loops.pop()
+        if body_end is not None:
+            body_end.add_edge(head)
+        if stmt.orelse and not is_forever:
+            # while/else: the else suite runs on normal loop exhaustion.
+            # Coarse approximation: sequence it into the after-block path.
+            else_end = self._suite(stmt.orelse, after)
+            return else_end
+        if not after.preds:
+            return None
+        return after
+
+    def _for(self, stmt: ast.For | ast.AsyncFor, current: Block) -> Optional[Block]:
+        head = self._new()
+        current.add_edge(head)
+        head.test = stmt.iter
+        after = self._new()
+        body_entry = self._new()
+        head.add_edge(body_entry, "true")
+        head.add_edge(after, "false")
+        self._loops.append((head, after))
+        body_end = self._suite(stmt.body, body_entry)
+        self._loops.pop()
+        if body_end is not None:
+            body_end.add_edge(head)
+        if stmt.orelse:
+            return self._suite(stmt.orelse, after)
+        return after
+
+    def _match(self, stmt: ast.Match, current: Block) -> Optional[Block]:
+        current.test = stmt.subject
+        after = self._new()
+        any_fallthrough = False
+        for case in stmt.cases:
+            case_entry = self._new()
+            current.add_edge(case_entry, "true")
+            case_end = self._suite(case.body, case_entry)
+            if case_end is not None:
+                case_end.add_edge(after)
+                any_fallthrough = True
+        current.add_edge(after, "false")  # no case matched
+        if not any_fallthrough and not after.preds:
+            return None
+        return after
+
+    def _try(self, stmt: ast.Try, current: Block) -> Optional[Block]:
+        body_entry = self._new()
+        current.add_edge(body_entry)
+        handler_entries = [self._new() for _ in stmt.handlers]
+
+        self._handlers.append(handler_entries)
+        body_end = self._suite(stmt.body, body_entry)
+        self._handlers.pop()
+
+        # An exception may surface at any point of the body: every body
+        # block gains edges to each handler and to the exceptional exit.
+        body_ids = self._collect_region(body_entry, stop={b.bid for b in handler_entries})
+        for block in self.blocks:
+            if block.bid in body_ids:
+                for handler_entry in handler_entries:
+                    block.add_edge(handler_entry, "except")
+                if not _catches_everything(stmt):
+                    block.add_edge(self.raise_exit, "except")
+
+        after = self._new()
+        handler_ends: list[Optional[Block]] = []
+        for handler, handler_entry in zip(stmt.handlers, handler_entries):
+            handler_end = self._suite(handler.body, handler_entry)
+            handler_ends.append(handler_end)
+
+        if stmt.orelse and body_end is not None:
+            body_end = self._suite(stmt.orelse, body_end)
+
+        if stmt.finalbody:
+            final_entry = self._new()
+            if body_end is not None:
+                body_end.add_edge(final_entry)
+            for handler_end in handler_ends:
+                if handler_end is not None:
+                    handler_end.add_edge(final_entry)
+            # The finally body also runs on the exceptional path; keeping a
+            # single copy sequenced before ``after`` is a sound, simple
+            # approximation for the path properties the passes check.
+            final_end = self._suite(stmt.finalbody, final_entry)
+            if final_end is not None:
+                final_end.add_edge(after)
+        else:
+            if body_end is not None:
+                body_end.add_edge(after)
+            for handler_end in handler_ends:
+                if handler_end is not None:
+                    handler_end.add_edge(after)
+        if not after.preds:
+            return None
+        return after
+
+    def _collect_region(self, entry: Block, stop: set[int]) -> set[int]:
+        """Blocks reachable from ``entry`` without passing ``stop`` blocks —
+        the body region of a try statement (handlers excluded)."""
+        seen: set[int] = set()
+        stack = [entry]
+        while stack:
+            block = stack.pop()
+            if block.bid in seen or block.bid in stop:
+                continue
+            if block is self.exit or block is self.raise_exit:
+                continue
+            seen.add(block.bid)
+            for succ, kind in block.succs:
+                if kind != "except":
+                    stack.append(succ)
+        return seen
+
+
+def _catches_everything(stmt: ast.Try) -> bool:
+    """True when a bare ``except:`` / ``except BaseException`` is present."""
+    for handler in stmt.handlers:
+        if handler.type is None:
+            return True
+        if isinstance(handler.type, ast.Name) and handler.type.id == "BaseException":
+            return True
+    return False
+
+
+def build_cfg(scope: ast.AST) -> CFG:
+    """Build the CFG for one function/module scope.
+
+    ``scope`` is a ``FunctionDef``, ``AsyncFunctionDef``, or ``Module``;
+    nested definitions inside it are opaque statements.
+    """
+    body = getattr(scope, "body", None)
+    if not isinstance(body, list):
+        raise TypeError(f"cannot build a CFG for {type(scope).__name__}")
+    return _Builder(scope).build(body)
+
+
+def iter_cfgs(tree: ast.Module) -> Iterator[tuple[Optional[ast.ClassDef], CFG]]:
+    """CFGs for every function in a module, tagged with the enclosing class.
+
+    The module top level is not yielded — flow-sensitive rules target
+    function bodies; module-level code is the AST passes' domain.
+    """
+    from repro.lint.base import iter_functions
+
+    for class_node, func in iter_functions(tree):
+        if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield class_node, build_cfg(func)

@@ -1,0 +1,241 @@
+"""Worklist dataflow over the lint CFGs.
+
+Two layers:
+
+* :func:`solve_forward` — the generic engine.  A client supplies the edge
+  lattice (any hashable facts set), the entry state, the merge (may- vs
+  must-analysis) and a per-block transfer function that may be
+  edge-sensitive (conditional facts like "the true edge of ``x is not
+  None`` proves x non-null).  The engine iterates block states to a
+  fixpoint with a FIFO worklist; lattices here are finite (sets over
+  program entities), so termination is by monotonicity.
+* Ready-made analyses the rule families share:
+  :class:`ReachingDefinitions` (which assignments of each local may reach
+  a block) and :func:`crossed_await_paths` ("is there a path from A to B
+  crossing an await?") — the core fact behind the ASY4xx atomicity rules.
+
+States are frozensets of opaque facts; transfer functions return the
+out-state plus optional per-edge-kind overrides.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Callable, Hashable, Optional
+
+from repro.lint.cfg import CFG, Block
+
+__all__ = [
+    "solve_forward",
+    "merge_union",
+    "merge_intersection",
+    "ReachingDefinitions",
+    "crossed_await_paths",
+    "reaches",
+]
+
+State = frozenset
+#: transfer(block, in_state) -> (default_out, {edge_kind: out_for_that_kind})
+Transfer = Callable[[Block, State], tuple[State, dict[str, State]]]
+
+
+def merge_union(states: list[State]) -> State:
+    """May-analysis merge: a fact holds if it holds on any predecessor."""
+    out: set[Hashable] = set()
+    for state in states:
+        out |= state
+    return frozenset(out)
+
+
+def merge_intersection(states: list[State]) -> Optional[State]:
+    """Must-analysis merge: a fact holds only if it holds on all
+    predecessors.  ``None`` (no predecessor information yet) is the top
+    element and is skipped."""
+    known = [s for s in states if s is not None]
+    if not known:
+        return None
+    out = set(known[0])
+    for state in known[1:]:
+        out &= state
+    return frozenset(out)
+
+
+def solve_forward(
+    cfg: CFG,
+    entry_state: State,
+    transfer: Transfer,
+    must: bool = False,
+) -> dict[int, State]:
+    """Iterate ``transfer`` over ``cfg`` to a fixpoint; returns the IN state
+    of every reachable block.
+
+    ``must=False`` runs a may-analysis (union merge, unreachable-so-far
+    predecessors contribute nothing); ``must=True`` runs a must-analysis
+    (intersection merge, not-yet-visited predecessors are top).
+    """
+    in_states: dict[int, Optional[State]] = {cfg.entry.bid: entry_state}
+    #: OUT state per (block, edge kind); "" is the default for all kinds.
+    out_states: dict[int, tuple[State, dict[str, State]]] = {}
+    worklist: deque[Block] = deque([cfg.entry])
+    enqueued = {cfg.entry.bid}
+
+    while worklist:
+        block = worklist.popleft()
+        enqueued.discard(block.bid)
+        in_state = in_states.get(block.bid)
+        if in_state is None:
+            in_state = frozenset()
+        default_out, by_kind = transfer(block, in_state)
+        previous = out_states.get(block.bid)
+        if previous == (default_out, by_kind):
+            continue
+        out_states[block.bid] = (default_out, by_kind)
+        for succ, kind in block.succs:
+            contribution = by_kind.get(kind, default_out)
+            incoming: list[Optional[State]] = []
+            for pred, pkind in succ.preds:
+                if pred.bid == block.bid and pkind == kind:
+                    incoming.append(contribution)
+                    continue
+                pred_out = out_states.get(pred.bid)
+                if pred_out is None:
+                    incoming.append(None)
+                else:
+                    incoming.append(pred_out[1].get(pkind, pred_out[0]))
+            if must:
+                merged = merge_intersection(incoming)  # type: ignore[arg-type]
+            else:
+                merged = merge_union([s for s in incoming if s is not None])
+            if merged is None:
+                continue
+            if in_states.get(succ.bid) != merged:
+                in_states[succ.bid] = merged
+                if succ.bid not in enqueued:
+                    worklist.append(succ)
+                    enqueued.add(succ.bid)
+    return {
+        bid: state for bid, state in in_states.items() if state is not None
+    }
+
+
+# --------------------------------------------------------------------------
+# reaching definitions
+# --------------------------------------------------------------------------
+
+
+def _assigned_names(stmt: ast.stmt) -> set[str]:
+    """Local names (re)bound by one statement (targets of assignments,
+    aug-assignments, for-targets, with-as bindings)."""
+    names: set[str] = set()
+
+    def collect(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                collect(elt)
+        elif isinstance(target, ast.Starred):
+            collect(target.value)
+
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            collect(target)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        collect(stmt.target)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        collect(stmt.target)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                collect(item.optional_vars)
+    elif isinstance(stmt, ast.NamedExpr):  # pragma: no cover - stmt-level :=
+        collect(stmt.target)
+    return names
+
+
+class ReachingDefinitions:
+    """Which definition sites of each local name may reach each block.
+
+    Facts are ``(name, def_block_id, stmt_index)`` triples; the analysis is
+    a classic gen/kill may-analysis.  Used by rules that need "was this
+    alias rebound between its definition and this use?".
+    """
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self.in_states = solve_forward(cfg, frozenset(), self._transfer)
+
+    def _transfer(self, block: Block, in_state: State) -> tuple[State, dict[str, State]]:
+        facts = set(in_state)
+        for index, stmt in enumerate(block.stmts):
+            assigned = _assigned_names(stmt)
+            if not assigned:
+                continue
+            facts = {f for f in facts if f[0] not in assigned}
+            for name in assigned:
+                facts.add((name, block.bid, index))
+        return frozenset(facts), {}
+
+    def definitions_reaching(self, block: Block, name: str) -> set[tuple[str, int, int]]:
+        """Definition sites of ``name`` that may reach the entry of ``block``."""
+        return {
+            f for f in self.in_states.get(block.bid, frozenset()) if f[0] == name
+        }
+
+
+# --------------------------------------------------------------------------
+# await-crossing reachability
+# --------------------------------------------------------------------------
+
+
+def crossed_await_paths(cfg: CFG, sources: set[int]) -> dict[int, bool]:
+    """For every block: is it reachable from ``sources`` along a path that
+    crosses an await *after* leaving the source?
+
+    The returned map holds an entry for each block reachable from the
+    sources at all; the value says whether some such path suspends on the
+    way.  Sources themselves count their own await (a block that both
+    checks and awaits invalidates its own check).
+    """
+    AWAITED = "awaited"
+
+    def transfer(block: Block, in_state: State) -> tuple[State, dict[str, State]]:
+        facts = set(in_state)
+        if block.bid in sources:
+            facts.add("reached")
+        if "reached" in facts and block.has_await():
+            facts.add(AWAITED)
+        return frozenset(facts), {}
+
+    in_states = solve_forward(cfg, frozenset(), transfer)
+    result: dict[int, bool] = {}
+    for block in cfg.blocks:
+        state = in_states.get(block.bid)
+        if state is None:
+            if block.bid in sources:  # source in dead code
+                result[block.bid] = block.has_await()
+            continue
+        # Evaluate at block *exit*: an await inside the block itself counts
+        # for the block's own statements (block granularity: a write that
+        # precedes its block's await is over-approximated as crossed).
+        out, _ = transfer(block, state)
+        if "reached" in out:
+            result[block.bid] = AWAITED in out
+    return result
+
+
+def reaches(cfg: CFG, src: Block, dst: Block) -> bool:
+    """Plain reachability src -> dst (following all edge kinds)."""
+    seen: set[int] = set()
+    stack = [src]
+    while stack:
+        block = stack.pop()
+        if block.bid in seen:
+            continue
+        seen.add(block.bid)
+        if block is dst:
+            return True
+        for succ, _ in block.succs:
+            stack.append(succ)
+    return False
