@@ -242,6 +242,12 @@ class TcpNetwork:
                 writer.close()
 
         server = await asyncio.start_server(handle, self.host, 0)
+        if pid in self._ports:
+            # A concurrent serve() for the same pid won the race while we
+            # awaited start_server: keep the registered server (peers may
+            # already hold its port) and discard ours.
+            server.close()
+            return self._ports[pid]
         port = server.sockets[0].getsockname()[1]
         self._servers[pid] = server
         self._ports[pid] = port

@@ -250,3 +250,52 @@ class TestCompactWire:
         assert survivors == {"n0", "n1", "n3"}
         report = check_gmp(runtime.trace, runtime.initial_view, check_liveness=False)
         assert report.ok, format_report(report)
+
+
+class TestServeRace:
+    def test_concurrent_serve_returns_one_server(self):
+        """Two serve() calls for the same pid racing through the
+        start_server await must converge on a single registered server
+        (the loser closes its socket) — the double-start leak."""
+
+        async def scenario():
+            network = TcpNetwork(AioScheduler())
+            Echo(pid("a"), network)
+            ports = await asyncio.gather(
+                network.serve(pid("a")),
+                network.serve(pid("a")),
+                network.serve(pid("a")),
+            )
+            registered = network._ports[pid("a")]
+            servers = dict(network._servers)
+            await network.stop()
+            return ports, registered, servers
+
+        ports, registered, servers = run(scenario())
+        assert set(ports) == {registered}
+        assert list(servers) == [pid("a")]
+
+    def test_serve_after_race_still_accepts_connections(self):
+        """The surviving server (not the discarded one) is the one peers
+        can actually reach."""
+
+        async def scenario():
+            network = TcpNetwork(AioScheduler())
+            a = Echo(pid("a"), network)
+            b = Echo(pid("b"), network)
+            await asyncio.gather(network.serve(pid("a")), network.serve(pid("a")))
+            await network.serve(pid("b"))
+            network._started = True
+            from repro.core.messages import UpdateOk
+
+            network.send(pid("b"), pid("a"), UpdateOk(version=7))
+            for _ in range(200):
+                if a.received:
+                    break
+                await asyncio.sleep(0.01)
+            await network.stop()
+            return a.received
+
+        received = run(scenario())
+        assert len(received) == 1
+        assert received[0][1].version == 7
