@@ -70,6 +70,9 @@ class AioMembershipRuntime:
         for member in self.initial_view:
             self._build(member, initial_view=list(self.initial_view))
         self._started = False
+        #: background tasks (server teardown, joiner bring-up) retained
+        #: until done — the loop itself only keeps weak references.
+        self._tasks: set[asyncio.Task] = set()
 
     @property
     def trace(self):
@@ -127,13 +130,41 @@ class AioMembershipRuntime:
         for member in self.members.values():
             member.start()
 
+    def _spawn(self, coro) -> asyncio.Task:
+        """Schedule a background task the runtime stays accountable for.
+
+        The task is retained until it finishes (the event loop holds only a
+        weak reference) and a failure is routed to the loop's exception
+        handler instead of disappearing with the garbage-collected task.
+        """
+        task = asyncio.get_running_loop().create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._on_task_done)
+        return task
+
+    def _on_task_done(self, task: asyncio.Task) -> None:
+        self._tasks.discard(task)
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None:
+            task.get_loop().call_exception_handler(
+                {
+                    "message": "background runtime task failed",
+                    "exception": exc,
+                    "task": task,
+                }
+            )
+
     def _on_tcp_crash(self, who: ProcessId) -> None:
-        asyncio.get_running_loop().create_task(
-            self.network.close_server(who)  # type: ignore[attr-defined]
-        )
+        self._spawn(self.network.close_server(who))  # type: ignore[attr-defined]
 
     async def stop_async(self) -> None:
         """Close a TCP-transport runtime's sockets (no-op for memory)."""
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
         if self.transport == "tcp":
             await self.network.stop()  # type: ignore[attr-defined]
 
@@ -166,7 +197,7 @@ class AioMembershipRuntime:
                     if not process.crashed:
                         process.start()
 
-                asyncio.get_running_loop().create_task(bring_up())
+                self._spawn(bring_up())
             else:
                 process.start()
         return joiner

@@ -111,3 +111,66 @@ class TestLiveCluster:
                 runtime.start()
 
         run(scenario())
+
+
+class TestBackgroundTasks:
+    def test_spawn_retains_task_until_done(self):
+        """The runtime holds a strong reference to background tasks (the
+        loop itself only keeps weak ones) and drops it on completion."""
+
+        async def scenario():
+            runtime = make_runtime(2)
+            release = asyncio.Event()
+
+            async def waits():
+                await release.wait()
+
+            task = runtime._spawn(waits())
+            held_while_running = task in runtime._tasks
+            release.set()
+            await task
+            await asyncio.sleep(0)
+            return held_while_running, task in runtime._tasks
+
+        held, still_held = run(scenario())
+        assert held is True
+        assert still_held is False
+
+    def test_spawn_routes_exception_to_loop_handler(self):
+        """A failing background task must surface through the loop's
+        exception handler, never vanish with the task object."""
+
+        async def scenario():
+            runtime = make_runtime(2)
+            seen: list[dict] = []
+            asyncio.get_running_loop().set_exception_handler(
+                lambda loop, ctx: seen.append(ctx)
+            )
+
+            async def fails():
+                raise RuntimeError("boom in background")
+
+            task = runtime._spawn(fails())
+            await asyncio.gather(task, return_exceptions=True)
+            await asyncio.sleep(0)  # let the done-callback run
+            return seen
+
+        seen = run(scenario())
+        assert len(seen) == 1
+        assert isinstance(seen[0]["exception"], RuntimeError)
+        assert "background runtime task failed" in seen[0]["message"]
+
+    def test_stop_async_cancels_pending_tasks(self):
+        async def scenario():
+            runtime = make_runtime(2)
+
+            async def hangs():
+                await asyncio.Event().wait()
+
+            task = runtime._spawn(hangs())
+            await runtime.stop_async()
+            return task.cancelled(), runtime._tasks
+
+        cancelled, remaining = run(scenario())
+        assert cancelled is True
+        assert not remaining
