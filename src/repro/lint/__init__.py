@@ -1,7 +1,7 @@
 """Protocol-aware static analysis for the GMP reproduction.
 
-Three AST passes keep the implementation honest against the paper's model
-assumptions (see ``docs/LINTING.md``):
+Six passes keep the implementation honest against the paper's model
+assumptions (see ``docs/LINTING.md``).  Three are AST pattern matchers:
 
 * :mod:`repro.lint.determinism` (``DET1xx``) — the sim/core/verify layers
   must be replayable: no wall-clock, no global RNG, no address- or
@@ -11,6 +11,19 @@ assumptions (see ``docs/LINTING.md``):
 * :mod:`repro.lint.mutation` (``MUT3xx``) — view/membership state mutates
   only through the commit path (the paper's Section 3 two-phase
   discipline).
+
+Three are flow-sensitive, built on the per-function CFGs of
+:mod:`repro.lint.cfg` and the worklist engine of
+:mod:`repro.lint.dataflow`:
+
+* :mod:`repro.lint.asyncrules` (``ASY4xx``) — handler atomicity ends at
+  every ``await``: stale-check races, fire-and-forget tasks, misplaced
+  asyncio primitives, loop-blocking calls;
+* :mod:`repro.lint.wire` (``WIRE5xx``) — the JSON and compact wire
+  formats are cross-checked field-by-field against the message schemas
+  so they can never silently diverge;
+* :mod:`repro.lint.obsrules` (``OBS6xx``) — span begin/end lifecycle
+  proofs and the obs ``is not None`` disabled-path discipline.
 
 Use :func:`run_lint` programmatically, or ``python -m repro.lint`` /
 ``repro lint`` from the shell.  Findings are suppressed line-by-line with
@@ -23,11 +36,14 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.lint.asyncrules import AsyncPass
 from repro.lint.base import RULES, ModuleIndex
 from repro.lint.determinism import DEFAULT_DETERMINISM_SCOPE, DeterminismPass
 from repro.lint.findings import Finding
 from repro.lint.mutation import MutationPass
+from repro.lint.obsrules import ObsPass
 from repro.lint.schema import SchemaPass
+from repro.lint.wire import WirePass
 
 __all__ = ["Finding", "LintResult", "run_lint", "RULES"]
 
@@ -68,7 +84,14 @@ def run_lint(
         )
     else:
         scope = determinism_scope
-    passes = [DeterminismPass(scope=scope), SchemaPass(), MutationPass()]
+    passes = [
+        DeterminismPass(scope=scope),
+        SchemaPass(),
+        MutationPass(),
+        AsyncPass(),
+        WirePass(),
+        ObsPass(),
+    ]
     findings: list[Finding] = []
     for lint_pass in passes:
         findings.extend(lint_pass.run(index))

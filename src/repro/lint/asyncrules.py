@@ -1,0 +1,352 @@
+"""ASY4xx — async atomicity / race detector.
+
+The paper's correctness argument assumes a handler runs atomically between
+message deliveries.  Under asyncio that atomicity ends at every ``await``:
+the loop may run any other coroutine — another handler, a reconnect, a
+crash observer — before control returns, so instance state checked before
+an ``await`` may be stale after it.  These rules make that window visible:
+
+* **ASY401** — read-check-``await``-write: an ``if``/``while``/``assert``
+  condition reads ``self.<attr>``, the path then crosses an ``await``, and
+  ``self.<attr>`` is written without the condition being re-established in
+  between.  The write may act on a decision another task has invalidated
+  (the double-started-server class of bug).  Flow-sensitive: built on the
+  CFG and a forward fresh/stale fact analysis, so a re-check after the
+  suspension point clears the finding.
+* **ASY402** — fire-and-forget task: a bare ``create_task``/
+  ``ensure_future`` whose result is discarded.  Nothing retains the task
+  (the loop keeps only a weak reference — it can be garbage-collected
+  mid-flight) and nothing ever observes its exception.
+* **ASY403** — asyncio primitive (``Event``, ``Lock``, ``Queue``, …)
+  constructed at import time (module/class scope or a parameter default):
+  the object is shared across event loops and fails at use with "bound to
+  a different event loop".
+* **ASY404** — blocking call inside a coroutine (``time.sleep``,
+  ``subprocess.run``, ``socket.create_connection``, …): it stalls the
+  whole event loop, turning one slow handler into the Lifeguard
+  slow-processing failure mode for every group this process serves.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.base import (
+    LintedModule,
+    ModuleIndex,
+    attribute_chain,
+    emit,
+    iter_functions,
+    rule,
+    walk_scope,
+)
+from repro.lint.cfg import Block, build_cfg, stmt_contains_await
+from repro.lint.dataflow import solve_forward
+from repro.lint.findings import Finding
+
+__all__ = ["AsyncPass"]
+
+ASY401 = rule(
+    "ASY401", "instance state checked before an await and written after it"
+)
+ASY402 = rule("ASY402", "fire-and-forget task: result (and exceptions) dropped")
+ASY403 = rule("ASY403", "asyncio primitive constructed outside a running loop")
+ASY404 = rule("ASY404", "blocking call inside a coroutine stalls the event loop")
+
+_TASK_FACTORIES = {"create_task", "ensure_future"}
+
+_ASYNC_PRIMITIVES = {
+    "Event",
+    "Lock",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Queue",
+    "LifoQueue",
+    "PriorityQueue",
+    "Barrier",
+}
+
+#: call chains that block the loop when executed inside a coroutine.
+_BLOCKING_CHAINS = {
+    ("time", "sleep"),
+    ("os", "system"),
+    ("os", "wait"),
+    ("subprocess", "run"),
+    ("subprocess", "call"),
+    ("subprocess", "check_call"),
+    ("subprocess", "check_output"),
+    ("socket", "create_connection"),
+    ("socket", "getaddrinfo"),
+    ("socket", "gethostbyname"),
+    ("urllib", "request", "urlopen"),
+    ("requests", "get"),
+    ("requests", "post"),
+    ("requests", "put"),
+    ("requests", "delete"),
+    ("requests", "head"),
+    ("requests", "request"),
+}
+
+_BLOCKING_METHODS = {"run_until_complete"}
+
+
+def _self_attr_written(stmt: ast.stmt) -> set[str]:
+    """Attributes of ``self`` written (directly or via subscript) by one
+    statement: ``self.x = ...``, ``self.x[k] = ...``, ``self.x += ...``,
+    ``del self.x[k]``."""
+    written: set[str] = set()
+
+    def target_attr(target: ast.expr) -> Optional[str]:
+        node = target
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        chain = attribute_chain(node)
+        if len(chain) == 2 and chain[0] == "self":
+            return chain[1]
+        return None
+
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    elif isinstance(stmt, ast.Delete):
+        targets = list(stmt.targets)
+    for target in targets:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                attr = target_attr(elt)
+                if attr is not None:
+                    written.add(attr)
+        else:
+            attr = target_attr(target)
+            if attr is not None:
+                written.add(attr)
+    return written
+
+
+def _self_attrs_read(expr: ast.expr) -> set[str]:
+    """``self.<attr>`` chains read anywhere inside one expression."""
+    read: set[str] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute):
+            chain = attribute_chain(node)
+            if len(chain) >= 2 and chain[0] == "self":
+                read.add(chain[1])
+    return read
+
+
+class AsyncPass:
+    """CFG/dataflow pass implementing rules ASY401–ASY404."""
+
+    name = "async"
+
+    def run(self, index: ModuleIndex) -> list[Finding]:
+        findings: list[Finding] = []
+        for module in index.under():
+            findings.extend(self._check_module(module))
+        return findings
+
+    def _check_module(self, module: LintedModule) -> list[Finding]:
+        findings: list[Finding] = []
+        findings.extend(self._check_import_time_primitives(module))
+        for class_node, func in iter_functions(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            findings.extend(self._check_fire_and_forget(module, func))
+            if isinstance(func, ast.AsyncFunctionDef):
+                findings.extend(self._check_blocking_calls(module, func))
+                findings.extend(self._check_stale_state(module, func))
+        return [f for f in findings if f is not None]
+
+    # ----------------------------------------------------------------- ASY401
+
+    def _check_stale_state(
+        self, module: LintedModule, func: ast.AsyncFunctionDef
+    ) -> Iterator[Optional[Finding]]:
+        cfg = build_cfg(func)
+        has_write = any(
+            _self_attr_written(stmt)
+            for block in cfg.blocks
+            for stmt in block.stmts
+        )
+        if not has_write:
+            return
+
+        def transfer(block: Block, in_state) -> tuple:
+            facts = set(in_state)
+            self._transfer_block(block, facts, emit_to=None, module=module)
+            return frozenset(facts), {}
+
+        in_states = solve_forward(cfg, frozenset(), transfer)
+        out: list[Optional[Finding]] = []
+        for block in cfg.blocks:
+            state = in_states.get(block.bid)
+            if state is None:
+                continue
+            facts = set(state)
+            self._transfer_block(block, facts, emit_to=out, module=module)
+        yield from out
+
+    def _transfer_block(
+        self,
+        block: Block,
+        facts: set,
+        emit_to: Optional[list],
+        module: LintedModule,
+    ) -> None:
+        """Run the fresh/stale automaton over one block (in place).
+
+        Facts are ``("fresh", attr)`` / ``("stale", attr)``: *fresh* means
+        "attr was read by a branch condition with no suspension since";
+        crossing an await downgrades fresh to stale; a write while stale is
+        the race (reported when ``emit_to`` is given); a re-check clears
+        staleness.
+        """
+        for stmt in block.stmts:
+            for test in self._condition_exprs(stmt):
+                for attr in _self_attrs_read(test):
+                    facts.discard(("stale", attr))
+                    facts.add(("fresh", attr))
+            if stmt_contains_await(stmt):
+                for kind, attr in list(facts):
+                    if kind == "fresh":
+                        facts.discard(("fresh", attr))
+                        facts.add(("stale", attr))
+            for attr in _self_attr_written(stmt):
+                if ("stale", attr) in facts:
+                    if emit_to is not None:
+                        emit_to.append(
+                            emit(
+                                module,
+                                stmt,
+                                ASY401,
+                                f"self.{attr} was checked before an await and "
+                                "is written here without re-validation; "
+                                "another task may have changed it during the "
+                                "suspension — re-check (or re-read) "
+                                f"self.{attr} after the await",
+                            )
+                        )
+                facts.discard(("stale", attr))
+                facts.discard(("fresh", attr))
+        if block.test is not None:
+            for attr in _self_attrs_read(block.test):
+                facts.discard(("stale", attr))
+                facts.add(("fresh", attr))
+
+    @staticmethod
+    def _condition_exprs(stmt: ast.stmt) -> Iterator[ast.expr]:
+        """Condition expressions evaluated by one straight-line statement
+        (assert tests and conditional expressions; if/while tests live on
+        the block as ``Block.test``)."""
+        if isinstance(stmt, ast.Assert):
+            yield stmt.test
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.IfExp):
+                yield node.test
+
+    # ----------------------------------------------------------------- ASY402
+
+    def _check_fire_and_forget(
+        self, module: LintedModule, func: ast.AST
+    ) -> Iterator[Optional[Finding]]:
+        for node in walk_scope(func):
+            if not isinstance(node, ast.Expr):
+                continue
+            call = node.value
+            if not isinstance(call, ast.Call):
+                continue
+            name = self._task_factory_name(call.func)
+            if name is None:
+                continue
+            yield emit(
+                module,
+                node,
+                ASY402,
+                f"{name}(...) result is discarded: the loop holds only a "
+                "weak reference (the task can be collected mid-flight) and "
+                "its exception is silently dropped — retain the task and "
+                "observe its outcome (add_done_callback or await)",
+            )
+
+    @staticmethod
+    def _task_factory_name(func: ast.expr) -> Optional[str]:
+        if isinstance(func, ast.Attribute) and func.attr in _TASK_FACTORIES:
+            return func.attr
+        if isinstance(func, ast.Name) and func.id in _TASK_FACTORIES:
+            return func.id
+        return None
+
+    # ----------------------------------------------------------------- ASY403
+
+    def _check_import_time_primitives(
+        self, module: LintedModule
+    ) -> Iterator[Optional[Finding]]:
+        for scope in self._import_time_scopes(module.tree):
+            for stmt in scope.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    # Parameter defaults evaluate at import time even though
+                    # the body does not.
+                    for default in list(stmt.args.defaults) + [
+                        d for d in stmt.args.kw_defaults if d is not None
+                    ]:
+                        yield from self._primitive_calls(module, default)
+                elif not isinstance(stmt, ast.ClassDef):
+                    yield from self._primitive_calls(module, stmt)
+
+    def _import_time_scopes(self, tree: ast.Module) -> Iterator[ast.AST]:
+        yield tree
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                yield node
+
+    def _primitive_calls(
+        self, module: LintedModule, node: ast.AST
+    ) -> Iterator[Optional[Finding]]:
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            chain = attribute_chain(sub.func)
+            if (
+                len(chain) == 2
+                and chain[0] == "asyncio"
+                and chain[1] in _ASYNC_PRIMITIVES
+            ):
+                yield emit(
+                    module,
+                    sub,
+                    ASY403,
+                    f"asyncio.{chain[1]}() constructed at import time runs "
+                    "outside any event loop; create it from the coroutine "
+                    "(or lazily on first use inside the running loop)",
+                )
+
+    # ----------------------------------------------------------------- ASY404
+
+    def _check_blocking_calls(
+        self, module: LintedModule, func: ast.AsyncFunctionDef
+    ) -> Iterator[Optional[Finding]]:
+        for node in walk_scope(func):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attribute_chain(node.func)
+            if chain[-2:] in _BLOCKING_CHAINS or chain[-3:] in _BLOCKING_CHAINS:
+                yield emit(
+                    module,
+                    node,
+                    ASY404,
+                    f"blocking call {'.'.join(chain)}() inside a coroutine "
+                    "stalls the whole event loop; use the asyncio "
+                    "equivalent (asyncio.sleep, loop.run_in_executor, ...)",
+                )
+            elif chain and chain[-1] in _BLOCKING_METHODS:
+                yield emit(
+                    module,
+                    node,
+                    ASY404,
+                    f"{chain[-1]}() inside a coroutine re-enters the event "
+                    "loop and deadlocks; await the coroutine instead",
+                )

@@ -27,6 +27,11 @@ FAMILY_ALIASES: dict[str, str] = {
     "determinism": "DET",
     "schema": "SCH",
     "mutation": "MUT",
+    "async": "ASY",
+    "atomicity": "ASY",
+    "wire": "WIRE",
+    "obs": "OBS",
+    "spans": "OBS",
 }
 
 _ALLOW_RE = re.compile(r"lint:\s*allow\[([A-Za-z0-9_,\s-]+)\]")
@@ -113,7 +118,7 @@ class Allowlist:
         tokens = self.by_line.get(line)
         if not tokens:
             return False
-        family = rule[:3]
+        family = rule.rstrip("0123456789")
         return rule.upper() in tokens or family.upper() in tokens
 
 

@@ -1,0 +1,381 @@
+"""OBS6xx — span and metric discipline checker.
+
+The obs layer's contract (see ``repro.obs``) has two halves that plain
+code review keeps getting wrong:
+
+* **span lifecycle** — every ``SpanLog.begin`` needs a matching ``end``
+  (or a deliberate ``discard``) or the interval silently vanishes from
+  every report.  **OBS601** proves it with CFG path reachability: when a
+  function both begins and closes a span name, every path from the begin
+  to the function's *normal* exit must pass a close for that name
+  (exception paths are exempt — a crashed interval has no duration).
+  **OBS602** covers the cross-function pairs (tcp.reconnect begins in the
+  drain loop and ends in the ack reader): a span name begun anywhere must
+  have an ``end``/``discard`` somewhere in the linted tree, else it can
+  never complete.
+* **disabled-path discipline** — instrumented layers hold an ``obs``
+  attribute defaulting to ``None`` and every touch must sit behind the
+  single ``if obs is not None`` attribute check, so uninstrumented runs
+  pay one pointer test.  **OBS603** is a must-analysis over the CFG:
+  facts are obs expressions proven non-None (by a guard edge, an assert,
+  or construction), and any attribute access on an unproven obs
+  expression is a crash on the disabled path.
+
+Span calls are recognised by shape — ``<anything>.spans.begin(...)`` or a
+local ``spans`` alias — with a *literal* first argument; dynamically named
+spans (the member-layer ``_span_begin`` helpers) are out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.base import (
+    LintedModule,
+    ModuleIndex,
+    attribute_chain,
+    emit,
+    iter_functions,
+    rule,
+    walk_scope,
+)
+from repro.lint.cfg import CFG, Block, build_cfg
+from repro.lint.dataflow import solve_forward
+from repro.lint.findings import Finding
+
+__all__ = ["ObsPass"]
+
+OBS601 = rule("OBS601", "span can reach function exit without end/discard")
+OBS602 = rule("OBS602", "span is begun but never ended anywhere in the tree")
+OBS603 = rule("OBS603", "obs touched outside the is-not-None guard")
+
+#: spans methods that close an open (name, key) interval.
+_CLOSERS = {"end", "discard"}
+
+
+def _span_call(node: ast.AST) -> Optional[tuple[str, Optional[str]]]:
+    """Decompose a spans-API call into ``(method, literal_name_or_None)``.
+
+    Matches ``<expr>.spans.<method>(...)`` and ``spans.<method>(...)`` (the
+    local-alias idiom); returns the first argument when it is a string
+    literal, else ``None`` for the name.
+    """
+    if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+        return None
+    method = node.func.attr
+    if method not in ("begin", *_CLOSERS, "emit"):
+        return None
+    receiver = node.func.value
+    chain = attribute_chain(receiver)
+    if not (
+        (chain and chain[-1] == "spans")
+        or (isinstance(receiver, ast.Name) and receiver.id == "spans")
+    ):
+        return None
+    name: Optional[str] = None
+    if node.args:
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            name = first.value
+    return method, name
+
+
+def _stmt_span_calls(stmt: ast.stmt) -> Iterator[tuple[str, Optional[str]]]:
+    for node in ast.walk(stmt):
+        found = _span_call(node)
+        if found is not None:
+            yield found
+
+
+class ObsPass:
+    """CFG/dataflow pass implementing rules OBS601–OBS603."""
+
+    name = "obs"
+
+    def run(self, index: ModuleIndex) -> list[Finding]:
+        findings: list[Finding] = []
+        begins: list[tuple[LintedModule, ast.AST, str]] = []
+        closed_names: set[str] = set()
+        for module in index.under():
+            for _class_node, func in iter_functions(module.tree):
+                findings.extend(self._check_span_paths(module, func))
+                findings.extend(self._check_obs_guard(module, func))
+                for node in walk_scope(func):
+                    found = _span_call(node)
+                    if found is None:
+                        continue
+                    method, name = found
+                    if name is None:
+                        continue
+                    if method == "begin":
+                        begins.append((module, node, name))
+                    elif method in _CLOSERS:
+                        closed_names.add(name)
+        # OBS602: a begun span name with no closer anywhere can never
+        # complete — it will sit open until the capture is dropped.
+        for module, node, name in begins:
+            if name not in closed_names:
+                findings.append(
+                    emit(
+                        module,
+                        node,
+                        OBS602,
+                        f"span {name!r} is begun here but no spans.end/"
+                        "spans.discard for it exists anywhere in the tree — "
+                        "the interval can never complete",
+                    )
+                )
+        return [f for f in findings if f is not None]
+
+    # ----------------------------------------------------------------- OBS601
+
+    def _check_span_paths(
+        self, module: LintedModule, func: ast.AST
+    ) -> Iterator[Optional[Finding]]:
+        """Intra-function lifecycle: when a function both begins and closes
+        a span name, no path from the begin may reach the normal exit
+        still holding the span open."""
+        begun: dict[str, list[ast.stmt]] = {}
+        closed: set[str] = set()
+        for node in walk_scope(func):
+            if node is func or not isinstance(node, ast.stmt):
+                continue
+            for method, name in _stmt_span_calls(node):
+                if name is None:
+                    continue
+                if method == "begin":
+                    begun.setdefault(name, []).append(node)
+                elif method in _CLOSERS:
+                    closed.add(name)
+        paired = {name: stmts for name, stmts in begun.items() if name in closed}
+        if not paired:
+            return
+        cfg = build_cfg(func)
+
+        def transfer(block: Block, in_state) -> tuple:
+            facts = set(in_state)
+            for stmt in block.stmts:
+                for method, name in _stmt_span_calls(stmt):
+                    if name is None or name not in paired:
+                        continue
+                    if method == "begin":
+                        facts.add(name)
+                    elif method in _CLOSERS:
+                        facts.discard(name)
+            return frozenset(facts), {}
+
+        in_states = solve_forward(cfg, frozenset(), transfer)
+        leaked = in_states.get(cfg.exit.bid, frozenset())
+        for name in sorted(leaked):
+            for stmt in paired[name]:
+                yield emit(
+                    module,
+                    stmt,
+                    OBS601,
+                    f"span {name!r} begun here can reach the function's "
+                    "normal exit without spans.end/spans.discard — close it "
+                    "on every non-exception path",
+                )
+
+    # ----------------------------------------------------------------- OBS603
+
+    def _check_obs_guard(
+        self, module: LintedModule, func: ast.AST
+    ) -> Iterator[Optional[Finding]]:
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        uses = self._collect_obs_uses(func)
+        if not uses:
+            return
+        cfg = build_cfg(func)
+        # Parameters named obs are contract-non-None (collect_metrics(obs)).
+        entry = frozenset(
+            (arg.arg,)
+            for arg in [*func.args.args, *func.args.kwonlyargs, *func.args.posonlyargs]
+            if arg.arg == "obs" or arg.arg.endswith("_obs")
+        )
+
+        def transfer(block: Block, in_state) -> tuple:
+            facts = set(in_state)
+            self._obs_transfer(block, facts, emit_to=None, module=module)
+            default = frozenset(facts)
+            by_kind: dict[str, frozenset] = {}
+            if block.test is not None:
+                true_facts, false_facts = self._guard_facts(block.test)
+                if true_facts:
+                    by_kind["true"] = frozenset(facts | true_facts)
+                if false_facts:
+                    by_kind["false"] = frozenset(facts | false_facts)
+            return default, by_kind
+
+        in_states = solve_forward(cfg, entry, transfer, must=True)
+        out: list[Optional[Finding]] = []
+        for block in cfg.blocks:
+            state = in_states.get(block.bid)
+            if state is None:
+                continue
+            facts = set(state)
+            self._obs_transfer(block, facts, emit_to=out, module=module)
+        yield from out
+
+    def _obs_transfer(
+        self,
+        block: Block,
+        facts: set,
+        emit_to: Optional[list],
+        module: LintedModule,
+    ) -> None:
+        """Straight-line obs-discipline automaton over one block (in place).
+
+        Facts are attribute chains (tuples) proven non-None.  Unproven
+        dereferences are reported when ``emit_to`` is given.
+        """
+        for stmt in block.stmts:
+            if isinstance(stmt, ast.Assert):
+                true_facts, _ = self._guard_facts(stmt.test)
+                facts |= true_facts
+                continue
+            self._report_unguarded(stmt, facts, emit_to, module)
+            self._apply_assignment(stmt, facts)
+        if block.test is not None:
+            self._report_unguarded(block.test, facts, emit_to, module)
+
+    def _report_unguarded(
+        self,
+        node: ast.AST,
+        facts: set,
+        emit_to: Optional[list],
+        module: LintedModule,
+    ) -> None:
+        if emit_to is None:
+            return
+        for use_node, key in self._obs_uses_in(node):
+            if key not in facts:
+                emit_to.append(
+                    emit(
+                        module,
+                        use_node,
+                        OBS603,
+                        f"{'.'.join(key)} is dereferenced here without the "
+                        "is-not-None guard; on an uninstrumented run obs is "
+                        "None and this crashes — wrap the touch in "
+                        f"`if {'.'.join(key)} is not None:`",
+                    )
+                )
+                # One report per key per block run: treat as proven after.
+                facts.add(key)
+
+    def _apply_assignment(self, stmt: ast.stmt, facts: set) -> None:
+        """Track provenness through assignments: construction proves the
+        target; copying a proven obs expression preserves the proof; any
+        other write invalidates it."""
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            return
+        value = stmt.value
+        if value is None:
+            return
+        targets = (
+            stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        )
+        value_key = self._obs_key(value)
+        proven = (
+            isinstance(value, ast.Call)
+            or (value_key is not None and value_key in facts)
+        )
+        for target in targets:
+            key = self._obs_key(target)
+            if key is None:
+                continue
+            if proven:
+                facts.add(key)
+            else:
+                facts.discard(key)
+
+    # -- use/key extraction ------------------------------------------------
+
+    def _collect_obs_uses(self, func: ast.AST) -> list[ast.AST]:
+        return [node for node, _ in self._obs_uses_in_scope(func)]
+
+    def _obs_uses_in_scope(
+        self, func: ast.AST
+    ) -> list[tuple[ast.AST, tuple[str, ...]]]:
+        uses = []
+        for node in walk_scope(func):
+            uses.extend(self._obs_uses_in(node, walk=False))
+        return uses
+
+    def _obs_uses_in(
+        self, node: ast.AST, walk: bool = True
+    ) -> list[tuple[ast.AST, tuple[str, ...]]]:
+        """Attribute accesses *on* an obs expression inside ``node``: the
+        ``.spans`` of ``obs.spans.begin``, the ``.count_send`` of
+        ``self.obs.count_send`` — each returned with the obs key it
+        dereferences."""
+        found: list[tuple[ast.AST, tuple[str, ...]]] = []
+        nodes = ast.walk(node) if walk else [node]
+        for sub in nodes:
+            if not isinstance(sub, ast.Attribute):
+                continue
+            key = self._obs_key(sub.value)
+            if key is not None:
+                found.append((sub, key))
+        return found
+
+    @staticmethod
+    def _obs_key(node: ast.expr) -> Optional[tuple[str, ...]]:
+        """Canonical key for an expression that may hold an Obs: any
+        attribute chain ending in ``obs`` (``self.obs``,
+        ``self.network.obs``) or a bare ``obs``-named local."""
+        chain = attribute_chain(node)
+        if chain and (chain[-1] == "obs" or chain[-1].endswith("_obs")):
+            return chain
+        return None
+
+    def _guard_facts(
+        self, test: ast.expr
+    ) -> tuple[set[tuple[str, ...]], set[tuple[str, ...]]]:
+        """Obs keys proven non-None on the true / false edge of a test.
+
+        Handles ``X is not None`` (true edge), ``X is None`` (false edge),
+        ``and`` chains (conjunct proofs hold on the true edge), ``or``
+        chains of ``is None`` (all-false on the false edge), and bare
+        truthiness ``if X:`` / ``if not X:``.
+        """
+        true_facts: set[tuple[str, ...]] = set()
+        false_facts: set[tuple[str, ...]] = set()
+        key = self._obs_key(test)
+        if key is not None:  # if obs: — truthy implies non-None
+            true_facts.add(key)
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            inner = self._obs_key(test.operand)
+            if inner is not None:  # if not obs: — false edge means truthy
+                false_facts.add(inner)
+            inner_true, inner_false = self._guard_facts(test.operand)
+            true_facts |= inner_false
+            false_facts |= inner_true
+        elif isinstance(test, ast.Compare) and len(test.ops) == 1:
+            left, op, right = test.left, test.ops[0], test.comparators[0]
+            operand = None
+            if isinstance(right, ast.Constant) and right.value is None:
+                operand = left
+            elif isinstance(left, ast.Constant) and left.value is None:
+                operand = right
+            if operand is not None:
+                key = self._obs_key(operand)
+                if key is not None:
+                    if isinstance(op, (ast.IsNot, ast.NotEq)):
+                        true_facts.add(key)
+                    elif isinstance(op, (ast.Is, ast.Eq)):
+                        false_facts.add(key)
+        elif isinstance(test, ast.BoolOp):
+            parts = [self._guard_facts(value) for value in test.values]
+            if isinstance(test.op, ast.And):
+                # All conjuncts true on the true edge.
+                for part_true, _ in parts:
+                    true_facts |= part_true
+            else:
+                # All disjuncts false on the false edge.
+                for _, part_false in parts:
+                    false_facts |= part_false
+        return true_facts, false_facts

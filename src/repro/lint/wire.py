@@ -1,0 +1,546 @@
+"""WIRE5xx — wire-format conformance checker.
+
+The codec defines the same protocol twice (JSON wire v1 and compact binary
+wire v2), and both must track the message dataclasses field-by-field.  The
+SCH2xx pass checks that every type is *registered*; these rules check that
+each registration is *right* — the field-level drift SCH cannot see:
+
+* **WIRE501** — a JSON encoder's frame-body keys differ from the message
+  dataclass's fields (a field silently never travels, or a phantom key is
+  written that nothing defines);
+* **WIRE502** — a JSON decoder disagrees with its encoder or its schema:
+  it reads body keys the encoder never writes (guaranteed ``KeyError`` /
+  silent default), ignores keys the encoder writes (data loss on
+  round-trip), passes constructor keywords that are not dataclass fields,
+  or constructs a different type than its table key names;
+* **WIRE503** — the compact tables are out of step: the compact encoder
+  covers a different type set than the JSON encoder (the two wire formats
+  diverge), a type id is reused, or the compact decoder table does not
+  invert the encoder's id assignment;
+* **WIRE504** — a paired code table (``_CAT_CODES``/``_CAT_NAMES``,
+  ``_OP_KIND_CODES``/``_OP_KIND_NAMES``) is not an exact inverse — a value
+  that encodes but decodes to something else (or not at all);
+* **WIRE505** — version-bound handling: a decoder passes a ``version=``
+  straight from the frame without a validating call (negative versions are
+  impossible protocol states and must be rejected), or a top-level decode
+  function never compares the frame against its wire-version constant.
+
+All checks are table-driven from the AST of ``codec.py`` against the
+dataclasses of ``core/messages.py`` (plus the detector ping/pong types);
+encoders written in a shape the checker cannot read (no dict-literal
+lambda) are skipped rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.base import (
+    LintedModule,
+    ModuleIndex,
+    attribute_chain,
+    emit,
+    rule,
+)
+from repro.lint.findings import Finding
+
+__all__ = ["WirePass"]
+
+WIRE501 = rule("WIRE501", "JSON encoder body keys diverge from the message schema")
+WIRE502 = rule("WIRE502", "JSON decoder disagrees with its encoder or schema")
+WIRE503 = rule("WIRE503", "compact codec tables diverge from the JSON codec")
+WIRE504 = rule("WIRE504", "paired code tables are not exact inverses")
+WIRE505 = rule("WIRE505", "wire version / version bound not validated")
+
+_CODEC_PATH = "codec.py"
+#: modules whose dataclasses define wire message schemas.
+_SCHEMA_PATHS = ("core/messages.py", "detectors/heartbeat.py")
+
+#: forward/reverse code-table pairs that must be exact inverses.
+_CODE_TABLE_PAIRS = (
+    ("_CAT_CODES", "_CAT_NAMES"),
+    ("_OP_KIND_CODES", "_OP_KIND_NAMES"),
+)
+
+#: decode entry points and the version constant each must test against.
+_VERSION_GATES = (("decode", "WIRE_VERSION"), ("decode_compact", "COMPACT_WIRE_VERSION"))
+
+
+def _top_level_assign(module: LintedModule, name: str) -> Optional[ast.expr]:
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return node.value
+        elif isinstance(node, ast.AnnAssign):
+            if (
+                isinstance(node.target, ast.Name)
+                and node.target.id == name
+                and node.value is not None
+            ):
+                return node.value
+    return None
+
+
+def _dataclass_fields(module: LintedModule) -> dict[str, tuple[str, ...]]:
+    """Field tuples of every decorated dataclass in one module."""
+    schemas: dict[str, tuple[str, ...]] = {}
+    for node in module.tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        is_dataclass = False
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            chain = attribute_chain(target)
+            if chain and chain[-1] == "dataclass":
+                is_dataclass = True
+        if not is_dataclass:
+            continue
+        fields = tuple(
+            stmt.target.id
+            for stmt in node.body
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name)
+        )
+        schemas[node.name] = fields
+    return schemas
+
+
+def _str_keys(value: ast.expr) -> Optional[dict[str, ast.expr]]:
+    """String-keyed dict literal as ``{key: value_expr}`` (else None)."""
+    if not isinstance(value, ast.Dict):
+        return None
+    out: dict[str, ast.expr] = {}
+    for key, val in zip(value.keys, value.values):
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            return None
+        out[key.value] = val
+    return out
+
+
+def _subscript_keys(node: ast.AST, of_name: str) -> set[str]:
+    """String keys ``of_name[...]`` is subscripted with inside ``node``."""
+    keys: set[str] = set()
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Subscript)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == of_name
+            and isinstance(sub.slice, ast.Constant)
+            and isinstance(sub.slice.value, str)
+        ):
+            keys.add(sub.slice.value)
+        # d.get("key", ...) also counts as a read.
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "get"
+            and isinstance(sub.func.value, ast.Name)
+            and sub.func.value.id == of_name
+            and sub.args
+            and isinstance(sub.args[0], ast.Constant)
+            and isinstance(sub.args[0].value, str)
+        ):
+            keys.add(sub.args[0].value)
+    return keys
+
+
+class WirePass:
+    """Table-driven pass implementing rules WIRE501–WIRE505."""
+
+    name = "wire"
+
+    def run(self, index: ModuleIndex) -> list[Finding]:
+        codec = index.get(_CODEC_PATH)
+        if codec is None:
+            return []
+        schemas: dict[str, tuple[str, ...]] = {}
+        for rel in _SCHEMA_PATHS:
+            schema_mod = index.get(rel)
+            if schema_mod is not None:
+                schemas.update(_dataclass_fields(schema_mod))
+        findings: list[Finding] = []
+        encoder_keys = self._check_json_encoders(codec, schemas, findings)
+        self._check_json_decoders(codec, schemas, encoder_keys, findings)
+        self._check_compact_tables(codec, findings)
+        self._check_code_tables(codec, findings)
+        self._check_version_gates(codec, findings)
+        return [f for f in findings if f is not None]
+
+    # ----------------------------------------------------------------- WIRE501
+
+    def _check_json_encoders(
+        self,
+        codec: LintedModule,
+        schemas: dict[str, tuple[str, ...]],
+        findings: list,
+    ) -> dict[str, set[str]]:
+        """Validate encoder body keys against schemas; returns the keys each
+        type's encoder writes (for the decoder cross-check)."""
+        encoder_keys: dict[str, set[str]] = {}
+        table = _top_level_assign(codec, "_ENCODERS")
+        if not isinstance(table, ast.Dict):
+            return encoder_keys
+        for key, value in zip(table.keys, table.values):
+            if key is None:
+                continue
+            chain = attribute_chain(key)
+            if not chain:
+                continue
+            type_name = chain[-1]
+            body = value.body if isinstance(value, ast.Lambda) else None
+            keys = _str_keys(body) if body is not None else None
+            if keys is None:
+                continue  # not a dict-literal lambda: shape unknown, skip
+            encoder_keys[type_name] = set(keys)
+            fields = schemas.get(type_name)
+            if fields is None:
+                continue
+            missing = sorted(set(fields) - set(keys))
+            extra = sorted(set(keys) - set(fields))
+            if missing:
+                findings.append(
+                    emit(
+                        codec,
+                        value,
+                        WIRE501,
+                        f"encoder for {type_name} omits schema field(s) "
+                        f"{', '.join(missing)} — they never cross the wire",
+                    )
+                )
+            if extra:
+                findings.append(
+                    emit(
+                        codec,
+                        value,
+                        WIRE501,
+                        f"encoder for {type_name} writes key(s) "
+                        f"{', '.join(extra)} that the schema does not define",
+                    )
+                )
+        return encoder_keys
+
+    # ----------------------------------------------------------------- WIRE502
+
+    def _check_json_decoders(
+        self,
+        codec: LintedModule,
+        schemas: dict[str, tuple[str, ...]],
+        encoder_keys: dict[str, set[str]],
+        findings: list,
+    ) -> None:
+        table = _top_level_assign(codec, "_DECODERS")
+        if not isinstance(table, ast.Dict):
+            return
+        for key, value in zip(table.keys, table.values):
+            if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                continue
+            type_name = key.value
+            ctor = self._decoder_constructor(value)
+            if ctor is None:
+                continue
+            constructed, kwargs, param = ctor
+            if constructed != type_name:
+                findings.append(
+                    emit(
+                        codec,
+                        value,
+                        WIRE502,
+                        f"decoder registered for {type_name} constructs "
+                        f"{constructed} instead",
+                    )
+                )
+                continue
+            fields = schemas.get(type_name)
+            if fields is not None:
+                bogus = sorted(set(kwargs) - set(fields))
+                if bogus:
+                    findings.append(
+                        emit(
+                            codec,
+                            value,
+                            WIRE502,
+                            f"decoder for {type_name} passes keyword(s) "
+                            f"{', '.join(bogus)} that are not schema fields",
+                        )
+                    )
+            written = encoder_keys.get(type_name)
+            if written is None or param is None:
+                continue
+            read = _subscript_keys(value, param)
+            phantom = sorted(read - written)
+            ignored = sorted(written - read)
+            if phantom:
+                findings.append(
+                    emit(
+                        codec,
+                        value,
+                        WIRE502,
+                        f"decoder for {type_name} reads body key(s) "
+                        f"{', '.join(phantom)} the encoder never writes",
+                    )
+                )
+            if ignored:
+                findings.append(
+                    emit(
+                        codec,
+                        value,
+                        WIRE502,
+                        f"decoder for {type_name} ignores encoded body "
+                        f"key(s) {', '.join(ignored)} — the value is lost on "
+                        "round-trip",
+                    )
+                )
+
+    @staticmethod
+    def _decoder_constructor(
+        value: ast.expr,
+    ) -> Optional[tuple[str, set[str], Optional[str]]]:
+        """Decompose ``lambda d: Type(kw=...)`` into (type, kwargs, param)."""
+        if not isinstance(value, ast.Lambda):
+            return None
+        param = value.args.args[0].arg if value.args.args else None
+        body = value.body
+        if not isinstance(body, ast.Call):
+            return None
+        chain = attribute_chain(body.func)
+        if not chain:
+            return None
+        kwargs = {kw.arg for kw in body.keywords if kw.arg is not None}
+        return chain[-1], kwargs, param
+
+    # ----------------------------------------------------------------- WIRE503
+
+    def _check_compact_tables(self, codec: LintedModule, findings: list) -> None:
+        json_table = _top_level_assign(codec, "_ENCODERS")
+        enc_table = _top_level_assign(codec, "_COMPACT_ENCODERS")
+        dec_table = _top_level_assign(codec, "_COMPACT_DECODERS")
+        if not isinstance(enc_table, ast.Dict):
+            return
+        json_types: set[str] = set()
+        if isinstance(json_table, ast.Dict):
+            for key in json_table.keys:
+                chain = attribute_chain(key) if key is not None else ()
+                if chain:
+                    json_types.add(chain[-1])
+        compact_types: dict[str, int] = {}
+        ids_seen: dict[int, str] = {}
+        for key, value in zip(enc_table.keys, enc_table.values):
+            chain = attribute_chain(key) if key is not None else ()
+            if not chain:
+                continue
+            type_name = chain[-1]
+            type_id = None
+            if (
+                isinstance(value, ast.Tuple)
+                and value.elts
+                and isinstance(value.elts[0], ast.Constant)
+                and isinstance(value.elts[0].value, int)
+            ):
+                type_id = value.elts[0].value
+            if type_id is None:
+                continue
+            compact_types[type_name] = type_id
+            if type_id in ids_seen:
+                findings.append(
+                    emit(
+                        codec,
+                        value,
+                        WIRE503,
+                        f"compact type id {type_id} is assigned to both "
+                        f"{ids_seen[type_id]} and {type_name}",
+                    )
+                )
+            ids_seen[type_id] = type_name
+        if json_types:
+            for name in sorted(json_types - set(compact_types)):
+                findings.append(
+                    emit(
+                        codec,
+                        enc_table,
+                        WIRE503,
+                        f"type {name} encodes on the JSON wire but has no "
+                        "compact encoder — the two wire formats diverge",
+                    )
+                )
+            for name in sorted(set(compact_types) - json_types):
+                findings.append(
+                    emit(
+                        codec,
+                        enc_table,
+                        WIRE503,
+                        f"type {name} has a compact encoder but no JSON "
+                        "encoder — the two wire formats diverge",
+                    )
+                )
+        if isinstance(dec_table, ast.Dict):
+            decoder_ids = {
+                key.value
+                for key in dec_table.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, int)
+            }
+            for type_name, type_id in sorted(compact_types.items()):
+                if type_id not in decoder_ids:
+                    findings.append(
+                        emit(
+                            codec,
+                            dec_table,
+                            WIRE503,
+                            f"compact type id {type_id} ({type_name}) has no "
+                            "compact decoder entry",
+                        )
+                    )
+            for type_id in sorted(decoder_ids - set(compact_types.values())):
+                findings.append(
+                    emit(
+                        codec,
+                        dec_table,
+                        WIRE503,
+                        f"compact decoder id {type_id} matches no compact "
+                        "encoder — frames with it can never be produced",
+                    )
+                )
+
+    # ----------------------------------------------------------------- WIRE504
+
+    def _check_code_tables(self, codec: LintedModule, findings: list) -> None:
+        for forward_name, reverse_name in _CODE_TABLE_PAIRS:
+            forward = _top_level_assign(codec, forward_name)
+            reverse = _top_level_assign(codec, reverse_name)
+            if not isinstance(forward, ast.Dict) or not isinstance(reverse, ast.Dict):
+                continue
+            fwd = self._const_dict(forward)
+            rev = self._const_dict(reverse)
+            if fwd is None or rev is None:
+                continue
+            inverted = {v: k for k, v in fwd.items()}
+            if len(inverted) != len(fwd):
+                findings.append(
+                    emit(
+                        codec,
+                        forward,
+                        WIRE504,
+                        f"{forward_name} maps two keys to one code — the "
+                        "reverse mapping cannot be faithful",
+                    )
+                )
+            for code, name in sorted(inverted.items(), key=repr):
+                if rev.get(code) != name:
+                    findings.append(
+                        emit(
+                            codec,
+                            reverse,
+                            WIRE504,
+                            f"{reverse_name}[{code!r}] = {rev.get(code)!r} "
+                            f"does not invert {forward_name} "
+                            f"({name!r} -> {code!r})",
+                        )
+                    )
+            for code in sorted(set(rev) - set(inverted), key=repr):
+                findings.append(
+                    emit(
+                        codec,
+                        reverse,
+                        WIRE504,
+                        f"{reverse_name}[{code!r}] has no counterpart in "
+                        f"{forward_name}",
+                    )
+                )
+
+    @staticmethod
+    def _const_dict(node: ast.Dict) -> Optional[dict]:
+        out = {}
+        for key, value in zip(node.keys, node.values):
+            if not isinstance(key, ast.Constant) or not isinstance(
+                value, ast.Constant
+            ):
+                return None
+            out[key.value] = value.value
+        return out
+
+    # ----------------------------------------------------------------- WIRE505
+
+    def _check_version_gates(self, codec: LintedModule, findings: list) -> None:
+        # (a) decoder lambdas must validate version= through a call.
+        table = _top_level_assign(codec, "_DECODERS")
+        if isinstance(table, ast.Dict):
+            for key, value in zip(table.keys, table.values):
+                if not isinstance(value, ast.Lambda) or not isinstance(
+                    value.body, ast.Call
+                ):
+                    continue
+                for kw in value.body.keywords:
+                    if kw.arg != "version":
+                        continue
+                    if self._is_raw_frame_read(kw.value):
+                        type_name = (
+                            key.value
+                            if isinstance(key, ast.Constant)
+                            else "<unknown>"
+                        )
+                        findings.append(
+                            emit(
+                                codec,
+                                kw.value,
+                                WIRE505,
+                                f"decoder for {type_name} passes version= "
+                                "straight from the frame without validation; "
+                                "wrap it in the version validator (negative "
+                                "versions are impossible protocol states)",
+                            )
+                        )
+        # (b) top-level decode functions must gate on the version constant.
+        for func_name, constant in _VERSION_GATES:
+            func = self._module_function(codec, func_name)
+            if func is None:
+                continue
+            if not self._compares_against(func, constant):
+                findings.append(
+                    emit(
+                        codec,
+                        func,
+                        WIRE505,
+                        f"{func_name}() never compares the frame against "
+                        f"{constant}; frames from incompatible wire versions "
+                        "would be misparsed instead of rejected",
+                    )
+                )
+
+    @staticmethod
+    def _is_raw_frame_read(value: ast.expr) -> bool:
+        """True for a bare ``d["version"]`` / ``d.get("version")`` read."""
+        if isinstance(value, ast.Subscript):
+            return True
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "get"
+        ):
+            return True
+        return False
+
+    @staticmethod
+    def _module_function(
+        codec: LintedModule, name: str
+    ) -> Optional[ast.FunctionDef]:
+        for node in codec.tree.body:
+            if isinstance(node, ast.FunctionDef) and node.name == name:
+                return node
+        return None
+
+    @staticmethod
+    def _compares_against(func: ast.FunctionDef, constant: str) -> bool:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Compare):
+                names = {
+                    n.id
+                    for sub in [node.left, *node.comparators]
+                    for n in ast.walk(sub)
+                    if isinstance(n, ast.Name)
+                }
+                if constant in names:
+                    return True
+        return False
+
+    def _iter_unused(self) -> Iterator[None]:  # pragma: no cover
+        yield None

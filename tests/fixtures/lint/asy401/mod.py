@@ -1,0 +1,19 @@
+"""Seeded ASY401: read-check-await-write on shared instance state."""
+
+import asyncio
+
+
+class PortRegistry:
+    def __init__(self):
+        self._ports = {}
+
+    async def serve(self, pid):
+        if pid in self._ports:
+            return self._ports[pid]
+        port = await self._allocate(pid)
+        self._ports[pid] = port  # stale: a concurrent serve() may have won
+        return port
+
+    async def _allocate(self, pid):
+        await asyncio.sleep(0)
+        return 1024 + len(self._ports)

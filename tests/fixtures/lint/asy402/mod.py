@@ -1,0 +1,7 @@
+"""Seeded ASY402: fire-and-forget task, result and exceptions dropped."""
+
+import asyncio
+
+
+async def on_crash(network, who):
+    asyncio.get_running_loop().create_task(network.close_server(who))

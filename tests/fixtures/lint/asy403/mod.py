@@ -1,0 +1,13 @@
+"""Seeded ASY403: asyncio primitives constructed at import time."""
+
+import asyncio
+
+READY = asyncio.Event()
+
+
+class Shared:
+    lock = asyncio.Lock()
+
+
+def poll(queue=asyncio.Queue()):
+    return queue

@@ -1,0 +1,8 @@
+"""Seeded ASY404: blocking call inside a coroutine."""
+
+import time
+
+
+async def heartbeat_loop(period):
+    while True:
+        time.sleep(period)  # lint: allow[DET101]

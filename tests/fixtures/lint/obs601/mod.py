@@ -1,0 +1,15 @@
+"""Seeded OBS601: span can leak past an early return."""
+
+
+class Tracker:
+    def __init__(self, network):
+        self.network = network
+
+    def probe(self, key):
+        obs = self.network.obs
+        if obs is None:
+            return
+        obs.spans.begin("probe.rtt", key, at=0.0)
+        if key is None:
+            return  # leaks probe.rtt
+        obs.spans.end("probe.rtt", key, at=1.0)

@@ -1,0 +1,6 @@
+"""Seeded OBS602: span begun but never ended anywhere."""
+
+
+class Session:
+    def open_window(self, obs, key):
+        obs.spans.begin("session.window", key, at=0.0)

@@ -1,0 +1,9 @@
+"""Seeded OBS603: obs dereferenced outside the is-not-None guard."""
+
+
+class Layer:
+    def __init__(self):
+        self.obs = None
+
+    def record(self, n):
+        self.obs.count_send(n, "update")

@@ -1,0 +1,9 @@
+"""Seeded WIRE501: encoder omits a schema field."""
+
+from core.messages import Commit
+
+WIRE_VERSION = 1
+
+_ENCODERS = {  # lint: allow[schema]
+    Commit: lambda m: {"op": m.op, "version": m.version},  # faulty never travels
+}

@@ -1,0 +1,19 @@
+"""Seeded WIRE502: decoder disagrees with its encoder."""
+
+from core.messages import Commit
+
+WIRE_VERSION = 1
+
+_ENCODERS = {
+    Commit: lambda m: {"op": m.op, "version": m.version, "faulty": m.faulty},
+}
+
+_DECODERS = {
+    "Commit": lambda d: Commit(
+        op=d["op"], version=_version_in(d["version"]), faulty=d["fault"]
+    ),
+}
+
+
+def _version_in(value):
+    return int(value)

@@ -1,0 +1,15 @@
+"""Message schemas for the wire-conformance fixtures."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Commit:  # lint: allow[schema]
+    op: object
+    version: int
+    faulty: tuple
+
+
+@dataclass(frozen=True)
+class Abort:  # lint: allow[schema]
+    version: int

@@ -1,0 +1,19 @@
+"""Seeded WIRE503: compact tables out of step with the JSON tables."""
+
+from core.messages import Abort, Commit
+
+WIRE_VERSION = 1
+COMPACT_WIRE_VERSION = 2
+
+_ENCODERS = {  # lint: allow[schema]
+    Commit: lambda m: {"op": m.op, "version": m.version, "faulty": m.faulty},
+    Abort: lambda m: {"version": m.version},
+}
+
+_COMPACT_ENCODERS = {
+    Commit: (1, lambda m: b""),  # Abort missing: formats diverge
+}
+
+_COMPACT_DECODERS = {
+    2: lambda payload: None,  # inverts nothing; id 1 has no decoder
+}

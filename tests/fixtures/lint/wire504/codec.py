@@ -1,0 +1,4 @@
+"""Seeded WIRE504: paired code tables are not inverses."""
+
+_CAT_CODES = {"join": 1, "leave": 2}
+_CAT_NAMES = {1: "join", 2: "quit"}

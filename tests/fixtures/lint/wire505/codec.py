@@ -1,0 +1,23 @@
+"""Seeded WIRE505: version bound never validated."""
+
+import json
+
+from core.messages import Commit
+
+WIRE_VERSION = 1
+
+_ENCODERS = {
+    Commit: lambda m: {"op": m.op, "version": m.version, "faulty": m.faulty},
+}
+
+_DECODERS = {
+    "Commit": lambda d: Commit(
+        op=d["op"], version=d["version"], faulty=d["faulty"]
+    ),
+}
+
+
+def decode(raw):
+    frame = json.loads(raw)
+    # Never compares frame["v"] against WIRE_VERSION.
+    return _DECODERS[frame["t"]](frame["body"])

@@ -1,0 +1,348 @@
+"""ASY4xx async atomicity rules: the flow-sensitive race detector."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+
+def write(root: Path, rel: str, source: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def rules_of(result) -> set[str]:
+    return {f.rule for f in result.findings}
+
+
+# ---------------------------------------------------------------------------
+# ASY401 — read-check-await-write
+# ---------------------------------------------------------------------------
+
+
+class TestStaleStateRace:
+    def test_check_await_write_fires(self, tmp_path: Path) -> None:
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            class R:
+                async def serve(self, pid):
+                    if pid in self._ports:
+                        return self._ports[pid]
+                    port = await allocate()
+                    self._ports[pid] = port
+            """,
+        )
+        result = run_lint(tmp_path)
+        asy = [f for f in result.findings if f.rule == "ASY401"]
+        assert len(asy) == 1
+        assert "_ports" in asy[0].message
+        assert asy[0].line == 7
+
+    def test_recheck_after_await_clears(self, tmp_path: Path) -> None:
+        """The tcp.serve() repair shape: a fresh condition read after the
+        suspension re-validates the state, so the write is safe."""
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            class R:
+                async def serve(self, pid):
+                    if pid in self._ports:
+                        return self._ports[pid]
+                    port = await allocate()
+                    if pid in self._ports:
+                        return self._ports[pid]
+                    self._ports[pid] = port
+            """,
+        )
+        assert "ASY401" not in rules_of(run_lint(tmp_path))
+
+    def test_write_without_prior_check_is_clean(self, tmp_path: Path) -> None:
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            class R:
+                async def bump(self):
+                    await tick()
+                    self.counter = 1
+            """,
+        )
+        assert "ASY401" not in rules_of(run_lint(tmp_path))
+
+    def test_write_before_await_is_clean(self, tmp_path: Path) -> None:
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            class R:
+                async def mark(self):
+                    if self.busy:
+                        return
+                    self.busy = True
+                    await work()
+            """,
+        )
+        assert "ASY401" not in rules_of(run_lint(tmp_path))
+
+    def test_branch_avoiding_await_is_clean_branch_sensitive(
+        self, tmp_path: Path
+    ) -> None:
+        """Only the awaited path invalidates the check: writing on the
+        non-awaiting branch is fine."""
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            class R:
+                async def route(self, fast):
+                    if self.slot is None:
+                        if fast:
+                            self.slot = 1
+                        else:
+                            await slow()
+            """,
+        )
+        assert "ASY401" not in rules_of(run_lint(tmp_path))
+
+    def test_loop_carried_staleness_fires(self, tmp_path: Path) -> None:
+        """The await on a previous loop iteration also invalidates the
+        check — the fixpoint propagates facts around the back edge."""
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            class R:
+                async def drain(self):
+                    while self.pending:
+                        await flush()
+                        self.pending = []
+            """,
+        )
+        result = run_lint(tmp_path)
+        assert "ASY401" in rules_of(result)
+
+    def test_parameter_object_attrs_exempt(self, tmp_path: Path) -> None:
+        """Only ``self`` attributes are shared instance state; channel
+        objects passed as parameters are the caller's concern (the tcp
+        _drain/_read_acks shape)."""
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            class R:
+                async def drain(self, ch):
+                    if ch.cursor < len(ch.unacked):
+                        await send()
+                        ch.cursor += 1
+            """,
+        )
+        assert "ASY401" not in rules_of(run_lint(tmp_path))
+
+    def test_allowlist_suppresses(self, tmp_path: Path) -> None:
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            class R:
+                async def serve(self, pid):
+                    if pid in self._ports:
+                        return
+                    await allocate()
+                    self._ports[pid] = 1  # lint: allow[atomicity]
+            """,
+        )
+        assert "ASY401" not in rules_of(run_lint(tmp_path))
+
+
+# ---------------------------------------------------------------------------
+# ASY402 — fire-and-forget tasks
+# ---------------------------------------------------------------------------
+
+
+class TestFireAndForget:
+    def test_bare_create_task_fires(self, tmp_path: Path) -> None:
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            import asyncio
+
+            def kick(loop, coro):
+                loop.create_task(coro)
+            """,
+        )
+        assert "ASY402" in rules_of(run_lint(tmp_path))
+
+    def test_get_running_loop_chain_fires(self, tmp_path: Path) -> None:
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            import asyncio
+
+            def kick(coro):
+                asyncio.get_running_loop().create_task(coro)
+            """,
+        )
+        assert "ASY402" in rules_of(run_lint(tmp_path))
+
+    def test_retained_task_is_clean(self, tmp_path: Path) -> None:
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            import asyncio
+
+            def kick(tasks, coro):
+                task = asyncio.get_running_loop().create_task(coro)
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            """,
+        )
+        assert "ASY402" not in rules_of(run_lint(tmp_path))
+
+    def test_awaited_task_is_clean(self, tmp_path: Path) -> None:
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            import asyncio
+
+            async def kick(coro):
+                await asyncio.get_running_loop().create_task(coro)
+            """,
+        )
+        assert "ASY402" not in rules_of(run_lint(tmp_path))
+
+
+# ---------------------------------------------------------------------------
+# ASY403 — asyncio primitives at import time
+# ---------------------------------------------------------------------------
+
+
+class TestImportTimePrimitives:
+    def test_module_class_and_default_scopes_fire(self, tmp_path: Path) -> None:
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            import asyncio
+
+            GATE = asyncio.Event()
+
+            class C:
+                lock = asyncio.Lock()
+
+            def f(q=asyncio.Queue()):
+                return q
+            """,
+        )
+        result = run_lint(tmp_path)
+        asy = [f for f in result.findings if f.rule == "ASY403"]
+        assert len(asy) == 3
+
+    def test_primitive_inside_coroutine_is_clean(self, tmp_path: Path) -> None:
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            import asyncio
+
+            async def f():
+                gate = asyncio.Event()
+                await gate.wait()
+
+            def g():
+                return asyncio.Lock()
+            """,
+        )
+        assert "ASY403" not in rules_of(run_lint(tmp_path))
+
+
+# ---------------------------------------------------------------------------
+# ASY404 — blocking calls in coroutines
+# ---------------------------------------------------------------------------
+
+
+class TestBlockingCalls:
+    def test_time_sleep_in_coroutine_fires(self, tmp_path: Path) -> None:
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            import time
+
+            async def f():
+                time.sleep(1)  # lint: allow[DET101]
+            """,
+        )
+        assert "ASY404" in rules_of(run_lint(tmp_path))
+
+    def test_run_until_complete_in_coroutine_fires(self, tmp_path: Path) -> None:
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            async def f(loop, coro):
+                loop.run_until_complete(coro)
+            """,
+        )
+        assert "ASY404" in rules_of(run_lint(tmp_path))
+
+    def test_sync_function_is_exempt(self, tmp_path: Path) -> None:
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            import time
+
+            def f():
+                time.sleep(1)  # lint: allow[DET101]
+            """,
+        )
+        assert "ASY404" not in rules_of(run_lint(tmp_path))
+
+    def test_nested_sync_def_inside_coroutine_exempt(self, tmp_path: Path) -> None:
+        """walk_scope prunes nested defs: the blocking call belongs to the
+        nested sync function, which may legitimately run in an executor."""
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            import time
+
+            async def f(loop):
+                def blocking():
+                    time.sleep(1)  # lint: allow[DET101]
+                await loop.run_in_executor(None, blocking)
+            """,
+        )
+        assert "ASY404" not in rules_of(run_lint(tmp_path))
+
+
+# ---------------------------------------------------------------------------
+# fixtures + the repaired tree
+# ---------------------------------------------------------------------------
+
+
+class TestSeededFixtures:
+    def test_each_asy_fixture_fires_its_rule(self) -> None:
+        for rule_id in ("ASY401", "ASY402", "ASY403", "ASY404"):
+            result = run_lint(FIXTURES / rule_id.lower())
+            assert rule_id in rules_of(result), rule_id
+            assert not result.ok
+
+    def test_repro_tree_is_asy_clean(self) -> None:
+        src = Path(__file__).parent.parent / "src" / "repro"
+        result = run_lint(src)
+        asy = [f for f in result.findings if f.rule.startswith("ASY")]
+        assert asy == []

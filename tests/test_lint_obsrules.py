@@ -1,0 +1,298 @@
+"""OBS6xx span lifecycle and obs disabled-path discipline."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+
+def write(root: Path, rel: str, source: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def rules_of(result) -> set[str]:
+    return {f.rule for f in result.findings}
+
+
+# ---------------------------------------------------------------------------
+# OBS601 — intra-function span lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestSpanLifecycle:
+    def test_early_return_leak_fires(self, tmp_path: Path) -> None:
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            def f(obs, key, bad):
+                obs.spans.begin("probe", key, at=0.0)
+                if bad:
+                    return
+                obs.spans.end("probe", key, at=1.0)
+            """,
+        )
+        result = run_lint(tmp_path)
+        obs = [f for f in result.findings if f.rule == "OBS601"]
+        assert len(obs) == 1
+        assert "'probe'" in obs[0].message
+
+    def test_closed_on_all_paths_is_clean(self, tmp_path: Path) -> None:
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            def f(obs, key, bad):
+                obs.spans.begin("probe", key, at=0.0)
+                if bad:
+                    obs.spans.discard("probe", key)
+                    return
+                obs.spans.end("probe", key, at=1.0)
+            """,
+        )
+        assert "OBS601" not in rules_of(run_lint(tmp_path))
+
+    def test_exception_path_is_exempt(self, tmp_path: Path) -> None:
+        """A span cut short by an exception has no duration to record —
+        only normal exits need the close."""
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            def f(obs, key):
+                obs.spans.begin("probe", key, at=0.0)
+                risky()
+                obs.spans.end("probe", key, at=1.0)
+            """,
+        )
+        assert "OBS601" not in rules_of(run_lint(tmp_path))
+
+    def test_cross_function_pair_not_flagged(self, tmp_path: Path) -> None:
+        """The tcp.reconnect shape: begin in the drain loop, end in the ack
+        reader.  No intra-function end exists, so OBS601 stays quiet and
+        OBS602 is satisfied by the module-wide closer."""
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            class Net:
+                def drain(self, obs, key):
+                    obs.spans.begin("reconnect", key, at=0.0)
+
+                def read_acks(self, obs, key):
+                    obs.spans.end("reconnect", key, at=1.0)
+            """,
+        )
+        result = run_lint(tmp_path)
+        assert "OBS601" not in rules_of(result)
+        assert "OBS602" not in rules_of(result)
+
+
+# ---------------------------------------------------------------------------
+# OBS602 — orphan spans
+# ---------------------------------------------------------------------------
+
+
+class TestOrphanSpans:
+    def test_never_ended_fires(self, tmp_path: Path) -> None:
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            def f(obs, key):
+                obs.spans.begin("orphan", key, at=0.0)
+            """,
+        )
+        assert "OBS602" in rules_of(run_lint(tmp_path))
+
+    def test_emit_only_spans_are_not_begins(self, tmp_path: Path) -> None:
+        """spans.emit records a retrospective interval — it opens nothing
+        and needs no closer."""
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            def f(obs):
+                obs.spans.emit("detect.latency", 0.0, 1.0)
+            """,
+        )
+        assert "OBS602" not in rules_of(run_lint(tmp_path))
+
+    def test_dynamic_names_are_skipped(self, tmp_path: Path) -> None:
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            def f(obs, name, key):
+                obs.spans.begin(name, key, at=0.0)
+            """,
+        )
+        assert "OBS602" not in rules_of(run_lint(tmp_path))
+
+
+# ---------------------------------------------------------------------------
+# OBS603 — disabled-path discipline
+# ---------------------------------------------------------------------------
+
+
+class TestObsGuard:
+    def test_unguarded_self_obs_fires(self, tmp_path: Path) -> None:
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            class Layer:
+                def record(self, n):
+                    self.obs.count_send(n)
+            """,
+        )
+        result = run_lint(tmp_path)
+        obs = [f for f in result.findings if f.rule == "OBS603"]
+        assert len(obs) == 1
+        assert "self.obs" in obs[0].message
+
+    def test_direct_guard_is_clean(self, tmp_path: Path) -> None:
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            class Layer:
+                def record(self, n):
+                    if self.obs is not None:
+                        self.obs.count_send(n)
+            """,
+        )
+        assert "OBS603" not in rules_of(run_lint(tmp_path))
+
+    def test_alias_guard_is_clean(self, tmp_path: Path) -> None:
+        """The heartbeat idiom: alias, guard the alias, deref inside."""
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            class Layer:
+                def record(self, n):
+                    obs = self.network.obs
+                    if obs is not None:
+                        spans = obs.spans
+                        spans.emit("e", 0.0, 1.0)
+            """,
+        )
+        assert "OBS603" not in rules_of(run_lint(tmp_path))
+
+    def test_early_return_guard_is_clean(self, tmp_path: Path) -> None:
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            class Layer:
+                def record(self, n):
+                    obs = self.network.obs
+                    if obs is None or self.owner is None:
+                        return
+                    obs.count_send(n)
+            """,
+        )
+        assert "OBS603" not in rules_of(run_lint(tmp_path))
+
+    def test_guard_on_one_path_only_fires(self, tmp_path: Path) -> None:
+        """Must-analysis: the proof has to hold on every path to the use."""
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            class Layer:
+                def record(self, n, fast):
+                    obs = self.network.obs
+                    if fast:
+                        if obs is None:
+                            return
+                    obs.count_send(n)
+            """,
+        )
+        assert "OBS603" in rules_of(run_lint(tmp_path))
+
+    def test_constructed_obs_is_proven(self, tmp_path: Path) -> None:
+        """obs = Obs() cannot be None — the bench/cli construction shape."""
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            def run():
+                from repro.obs import Obs
+                obs = Obs()
+                obs.record_trace(None)
+            """,
+        )
+        assert "OBS603" not in rules_of(run_lint(tmp_path))
+
+    def test_obs_parameter_is_contract_non_none(self, tmp_path: Path) -> None:
+        """collect_metrics(self, obs): the parameter is non-None by
+        contract — the caller holds the guard."""
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            class Layer:
+                def collect_metrics(self, obs):
+                    obs.gauge("x", 1)
+            """,
+        )
+        assert "OBS603" not in rules_of(run_lint(tmp_path))
+
+    def test_reassignment_to_none_invalidates(self, tmp_path: Path) -> None:
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            class Layer:
+                def record(self, n):
+                    obs = self.network.obs
+                    if obs is not None:
+                        obs = None
+                        obs.count_send(n)
+            """,
+        )
+        assert "OBS603" in rules_of(run_lint(tmp_path))
+
+    def test_assert_guard_is_clean(self, tmp_path: Path) -> None:
+        write(
+            tmp_path,
+            "mod.py",
+            """
+            class Layer:
+                def record(self, n):
+                    obs = self.network.obs
+                    assert obs is not None
+                    obs.count_send(n)
+            """,
+        )
+        assert "OBS603" not in rules_of(run_lint(tmp_path))
+
+
+# ---------------------------------------------------------------------------
+# fixtures + the instrumented tree
+# ---------------------------------------------------------------------------
+
+
+class TestFixturesAndTree:
+    def test_each_obs_fixture_fires_its_rule(self) -> None:
+        for rule_id in ("OBS601", "OBS602", "OBS603"):
+            result = run_lint(FIXTURES / rule_id.lower())
+            assert rule_id in rules_of(result), rule_id
+            assert not result.ok
+
+    def test_instrumented_tree_is_obs_clean(self) -> None:
+        """member/heartbeat/tcp/network instrumentation all follow the
+        one-attribute-check discipline — the pass proves it."""
+        src = Path(__file__).parent.parent / "src" / "repro"
+        result = run_lint(src)
+        obs = [f for f in result.findings if f.rule.startswith("OBS")]
+        assert obs == []

@@ -1,0 +1,195 @@
+"""WIRE5xx wire-format conformance: codec tables vs message schemas."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+SCHEMAS = """
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class Commit:  # lint: allow[schema]
+        op: object
+        version: int
+        faulty: tuple
+"""
+
+
+def write(root: Path, rel: str, source: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def rules_of(result) -> set[str]:
+    return {f.rule for f in result.findings}
+
+
+def make_tree(tmp_path: Path, codec: str) -> Path:
+    write(tmp_path, "core/messages.py", SCHEMAS)
+    write(tmp_path, "codec.py", codec)
+    return tmp_path
+
+
+CONSISTENT = """
+    import json
+
+    from core.messages import Commit
+
+    WIRE_VERSION = 1
+    COMPACT_WIRE_VERSION = 2
+
+    def _version_in(value):
+        return int(value)
+
+    _ENCODERS = {  # lint: allow[schema]
+        Commit: lambda m: {"op": m.op, "version": m.version, "faulty": m.faulty},
+    }
+
+    _DECODERS = {
+        "Commit": lambda d: Commit(
+            op=d["op"], version=_version_in(d["version"]), faulty=d["fault" "y"]
+        ),
+    }
+
+    _COMPACT_ENCODERS = {  # lint: allow[schema]
+        Commit: (1, lambda m: b""),
+    }
+
+    _COMPACT_DECODERS = {
+        1: lambda payload: None,
+    }
+
+    _CAT_CODES = {"join": 1, "leave": 2}
+    _CAT_NAMES = {1: "join", 2: "leave"}
+
+    def decode(raw):
+        frame = json.loads(raw)
+        if frame.get("v") != WIRE_VERSION:
+            raise ValueError("wire version mismatch")
+        return _DECODERS[frame["t"]](frame["body"])
+
+    def decode_compact(raw):
+        version = raw[0]
+        if version != COMPACT_WIRE_VERSION:
+            raise ValueError("wire version mismatch")
+        return _COMPACT_DECODERS[raw[1]](raw[2:])
+"""
+
+
+class TestConsistentCodec:
+    def test_consistent_tables_are_clean(self, tmp_path: Path) -> None:
+        # The string-concat trick in the decoder keeps the source free of a
+        # literal "fault" typo while still reading the "faulty" key.
+        make_tree(tmp_path, CONSISTENT)
+        wire = {r for r in rules_of(run_lint(tmp_path)) if r.startswith("WIRE")}
+        assert wire == set()
+
+    def test_real_codec_is_clean(self) -> None:
+        src = Path(__file__).parent.parent / "src" / "repro"
+        result = run_lint(src)
+        wire = [f for f in result.findings if f.rule.startswith("WIRE")]
+        assert wire == []
+
+
+class TestEncoderSchemaDrift:
+    def test_omitted_field_fires_wire501(self, tmp_path: Path) -> None:
+        make_tree(
+            tmp_path,
+            """
+            from core.messages import Commit
+
+            _ENCODERS = {  # lint: allow[schema]
+                Commit: lambda m: {"op": m.op, "version": m.version},
+            }
+            """,
+        )
+        result = run_lint(tmp_path)
+        wire = [f for f in result.findings if f.rule == "WIRE501"]
+        assert len(wire) == 1
+        assert "faulty" in wire[0].message
+
+    def test_phantom_key_fires_wire501(self, tmp_path: Path) -> None:
+        make_tree(
+            tmp_path,
+            """
+            from core.messages import Commit
+
+            _ENCODERS = {  # lint: allow[schema]
+                Commit: lambda m: {
+                    "op": m.op, "version": m.version, "faulty": m.faulty,
+                    "ghost": 1,
+                },
+            }
+            """,
+        )
+        result = run_lint(tmp_path)
+        wire = [f for f in result.findings if f.rule == "WIRE501"]
+        assert len(wire) == 1
+        assert "ghost" in wire[0].message
+
+    def test_unknown_type_is_skipped(self, tmp_path: Path) -> None:
+        """Encoders for types without a schema (e.g. detector-internal
+        pings living elsewhere) are not guessed at."""
+        make_tree(
+            tmp_path,
+            """
+            from elsewhere import Ping
+
+            _ENCODERS = {  # lint: allow[schema]
+                Ping: lambda m: {"whatever": 1},
+            }
+            """,
+        )
+        assert "WIRE501" not in rules_of(run_lint(tmp_path))
+
+
+class TestDecoderDrift:
+    def test_wrong_constructor_fires_wire502(self, tmp_path: Path) -> None:
+        make_tree(
+            tmp_path,
+            """
+            from core.messages import Commit, Abort
+
+            _DECODERS = {
+                "Commit": lambda d: Abort(version=d["version"]),
+            }
+            """,
+        )
+        result = run_lint(tmp_path)
+        wire = [f for f in result.findings if f.rule == "WIRE502"]
+        assert len(wire) == 1
+        assert "Abort" in wire[0].message
+
+    def test_bogus_keyword_fires_wire502(self, tmp_path: Path) -> None:
+        make_tree(
+            tmp_path,
+            """
+            from core.messages import Commit
+
+            _DECODERS = {
+                "Commit": lambda d: Commit(
+                    op=d["op"], version=d["version"], faulty=d["faulty"],
+                    extra=1,
+                ),
+            }
+            """,
+        )
+        result = run_lint(tmp_path)
+        assert any(
+            f.rule == "WIRE502" and "extra" in f.message for f in result.findings
+        )
+
+
+class TestFixtures:
+    def test_each_wire_fixture_fires_its_rule(self) -> None:
+        for rule_id in ("WIRE501", "WIRE502", "WIRE503", "WIRE504", "WIRE505"):
+            result = run_lint(FIXTURES / rule_id.lower())
+            assert rule_id in rules_of(result), rule_id
+            assert not result.ok
