@@ -332,6 +332,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.root is not None:
         argv.append(args.root)
     argv += ["--format", args.format]
+    if args.baseline is not None:
+        argv += ["--baseline", args.baseline]
     for prefix in args.select or []:
         argv += ["--select", prefix]
     for prefix in args.ignore or []:
@@ -494,10 +496,13 @@ def main(argv: list[str] | None = None) -> int:
     obs.set_defaults(func=_cmd_obs)
 
     lint = sub.add_parser(
-        "lint", help="protocol-aware static analysis (determinism, schema, mutation)"
+        "lint",
+        help="protocol-aware static analysis (determinism, schema, mutation, "
+        "async atomicity, wire conformance, span discipline)",
     )
     lint.add_argument("root", nargs="?", default=None, help="package root to scan")
-    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--format", choices=["text", "json", "sarif"], default="text")
+    lint.add_argument("--baseline", metavar="FILE", default=None)
     lint.add_argument("--select", action="append", metavar="PREFIX")
     lint.add_argument("--ignore", action="append", metavar="PREFIX")
     lint.add_argument("--list-rules", action="store_true")

@@ -15,7 +15,13 @@ from typing import Optional, Sequence
 
 from repro.lint import run_lint
 from repro.lint.base import RULES
-from repro.lint.reporters import render_json, render_text
+from repro.lint.reporters import (
+    apply_baseline,
+    load_baseline,
+    render_json,
+    render_sarif,
+    render_text,
+)
 
 __all__ = ["main"]
 
@@ -42,9 +48,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="suppression list of accepted findings: the tool's own JSON "
+        "report, or file:RULE / file:LINE:RULE lines",
     )
     parser.add_argument(
         "--select",
@@ -91,9 +104,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             for f in findings
             if not any(f.rule.startswith(p) for p in args.ignore)
         ]
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            print(
+                f"repro.lint: no such baseline file: {baseline_path}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            baseline = load_baseline(baseline_path)
+        except ValueError as error:
+            print(f"repro.lint: {error}", file=sys.stderr)
+            return 2
+        findings, suppressed = apply_baseline(findings, baseline)
+        if suppressed:
+            print(
+                f"repro.lint: {suppressed} finding(s) suppressed by baseline",
+                file=sys.stderr,
+            )
 
-    renderer = render_json if args.format == "json" else render_text
-    print(renderer(findings, files_scanned=result.files_scanned))
+    renderers = {"text": render_text, "json": render_json, "sarif": render_sarif}
+    print(renderers[args.format](findings, files_scanned=result.files_scanned))
     return 1 if findings else 0
 
 

@@ -1,17 +1,37 @@
-"""Finding reporters: human-readable text and machine-readable JSON."""
+"""Finding reporters and baseline suppression.
+
+Three renderings of the same findings list: human-readable text, the
+repo's own JSON report, and SARIF 2.1.0 (the interchange format CI
+annotation tooling consumes).  A *baseline* is a suppression list of
+accepted findings — run ``repro lint --format json > baseline.json`` to
+accept the current state, then ``--baseline baseline.json`` reports only
+findings not in it.
+"""
 
 from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import Sequence
+from pathlib import Path
+from typing import Optional, Sequence
 
+from repro.lint.base import RULES
 from repro.lint.findings import Finding
 
-__all__ = ["render_text", "render_json"]
+__all__ = [
+    "render_text",
+    "render_json",
+    "render_sarif",
+    "load_baseline",
+    "apply_baseline",
+]
 
 #: Bump when the JSON report shape changes incompatibly.
 REPORT_VERSION = 1
+
+#: SARIF spec pinned by ``render_sarif``.
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 def render_text(findings: Sequence[Finding], files_scanned: int = 0) -> str:
@@ -45,3 +65,111 @@ def render_json(findings: Sequence[Finding], files_scanned: int = 0) -> str:
         ],
     }
     return json.dumps(report, indent=2)
+
+
+def render_sarif(findings: Sequence[Finding], files_scanned: int = 0) -> str:
+    """SARIF 2.1.0 report — what CI uploads so code hosts can annotate
+    the diff with findings in place."""
+    ordered = sorted(findings, key=Finding.sort_key)
+    used_rules = sorted({f.rule for f in ordered})
+    driver = {
+        "name": "repro.lint",
+        "informationUri": "docs/LINTING.md",
+        "rules": [
+            {
+                "id": rule_id,
+                "shortDescription": {"text": RULES.get(rule_id, rule_id)},
+            }
+            for rule_id in used_rules
+        ],
+    }
+    rule_index = {rule_id: i for i, rule_id in enumerate(used_rules)}
+    results = [
+        {
+            "ruleId": f.rule,
+            "ruleIndex": rule_index[f.rule],
+            "level": "error" if f.severity == "error" else "warning",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.file},
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in ordered
+    ]
+    report = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {"driver": driver},
+                "results": results,
+                "properties": {"filesScanned": files_scanned},
+            }
+        ],
+    }
+    return json.dumps(report, indent=2)
+
+
+# ---------------------------------------------------------------------------
+# baseline suppression
+# ---------------------------------------------------------------------------
+
+
+def load_baseline(path: Path | str) -> list[tuple[str, str, Optional[int]]]:
+    """Parse a suppression list into ``(file, rule, line-or-None)`` entries.
+
+    Accepts either the tool's own JSON report (its ``findings`` array, so
+    ``repro lint --format json`` output is directly usable) or a plain
+    text file with one ``file:RULE`` / ``file:LINE:RULE`` entry per line
+    (``#`` comments allowed).  Entries without a line match the rule
+    anywhere in the file; entries with one match that exact line.
+    """
+    text = Path(path).read_text()
+    stripped = text.lstrip()
+    entries: list[tuple[str, str, Optional[int]]] = []
+    if stripped.startswith(("{", "[")):
+        data = json.loads(text)
+        records = data.get("findings", data) if isinstance(data, dict) else data
+        for record in records:
+            entries.append(
+                (record["file"], record["rule"], record.get("line"))
+            )
+        return entries
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.rsplit(":", 2)
+        if len(parts) == 3 and parts[1].isdigit():
+            entries.append((parts[0], parts[2], int(parts[1])))
+        else:
+            file_part, _, rule_part = line.rpartition(":")
+            if not file_part:
+                raise ValueError(f"malformed baseline entry: {raw!r}")
+            entries.append((file_part, rule_part, None))
+    return entries
+
+
+def apply_baseline(
+    findings: Sequence[Finding],
+    baseline: Sequence[tuple[str, str, Optional[int]]],
+) -> tuple[list[Finding], int]:
+    """Drop findings covered by the baseline; returns (kept, suppressed)."""
+    any_line = {(file, rule) for file, rule, line in baseline if line is None}
+    exact = {(file, rule, line) for file, rule, line in baseline if line is not None}
+    kept: list[Finding] = []
+    suppressed = 0
+    for f in findings:
+        if (f.file, f.rule) in any_line or (f.file, f.rule, f.line) in exact:
+            suppressed += 1
+        else:
+            kept.append(f)
+    return kept, suppressed

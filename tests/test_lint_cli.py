@@ -139,3 +139,96 @@ def test_module_invocation_flags_violation_fixture(dirty_tree: Path) -> None:
     )
     assert proc.returncode == 1
     assert "DET101" in proc.stdout
+
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+ALL_FIXTURES = sorted(p.name for p in FIXTURES.iterdir() if p.is_dir())
+
+
+@pytest.mark.parametrize("fixture", ALL_FIXTURES)
+def test_every_seeded_fixture_exits_nonzero(fixture: str, capsys) -> None:
+    """Each seeded violation fixture trips its own rule family via the
+    real CLI — a rule regression turns one of these green."""
+    assert lint_main([str(FIXTURES / fixture)]) == 1
+    out = capsys.readouterr().out
+    assert fixture.upper().rstrip("0123456789") in out
+
+
+def test_sarif_report_shape(dirty_tree: Path, capsys) -> None:
+    assert lint_main([str(dirty_tree), "--format", "sarif"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["version"] == "2.1.0"
+    (run_obj,) = report["runs"]
+    assert run_obj["tool"]["driver"]["name"] == "repro.lint"
+    rule_ids = [r["id"] for r in run_obj["tool"]["driver"]["rules"]]
+    assert "DET101" in rule_ids
+    (result,) = run_obj["results"]
+    assert result["ruleId"] == "DET101"
+    assert result["level"] == "error"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "clock.py"
+    assert location["region"]["startLine"] > 0
+
+
+def test_sarif_clean_tree_has_no_results(tmp_path: Path, capsys) -> None:
+    write(tmp_path, "ok.py", "X = 1\n")
+    assert lint_main([str(tmp_path), "--format", "sarif"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["runs"][0]["results"] == []
+
+
+def test_baseline_from_json_report_suppresses(dirty_tree: Path, capsys) -> None:
+    """The accepted-findings loop: capture the JSON report, feed it back
+    as --baseline, and the same findings no longer fail the run."""
+    assert lint_main([str(dirty_tree), "--format", "json"]) == 1
+    baseline = dirty_tree / "baseline.json"
+    baseline.write_text(capsys.readouterr().out, encoding="utf-8")
+    assert lint_main([str(dirty_tree), "--baseline", str(baseline)]) == 0
+    captured = capsys.readouterr()
+    assert "suppressed by baseline" in captured.err
+
+
+def test_baseline_text_format(dirty_tree: Path, capsys) -> None:
+    baseline = dirty_tree / "baseline.txt"
+    baseline.write_text("# accepted findings\nclock.py:DET101\n", encoding="utf-8")
+    assert lint_main([str(dirty_tree), "--baseline", str(baseline)]) == 0
+
+
+def test_baseline_with_line_must_match_exactly(dirty_tree: Path, capsys) -> None:
+    baseline = dirty_tree / "baseline.txt"
+    baseline.write_text("clock.py:9999:DET101\n", encoding="utf-8")
+    assert lint_main([str(dirty_tree), "--baseline", str(baseline)]) == 1
+
+
+def test_baseline_does_not_hide_new_findings(dirty_tree: Path, capsys) -> None:
+    assert lint_main([str(dirty_tree), "--format", "json"]) == 1
+    baseline = dirty_tree / "baseline.json"
+    baseline.write_text(capsys.readouterr().out, encoding="utf-8")
+    write(
+        dirty_tree,
+        "fresh.py",
+        """
+        import random
+
+        def roll():
+            return random.random()
+        """,
+    )
+    assert lint_main([str(dirty_tree), "--baseline", str(baseline)]) == 1
+    out = capsys.readouterr().out
+    assert "fresh.py" in out
+
+
+def test_baseline_missing_file_is_usage_error(dirty_tree: Path, capsys) -> None:
+    assert lint_main([str(dirty_tree), "--baseline", "nope.json"]) == 2
+
+
+def test_repro_cli_passes_baseline_and_sarif(dirty_tree: Path, capsys) -> None:
+    assert repro_main(["lint", str(dirty_tree), "--format", "sarif"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["version"] == "2.1.0"
+    baseline = dirty_tree / "baseline.txt"
+    baseline.write_text("clock.py:DET101\n", encoding="utf-8")
+    assert (
+        repro_main(["lint", str(dirty_tree), "--baseline", str(baseline)]) == 0
+    )
