@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.extensions import ClientDirectory
+from repro.extensions.hierarchy import ClientOp, ClientState, ClientUpdate
 from repro.ids import pid
 
 from conftest import assert_gmp, make_cluster
@@ -142,6 +143,114 @@ class TestFailover:
         assert_gmp(cluster)
         surviving = coordinator_directory(cluster, dirs)
         assert len(surviving.view.clients) == 4
+
+
+class TestSingleWriterFiltering:
+    """Only the current coordinator's updates (and snapshots) are honoured."""
+
+    def test_client_op_kind_validated(self):
+        with pytest.raises(ValueError):
+            ClientOp("promote", pid("client-a"))
+
+    def test_update_from_non_coordinator_ignored(self):
+        cluster, dirs = cluster_with_directories()
+        cluster.run(until=5.0)
+        directory = dirs[pid("p1")]
+        before = directory.view
+        directory._on_update(
+            pid("p2"), ClientUpdate(ClientOp("admit", pid("rogue")), version=1)
+        )
+        assert directory.view == before
+
+    def test_duplicate_version_update_ignored(self):
+        # A re-delivered v1 update carrying a different op must not apply:
+        # the version number, not the payload, decides freshness.
+        cluster, dirs = cluster_with_directories()
+        cluster.run(until=5.0)
+        dirs[pid("p0")].admit(pid("client-a"))
+        cluster.settle()
+        directory = dirs[pid("p1")]
+        mgr = directory.member.state.mgr
+        directory._on_update(
+            mgr, ClientUpdate(ClientOp("admit", pid("client-z")), version=1)
+        )
+        assert pid("client-z") not in directory.view
+        assert directory.view.version == 1
+
+    def test_stale_snapshot_ignored(self):
+        cluster, dirs = cluster_with_directories()
+        cluster.run(until=5.0)
+        dirs[pid("p0")].admit(pid("client-a"))
+        cluster.settle()
+        directory = dirs[pid("p1")]
+        mgr = directory.member.state.mgr
+        directory._on_state(mgr, ClientState(clients=(), version=0))
+        assert pid("client-a") in directory.view
+
+    def test_snapshot_from_non_coordinator_ignored(self):
+        cluster, dirs = cluster_with_directories()
+        cluster.run(until=5.0)
+        directory = dirs[pid("p1")]
+        directory._on_state(
+            pid("p3"), ClientState(clients=(pid("forged"),), version=99)
+        )
+        assert pid("forged") not in directory.view
+        assert directory.view.version == 0
+
+    def test_failure_report_for_unknown_client_ignored(self):
+        cluster, dirs = cluster_with_directories()
+        cluster.run(until=5.0)
+        dirs[pid("p2")].report_client_failure(pid("ghost"))
+        cluster.settle()
+        for directory in dirs.values():
+            assert directory.view.version == 0
+
+
+class TestSyncDeadline:
+    """Reconciliation must terminate even when a respondent crashed mid-sync."""
+
+    def test_deadline_with_no_pending_is_a_noop(self):
+        cluster, dirs = cluster_with_directories()
+        cluster.run(until=5.0)
+        directory = coordinator_directory(cluster, dirs)
+        before = directory.view
+        directory._sync_deadline()
+        assert directory.view == before
+        assert directory._sync_pending == set()
+
+    def test_deadline_adopts_best_state_seen_so_far(self):
+        # A straggler never answers the sync request: the deadline fires,
+        # reconciliation completes from the responses already in hand, and
+        # the rebroadcast converges the rest of the group.
+        cluster, dirs = cluster_with_directories()
+        cluster.run(until=5.0)
+        directory = coordinator_directory(cluster, dirs)
+        directory._sync_pending = {pid("never-answers")}
+        directory._sync_best = ClientState(clients=(pid("client-x"),), version=7)
+        directory._sync_deadline()
+        assert directory._sync_pending == set()
+        assert directory._sync_best is None
+        assert directory.view.version == 7
+        assert pid("client-x") in directory.view
+        cluster.settle()
+        for other in dirs.values():
+            assert pid("client-x") in other.view
+
+    def test_partial_responses_keep_waiting_until_last_or_deadline(self):
+        cluster, dirs = cluster_with_directories()
+        cluster.run(until=5.0)
+        directory = coordinator_directory(cluster, dirs)
+        directory._sync_pending = {pid("m1"), pid("m2")}
+        directory._sync_best = ClientState(clients=(), version=0)
+        directory._on_state(pid("m1"), ClientState(clients=(pid("c"),), version=3))
+        # One respondent outstanding: reconciliation must not finish yet.
+        assert directory._sync_pending == {pid("m2")}
+        assert directory.view.version == 0
+        directory._on_state(pid("m2"), ClientState(clients=(), version=1))
+        # Last response arrived: the *newest* snapshot wins, not the latest.
+        assert directory._sync_pending == set()
+        assert directory.view.version == 3
+        assert pid("c") in directory.view
 
 
 class TestLateMemberCatchUp:

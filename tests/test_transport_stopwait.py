@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -123,3 +125,115 @@ class TestLossyChannel:
         implemented over a lossy, duplicating link."""
         channel = LossyChannel(loss=loss, duplicate=duplicate, seed=seed)
         assert channel.run(payloads) == payloads
+
+
+class _CountingRandom(random.Random):
+    """A seeded generator that counts how many draws it has served."""
+
+    def __init__(self, seed: int) -> None:
+        super().__init__(seed)
+        self.draws = 0
+
+    def random(self) -> float:
+        self.draws += 1
+        return super().random()
+
+
+class _AlwaysLose:
+    """rng stub whose every draw falls below any positive loss probability."""
+
+    def random(self) -> float:
+        return 0.0
+
+
+class TestLossyChannelEdgeCases:
+    def test_empty_payloads_deliver_nothing(self):
+        channel = LossyChannel(loss=0.5, duplicate=0.5, seed=1)
+        assert channel.run([]) == []
+
+    def test_invalid_duplicate_probability_rejected(self):
+        with pytest.raises(ValueError):
+            LossyChannel(duplicate=1.0)
+
+    def test_injected_rng_is_shared_across_channels(self):
+        # One seeded stream driving several channels is the harness shape:
+        # both channels must consume (and advance) the same generator.
+        rng = _CountingRandom(42)
+        first = LossyChannel(loss=0.3, duplicate=0.2, rng=rng)
+        second = LossyChannel(loss=0.3, duplicate=0.2, rng=rng)
+        assert first.rng is second.rng is rng
+        assert first.run(list(range(20))) == list(range(20))
+        after_first = rng.draws
+        assert after_first > 0
+        assert second.run(list(range(20))) == list(range(20))
+        assert rng.draws > after_first
+
+    def test_seed_and_equivalent_rng_behave_identically(self):
+        # seed=N is sugar for rng=random.Random(N): the two channels must
+        # make exactly the same loss/duplication decisions.
+        seeded = LossyChannel(loss=0.4, duplicate=0.3, seed=9)
+        injected = _CountingRandom(9)
+        explicit = LossyChannel(loss=0.4, duplicate=0.3, rng=injected)
+        payloads = list(range(30))
+        assert seeded.run(payloads) == explicit.run(payloads)
+        assert seeded.rng.random() == injected.random()
+
+    def test_total_loss_raises_instead_of_spinning(self):
+        channel = LossyChannel(loss=0.5, duplicate=0.0, rng=_AlwaysLose())
+        with pytest.raises(RuntimeError, match="did not converge"):
+            channel.run([1], max_steps=50)
+
+    def test_duplicate_storm_still_exactly_once(self):
+        channel = LossyChannel(loss=0.0, duplicate=0.9, seed=5)
+        payloads = list(range(10))
+        assert channel.run(payloads) == payloads
+
+
+class TestEndpointInterleavings:
+    def test_duplicate_data_frame_yields_stale_ack_that_cannot_skip(self):
+        # A duplicated data frame produces a second ack for the same bit;
+        # once the sender has moved on, that ack must not release frame 2's
+        # slot early (which would let a lost frame 2 go unretransmitted).
+        sender = StopAndWaitSender()
+        receiver = StopAndWaitReceiver()
+        first = sender.offer("a")
+        assert sender.offer("b") is None
+        ack = receiver.on_frame(first)
+        duplicate_ack = receiver.on_frame(first)
+        second = sender.on_ack(ack)
+        assert second is not None and second.payload == "b" and second.bit == 1
+        assert sender.on_ack(duplicate_ack) is None
+        assert sender.in_flight is second
+        assert sender.on_ack(receiver.on_frame(second)) is None
+        assert sender.idle
+        assert receiver.delivered == ["a", "b"]
+
+    def test_retransmission_after_ack_loss_is_idempotent(self):
+        # The ack was lost: the sender times out and retransmits; the
+        # receiver re-acks without re-delivering, and the late ack drains
+        # the retransmission.
+        sender = StopAndWaitSender()
+        receiver = StopAndWaitReceiver()
+        frame = sender.offer("a")
+        receiver.on_frame(frame)  # first ack lost in transit
+        retransmit = sender.on_timeout()
+        assert retransmit is frame
+        ack = receiver.on_frame(retransmit)
+        assert receiver.delivered == ["a"]
+        assert sender.on_ack(ack) is None
+        assert sender.idle
+
+    def test_queue_drains_fifo_one_frame_at_a_time(self):
+        sender = StopAndWaitSender()
+        receiver = StopAndWaitReceiver()
+        frame = sender.offer("a")
+        for payload in "bcd":
+            assert sender.offer(payload) is None
+        order = []
+        while frame is not None:
+            assert sender.in_flight is frame
+            order.append(frame.payload)
+            frame = sender.on_ack(receiver.on_frame(frame))
+        assert order == ["a", "b", "c", "d"]
+        assert receiver.delivered == order
+        assert sender.idle and sender.in_flight is None
