@@ -53,6 +53,9 @@ class BaselineMember(SimProcess):
     def current_members(self) -> tuple[ProcessId, ...]:
         return tuple(self.view)
 
+    def is_current_member(self, target: ProcessId) -> bool:
+        return target in self.view
+
     def believes_faulty(self, target: ProcessId) -> bool:
         return target in self.ever_faulty
 

@@ -227,6 +227,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.runner.bench import (
         check_obs_overhead,
         check_scale_regression,
+        check_shard_section,
         run_bench,
         summarize,
     )
@@ -240,6 +241,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         scale=args.scale,
         cache=cache,
         metrics_out=args.metrics_out,
+        profile=args.profile,
     )
     payload = json.loads(out.read_text())
     print(summarize(payload))
@@ -253,6 +255,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         else:
             print(f"no scale regression vs {args.baseline}")
     failures += [f"OBS-OVERHEAD {m}" for m in check_obs_overhead(payload)]
+    failures += [f"SHARD {m}" for m in check_shard_section(payload)]
     failures += [
         f"STALE-CACHE {m}" for m in payload.get("cache", {}).get("stale", [])
     ]
@@ -437,7 +440,14 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument(
         "--scale",
         action="store_true",
-        help="add the join-churn-exclude n-sweep (10..1000; --quick caps at 100)",
+        help="add the join-churn-exclude n-sweep (10..10000) plus the "
+        "sharded-simulator speedup cells",
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile the n=1000 churn hot path; write bench_profile.pstats "
+        "(+ .txt rendering) next to BENCH_results.json",
     )
     bench.add_argument(
         "--baseline",

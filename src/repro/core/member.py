@@ -49,7 +49,7 @@ from repro.core.messages import (
     UpdateOk,
 )
 from repro.core.rounds import ReconfigPhase, ReconfigRound, UpdateRound
-from repro.core.state import LocalState
+from repro.core.state import LocalState, ViewImage
 
 __all__ = ["GMPMember", "AppLayer"]
 
@@ -62,7 +62,7 @@ class GMPMember(SimProcess):
         pid: ProcessId,
         network: Network,
         detector: FailureDetector,
-        initial_view: Optional[list[ProcessId]] = None,
+        initial_view: Optional[list[ProcessId] | tuple[ProcessId, ...] | ViewImage] = None,
         contacts: Optional[list[ProcessId]] = None,
         majority_updates: bool = True,
         join_retry: float = 25.0,
@@ -101,7 +101,10 @@ class GMPMember(SimProcess):
         if initial_view is not None:
             if pid not in initial_view:
                 raise ValueError(f"{pid} missing from its own initial view")
-            self.state = LocalState(me=pid, view=list(initial_view))
+            # Pass the view straight through: when the cluster hands every
+            # member the same ViewImage, state construction is O(1) and the
+            # whole group shares one snapshot per installed version.
+            self.state = LocalState(me=pid, view=initial_view)
         #: S1 isolation decisions made before joining (normally empty).
         self._pre_join_faulty: set[ProcessId] = set()
         self.buffer = FutureViewBuffer()
@@ -130,6 +133,9 @@ class GMPMember(SimProcess):
         if self.state is None:
             return ()
         return self.state.snapshot_view()
+
+    def is_current_member(self, target: ProcessId) -> bool:
+        return self.state is not None and self.state.is_member(target)
 
     def believes_faulty(self, target: ProcessId) -> bool:
         if self.state is None:
@@ -388,7 +394,7 @@ class GMPMember(SimProcess):
             return  # duplicate; already joined
         self.state = LocalState(
             me=self.pid,
-            view=list(msg.view),
+            view=msg.view,
             version=msg.version,
             seq=list(msg.seq),
             mgr=msg.mgr,
@@ -458,7 +464,7 @@ class GMPMember(SimProcess):
         self.broadcast(self._ordered(state.view), Invite(op, version))
         pending = self._awaitees(op)
         self.update_round = UpdateRound(op=op, version=version, pending=pending)
-        for target in sorted(pending):
+        for target in self.update_round.ordered_pending():
             self.detector.watch(target, "update-ok")
         self._check_update_round()
 
@@ -527,7 +533,7 @@ class GMPMember(SimProcess):
         self._span_begin("view.install", key=(self.pid, version), version=version)
         self.broadcast(self._ordered(state.view), Invite(op, version))
         self.update_round = UpdateRound(op=op, version=version, pending=self._awaitees(op))
-        for target in self.update_round.pending:
+        for target in self.update_round.ordered_pending():
             self.detector.watch(target, "update-ok")
 
     def _commit_update(self, round_: UpdateRound) -> None:
@@ -597,7 +603,7 @@ class GMPMember(SimProcess):
                 pending=pending,
                 compressed=True,
             )
-            for target in sorted(pending):
+            for target in self.update_round.ordered_pending():
                 self.detector.watch(target, "compressed-ok")
 
     def _apply_committed_op(self, op: Op, version: int) -> None:
@@ -714,17 +720,17 @@ class GMPMember(SimProcess):
         )
         round_.responses[self.pid] = own
         self.reconfig = round_
-        for target in sorted(pending):
+        for target in round_.ordered_pending():
             self.detector.watch(target, "interrogate-ok")
         self._check_reconfig()
 
     def _on_interrogate(self, sender: ProcessId, msg: Interrogate) -> None:
         state = self.state
         assert state is not None
-        if sender not in state.view:
+        if not state.is_member(sender):
             return  # stale interrogation from an already-removed process
-        my_index = state.view.index(self.pid)
-        sender_index = state.view.index(sender)
+        my_index = state.position(self.pid)
+        sender_index = state.position(sender)
         if my_index < sender_index:
             # I outrank the initiator, so I am in its HiFaulty: quit (Fig 10).
             self.quit_protocol(f"outranked by reconfigurer {sender}")
@@ -852,11 +858,13 @@ class GMPMember(SimProcess):
                 self._commit_reconfiguration(round_)
                 return
             round_.phase = ReconfigPhase.PROPOSE
-            round_.pending = {
-                member
-                for member in state.view
-                if member != self.pid and member not in state.ever_faulty
-            }
+            round_.set_pending(
+                {
+                    member
+                    for member in state.view
+                    if member != self.pid and member not in state.ever_faulty
+                }
+            )
             self._span_begin("reconfig.phase2", version=result.version)
             self.broadcast(
                 self._ordered(state.view),
@@ -867,7 +875,7 @@ class GMPMember(SimProcess):
                     faulty=state.faulty_members(),
                 ),
             )
-            for target in round_.pending:
+            for target in round_.ordered_pending():
                 self.detector.watch(target, "propose-ok")
             self._check_reconfig()
             return
@@ -934,7 +942,7 @@ class GMPMember(SimProcess):
         for op in round_.proposal_ops:
             # A replayed 'add' may concern a joiner whose StateTransfer died
             # with the old coordinator; re-send state so it can participate.
-            if op.is_add and op.target in state.view and not self.crashed:
+            if op.is_add and state.is_member(op.target) and not self.crashed:
                 self.send(
                     op.target,
                     StateTransfer(
@@ -969,7 +977,7 @@ class GMPMember(SimProcess):
                 pending=pending,
                 compressed=True,
             )
-            for target in sorted(pending):
+            for target in self.update_round.ordered_pending():
                 self.detector.watch(target, "compressed-ok")
             self._check_update_round()
         else:

@@ -39,14 +39,29 @@ class UpdateRound:
     pending: set[ProcessId]
     oks: set[ProcessId] = field(default_factory=set)
     compressed: bool = False
+    #: cached ``sorted(pending)`` — the deterministic iteration order used
+    #: by the phase loops; invalidated by the mutating methods below.
+    _ordered: Optional[tuple[ProcessId, ...]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def ordered_pending(self) -> tuple[ProcessId, ...]:
+        """``pending`` in sorted order, computed once per mutation."""
+        cached = self._ordered
+        if cached is None:
+            cached = self._ordered = tuple(sorted(self.pending))
+        return cached
 
     def record_ok(self, sender: ProcessId) -> None:
         if sender in self.pending:
             self.pending.discard(sender)
             self.oks.add(sender)
+            self._ordered = None
 
     def record_faulty(self, target: ProcessId) -> None:
-        self.pending.discard(target)
+        if target in self.pending:
+            self.pending.discard(target)
+            self._ordered = None
 
     @property
     def resolved(self) -> bool:
@@ -87,19 +102,39 @@ class ReconfigRound:
     proposal_ops: tuple[Op, ...] = ()
     proposal_version: int = 0
     invis: Optional[Op] = None
+    #: cached ``sorted(pending)``; see :meth:`ordered_pending`.
+    _ordered: Optional[tuple[ProcessId, ...]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def ordered_pending(self) -> tuple[ProcessId, ...]:
+        """``pending`` in sorted order, computed once per mutation."""
+        cached = self._ordered
+        if cached is None:
+            cached = self._ordered = tuple(sorted(self.pending))
+        return cached
+
+    def set_pending(self, pending: set[ProcessId]) -> None:
+        """Replace the awaited set (phase transition) and drop the cache."""
+        self.pending = pending
+        self._ordered = None
 
     def record_response(self, response: PhaseOneResponse) -> None:
         if response.proc in self.pending:
             self.pending.discard(response.proc)
             self.responses[response.proc] = response
+            self._ordered = None
 
     def record_propose_ok(self, sender: ProcessId) -> None:
         if sender in self.pending:
             self.pending.discard(sender)
             self.propose_oks.add(sender)
+            self._ordered = None
 
     def record_faulty(self, target: ProcessId) -> None:
-        self.pending.discard(target)
+        if target in self.pending:
+            self.pending.discard(target)
+            self._ordered = None
 
     @property
     def resolved(self) -> bool:

@@ -31,6 +31,7 @@ from repro.sim.network import DelayModel, Network, UniformDelay
 from repro.sim.scheduler import Scheduler
 from repro.sim.trace import RunTrace, TraceLevel
 from repro.core.member import GMPMember
+from repro.core.state import ViewImage
 
 __all__ = ["MembershipCluster", "GroupMembershipService", "DetectorKind"]
 
@@ -86,8 +87,13 @@ class MembershipCluster:
         self.member_kwargs = dict(member_kwargs or {})
         self.members: dict[ProcessId, GMPMember] = {}
         self.detectors: dict[ProcessId, FailureDetector] = {}
+        # One shared view snapshot for the whole group: member construction
+        # is O(1) each instead of every process copying the n-member view,
+        # and committed view changes advance the shared image in O(1)
+        # amortized (see ViewImage.child).
+        shared_view = ViewImage(self.initial_view)
         for member in self.initial_view:
-            self._build_member(member, initial_view=list(self.initial_view))
+            self._build_member(member, initial_view=shared_view)
         self._started = False
 
     # ------------------------------------------------------------- builders
@@ -115,7 +121,7 @@ class MembershipCluster:
     def _build_member(
         self,
         member: ProcessId,
-        initial_view: Optional[list[ProcessId]] = None,
+        initial_view: Optional[list[ProcessId] | ViewImage] = None,
         contacts: Optional[list[ProcessId]] = None,
     ) -> GMPMember:
         detector = self._make_detector()

@@ -19,70 +19,246 @@ paper              here
 ``Mgr``            :attr:`LocalState.mgr`
 ``rank(p)``        :meth:`LocalState.rank` (positional seniority)
 =================  ========================================================
+
+Performance model
+-----------------
+
+Views change one operation at a time (Lemma 5.1), and — because agreement
+succeeds in the common case — most members of a group traverse the *same*
+sequence of concrete views.  :class:`ViewImage` exploits that: it is an
+immutable snapshot of one concrete view (member tuple + position index),
+and applying a committed op goes through :meth:`ViewImage.child`, which
+memoizes the successor image per ``(op.kind, op.target)``.  The first
+member to install version ``v+1`` pays the O(n) tuple rebuild once; every
+other member applying the same delta gets the shared successor in O(1).
+Per-member state keeps only the tiny mutable part (faulty/recovered sets,
+plans, seq) — so per-event cost no longer scales with group size.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Iterator, Optional, Sequence, Union
 
 from repro.errors import NotInViewError
-from repro.ids import ProcessId, majority_size, rank_of
+from repro.ids import ProcessId, majority_size
 from repro.core.messages import Op, Plan
 
-__all__ = ["LocalState"]
+__all__ = ["LocalState", "ViewImage"]
 
 
-@dataclass
+class ViewImage:
+    """Immutable snapshot of one concrete view (seniority order).
+
+    Shared between members: the cluster builds one image for the initial
+    view and every member's :class:`LocalState` holds a reference; committed
+    operations advance the reference via :meth:`child`, whose per-image memo
+    makes delta application O(1) amortized across the group.
+
+    The memo is keyed by ``(op.kind, op.target)`` — exactly the delta the
+    protocol commits for one version step — so two members applying the
+    same committed op from the same predecessor view always converge on
+    the *same* successor object (pointer-equal, not merely value-equal).
+    """
+
+    __slots__ = ("members", "index", "_children")
+
+    def __init__(self, members: Iterable[ProcessId]) -> None:
+        as_tuple = tuple(members)
+        index: dict[ProcessId, int] = {}
+        for position, member in enumerate(as_tuple):
+            if member in index:
+                raise ValueError(f"view contains duplicate member {member}")
+            index[member] = position
+        self.members: tuple[ProcessId, ...] = as_tuple
+        #: position of each member — O(1) membership *and* rank queries.
+        self.index: dict[ProcessId, int] = index
+        #: successor memo; never pickled (see :meth:`__reduce__`) because a
+        #: restored snapshot can rebuild children on demand.
+        self._children: dict[tuple[str, ProcessId], "ViewImage"] = {}
+
+    # ------------------------------------------------------------ queries
+
+    def __contains__(self, member: object) -> bool:
+        return member in self.index
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self) -> Iterator[ProcessId]:
+        return iter(self.members)
+
+    def __getitem__(self, position: int) -> ProcessId:
+        return self.members[position]
+
+    def position(self, member: ProcessId) -> int:
+        """Index of ``member`` in the view; raises ``ValueError`` if absent."""
+        try:
+            return self.index[member]
+        except KeyError:
+            raise ValueError(
+                f"{member} is not a member of view {list(self.members)}"
+            ) from None
+
+    # ------------------------------------------------------------- deltas
+
+    def child(self, op: Op) -> "ViewImage":
+        """The successor view after one committed operation.
+
+        Memoized: all members applying the same op from this image share
+        one successor object (and, transitively, its own memo).
+        """
+        key = (op.kind, op.target)
+        cached = self._children.get(key)
+        if cached is not None:
+            return cached
+        if op.is_remove:
+            gone = self.index[op.target]
+            successor = ViewImage(self.members[:gone] + self.members[gone + 1 :])
+        else:
+            successor = ViewImage(self.members + (op.target,))
+        self._children[key] = successor
+        return successor
+
+    # ------------------------------------------------------------- pickle
+
+    def __reduce__(self) -> tuple:
+        # Rebuild from the member tuple alone: the successor memo is a pure
+        # cache and must not leak unbounded object graphs into snapshots
+        # (the explorer pickles cluster state per branch).  Pickle's object
+        # memo still preserves *sharing*: members referencing one image
+        # before a dump share one image after the load.
+        return (ViewImage, (self.members,))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ViewImage({list(self.members)!r})"
+
+
+def _as_image(view: Union["ViewImage", Sequence[ProcessId]]) -> ViewImage:
+    return view if isinstance(view, ViewImage) else ViewImage(view)
+
+
 class LocalState:
-    """The protocol state of one group member."""
+    """The protocol state of one group member.
 
-    me: ProcessId
-    view: list[ProcessId]
-    version: int = 0
-    seq: list[Op] = field(default_factory=list)
-    plans: list[Plan] = field(default_factory=list)
-    #: believed faulty and still present in ``view`` (the paper's Faulty(p)).
-    faulty: set[ProcessId] = field(default_factory=set)
-    #: every process ever believed faulty — drives S1 isolation forever.
-    ever_faulty: set[ProcessId] = field(default_factory=set)
-    #: join queue (order matters: FIFO admission).
-    recovered: list[ProcessId] = field(default_factory=list)
-    mgr: ProcessId = field(default=None)  # type: ignore[assignment]
+    Not a dataclass: ``view`` is a property over the shared
+    :class:`ViewImage` so that membership, rank and successor computation
+    are O(1) on the per-event hot path.  The constructor keeps the old
+    field order/keywords, and accepts a list, tuple or ``ViewImage`` for
+    ``view`` — pass the same image to many members to share it.
+    """
 
-    def __post_init__(self) -> None:
-        if self.mgr is None:
-            if not self.view:
+    __slots__ = (
+        "me",
+        "version",
+        "seq",
+        "plans",
+        "faulty",
+        "ever_faulty",
+        "recovered",
+        "mgr",
+        "_image",
+        "_faulty_tuple",
+    )
+
+    #: When enabled (tests only), every mutation re-derives the cached
+    #: tuples from full scans — the seed implementation's semantics — and
+    #: asserts they match the incremental bookkeeping.
+    shadow_validate = False
+
+    def __init__(
+        self,
+        me: ProcessId,
+        view: Union[ViewImage, Sequence[ProcessId]],
+        version: int = 0,
+        seq: Optional[list[Op]] = None,
+        plans: Optional[list[Plan]] = None,
+        faulty: Optional[set[ProcessId]] = None,
+        ever_faulty: Optional[set[ProcessId]] = None,
+        recovered: Optional[list[ProcessId]] = None,
+        mgr: Optional[ProcessId] = None,
+    ) -> None:
+        image = _as_image(view)
+        if mgr is None:
+            if not image.members:
                 raise ValueError("a member must start with a non-empty view")
-            self.mgr = self.view[0]
-        # Parallel set over ``view`` for O(1) membership tests — the single
-        # hottest query at large group sizes.  ``view`` is mutated only by
-        # :meth:`apply`, which keeps the set (and the snapshot cache) in
-        # step.  Not a dataclass field: equality/repr stay view-based.
-        self._view_set: set[ProcessId] = set(self.view)
-        self._view_tuple: Optional[tuple[ProcessId, ...]] = None
+            mgr = image.members[0]
+        self.me = me
+        self.version = version
+        self.seq: list[Op] = seq if seq is not None else []
+        self.plans: list[Plan] = plans if plans is not None else []
+        #: believed faulty and still present in ``view`` (the paper's Faulty(p)).
+        self.faulty: set[ProcessId] = faulty if faulty is not None else set()
+        #: every process ever believed faulty — drives S1 isolation forever.
+        self.ever_faulty: set[ProcessId] = (
+            ever_faulty if ever_faulty is not None else set()
+        )
+        #: join queue (order matters: FIFO admission).
+        self.recovered: list[ProcessId] = recovered if recovered is not None else []
+        self.mgr: ProcessId = mgr
+        self._image = image
         self._faulty_tuple: Optional[tuple[ProcessId, ...]] = None
+
+    # ----------------------------------------------------------- identity
+
+    @property
+    def view(self) -> tuple[ProcessId, ...]:
+        """``Memb(me)`` as an immutable seniority-ordered tuple."""
+        return self._image.members
+
+    @property
+    def image(self) -> ViewImage:
+        """The shared view snapshot (read-only; advanced by :meth:`apply`)."""
+        return self._image
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LocalState(me={self.me!r}, view={list(self.view)!r}, "
+            f"version={self.version}, mgr={self.mgr!r}, "
+            f"faulty={self.faulty!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LocalState):
+            return NotImplemented
+        return (
+            self.me == other.me
+            and self.view == other.view
+            and self.version == other.version
+            and self.seq == other.seq
+            and self.plans == other.plans
+            and self.faulty == other.faulty
+            and self.ever_faulty == other.ever_faulty
+            and self.recovered == other.recovered
+            and self.mgr == other.mgr
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # mutable, like the old dataclass
 
     # ----------------------------------------------------------- membership
 
     def is_member(self, proc: ProcessId) -> bool:
-        return proc in self._view_set
+        return proc in self._image.index
+
+    def position(self, proc: ProcessId) -> int:
+        """Index of ``proc`` within the view (0 = most senior)."""
+        return self._image.position(proc)
 
     def rank(self, proc: ProcessId) -> int:
         """Seniority rank within the current view (Mgr highest)."""
-        return rank_of(proc, self.view)
+        image = self._image
+        return len(image.members) - image.position(proc)
 
     def my_rank(self) -> int:
         return self.rank(self.me)
 
     def seniors(self) -> tuple[ProcessId, ...]:
         """Members strictly senior to me, most senior first."""
-        index = self.view.index(self.me)
-        return tuple(self.view[:index])
+        image = self._image
+        return image.members[: image.position(self.me)]
 
     def majority(self) -> int:
         """``mu`` for the current view size."""
-        return majority_size(len(self.view))
+        return majority_size(len(self._image.members))
 
     # --------------------------------------------------------------- faults
 
@@ -91,25 +267,33 @@ class LocalState:
         if target == self.me or target in self.ever_faulty:
             return False
         self.ever_faulty.add(target)
-        if target in self._view_set:
+        if target in self._image.index:
             self.faulty.add(target)
             self._faulty_tuple = None
         if target in self.recovered:
             self.recovered.remove(target)
+        if LocalState.shadow_validate:
+            self._shadow_check()
         return True
 
     def note_operating(self, target: ProcessId) -> bool:
         """Record that ``target`` is a (new) operational joiner."""
         if target == self.me or target in self.ever_faulty:
             return False
-        if target in self._view_set or target in self.recovered:
+        if target in self._image.index or target in self.recovered:
             return False
         self.recovered.append(target)
+        if LocalState.shadow_validate:
+            self._shadow_check()
         return True
 
     def hi_faulty(self) -> tuple[ProcessId, ...]:
         """``HiFaulty(me)``: higher-ranked members believed faulty."""
-        return tuple(p for p in self.seniors() if p in self.faulty)
+        if not self.faulty:
+            return ()
+        mine = self._image.position(self.me)
+        index = self._image.index
+        return tuple(p for p in self.faulty_members() if index[p] < mine)
 
     def should_initiate_reconfiguration(self) -> bool:
         """The initiation rule of Section 4.2.
@@ -119,33 +303,35 @@ class LocalState:
         coordinator never reconfigures against itself) and I am not already
         the coordinator.
         """
-        if self.me == self.mgr or self.me not in self._view_set:
+        index = self._image.index
+        if self.me == self.mgr or self.me not in index:
             return False
-        # Walk the view prefix directly instead of materializing seniors():
-        # this runs once per delivered message, so no tuple per call.
+        mine = index[self.me]
+        # With fewer faulty beliefs than seniors, some senior is trusted;
+        # this keeps the common case O(1) per delivered message.
+        if mine == 0 or len(self.faulty) < mine:
+            return False
         faulty = self.faulty
-        have_seniors = False
-        for p in self.view:
-            if p == self.me:
-                break
-            have_seniors = True
+        for p in self._image.members[:mine]:
             if p not in faulty:
                 return False
-        return have_seniors
+        return True
 
     def faulty_members(self) -> tuple[ProcessId, ...]:
         """Members of the current view believed faulty, in view order.
 
         Queried once per delivered message by outer members, so the tuple
         is cached; :meth:`note_faulty` and :meth:`apply` (the only writers
-        of ``faulty``/``view``) invalidate it.
+        of ``faulty``/``view``) invalidate it.  The rebuild sorts the
+        (small) faulty set by view position — O(f log f), not O(n).
         """
         cached = self._faulty_tuple
         if cached is None:
-            faulty = self.faulty
-            cached = (
-                tuple(p for p in self.view if p in faulty) if faulty else ()
-            )
+            if self.faulty:
+                index = self._image.index
+                cached = tuple(sorted(self.faulty, key=index.__getitem__))
+            else:
+                cached = ()
             self._faulty_tuple = cached
         return cached
 
@@ -153,8 +339,8 @@ class LocalState:
 
     def can_apply(self, op: Op) -> bool:
         if op.is_remove:
-            return op.target in self._view_set
-        return op.target not in self._view_set
+            return op.target in self._image.index
+        return op.target not in self._image.index
 
     def apply(self, op: Op, new_version: int) -> None:
         """Apply one committed operation, advancing to ``new_version``."""
@@ -163,25 +349,24 @@ class LocalState:
                 f"{self.me}: cannot install version {new_version} from "
                 f"{self.version} (views change one at a time)"
             )
+        image = self._image
         if op.is_remove:
-            if op.target not in self._view_set:
+            if op.target not in image.index:
                 raise NotInViewError(
                     f"{self.me}: committed removal of non-member {op.target}"
                 )
-            self.view.remove(op.target)
-            self._view_set.discard(op.target)
             self.faulty.discard(op.target)
         else:
-            if op.target in self._view_set:
+            if op.target in image.index:
                 raise NotInViewError(
                     f"{self.me}: committed addition of existing member {op.target}"
                 )
-            self.view.append(op.target)
-            self._view_set.add(op.target)
-        self._view_tuple = None
+        self._image = image.child(op)
         self._faulty_tuple = None
         self.version = new_version
         self.seq.append(op)
+        if LocalState.shadow_validate:
+            self._shadow_check()
 
     def next_operation(self, skip: Optional[ProcessId] = None) -> Optional[Op]:
         """The paper's ``GetNext``: the next pending view change, if any.
@@ -190,11 +375,12 @@ class LocalState:
         ``skip`` excludes one process (used when that process is already the
         subject of the operation being committed right now).
         """
+        index = self._image.index
         for joiner in self.recovered:
-            if joiner != skip and joiner not in self._view_set:
+            if joiner != skip and joiner not in index:
                 return Op("add", joiner)
-        for member in self.view:
-            if member != skip and member in self.faulty:
+        for member in self.faulty_members():
+            if member != skip:
                 return Op("remove", member)
         return None
 
@@ -229,7 +415,33 @@ class LocalState:
         return tuple(self.seq)
 
     def snapshot_view(self) -> tuple[ProcessId, ...]:
-        snapshot = self._view_tuple
-        if snapshot is None:
-            snapshot = self._view_tuple = tuple(self.view)
-        return snapshot
+        return self._image.members
+
+    # ------------------------------------------------------------- shadow
+
+    def _shadow_check(self) -> None:
+        """Re-derive every cached structure with the seed implementation's
+        full scans and assert the incremental bookkeeping agrees.
+
+        Enabled only by the equivalence tests (:attr:`shadow_validate`);
+        costs O(n) per mutation, exactly what the incremental paths avoid.
+        """
+        members = self._image.members
+        assert len(set(members)) == len(members), "duplicate members in view"
+        assert self._image.index == {
+            p: i for i, p in enumerate(members)
+        }, "position index out of step with member tuple"
+        assert self.faulty <= set(members), "faulty escaped the view"
+        assert self.faulty <= self.ever_faulty, "faulty not in ever_faulty"
+        full_scan = tuple(p for p in members if p in self.faulty)
+        if self._faulty_tuple is not None:
+            assert self._faulty_tuple == full_scan, (
+                "cached faulty ordering diverged from full view scan: "
+                f"{self._faulty_tuple} != {full_scan}"
+            )
+        # ``recovered`` may overlap the view: apply(add) leaves the joiner
+        # in place and next_operation() filters lazily, so only uniqueness
+        # is an invariant here.
+        assert len(set(self.recovered)) == len(self.recovered), (
+            "duplicate joiners in recovered"
+        )

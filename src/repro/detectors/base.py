@@ -33,6 +33,15 @@ class Suspectable(Protocol):
         """The owner's current local view ``Memb(p)``."""
         ...  # pragma: no cover
 
+    def is_current_member(self, target: ProcessId) -> bool:
+        """Membership test against the current local view.
+
+        Semantically ``target in current_members()``, but owners back it
+        with an O(1) index so per-crash detector checks do not scan the
+        view (the dominant cost at large group sizes).
+        """
+        ...  # pragma: no cover
+
     def believes_faulty(self, target: ProcessId) -> bool:
         """Whether the owner already believes ``target`` faulty."""
         ...  # pragma: no cover

@@ -75,6 +75,6 @@ class OracleDetector(FailureDetector):
         own_process = self.network.get_process(owner.pid)
         if own_process is None or own_process.crashed:
             return
-        relevant = victim in owner.current_members() or victim in self._watched
+        relevant = victim in self._watched or owner.is_current_member(victim)
         if relevant:
             self._suspect(victim)

@@ -18,7 +18,6 @@ prescribes, because rank is derived from position rather than stored.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 __all__ = [
@@ -33,30 +32,71 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True, slots=True, order=True)
 class ProcessId:
     """Identity of one process instance.
 
     Ordering is lexicographic on ``(name, incarnation)``; it is used only for
     deterministic tie-breaking in tests and workload generators, never for
     protocol rank (which is positional seniority).
+
+    Hand-written (not a dataclass): identity comparison and hashing are the
+    single hottest operations in large-group simulations (view membership,
+    round bookkeeping, channel clocks), so the hash is computed once at
+    construction and cached in a slot, and the comparison methods avoid
+    building a tuple per call.  Instances stay immutable: attribute
+    assignment raises, like the frozen dataclass this replaces.
     """
 
-    name: str
-    incarnation: int = 0
+    __slots__ = ("name", "incarnation", "_hash")
 
-    # Hand-written equality/hash: identity comparison is the single hottest
-    # operation in large-group simulations (view membership, round
-    # bookkeeping), and the dataclass-generated methods build a tuple per
-    # call.  Semantics are identical to the generated ones; ``order=True``
-    # still generates the comparison methods.
+    def __init__(self, name: str, incarnation: int = 0) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "incarnation", incarnation)
+        object.__setattr__(self, "_hash", hash((name, incarnation)))
+
+    def __setattr__(self, attr: str, value: object) -> None:
+        raise AttributeError(f"ProcessId is immutable; cannot set {attr!r}")
+
+    def __delattr__(self, attr: str) -> None:
+        raise AttributeError(f"ProcessId is immutable; cannot delete {attr!r}")
+
     def __eq__(self, other: object) -> bool:
         if other.__class__ is ProcessId:
             return self.name == other.name and self.incarnation == other.incarnation
         return NotImplemented
 
+    def __ne__(self, other: object) -> bool:
+        if other.__class__ is ProcessId:
+            return self.name != other.name or self.incarnation != other.incarnation
+        return NotImplemented
+
+    def __lt__(self, other: "ProcessId") -> bool:
+        if other.__class__ is not ProcessId:
+            return NotImplemented
+        return (self.name, self.incarnation) < (other.name, other.incarnation)
+
+    def __le__(self, other: "ProcessId") -> bool:
+        if other.__class__ is not ProcessId:
+            return NotImplemented
+        return (self.name, self.incarnation) <= (other.name, other.incarnation)
+
+    def __gt__(self, other: "ProcessId") -> bool:
+        if other.__class__ is not ProcessId:
+            return NotImplemented
+        return (self.name, self.incarnation) > (other.name, other.incarnation)
+
+    def __ge__(self, other: "ProcessId") -> bool:
+        if other.__class__ is not ProcessId:
+            return NotImplemented
+        return (self.name, self.incarnation) >= (other.name, other.incarnation)
+
     def __hash__(self) -> int:
-        return hash((self.name, self.incarnation))
+        return self._hash
+
+    def __reduce__(self) -> tuple:
+        # Rebuild through __init__ so the cached hash is recomputed in the
+        # unpickling interpreter (hash randomisation differs per process).
+        return (ProcessId, (self.name, self.incarnation))
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         if self.incarnation == 0:

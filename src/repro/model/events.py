@@ -49,6 +49,16 @@ class EventKind(enum.Enum):
     INTERNAL = "internal"
 
 
+# Dense per-kind ordinal, assigned once at import: lets per-event counters
+# index a preallocated array instead of hashing enum members (Enum.__hash__
+# is a Python-level call and shows up on the trace hot path).
+for _ordinal, _kind in enumerate(EventKind):
+    _kind._ordinal = _ordinal  # type: ignore[attr-defined]
+del _ordinal, _kind
+
+N_EVENT_KINDS = len(EventKind)
+
+
 _message_counter = itertools.count(1)
 
 

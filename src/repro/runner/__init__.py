@@ -19,6 +19,11 @@ processes without that weight.
 
 from repro.runner.cache import ScenarioCache, default_cache_dir, source_fingerprint
 from repro.runner.pool import ScenarioJob, default_workers, parallel_map, run_jobs
+from repro.runner.shard import (
+    ShardedRun,
+    shard_churn_run,
+    shard_speedup_report,
+)
 
 __all__ = [
     "ScenarioJob",
@@ -28,4 +33,7 @@ __all__ = [
     "ScenarioCache",
     "source_fingerprint",
     "default_cache_dir",
+    "ShardedRun",
+    "shard_churn_run",
+    "shard_speedup_report",
 ]

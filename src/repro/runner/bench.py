@@ -42,17 +42,29 @@ __all__ = [
     "run_bench",
     "check_scale_regression",
     "check_obs_overhead",
+    "check_shard_section",
     "BENCH_FILENAME",
+    "PROFILE_FILENAME",
 ]
 
 BENCH_FILENAME = "BENCH_results.json"
+PROFILE_FILENAME = "bench_profile.pstats"
 
 _QUICK_SIZES = [4, 6]
 _FULL_SIZES = [4, 6, 8, 12, 16]
 
-#: the ``--scale`` n-sweep (``--quick`` keeps only the CI-sized prefix).
-_SCALE_SIZES = [10, 50, 100, 250, 500, 1000]
-_SCALE_QUICK_SIZES = [10, 50, 100]
+#: the ``--scale`` n-sweep.  ``--quick`` keeps the CI-sized subset — which
+#: deliberately includes the n=10,000 cell: the flat-cost work is gated on
+#: that cell staying fast, so CI must actually run it.
+_SCALE_SIZES = [10, 50, 100, 250, 500, 1000, 10000]
+_SCALE_QUICK_SIZES = [10, 50, 100, 1000, 10000]
+
+#: the sharded-simulator sweep (``shards`` section): independent churn
+#: groups spread over 1/2/4 worker shards, merged traces digest-checked.
+_SHARD_COUNTS = (1, 2, 4)
+_SHARD_GROUPS = 8
+_SHARD_GROUP_SIZE = 50
+_SHARD_QUICK_GROUP_SIZE = 25
 
 #: the Figure 4 family: coordinator and an outer member suspect each other.
 _FIGURE4_PARAMS: dict[str, Any] = {
@@ -189,6 +201,104 @@ def _bench_scale(sizes: list[int]) -> dict[str, Any]:
         "trace_level": "counts",
         "cells": [_churn_cell(n) for n in sizes],
     }
+
+
+def _profile_churn(out_dir: str | Path, n: int = 1000) -> dict[str, Any]:
+    """Profile one churn cell and emit cProfile/pstats artifacts.
+
+    Writes ``bench_profile.pstats`` (binary, loadable with
+    :mod:`pstats`/snakeviz) and ``bench_profile.txt`` (top functions by
+    internal time) into ``out_dir`` and returns a JSON-able summary whose
+    ``top`` list names the hot path — the evidence behind the per-event
+    cost model in docs/PERFORMANCE.md.
+    """
+    import cProfile
+    import pstats
+
+    from repro.workloads.failures import churn_run
+
+    profiler = cProfile.Profile()
+    start = time.perf_counter()  # lint: allow[DET101]
+    profiler.enable()
+    cluster = churn_run(n, seed=0, trace_level="counts")
+    profiler.disable()
+    wall = time.perf_counter() - start  # lint: allow[DET101]
+    events = cluster.scheduler.events_run
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    pstats_path = out / PROFILE_FILENAME
+    text_path = pstats_path.with_suffix(".txt")
+    profiler.dump_stats(pstats_path)
+
+    stats = pstats.Stats(str(pstats_path))
+    stats.sort_stats("tottime")
+    rows: list[dict[str, Any]] = []
+    for func, (cc, ncalls, tottime, cumtime, _callers) in sorted(
+        stats.stats.items(), key=lambda kv: kv[1][2], reverse=True
+    )[:15]:
+        filename, lineno, name = func
+        rows.append(
+            {
+                "function": f"{Path(filename).name}:{lineno}({name})",
+                "ncalls": ncalls,
+                "tottime_s": round(tottime, 6),
+                "cumtime_s": round(cumtime, 6),
+            }
+        )
+    with text_path.open("w") as handle:
+        report = pstats.Stats(str(pstats_path), stream=handle)
+        report.sort_stats("tottime")
+        report.print_stats(30)
+    return {
+        "workload": "join-churn-exclude",
+        "n": n,
+        "wall_s": wall,
+        "events": events,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "pstats": str(pstats_path),
+        "text": str(text_path),
+        "top": rows,
+    }
+
+
+def _bench_shards(quick: bool, workers: Optional[int]) -> dict[str, Any]:
+    """The ``shards`` section: the sharded-simulator determinism sweep."""
+    from repro.runner.shard import shard_speedup_report
+
+    return shard_speedup_report(
+        groups=_SHARD_GROUPS,
+        group_size=_SHARD_QUICK_GROUP_SIZE if quick else _SHARD_GROUP_SIZE,
+        shard_counts=_SHARD_COUNTS,
+        seed=0,
+        workers=workers,
+    )
+
+
+def check_shard_section(payload: dict[str, Any]) -> list[str]:
+    """Gate the ``shards`` section: reproducibility is non-negotiable.
+
+    Empty list when the payload has no section; otherwise one message per
+    violated invariant (traces must merge byte-identically across shard
+    counts, and every sharded run must still reach agreement).
+    """
+    section = payload.get("shards")
+    if section is None:
+        return []
+    failures = []
+    if not section["byte_identical_across_shards"]:
+        digests = {cell["merged_trace_sha256"] for cell in section["cells"]}
+        failures.append(
+            "sharded churn merged traces differ across shard counts: "
+            f"{sorted(digests)}"
+        )
+    for cell in section["cells"]:
+        if not cell["agreed"]:
+            failures.append(
+                f"sharded churn with shards={cell['shards']} ended without "
+                "view agreement in at least one group"
+            )
+    return failures
 
 
 def _obs_overhead(
@@ -363,13 +473,16 @@ def run_bench(
     scale: bool = False,
     cache=None,
     metrics_out: str | Path | None = None,
+    profile: bool = False,
 ) -> Path:
     """Run the full bench suite and write ``BENCH_results.json``.
 
     ``cache`` (a :class:`repro.runner.cache.ScenarioCache`) cross-checks
     the measured message counts against cached scenario results and
     records hit/miss/store counts in the payload; ``metrics_out`` archives
-    one instrumented churn run as JSONL (plus a ``.prom`` sibling).
+    one instrumented churn run as JSONL (plus a ``.prom`` sibling);
+    ``profile`` additionally runs one churn cell under :mod:`cProfile` and
+    drops ``bench_profile.pstats``/``.txt`` artifacts next to the results.
     Returns the path of the written file.
     """
     resolved_workers = workers if workers is not None else default_workers()
@@ -387,7 +500,10 @@ def run_bench(
         payload["scale"] = _bench_scale(
             _SCALE_QUICK_SIZES if quick else _SCALE_SIZES
         )
+        payload["shards"] = _bench_shards(quick, workers)
         payload["obs_overhead"] = _obs_overhead(n=50 if quick else 100)
+    if profile:
+        payload["profile"] = _profile_churn(out_dir, n=1000)
     if cache is not None:
         stale = _cross_check_cache(payload["scenarios"], cache)
         payload["cache"] = {**cache.stats(), "stale": stale}
@@ -437,6 +553,35 @@ def summarize(payload: dict[str, Any]) -> str:
                 f"  n={cell['n']:<5} {cell['events']:>8} events  "
                 f"{cell['wall_s']:8.3f}s  {cell['events_per_sec']:>10,.0f} ev/s  "
                 f"{cell['msgs_per_sec']:>10,.0f} msg/s"
+            )
+    shards = payload.get("shards")
+    if shards is not None:
+        lines.append(
+            f"shards ({shards['workload']}): "
+            + (
+                "merged traces byte-identical"
+                if shards["byte_identical_across_shards"]
+                else "MERGED TRACES DIFFER"
+            )
+        )
+        for cell in shards["cells"]:
+            lines.append(
+                f"  shards={cell['shards']} groups={cell['groups']}x"
+                f"{cell['group_size']}  wall {cell['wall_seconds']:7.3f}s "
+                f"(x{cell['measured_wall_speedup']:.2f})  critical path "
+                f"{cell['critical_path_seconds']:7.3f}s "
+                f"(x{cell['critical_path_speedup']:.2f})"
+            )
+    profile = payload.get("profile")
+    if profile is not None:
+        lines.append(
+            f"profile (churn n={profile['n']}): {profile['events']} events in "
+            f"{profile['wall_s']:.3f}s -> {profile['pstats']}"
+        )
+        for row in profile["top"][:5]:
+            lines.append(
+                f"  {row['tottime_s']:8.4f}s  {row['ncalls']:>9}x  "
+                f"{row['function']}"
             )
     overhead = payload.get("obs_overhead")
     if overhead is not None:

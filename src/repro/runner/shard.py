@@ -1,0 +1,482 @@
+"""Sharded simulation: partition a churn workload across worker processes.
+
+The flat per-event cost work (see ``core/state.py`` / docs/PERFORMANCE.md)
+makes one simulator fast; this module makes *many* simulators cooperate.
+A sharded run partitions the workload's **independent process subsets**
+("groups" — e.g. 16 disjoint churn clusters that never message each other)
+across the existing :mod:`repro.runner.pool`, with a deterministic
+cross-shard message-exchange barrier:
+
+* **Lamport-style epoch rounds** — simulated time is cut into fixed-length
+  epochs.  Within an epoch each shard advances its groups independently
+  (``scheduler.run(until=boundary)``; an event scheduled exactly *at* the
+  boundary runs inside that epoch, so crash-on-boundary cases land in the
+  same epoch for every shard count).  At the boundary each group emits an
+  :class:`EpochEnvelope` of cross-group messages picked up during the
+  epoch; the :class:`EpochBarrier` routes them for delivery at the *next*
+  epoch — the classic conservative (lookahead = one epoch) parallel
+  discrete-event scheme.
+* **Seeded per-shard RNG** — each shard derives an RNG from the root seed
+  and deliberately *shuffles* the order in which it advances its groups
+  every epoch.  Group results must not depend on intra-epoch service
+  order; shuffling makes any accidental coupling fail the determinism
+  tests immediately instead of silently.
+* **Deterministic merge** — each group's FULL trace is canonicalized to
+  text lines (excluding process-global artifacts such as ``msg_id``,
+  which depend on how many simulations share one interpreter), merged by
+  ``(time, group, position)`` and hashed.  Same root seed ⇒ byte-identical
+  merged trace for any shard count.
+
+Churn groups here are genuinely independent, so every envelope is empty —
+and the barrier *validates* that: a workload whose groups secretly share
+processes raises :class:`ShardExchangeError` instead of silently diverging.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import time as _time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.model.events import Event, EventKind
+from repro.runner.pool import parallel_map
+from repro.sim.network import FixedDelay
+from repro.sim.trace import TraceLevel
+
+__all__ = [
+    "EpochBarrier",
+    "EpochEnvelope",
+    "GroupSpec",
+    "ShardExchangeError",
+    "ShardPlan",
+    "ShardResult",
+    "ShardedRun",
+    "derive_group_seed",
+    "shard_churn_run",
+    "shard_speedup_report",
+]
+
+#: default epoch length in simulated time units.  The churn workload's
+#: scripted events land at t=5/40/60, so 10.0 puts the junior crash (t=40)
+#: and the coordinator crash (t=60) exactly on epoch boundaries — the case
+#: the determinism tests pin down.
+DEFAULT_EPOCH_LENGTH = 10.0
+
+_MAX_EPOCHS = 10_000
+_MAX_EVENTS_PER_EPOCH = 5_000_000
+
+
+class ShardExchangeError(ReproError):
+    """The epoch barrier saw traffic that violates the sharding contract."""
+
+
+def derive_group_seed(root_seed: int, group: int) -> int:
+    """Deterministic per-group seed, independent of shard placement.
+
+    Hashing ``root:group`` (rather than e.g. ``root + group``) keeps group
+    streams statistically unrelated and — critically — *identical no matter
+    which shard or worker runs the group*, so re-sharding never changes
+    results.
+    """
+    digest = hashlib.sha256(f"{root_seed}:{group}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """One independent process subset of the sharded workload."""
+
+    index: int
+    size: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The full sharding decision for one run (picklable, worker-bound)."""
+
+    shard_index: int
+    groups: tuple[GroupSpec, ...]
+    epoch_length: float
+    trace_level: str
+    root_seed: int
+
+
+@dataclass(frozen=True)
+class EpochEnvelope:
+    """Everything one group hands across the barrier for one epoch.
+
+    ``messages`` are ``(destination_group, payload)`` pairs picked up
+    during the epoch and due for delivery at the start of the next one.
+    Independent-subset workloads always produce empty envelopes; the
+    barrier enforces it.
+    """
+
+    epoch: int
+    source_group: int
+    messages: tuple = ()
+
+
+class EpochBarrier:
+    """Collects per-epoch envelopes and routes them for the next epoch.
+
+    The exchange discipline is Lamport-style: an envelope stamped with
+    epoch ``e`` may only influence epochs ``>= e + 1``.  Envelopes from a
+    stale or future epoch, or mentioning unknown groups, are contract
+    violations and raise :class:`ShardExchangeError`.
+    """
+
+    def __init__(self, group_ids: Sequence[int]) -> None:
+        self._group_ids = frozenset(group_ids)
+        self._epoch = 0
+        #: messages awaiting delivery at the next epoch start, per group.
+        self._inbound: dict[int, list] = {g: [] for g in group_ids}
+        self.exchanges = 0
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def exchange(self, envelopes: Sequence[EpochEnvelope]) -> dict[int, list]:
+        """Close the current epoch: validate and route every envelope.
+
+        Returns the per-group inbound messages to inject at the start of
+        the next epoch (always empty lists for independent subsets).
+        """
+        for envelope in envelopes:
+            if envelope.epoch != self._epoch:
+                raise ShardExchangeError(
+                    f"envelope from group {envelope.source_group} is stamped "
+                    f"epoch {envelope.epoch} at barrier epoch {self._epoch}"
+                )
+            if envelope.source_group not in self._group_ids:
+                raise ShardExchangeError(
+                    f"envelope from unknown group {envelope.source_group}"
+                )
+            for destination, payload in envelope.messages:
+                if destination not in self._group_ids:
+                    raise ShardExchangeError(
+                        f"group {envelope.source_group} addressed unknown "
+                        f"group {destination}"
+                    )
+                if destination == envelope.source_group:
+                    raise ShardExchangeError(
+                        f"group {destination} routed a message to itself "
+                        "through the barrier"
+                    )
+                self._inbound[destination].append(payload)
+        delivery = {g: self._inbound[g] for g in sorted(self._group_ids)}
+        self._inbound = {g: [] for g in sorted(self._group_ids)}
+        self._epoch += 1
+        self.exchanges += 1
+        return delivery
+
+
+@dataclass
+class ShardResult:
+    """What one shard worker sends back to the driver."""
+
+    shard_index: int
+    #: canonical trace lines per group, keyed by group index.
+    group_lines: dict[int, list[str]]
+    events: int
+    epochs: int
+    exchanges: int
+    #: wall-clock seconds this shard spent simulating.  On a host with
+    #: fewer cores than shards this includes time lost to core contention.
+    sim_wall: float
+    #: CPU seconds this shard's worker process actually consumed — the
+    #: contention-free cost of its partition.
+    sim_cpu: float
+    agreed: bool
+
+
+@dataclass
+class ShardedRun:
+    """Merged result of a sharded churn run."""
+
+    shards: int
+    groups: int
+    group_size: int
+    seed: int
+    epoch_length: float
+    events: int
+    epochs: int
+    wall: float
+    #: per-shard simulation walls (subject to core contention).
+    shard_walls: list[float] = field(default_factory=list)
+    #: per-shard CPU seconds (contention-free partition cost).
+    shard_cpus: list[float] = field(default_factory=list)
+    merged_digest: str = ""
+    agreed: bool = True
+
+    @property
+    def critical_path(self) -> float:
+        """The slowest shard's CPU cost: the wall clock of this run once
+        one core per shard is available."""
+        return max(self.shard_cpus) if self.shard_cpus else self.wall
+
+
+def _canonical_event(group: int, event: Event) -> str:
+    """One trace event as a placement-independent text line.
+
+    Deliberately excludes ``MessageRecord.msg_id`` (a process-global
+    counter whose value depends on how many group sims share one
+    interpreter) while keeping everything protocol-visible: time, process,
+    kind, per-process index, peer, payload type/category, version, view.
+    """
+    message = event.message
+    if message is not None:
+        payload = f"{message.category}:{type(message.payload).__name__}"
+    else:
+        payload = ""
+    view = (
+        ",".join(str(p) for p in event.view) if event.view is not None else ""
+    )
+    version = "" if event.version is None else str(event.version)
+    peer = "" if event.peer is None else str(event.peer)
+    return (
+        f"{event.time:.9f}|g{group}|{event.proc}|{event.kind.value}"
+        f"|{event.index}|{peer}|{payload}|{version}|{view}|{event.detail}"
+    )
+
+
+def _run_shard(plan: ShardPlan) -> ShardResult:
+    """Advance every group of one shard through epoch-barrier rounds.
+
+    Top-level and picklable: this is the function the worker pool runs.
+    """
+    from repro.core.service import MembershipCluster
+
+    level = TraceLevel.coerce(plan.trace_level)
+    started = _time.perf_counter()
+    started_cpu = _time.process_time()
+    clusters = []
+    for spec in plan.groups:
+        cluster = MembershipCluster.of_size(
+            spec.size,
+            prefix=f"g{spec.index}p",
+            seed=spec.seed,
+            delay_model=FixedDelay(1.0),
+            trace_level=level,
+        )
+        cluster.start()
+        cluster.join(f"g{spec.index}j0", at=5.0)
+        cluster.crash(f"g{spec.index}p{spec.size - 1}", at=40.0)
+        cluster.crash(f"g{spec.index}p0", at=60.0)
+        clusters.append((spec, cluster))
+
+    barrier = EpochBarrier([spec.index for spec, _ in clusters])
+    # Per-shard RNG: shuffles intra-epoch service order.  Group results may
+    # not depend on it — the determinism tests compare merged traces across
+    # shard counts, so any hidden coupling breaks loudly.
+    rng = random.Random(derive_group_seed(plan.root_seed, -1 - plan.shard_index))
+    epoch = 0
+    while True:
+        boundary = (epoch + 1) * plan.epoch_length
+        order = list(range(len(clusters)))
+        rng.shuffle(order)
+        for position in order:
+            _, cluster = clusters[position]
+            cluster.scheduler.run(
+                until=boundary, max_events=_MAX_EVENTS_PER_EPOCH
+            )
+        # Close the epoch: independent churn groups never hand the barrier
+        # any traffic, and the exchange validates that invariant.
+        envelopes = [
+            EpochEnvelope(epoch=epoch, source_group=spec.index)
+            for spec, _ in clusters
+        ]
+        inbound = barrier.exchange(envelopes)
+        if any(inbound.values()):  # pragma: no cover - contract guard
+            raise ShardExchangeError(
+                "independent churn groups received cross-shard messages"
+            )
+        epoch += 1
+        if all(c.scheduler.pending() == 0 for _, c in clusters):
+            break
+        if epoch >= _MAX_EPOCHS:
+            raise ShardExchangeError(
+                f"groups still active after {epoch} epochs; runaway workload?"
+            )
+    sim_wall = _time.perf_counter() - started
+    sim_cpu = _time.process_time() - started_cpu
+
+    group_lines: dict[int, list[str]] = {}
+    events = 0
+    agreed = True
+    for spec, cluster in clusters:
+        events += len(cluster.trace)
+        if level is TraceLevel.FULL:
+            group_lines[spec.index] = [
+                _canonical_event(spec.index, e) for e in cluster.trace
+            ]
+        else:
+            group_lines[spec.index] = []
+        live_states = [
+            m.state
+            for m in cluster.members.values()
+            if not m.crashed and m.state is not None
+        ]
+        versions = {s.version for s in live_states}
+        views = {s.view for s in live_states}
+        if len(versions) > 1 or len(views) > 1:
+            agreed = False
+    return ShardResult(
+        shard_index=plan.shard_index,
+        group_lines=group_lines,
+        events=events,
+        epochs=epoch,
+        exchanges=barrier.exchanges,
+        sim_wall=sim_wall,
+        sim_cpu=sim_cpu,
+        agreed=agreed,
+    )
+
+
+def shard_churn_run(
+    groups: int = 8,
+    group_size: int = 25,
+    shards: int = 1,
+    seed: int = 0,
+    epoch_length: float = DEFAULT_EPOCH_LENGTH,
+    trace_level: str = "full",
+    workers: Optional[int] = None,
+) -> ShardedRun:
+    """Run ``groups`` independent churn clusters across ``shards`` workers.
+
+    Groups are dealt round-robin to shards, each group seeded from the
+    root seed by :func:`derive_group_seed` — both choices are placement
+    invariant, so the merged trace digest is identical for any ``shards``.
+
+    ``workers`` defaults to ``shards`` (one pool process per shard).
+    """
+    if groups < 1 or shards < 1:
+        raise ValueError("groups and shards must be positive")
+    if shards > groups:
+        raise ValueError(f"cannot spread {groups} groups over {shards} shards")
+    specs = [
+        GroupSpec(index=g, size=group_size, seed=derive_group_seed(seed, g))
+        for g in range(groups)
+    ]
+    plans = [
+        ShardPlan(
+            shard_index=s,
+            groups=tuple(spec for spec in specs if spec.index % shards == s),
+            epoch_length=epoch_length,
+            trace_level=trace_level,
+            root_seed=seed,
+        )
+        for s in range(shards)
+    ]
+    started = _time.perf_counter()
+    results: list[ShardResult] = parallel_map(
+        _run_shard, plans, workers=workers if workers is not None else shards
+    )
+    wall = _time.perf_counter() - started
+
+    merged: dict[int, list[str]] = {}
+    for result in results:
+        merged.update(result.group_lines)
+    digest = hashlib.sha256()
+    # Merge by (time, group, per-group position): a placement-independent
+    # total order, because each group's internal order is its own scheduler
+    # order and ties across groups break on the group index.
+    lines = [
+        line
+        for group in sorted(merged)
+        for line in merged[group]
+    ]
+    lines.sort(key=_merge_key)
+    for line in lines:
+        digest.update(line.encode())
+        digest.update(b"\n")
+    return ShardedRun(
+        shards=shards,
+        groups=groups,
+        group_size=group_size,
+        seed=seed,
+        epoch_length=epoch_length,
+        events=sum(r.events for r in results),
+        epochs=max(r.epochs for r in results),
+        wall=wall,
+        shard_walls=[r.sim_wall for r in results],
+        shard_cpus=[r.sim_cpu for r in results],
+        merged_digest=digest.hexdigest(),
+        agreed=all(r.agreed for r in results),
+    )
+
+
+def _merge_key(line: str) -> tuple[float, int, str]:
+    time_text, group_text, rest = line.split("|", 2)
+    return (float(time_text), int(group_text[1:]), rest)
+
+
+def shard_speedup_report(
+    groups: int = 8,
+    group_size: int = 25,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    seed: int = 0,
+    epoch_length: float = DEFAULT_EPOCH_LENGTH,
+    trace_level: str = "full",
+    workers: Optional[int] = None,
+) -> dict:
+    """JSON-able shard sweep for the benchmark report.
+
+    Reports, per shard count, the measured wall and the **critical path**
+    (the slowest single shard's simulation wall — what the wall clock
+    becomes once one core per shard is actually available).  On a
+    single-core host the measured wall shows no speedup; the critical
+    path is the honest scaling number, and both are recorded explicitly.
+    """
+    cells = []
+    digests = set()
+    baseline_wall: Optional[float] = None
+    baseline_path: Optional[float] = None
+    for shards in shard_counts:
+        run = shard_churn_run(
+            groups=groups,
+            group_size=group_size,
+            shards=shards,
+            seed=seed,
+            epoch_length=epoch_length,
+            trace_level=trace_level,
+            workers=workers,
+        )
+        if baseline_wall is None:
+            baseline_wall = run.wall
+            baseline_path = run.critical_path
+        digests.add(run.merged_digest)
+        cells.append(
+            {
+                "shards": shards,
+                "groups": groups,
+                "group_size": group_size,
+                "events": run.events,
+                "epochs": run.epochs,
+                "wall_seconds": round(run.wall, 6),
+                "shard_sim_walls": [round(w, 6) for w in run.shard_walls],
+                "shard_sim_cpus": [round(c, 6) for c in run.shard_cpus],
+                "critical_path_seconds": round(run.critical_path, 6),
+                "measured_wall_speedup": round(baseline_wall / run.wall, 3)
+                if run.wall
+                else None,
+                "critical_path_speedup": round(
+                    baseline_path / run.critical_path, 3
+                )
+                if run.critical_path
+                else None,
+                "merged_trace_sha256": run.merged_digest,
+                "agreed": run.agreed,
+            }
+        )
+    return {
+        "workload": "independent churn groups, epoch-barrier sharding",
+        "seed": seed,
+        "epoch_length": epoch_length,
+        "byte_identical_across_shards": len(digests) == 1,
+        "cells": cells,
+    }

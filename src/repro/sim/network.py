@@ -110,6 +110,10 @@ class Network:
         #: instrumentation site to a single attribute check.
         self.obs = None
         self._processes: dict[ProcessId, "SimProcess"] = {}
+        #: registration-ordered live subset, maintained incrementally by
+        #: :meth:`register` / :meth:`notify_crash` so :meth:`live_processes`
+        #: never rescans the whole registry.
+        self._live: dict[ProcessId, "SimProcess"] = {}
         #: per-channel time before which no further delivery may occur (FIFO)
         self._channel_clock: dict[tuple[ProcessId, ProcessId], float] = {}
         #: held messages per blocked channel, FIFO order
@@ -119,6 +123,12 @@ class Network:
         #: copy (registration rebinds), which matters on the per-send path.
         self._send_observers: tuple[Callable[[MessageRecord], None], ...] = ()
         self._crash_observers: tuple[Callable[[ProcessId], None], ...] = ()
+        #: append-only backing list for crash observers: every member's
+        #: detector registers one, so rebuilding the snapshot tuple per
+        #: registration would be O(n^2) at cluster startup.  The tuple is
+        #: (re)materialized lazily on the first notification after a change.
+        self._crash_observer_list: list[Callable[[ProcessId], None]] = []
+        self._crash_observers_stale = False
 
     # ------------------------------------------------------------ membership
 
@@ -126,6 +136,8 @@ class Network:
         if process.pid in self._processes:
             raise SimulationError(f"duplicate process id {process.pid}")
         self._processes[process.pid] = process
+        if not process.crashed:
+            self._live[process.pid] = process
 
     def process(self, pid: ProcessId) -> "SimProcess":
         return self._processes[pid]
@@ -139,7 +151,12 @@ class Network:
         return dict(self._processes)
 
     def live_processes(self) -> list["SimProcess"]:
-        return [p for p in self._processes.values() if not p.crashed]
+        """Registered processes that have not crashed, registration order.
+
+        Backed by the incrementally-maintained live registry: O(live), with
+        no per-call scan over crashed processes.
+        """
+        return list(self._live.values())
 
     # ------------------------------------------------------------ partitions
 
@@ -177,10 +194,17 @@ class Network:
         failure detector (which models "suspicion in finite time after a
         real crash", F1's liveness clause) and test assertions.
         """
-        self._crash_observers = (*self._crash_observers, observer)
+        self._crash_observer_list.append(observer)
+        self._crash_observers_stale = True
 
     def notify_crash(self, pid: ProcessId) -> None:
         """Called by :class:`SimProcess` when it crashes or quits."""
+        self._live.pop(pid, None)
+        if self._crash_observers_stale:
+            # Snapshot once per registration burst; iteration then runs on
+            # an immutable tuple even if an observer registers more.
+            self._crash_observers = tuple(self._crash_observer_list)
+            self._crash_observers_stale = False
         for observer in self._crash_observers:
             observer(pid)
 

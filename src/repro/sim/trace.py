@@ -35,7 +35,7 @@ from typing import Iterable, Iterator, Optional, Union
 
 from repro.errors import TraceError
 from repro.ids import ProcessId
-from repro.model.events import Event, EventKind, MessageRecord
+from repro.model.events import N_EVENT_KINDS, Event, EventKind, MessageRecord
 from repro.model.history import ProcessHistory, history_of
 
 __all__ = ["RunTrace", "TraceLevel"]
@@ -76,14 +76,16 @@ class RunTrace:
     def __init__(self, level: Union[TraceLevel, str, int] = TraceLevel.FULL) -> None:
         self._level = TraceLevel.coerce(level)
         self._full = self._level is TraceLevel.FULL
+        self._counts = self._level is TraceLevel.COUNTS
         self._events: list[Event] = []
         self._indices: dict[ProcessId, int] = {}
         self._terminated: set[ProcessId] = set()
         self._crashed: set[ProcessId] = set()
         #: events recorded at non-FULL levels (FULL uses ``len(_events)``).
         self._recorded = 0
-        #: COUNTS-level counters (empty at other levels).
-        self._kind_counts: dict[EventKind, int] = {}
+        #: COUNTS-level counters: one preallocated slot per event kind,
+        #: indexed by the kind's dense ordinal — no enum hashing per event.
+        self._kind_count_slots: list[int] = [0] * N_EVENT_KINDS
         self._send_by_category: dict[str, int] = {}
         self._send_by_type: dict[str, dict[str, int]] = {}
 
@@ -121,9 +123,8 @@ class RunTrace:
                     self._events.append(Event(proc, EventKind.START, 0, time))
                 else:
                     self._recorded += 1
-                    if self._level is TraceLevel.COUNTS:
-                        kc = self._kind_counts
-                        kc[EventKind.START] = kc.get(EventKind.START, 0) + 1
+                    if self._counts:
+                        self._kind_count_slots[EventKind.START._ordinal] += 1
                 index = 1
             else:
                 index = 0
@@ -133,9 +134,8 @@ class RunTrace:
             self._events.append(event)
         else:
             self._recorded += 1
-            if self._level is TraceLevel.COUNTS:
-                kc = self._kind_counts
-                kc[kind] = kc.get(kind, 0) + 1
+            if self._counts:
+                self._kind_count_slots[kind._ordinal] += 1
                 if kind is EventKind.SEND and message is not None:
                     category = message.category
                     sends = self._send_by_category
@@ -206,7 +206,10 @@ class RunTrace:
         """Events recorded per kind (available at FULL and COUNTS)."""
         if self._full:
             return Counter(e.kind for e in self._events)
-        return Counter(self._kind_counts)
+        slots = self._kind_count_slots
+        return Counter(
+            {kind: slots[kind._ordinal] for kind in EventKind if slots[kind._ordinal]}
+        )
 
     # ------------------------------------------------------ message counting
 

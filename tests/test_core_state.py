@@ -256,4 +256,4 @@ class TestStateProperties:
                 replay.remove(op.target)
             else:
                 replay.append(op.target)
-        assert replay == s.view
+        assert tuple(replay) == s.view

@@ -240,3 +240,56 @@ class TestConstructorValidation:
                 initial_view=[A],
                 reconfig_phases=1,
             )
+
+
+class TestRoundOrderedPendingCache:
+    """ordered_pending() caches sorted(pending) and every mutating method
+    must invalidate it — the phase loops iterate it per resolution step."""
+
+    def test_update_round_cache_invalidated_on_ok(self):
+        from repro.core.rounds import UpdateRound
+        from repro.core.messages import remove
+
+        round_ = UpdateRound(op=remove(C), version=2, pending={A, B, M})
+        assert round_.ordered_pending() == (A, B, M)
+        # Cached: same tuple object until a mutation happens.
+        assert round_.ordered_pending() is round_.ordered_pending()
+        round_.record_ok(A)
+        assert round_.ordered_pending() == (B, M)
+
+    def test_update_round_cache_invalidated_on_faulty(self):
+        from repro.core.rounds import UpdateRound
+        from repro.core.messages import remove
+
+        round_ = UpdateRound(op=remove(C), version=2, pending={A, B})
+        round_.ordered_pending()
+        round_.record_faulty(B)
+        assert round_.ordered_pending() == (A,)
+
+    def test_update_round_miss_does_not_invalidate(self):
+        from repro.core.rounds import UpdateRound
+        from repro.core.messages import remove
+
+        round_ = UpdateRound(op=remove(C), version=2, pending={A})
+        cached = round_.ordered_pending()
+        round_.record_ok(B)  # not pending: no-op
+        assert round_.ordered_pending() is cached
+
+    def test_reconfig_round_cache_tracks_all_mutators(self):
+        from repro.core.determine import PhaseOneResponse
+        from repro.core.rounds import ReconfigPhase, ReconfigRound
+
+        round_ = ReconfigRound(
+            phase=ReconfigPhase.INTERROGATE, view_size=4, pending={A, B, C}
+        )
+        assert round_.ordered_pending() == (A, B, C)
+        round_.record_response(
+            PhaseOneResponse(proc=A, version=1, seq=(), plans=())
+        )
+        assert round_.ordered_pending() == (B, C)
+        round_.record_faulty(C)
+        assert round_.ordered_pending() == (B,)
+        round_.set_pending({M, B})
+        assert round_.ordered_pending() == (B, M)
+        round_.record_propose_ok(M)
+        assert round_.ordered_pending() == (B,)

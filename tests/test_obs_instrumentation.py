@@ -46,6 +46,9 @@ class Host(SimProcess):
     def current_members(self):
         return self.members
 
+    def is_current_member(self, target):
+        return target in self.members
+
     def believes_faulty(self, target):
         return target in self.suspected
 

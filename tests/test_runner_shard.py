@@ -1,0 +1,132 @@
+"""Tests for the sharded simulator (repro.runner.shard).
+
+The contract under test: sharding is *invisible*.  Same root seed ⇒ the
+merged canonical trace digest is byte-identical whatever the shard count
+or epoch length, including when scripted crashes land exactly on an epoch
+boundary.  The epoch barrier's Lamport-style validation (stale stamps,
+unknown groups, self-routing) is exercised directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner.shard import (
+    EpochBarrier,
+    EpochEnvelope,
+    ShardExchangeError,
+    derive_group_seed,
+    shard_churn_run,
+)
+
+# Small but structurally complete: each group still runs a join, a junior
+# crash and a coordinator crash (the three distinct view changes).
+GROUPS = 4
+SIZE = 6
+
+
+def digest(shards: int, seed: int = 0, **kwargs) -> str:
+    run = shard_churn_run(
+        groups=GROUPS, group_size=SIZE, shards=shards, seed=seed, **kwargs
+    )
+    assert run.agreed
+    assert run.events > 0
+    return run.merged_digest
+
+
+class TestShardDeterminism:
+    def test_merged_trace_identical_for_1_2_4_shards(self):
+        digests = {digest(shards) for shards in (1, 2, 4)}
+        assert len(digests) == 1
+
+    def test_seed_variation_still_merges_identically_across_shards(self):
+        # FixedDelay makes the churn groups seed-insensitive; what matters
+        # is that any given seed stays placement-invariant.
+        assert digest(1, seed=1) == digest(4, seed=1)
+
+    def test_same_seed_same_shards_is_reproducible(self):
+        assert digest(2, seed=7) == digest(2, seed=7)
+
+    def test_crash_exactly_on_epoch_boundary(self):
+        # The workload crashes processes at t=40 and t=60.  With
+        # epoch_length=20 both land exactly on epoch boundaries; the
+        # boundary event must run in the same epoch for every shard count.
+        boundary = {
+            digest(shards, epoch_length=20.0) for shards in (1, 2, 4)
+        }
+        assert len(boundary) == 1
+
+    def test_epoch_partitioning_does_not_change_the_run(self):
+        # Cutting simulated time differently (crashes mid-epoch vs on a
+        # boundary) must not alter the merged trace at all.
+        assert digest(2, epoch_length=7.0) == digest(2, epoch_length=10.0)
+
+    def test_worker_count_does_not_change_the_run(self):
+        assert digest(2, workers=1) == digest(2, workers=2)
+
+
+class TestShardPlanValidation:
+    def test_more_shards_than_groups_rejected(self):
+        with pytest.raises(ValueError):
+            shard_churn_run(groups=2, group_size=4, shards=3)
+
+    def test_nonpositive_counts_rejected(self):
+        with pytest.raises(ValueError):
+            shard_churn_run(groups=0, group_size=4, shards=1)
+
+
+class TestGroupSeeds:
+    def test_deterministic(self):
+        assert derive_group_seed(42, 3) == derive_group_seed(42, 3)
+
+    def test_distinct_per_group_and_root(self):
+        seeds = {derive_group_seed(0, g) for g in range(32)}
+        assert len(seeds) == 32
+        assert derive_group_seed(0, 1) != derive_group_seed(1, 1)
+
+
+class TestEpochBarrier:
+    def test_advances_epoch_and_routes_nothing_for_empty_envelopes(self):
+        barrier = EpochBarrier([0, 1])
+        delivery = barrier.exchange(
+            [EpochEnvelope(epoch=0, source_group=0), EpochEnvelope(epoch=0, source_group=1)]
+        )
+        assert delivery == {0: [], 1: []}
+        assert barrier.epoch == 1
+        assert barrier.exchanges == 1
+
+    def test_routes_messages_to_next_epoch(self):
+        # Closing epoch 0 returns the messages due at the start of epoch 1.
+        barrier = EpochBarrier([0, 1])
+        delivery = barrier.exchange(
+            [EpochEnvelope(epoch=0, source_group=0, messages=((1, "hello"),))]
+        )
+        assert delivery[1] == ["hello"]
+        assert delivery[0] == []
+        delivery = barrier.exchange([EpochEnvelope(epoch=1, source_group=1)])
+        assert delivery == {0: [], 1: []}
+
+    def test_stale_epoch_stamp_rejected(self):
+        barrier = EpochBarrier([0])
+        barrier.exchange([EpochEnvelope(epoch=0, source_group=0)])
+        with pytest.raises(ShardExchangeError, match="stamped epoch 0"):
+            barrier.exchange([EpochEnvelope(epoch=0, source_group=0)])
+
+    def test_unknown_source_group_rejected(self):
+        barrier = EpochBarrier([0])
+        with pytest.raises(ShardExchangeError, match="unknown group 5"):
+            barrier.exchange([EpochEnvelope(epoch=0, source_group=5)])
+
+    def test_unknown_destination_rejected(self):
+        barrier = EpochBarrier([0])
+        with pytest.raises(ShardExchangeError, match="unknown\n?.*group 9"):
+            barrier.exchange(
+                [EpochEnvelope(epoch=0, source_group=0, messages=((9, "x"),))]
+            )
+
+    def test_self_routing_rejected(self):
+        barrier = EpochBarrier([0, 1])
+        with pytest.raises(ShardExchangeError, match="itself"):
+            barrier.exchange(
+                [EpochEnvelope(epoch=0, source_group=0, messages=((0, "x"),))]
+            )

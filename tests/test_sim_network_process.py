@@ -292,3 +292,40 @@ class TestLifecycle:
         network, procs = net
         with pytest.raises(SimulationError):
             Echo(A, network)
+
+
+class TestLiveProcesses:
+    """live_processes() is maintained incrementally on register/crash —
+    the oracle detector calls it per suspicion, so it must not rebuild."""
+
+    def test_registration_order_preserved(self, net):
+        network, procs = net
+        assert network.live_processes() == [procs[n] for n in "abc"]
+
+    def test_crash_removes_immediately(self, net):
+        network, procs = net
+        procs["b"].crash()
+        assert network.live_processes() == [procs["a"], procs["c"]]
+
+    def test_quit_removes_immediately(self, net):
+        network, procs = net
+        procs["a"].quit_protocol("done")
+        assert network.live_processes() == [procs["b"], procs["c"]]
+
+    def test_late_registration_appends(self, net):
+        network, procs = net
+        d = Echo(pid("d"), network)
+        d.start()
+        assert network.live_processes()[-1] is d
+
+    def test_double_crash_is_idempotent(self, net):
+        network, procs = net
+        procs["c"].crash()
+        network.notify_crash(procs["c"].pid)
+        assert network.live_processes() == [procs["a"], procs["b"]]
+
+    def test_matches_full_rescan(self, net):
+        network, procs = net
+        procs["a"].crash()
+        rescan = [p for p in procs.values() if not p.crashed]
+        assert network.live_processes() == rescan

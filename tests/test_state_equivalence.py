@@ -1,0 +1,81 @@
+"""Equivalence of the O(1) hot-path state against seed-implementation scans.
+
+``LocalState`` replaced full-view scans and per-apply copies with cached
+structures (:class:`ViewImage` position index, the memoized successor map,
+the sorted-faulty tuple).  ``LocalState.shadow_validate`` re-derives every
+cached structure with the original full scans at each mutation and asserts
+agreement.  These tests run the structurally richest workload (churn: join
++ junior crash + coordinator crash) with the shadow on and off and demand
+byte-identical FULL traces — the optimized bookkeeping must be observably
+invisible.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.core.state import LocalState, ViewImage
+from repro.ids import pid
+from repro.workloads.failures import churn_run
+
+
+@pytest.fixture
+def shadow():
+    LocalState.shadow_validate = True
+    try:
+        yield
+    finally:
+        LocalState.shadow_validate = False
+
+
+def canonical_trace(cluster) -> list[str]:
+    # msg_id is a process-global counter (depends on how many simulations
+    # ran before in this interpreter) — strip it, keep everything else.
+    return [
+        re.sub(r"\bm\d+\[", "m[", f"{e.time:.9f}|{e}") for e in cluster.trace
+    ]
+
+
+class TestShadowEquivalence:
+    def test_churn_trace_byte_identical_with_shadow_validation(self, shadow):
+        # The shadow asserts at every note_faulty/note_operating/apply; a
+        # completed run means the incremental caches never diverged from
+        # the full-scan recomputation.
+        with_shadow = canonical_trace(churn_run(8, seed=0))
+        LocalState.shadow_validate = False
+        without = canonical_trace(churn_run(8, seed=0))
+        assert with_shadow == without
+
+    def test_shadow_off_by_default(self):
+        assert LocalState.shadow_validate is False
+
+    def test_shadow_catches_corrupted_cache(self, shadow):
+        a, b, c = pid("a"), pid("b"), pid("c")
+        s = LocalState(me=a, view=[a, b, c])
+        s.note_faulty(b)
+        # Corrupt the cached ordering the way a bookkeeping bug would.
+        s._faulty_tuple = (c,)
+        with pytest.raises(AssertionError, match="diverged"):
+            s._shadow_check()
+
+
+class TestViewImageSharing:
+    def test_successor_images_are_shared(self):
+        from repro.core.messages import remove
+
+        a, b, c = pid("a"), pid("b"), pid("c")
+        image = ViewImage((a, b, c))
+        op = remove(b)
+        assert image.child(op) is image.child(op)
+
+    def test_pickle_roundtrip_drops_memo(self):
+        import pickle
+
+        a, b = pid("a"), pid("b")
+        image = ViewImage((a, b))
+        clone = pickle.loads(pickle.dumps(image))
+        assert clone.members == image.members
+        assert clone.index == image.index
+        assert clone._children == {}
