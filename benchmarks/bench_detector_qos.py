@@ -14,13 +14,27 @@ creates:
 
 Safety (GMP) holds at every point of the sweep — that is the paper's
 theorem; the curve below is the price sheet for choosing a detector.
+
+Two experiments live here:
+
+* ``test_timeout_tradeoff`` — the original E18 sweep over heartbeat
+  timeouts (wrongful exclusions vs detection latency at one group size);
+* ``test_detector_qos_matrix`` — the head-to-head matrix (E20): heartbeat
+  vs SWIM vs Lifeguard on detection latency, false positives and
+  msgs/process/round under the crash-only and slow-flaky chaos plans of
+  :mod:`repro.workloads.qos`.  This is the same matrix ``repro bench
+  --detectors`` commits to ``BENCH_results.json`` (docs/DETECTORS.md
+  explains how to read it), shrunk to benchmark-friendly sizes, with the
+  O(1)-message and fewer-false-positive claims asserted as shape.
 """
 
 from __future__ import annotations
 
 from repro.core.service import MembershipCluster
 from repro.properties import check_gmp
+from repro.runner.bench import check_detector_qos
 from repro.sim.network import UniformDelay
+from repro.workloads.qos import detector_qos_cell
 
 from conftest import record_rows
 
@@ -98,5 +112,71 @@ def test_timeout_tradeoff(benchmark):
         "E18: detector timeout vs wrongful exclusions vs detection latency "
         "(delays U(0.5, 6.0), heartbeat every 2)",
         "  timeout | wrongful exclusions (8 quiet runs) | crash latency | safety",
+        rows,
+    )
+
+
+# --------------------------------------------------------------- E20: matrix
+
+#: benchmark-friendly shrink of the BENCH_results.json matrix — heartbeat's
+#: O(n^2) traffic makes its large cells the expensive ones, so it stops at
+#: n=60 while the SWIM family demonstrates flatness over a 5x size range.
+MATRIX_SIZES = {"heartbeat": [30, 60], "swim": [30, 60, 150], "lifeguard": [30, 60, 150]}
+MATRIX_PLANS = ("crash-only", "slow-flaky")
+MATRIX_SEED = 1
+
+
+def test_detector_qos_matrix(benchmark):
+    def run():
+        return [
+            detector_qos_cell(kind, n, plan=plan, seed=MATRIX_SEED)
+            for plan in MATRIX_PLANS
+            for kind, sizes in MATRIX_SIZES.items()
+            for n in sizes
+        ]
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    by = {(c["kind"], c["n"], c["plan"]): c for c in cells}
+
+    def ppr(kind, n, plan="crash-only"):
+        return by[(kind, n, plan)]["msgs_per_process_per_round"]
+
+    # Heartbeat's per-process load grows ~n (it pings its whole view)…
+    assert ppr("heartbeat", 60) > 1.7 * ppr("heartbeat", 30)
+    # …while SWIM stays O(1) over a 5x size range, far below heartbeat.
+    assert ppr("swim", 150) < 2.0 * ppr("swim", 30)
+    assert ppr("swim", 60) < ppr("heartbeat", 60) / 10
+    # Every real crash is detected on the healthy plan, with zero false
+    # positives; under slow-flaky, Lifeguard's LHM pays off vs plain SWIM.
+    for kind, sizes in MATRIX_SIZES.items():
+        for n in sizes:
+            cell = by[(kind, n, "crash-only")]
+            assert cell["detection"]["detected"] == cell["detection"]["victims"]
+            assert cell["false_positives"]["distinct_targets"] == 0
+    for n in MATRIX_SIZES["lifeguard"]:
+        assert (
+            by[("lifeguard", n, "slow-flaky")]["false_positives"]["distinct_targets"]
+            <= by[("swim", n, "slow-flaky")]["false_positives"]["distinct_targets"]
+        )
+    # The committed-matrix gate agrees with the shape assertions above.
+    assert check_detector_qos({"detectors": {"cells": cells}}) == []
+
+    rows = [
+        f"  {c['plan']:<11} {c['kind']:<10} n={c['n']:<4} "
+        f"{c['msgs_per_process_per_round']:>7.2f} msg/proc/round   "
+        f"latency "
+        + (
+            f"{c['detection']['mean_latency']:6.1f}"
+            if c["detection"]["mean_latency"] is not None
+            else "  MISS"
+        )
+        + f"   false positives: {c['false_positives']['distinct_targets']}"
+        for c in cells
+    ]
+    record_rows(
+        benchmark,
+        "E20: detector QoS matrix — heartbeat vs SWIM vs Lifeguard "
+        f"(seed={MATRIX_SEED}, 25 probe rounds)",
+        "  plan | detector | n | msgs/proc/round | detection latency | false pos",
         rows,
     )

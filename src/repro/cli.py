@@ -225,6 +225,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.runner.bench import (
+        check_detector_qos,
         check_obs_overhead,
         check_scale_regression,
         check_shard_section,
@@ -239,6 +240,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         workers=args.workers,
         out_dir=args.out,
         scale=args.scale,
+        detectors=args.detectors,
         cache=cache,
         metrics_out=args.metrics_out,
         profile=args.profile,
@@ -256,6 +258,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"no scale regression vs {args.baseline}")
     failures += [f"OBS-OVERHEAD {m}" for m in check_obs_overhead(payload)]
     failures += [f"SHARD {m}" for m in check_shard_section(payload)]
+    failures += [f"DETECTOR-QOS {m}" for m in check_detector_qos(payload)]
     failures += [
         f"STALE-CACHE {m}" for m in payload.get("cache", {}).get("stale", [])
     ]
@@ -442,6 +445,14 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="add the join-churn-exclude n-sweep (10..10000) plus the "
         "sharded-simulator speedup cells",
+    )
+    bench.add_argument(
+        "--detectors",
+        action="store_true",
+        help="add the detector QoS matrix (heartbeat vs SWIM vs Lifeguard: "
+        "detection latency, false positives, msgs/process/round; exit 1 if "
+        "SWIM's message load grows with n or Lifeguard's false positives "
+        "exceed SWIM's under the slow-flaky plan)",
     )
     bench.add_argument(
         "--profile",

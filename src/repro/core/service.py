@@ -19,12 +19,15 @@ operations an application embedding the membership service would call.
 
 from __future__ import annotations
 
+import hashlib
+import random
 from typing import Any, Iterable, Literal, Optional
 
 from repro.detectors.base import FailureDetector
 from repro.detectors.heartbeat import HeartbeatDetector
 from repro.detectors.oracle import OracleDetector
 from repro.detectors.scripted import ScriptedDetector
+from repro.detectors.swim import LifeguardDetector, SwimDetector
 from repro.errors import SimulationError
 from repro.ids import ProcessId, ordered_view, pid
 from repro.sim.network import DelayModel, Network, UniformDelay
@@ -35,7 +38,17 @@ from repro.core.state import ViewImage
 
 __all__ = ["MembershipCluster", "GroupMembershipService", "DetectorKind"]
 
-DetectorKind = Literal["oracle", "heartbeat", "scripted"]
+DetectorKind = Literal["oracle", "heartbeat", "swim", "lifeguard", "scripted"]
+
+
+def _detector_seed(cluster_seed: int, member: ProcessId) -> int:
+    """A stable, placement-invariant RNG seed for one member's detector.
+
+    Derived via sha256 (never ``hash()``, which varies per interpreter
+    hash seed), so same (cluster seed, pid) -> same probe order, always.
+    """
+    digest = hashlib.sha256(f"detector:{cluster_seed}:{member}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 class MembershipCluster:
@@ -53,6 +66,7 @@ class MembershipCluster:
         majority_updates: bool = True,
         member_class: type[GMPMember] | None = None,
         member_kwargs: Optional[dict[str, Any]] = None,
+        detector_kwargs: Optional[dict[str, Any]] = None,
         trace_level: TraceLevel | str | int = TraceLevel.FULL,
         obs: Optional[Any] = None,
     ) -> None:
@@ -76,10 +90,14 @@ class MembershipCluster:
         #: this cluster (network sends, member spans, detector latencies).
         self.obs = obs
         self.network.obs = obs
+        self.seed = seed
         self.detector_kind: DetectorKind = detector
         self.detector_delay = detector_delay
         self.heartbeat_period = heartbeat_period
         self.heartbeat_timeout = heartbeat_timeout
+        #: extra constructor kwargs for the per-member detectors (e.g. the
+        #: SWIM family's period/timeouts/indirect_probes knobs).
+        self.detector_kwargs = dict(detector_kwargs or {})
         self.majority_updates = majority_updates
         self.member_class: type[GMPMember] = (
             member_class if member_class is not None else GMPMember
@@ -105,14 +123,26 @@ class MembershipCluster:
             raise ValueError("cluster size must be at least 1")
         return cls([pid(f"{prefix}{i}") for i in range(n)], **kwargs)  # type: ignore[arg-type]
 
-    def _make_detector(self) -> FailureDetector:
+    def _make_detector(self, member: ProcessId) -> FailureDetector:
         if self.detector_kind == "oracle":
-            return OracleDetector(self.network, delay=self.detector_delay)
+            return OracleDetector(
+                self.network, delay=self.detector_delay, **self.detector_kwargs
+            )
         if self.detector_kind == "heartbeat":
-            return HeartbeatDetector(
+            kwargs: dict[str, Any] = {
+                "period": self.heartbeat_period,
+                "timeout": self.heartbeat_timeout,
+                **self.detector_kwargs,
+            }
+            return HeartbeatDetector(self.network, **kwargs)
+        if self.detector_kind in ("swim", "lifeguard"):
+            # Each member gets its own deterministic RNG: probe order and
+            # helper choice replay exactly per (cluster seed, pid).
+            cls = SwimDetector if self.detector_kind == "swim" else LifeguardDetector
+            return cls(
                 self.network,
-                period=self.heartbeat_period,
-                timeout=self.heartbeat_timeout,
+                rng=random.Random(_detector_seed(self.seed, member)),
+                **self.detector_kwargs,
             )
         if self.detector_kind == "scripted":
             return ScriptedDetector(self.scheduler)
@@ -124,7 +154,7 @@ class MembershipCluster:
         initial_view: Optional[list[ProcessId] | ViewImage] = None,
         contacts: Optional[list[ProcessId]] = None,
     ) -> GMPMember:
-        detector = self._make_detector()
+        detector = self._make_detector(member)
         process = self.member_class(
             member,
             self.network,

@@ -3,7 +3,7 @@
 The paper deliberately abstracts the detection mechanism: "*For whatever
 reason, process p determines that q has crashed.  We are not concerned with
 the details of the mechanism used here, but for liveness, we do assume that
-it occurs in finite time after a real crash*" (F1, Section 2.2).  Three
+it occurs in finite time after a real crash*" (F1, Section 2.2).  Five
 implementations cover the design space:
 
 * :class:`~repro.detectors.oracle.OracleDetector` — suspicion fires a fixed
@@ -13,27 +13,55 @@ implementations cover the design space:
 * :class:`~repro.detectors.heartbeat.HeartbeatDetector` — realistic
   ping/timeout detection over the same unreliable-timing network; it *can*
   suspect slow-but-live processes, which is exactly the perceived-failure
-  phenomenon the paper is about.
+  phenomenon the paper is about.  Costs O(n) messages per process per
+  round.
+* :class:`~repro.detectors.swim.SwimDetector` — SWIM-style randomized
+  k-probing with indirect relays and piggybacked suspicion/alive
+  dissemination: O(1) messages per process per round, the detector that
+  keeps n >= 1000 groups affordable.
+* :class:`~repro.detectors.swim.LifeguardDetector` — SWIM plus Lifeguard's
+  local-health multiplier, stretching timeouts while the *observer* is the
+  slow party, trading detection latency for fewer false positives under
+  slow-processing/flaky-link conditions (see ``docs/DETECTORS.md`` and the
+  ``detectors`` section of ``BENCH_results.json``).
 * :class:`~repro.detectors.scripted.ScriptedDetector` — suspicions fire only
   when a test says so, enabling the adversarial schedules of Figures 4 and
   11 and Table 1's spurious-detection scenarios.
 
+All detectors share one lifecycle contract: ``attach()`` must precede
+``start()`` (explicit error otherwise) and a stopped detector neither
+delivers suspicions nor advertises liveness on late deliveries.
+
 Gossip (F2) is not a detector concern: it is carried by the protocol
 messages themselves (Faulty lists on commits, HiFaulty on interrogations)
-and implemented in :mod:`repro.core.member`.
+and implemented in :mod:`repro.core.member`.  The SWIM family's piggybacked
+updates disseminate *detector* verdicts only.
 """
 
-from repro.detectors.base import FailureDetector, Suspectable
+from repro.detectors.base import FailureDetector, NetworkDetector, Suspectable
 from repro.detectors.oracle import OracleDetector
 from repro.detectors.heartbeat import HeartbeatDetector, Ping, Pong
 from repro.detectors.scripted import ScriptedDetector
+from repro.detectors.swim import (
+    LifeguardDetector,
+    Probe,
+    ProbeAck,
+    ProbeReq,
+    SwimDetector,
+)
 
 __all__ = [
     "FailureDetector",
+    "NetworkDetector",
     "Suspectable",
     "OracleDetector",
     "HeartbeatDetector",
     "Ping",
     "Pong",
+    "SwimDetector",
+    "LifeguardDetector",
+    "Probe",
+    "ProbeAck",
+    "ProbeReq",
     "ScriptedDetector",
 ]

@@ -12,11 +12,14 @@ time-out period" applies.
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 from repro.ids import ProcessId
 
-__all__ = ["Suspectable", "FailureDetector"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import Network
+
+__all__ = ["Suspectable", "FailureDetector", "NetworkDetector"]
 
 
 @runtime_checkable
@@ -92,3 +95,83 @@ class FailureDetector:
         if self.owner.believes_faulty(target):
             return
         self.owner.on_suspect(target)
+
+    def _require_attached(self) -> None:
+        """The shared lifecycle contract: attach() must precede start()."""
+        if self.owner is None:
+            raise RuntimeError("detector not attached; call attach() before start()")
+
+
+class NetworkDetector(FailureDetector):
+    """Shared machinery for detectors probing over the simulated network.
+
+    Concrete subclasses (heartbeat, SWIM, Lifeguard) differ in *what* they
+    send each round; the verdict bookkeeping is identical and lives here:
+    the read-only suspicion log, first-suspicion timestamps (the QoS
+    matrix's detection-latency input), and the instrumented
+    :meth:`_record_suspicion` that counts false suspicions against the
+    trace's crash ground truth and emits the retrospective
+    ``detector.detection`` span.
+    """
+
+    def __init__(self, network: "Network") -> None:
+        super().__init__()
+        self.network = network
+        #: every target this detector has ever suspected (not pruned on view
+        #: changes: transient suspicions are exactly what it makes visible).
+        self._suspected: set[ProcessId] = set()
+        #: scheduler time at which each target was *first* suspected.
+        self._suspicion_times: dict[ProcessId, float] = {}
+        self._running = False
+
+    def suspicions(self) -> frozenset[ProcessId]:
+        """Read-only view of every suspicion this detector has raised.
+
+        Unlike the owner's ``believes_faulty`` state this records *detector*
+        verdicts, including transient ones that never led to a
+        reconfiguration (e.g. raised against an already-excluded member).
+        """
+        return frozenset(self._suspected)
+
+    def suspicion_times(self) -> dict[ProcessId, float]:
+        """Scheduler time of the first suspicion of each target."""
+        return dict(self._suspicion_times)
+
+    def _own_process_alive(self) -> bool:
+        """Whether the owner's simulated process is registered and live."""
+        if self.owner is None:
+            return False
+        own = self.network.get_process(self.owner.pid)
+        return own is not None and not own.crashed
+
+    def _record_suspicion(
+        self, member: ProcessId, silence_start: float, now: float
+    ) -> None:
+        """Make each *new* suspicion visible the moment it is raised.
+
+        Called before :meth:`FailureDetector._suspect`, which only forwards
+        to the owner — a suspicion the owner already shares (or one against
+        a departed member) would otherwise leave no trace anywhere.
+        """
+        if member in self._suspected:
+            return
+        self._suspected.add(member)
+        self._suspicion_times[member] = now
+        obs = self.network.obs
+        if obs is None or self.owner is None:
+            return
+        # Ground truth from the trace: suspecting a never-crashed process is
+        # the paper's "perceived failure" — count it separately.
+        false_suspicion = member not in self.network.trace.crashed()
+        obs.count_suspicion(self.owner.pid, false_suspicion)
+        # Detection latency: silence began at silence_start, verdict is now.
+        obs.spans.emit(
+            "detector.detection",
+            start=silence_start,
+            end=now,
+            proc=self.owner.pid,
+            target=member,
+            false_suspicion=false_suspicion,
+        )
+        # The probe to this target will never be answered.
+        obs.spans.discard("detector.probe", (self.owner.pid, member))

@@ -10,6 +10,12 @@ Because network delays are unbounded, this detector can and does suspect
 live processes when delays exceed the timeout — the spurious "perceived
 failure" the protocol must (and does) survive.  Detector traffic is sent
 with ``category="detector"`` so benchmarks can exclude it.
+
+Note the cost: the per-round fan-out is O(n) messages *per process*, i.e.
+O(n^2) detector traffic per round group-wide.  :class:`repro.detectors.swim.
+SwimDetector` brings this down to O(1) per process per round; the measured
+trade-off lives in the ``detectors`` section of ``BENCH_results.json``
+(see ``docs/DETECTORS.md``).
 """
 
 from __future__ import annotations
@@ -17,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.detectors.base import FailureDetector, Suspectable
+from repro.detectors.base import NetworkDetector
 from repro.ids import ProcessId
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -40,7 +46,7 @@ class Pong:
     nonce: int
 
 
-class HeartbeatDetector(FailureDetector):
+class HeartbeatDetector(NetworkDetector):
     """Ping/timeout failure detection over the simulated network."""
 
     def __init__(
@@ -49,33 +55,18 @@ class HeartbeatDetector(FailureDetector):
         period: float = 2.0,
         timeout: float = 8.0,
     ) -> None:
-        super().__init__()
+        super().__init__(network)
         if period <= 0 or timeout <= 0:
             raise ValueError("period and timeout must be positive")
-        self.network = network
         self.period = period
         self.timeout = timeout
         self._last_heard: dict[ProcessId, float] = {}
-        #: every target this detector has ever suspected (not pruned on view
-        #: changes: transient suspicions are exactly what it makes visible).
-        self._suspected: set[ProcessId] = set()
         self._nonce = 0
-        self._running = False
-
-    def suspicions(self) -> frozenset[ProcessId]:
-        """Read-only view of every suspicion this detector has raised.
-
-        Unlike the owner's ``believes_faulty`` state this records *detector*
-        verdicts, including transient ones that never led to a
-        reconfiguration (e.g. raised against an already-excluded member).
-        """
-        return frozenset(self._suspected)
 
     # ------------------------------------------------------------- lifecycle
 
     def start(self) -> None:
-        if self.owner is None:
-            raise RuntimeError("detector not attached; call attach() before start()")
+        self._require_attached()
         self._running = True
         now = self.network.scheduler.now
         for member in self.owner.current_members():
@@ -91,8 +82,7 @@ class HeartbeatDetector(FailureDetector):
         if not self._running or self.owner is None:
             return
         owner = self.owner
-        own = self.network.get_process(owner.pid)
-        if own is None or own.crashed:
+        if not self._own_process_alive():
             self._running = False
             return
         now = self.network.scheduler.now
@@ -112,7 +102,7 @@ class HeartbeatDetector(FailureDetector):
             if obs is not None:
                 obs.observe_last_heard_age(owner.pid, now - last)
             if now - last > self.timeout:
-                self._record_suspicion(member, last_heard=last, now=now)
+                self._record_suspicion(member, silence_start=last, now=now)
                 self._suspect(member)
                 continue
             targets.append(member)
@@ -133,41 +123,12 @@ class HeartbeatDetector(FailureDetector):
                             proc=owner.pid,
                             target=member,
                         )
-            self.network.broadcast(
+            sent = self.network.broadcast(
                 owner.pid, targets, Ping(self._nonce), category="detector"
             )
+            if obs is not None:
+                obs.observe_round_msgs(owner.pid, sent)
         self.network.scheduler.after(self.period, self._tick)
-
-    def _record_suspicion(
-        self, member: ProcessId, last_heard: float, now: float
-    ) -> None:
-        """Make each *new* suspicion visible the moment it is raised.
-
-        Called before :meth:`_suspect`, which only forwards to the owner —
-        a suspicion the owner already shares (or one against a departed
-        member) would otherwise leave no trace anywhere.
-        """
-        if member in self._suspected:
-            return
-        self._suspected.add(member)
-        obs = self.network.obs
-        if obs is None or self.owner is None:
-            return
-        # Ground truth from the trace: suspecting a never-crashed process is
-        # the paper's "perceived failure" — count it separately.
-        false_suspicion = member not in self.network.trace.crashed()
-        obs.count_suspicion(self.owner.pid, false_suspicion)
-        # Detection latency: silence began at last_heard, verdict is now.
-        obs.spans.emit(
-            "detector.detection",
-            start=last_heard,
-            end=now,
-            proc=self.owner.pid,
-            target=member,
-            false_suspicion=false_suspicion,
-        )
-        # The probe to this target will never be answered.
-        obs.spans.discard("detector.probe", (self.owner.pid, member))
 
     # -------------------------------------------------------------- messages
 
@@ -180,11 +141,9 @@ class HeartbeatDetector(FailureDetector):
             return isinstance(payload, (Ping, Pong))
         self._mark_heard(sender)
         if isinstance(payload, Ping):
-            owner = self.owner
-            own = self.network.get_process(owner.pid) if owner else None
-            if owner is not None and own is not None and not own.crashed:
+            if self.owner is not None and self._own_process_alive():
                 self.network.send(
-                    owner.pid, sender, Pong(payload.nonce), category="detector"
+                    self.owner.pid, sender, Pong(payload.nonce), category="detector"
                 )
             return True
         return isinstance(payload, Pong)

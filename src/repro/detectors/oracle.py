@@ -46,6 +46,7 @@ class OracleDetector(FailureDetector):
         self.network.add_crash_observer(self._on_real_crash)
 
     def start(self) -> None:
+        self._require_attached()
         self._started = True
         # Processes that crashed before we started still count.
         for pid in self.network.trace.quit_or_crashed():

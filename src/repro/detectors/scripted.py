@@ -30,6 +30,7 @@ class ScriptedDetector(FailureDetector):
         self._started = False
 
     def start(self) -> None:
+        self._require_attached()
         self._started = True
         pending, self._pending = self._pending, []
         for at, target in pending:
@@ -37,6 +38,13 @@ class ScriptedDetector(FailureDetector):
 
     def stop(self) -> None:
         self._started = False
+
+    def on_message(self, sender: ProcessId, payload: object) -> bool:
+        """Scripted detectors carry no traffic; late deliveries after
+        :meth:`stop` are ignored either way (the shared lifecycle
+        contract — scheduled suspicions are likewise suppressed by
+        :meth:`_fire` once stopped)."""
+        return False
 
     def suspect_at(self, time: float, target: ProcessId) -> None:
         """Schedule ``faulty_owner(target)`` at absolute time ``time``.

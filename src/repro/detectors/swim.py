@@ -1,0 +1,511 @@
+"""SWIM-style randomized probing with Lifeguard local-health timeouts.
+
+The heartbeat detector fans out to every member each round — O(n) messages
+per process per round, quadratic group-wide, which dominates simulation
+cost long before the GMP itself is stressed.  :class:`SwimDetector`
+implements the SWIM failure-detector component (Das, Gupta & Motivala,
+DSN 2002) over the same simulated network:
+
+* **random k-probe** — each round the detector probes one member chosen by
+  round-robin over a randomly shuffled permutation of its view (bounded
+  staleness: every member is probed within one full traversal);
+* **indirect probe relay** — a direct-probe timeout triggers a
+  ``probe-req`` through ``indirect_probes`` helpers, so one slow link
+  cannot by itself produce a verdict;
+* **suspicion before verdict** — a fully failed probe round only *suspects*
+  the target; the verdict (the owner's ``faulty_p(q)`` input) fires after
+  ``suspicion_timeout`` with no life signal, leaving time for refutation;
+* **piggybacked dissemination** — suspect/alive/faulty updates ride on
+  probe traffic (bounded retransmit budgets), never on dedicated fan-outs.
+
+:class:`LifeguardDetector` layers Lifeguard (Dadgar, Phanishayee & Currey,
+arXiv:1707.00788): a **local-health multiplier** (LHM) raised by missed
+acks and by hearing oneself suspected, which stretches this detector's
+probe and suspicion timeouts while it has evidence that *it* — not its
+peers — is the slow party.  That is exactly the false-positive trade the
+QoS matrix measures (``repro bench --detectors``, docs/DETECTORS.md).
+
+Simplifications vs the published protocols, on purpose: updates carry no
+incarnation numbers (the GMP's join protocol owns incarnations here —
+refutation is evidence-based: *any* message from a suspect clears the
+suspicion), and the probe rate does not scale with LHM (only timeouts do).
+All randomness flows through one injected :class:`random.Random`, so runs
+are deterministic per seed; detector traffic is sent with
+``category="detector"`` so benchmarks can separate it from the protocol's.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.detectors.base import NetworkDetector
+from repro.ids import ProcessId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import Network
+
+__all__ = ["Probe", "ProbeAck", "ProbeReq", "SwimDetector", "LifeguardDetector"]
+
+#: piggybacked update kinds: (kind, target) tuples.
+SUSPECT = "suspect"
+ALIVE = "alive"
+FAULTY = "faulty"
+
+Update = tuple[str, ProcessId]
+
+
+@dataclass(frozen=True, slots=True)
+class Probe:
+    """One liveness probe.  ``origin`` is the requester on whose behalf a
+    helper relays (``None`` for a direct probe)."""
+
+    nonce: int
+    origin: Optional[ProcessId] = None
+    updates: tuple[Update, ...] = field(default=())
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeAck:
+    """Reply attesting ``target``'s liveness for ``origin``'s probe ``nonce``.
+
+    Routed back the way the probe came: directly, or through the relay that
+    forwarded the probe (which forwards the ack unchanged to ``origin``).
+    """
+
+    nonce: int
+    origin: ProcessId
+    target: ProcessId
+    updates: tuple[Update, ...] = field(default=())
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeReq:
+    """Ask a helper to probe ``target`` on the sender's behalf."""
+
+    nonce: int
+    target: ProcessId
+    updates: tuple[Update, ...] = field(default=())
+
+
+class SwimDetector(NetworkDetector):
+    """Randomized k-probe + indirect relay + piggybacked dissemination."""
+
+    def __init__(
+        self,
+        network: "Network",
+        period: float = 2.0,
+        probe_timeout: float = 5.0,
+        indirect_timeout: Optional[float] = None,
+        suspicion_timeout: float = 8.0,
+        indirect_probes: int = 3,
+        piggyback: int = 6,
+        gossip_budget: int = 8,
+        rng: Optional[random.Random] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(network)
+        if period <= 0 or probe_timeout <= 0 or suspicion_timeout <= 0:
+            raise ValueError("period and timeouts must be positive")
+        if indirect_probes < 0:
+            raise ValueError("indirect_probes must be non-negative")
+        self.period = period
+        self.probe_timeout = probe_timeout
+        self.indirect_timeout = (
+            indirect_timeout if indirect_timeout is not None else probe_timeout
+        )
+        self.suspicion_timeout = suspicion_timeout
+        self.indirect_probes = indirect_probes
+        self.piggyback = piggyback
+        self.gossip_budget = gossip_budget
+        #: all randomness (probe order, helper choice) flows through here.
+        self.rng = rng if rng is not None else random.Random(seed)
+        self._nonce = 0
+        #: in-flight probes I originated: nonce -> target.
+        self._pending: dict[int, ProcessId] = {}
+        #: relays I am helping with: (origin, nonce) -> target.
+        self._relays: dict[tuple[ProcessId, int], ProcessId] = {}
+        #: active (unconfirmed) suspicions: target -> verdict deadline.
+        self._suspicion_deadline: dict[ProcessId, float] = {}
+        #: piggyback queue: (kind, target) -> remaining transmissions.
+        self._gossip: dict[Update, int] = {}
+        #: shuffled probe order, consumed from the end (round-robin SWIM).
+        self._order: list[ProcessId] = []
+        self._last_heard: dict[ProcessId, float] = {}
+        self._rounds = 0
+        self._round_msgs = 0
+        self._msgs_sent = 0
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        self._require_attached()
+        self._running = True
+        now = self.network.scheduler.now
+        for member in self.owner.current_members():
+            self._last_heard.setdefault(member, now)
+        self._tick()
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -------------------------------------------------------- health hooks
+
+    def _timeout_scale(self) -> float:
+        """Multiplier on probe/suspicion timeouts (Lifeguard overrides)."""
+        return 1.0
+
+    def _on_probe_missed(self) -> None:
+        """A probe round ended with no ack at all (Lifeguard overrides)."""
+
+    def _on_probe_acked(self) -> None:
+        """A probe was answered in time (Lifeguard overrides)."""
+
+    def _on_self_suspected(self) -> None:
+        """Gossip says someone suspects *me* (Lifeguard overrides)."""
+
+    # ----------------------------------------------------------------- ticks
+
+    def rounds(self) -> int:
+        """Completed probe rounds (for msgs/process/round accounting)."""
+        return self._rounds
+
+    def messages_sent(self) -> int:
+        """Total detector messages this instance has sent."""
+        return self._msgs_sent
+
+    def _tick(self) -> None:
+        if not self._running or self.owner is None:
+            return
+        if not self._own_process_alive():
+            self._running = False
+            return
+        owner = self.owner
+        obs = self.network.obs
+        if obs is not None and self._rounds > 0:
+            obs.observe_round_msgs(owner.pid, self._round_msgs)
+        self._rounds += 1
+        self._round_msgs = 0
+        target = self._next_target()
+        if target is not None:
+            self._nonce += 1
+            nonce = self._nonce
+            self._pending[nonce] = target
+            if obs is not None:
+                probe_key = (owner.pid, target)
+                if not obs.spans.is_open("detector.probe", probe_key):
+                    obs.spans.begin(
+                        "detector.probe",
+                        probe_key,
+                        at=self.network.scheduler.now,
+                        proc=owner.pid,
+                        target=target,
+                    )
+            self._send(target, Probe(nonce, None, self._take_updates()))
+            self.network.scheduler.after(
+                self.probe_timeout * self._timeout_scale(),
+                lambda: self._direct_timeout(nonce),
+            )
+        self.network.scheduler.after(self.period, self._tick)
+
+    def _next_target(self) -> Optional[ProcessId]:
+        """Round-robin over a shuffled view permutation (classic SWIM).
+
+        Reshuffling only when the permutation is exhausted bounds probe
+        staleness: every member is probed within one full traversal.
+        """
+        owner = self.owner
+        assert owner is not None
+        me = owner.pid
+        while self._order:
+            candidate = self._order.pop()
+            if (
+                candidate != me
+                and owner.is_current_member(candidate)
+                and not owner.believes_faulty(candidate)
+            ):
+                return candidate
+        members = [
+            m
+            for m in owner.current_members()
+            if m != me and not owner.believes_faulty(m)
+        ]
+        if not members:
+            return None
+        # Prune liveness/suspicion state for departed members while we hold
+        # the fresh view (the cheap, once-per-traversal moment).
+        current = set(owner.current_members())
+        for stale in [m for m in self._last_heard if m not in current]:
+            del self._last_heard[stale]
+        for stale in [m for m in self._suspicion_deadline if m not in current]:
+            del self._suspicion_deadline[stale]
+        for stale_key in [k for k, t in self._relays.items() if t not in current]:
+            del self._relays[stale_key]
+        self._order = members
+        self.rng.shuffle(self._order)
+        return self._order.pop()
+
+    def _direct_timeout(self, nonce: int) -> None:
+        """No direct ack in time: relay the probe through helpers."""
+        if not self._running or not self._own_process_alive():
+            return
+        target = self._pending.get(nonce)
+        if target is None:
+            return  # answered (or target evidence arrived) in the meantime
+        updates = self._take_updates()
+        for helper in self._pick_helpers(target):
+            self._send(helper, ProbeReq(nonce, target, updates))
+        self.network.scheduler.after(
+            self.indirect_timeout * self._timeout_scale(),
+            lambda: self._probe_failed(nonce),
+        )
+
+    def _pick_helpers(self, target: ProcessId) -> list[ProcessId]:
+        owner = self.owner
+        assert owner is not None
+        candidates = [
+            m
+            for m in owner.current_members()
+            if m != owner.pid and m != target and not owner.believes_faulty(m)
+        ]
+        if len(candidates) <= self.indirect_probes:
+            return candidates
+        return self.rng.sample(candidates, self.indirect_probes)
+
+    def _probe_failed(self, nonce: int) -> None:
+        """Direct and indirect probes all unanswered: suspect the target."""
+        if not self._running or not self._own_process_alive():
+            return
+        target = self._pending.pop(nonce, None)
+        if target is None:
+            return
+        self._on_probe_missed()
+        self._start_suspicion(target)
+
+    # ------------------------------------------------------------ suspicion
+
+    def _start_suspicion(self, target: ProcessId) -> None:
+        owner = self.owner
+        assert owner is not None
+        if (
+            target == owner.pid
+            or owner.believes_faulty(target)
+            or not owner.is_current_member(target)
+            or target in self._suspicion_deadline
+        ):
+            return
+        deadline = (
+            self.network.scheduler.now
+            + self.suspicion_timeout * self._timeout_scale()
+        )
+        self._suspicion_deadline[target] = deadline
+        self._queue_update(SUSPECT, target)
+        self.network.scheduler.at(
+            deadline, lambda: self._suspicion_expired(target, deadline)
+        )
+
+    def _suspicion_expired(self, target: ProcessId, deadline: float) -> None:
+        if not self._running or not self._own_process_alive():
+            return
+        if self._suspicion_deadline.get(target) != deadline:
+            return  # refuted (evidence arrived) or superseded
+        del self._suspicion_deadline[target]
+        self._confirm_faulty(target)
+
+    def _confirm_faulty(self, target: ProcessId) -> None:
+        """Deliver the verdict and disseminate it."""
+        now = self.network.scheduler.now
+        self._record_suspicion(
+            target, silence_start=self._last_heard.get(target, now), now=now
+        )
+        self._queue_update(FAULTY, target)
+        self._suspect(target)
+
+    # --------------------------------------------------------------- gossip
+
+    def _queue_update(self, kind: str, target: ProcessId) -> None:
+        """Queue a piggybacked update with a fresh retransmit budget.
+
+        Contradictory queued updates about the same target are dropped:
+        the newest local knowledge wins (there are no incarnation numbers —
+        see the module docstring).
+        """
+        if kind == SUSPECT and (ALIVE, target) in self._gossip:
+            del self._gossip[(ALIVE, target)]
+        elif kind == ALIVE and (SUSPECT, target) in self._gossip:
+            del self._gossip[(SUSPECT, target)]
+        elif kind == FAULTY:
+            self._gossip.pop((SUSPECT, target), None)
+            self._gossip.pop((ALIVE, target), None)
+        self._gossip[(kind, target)] = self.gossip_budget
+
+    def _take_updates(self) -> tuple[Update, ...]:
+        """Pop up to ``piggyback`` updates for one outgoing message."""
+        if not self._gossip:
+            return ()
+        taken: list[Update] = []
+        exhausted: list[Update] = []
+        for key, left in self._gossip.items():
+            taken.append(key)
+            if left <= 1:
+                exhausted.append(key)
+            else:
+                self._gossip[key] = left - 1
+            if len(taken) == self.piggyback:
+                break
+        for key in exhausted:
+            del self._gossip[key]
+        return tuple(taken)
+
+    def _apply_updates(self, updates: tuple[Update, ...]) -> None:
+        owner = self.owner
+        if owner is None or not updates:
+            return
+        for kind, target in updates:
+            if target == owner.pid:
+                if kind == SUSPECT:
+                    # Someone thinks I'm dead: defend myself on every
+                    # message I send, and note the health signal.
+                    self._on_self_suspected()
+                    self._queue_update(ALIVE, owner.pid)
+                continue
+            if kind == FAULTY:
+                if owner.is_current_member(target) and not owner.believes_faulty(
+                    target
+                ):
+                    self._suspicion_deadline.pop(target, None)
+                    self._confirm_faulty(target)
+            elif kind == SUSPECT:
+                if (SUSPECT, target) not in self._gossip and (
+                    ALIVE,
+                    target,
+                ) not in self._gossip:
+                    self._queue_update(SUSPECT, target)
+                self._start_suspicion(target)
+            elif kind == ALIVE:
+                if target in self._suspicion_deadline:
+                    del self._suspicion_deadline[target]
+                    self._queue_update(ALIVE, target)
+
+    # -------------------------------------------------------------- messages
+
+    def on_message(self, sender: ProcessId, payload: object) -> bool:
+        if not self._running:
+            # A stopped detector must not keep attesting liveness, but it
+            # still swallows detector traffic (matching heartbeat).
+            return isinstance(payload, (Probe, ProbeAck, ProbeReq))
+        if isinstance(payload, Probe):
+            self._mark_alive(sender)
+            self._apply_updates(payload.updates)
+            if self.owner is not None and self._own_process_alive():
+                origin = payload.origin if payload.origin is not None else sender
+                self._send(
+                    sender,
+                    ProbeAck(
+                        payload.nonce, origin, self.owner.pid, self._take_updates()
+                    ),
+                )
+            return True
+        if isinstance(payload, ProbeAck):
+            self._mark_alive(sender)
+            self._apply_updates(payload.updates)
+            owner = self.owner
+            if owner is None:
+                return True
+            if payload.origin == owner.pid:
+                # An answer to my probe (direct, or forwarded by a helper).
+                if self._pending.pop(payload.nonce, None) is not None:
+                    self._on_probe_acked()
+                self._mark_alive(payload.target)
+            else:
+                # I relayed this probe: forward the ack to its origin, once.
+                relay_key = (payload.origin, payload.nonce)
+                if (
+                    self._relays.pop(relay_key, None) is not None
+                    and self._own_process_alive()
+                    and not owner.believes_faulty(payload.origin)
+                ):
+                    self._send(payload.origin, payload)
+            return True
+        if isinstance(payload, ProbeReq):
+            self._mark_alive(sender)
+            self._apply_updates(payload.updates)
+            owner = self.owner
+            if (
+                owner is not None
+                and self._own_process_alive()
+                and payload.target != owner.pid
+                and not owner.believes_faulty(payload.target)
+            ):
+                self._relays[(sender, payload.nonce)] = payload.target
+                self._send(
+                    payload.target,
+                    Probe(payload.nonce, sender, self._take_updates()),
+                )
+            return True
+        return False
+
+    def observed_traffic(self, sender: ProcessId) -> None:
+        """Protocol hook: any protocol message from ``sender`` is evidence."""
+        self._mark_alive(sender)
+
+    def _mark_alive(self, subject: ProcessId) -> None:
+        """Life evidence: refresh liveness, cancel probes, refute suspicion."""
+        now = self.network.scheduler.now
+        self._last_heard[subject] = now
+        obs = self.network.obs
+        if obs is not None and self.owner is not None:
+            rtt = obs.spans.end("detector.probe", (self.owner.pid, subject), at=now)
+            if rtt is not None:
+                obs.observe_probe_rtt(self.owner.pid, rtt)
+        pending = [n for n, t in self._pending.items() if t == subject]
+        for nonce in pending:
+            del self._pending[nonce]
+        if subject in self._suspicion_deadline:
+            # Direct evidence beats the pending verdict: refute and tell
+            # everyone who may have heard our earlier suspect update.
+            del self._suspicion_deadline[subject]
+            self._queue_update(ALIVE, subject)
+
+    def _send(self, to: ProcessId, payload: object) -> None:
+        assert self.owner is not None
+        self.network.send(self.owner.pid, to, payload, category="detector")
+        self._round_msgs += 1
+        self._msgs_sent += 1
+
+
+class LifeguardDetector(SwimDetector):
+    """SWIM + Lifeguard's local health aware timeouts (LHM).
+
+    The local-health multiplier rises on evidence that *this* process is
+    slow (its probes miss their acks; its peers suspect it) and decays on
+    timely acks.  Probe and suspicion timeouts stretch by ``1 + LHM``, so a
+    slow-but-live observer waits longer before judging its healthy peers —
+    the mechanism that cuts false positives under slow-processing/flaky
+    chaos without touching detection latency on a healthy node (LHM 0 means
+    exactly SWIM's timeouts).
+    """
+
+    def __init__(self, *args: object, max_lhm: int = 8, **kwargs: object) -> None:
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        if max_lhm < 1:
+            raise ValueError("max_lhm must be at least 1")
+        self.max_lhm = max_lhm
+        self._lhm = 0
+
+    def local_health(self) -> int:
+        """The current LHM score (0 = healthy, ``max_lhm`` = saturated)."""
+        return self._lhm
+
+    def _timeout_scale(self) -> float:
+        return 1.0 + self._lhm
+
+    def _on_probe_missed(self) -> None:
+        self._lhm = min(self.max_lhm, self._lhm + 1)
+
+    def _on_probe_acked(self) -> None:
+        self._lhm = max(0, self._lhm - 1)
+
+    def _on_self_suspected(self) -> None:
+        self._lhm = min(self.max_lhm, self._lhm + 1)

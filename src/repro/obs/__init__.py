@@ -58,6 +58,11 @@ class Obs:
             "Age of last-heard timestamp per peer, sampled at each tick.",
             labels=("proc",),
         )
+        self._round_msgs = self.metrics.gauge(
+            "repro_detector_msgs_per_round",
+            "Detector messages sent in the most recent probe round, by process.",
+            labels=("proc",),
+        )
         # Per-(proc, category) Counter children, memoised so the per-message
         # path is one dict get + one float add — ``labels()`` re-validates
         # arity on every call, which the bench overhead gate can't afford.
@@ -84,6 +89,10 @@ class Obs:
 
     def observe_last_heard_age(self, proc: object, age: float) -> None:
         self._last_heard_age.labels(proc).observe(age)
+
+    def observe_round_msgs(self, proc: object, msgs: float) -> None:
+        """Gauge one probe round's detector fan-out size for ``proc``."""
+        self._round_msgs.labels(proc).set(msgs)
 
     # ------------------------------------------------------------- snapshots
 

@@ -43,6 +43,7 @@ __all__ = [
     "check_scale_regression",
     "check_obs_overhead",
     "check_shard_section",
+    "check_detector_qos",
     "BENCH_FILENAME",
     "PROFILE_FILENAME",
 ]
@@ -65,6 +66,23 @@ _SHARD_COUNTS = (1, 2, 4)
 _SHARD_GROUPS = 8
 _SHARD_GROUP_SIZE = 50
 _SHARD_QUICK_GROUP_SIZE = 25
+
+#: the ``--detectors`` QoS matrix (docs/DETECTORS.md).  Heartbeat stops at
+#: n=250: its O(n^2) per-round traffic makes larger cells cost minutes for
+#: a number the 100->250 growth already demonstrates; the SWIM family is
+#: exactly the detector that makes n=1000 affordable, so it runs there.
+_DETECTOR_SIZES: dict[str, list[int]] = {
+    "heartbeat": [100, 250],
+    "swim": [100, 250, 500, 1000],
+    "lifeguard": [100, 250, 500, 1000],
+}
+_DETECTOR_QUICK_SIZES: dict[str, list[int]] = {
+    "heartbeat": [100],
+    "swim": [100],
+    "lifeguard": [100],
+}
+_DETECTOR_SEEDS = [1]
+_DETECTOR_QUICK_SEEDS = [1, 2]
 
 #: the Figure 4 family: coordinator and an outer member suspect each other.
 _FIGURE4_PARAMS: dict[str, Any] = {
@@ -176,12 +194,16 @@ def _bench_dedup() -> dict[str, Any]:
 def _churn_cell(n: int) -> dict[str, Any]:
     """One ``--scale`` cell: join-churn-exclude throughput at size ``n``."""
     from repro.workloads.failures import churn_run
+    from repro.workloads.qos import ROUND_PERIOD
 
     start = time.perf_counter()  # lint: allow[DET101]
     cluster = churn_run(n, seed=0, trace_level="counts")
     wall = time.perf_counter() - start  # lint: allow[DET101]
     events = cluster.scheduler.events_run
     msgs = cluster.trace.message_count(None)
+    # Normalised against the canonical probe-round length so scale cells
+    # and the ``detectors`` QoS matrix share one msgs/process/round axis.
+    rounds = cluster.scheduler.now / ROUND_PERIOD
     return {
         "n": n,
         "wall_s": wall,
@@ -189,6 +211,7 @@ def _churn_cell(n: int) -> dict[str, Any]:
         "events_per_sec": events / wall if wall > 0 else 0.0,
         "msgs": msgs,
         "msgs_per_sec": msgs / wall if wall > 0 else 0.0,
+        "msgs_per_process_per_round": msgs / (n * rounds) if rounds > 0 else 0.0,
     }
 
 
@@ -201,6 +224,113 @@ def _bench_scale(sizes: list[int]) -> dict[str, Any]:
         "trace_level": "counts",
         "cells": [_churn_cell(n) for n in sizes],
     }
+
+
+def _bench_detectors(quick: bool) -> dict[str, Any]:
+    """The ``--detectors`` section: heartbeat vs SWIM vs Lifeguard QoS.
+
+    Cells run sequentially for the same reason the scale sweep does — the
+    wall clocks are part of the payload.  The matrix crosses every
+    (kind, n) pair with both chaos plans and every seed; ``--quick`` keeps
+    n=100 only but doubles the seeds, so the CI smoke job still exercises
+    seed-to-seed variation.
+    """
+    from repro.workloads.qos import QOS_PLANS, ROUND_PERIOD, detector_qos_cell
+
+    sizes = _DETECTOR_QUICK_SIZES if quick else _DETECTOR_SIZES
+    seeds = _DETECTOR_QUICK_SEEDS if quick else _DETECTOR_SEEDS
+    cells = [
+        detector_qos_cell(kind, n, plan=plan, seed=seed)
+        for plan in QOS_PLANS
+        for kind, ns in sizes.items()
+        for n in ns
+        for seed in seeds
+    ]
+    return {
+        "round_period": ROUND_PERIOD,
+        "plans": list(QOS_PLANS),
+        "seeds": list(seeds),
+        "cells": cells,
+    }
+
+
+def _detector_cells(
+    section: dict[str, Any], kind: str, plan: str, n: Optional[int] = None
+) -> list[dict[str, Any]]:
+    return [
+        cell
+        for cell in section["cells"]
+        if cell["kind"] == kind
+        and cell["plan"] == plan
+        and (n is None or cell["n"] == n)
+    ]
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def check_detector_qos(
+    payload: dict[str, Any], ppr_ratio_threshold: float = 2.0
+) -> list[str]:
+    """Gate the ``detectors`` section: the two claims the matrix exists for.
+
+    * SWIM's message load is O(1) in group size: mean msgs/process/round at
+      the largest crash-only n must stay within ``ppr_ratio_threshold``
+      times the smallest-n value (heartbeat is exempt — growing ~n is its
+      documented cost).
+    * Lifeguard's local-health multiplier pays off: under the slow-flaky
+      plan its mean distinct false positives must not exceed SWIM's at any
+      group size both ran.
+
+    Empty list when the payload has no section (run without
+    ``--detectors``); one message per violated claim otherwise.
+    """
+    section = payload.get("detectors")
+    if section is None:
+        return []
+    failures = []
+    swim_ns = sorted({c["n"] for c in _detector_cells(section, "swim", "crash-only")})
+    if len(swim_ns) >= 1:
+        lo, hi = swim_ns[0], swim_ns[-1]
+        base = _mean(
+            [
+                c["msgs_per_process_per_round"]
+                for c in _detector_cells(section, "swim", "crash-only", lo)
+            ]
+        )
+        top = _mean(
+            [
+                c["msgs_per_process_per_round"]
+                for c in _detector_cells(section, "swim", "crash-only", hi)
+            ]
+        )
+        if base > 0 and top > ppr_ratio_threshold * base:
+            failures.append(
+                f"swim msgs/process/round grew with n: {top:.2f} at n={hi} is "
+                f"more than {ppr_ratio_threshold:.1f}x the {base:.2f} at n={lo}"
+            )
+    lifeguard_ns = {c["n"] for c in _detector_cells(section, "lifeguard", "slow-flaky")}
+    swim_flaky_ns = {c["n"] for c in _detector_cells(section, "swim", "slow-flaky")}
+    for n in sorted(lifeguard_ns & swim_flaky_ns):
+        swim_fp = _mean(
+            [
+                c["false_positives"]["distinct_targets"]
+                for c in _detector_cells(section, "swim", "slow-flaky", n)
+            ]
+        )
+        lifeguard_fp = _mean(
+            [
+                c["false_positives"]["distinct_targets"]
+                for c in _detector_cells(section, "lifeguard", "slow-flaky", n)
+            ]
+        )
+        if lifeguard_fp > swim_fp:
+            failures.append(
+                f"lifeguard false positives exceed swim's under slow-flaky at "
+                f"n={n}: {lifeguard_fp:.1f} vs {swim_fp:.1f} distinct targets"
+            )
+    return failures
 
 
 def _profile_churn(out_dir: str | Path, n: int = 1000) -> dict[str, Any]:
@@ -471,6 +601,7 @@ def run_bench(
     workers: Optional[int] = None,
     out_dir: str | Path = ".",
     scale: bool = False,
+    detectors: bool = False,
     cache=None,
     metrics_out: str | Path | None = None,
     profile: bool = False,
@@ -502,6 +633,8 @@ def run_bench(
         )
         payload["shards"] = _bench_shards(quick, workers)
         payload["obs_overhead"] = _obs_overhead(n=50 if quick else 100)
+    if detectors:
+        payload["detectors"] = _bench_detectors(quick)
     if profile:
         payload["profile"] = _profile_churn(out_dir, n=1000)
     if cache is not None:
@@ -553,6 +686,24 @@ def summarize(payload: dict[str, Any]) -> str:
                 f"  n={cell['n']:<5} {cell['events']:>8} events  "
                 f"{cell['wall_s']:8.3f}s  {cell['events_per_sec']:>10,.0f} ev/s  "
                 f"{cell['msgs_per_sec']:>10,.0f} msg/s"
+            )
+    detectors = payload.get("detectors")
+    if detectors is not None:
+        lines.append(
+            f"detectors (round={detectors['round_period']:.1f}, "
+            f"seeds={detectors['seeds']}):"
+        )
+        for cell in detectors["cells"]:
+            detection = cell["detection"]
+            latency = detection["mean_latency"]
+            lines.append(
+                f"  {cell['plan']:<11} {cell['kind']:<10} n={cell['n']:<5} "
+                f"seed={cell['seed']} "
+                f"{cell['msgs_per_process_per_round']:>8.2f} msg/proc/round  "
+                f"latency "
+                + (f"{latency:6.1f}" if latency is not None else "  MISS")
+                + f"  fp={cell['false_positives']['distinct_targets']:<4}"
+                f" {cell['wall_s']:7.2f}s"
             )
     shards = payload.get("shards")
     if shards is not None:

@@ -1,0 +1,360 @@
+"""Detector QoS harness: heartbeat vs SWIM vs Lifeguard, head to head.
+
+The paper treats the detection mechanism as an input (F1) and proves the
+membership protocol safe under *any* detector.  This module measures what
+the choice of detector costs operationally — the three axes of the
+``detectors`` section of ``BENCH_results.json`` (``repro bench
+--detectors``, docs/DETECTORS.md):
+
+* **detection latency** — time (and probe rounds) from a real crash to the
+  first surviving observer's verdict;
+* **false-positive rate** — never-crashed processes convicted anyway,
+  counted both as distinct victims and as (observer, victim) pairs;
+* **message load** — detector messages per process per probe round, the
+  axis where heartbeat's O(n) fan-out and SWIM's O(1) probing diverge.
+
+Hosts here are *detector-only*: minimal :class:`~repro.sim.process.
+SimProcess` subclasses satisfying the :class:`~repro.detectors.base.
+Suspectable` contract with a fixed member list and no membership protocol
+on top.  That isolates detector QoS from GMP reconfiguration cost, keeps
+n = 1000 cells affordable, and still exercises the exact detector code the
+cluster runs (``core/service.py`` wires the same classes).
+
+Two chaos plans bound the design space:
+
+* ``crash-only`` — healthy uniform delays; two junior members crash.
+  Baseline latency/load, zero expected false positives.
+* ``slow-flaky`` — same crashes, but ~5% of the group sits behind
+  :class:`SlowLinkDelay`: links touching a slow process draw heavy-tailed
+  extra delay half the time.  Slow-but-live members look dead (the paper's
+  "perceived failure"), and a slow process *itself* misjudges its healthy
+  peers — the false-positive source Lifeguard's local-health multiplier
+  suppresses.
+
+Everything is deterministic per ``seed``: per-host detector RNGs are
+sha256-derived (never :func:`hash` — it is salted per interpreter) and the
+network's delay RNG is seeded by the same cell seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import time
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.detectors import HeartbeatDetector, LifeguardDetector, SwimDetector
+from repro.detectors.base import FailureDetector, NetworkDetector
+from repro.ids import ProcessId, pid
+from repro.sim.network import DelayModel, Network, UniformDelay
+from repro.sim.process import SimProcess
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import RunTrace, TraceLevel
+
+__all__ = [
+    "ROUND_PERIOD",
+    "QOS_DURATION",
+    "QOS_PLANS",
+    "SlowLinkDelay",
+    "DetectorHost",
+    "QosRun",
+    "detector_qos_run",
+    "detector_qos_cell",
+]
+
+#: canonical probe-round length shared by every detector in the matrix —
+#: also the round length ``bench --scale`` uses to normalise churn-cell
+#: message counts into msgs/process/round.
+ROUND_PERIOD = 2.0
+
+#: simulated seconds per cell (25 probe rounds).
+QOS_DURATION = 50.0
+
+#: the chaos plans every (detector, n) pair runs under.
+QOS_PLANS = ("crash-only", "slow-flaky")
+
+#: sim-times at which the two junior victims crash.
+_CRASH_TIMES = (10.0, 12.0)
+
+#: slow-flaky plan shape: fraction of the group behind slow links, the
+#: extra one-way delay drawn on a flaky leg, and the per-leg flake odds.
+_SLOW_FRACTION = 0.05
+_SLOW_EXTRA = 6.0
+_FLAKE_PROB = 0.5
+
+
+class SlowLinkDelay:
+    """Wrap a base :class:`DelayModel`; links touching ``slow`` go bad.
+
+    Each leg that touches a slow process independently draws, with
+    probability ``flake_prob``, an extra delay uniform in
+    ``[extra, 2*extra]`` on top of the base model — a heavy tail that
+    dwarfs any fixed probe timeout, which is the point: a slow-but-live
+    process is indistinguishable from a crashed one (Section 1).
+    """
+
+    def __init__(
+        self,
+        base: DelayModel,
+        slow: Iterable[ProcessId],
+        extra: float = _SLOW_EXTRA,
+        flake_prob: float = _FLAKE_PROB,
+    ) -> None:
+        self.base = base
+        self.slow = frozenset(slow)
+        self.extra = extra
+        self.flake_prob = flake_prob
+
+    def delay(
+        self, sender: ProcessId, receiver: ProcessId, rng: random.Random
+    ) -> float:
+        value = self.base.delay(sender, receiver, rng)
+        if sender in self.slow or receiver in self.slow:
+            if rng.random() < self.flake_prob:
+                value += self.extra * (1.0 + rng.random())
+        return value
+
+
+class DetectorHost(SimProcess):
+    """Minimal Suspectable process hosting one detector, no GMP on top.
+
+    The member list is fixed for the whole run (verdicts only mark targets
+    faulty, matching the GMP's remove-don't-rejoin semantics); suspicion
+    verdicts accumulate in :attr:`suspected`.
+    """
+
+    def __init__(
+        self,
+        pid_: ProcessId,
+        network: Network,
+        detector: FailureDetector,
+        members: Sequence[ProcessId],
+    ) -> None:
+        super().__init__(pid_, network)
+        self.detector = detector
+        self._members = tuple(members)
+        self._member_set = frozenset(members)
+        self.suspected: set[ProcessId] = set()
+        detector.attach(self)
+
+    def on_start(self) -> None:
+        self.detector.start()
+
+    def current_members(self) -> tuple[ProcessId, ...]:
+        return self._members
+
+    def is_current_member(self, target: ProcessId) -> bool:
+        return target in self._member_set
+
+    def believes_faulty(self, target: ProcessId) -> bool:
+        return target in self.suspected
+
+    def on_suspect(self, target: ProcessId) -> None:
+        self.suspected.add(target)
+
+    def on_message(self, sender: ProcessId, payload: object) -> None:
+        self.detector.on_message(sender, payload)
+
+
+def _host_seed(seed: int, member: ProcessId) -> int:
+    """Stable per-host RNG seed (sha256, not the salted builtin hash)."""
+    digest = hashlib.sha256(f"qos:{seed}:{member}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _slow_members(
+    members: Sequence[ProcessId],
+    victims: Iterable[ProcessId],
+    fraction: float = _SLOW_FRACTION,
+) -> frozenset[ProcessId]:
+    """Pick ~``fraction`` of the group, index-spaced, skipping victims.
+
+    Deterministic without any RNG so the slow set is identical across
+    detector kinds at the same (n, seed) — the comparison stays paired.
+    """
+    excluded = set(victims)
+    count = max(1, round(len(members) * fraction))
+    step = max(1, len(members) // count)
+    slow: list[ProcessId] = []
+    for index in range(1, len(members), step):
+        member = members[index]
+        if member in excluded:
+            continue
+        slow.append(member)
+        if len(slow) == count:
+            break
+    return frozenset(slow)
+
+
+def _make_detector(
+    kind: str, network: Network, seed: int, member: ProcessId
+) -> FailureDetector:
+    if kind == "heartbeat":
+        return HeartbeatDetector(network, period=ROUND_PERIOD, timeout=8.0)
+    if kind in ("swim", "lifeguard"):
+        cls = SwimDetector if kind == "swim" else LifeguardDetector
+        return cls(
+            network,
+            period=ROUND_PERIOD,
+            rng=random.Random(_host_seed(seed, member)),
+        )
+    raise ValueError(f"unknown detector kind {kind!r}")
+
+
+class QosRun:
+    """One finished QoS run: the fabric plus its crash/slow ground truth."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        network: Network,
+        hosts: dict[ProcessId, DetectorHost],
+        victims: tuple[ProcessId, ...],
+        crash_times: dict[ProcessId, float],
+        slow: frozenset[ProcessId],
+        duration: float,
+    ) -> None:
+        self.scheduler = scheduler
+        self.network = network
+        self.hosts = hosts
+        self.victims = victims
+        self.crash_times = crash_times
+        self.slow = slow
+        self.duration = duration
+
+    # ------------------------------------------------------------- QoS axes
+
+    def detector_messages(self) -> int:
+        return self.network.trace.message_counts_by_category().get("detector", 0)
+
+    def msgs_per_process_per_round(self) -> float:
+        rounds = self.duration / ROUND_PERIOD
+        denom = len(self.hosts) * rounds
+        return self.detector_messages() / denom if denom else 0.0
+
+    def detection_latencies(self) -> dict[str, Optional[float]]:
+        """Per victim: sim-time from crash to the first survivor's verdict.
+
+        ``None`` means no surviving observer convicted the victim before
+        the run ended (the liveness clause was not yet satisfied).
+        """
+        latencies: dict[str, Optional[float]] = {}
+        for victim in self.victims:
+            crashed_at = self.crash_times[victim]
+            first: Optional[float] = None
+            for host in self.hosts.values():
+                if host.pid == victim:
+                    continue
+                detector = host.detector
+                if not isinstance(detector, NetworkDetector):
+                    continue
+                when = detector.suspicion_times().get(victim)
+                if when is None or when < crashed_at:
+                    continue
+                if first is None or when < first:
+                    first = when
+            latencies[str(victim)] = None if first is None else first - crashed_at
+        return latencies
+
+    def false_positives(self) -> dict[str, Any]:
+        """Never-crashed processes convicted anyway: distinct + pairs."""
+        crashed = self.network.trace.crashed()
+        targets: set[ProcessId] = set()
+        pairs = 0
+        for host in self.hosts.values():
+            wrongful = host.suspected - crashed
+            targets |= wrongful
+            pairs += len(wrongful)
+        return {
+            "distinct_targets": len(targets),
+            "observer_target_pairs": pairs,
+            "targets": sorted(str(t) for t in targets),
+        }
+
+
+def detector_qos_run(
+    kind: str,
+    n: int,
+    plan: str = "crash-only",
+    seed: int = 1,
+    duration: float = QOS_DURATION,
+    trace_level: TraceLevel | str | int = "counts",
+    obs: Optional[Any] = None,
+    max_events: int = 20_000_000,
+) -> QosRun:
+    """Run one detector-only group of size ``n`` under a chaos plan.
+
+    ``plan`` is one of :data:`QOS_PLANS`; both crash the two most junior
+    members at t=10 and t=12, ``slow-flaky`` additionally puts ~5% of the
+    survivors behind :class:`SlowLinkDelay`.
+    """
+    if plan not in QOS_PLANS:
+        raise ValueError(f"unknown QoS plan {plan!r} (expected one of {QOS_PLANS})")
+    if n < 4:
+        raise ValueError("QoS cells need n >= 4 (two victims must leave quorum)")
+    members = [pid(f"q{i}") for i in range(n)]
+    victims = (members[-1], members[-2])
+    crash_times = dict(zip(victims, _CRASH_TIMES))
+    slow = (
+        _slow_members(members, victims)
+        if plan == "slow-flaky"
+        else frozenset()
+    )
+    base: DelayModel = UniformDelay(0.5, 2.0)
+    delay_model: DelayModel = SlowLinkDelay(base, slow) if slow else base
+    scheduler = Scheduler()
+    trace = RunTrace(level=trace_level)
+    network = Network(scheduler, trace, delay_model=delay_model, seed=seed)
+    network.obs = obs
+    hosts: dict[ProcessId, DetectorHost] = {}
+    for member in members:
+        detector = _make_detector(kind, network, seed, member)
+        hosts[member] = DetectorHost(member, network, detector, members)
+    for host in hosts.values():
+        host.start()
+    for victim, at in crash_times.items():
+        scheduler.at(at, hosts[victim].crash)
+    # Heartbeat's O(n^2) per-round traffic blows through the scheduler's
+    # default event budget from n=250 up — the very cost the matrix exists
+    # to show — so the cap is a parameter with lots of headroom.
+    scheduler.run(until=duration, max_events=max_events)
+    return QosRun(scheduler, network, hosts, victims, crash_times, slow, duration)
+
+
+def detector_qos_cell(
+    kind: str,
+    n: int,
+    plan: str = "crash-only",
+    seed: int = 1,
+    duration: float = QOS_DURATION,
+) -> dict[str, Any]:
+    """One JSON-able matrix cell: run + measure (top-level, picklable)."""
+    start = time.perf_counter()  # lint: allow[DET101]
+    run = detector_qos_run(kind, n, plan=plan, seed=seed, duration=duration)
+    wall = time.perf_counter() - start  # lint: allow[DET101]
+    latencies = run.detection_latencies()
+    detected = [v for v in latencies.values() if v is not None]
+    mean_latency = sum(detected) / len(detected) if detected else None
+    msgs = run.detector_messages()
+    return {
+        "kind": kind,
+        "n": n,
+        "plan": plan,
+        "seed": seed,
+        "duration": duration,
+        "wall_s": wall,
+        "events": run.scheduler.events_run,
+        "detector_msgs": msgs,
+        "msgs_per_process_per_round": run.msgs_per_process_per_round(),
+        "detection": {
+            "latency_by_victim": latencies,
+            "detected": len(detected),
+            "victims": len(latencies),
+            "mean_latency": mean_latency,
+            "mean_latency_rounds": (
+                mean_latency / ROUND_PERIOD if mean_latency is not None else None
+            ),
+        },
+        "false_positives": run.false_positives(),
+        "slow_members": sorted(str(m) for m in run.slow),
+    }

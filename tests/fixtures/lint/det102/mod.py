@@ -1,0 +1,21 @@
+"""Seeded DET102: probe-target selection off the process-global RNG.
+
+A SWIM-style detector that shuffles its probe permutation with the module
+RNG replays differently on every interpreter run; the fix is the one the
+real :class:`repro.detectors.swim.SwimDetector` uses — thread one seeded
+``random.Random`` through and draw every shuffle/choice from it.
+"""
+
+import random
+
+
+class ProbeScheduler:
+    def __init__(self, members):
+        self.members = list(members)
+        self._order = []
+
+    def next_target(self):
+        if not self._order:
+            self._order = list(self.members)
+            random.shuffle(self._order)  # global RNG: unseeded, irreplayable
+        return self._order.pop()

@@ -1,0 +1,330 @@
+"""SWIM/Lifeguard detector family: behavior, determinism, inertness, QoS.
+
+The determinism and inertness classes mirror ``test_state_equivalence.py``:
+same-seed runs must produce byte-identical FULL traces, and dialing trace
+level down (with obs detached) must change *observation* only — event and
+message counts stay exactly what they were.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+
+import pytest
+
+from repro.detectors.swim import (
+    ALIVE,
+    FAULTY,
+    SUSPECT,
+    LifeguardDetector,
+    Probe,
+    SwimDetector,
+)
+from repro.ids import pid
+from repro.obs import Obs
+from repro.runner.bench import check_detector_qos
+from repro.sim.network import FixedDelay, Network
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import RunTrace
+from repro.workloads.qos import (
+    DetectorHost,
+    detector_qos_cell,
+    detector_qos_run,
+    _slow_members,
+)
+
+A, B, C, D = pid("a"), pid("b"), pid("c"), pid("d")
+
+
+def build_group(kind="swim", members=(A, B, C), delay=0.5, **kwargs):
+    scheduler = Scheduler()
+    network = Network(scheduler, RunTrace(), delay_model=FixedDelay(delay), seed=0)
+    cls = SwimDetector if kind == "swim" else LifeguardDetector
+    hosts = {}
+    for index, member in enumerate(members):
+        # indirect_timeout gets headroom over the 4-hop relay chain
+        # (4 x 0.5 delay), or the failure timer ties with the relayed ack.
+        detector = cls(
+            network,
+            period=1.0,
+            probe_timeout=2.0,
+            indirect_timeout=3.0,
+            suspicion_timeout=4.0,
+            rng=random.Random(100 + index),
+            **kwargs,
+        )
+        hosts[member] = DetectorHost(member, network, detector, members)
+    for host in hosts.values():
+        host.start()
+    return scheduler, network, hosts
+
+
+def canonical(trace) -> list[str]:
+    # msg_id is a process-global counter — strip it, keep everything else.
+    return [re.sub(r"\bm\d+\[", "m[", f"{e.time:.9f}|{e}") for e in trace]
+
+
+class TestSwimBehavior:
+    def test_crashed_member_gets_suspected_then_convicted(self):
+        scheduler, network, hosts = build_group()
+        scheduler.at(5.0, hosts[C].crash)
+        scheduler.run(until=60.0)
+        for observer in (A, B):
+            assert C in hosts[observer].suspected
+        # Suspicion precedes the verdict: no conviction can land before
+        # the probe round plus the suspicion window have both run out.
+        earliest = min(
+            hosts[m].detector.suspicion_times()[C] for m in (A, B)
+        )
+        assert earliest >= 5.0 + 2.0 + 4.0
+
+    def test_live_group_raises_no_suspicions(self):
+        scheduler, network, hosts = build_group()
+        scheduler.run(until=80.0)
+        assert all(host.suspected == set() for host in hosts.values())
+
+    def test_indirect_relay_survives_a_bad_direct_path(self):
+        # A and B cannot talk directly, but C relays probes both ways: the
+        # whole point of probe-req — one bad link must not convict anyone.
+        scheduler, network, hosts = build_group()
+        network.partition({A}, {B})
+        scheduler.run(until=80.0)
+        assert hosts[A].suspected == set()
+        assert hosts[B].suspected == set()
+
+    def test_evidence_refutes_an_active_suspicion(self):
+        scheduler, network, hosts = build_group()
+        detector = hosts[A].detector
+        scheduler.run(until=2.0)
+        detector._start_suspicion(B)
+        assert B in detector._suspicion_deadline
+        detector.on_message(B, Probe(nonce=99))
+        assert B not in detector._suspicion_deadline
+        # The refutation is gossiped so third parties drop it too.
+        assert (ALIVE, B) in detector._gossip
+        scheduler.run(until=20.0)
+        assert hosts[A].suspected == set()
+
+    def test_faulty_gossip_convicts_without_local_probing(self):
+        scheduler, network, hosts = build_group()
+        detector = hosts[A].detector
+        detector.on_message(C, Probe(nonce=7, updates=((FAULTY, B),)))
+        assert B in hosts[A].suspected
+
+    def test_suspect_gossip_about_self_queues_refutation(self):
+        scheduler, network, hosts = build_group()
+        detector = hosts[A].detector
+        detector.on_message(C, Probe(nonce=7, updates=((SUSPECT, A),)))
+        assert (ALIVE, A) in detector._gossip
+
+    def test_piggyback_budget_bounds_retransmissions(self):
+        scheduler, network, hosts = build_group()
+        detector = hosts[A].detector
+        detector.gossip_budget = 2
+        detector._queue_update(SUSPECT, B)
+        assert detector._take_updates() == ((SUSPECT, B),)
+        assert detector._take_updates() == ((SUSPECT, B),)
+        assert detector._take_updates() == ()
+
+    def test_constructor_validation(self):
+        scheduler = Scheduler()
+        network = Network(scheduler, RunTrace(), seed=0)
+        with pytest.raises(ValueError):
+            SwimDetector(network, period=0.0)
+        with pytest.raises(ValueError):
+            SwimDetector(network, indirect_probes=-1)
+        with pytest.raises(ValueError):
+            LifeguardDetector(network, max_lhm=0)
+
+
+class TestLifeguardHealth:
+    def test_lhm_rises_on_misses_and_decays_on_acks(self):
+        scheduler = Scheduler()
+        network = Network(scheduler, RunTrace(), seed=0)
+        detector = LifeguardDetector(network, rng=random.Random(1))
+        assert detector._timeout_scale() == 1.0
+        detector._on_probe_missed()
+        detector._on_probe_missed()
+        assert detector.local_health() == 2
+        assert detector._timeout_scale() == 3.0
+        detector._on_probe_acked()
+        assert detector.local_health() == 1
+
+    def test_lhm_saturates_at_max(self):
+        scheduler = Scheduler()
+        network = Network(scheduler, RunTrace(), seed=0)
+        detector = LifeguardDetector(network, rng=random.Random(1), max_lhm=3)
+        for _ in range(10):
+            detector._on_probe_missed()
+        assert detector.local_health() == 3
+
+    def test_hearing_oneself_suspected_raises_lhm(self):
+        scheduler, network, hosts = build_group(kind="lifeguard")
+        detector = hosts[A].detector
+        detector.on_message(C, Probe(nonce=7, updates=((SUSPECT, A),)))
+        assert detector.local_health() == 1
+
+    def test_isolated_observer_goes_unhealthy(self):
+        # A partitioned from everyone: every probe round misses, so its
+        # local health saturates instead of it convicting the whole group.
+        scheduler, network, hosts = build_group(kind="lifeguard")
+        network.partition({A}, {B, C})
+        scheduler.run(until=60.0)
+        assert hosts[A].detector.local_health() > 0
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", ["swim", "lifeguard"])
+    @pytest.mark.parametrize("plan", ["crash-only", "slow-flaky"])
+    def test_same_seed_full_traces_are_byte_identical(self, kind, plan):
+        first = detector_qos_run(
+            kind, 16, plan=plan, seed=5, duration=40.0, trace_level="full"
+        )
+        second = detector_qos_run(
+            kind, 16, plan=plan, seed=5, duration=40.0, trace_level="full"
+        )
+        assert canonical(first.network.trace) == canonical(second.network.trace)
+
+    def test_different_seeds_diverge(self):
+        # Sanity that the injected RNGs actually steer the run.
+        first = detector_qos_run(
+            "swim", 16, seed=5, duration=40.0, trace_level="full"
+        )
+        second = detector_qos_run(
+            "swim", 16, seed=6, duration=40.0, trace_level="full"
+        )
+        assert canonical(first.network.trace) != canonical(second.network.trace)
+
+    @pytest.mark.parametrize("kind", ["swim", "lifeguard"])
+    def test_cluster_wiring_is_deterministic(self, kind):
+        # Through MembershipCluster (sha256 per-member seeds), not just the
+        # standalone harness.
+        from repro.core.service import MembershipCluster
+
+        def run():
+            cluster = MembershipCluster.of_size(6, detector=kind, seed=11)
+            cluster.start()
+            cluster.crash("p5", at=10.0)
+            cluster.run(until=90.0)
+            return canonical(cluster.trace)
+
+        assert run() == run()
+
+
+class TestInertness:
+    @pytest.mark.parametrize("kind", ["swim", "lifeguard"])
+    def test_counts_level_without_obs_runs_the_same_events(self, kind):
+        # Observation must never perturb: FULL trace + obs capture and
+        # COUNTS trace + no obs execute the exact same simulation.
+        instrumented = detector_qos_run(
+            kind,
+            16,
+            plan="slow-flaky",
+            seed=5,
+            duration=40.0,
+            trace_level="full",
+            obs=Obs(),
+        )
+        bare = detector_qos_run(
+            kind, 16, plan="slow-flaky", seed=5, duration=40.0, trace_level="counts"
+        )
+        assert (
+            instrumented.scheduler.events_run == bare.scheduler.events_run
+        )
+        assert (
+            instrumented.network.trace.message_counts_by_category()
+            == bare.network.trace.message_counts_by_category()
+        )
+
+    def test_obs_captures_detector_instruments(self):
+        obs = Obs()
+        detector_qos_run("swim", 16, seed=5, duration=40.0, obs=obs)
+        rendered = {m.name for m in obs.metrics.families()}
+        assert "repro_detector_msgs_per_round" in rendered
+        assert "repro_detector_probe_rtt" in rendered
+
+
+class TestQosHarness:
+    def test_cell_shape_and_qos_axes(self):
+        cell = detector_qos_cell("swim", 30, plan="crash-only", seed=3)
+        assert cell["detection"]["detected"] == 2
+        assert cell["false_positives"]["distinct_targets"] == 0
+        assert 0 < cell["msgs_per_process_per_round"] < 10
+        assert cell["detector_msgs"] > 0
+
+    def test_heartbeat_fanout_dwarfs_swim(self):
+        heartbeat = detector_qos_cell("heartbeat", 20, seed=3)
+        swim = detector_qos_cell("swim", 20, seed=3)
+        assert (
+            heartbeat["msgs_per_process_per_round"]
+            > 5 * swim["msgs_per_process_per_round"]
+        )
+
+    def test_slow_members_skip_victims(self):
+        members = [pid(f"q{i}") for i in range(100)]
+        victims = (members[-1], members[-2])
+        slow = _slow_members(members, victims)
+        assert len(slow) == 5
+        assert not (slow & set(victims))
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            detector_qos_run("swim", 30, plan="nope")
+        with pytest.raises(ValueError):
+            detector_qos_run("carrier-pigeon", 30)
+        with pytest.raises(ValueError):
+            detector_qos_run("swim", 2)
+
+
+def qos_cell(kind, n, plan, ppr, fp):
+    return {
+        "kind": kind,
+        "n": n,
+        "plan": plan,
+        "seed": 1,
+        "msgs_per_process_per_round": ppr,
+        "false_positives": {"distinct_targets": fp, "observer_target_pairs": fp},
+    }
+
+
+class TestQosGate:
+    def test_no_section_passes(self):
+        assert check_detector_qos({}) == []
+
+    def test_flat_swim_and_better_lifeguard_pass(self):
+        payload = {
+            "detectors": {
+                "cells": [
+                    qos_cell("swim", 100, "crash-only", 2.0, 0),
+                    qos_cell("swim", 1000, "crash-only", 2.1, 0),
+                    qos_cell("swim", 100, "slow-flaky", 2.5, 20),
+                    qos_cell("lifeguard", 100, "slow-flaky", 2.4, 12),
+                ]
+            }
+        }
+        assert check_detector_qos(payload) == []
+
+    def test_growing_swim_ppr_fails(self):
+        payload = {
+            "detectors": {
+                "cells": [
+                    qos_cell("swim", 100, "crash-only", 2.0, 0),
+                    qos_cell("swim", 1000, "crash-only", 5.0, 0),
+                ]
+            }
+        }
+        (failure,) = check_detector_qos(payload)
+        assert "grew with n" in failure
+
+    def test_lifeguard_fp_regression_fails(self):
+        payload = {
+            "detectors": {
+                "cells": [
+                    qos_cell("swim", 100, "slow-flaky", 2.5, 5),
+                    qos_cell("lifeguard", 100, "slow-flaky", 2.4, 9),
+                ]
+            }
+        }
+        (failure,) = check_detector_qos(payload)
+        assert "false positives exceed" in failure

@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.detectors.heartbeat import HeartbeatDetector, Ping, Pong
 from repro.detectors.oracle import OracleDetector
 from repro.detectors.scripted import ScriptedDetector
+from repro.detectors.swim import LifeguardDetector, Probe, SwimDetector
 from repro.ids import pid
 from repro.model.events import EventKind
 from repro.sim.network import FixedDelay, Network
@@ -241,3 +244,73 @@ class TestHeartbeat:
         scheduler.run(until=6.0)  # at least one tick with the new view
         assert B not in a.detector._last_heard
         assert a.suspected == []  # departed, not suspected
+
+
+# --------------------------------------------------------- lifecycle contract
+
+DETECTOR_KINDS = ["oracle", "heartbeat", "swim", "lifeguard", "scripted"]
+
+
+def make_detector(kind, scheduler, network):
+    if kind == "oracle":
+        return OracleDetector(network, delay=2.0)
+    if kind == "heartbeat":
+        return HeartbeatDetector(network, period=1.0, timeout=4.0)
+    if kind == "swim":
+        return SwimDetector(network, period=1.0, rng=random.Random(7))
+    if kind == "lifeguard":
+        return LifeguardDetector(network, period=1.0, rng=random.Random(7))
+    if kind == "scripted":
+        return ScriptedDetector(scheduler)
+    raise AssertionError(kind)
+
+
+def detector_payload(kind):
+    """A plausible on-the-wire payload for each detector family."""
+    if kind == "heartbeat":
+        return Ping(nonce=1)
+    if kind in ("swim", "lifeguard"):
+        return Probe(nonce=1)
+    return object()
+
+
+class TestLifecycleContract:
+    """Every detector honors the same attach/start/stop contract."""
+
+    @pytest.mark.parametrize("kind", DETECTOR_KINDS)
+    def test_start_before_attach_raises(self, fabric, kind):
+        scheduler, network = fabric
+        detector = make_detector(kind, scheduler, network)
+        with pytest.raises(RuntimeError, match="not attached"):
+            detector.start()
+
+    @pytest.mark.parametrize("kind", DETECTOR_KINDS)
+    def test_attach_then_start_is_fine(self, fabric, kind):
+        scheduler, network = fabric
+        a = Host(A, network, make_detector(kind, scheduler, network), [A, B])
+        b = Host(B, network, make_detector(kind, scheduler, network), [A, B])
+        a.start(), b.start()
+        scheduler.run(until=5.0)
+        assert a.suspected == [] and b.suspected == []
+
+    @pytest.mark.parametrize("kind", DETECTOR_KINDS)
+    def test_stopped_detector_ignores_late_deliveries(self, fabric, kind):
+        # A stopped detector must neither reply to detector traffic (that
+        # would advertise liveness forever) nor deliver suspicions.
+        scheduler, network = fabric
+        a = Host(A, network, make_detector(kind, scheduler, network), [A, B])
+        b = Host(B, network, make_detector(kind, scheduler, network), [A, B])
+        a.start(), b.start()
+        # Stop off the tick/delivery grid (events land on multiples of 0.5)
+        # so "sent after the stop" is unambiguous.
+        scheduler.run(until=3.3)
+        b.detector.stop()
+        b.detector.on_message(A, detector_payload(kind))
+        scheduler.run(until=6.0)
+        replies = [
+            e
+            for e in network.trace.events_of_kind(EventKind.SEND)
+            if e.proc == B and e.time > 3.3
+        ]
+        assert replies == []
+        assert b.suspected == []

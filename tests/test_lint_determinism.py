@@ -410,6 +410,43 @@ def test_public_dict_attribute_is_exempt(tmp_path: Path) -> None:
     assert "DET105" not in rules_of(run_lint(tmp_path))
 
 
+# ------------------------------------------------------------ seeded fixture
+
+
+def test_det102_fixture_fires_exactly_once() -> None:
+    """The committed probe-scheduler fixture seeds exactly one DET102."""
+    fixture = Path(__file__).parent / "fixtures" / "lint" / "det102"
+    result = run_lint(fixture)
+    assert rules_of(result) == {"DET102"}
+    (finding,) = findings_for(result, "DET102")
+    assert "random.shuffle" in finding.message
+
+
+def test_injected_rng_probe_selection_is_clean(tmp_path: Path) -> None:
+    """The fixture's repair — the SwimDetector idiom — lints clean."""
+    write(
+        tmp_path,
+        "mod.py",
+        """
+        import random
+
+
+        class ProbeScheduler:
+            def __init__(self, members, rng: random.Random):
+                self.members = list(members)
+                self.rng = rng
+                self._order = []
+
+            def next_target(self):
+                if not self._order:
+                    self._order = list(self.members)
+                    self.rng.shuffle(self._order)
+                return self._order.pop()
+        """,
+    )
+    assert "DET102" not in rules_of(run_lint(tmp_path))
+
+
 # ----------------------------------------------------------------- repo scope
 
 
