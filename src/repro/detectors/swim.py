@@ -253,9 +253,13 @@ class SwimDetector(NetworkDetector):
         target = self._pending.get(nonce)
         if target is None:
             return  # answered (or target evidence arrived) in the meantime
-        updates = self._take_updates()
-        for helper in self._pick_helpers(target):
-            self._send(helper, ProbeReq(nonce, target, updates))
+        helpers = self._pick_helpers(target)
+        if helpers:
+            # Pop updates only once there is someone to carry them — their
+            # retransmit budgets must not burn on messages never sent.
+            updates = self._take_updates()
+            for helper in helpers:
+                self._send(helper, ProbeReq(nonce, target, updates))
         self.network.scheduler.after(
             self.indirect_timeout * self._timeout_scale(),
             lambda: self._probe_failed(nonce),
@@ -408,14 +412,23 @@ class SwimDetector(NetworkDetector):
                 )
             return True
         if isinstance(payload, ProbeAck):
+            owner = self.owner
+            # Settle the probe nonce before _mark_alive: for a direct ack
+            # the sender IS the target, so _mark_alive(sender) would cancel
+            # the pending entry wholesale and the timely-ack health hook
+            # (Lifeguard's LHM decay) would never fire.
+            acked = (
+                owner is not None
+                and payload.origin == owner.pid
+                and self._pending.pop(payload.nonce, None) is not None
+            )
             self._mark_alive(sender)
             self._apply_updates(payload.updates)
-            owner = self.owner
             if owner is None:
                 return True
             if payload.origin == owner.pid:
                 # An answer to my probe (direct, or forwarded by a helper).
-                if self._pending.pop(payload.nonce, None) is not None:
+                if acked:
                     self._on_probe_acked()
                 self._mark_alive(payload.target)
             else:

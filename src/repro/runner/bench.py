@@ -76,10 +76,13 @@ _DETECTOR_SIZES: dict[str, list[int]] = {
     "swim": [100, 250, 500, 1000],
     "lifeguard": [100, 250, 500, 1000],
 }
+#: quick mode keeps two SWIM-family sizes — the O(1)-load gate compares the
+#: largest n against the smallest and is vacuous with a single size, and the
+#: CI smoke job exists to exercise that gate for real.
 _DETECTOR_QUICK_SIZES: dict[str, list[int]] = {
     "heartbeat": [100],
-    "swim": [100],
-    "lifeguard": [100],
+    "swim": [100, 250],
+    "lifeguard": [100, 250],
 }
 _DETECTOR_SEEDS = [1]
 _DETECTOR_QUICK_SEEDS = [1, 2]
@@ -231,9 +234,10 @@ def _bench_detectors(quick: bool) -> dict[str, Any]:
 
     Cells run sequentially for the same reason the scale sweep does — the
     wall clocks are part of the payload.  The matrix crosses every
-    (kind, n) pair with both chaos plans and every seed; ``--quick`` keeps
-    n=100 only but doubles the seeds, so the CI smoke job still exercises
-    seed-to-seed variation.
+    (kind, n) pair with both chaos plans and every seed; ``--quick`` trims
+    the SWIM family to n ∈ {100, 250} (two sizes, so the O(1)-load gate has
+    a real ratio to check) but doubles the seeds, so the CI smoke job still
+    exercises seed-to-seed variation.
     """
     from repro.workloads.qos import QOS_PLANS, ROUND_PERIOD, detector_qos_cell
 
@@ -278,7 +282,8 @@ def check_detector_qos(
     * SWIM's message load is O(1) in group size: mean msgs/process/round at
       the largest crash-only n must stay within ``ppr_ratio_threshold``
       times the smallest-n value (heartbeat is exempt — growing ~n is its
-      documented cost).
+      documented cost).  A section with swim crash-only cells at fewer than
+      two group sizes fails explicitly instead of passing vacuously.
     * Lifeguard's local-health multiplier pays off: under the slow-flaky
       plan its mean distinct false positives must not exceed SWIM's at any
       group size both ran.
@@ -291,7 +296,14 @@ def check_detector_qos(
         return []
     failures = []
     swim_ns = sorted({c["n"] for c in _detector_cells(section, "swim", "crash-only")})
-    if len(swim_ns) >= 1:
+    if len(swim_ns) < 2:
+        # With one group size lo == hi and the ratio check below cannot
+        # fail — refuse to pretend the claim was tested.
+        failures.append(
+            "swim msgs/process/round gate is vacuous: need crash-only swim "
+            f"cells at two or more group sizes, got {swim_ns or 'none'}"
+        )
+    else:
         lo, hi = swim_ns[0], swim_ns[-1]
         base = _mean(
             [

@@ -232,29 +232,68 @@ class QosRun:
         denom = len(self.hosts) * rounds
         return self.detector_messages() / denom if denom else 0.0
 
+    def _first_post_crash_verdict(
+        self, victim: ProcessId
+    ) -> tuple[Optional[float], bool]:
+        """Earliest strictly-post-crash suspicion of ``victim`` across the
+        surviving observers, plus whether any observer had already convicted
+        it at (or before) the crash instant."""
+        crashed_at = self.crash_times[victim]
+        first: Optional[float] = None
+        convicted_pre_crash = False
+        for host in self.hosts.values():
+            if host.pid == victim:
+                continue
+            detector = host.detector
+            if not isinstance(detector, NetworkDetector):
+                continue
+            when = detector.suspicion_times().get(victim)
+            if when is None:
+                continue
+            if when <= crashed_at:
+                # Every delay and timeout in the fabric is strictly
+                # positive, so a verdict *caused* by the crash lands
+                # strictly after it: this one is a false positive — and,
+                # verdicts being permanent per observer (remove-don't-
+                # rejoin), this observer can never re-detect post-crash.
+                convicted_pre_crash = True
+                continue
+            if first is None or when < first:
+                first = when
+        return first, convicted_pre_crash
+
     def detection_latencies(self) -> dict[str, Optional[float]]:
         """Per victim: sim-time from crash to the first survivor's verdict.
 
-        ``None`` means no surviving observer convicted the victim before
-        the run ended (the liveness clause was not yet satisfied).
+        Only strictly-post-crash verdicts count — a conviction at or before
+        the crash instant is a false positive, not a detection, and folding
+        it in would report bogus 0.0 latencies whenever a false suspicion
+        tick coincides with the crash.  A victim whose only convictions
+        predate its crash is dropped from the mapping entirely (see
+        :meth:`pre_crash_convicted`): no observer that judged it can still
+        produce a measurement, so it must not sit in the latency
+        denominator.  ``None`` means no surviving observer convicted the
+        victim before the run ended (the liveness clause was not yet
+        satisfied).
         """
         latencies: dict[str, Optional[float]] = {}
         for victim in self.victims:
-            crashed_at = self.crash_times[victim]
-            first: Optional[float] = None
-            for host in self.hosts.values():
-                if host.pid == victim:
-                    continue
-                detector = host.detector
-                if not isinstance(detector, NetworkDetector):
-                    continue
-                when = detector.suspicion_times().get(victim)
-                if when is None or when < crashed_at:
-                    continue
-                if first is None or when < first:
-                    first = when
-            latencies[str(victim)] = None if first is None else first - crashed_at
+            first, convicted_pre_crash = self._first_post_crash_verdict(victim)
+            if first is not None:
+                latencies[str(victim)] = first - self.crash_times[victim]
+            elif not convicted_pre_crash:
+                latencies[str(victim)] = None
         return latencies
+
+    def pre_crash_convicted(self) -> list[str]:
+        """Victims excluded from the latency denominator: falsely convicted
+        at or before their crash, with no post-crash verdict from anyone."""
+        excluded = []
+        for victim in self.victims:
+            first, convicted_pre_crash = self._first_post_crash_verdict(victim)
+            if first is None and convicted_pre_crash:
+                excluded.append(str(victim))
+        return excluded
 
     def false_positives(self) -> dict[str, Any]:
         """Never-crashed processes convicted anyway: distinct + pairs."""
@@ -350,6 +389,7 @@ def detector_qos_cell(
             "latency_by_victim": latencies,
             "detected": len(detected),
             "victims": len(latencies),
+            "excluded_pre_crash": run.pre_crash_convicted(),
             "mean_latency": mean_latency,
             "mean_latency_rounds": (
                 mean_latency / ROUND_PERIOD if mean_latency is not None else None

@@ -29,6 +29,7 @@ from repro.sim.scheduler import Scheduler
 from repro.sim.trace import RunTrace
 from repro.workloads.qos import (
     DetectorHost,
+    QosRun,
     detector_qos_cell,
     detector_qos_run,
     _slow_members,
@@ -127,6 +128,17 @@ class TestSwimBehavior:
         assert detector._take_updates() == ((SUSPECT, B),)
         assert detector._take_updates() == ()
 
+    def test_direct_timeout_without_helpers_keeps_gossip_budget(self):
+        # A two-member view has nobody to relay through; the timeout must
+        # not pop piggyback updates it cannot send.
+        scheduler, network, hosts = build_group(members=(A, B))
+        detector = hosts[A].detector
+        detector._queue_update(SUSPECT, B)
+        budget_before = dict(detector._gossip)
+        detector._pending[77] = B
+        detector._direct_timeout(77)
+        assert detector._gossip == budget_before
+
     def test_constructor_validation(self):
         scheduler = Scheduler()
         network = Network(scheduler, RunTrace(), seed=0)
@@ -164,6 +176,19 @@ class TestLifeguardHealth:
         detector = hosts[A].detector
         detector.on_message(C, Probe(nonce=7, updates=((SUSPECT, A),)))
         assert detector.local_health() == 1
+
+    def test_lhm_decays_through_delivered_acks(self):
+        # End-to-end over the real network path: a healthy group's ack
+        # traffic must drain the LHM.  (Regression: _mark_alive used to
+        # cancel the pending nonce before the ProbeAck branch looked at
+        # it, so *direct* acks never reached the timely-ack hook and a
+        # stretched LHM stayed stretched forever.)
+        scheduler, network, hosts = build_group(kind="lifeguard")
+        detector = hosts[A].detector
+        scheduler.run(until=2.0)
+        detector._lhm = 5
+        scheduler.run(until=40.0)
+        assert detector.local_health() == 0
 
     def test_isolated_observer_goes_unhealthy(self):
         # A partitioned from everyone: every probe round misses, so its
@@ -276,6 +301,29 @@ class TestQosHarness:
         with pytest.raises(ValueError):
             detector_qos_run("swim", 2)
 
+    def test_pre_crash_conviction_is_not_a_detection(self):
+        # A false positive whose timestamp coincides with (or predates)
+        # the crash must not masquerade as a 0-latency detection, and a
+        # victim only ever convicted pre-crash leaves the denominator.
+        scheduler = Scheduler()
+        network = Network(scheduler, RunTrace(), seed=0)
+        members = (A, B, C, D)
+        hosts = {}
+        for member in members:
+            detector = SwimDetector(network, rng=random.Random(1))
+            hosts[member] = DetectorHost(member, network, detector, members)
+        run = QosRun(
+            scheduler, network, hosts, (D,), {D: 10.0}, frozenset(), 50.0
+        )
+        hosts[A].detector._suspicion_times[D] = 10.0  # coincident FP
+        hosts[B].detector._suspicion_times[D] = 16.0  # real detection
+        assert run.detection_latencies() == {"d": 6.0}
+        assert run.pre_crash_convicted() == []
+        # Without B's verdict the victim is immeasurable, not undetected.
+        del hosts[B].detector._suspicion_times[D]
+        assert run.detection_latencies() == {}
+        assert run.pre_crash_convicted() == ["d"]
+
 
 def qos_cell(kind, n, plan, ppr, fp):
     return {
@@ -321,6 +369,8 @@ class TestQosGate:
         payload = {
             "detectors": {
                 "cells": [
+                    qos_cell("swim", 100, "crash-only", 2.0, 0),
+                    qos_cell("swim", 1000, "crash-only", 2.1, 0),
                     qos_cell("swim", 100, "slow-flaky", 2.5, 5),
                     qos_cell("lifeguard", 100, "slow-flaky", 2.4, 9),
                 ]
@@ -328,3 +378,12 @@ class TestQosGate:
         }
         (failure,) = check_detector_qos(payload)
         assert "false positives exceed" in failure
+
+    def test_single_size_swim_section_fails_as_vacuous(self):
+        # lo == hi can never trip the ratio check — the gate must say so
+        # instead of passing a claim it did not test.
+        payload = {
+            "detectors": {"cells": [qos_cell("swim", 100, "crash-only", 2.0, 0)]}
+        }
+        (failure,) = check_detector_qos(payload)
+        assert "vacuous" in failure
