@@ -229,6 +229,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         check_obs_overhead,
         check_scale_regression,
         check_shard_section,
+        check_sharded_section,
         run_bench,
         summarize,
     )
@@ -241,6 +242,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         out_dir=args.out,
         scale=args.scale,
         detectors=args.detectors,
+        sharded=args.scale_sharded,
         cache=cache,
         metrics_out=args.metrics_out,
         profile=args.profile,
@@ -258,6 +260,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"no scale regression vs {args.baseline}")
     failures += [f"OBS-OVERHEAD {m}" for m in check_obs_overhead(payload)]
     failures += [f"SHARD {m}" for m in check_shard_section(payload)]
+    failures += [f"SHARDED {m}" for m in check_sharded_section(payload)]
     failures += [f"DETECTOR-QOS {m}" for m in check_detector_qos(payload)]
     failures += [
         f"STALE-CACHE {m}" for m in payload.get("cache", {}).get("stale", [])
@@ -453,6 +456,15 @@ def main(argv: list[str] | None = None) -> int:
         "detection latency, false positives, msgs/process/round; exit 1 if "
         "SWIM's message load grows with n or Lifeguard's false positives "
         "exceed SWIM's under the slow-flaky plan)",
+    )
+    bench.add_argument(
+        "--scale-sharded",
+        action="store_true",
+        help="add the sharded membership sweep (GMP core + fixed-size leaf "
+        "cells up to 10^5 simulated leaves, full churn per cell; exit 1 if "
+        "leaf msgs/process/round grows more than 2x with total n, leaf "
+        "churn forces a core reconfiguration, or a roster write fails to "
+        "converge)",
     )
     bench.add_argument(
         "--profile",

@@ -123,6 +123,10 @@ class GMPMember(SimProcess):
         #: callbacks.  This is how services are built *on top of* the
         #: membership abstraction (the ISIS pattern the paper motivates).
         self.app: Optional["AppLayer"] = None
+        #: Three-phase reconfigurations this member has initiated — the
+        #: sharding layer's "leaf churn never reconfigures the core"
+        #: regression gate reads this, so it must work at any trace level.
+        self.reconfigurations = 0
         detector.attach(self)
 
     # ------------------------------------------------------------------
@@ -693,6 +697,7 @@ class GMPMember(SimProcess):
     def _start_reconfiguration(self) -> None:
         state = self.state
         assert state is not None
+        self.reconfigurations += 1
         hi = state.hi_faulty()
         self._record(
             EventKind.INTERNAL,
@@ -926,6 +931,7 @@ class GMPMember(SimProcess):
         self._apply_reconfig_ops(round_.proposal_ops, round_.proposal_version)
         if self.crashed:
             return
+        previous_mgr = state.mgr
         state.set_mgr(self.pid)
         state.set_plan(None)
         self._record(EventKind.INTERNAL, detail="assumed Mgr role")
@@ -937,6 +943,11 @@ class GMPMember(SimProcess):
             faulty=state.faulty_members(),
         )
         self.broadcast(self._ordered(state.view), commit)
+        if self.crashed:
+            return
+        # Notify after the commit broadcast so anything the layer sends in
+        # response follows the commit on every FIFO channel.
+        self._notify_coordinator_changed(previous_mgr)
         if self.crashed:
             return
         for op in round_.proposal_ops:
@@ -1046,11 +1057,17 @@ class GMPMember(SimProcess):
             self._apply_reconfig_ops(msg.ops, msg.version)
             if self.crashed:
                 return
+        previous_mgr = state.mgr
         state.set_mgr(sender)
         if msg.invis is not None:
             self._adopt_contingent(msg.invis, sender, msg.version + 1)
         else:
             state.set_plan(None)
+        if not self.crashed:
+            # Covers the invisible-commit path (msg.version == state.version)
+            # where no view is installed yet coordinatorship still moved:
+            # without this, layers never learn the Mgr changed.
+            self._notify_coordinator_changed(previous_mgr)
         self._after_install()
 
     # ------------------------------------------------------------------
@@ -1097,6 +1114,16 @@ class GMPMember(SimProcess):
                 self.state.version, self.state.snapshot_view(), self.state.mgr
             )
 
+    def _notify_coordinator_changed(self, previous_mgr: ProcessId) -> None:
+        """Tell the app layer the Mgr moved (install callbacks fire during
+        ``_apply_reconfig_ops``, *before* ``set_mgr`` — so without this the
+        layer only ever sees the outgoing coordinator)."""
+        state = self.state
+        if state is None or state.mgr == previous_mgr:
+            return
+        if self.app is not None:
+            self.app.on_coordinator_changed(state.version, state.mgr)
+
 
 class AppLayer:
     """Interface for services layered on the membership abstraction.
@@ -1114,6 +1141,15 @@ class AppLayer:
         self, version: int, view: tuple[ProcessId, ...], mgr: ProcessId
     ) -> None:
         """React to a newly installed view (default: ignore)."""
+
+    def on_coordinator_changed(self, version: int, mgr: ProcessId) -> None:
+        """React to coordinatorship moving to ``mgr`` at ``version``.
+
+        Fired at the commit point of a three-phase reconfiguration — both
+        when this member assumes the role and when it adopts another
+        coordinator's commit, including the invisible-commit path where the
+        view was already installed and no :meth:`on_view_installed` fires.
+        Default: ignore."""
 
     def before_view_agreement(self, version: int) -> None:
         """Flush hook: called synchronously before this member agrees to a

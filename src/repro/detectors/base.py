@@ -86,6 +86,16 @@ class FailureDetector:
         """Note that protocol traffic arrived from ``sender`` (evidence of
         life for timeout-style detectors; no-op otherwise)."""
 
+    def forget(self, target: ProcessId) -> None:
+        """Hint: ``target`` left the owner's view; drop per-target state.
+
+        Long-lived owners with churning views (the shardgroup leaf cells)
+        call this so detector bookkeeping tracks the roster instead of
+        accumulating entries for departed members.  Historical verdict logs
+        (e.g. :meth:`NetworkDetector.suspicions`) are *not* part of the
+        operational state and survive.  Default: nothing.
+        """
+
     def _suspect(self, target: ProcessId) -> None:
         """Deliver a suspicion to the owner, if still meaningful."""
         if self.owner is None:

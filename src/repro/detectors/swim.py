@@ -326,6 +326,30 @@ class SwimDetector(NetworkDetector):
         self._queue_update(FAULTY, target)
         self._suspect(target)
 
+    # ------------------------------------------------------------ departures
+
+    def forget(self, target: ProcessId) -> None:
+        """Drop all operational state about a member that left the view.
+
+        The lazy per-traversal pruning in :meth:`_next_target` would catch
+        most of this eventually; churning owners (shardgroup leaf cells)
+        call it eagerly so in-flight probes and queued gossip about the
+        departed member die immediately.  The historical suspicion log is
+        deliberately kept (see :meth:`FailureDetector.forget`).
+        """
+        self._last_heard.pop(target, None)
+        self._suspicion_deadline.pop(target, None)
+        for nonce in [n for n, t in self._pending.items() if t == target]:
+            del self._pending[nonce]
+        for key in [
+            k for k, t in self._relays.items() if t == target or k[0] == target
+        ]:
+            del self._relays[key]
+        for update in [u for u in self._gossip if u[1] == target]:
+            del self._gossip[update]
+        if target in self._order:
+            self._order.remove(target)
+
     # --------------------------------------------------------------- gossip
 
     def _queue_update(self, kind: str, target: ProcessId) -> None:

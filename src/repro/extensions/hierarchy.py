@@ -119,6 +119,12 @@ class ClientDirectory(AppLayer):
         #: pending reconciliation: responses awaited from these members.
         self._sync_pending: set[ProcessId] = set()
         self._sync_best: Optional[ClientState] = None
+        #: a catch-up ``ClientSyncRequest`` is in flight to the coordinator;
+        #: further gapped updates must not amplify into more full-state syncs.
+        self._catch_up_inflight = False
+        #: bumped whenever an in-flight reconciliation is abandoned or
+        #: completes, so stale sync-deadline timers become no-ops.
+        self._sync_epoch = 0
         member.app = self
 
     # --------------------------------------------------------------- reads
@@ -195,12 +201,17 @@ class ClientDirectory(AppLayer):
         if update.version == self.registry.version + 1:
             self.registry.apply(update.op)
             return
-        # Gap: fall back to full resynchronisation.
-        self.member.send(sender, ClientSyncRequest(), category="clients")
+        # Gap: fall back to full resynchronisation — but at most one
+        # in-flight request, or one lost burst amplifies into many syncs.
+        if not self._catch_up_inflight:
+            self._catch_up_inflight = True
+            self.member.send(sender, ClientSyncRequest(), category="clients")
 
     def _on_state(self, sender: ProcessId, snapshot: ClientState) -> None:
-        if self._sync_pending:
-            # Reconciliation responses (we are the new coordinator).
+        if sender in self._sync_pending:
+            # A reconciliation response we solicited (we are the new
+            # coordinator).  Unsolicited snapshots — e.g. a prior
+            # coordinator's rebroadcast — must not be folded in here.
             self._sync_pending.discard(sender)
             best = self._sync_best
             if best is None or snapshot.version > best.version:
@@ -211,6 +222,7 @@ class ClientDirectory(AppLayer):
         # Catch-up response from the coordinator.
         state = self.member.state
         if state is not None and sender == state.mgr:
+            self._catch_up_inflight = False
             if snapshot.version > self.registry.version:
                 self.registry.clients = list(snapshot.clients)
                 self.registry.version = snapshot.version
@@ -221,12 +233,35 @@ class ClientDirectory(AppLayer):
         self, version: int, view: tuple[ProcessId, ...], mgr: ProcessId
     ) -> None:
         if mgr != self.member.pid:
+            # Coordinatorship is elsewhere (or moved away).  Clear the
+            # reconciliation marker so a deposed-then-re-elected coordinator
+            # reconciles again instead of rebroadcasting a stale registry,
+            # and abandon any reconciliation it had in flight.
+            self._step_down()
             return
+        self._begin_reconciliation(version, view)
+
+    def on_coordinator_changed(self, version: int, mgr: ProcessId) -> None:
+        # Coordinatorship can move without a view install on this member —
+        # install callbacks fire before ``set_mgr``, and on the
+        # invisible-commit path no install happens at all — so this hook,
+        # not ``on_view_installed``, is what actually sees failover.
+        if mgr != self.member.pid:
+            self._step_down()
+            return
+        state = self.member.state
+        if state is not None:
+            self._begin_reconciliation(version, state.snapshot_view())
+
+    def _begin_reconciliation(
+        self, version: int, view: tuple[ProcessId, ...]
+    ) -> None:
         if self._reconciled_as_mgr is not None:
             return  # already the established writer
         # We just became the coordinator: reconcile the client registry
         # before accepting new client operations.
         self._reconciled_as_mgr = version
+        self._catch_up_inflight = False
         others = [
             m
             for m in view
@@ -241,11 +276,22 @@ class ClientDirectory(AppLayer):
         )
         for target in others:
             self.member.send(target, ClientSyncRequest(), category="clients")
-        # A respondent may crash mid-sync; do not wait forever for it.
-        self.member.set_timer(self.sync_timeout, self._sync_deadline)
+        # A respondent may crash mid-sync; do not wait forever for it.  The
+        # epoch guard keeps a deadline armed for an abandoned reconciliation
+        # from cutting short a later one.
+        epoch = self._sync_epoch
+        self.member.set_timer(self.sync_timeout, lambda: self._sync_deadline(epoch))
 
-    def _sync_deadline(self) -> None:
+    def _step_down(self) -> None:
+        self._reconciled_as_mgr = None
         if self._sync_pending:
+            self._sync_epoch += 1
+        self._sync_pending = set()
+        self._sync_best = None
+        self._catch_up_inflight = False
+
+    def _sync_deadline(self, epoch: int) -> None:
+        if epoch == self._sync_epoch and self._sync_pending:
             self._sync_pending = set()
             self._finish_reconciliation()
 
@@ -253,6 +299,7 @@ class ClientDirectory(AppLayer):
         best = self._sync_best
         self._sync_best = None
         self._sync_pending = set()
+        self._sync_epoch += 1
         if best is not None and best.version > self.registry.version:
             self.registry.clients = list(best.clients)
             self.registry.version = best.version

@@ -63,6 +63,21 @@ class Obs:
             "Detector messages sent in the most recent probe round, by process.",
             labels=("proc",),
         )
+        self._shard_cells = self.metrics.gauge(
+            "repro_shard_cells",
+            "Leaf cells tracked by a shard-directory replica.",
+            labels=("proc",),
+        )
+        self._shard_leaves = self.metrics.gauge(
+            "repro_shard_leaves",
+            "Total leaf members tracked by a shard-directory replica.",
+            labels=("proc",),
+        )
+        self._shard_convergence = self.metrics.histogram(
+            "repro_shard_convergence_latency",
+            "Sim-time from a cell-roster write to its last live leaf applying it.",
+            labels=("cell",),
+        )
         # Per-(proc, category) Counter children, memoised so the per-message
         # path is one dict get + one float add — ``labels()`` re-validates
         # arity on every call, which the bench overhead gate can't afford.
@@ -93,6 +108,15 @@ class Obs:
     def observe_round_msgs(self, proc: object, msgs: float) -> None:
         """Gauge one probe round's detector fan-out size for ``proc``."""
         self._round_msgs.labels(proc).set(msgs)
+
+    def set_shard_population(self, proc: object, cells: int, leaves: int) -> None:
+        """Gauge one shard-directory replica's tracked population."""
+        self._shard_cells.labels(proc).set(cells)
+        self._shard_leaves.labels(proc).set(leaves)
+
+    def observe_shard_convergence(self, cell: str, latency: float) -> None:
+        """One roster write's cell-wide view-convergence latency."""
+        self._shard_convergence.labels(cell).observe(latency)
 
     # ------------------------------------------------------------- snapshots
 

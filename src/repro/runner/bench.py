@@ -43,6 +43,7 @@ __all__ = [
     "check_scale_regression",
     "check_obs_overhead",
     "check_shard_section",
+    "check_sharded_section",
     "check_detector_qos",
     "BENCH_FILENAME",
     "PROFILE_FILENAME",
@@ -66,6 +67,16 @@ _SHARD_COUNTS = (1, 2, 4)
 _SHARD_GROUPS = 8
 _SHARD_GROUP_SIZE = 50
 _SHARD_QUICK_GROUP_SIZE = 25
+
+#: the ``--scale-sharded`` sweep (docs/SHARDING.md): total simulated leaf
+#: membership per point.  The full sweep reaches 10^5 leaves — 1000 cells
+#: of 100, all but two run as satellite leaf-only sims — in minutes of
+#: wall clock; quick keeps the CI pair (the bounded-load gate needs two
+#: sizes to have a real ratio) at two seeds.
+_SHARDED_SIZES = [10_000, 30_000, 100_000]
+_SHARDED_QUICK_SIZES = [1_000, 10_000]
+_SHARDED_SEEDS = [1]
+_SHARDED_QUICK_SEEDS = [1, 2]
 
 #: the ``--detectors`` QoS matrix (docs/DETECTORS.md).  Heartbeat stops at
 #: n=250: its O(n^2) per-round traffic makes larger cells cost minutes for
@@ -417,6 +428,110 @@ def _bench_shards(quick: bool, workers: Optional[int]) -> dict[str, Any]:
     )
 
 
+def _bench_sharded(quick: bool, workers: Optional[int]) -> dict[str, Any]:
+    """The ``sharded`` section: total membership scaling via leaf cells.
+
+    Each cell is one (n, seed) point of
+    :func:`repro.shardgroup.bench.sharded_scale_cell` — a 3-member GMP
+    core with two fully simulated cells plus one satellite leaf-only sim
+    per remaining cell, every cell running the standard churn plan.
+    """
+    from repro.shardgroup.bench import CELL_SIZE, SHARD_DURATION, sharded_scale_cell
+    from repro.workloads.qos import ROUND_PERIOD
+
+    sizes = _SHARDED_QUICK_SIZES if quick else _SHARDED_SIZES
+    seeds = _SHARDED_QUICK_SEEDS if quick else _SHARDED_SEEDS
+    cells = [
+        sharded_scale_cell(n, seed=seed, workers=workers)
+        for n in sizes
+        for seed in seeds
+    ]
+    return {
+        "cell_size": CELL_SIZE,
+        "duration": SHARD_DURATION,
+        "round_period": ROUND_PERIOD,
+        "seeds": list(seeds),
+        "cells": cells,
+    }
+
+
+def check_sharded_section(
+    payload: dict[str, Any], ppr_ratio_threshold: float = 2.0
+) -> list[str]:
+    """Gate the ``sharded`` section: the three claims the hierarchy makes.
+
+    * **Bounded leaf load** — mean leaf msgs/process/round at the largest
+      n must stay within ``ppr_ratio_threshold`` times the smallest-n
+      value (cells are fixed-size, so per-leaf cost must not grow with
+      total membership).  Fewer than two sizes fails explicitly instead
+      of passing vacuously, mirroring the SWIM QoS gate.
+    * **Leaf churn never reconfigures the core** — every control arm must
+      report ``core_reconfigurations == 0``.
+    * **Churn converges** — every cell's crash must end expelled, every
+      admission admitted, and no roster write may be left unapplied by a
+      live leaf.  Writes censored by the run horizon (issued within
+      ``CONVERGENCE_GRACE`` of the end, so a dissemination cycle could
+      not finish) are reported in ``censored_writes`` and exempt.
+
+    Empty list when the payload has no section (run without
+    ``--scale-sharded``); one message per violated claim otherwise.
+    """
+    section = payload.get("sharded")
+    if section is None:
+        return []
+    failures = []
+    sizes = sorted({c["n"] for c in section["cells"]})
+    if len(sizes) < 2:
+        failures.append(
+            "sharded leaf-load gate is vacuous: need cells at two or more "
+            f"total sizes, got {sizes or 'none'}"
+        )
+    else:
+        lo, hi = sizes[0], sizes[-1]
+        base = _mean(
+            [
+                c["leaf_msgs_per_process_per_round"]
+                for c in section["cells"]
+                if c["n"] == lo
+            ]
+        )
+        top = _mean(
+            [
+                c["leaf_msgs_per_process_per_round"]
+                for c in section["cells"]
+                if c["n"] == hi
+            ]
+        )
+        if base > 0 and top > ppr_ratio_threshold * base:
+            failures.append(
+                f"sharded leaf msgs/process/round grew with n: {top:.2f} at "
+                f"n={hi} is more than {ppr_ratio_threshold:.1f}x the "
+                f"{base:.2f} at n={lo}"
+            )
+    for cell in section["cells"]:
+        label = f"n={cell['n']} seed={cell['seed']}"
+        reconfigs = cell["control"]["core_reconfigurations"]
+        if reconfigs != 0:
+            failures.append(
+                f"leaf churn forced {reconfigs} core-group "
+                f"reconfiguration(s) at {label}"
+            )
+        if not cell["control"]["churn_applied"]:
+            failures.append(f"control-arm churn incomplete at {label}")
+        if not cell["satellite"]["churn_applied"]:
+            failures.append(f"satellite churn incomplete at {label}")
+        unconverged = (
+            cell["satellite"]["unconverged_writes"]
+            + cell["control"]["convergence"]["unconverged"]
+        )
+        if unconverged:
+            failures.append(
+                f"{unconverged} roster write(s) never reached every live "
+                f"leaf at {label}"
+            )
+    return failures
+
+
 def check_shard_section(payload: dict[str, Any]) -> list[str]:
     """Gate the ``shards`` section: reproducibility is non-negotiable.
 
@@ -614,6 +729,7 @@ def run_bench(
     out_dir: str | Path = ".",
     scale: bool = False,
     detectors: bool = False,
+    sharded: bool = False,
     cache=None,
     metrics_out: str | Path | None = None,
     profile: bool = False,
@@ -647,6 +763,8 @@ def run_bench(
         payload["obs_overhead"] = _obs_overhead(n=50 if quick else 100)
     if detectors:
         payload["detectors"] = _bench_detectors(quick)
+    if sharded:
+        payload["sharded"] = _bench_sharded(quick, workers)
     if profile:
         payload["profile"] = _profile_churn(out_dir, n=1000)
     if cache is not None:
@@ -717,6 +835,38 @@ def summarize(payload: dict[str, Any]) -> str:
                 + f"  fp={cell['false_positives']['distinct_targets']:<4}"
                 f" {cell['wall_s']:7.2f}s"
             )
+    sharded = payload.get("sharded")
+    if sharded is not None:
+        lines.append(
+            f"sharded (cells of {sharded['cell_size']}, "
+            f"{sharded['duration']:.0f}s sim):"
+        )
+        for cell in sharded["cells"]:
+            control = cell["control"]
+            satellite = cell["satellite"]
+            convergence = control["convergence"]["max_latency"]
+            lines.append(
+                f"  n={cell['n']:<7} seed={cell['seed']} "
+                f"cells={cell['cells']:<5} "
+                f"{cell['leaf_msgs_per_process_per_round']:>6.2f} "
+                "leaf msg/proc/round  "
+                f"core reconfigs={control['core_reconfigurations']}  "
+                "converge "
+                + (f"{convergence:5.1f}s" if convergence is not None else " MISS")
+                + f"  {cell['wall_s']:7.1f}s"
+            )
+            if satellite["unconverged_writes"]:
+                lines.append(
+                    f"    {satellite['unconverged_writes']} UNCONVERGED "
+                    "satellite writes"
+                )
+            censored = satellite.get("censored_writes", 0) + control[
+                "convergence"
+            ].get("censored", 0)
+            if censored:
+                lines.append(
+                    f"    {censored} write(s) censored by the run horizon"
+                )
     shards = payload.get("shards")
     if shards is not None:
         lines.append(

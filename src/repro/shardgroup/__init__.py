@@ -1,0 +1,46 @@
+"""Sharded membership: a GMP core authority over detector-run leaf cells.
+
+The paper's §8 hierarchy — "the group might be a set of clients with
+exclusion from it modelling the end of that client's need for the
+service" — generalised into the ROADMAP's million-member north star:
+
+* a small **core group** runs the full GMP (three-phase reconfiguration,
+  invisible commits, S1 isolation) and is the single membership authority;
+* **leaf cells** of ~100 members each run a SWIM/Lifeguard detector over
+  themselves only — O(1) per-leaf load regardless of total population;
+* cell rosters replicate by **version-vector digests and anti-entropy
+  delta pulls** (Rapid-style), never by full-state rebroadcast, so one
+  roster change costs O(cell) messages, not O(total).
+
+See docs/SHARDING.md for the architecture and the ``repro bench
+--scale-sharded`` curve that measures it.
+"""
+
+from repro.shardgroup.cell import CoreStub, LeafMember
+from repro.shardgroup.cluster import ShardGroupCluster
+from repro.shardgroup.directory import CellRegistry, DeltaLog, ShardDirectory
+from repro.shardgroup.messages import (
+    CellDelta,
+    CellOp,
+    DeltaRequest,
+    DigestRequest,
+    LeafFailureReport,
+    ShardUpdate,
+    ViewDigest,
+)
+
+__all__ = [
+    "CellDelta",
+    "CellOp",
+    "CellRegistry",
+    "CoreStub",
+    "DeltaLog",
+    "DeltaRequest",
+    "DigestRequest",
+    "LeafFailureReport",
+    "LeafMember",
+    "ShardDirectory",
+    "ShardGroupCluster",
+    "ShardUpdate",
+    "ViewDigest",
+]

@@ -1,0 +1,352 @@
+"""``repro bench --scale-sharded`` — the hierarchy at 10^5..10^6 leaves.
+
+The claim under test is Section 8's: a two-level hierarchy keeps the
+per-member cost of membership *flat* as the system grows, because the
+expensive three-phase GMP runs only over a small core while leaves live in
+fixed-size cells whose detector and dissemination traffic is O(cell), not
+O(n).  Total simulated membership then scales by adding cells, and the
+bench's gate is exactly that flatness: leaf msgs/process/round at the
+largest n must stay within 2x of the smallest.
+
+Two arms per (n, seed) point, both driving the identical
+:func:`~repro.workloads.shard_churn.standard_churn` plan per cell:
+
+* **control** — one full :class:`~repro.shardgroup.cluster.
+  ShardGroupCluster` (3-member GMP core + ``CONTROL_CELLS`` real cells in a
+  single scheduler).  Produces the zero-core-reconfiguration check and the
+  end-to-end view-convergence latency through the real core path.
+* **satellites** — every remaining cell as an independent leaf-only
+  simulation against a :class:`~repro.shardgroup.cell.CoreStub`, fanned out
+  with :func:`~repro.runner.pool.parallel_map`.  Cell seeds come from
+  :func:`~repro.runner.shard.derive_group_seed`, so results are identical
+  no matter how the fan-out is scheduled.
+
+Satellite cells are the load measurement: their traffic is pure leaf-layer
+traffic (detector + shard categories), uncontaminated by core GMP chatter.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Optional, Sequence
+
+from repro.detectors import LifeguardDetector, SwimDetector
+from repro.ids import ProcessId, pid
+from repro.runner.pool import parallel_map
+from repro.runner.shard import derive_group_seed
+from repro.shardgroup.cell import PULL_PERIOD, CoreStub, LeafMember
+from repro.shardgroup.cluster import ShardGroupCluster, leaf_seed
+from repro.shardgroup.messages import SHARD_CATEGORY, CellOp
+from repro.sim.network import Network, UniformDelay
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import RunTrace
+from repro.workloads.qos import ROUND_PERIOD
+from repro.workloads.shard_churn import CellChurnPlan, standard_churn
+
+__all__ = [
+    "CELL_SIZE",
+    "CONTROL_CELLS",
+    "CONVERGENCE_GRACE",
+    "SHARD_DURATION",
+    "satellite_cell",
+    "sharded_scale_cell",
+]
+
+#: leaves per cell — fixed, so total membership scales by cell count.
+CELL_SIZE = 100
+
+#: cells simulated in full (with the real GMP core) per scale point.
+CONTROL_CELLS = 2
+
+#: simulated seconds per cell (20 probe rounds of ROUND_PERIOD).  Sized
+#: for the slowest leg of the churn pipeline: crash at t=6, cell-wide
+#: gossip conviction can take until ~t=25, expel + delegate pull +
+#: rebroadcast another ~6s — 40s leaves margin without padding the sweep.
+SHARD_DURATION = 40.0
+
+#: leaf detector tuning: cells are small and local, so convict fast.
+LEAF_DETECTOR_KWARGS = {"probe_timeout": 3.0, "suspicion_timeout": 4.0}
+
+#: A write issued with less than this much sim-time left before the
+#: horizon cannot complete a dissemination cycle (delegate pull period +
+#: cell rebroadcast + delay tail) before the run ends.  Such a write is
+#: *censored* by the horizon — reported separately, not a failure.  The
+#: tail matters at scale: across ~1000 cells a handful of cells convict
+#: their crashed leaf 25-30s post-crash, pushing the expel write into
+#: the last few seconds of the run.
+CONVERGENCE_GRACE = 10.0
+
+
+def _leaf_detector(kind: str, network: Network, cell_seed: int, member: ProcessId):
+    cls = LifeguardDetector if kind == "lifeguard" else SwimDetector
+    return cls(
+        network,
+        rng=random.Random(leaf_seed(cell_seed, member)),
+        **LEAF_DETECTOR_KWARGS,
+    )
+
+
+def _convergence_rows(
+    issued: dict[tuple[str, int], float],
+    leaves: dict[ProcessId, LeafMember],
+    final_roster: frozenset[ProcessId],
+    horizon: Optional[float] = None,
+) -> list[dict[str, Any]]:
+    """Per roster write: latency until every eligible live leaf applied it.
+
+    Eligible = live, on the final authoritative roster, and created before
+    the write was issued (a later-admitted leaf back-fills old versions at
+    join time, which is catch-up, not dissemination).  A write still in
+    flight that was issued within ``CONVERGENCE_GRACE`` of ``horizon`` is
+    marked censored rather than unconverged.
+    """
+    rows: list[dict[str, Any]] = []
+    for (cell, version), at in sorted(issued.items()):
+        applied: list[float] = []
+        laggards: list[str] = []
+        for member, process in leaves.items():
+            if process.crashed or member not in final_roster:
+                continue
+            if process.created_at > at:
+                continue
+            when = process.applied_at.get(version)
+            if when is None:
+                laggards.append(str(member))
+            else:
+                applied.append(when)
+        converged = not laggards and bool(applied)
+        censored = (
+            not converged
+            and horizon is not None
+            and at > horizon - CONVERGENCE_GRACE
+        )
+        rows.append(
+            {
+                "cell": cell,
+                "version": version,
+                "converged": converged,
+                "censored": censored,
+                "latency": (max(applied) - at) if converged else None,
+                "laggards": laggards,
+            }
+        )
+    return rows
+
+
+def _summarise_convergence(rows: Sequence[dict[str, Any]]) -> dict[str, Any]:
+    latencies = [r["latency"] for r in rows if r["latency"] is not None]
+    censored = sum(1 for r in rows if r.get("censored"))
+    return {
+        "writes": len(rows),
+        "converged": sum(1 for r in rows if r["converged"]),
+        "unconverged": sum(
+            1 for r in rows if not r["converged"] and not r.get("censored")
+        ),
+        "censored": censored,
+        "mean_latency": (sum(latencies) / len(latencies)) if latencies else None,
+        "max_latency": max(latencies) if latencies else None,
+    }
+
+
+def satellite_cell(job: dict[str, Any]) -> dict[str, Any]:
+    """One leaf-only cell simulation (top-level, picklable).
+
+    ``job`` keys: ``cell_index``, ``seed`` (root), and optionally
+    ``cell_size``, ``duration``, ``detector``, ``pull_period``.
+    """
+    cell_index = job["cell_index"]
+    root_seed = job["seed"]
+    cell_size = job.get("cell_size", CELL_SIZE)
+    duration = job.get("duration", SHARD_DURATION)
+    detector = job.get("detector", "lifeguard")
+    pull_period = job.get("pull_period", PULL_PERIOD)
+    cell = f"s{cell_index}"
+    cell_seed = derive_group_seed(root_seed, cell_index)
+
+    scheduler = Scheduler()
+    trace = RunTrace(level="counts")
+    network = Network(
+        scheduler, trace, delay_model=UniformDelay(0.5, 2.0), seed=cell_seed
+    )
+    roster = tuple(pid(f"{cell}-l{i}") for i in range(cell_size))
+    plan = standard_churn(cell, roster)
+    stub = CoreStub(
+        pid(f"{cell}-core"),
+        network,
+        cell,
+        script=((plan.admit_at, CellOp("admit", plan.admit_leaf)),),
+    )
+    leaves: dict[ProcessId, LeafMember] = {}
+
+    def build_leaf(member: ProcessId, bootstrap: bool) -> LeafMember:
+        process = LeafMember(
+            member,
+            network,
+            cell,
+            _leaf_detector(detector, network, cell_seed, member),
+            core=(stub.pid,),
+            pull_period=pull_period,
+        )
+        if bootstrap:
+            for peer in roster:
+                process.registry.apply(CellOp("admit", peer))
+        leaves[member] = process
+        return process
+
+    for member in roster:
+        stub.registry.apply(CellOp("admit", member))
+        build_leaf(member, bootstrap=True)
+    stub.start()
+    for process in leaves.values():
+        process.start()
+    scheduler.at(plan.crash_at, leaves[plan.crash_leaf].crash)
+    # The replacement starts with an empty roster: it elects itself
+    # delegate and bootstraps by pulling the cell snapshot from the core.
+    scheduler.at(
+        plan.admit_at, lambda: build_leaf(plan.admit_leaf, bootstrap=False).start()
+    )
+    scheduler.run(until=duration, max_events=5_000_000)
+
+    counts = trace.message_counts_by_category()
+    rows = _convergence_rows(
+        stub.issued_at,
+        leaves,
+        frozenset(stub.registry.members()),
+        horizon=duration,
+    )
+    return {
+        "cell": cell,
+        "leaves": cell_size,
+        "events": scheduler.events_run,
+        "detector_msgs": counts.get("detector", 0),
+        "shard_msgs": counts.get(SHARD_CATEGORY, 0),
+        "expelled": plan.crash_leaf not in stub.registry,
+        "admitted": plan.admit_leaf in stub.registry,
+        "convergence": _summarise_convergence(rows),
+    }
+
+
+def _control_run(
+    n_cells: int,
+    cell_size: int,
+    seed: int,
+    duration: float,
+    detector: str,
+) -> dict[str, Any]:
+    """The full-core control arm: churn every cell, settle, measure."""
+    cluster = ShardGroupCluster(
+        n_core=3,
+        n_cells=n_cells,
+        cell_size=cell_size,
+        seed=seed,
+        leaf_detector=detector,
+        leaf_detector_kwargs=dict(LEAF_DETECTOR_KWARGS),
+        trace_level="counts",
+    )
+    plans: list[CellChurnPlan] = [
+        standard_churn(cell, roster) for cell, roster in cluster.cells.items()
+    ]
+    cluster.start()
+    for plan in plans:
+        plan.apply_to_cluster(cluster)
+    cluster.run(until=duration)
+
+    rows = cluster.convergence_report(horizon=duration, grace=CONVERGENCE_GRACE)
+    counts = cluster.trace.message_counts_by_category()
+    rosters = {cell: cluster.authoritative_roster(cell) for cell in cluster.cells}
+    return {
+        "cells": n_cells,
+        "leaves": n_cells * cell_size,
+        "events": cluster.scheduler.events_run,
+        "core_reconfigurations": cluster.core_reconfigurations(),
+        "detector_msgs": counts.get("detector", 0),
+        "shard_msgs": counts.get(SHARD_CATEGORY, 0),
+        "protocol_msgs": counts.get("protocol", 0),
+        "churn_applied": all(
+            plan.crash_leaf not in rosters[plan.cell]
+            and plan.admit_leaf in rosters[plan.cell]
+            for plan in plans
+        ),
+        "convergence": _summarise_convergence(rows),
+    }
+
+
+def sharded_scale_cell(
+    n: int,
+    seed: int = 1,
+    cell_size: int = CELL_SIZE,
+    duration: float = SHARD_DURATION,
+    detector: str = "lifeguard",
+    workers: Optional[int] = None,
+) -> dict[str, Any]:
+    """One ``--scale-sharded`` point: n simulated leaves under full churn.
+
+    ``n`` is rounded down to a whole number of cells (at least
+    ``CONTROL_CELLS + 1``, so there is always a satellite population to
+    measure leaf load on).
+    """
+    n_cells = max(n // cell_size, CONTROL_CELLS + 1)
+    start = time.perf_counter()  # lint: allow[DET101]
+    control = _control_run(CONTROL_CELLS, cell_size, seed, duration, detector)
+    jobs = [
+        {
+            "cell_index": index,
+            "seed": seed,
+            "cell_size": cell_size,
+            "duration": duration,
+            "detector": detector,
+        }
+        for index in range(CONTROL_CELLS, n_cells)
+    ]
+    satellites = parallel_map(satellite_cell, jobs, workers=workers)
+    wall = time.perf_counter() - start  # lint: allow[DET101]
+
+    sat_leaves = sum(s["leaves"] for s in satellites)
+    sat_msgs = sum(s["detector_msgs"] + s["shard_msgs"] for s in satellites)
+    rounds = duration / ROUND_PERIOD
+    per_cell_load = [
+        (s["detector_msgs"] + s["shard_msgs"]) / (s["leaves"] * rounds)
+        for s in satellites
+    ]
+    sat_latencies = [
+        s["convergence"]["max_latency"]
+        for s in satellites
+        if s["convergence"]["max_latency"] is not None
+    ]
+    return {
+        "n": n_cells * cell_size,
+        "requested_n": n,
+        "seed": seed,
+        "cells": n_cells,
+        "cell_size": cell_size,
+        "duration": duration,
+        "detector": detector,
+        "wall_s": wall,
+        "events": control["events"] + sum(s["events"] for s in satellites),
+        "leaf_msgs_per_process_per_round": (
+            sat_msgs / (sat_leaves * rounds) if sat_leaves else 0.0
+        ),
+        "satellite": {
+            "cells": len(satellites),
+            "leaves": sat_leaves,
+            "detector_msgs": sum(s["detector_msgs"] for s in satellites),
+            "shard_msgs": sum(s["shard_msgs"] for s in satellites),
+            "cell_load_min": min(per_cell_load) if per_cell_load else None,
+            "cell_load_max": max(per_cell_load) if per_cell_load else None,
+            "churn_applied": all(
+                s["expelled"] and s["admitted"] for s in satellites
+            ),
+            "writes": sum(s["convergence"]["writes"] for s in satellites),
+            "unconverged_writes": sum(
+                s["convergence"]["unconverged"] for s in satellites
+            ),
+            "censored_writes": sum(
+                s["convergence"]["censored"] for s in satellites
+            ),
+            "max_convergence_latency": (
+                max(sat_latencies) if sat_latencies else None
+            ),
+        },
+        "control": control,
+    }

@@ -1,0 +1,270 @@
+"""Leaf cells: detector-run shards under the core authority.
+
+A :class:`LeafMember` is a :class:`~repro.sim.process.SimProcess` that
+satisfies the :class:`~repro.detectors.base.Suspectable` contract over its
+*cell roster* — the replicated member list one :class:`CellRegistry` holds
+— and runs a SWIM-family detector over exactly those peers.  Roster changes
+flow down from the core by digest + anti-entropy pull:
+
+* the cell **delegate** — the most senior leaf not locally suspected —
+  pulls a :class:`CellDelta` from the core every ``pull_period`` and, when
+  the roster advanced, broadcasts that delta into the cell (one O(cell)
+  fan-out per change batch; followers never talk to the core);
+* a follower that is still behind after a delta (it missed a broadcast, or
+  was just admitted) pulls from the delegate, with a single in-flight
+  request — the same dedup discipline as the core replicas;
+* when the delegate's detector convicts a cell peer it reports the failure
+  up to the core, which serialises the expulsion.  Followers do not report:
+  the delegate's own verdict (driven by the same gossip) suffices, and if
+  the *delegate* dies, seniority moves delegate duty — and the reporting —
+  to the next live leaf automatically.
+
+A crashed or unresponsive core contact is handled by rotation: the
+delegate cycles through its core contact list whenever a pull goes
+unanswered for a full period.
+
+:class:`CoreStub` stands in for the whole core group in *satellite* cell
+simulations (the ``--scale-sharded`` bench fans thousands of those out):
+it owns the cell's registry, replays a scripted churn workload, answers
+pulls, and records write times — so every leaf runs the exact code the
+full control simulation runs, at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.detectors.base import FailureDetector
+from repro.ids import ProcessId
+from repro.shardgroup.directory import CellRegistry, apply_delta
+from repro.shardgroup.messages import (
+    SHARD_CATEGORY,
+    CellDelta,
+    CellOp,
+    DeltaRequest,
+    LeafFailureReport,
+)
+from repro.sim.network import Network
+from repro.sim.process import SimProcess
+
+__all__ = ["LeafMember", "CoreStub", "PULL_PERIOD"]
+
+#: default delegate pull / duty-check period (sim seconds).
+PULL_PERIOD = 4.0
+
+
+class LeafMember(SimProcess):
+    """One leaf: cell-roster Suspectable host plus shard-layer plumbing."""
+
+    def __init__(
+        self,
+        pid_: ProcessId,
+        network: Network,
+        cell: str,
+        detector: FailureDetector,
+        core: Sequence[ProcessId],
+        pull_period: float = PULL_PERIOD,
+    ) -> None:
+        super().__init__(pid_, network)
+        self.cell = cell
+        self.detector = detector
+        self.registry = CellRegistry(cell)
+        self.core = tuple(core)
+        self.pull_period = pull_period
+        self.suspected: set[ProcessId] = set()
+        #: sim-time this leaf was built — convergence accounting excludes
+        #: writes issued before it existed.
+        self.created_at = network.scheduler.now
+        #: sim-time each roster version was applied locally — the bench's
+        #: view-convergence clock stops at the slowest live leaf.
+        self.applied_at: dict[int, float] = {}
+        self._core_index = 0
+        self._await_core_reply = False
+        #: one in-flight catch-up pull to the delegate at a time.
+        self._cell_pull_inflight = False
+        detector.attach(self)
+
+    # ------------------------------------------------- Suspectable contract
+
+    def current_members(self) -> tuple[ProcessId, ...]:
+        return self.registry.members()
+
+    def is_current_member(self, target: ProcessId) -> bool:
+        return target in self.registry
+
+    def believes_faulty(self, target: ProcessId) -> bool:
+        return target in self.suspected
+
+    def on_suspect(self, target: ProcessId) -> None:
+        if target in self.suspected:
+            return
+        self.suspected.add(target)
+        if self.delegate() == self.pid:
+            # Delegate duty includes reporting: either we were already the
+            # delegate, or this verdict (against the old delegate) just
+            # promoted us.
+            self._report(target)
+
+    def _report(self, target: ProcessId) -> None:
+        self.send(
+            self._core_contact(),
+            LeafFailureReport(self.cell, target),
+            category=SHARD_CATEGORY,
+        )
+
+    # ------------------------------------------------------------ lifecycle
+
+    def on_start(self) -> None:
+        self.detector.start()
+        self.set_timer(self.pull_period, self._tick)
+
+    def delegate(self) -> Optional[ProcessId]:
+        """The most senior roster member this leaf does not suspect.
+
+        An empty roster (a freshly admitted leaf that has not learned its
+        cell yet) elects self, which makes the bootstrap pull automatic.
+        """
+        for leaf in self.registry.roster:
+            if leaf == self.pid or leaf not in self.suspected:
+                return leaf
+        return self.pid
+
+    def _core_contact(self) -> ProcessId:
+        return self.core[self._core_index % len(self.core)]
+
+    def _tick(self) -> None:
+        if self.delegate() == self.pid:
+            if self._await_core_reply:
+                # Last pull went unanswered for a whole period: the contact
+                # is partitioned or dead — rotate to the next core member.
+                self._core_index += 1
+            self._await_core_reply = True
+            self.send(
+                self._core_contact(),
+                DeltaRequest(self.cell, self.registry.version),
+                category=SHARD_CATEGORY,
+            )
+            # Re-report every suspicion the core has not acted on yet
+            # (expulsion prunes the target from the roster, which clears
+            # it from `suspected`).  Covers a report lost to a dead core
+            # contact and the promoted-delegate case: a follower that
+            # convicted `target` long before inheriting delegate duty.
+            for target in self.registry.roster:
+                if target in self.suspected:
+                    self._report(target)
+        self.set_timer(self.pull_period, self._tick)
+
+    # ------------------------------------------------------------- messages
+
+    def on_message(self, sender: ProcessId, payload: object) -> None:
+        if isinstance(payload, CellDelta):
+            self._on_delta(sender, payload)
+        elif isinstance(payload, DeltaRequest):
+            # Followers pull from the delegate; serve from our registry.
+            self.send(
+                sender,
+                self.registry.delta_since(payload.since),
+                category=SHARD_CATEGORY,
+            )
+        else:
+            self.detector.on_message(sender, payload)
+
+    def _on_delta(self, sender: ProcessId, delta: CellDelta) -> None:
+        if delta.cell != self.cell:
+            return
+        from_core = sender in self.core
+        if from_core:
+            self._await_core_reply = False
+        else:
+            self._cell_pull_inflight = False
+        before = self.registry.version
+        advanced = apply_delta(self.registry, delta)
+        if advanced:
+            now = self.network.scheduler.now
+            for version in range(before + 1, self.registry.version + 1):
+                self.applied_at[version] = now
+            self._prune_suspicions()
+        if from_core and advanced and self.delegate() == self.pid:
+            # Disseminate into the cell: one broadcast of the same delta.
+            # Followers behind `before` (e.g. freshly admitted) will pull.
+            self.broadcast(
+                (m for m in self.registry.roster if m != self.pid),
+                CellDelta(
+                    self.cell,
+                    before,
+                    delta.ops if delta.snapshot is None else (),
+                    self.registry.version,
+                    snapshot=(
+                        self.registry.members()
+                        if delta.snapshot is not None
+                        else None
+                    ),
+                ),
+                category=SHARD_CATEGORY,
+            )
+        elif not from_core and not advanced and delta.version > self.registry.version:
+            # A delegate broadcast we cannot apply contiguously: catch up
+            # with a single in-flight pull (never one per gapped delta).
+            if not self._cell_pull_inflight:
+                self._cell_pull_inflight = True
+                self.send(
+                    sender,
+                    DeltaRequest(self.cell, self.registry.version),
+                    category=SHARD_CATEGORY,
+                )
+
+    def _prune_suspicions(self) -> None:
+        """Drop verdicts about leaves the roster no longer contains, and let
+        the detector forget its per-target state for them."""
+        gone = [s for s in self.suspected if s not in self.registry]
+        for target in gone:
+            self.suspected.discard(target)
+            self.detector.forget(target)
+
+
+class CoreStub(SimProcess):
+    """Deterministic stand-in for the core group in leaf-only cell sims.
+
+    Owns the cell's authoritative :class:`CellRegistry`, replays a scripted
+    churn workload (``(sim_time, CellOp)`` pairs), expels leaves reported
+    failed, and answers :class:`DeltaRequest` pulls — exactly the slice of
+    :class:`~repro.shardgroup.directory.ShardDirectory` behaviour a single
+    cell can see, minus the GMP underneath it.
+    """
+
+    def __init__(
+        self,
+        pid_: ProcessId,
+        network: Network,
+        cell: str,
+        script: Sequence[tuple[float, CellOp]] = (),
+    ) -> None:
+        super().__init__(pid_, network)
+        self.cell = cell
+        self.registry = CellRegistry(cell)
+        self.script = tuple(script)
+        self.issued_at: dict[tuple[str, int], float] = {}
+
+    def on_start(self) -> None:
+        for at, op in self.script:
+            delay = at - self.network.scheduler.now
+            if delay >= 0:
+                self.set_timer(delay, lambda op=op: self._issue(op))
+
+    def _issue(self, op: CellOp) -> None:
+        if self.registry.apply(op):
+            self.issued_at[(self.cell, self.registry.version)] = (
+                self.network.scheduler.now
+            )
+
+    def on_message(self, sender: ProcessId, payload: object) -> None:
+        if isinstance(payload, DeltaRequest):
+            if payload.cell == self.cell:
+                self.send(
+                    sender,
+                    self.registry.delta_since(payload.since),
+                    category=SHARD_CATEGORY,
+                )
+        elif isinstance(payload, LeafFailureReport):
+            if payload.cell == self.cell and payload.leaf in self.registry:
+                self._issue(CellOp("expel", payload.leaf))

@@ -1,0 +1,279 @@
+"""The control simulation: a GMP core plus fully-simulated leaf cells.
+
+Everything — core members, their :class:`ShardDirectory` replicas, and
+every :class:`LeafMember` of every cell — shares one scheduler and one
+network, so the whole hierarchy is a single deterministic run: crash the
+core coordinator mid-churn, partition the core, kill leaf delegates, and
+the same seed replays the same trace byte for byte.
+
+The ``--scale-sharded`` bench uses this as the *control* arm (core
+behaviour, convergence latency, the zero-core-reconfiguration invariant)
+and fans the remaining cells out as satellite :class:`CoreStub` sims —
+see :mod:`repro.shardgroup.bench`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Any, Optional
+
+from repro.core.service import MembershipCluster
+from repro.detectors import LifeguardDetector, SwimDetector
+from repro.ids import ProcessId, pid
+from repro.shardgroup.cell import PULL_PERIOD, LeafMember
+from repro.shardgroup.directory import ShardDirectory
+from repro.sim.trace import RunTrace
+
+__all__ = ["ShardGroupCluster", "leaf_seed", "canonical_digest"]
+
+
+def leaf_seed(cluster_seed: int, leaf: ProcessId) -> int:
+    """Stable per-leaf detector RNG seed (sha256, never the salted hash)."""
+    digest = hashlib.sha256(f"shardleaf:{cluster_seed}:{leaf}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def canonical_digest(trace: RunTrace) -> str:
+    """sha256 over placement-independent trace lines (FULL traces only).
+
+    Same canonicalisation discipline as the epoch-barrier sharded runner:
+    ``msg_id`` (an interpreter-global counter) is excluded, everything
+    protocol-visible is kept.
+    """
+    hasher = hashlib.sha256()
+    for event in trace.events:
+        message = event.message
+        payload = (
+            f"{message.category}:{type(message.payload).__name__}"
+            if message is not None
+            else ""
+        )
+        view = (
+            ",".join(str(p) for p in event.view) if event.view is not None else ""
+        )
+        version = "" if event.version is None else str(event.version)
+        peer = "" if event.peer is None else str(event.peer)
+        line = (
+            f"{event.time:.9f}|{event.proc}|{event.kind.value}"
+            f"|{event.index}|{peer}|{payload}|{version}|{view}|{event.detail}\n"
+        )
+        hasher.update(line.encode())
+    return hasher.hexdigest()
+
+
+class ShardGroupCluster:
+    """Core group + leaf cells in one deterministic simulation."""
+
+    def __init__(
+        self,
+        n_core: int = 3,
+        n_cells: int = 2,
+        cell_size: int = 8,
+        seed: int = 1,
+        core_detector: str = "swim",
+        leaf_detector: str = "lifeguard",
+        leaf_detector_kwargs: Optional[dict[str, Any]] = None,
+        pull_period: float = PULL_PERIOD,
+        trace_level: Any = "full",
+        obs: Optional[Any] = None,
+    ) -> None:
+        self.seed = seed
+        self.core = MembershipCluster.of_size(
+            n_core,
+            prefix="c",
+            seed=seed,
+            detector=core_detector,  # type: ignore[arg-type]
+            trace_level=trace_level,
+            obs=obs,
+        )
+        self.scheduler = self.core.scheduler
+        self.network = self.core.network
+        self.trace = self.core.trace
+        self.pull_period = pull_period
+        self.leaf_detector = leaf_detector
+        self.leaf_detector_kwargs = dict(leaf_detector_kwargs or {})
+        self.directories: dict[ProcessId, ShardDirectory] = {
+            member: ShardDirectory(process)
+            for member, process in self.core.members.items()
+        }
+        self.core_pids = tuple(self.core.members)
+        self.leaves: dict[ProcessId, LeafMember] = {}
+        self.cells: dict[str, tuple[ProcessId, ...]] = {}
+        for index in range(n_cells):
+            cell = f"s{index}"
+            roster = tuple(
+                pid(f"{cell}-l{i}") for i in range(cell_size)
+            )
+            self.cells[cell] = roster
+            for directory in self.directories.values():
+                directory.bootstrap(cell, roster)
+            for leaf in roster:
+                self._build_leaf(cell, leaf, bootstrap=roster)
+        self._started = False
+
+    # ------------------------------------------------------------- builders
+
+    def _make_leaf_detector(self, leaf: ProcessId):
+        cls = (
+            LifeguardDetector if self.leaf_detector == "lifeguard" else SwimDetector
+        )
+        return cls(
+            self.network,
+            rng=random.Random(leaf_seed(self.seed, leaf)),
+            **self.leaf_detector_kwargs,
+        )
+
+    def _build_leaf(
+        self,
+        cell: str,
+        leaf: ProcessId,
+        bootstrap: tuple[ProcessId, ...] = (),
+    ) -> LeafMember:
+        process = LeafMember(
+            leaf,
+            self.network,
+            cell,
+            self._make_leaf_detector(leaf),
+            core=self.core_pids,
+            pull_period=self.pull_period,
+        )
+        if bootstrap:
+            # Pre-seed the same ops every directory replica bootstrapped
+            # with, so leaf and core versions align without any messages.
+            from repro.shardgroup.messages import CellOp
+
+            for member in bootstrap:
+                process.registry.apply(CellOp("admit", member))
+        self.leaves[leaf] = process
+        return process
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        self.core.start()
+        for directory in self.directories.values():
+            directory.activate_initial()
+        for leaf in self.leaves.values():
+            leaf.start()
+        self._started = True
+
+    def run(self, until: float, max_events: int = 10_000_000) -> None:
+        self.scheduler.run(until=until, max_events=max_events)
+
+    def settle(self, max_events: int = 10_000_000) -> None:
+        self.scheduler.run(max_events=max_events)
+
+    # -------------------------------------------------------------- actions
+
+    def coordinator_directory(self) -> ShardDirectory:
+        live = self.core.live_members()
+        if not live:
+            raise RuntimeError("no live core members")
+        return self.directories[live[0].state.mgr]
+
+    def crash_leaf(self, leaf: ProcessId | str, at: Optional[float] = None) -> None:
+        target = self.leaves[pid(leaf) if isinstance(leaf, str) else leaf]
+        if at is None:
+            target.crash()
+        else:
+            self.scheduler.at(at, target.crash)
+
+    def schedule_admit(self, cell: str, leaf: ProcessId | str, at: float) -> None:
+        """At ``at``: spawn a new leaf and route its admission to the core.
+
+        The new leaf bootstraps itself: with an empty roster it elects
+        itself delegate and pulls the cell snapshot from the core.
+        """
+        name = pid(leaf) if isinstance(leaf, str) else leaf
+
+        def admit() -> None:
+            directory = self.coordinator_directory()
+            if not directory.writable:
+                # Mid-reconciliation: try again shortly rather than drop.
+                self.scheduler.after(1.0, admit)
+                return
+            process = self._build_leaf(cell, name)
+            process.start()
+            directory.admit_leaf(cell, name)
+
+        self.scheduler.at(at, admit)
+
+    def crash_core(self, who: ProcessId | str, at: Optional[float] = None) -> None:
+        self.core.crash(who, at=at)
+
+    def partition_core(self, side_a, side_b) -> None:
+        self.core.partition(side_a, side_b)
+
+    def heal(self) -> None:
+        self.core.heal()
+
+    # ------------------------------------------------------------- measures
+
+    def core_reconfigurations(self) -> int:
+        """Three-phase reconfigurations initiated anywhere in the core —
+        the quantity leaf churn must never disturb."""
+        return sum(m.reconfigurations for m in self.core.members.values())
+
+    def authoritative_roster(self, cell: str) -> tuple[ProcessId, ...]:
+        return self.coordinator_directory().registry(cell).members()
+
+    def issued_writes(self) -> dict[tuple[str, int], float]:
+        merged: dict[tuple[str, int], float] = {}
+        for directory in self.directories.values():
+            merged.update(directory.issued_at)
+        return merged
+
+    def convergence_report(
+        self,
+        horizon: Optional[float] = None,
+        grace: float = 0.0,
+    ) -> list[dict[str, Any]]:
+        """Per roster write: how long until every live leaf applied it.
+
+        With ``horizon`` set, a write still in flight that was issued
+        within ``grace`` of it is marked censored (the run ended before a
+        dissemination cycle could complete), not unconverged.
+        """
+        report = []
+        for (cell, version), issued in sorted(self.issued_writes().items()):
+            final_roster = set(self.authoritative_roster(cell))
+            applied: list[float] = []
+            laggards: list[str] = []
+            members = [
+                p
+                for p, process in self.leaves.items()
+                if process.cell == cell
+                and not process.crashed
+                and p in final_roster
+                # A leaf admitted after the write back-fills old versions
+                # at join time; don't let that skew the latency.
+                and process.created_at <= issued
+            ]
+            for member in members:
+                when = self.leaves[member].applied_at.get(version)
+                if when is None:
+                    laggards.append(str(member))
+                else:
+                    applied.append(when)
+            converged = not laggards and bool(members)
+            censored = (
+                not converged
+                and horizon is not None
+                and issued > horizon - grace
+            )
+            report.append(
+                {
+                    "cell": cell,
+                    "version": version,
+                    "issued_at": issued,
+                    "converged": converged,
+                    "censored": censored,
+                    "latency": (max(applied) - issued) if converged else None,
+                    "laggards": laggards,
+                }
+            )
+        return report
+
+    def trace_digest(self) -> str:
+        return canonical_digest(self.trace)

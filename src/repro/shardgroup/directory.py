@@ -1,0 +1,517 @@
+"""The core group's replicated shard directory.
+
+One :class:`ShardDirectory` rides on each core GMP member as its
+:class:`~repro.core.member.AppLayer`.  The membership view's coordinator is
+the single writer: it serialises cell-roster changes, numbers them with
+per-cell versions, and broadcasts :class:`ShardUpdate` records to the core
+view.  Replicas apply updates in per-cell version order; a gap triggers a
+single in-flight :class:`DeltaRequest` per cell (anti-entropy pull), never
+a full-state rebroadcast.
+
+On failover the new coordinator reconciles by *digest*, not by state: it
+solicits :class:`ViewDigest` version vectors from the survivors, pulls a
+delta only for cells where some survivor is ahead, and then broadcasts its
+own digest so stragglers pull what they miss.  Replies are honoured only
+from solicited senders, and writes that arrive mid-reconciliation are
+deferred until it completes — the same discipline the flat
+:class:`~repro.extensions.hierarchy.ClientDirectory` follows, hardened by
+the PR-10 reconciliation bugfixes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.member import AppLayer, GMPMember
+from repro.ids import ProcessId
+from repro.model.events import EventKind
+from repro.shardgroup.messages import (
+    SHARD_CATEGORY,
+    CellDelta,
+    CellOp,
+    DeltaRequest,
+    DigestRequest,
+    LeafFailureReport,
+    ShardUpdate,
+    ViewDigest,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Obs
+
+__all__ = ["DeltaLog", "CellRegistry", "ShardDirectory"]
+
+#: how many trailing ops a registry retains for delta service.  Pulls that
+#: reach further back get a snapshot — bounded memory per cell either way.
+DELTA_LOG_CAP = 64
+
+
+class DeltaLog:
+    """Bounded per-cell op log: the suffix anti-entropy pulls are served from."""
+
+    def __init__(self, cap: int = DELTA_LOG_CAP) -> None:
+        self.cap = cap
+        #: version *before* the first retained op.
+        self.base = 0
+        self.ops: list[CellOp] = []
+
+    def append(self, op: CellOp) -> None:
+        self.ops.append(op)
+        if len(self.ops) > self.cap:
+            drop = len(self.ops) - self.cap
+            del self.ops[:drop]
+            self.base += drop
+
+    def reset(self, base: int) -> None:
+        """Forget everything; the log now starts after ``base`` (snapshot adoption)."""
+        self.base = base
+        self.ops = []
+
+    def since(self, version: int) -> Optional[tuple[CellOp, ...]]:
+        """Ops taking ``version`` to the head, or None if truncated past it."""
+        if version < self.base:
+            return None
+        return tuple(self.ops[version - self.base :])
+
+
+class CellRegistry:
+    """One cell's replicated roster: ordered members, version, delta log."""
+
+    def __init__(self, cell: str, log_cap: int = DELTA_LOG_CAP) -> None:
+        self.cell = cell
+        self.version = 0
+        #: admission order == seniority order (the delegate is the head).
+        self.roster: list[ProcessId] = []
+        self._roster_set: set[ProcessId] = set()
+        self._roster_tuple: Optional[tuple[ProcessId, ...]] = None
+        self.log = DeltaLog(log_cap)
+
+    def members(self) -> tuple[ProcessId, ...]:
+        cached = self._roster_tuple
+        if cached is None:
+            cached = self._roster_tuple = tuple(self.roster)
+        return cached
+
+    def __contains__(self, leaf: ProcessId) -> bool:
+        return leaf in self._roster_set
+
+    def apply(self, op: CellOp) -> bool:
+        """Apply one op, advancing the version.  False if redundant."""
+        if op.kind == "admit":
+            if op.leaf in self._roster_set:
+                return False
+            self.roster.append(op.leaf)
+            self._roster_set.add(op.leaf)
+        else:
+            if op.leaf not in self._roster_set:
+                return False
+            self.roster.remove(op.leaf)
+            self._roster_set.discard(op.leaf)
+        self._roster_tuple = None
+        self.version += 1
+        self.log.append(op)
+        return True
+
+    def adopt_snapshot(self, version: int, roster: tuple[ProcessId, ...]) -> None:
+        """Jump to a newer snapshot (delta log truncated past our version)."""
+        self.version = version
+        self.roster = list(roster)
+        self._roster_set = set(roster)
+        self._roster_tuple = tuple(roster)
+        self.log.reset(version)
+
+    def delta_since(self, since: int) -> CellDelta:
+        """The pull reply: op suffix if retained, snapshot fallback if not."""
+        ops = self.log.since(since) if since <= self.version else None
+        if ops is not None:
+            return CellDelta(self.cell, since, ops, self.version)
+        return CellDelta(self.cell, since, (), self.version, snapshot=self.members())
+
+
+def apply_delta(registry: CellRegistry, delta: CellDelta) -> bool:
+    """Fold a :class:`CellDelta` into ``registry``.  True if it advanced.
+
+    Shared by core replicas and leaf members: skips the op prefix the
+    registry already has, applies the contiguous remainder, and adopts the
+    snapshot fallback when the delta starts beyond the local version.
+    """
+    if delta.version <= registry.version:
+        return False
+    if delta.snapshot is not None:
+        registry.adopt_snapshot(delta.version, delta.snapshot)
+        return True
+    if delta.since > registry.version:
+        return False  # non-contiguous and no snapshot: cannot apply safely
+    advanced = False
+    for index, op in enumerate(delta.ops):
+        produces = delta.since + index + 1
+        if produces <= registry.version:
+            continue  # already have this prefix
+        registry.apply(op)
+        advanced = True
+    return advanced
+
+
+class ShardDirectory(AppLayer):
+    """The shard map replica carried by one core GMP member."""
+
+    def __init__(
+        self,
+        member: GMPMember,
+        sync_timeout: float = 15.0,
+        digest_period: float = 8.0,
+    ) -> None:
+        self.member = member
+        self.sync_timeout = sync_timeout
+        self.digest_period = digest_period
+        self.cells: dict[str, CellRegistry] = {}
+        #: cell -> pull target for anti-entropy pulls in flight (one per
+        #: cell: a version gap must not amplify into a burst of pulls, and
+        #: only the solicited responder may clear the flag).
+        self._pull_inflight: dict[str, ProcessId] = {}
+        self._digest_armed = False
+        #: highest membership view version in which we completed
+        #: reconciliation as coordinator; None while not the reconciled writer.
+        self._reconciled_as_mgr: Optional[int] = None
+        self._sync_pending: set[ProcessId] = set()
+        self._sync_digests: dict[ProcessId, dict[str, int]] = {}
+        self._sync_pulls: set[str] = set()
+        self._sync_epoch = 0
+        #: failure reports received mid-reconciliation, replayed once the
+        #: directory is writable again.
+        self._deferred_reports: list[LeafFailureReport] = []
+        #: sim-time each locally-written version was issued, per cell — the
+        #: bench's view-convergence clock starts here.
+        self.issued_at: dict[tuple[str, int], float] = {}
+        member.app = self
+
+    # --------------------------------------------------------------- reads
+
+    def _is_coordinator(self) -> bool:
+        state = self.member.state
+        return state is not None and state.mgr == self.member.pid
+
+    @property
+    def writable(self) -> bool:
+        """Coordinator and reconciled: safe to serialise roster changes."""
+        return self._is_coordinator() and self._reconciled_as_mgr is not None
+
+    def registry(self, cell: str) -> CellRegistry:
+        found = self.cells.get(cell)
+        if found is None:
+            found = self.cells[cell] = CellRegistry(cell)
+        return found
+
+    def digest(self) -> ViewDigest:
+        return ViewDigest(
+            tuple(sorted((c, r.version) for c, r in self.cells.items()))
+        )
+
+    def total_leaves(self) -> int:
+        return sum(len(r.roster) for r in self.cells.values())
+
+    # ---------------------------------------------------- coordinator writes
+
+    def bootstrap(self, cell: str, leaves: tuple[ProcessId, ...]) -> None:
+        """Pre-seed one cell before the run starts (applied identically on
+        every replica, so no messages are needed for the initial state)."""
+        registry = self.registry(cell)
+        for leaf in leaves:
+            registry.apply(CellOp("admit", leaf))
+
+    def admit_leaf(self, cell: str, leaf: ProcessId) -> bool:
+        return self._coordinate(cell, CellOp("admit", leaf))
+
+    def expel_leaf(self, cell: str, leaf: ProcessId) -> bool:
+        return self._coordinate(cell, CellOp("expel", leaf))
+
+    def _coordinate(self, cell: str, op: CellOp) -> bool:
+        if not self.writable:
+            raise RuntimeError(
+                f"{self.member.pid} is not the reconciled coordinator; "
+                "route shard operations to the coordinator"
+            )
+        registry = self.registry(cell)
+        if not registry.apply(op):
+            return False
+        now = self.member.network.scheduler.now
+        self.issued_at[(cell, registry.version)] = now
+        self._record(f"shard-{op.kind}: {cell}/{op.leaf} -> v{registry.version}")
+        self._observe_population()
+        state = self.member.state
+        assert state is not None
+        self.member.broadcast(
+            state.view,
+            ShardUpdate(cell=cell, op=op, version=registry.version),
+            category=SHARD_CATEGORY,
+        )
+        return True
+
+    # ------------------------------------------------------------ messages
+
+    def on_message(self, sender: ProcessId, payload: object) -> None:
+        if isinstance(payload, ShardUpdate):
+            self._on_update(sender, payload)
+        elif isinstance(payload, DeltaRequest):
+            registry = self.cells.get(payload.cell)
+            if registry is not None:
+                self.member.send(
+                    sender,
+                    registry.delta_since(payload.since),
+                    category=SHARD_CATEGORY,
+                )
+        elif isinstance(payload, CellDelta):
+            self._on_delta(sender, payload)
+        elif isinstance(payload, DigestRequest):
+            self.member.send(sender, self.digest(), category=SHARD_CATEGORY)
+        elif isinstance(payload, ViewDigest):
+            self._on_digest(sender, payload)
+        elif isinstance(payload, LeafFailureReport):
+            self._on_failure_report(sender, payload)
+
+    def _on_update(self, sender: ProcessId, update: ShardUpdate) -> None:
+        state = self.member.state
+        if state is None or sender != state.mgr:
+            return  # only the current coordinator writes
+        registry = self.registry(update.cell)
+        if update.version <= registry.version:
+            return  # duplicate
+        if update.version == registry.version + 1:
+            registry.apply(update.op)
+            self._observe_population()
+            return
+        self._pull(update.cell, sender)
+
+    def _pull(self, cell: str, target: ProcessId) -> None:
+        """One anti-entropy pull per cell at a time (in-flight dedup)."""
+        if cell in self._pull_inflight:
+            return
+        self._pull_inflight[cell] = target
+        self.member.send(
+            target,
+            DeltaRequest(cell, self.registry(cell).version),
+            category=SHARD_CATEGORY,
+        )
+
+    def _on_delta(self, sender: ProcessId, delta: CellDelta) -> None:
+        if self._pull_inflight.get(delta.cell) == sender:
+            del self._pull_inflight[delta.cell]
+        if delta.cell in self._sync_pulls:
+            # A reconciliation pull we issued as the incoming coordinator.
+            self._sync_pulls.discard(delta.cell)
+            apply_delta(self.registry(delta.cell), delta)
+            if not self._sync_pulls:
+                self._finish_reconciliation()
+            return
+        state = self.member.state
+        if state is not None and (sender == state.mgr or self._is_coordinator()):
+            if apply_delta(self.registry(delta.cell), delta):
+                self._observe_population()
+
+    def _on_digest(self, sender: ProcessId, digest: ViewDigest) -> None:
+        if sender in self._sync_pending:
+            # A reconciliation reply we solicited.  Unsolicited digests
+            # (e.g. the periodic coordinator broadcast) must not be folded
+            # into the reconciliation.
+            self._sync_pending.discard(sender)
+            self._sync_digests[sender] = dict(digest.versions)
+            if not self._sync_pending:
+                self._collect_reconciliation_pulls()
+            return
+        state = self.member.state
+        if state is None or sender != state.mgr:
+            return
+        for cell, version in digest.versions:
+            if version > self.registry(cell).version:
+                self._pull(cell, sender)
+
+    def _on_failure_report(
+        self, sender: ProcessId, report: LeafFailureReport
+    ) -> None:
+        if self.writable:
+            registry = self.cells.get(report.cell)
+            if registry is not None and report.leaf in registry:
+                self.expel_leaf(report.cell, report.leaf)
+            return
+        if self._is_coordinator():
+            # Mid-reconciliation: defer rather than write on a stale map.
+            self._deferred_reports.append(report)
+            return
+        state = self.member.state
+        if state is not None and not self.member.believes_faulty(state.mgr):
+            self.member.send(state.mgr, report, category=SHARD_CATEGORY)
+
+    # --------------------------------------------------------- view changes
+
+    def on_view_installed(
+        self, version: int, view: tuple[ProcessId, ...], mgr: ProcessId
+    ) -> None:
+        if mgr != self.member.pid:
+            self._step_down()
+            return
+        self._begin_reconciliation(version, view)
+
+    def on_coordinator_changed(self, version: int, mgr: ProcessId) -> None:
+        if mgr != self.member.pid:
+            self._step_down()
+            return
+        state = self.member.state
+        if state is not None:
+            self._begin_reconciliation(version, state.snapshot_view())
+
+    def activate_initial(self) -> None:
+        """Mark the run-initial coordinator reconciled (it has no
+        predecessor to reconcile against) and start its digest broadcasts."""
+        state = self.member.state
+        if state is None or not self._is_coordinator():
+            return
+        if self._reconciled_as_mgr is None:
+            self._reconciled_as_mgr = state.version
+            self._arm_digest_timer()
+
+    def _step_down(self) -> None:
+        self._reconciled_as_mgr = None
+        if self._sync_pending or self._sync_pulls:
+            self._sync_epoch += 1
+        self._sync_pending = set()
+        self._sync_digests = {}
+        self._sync_pulls = set()
+        self._deferred_reports = []
+        # Pulls addressed to the deposed coordinator will never be answered.
+        self._pull_inflight = {}
+
+    def _begin_reconciliation(
+        self, version: int, view: tuple[ProcessId, ...]
+    ) -> None:
+        if self._reconciled_as_mgr is not None:
+            return  # already the established writer
+        self._reconciled_as_mgr = version
+        self._pull_inflight = {}
+        self._span_begin("shard.reconcile", version)
+        others = [
+            m
+            for m in view
+            if m != self.member.pid and not self.member.believes_faulty(m)
+        ]
+        if not others:
+            self._finish_reconciliation()
+            return
+        self._sync_pending = set(others)
+        self._sync_digests = {}
+        for target in others:
+            self.member.send(target, DigestRequest(), category=SHARD_CATEGORY)
+        epoch = self._sync_epoch
+        self.member.set_timer(self.sync_timeout, lambda: self._sync_deadline(epoch))
+
+    def _collect_reconciliation_pulls(self) -> None:
+        """Digests are in: pull a delta for every cell a survivor leads on."""
+        best: dict[str, tuple[int, ProcessId]] = {}
+        for sender, versions in self._sync_digests.items():
+            for cell, version in versions.items():
+                if version > self.registry(cell).version:
+                    known = best.get(cell)
+                    if known is None or version > known[0]:
+                        best[cell] = (version, sender)
+        self._sync_digests = {}
+        if not best:
+            self._finish_reconciliation()
+            return
+        self._sync_pulls = set(best)
+        for cell, (_version, source) in sorted(best.items()):
+            self.member.send(
+                source,
+                DeltaRequest(cell, self.registry(cell).version),
+                category=SHARD_CATEGORY,
+            )
+
+    def _sync_deadline(self, epoch: int) -> None:
+        if epoch != self._sync_epoch:
+            return
+        if self._sync_pending:
+            self._sync_pending = set()
+            self._collect_reconciliation_pulls()
+        elif self._sync_pulls:
+            self._sync_pulls = set()
+            self._finish_reconciliation()
+
+    def _finish_reconciliation(self) -> None:
+        self._sync_pending = set()
+        self._sync_digests = {}
+        self._sync_pulls = set()
+        self._sync_epoch += 1
+        version = self._reconciled_as_mgr
+        self._record(
+            f"shard directory reconciled: {len(self.cells)} cells, "
+            f"{self.total_leaves()} leaves"
+        )
+        self._span_end("shard.reconcile", version)
+        self._observe_population()
+        state = self.member.state
+        if state is not None and not self.member.crashed:
+            # Digest, not state: stragglers pull exactly what they miss.
+            self.member.broadcast(state.view, self.digest(), category=SHARD_CATEGORY)
+            self._arm_digest_timer()
+        deferred = self._deferred_reports
+        self._deferred_reports = []
+        for report in deferred:
+            if self.member.crashed:
+                return
+            self._on_failure_report(self.member.pid, report)
+
+    # ------------------------------------------------------- periodic digest
+
+    def _arm_digest_timer(self) -> None:
+        if not self.member.crashed and not self._digest_armed:
+            self._digest_armed = True
+            self.member.set_timer(self.digest_period, self._digest_tick)
+
+    def _digest_tick(self) -> None:
+        self._digest_armed = False
+        if not self.writable:
+            return  # deposed: the new coordinator's digests take over
+        state = self.member.state
+        assert state is not None
+        self.member.broadcast(state.view, self.digest(), category=SHARD_CATEGORY)
+        self._arm_digest_timer()
+
+    # -------------------------------------------------------------- plumbing
+
+    def _obs(self) -> Optional["Obs"]:
+        return self.member.network.obs
+
+    def _observe_population(self) -> None:
+        obs = self._obs()
+        if obs is not None:
+            obs.set_shard_population(
+                self.member.pid, len(self.cells), self.total_leaves()
+            )
+
+    def _span_begin(self, name: str, version: Optional[int]) -> None:
+        obs = self._obs()
+        if obs is not None:
+            obs.spans.begin(
+                name,
+                key=(self.member.pid, version),
+                at=self.member.network.scheduler.now,
+                proc=self.member.pid,
+            )
+
+    def _span_end(self, name: str, version: Optional[int]) -> None:
+        obs = self._obs()
+        if obs is not None:
+            obs.spans.end(
+                name,
+                key=(self.member.pid, version),
+                at=self.member.network.scheduler.now,
+                cells=len(self.cells),
+                leaves=self.total_leaves(),
+            )
+
+    def _record(self, detail: str) -> None:
+        if not self.member.crashed:
+            self.member.network.trace.record(
+                self.member.pid,
+                EventKind.INTERNAL,
+                time=self.member.network.scheduler.now,
+                detail=detail,
+            )

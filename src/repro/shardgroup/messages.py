@@ -1,0 +1,107 @@
+"""Wire messages of the sharded membership layer.
+
+All shard-layer traffic is sent with ``category="shard"`` so the bench can
+charge it separately from the core GMP (``protocol``) and the leaf SWIM
+fabric (``detector``), mirroring the Section 7.2 accounting discipline.
+
+The dissemination model is digest + anti-entropy pull (not full-state
+rebroadcast):
+
+* the authority's replicated state is a set of per-cell rosters, each with
+  its own monotone version — a **version vector** keyed by cell name;
+* :class:`ViewDigest` carries only the vector; a receiver that is behind
+  on some cell answers with a :class:`DeltaRequest` for that cell;
+* :class:`CellDelta` replies with the exact missing suffix of
+  :class:`CellOp` records, falling back to a roster snapshot only when the
+  sender's bounded delta log has been truncated past the requested point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ids import ProcessId
+
+__all__ = [
+    "SHARD_CATEGORY",
+    "CellOp",
+    "ShardUpdate",
+    "ViewDigest",
+    "DigestRequest",
+    "DeltaRequest",
+    "CellDelta",
+    "LeafFailureReport",
+]
+
+#: traffic category for everything in this module.
+SHARD_CATEGORY = "shard"
+
+
+@dataclass(frozen=True, slots=True)
+class CellOp:
+    """One roster change in one cell."""
+
+    kind: str  # 'admit' | 'expel'
+    leaf: ProcessId
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("admit", "expel"):
+            raise ValueError(f"unknown cell op {self.kind!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class ShardUpdate:
+    """Core coordinator -> core replicas: ``op`` produced cell version ``version``."""
+
+    cell: str
+    op: CellOp
+    version: int
+
+
+@dataclass(frozen=True, slots=True)
+class ViewDigest:
+    """Version vector over cells: ``((cell, version), ...)``, sorted by cell.
+
+    Small and O(cells) regardless of how many leaves the cells hold — the
+    whole point of digest dissemination.
+    """
+
+    versions: tuple[tuple[str, int], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class DigestRequest:
+    """Solicit a :class:`ViewDigest` (new-coordinator reconciliation)."""
+
+
+@dataclass(frozen=True, slots=True)
+class DeltaRequest:
+    """Anti-entropy pull: ops of ``cell`` after local version ``since``."""
+
+    cell: str
+    since: int
+
+
+@dataclass(frozen=True, slots=True)
+class CellDelta:
+    """Pull reply: the op suffix taking ``since`` to ``version``.
+
+    ``ops[i]`` produces version ``since + i + 1``.  When the responder's
+    delta log no longer reaches back to ``since``, ``ops`` is empty and
+    ``snapshot`` carries the full roster at ``version`` instead.
+    """
+
+    cell: str
+    since: int
+    ops: tuple[CellOp, ...]
+    version: int
+    snapshot: Optional[tuple[ProcessId, ...]] = None
+
+
+@dataclass(frozen=True, slots=True)
+class LeafFailureReport:
+    """Cell delegate -> core: a leaf of ``cell`` appears to have failed."""
+
+    cell: str
+    leaf: ProcessId

@@ -1,0 +1,63 @@
+"""Leaf-churn workload for the sharded membership layer.
+
+One :class:`CellChurnPlan` describes the canonical per-cell churn the
+``--scale-sharded`` bench applies everywhere: crash the cell's most junior
+leaf (the detector must convict it and the delegate report it up for
+expulsion), then admit a replacement.  The *same* plan drives both arms of
+the bench — the full control simulation (GMP core + cells, via
+:meth:`~repro.shardgroup.cluster.ShardGroupCluster` helpers) and the
+satellite leaf-only cells (via a :class:`~repro.shardgroup.cell.CoreStub`
+script) — so their convergence numbers are directly comparable.
+
+The invariant under test is the paper's hierarchy argument (Section 8):
+leaf churn is absorbed entirely by the shard layer.  Admissions,
+expulsions, and failures of leaves must never force a reconfiguration of
+the core group, whose three-phase protocol cost is reserved for core
+failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.ids import ProcessId, pid
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.shardgroup.cluster import ShardGroupCluster
+
+__all__ = ["CRASH_AT", "ADMIT_AT", "CellChurnPlan", "standard_churn"]
+
+#: sim-time the cell's most junior leaf crashes.
+CRASH_AT = 6.0
+
+#: sim-time the replacement leaf is admitted.
+ADMIT_AT = 10.0
+
+
+@dataclass(frozen=True, slots=True)
+class CellChurnPlan:
+    """One cell's scripted churn: a crash-and-expel plus an admission."""
+
+    cell: str
+    crash_leaf: ProcessId
+    crash_at: float
+    admit_leaf: ProcessId
+    admit_at: float
+
+    def apply_to_cluster(self, cluster: "ShardGroupCluster") -> None:
+        """Arm this plan on a control-arm :class:`ShardGroupCluster`."""
+        cluster.crash_leaf(self.crash_leaf, at=self.crash_at)
+        cluster.schedule_admit(self.cell, self.admit_leaf, at=self.admit_at)
+
+
+def standard_churn(
+    cell: str,
+    roster: Sequence[ProcessId],
+    crash_at: float = CRASH_AT,
+    admit_at: float = ADMIT_AT,
+) -> CellChurnPlan:
+    """The canonical plan: crash the most junior leaf, admit ``<cell>x0``."""
+    if not roster:
+        raise ValueError("churn needs a non-empty roster")
+    return CellChurnPlan(cell, roster[-1], crash_at, pid(f"{cell}x0"), admit_at)

@@ -214,7 +214,7 @@ class TestSyncDeadline:
         cluster.run(until=5.0)
         directory = coordinator_directory(cluster, dirs)
         before = directory.view
-        directory._sync_deadline()
+        directory._sync_deadline(directory._sync_epoch)
         assert directory.view == before
         assert directory._sync_pending == set()
 
@@ -227,7 +227,7 @@ class TestSyncDeadline:
         directory = coordinator_directory(cluster, dirs)
         directory._sync_pending = {pid("never-answers")}
         directory._sync_best = ClientState(clients=(pid("client-x"),), version=7)
-        directory._sync_deadline()
+        directory._sync_deadline(directory._sync_epoch)
         assert directory._sync_pending == set()
         assert directory._sync_best is None
         assert directory.view.version == 7

@@ -1,0 +1,392 @@
+"""Tests for the sharded membership layer and the reconciliation bugfixes.
+
+Three regression classes guard the client-view reconciliation fixes in
+:mod:`repro.extensions.hierarchy` (a deposed coordinator must re-reconcile
+on re-election; only solicited reconciliation replies count; gapped updates
+must not amplify into a sync storm), and the rest exercise
+:mod:`repro.shardgroup`: registry/delta-log mechanics, churn through the
+full core+cells control simulation, the leaf-churn-never-reconfigures-the-
+core invariant, and byte-identical same-seed traces through crash,
+coordinator re-election, and partition-heal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.extensions import ClientDirectory
+from repro.extensions.hierarchy import (
+    ClientState,
+    ClientSyncRequest,
+    ClientUpdate,
+    ClientOp,
+)
+from repro.ids import pid
+from repro.shardgroup import (
+    CellOp,
+    CellRegistry,
+    DeltaLog,
+    ShardGroupCluster,
+)
+from repro.shardgroup.directory import DELTA_LOG_CAP, apply_delta
+
+from conftest import make_cluster
+
+
+def cluster_with_directories(n: int = 4, **kwargs):
+    cluster = make_cluster(n, **kwargs)
+    directories = {
+        p: ClientDirectory(member) for p, member in cluster.members.items()
+    }
+    return cluster, directories
+
+
+def coordinator_directory(cluster, directories):
+    mgr = cluster.live_members()[0].state.mgr
+    return directories[mgr]
+
+
+class TestReelectedCoordinatorReconciles:
+    """Bugfix 1: the reconciliation marker must clear when coordinatorship
+    moves away, so a deposed-then-re-elected coordinator reconciles again
+    instead of rebroadcasting a stale registry."""
+
+    def _reconciled_coordinator(self):
+        cluster, dirs = cluster_with_directories(5)
+        cluster.run(until=5.0)
+        # The run-initial coordinator only reconciles once a view install
+        # fires; excluding a junior member provides one.
+        cluster.crash("p4")
+        cluster.settle()
+        return cluster, coordinator_directory(cluster, dirs)
+
+    def test_marker_clears_when_coordinatorship_moves_away(self):
+        cluster, directory = self._reconciled_coordinator()
+        assert directory._reconciled_as_mgr is not None
+        directory.on_coordinator_changed(7, pid("someone-else"))
+        assert directory._reconciled_as_mgr is None
+
+    def test_reelected_coordinator_reconciles_again(self):
+        cluster, directory = self._reconciled_coordinator()
+        directory.on_coordinator_changed(7, pid("someone-else"))
+        # Re-election: reconciliation must restart (solicit the others),
+        # not silently resume writership with a possibly stale registry.
+        directory.on_coordinator_changed(8, directory.member.pid)
+        assert directory._reconciled_as_mgr == 8
+        assert directory._sync_pending  # re-solicited the survivors
+
+    def test_deposition_abandons_inflight_reconciliation(self):
+        cluster, directory = self._reconciled_coordinator()
+        directory._sync_pending = {pid("p9")}
+        epoch = directory._sync_epoch
+        directory.on_coordinator_changed(7, pid("someone-else"))
+        assert directory._sync_pending == set()
+        # The epoch bump turns the armed deadline timer into a no-op.
+        assert directory._sync_epoch == epoch + 1
+
+
+class TestSolicitedRepliesOnly:
+    """Bugfix 2: while a reconciliation is pending, a ClientState from a
+    process we did not solicit must not be folded into the sync."""
+
+    def test_unsolicited_state_does_not_advance_reconciliation(self):
+        cluster, dirs = cluster_with_directories()
+        cluster.run(until=5.0)
+        directory = coordinator_directory(cluster, dirs)
+        directory._sync_pending = {pid("p1"), pid("p2")}
+        directory._sync_best = None
+        forged = ClientState(clients=(pid("forged"),), version=99)
+        directory._on_state(pid("intruder"), forged)
+        assert directory._sync_pending == {pid("p1"), pid("p2")}
+        assert directory._sync_best is None
+        assert pid("forged") not in directory.view
+
+    def test_solicited_reply_still_counts(self):
+        cluster, dirs = cluster_with_directories()
+        cluster.run(until=5.0)
+        directory = coordinator_directory(cluster, dirs)
+        directory._sync_pending = {pid("p1")}
+        directory._sync_best = None
+        directory._on_state(
+            pid("p1"), ClientState(clients=(pid("client-a"),), version=5)
+        )
+        assert directory._sync_pending == set()
+        assert pid("client-a") in directory.view
+        assert directory.view.version == 5
+
+
+class TestGapSyncDeduplication:
+    """Bugfix 3: a burst of gapped updates triggers ONE catch-up sync."""
+
+    def _gapped_directory(self):
+        cluster, dirs = cluster_with_directories()
+        cluster.run(until=5.0)
+        mgr = cluster.live_members()[0].state.mgr
+        follower = next(d for p, d in dirs.items() if p != mgr)
+        sent: list[object] = []
+        original = follower.member.send
+
+        def recording_send(to, payload, category="protocol"):
+            sent.append(payload)
+            return original(to, payload, category=category)
+
+        follower.member.send = recording_send
+        return cluster, follower, mgr, sent
+
+    def test_gap_burst_sends_single_sync_request(self):
+        cluster, follower, mgr, sent = self._gapped_directory()
+        for version in (5, 6, 7):
+            follower._on_update(
+                mgr, ClientUpdate(ClientOp("admit", pid(f"c{version}")), version)
+            )
+        syncs = [m for m in sent if isinstance(m, ClientSyncRequest)]
+        assert len(syncs) == 1
+        assert follower._catch_up_inflight
+
+    def test_catch_up_state_clears_inflight_flag(self):
+        cluster, follower, mgr, sent = self._gapped_directory()
+        follower._on_update(
+            mgr, ClientUpdate(ClientOp("admit", pid("c5")), version=5)
+        )
+        assert follower._catch_up_inflight
+        follower._on_state(
+            mgr, ClientState(clients=(pid("c1"), pid("c5")), version=5)
+        )
+        assert not follower._catch_up_inflight
+        assert follower.view.version == 5
+        # A later gap may sync again — the flag must not latch forever.
+        follower._on_update(
+            mgr, ClientUpdate(ClientOp("admit", pid("c9")), version=9)
+        )
+        assert len([m for m in sent if isinstance(m, ClientSyncRequest)]) == 2
+
+
+class TestCellRegistry:
+    def test_apply_and_duplicates(self):
+        registry = CellRegistry("s0")
+        assert registry.apply(CellOp("admit", pid("a")))
+        assert not registry.apply(CellOp("admit", pid("a")))
+        assert registry.apply(CellOp("expel", pid("a")))
+        assert not registry.apply(CellOp("expel", pid("a")))
+        assert registry.version == 2
+        assert registry.members() == ()
+
+    def test_delta_since_serves_contiguous_suffix(self):
+        registry = CellRegistry("s0")
+        for i in range(5):
+            registry.apply(CellOp("admit", pid(f"l{i}")))
+        delta = registry.delta_since(2)
+        assert delta.since == 2
+        assert delta.snapshot is None
+        assert [op.leaf for op in delta.ops] == [pid("l2"), pid("l3"), pid("l4")]
+        follower = CellRegistry("s0")
+        for i in range(2):
+            follower.apply(CellOp("admit", pid(f"l{i}")))
+        assert apply_delta(follower, delta)
+        assert follower.members() == registry.members()
+        assert follower.version == registry.version
+
+    def test_truncated_log_falls_back_to_snapshot(self):
+        registry = CellRegistry("s0")
+        for i in range(DELTA_LOG_CAP + 10):
+            registry.apply(CellOp("admit", pid(f"l{i}")))
+        delta = registry.delta_since(1)  # older than the retained suffix
+        assert delta.snapshot is not None
+        follower = CellRegistry("s0")
+        follower.apply(CellOp("admit", pid("l0")))
+        assert apply_delta(follower, delta)
+        assert follower.version == registry.version
+        assert follower.members() == registry.members()
+
+    def test_stale_delta_ignored(self):
+        registry = CellRegistry("s0")
+        registry.apply(CellOp("admit", pid("a")))
+        registry.apply(CellOp("admit", pid("b")))
+        stale = registry.delta_since(0)
+        assert not apply_delta(registry, stale)
+        assert registry.version == 2
+
+    def test_delta_log_cap(self):
+        log = DeltaLog()
+        for i in range(DELTA_LOG_CAP * 2):
+            log.append(CellOp("admit", pid(f"l{i}")))
+        assert log.since(0) is None  # truncated
+        suffix = log.since(DELTA_LOG_CAP)
+        assert suffix is not None
+        assert len(suffix) == DELTA_LOG_CAP
+
+
+def churn_cluster(seed: int = 3, n_core: int = 5):
+    """Core + two cells driven through leaf churn, coordinator crash,
+    and a core partition-heal — the full gauntlet."""
+    cluster = ShardGroupCluster(
+        n_core=n_core,
+        n_cells=2,
+        cell_size=6,
+        seed=seed,
+        leaf_detector_kwargs={"probe_timeout": 3.0, "suspicion_timeout": 4.0},
+    )
+    cluster.start()
+    cluster.run(until=20.0)
+    cluster.crash_leaf("s0-l5")
+    cluster.schedule_admit("s0", "s0x0", at=40.0)
+    cluster.run(until=60.0)
+    cluster.crash_core("c0")  # coordinator fails over mid-stream
+    cluster.run(until=90.0)
+    cluster.partition_core(["c1"], ["c2", "c3", "c4"])
+    cluster.run(until=120.0)
+    cluster.heal()
+    cluster.run(until=160.0)
+    return cluster
+
+
+class TestShardGroupChurn:
+    @pytest.fixture(scope="class")
+    def churned(self):
+        return churn_cluster()
+
+    def test_leaf_churn_applied_across_failover(self, churned):
+        roster = churned.authoritative_roster("s0")
+        assert pid("s0-l5") not in roster
+        assert pid("s0x0") in roster
+        assert len(churned.authoritative_roster("s1")) == 6
+
+    def test_all_writes_converged(self, churned):
+        report = churned.convergence_report()
+        assert report, "churn must have produced roster writes"
+        assert all(row["converged"] for row in report), report
+
+    def test_new_coordinator_is_writable(self, churned):
+        directory = churned.coordinator_directory()
+        assert directory.member.pid != pid("c0")
+        assert directory.writable
+
+    def test_leaf_churn_never_reconfigured_the_core(self):
+        # Leaf-only churn: crash, detector-driven expulsion, admission.
+        # The core group must not run a single reconfiguration for it.
+        cluster = ShardGroupCluster(
+            n_core=3,
+            n_cells=2,
+            cell_size=6,
+            seed=11,
+            leaf_detector_kwargs={"probe_timeout": 3.0, "suspicion_timeout": 4.0},
+        )
+        cluster.start()
+        cluster.run(until=10.0)
+        cluster.crash_leaf("s1-l5")
+        cluster.schedule_admit("s0", "s0x0", at=15.0)
+        cluster.run(until=60.0)
+        assert cluster.core_reconfigurations() == 0
+        assert pid("s1-l5") not in cluster.authoritative_roster("s1")
+        assert pid("s0x0") in cluster.authoritative_roster("s0")
+
+    def test_delegate_crash_promotes_reporter(self):
+        # Crash the *delegate* (most senior leaf): the next-senior leaf
+        # inherits delegate duty, re-reports the failure it had already
+        # convicted, and the cell keeps converging.
+        cluster = ShardGroupCluster(
+            n_core=3,
+            n_cells=1,
+            cell_size=6,
+            seed=5,
+            leaf_detector_kwargs={"probe_timeout": 3.0, "suspicion_timeout": 4.0},
+        )
+        cluster.start()
+        cluster.run(until=10.0)
+        cluster.crash_leaf("s0-l0")
+        cluster.run(until=60.0)
+        roster = cluster.authoritative_roster("s0")
+        assert pid("s0-l0") not in roster
+        assert cluster.core_reconfigurations() == 0
+        survivor = cluster.leaves[pid("s0-l1")]
+        assert survivor.delegate() == survivor.pid
+
+
+class TestShardDeterminism:
+    def test_same_seed_traces_are_byte_identical(self):
+        # Crash, coordinator re-election, and partition-heal included —
+        # the canonical digest covers every protocol-visible event.
+        assert churn_cluster().trace_digest() == churn_cluster().trace_digest()
+
+    def test_different_seeds_diverge(self):
+        assert churn_cluster(seed=3).trace_digest() != churn_cluster(
+            seed=4
+        ).trace_digest()
+
+
+class TestSatelliteCell:
+    def test_satellite_matches_control_semantics(self):
+        from repro.shardgroup.bench import satellite_cell
+
+        result = satellite_cell(
+            {"cell_index": 2, "seed": 1, "cell_size": 12, "duration": 40.0}
+        )
+        assert result["expelled"] and result["admitted"]
+        assert result["convergence"]["unconverged"] == 0
+        assert result["convergence"]["writes"] == 2
+
+    def test_satellite_cells_are_deterministic(self):
+        from repro.shardgroup.bench import satellite_cell
+
+        job = {"cell_index": 4, "seed": 9, "cell_size": 12, "duration": 40.0}
+        assert satellite_cell(job) == satellite_cell(job)
+
+
+class TestConvergenceCensoring:
+    """Writes the horizon cuts off are censored data, not failures."""
+
+    class _FakeLeaf:
+        def __init__(self, applied_at, created_at=0.0, crashed=False):
+            self.applied_at = applied_at
+            self.created_at = created_at
+            self.crashed = crashed
+
+    def _rows(self, issued_at, horizon):
+        from repro.shardgroup.bench import _convergence_rows
+
+        leaves = {
+            pid("s0-l0"): self._FakeLeaf({1: 12.0}),
+            pid("s0-l1"): self._FakeLeaf({}),  # never applies anything
+        }
+        roster = frozenset(leaves)
+        return _convergence_rows(
+            {("s0", 1): issued_at}, leaves, roster, horizon=horizon
+        )
+
+    def test_late_write_is_censored_not_unconverged(self):
+        from repro.shardgroup.bench import CONVERGENCE_GRACE, _summarise_convergence
+
+        rows = self._rows(issued_at=40.0 - CONVERGENCE_GRACE / 2, horizon=40.0)
+        assert rows[0]["censored"] and not rows[0]["converged"]
+        summary = _summarise_convergence(rows)
+        assert summary["unconverged"] == 0
+        assert summary["censored"] == 1
+
+    def test_early_stalled_write_still_fails(self):
+        from repro.shardgroup.bench import _summarise_convergence
+
+        rows = self._rows(issued_at=5.0, horizon=40.0)
+        assert not rows[0]["censored"] and not rows[0]["converged"]
+        summary = _summarise_convergence(rows)
+        assert summary["unconverged"] == 1
+        assert summary["censored"] == 0
+
+    def test_converged_write_is_never_censored(self):
+        from repro.shardgroup.bench import _convergence_rows
+
+        leaves = {pid("s0-l0"): self._FakeLeaf({1: 39.5})}
+        rows = _convergence_rows(
+            {("s0", 1): 39.0}, leaves, frozenset(leaves), horizon=40.0
+        )
+        assert rows[0]["converged"] and not rows[0]["censored"]
+
+    def test_tail_cell_regression(self):
+        # Cell 753 under root seed 1 convicts its crashed leaf ~30s
+        # post-crash, pushing the expel write within one dissemination
+        # cycle of the 40s horizon: censored, not a convergence failure.
+        from repro.shardgroup.bench import satellite_cell
+
+        result = satellite_cell({"cell_index": 753, "seed": 1})
+        assert result["expelled"] and result["admitted"]
+        assert result["convergence"]["unconverged"] == 0
+        assert result["convergence"]["censored"] == 1
