@@ -24,6 +24,7 @@ from repro.shardgroup.messages import (
     CellOp,
     DeltaRequest,
     DigestRequest,
+    LeafAdmitRequest,
     LeafFailureReport,
     ShardUpdate,
     ViewDigest,
@@ -37,6 +38,7 @@ __all__ = [
     "DeltaLog",
     "DeltaRequest",
     "DigestRequest",
+    "LeafAdmitRequest",
     "LeafFailureReport",
     "LeafMember",
     "ShardDirectory",

@@ -185,21 +185,14 @@ class LeafMember(SimProcess):
                 self.applied_at[version] = now
             self._prune_suspicions()
         if from_core and advanced and self.delegate() == self.pid:
-            # Disseminate into the cell: one broadcast of the same delta.
-            # Followers behind `before` (e.g. freshly admitted) will pull.
+            # Disseminate into the cell, served from our *own* delta log:
+            # the received delta's ops start at delta.since + 1, which may
+            # be past `before` if another pull landed in between — relabeled
+            # ops would apply at the wrong versions on followers.  Followers
+            # behind `before` (e.g. freshly admitted) will pull.
             self.broadcast(
                 (m for m in self.registry.roster if m != self.pid),
-                CellDelta(
-                    self.cell,
-                    before,
-                    delta.ops if delta.snapshot is None else (),
-                    self.registry.version,
-                    snapshot=(
-                        self.registry.members()
-                        if delta.snapshot is not None
-                        else None
-                    ),
-                ),
+                self.registry.delta_since(before),
                 category=SHARD_CATEGORY,
             )
         elif not from_core and not advanced and delta.version > self.registry.version:

@@ -182,20 +182,22 @@ class ShardGroupCluster:
     def schedule_admit(self, cell: str, leaf: ProcessId | str, at: float) -> None:
         """At ``at``: spawn a new leaf and route its admission to the core.
 
-        The new leaf bootstraps itself: with an empty roster it elects
-        itself delegate and pulls the cell snapshot from the core.
+        The admission travels as a :class:`LeafAdmitRequest` handed to a
+        live replica: a non-coordinator forwards it, and a coordinator
+        mid-reconciliation defers it until the directory is writable — no
+        cluster-level polling loop.  The new leaf bootstraps itself: with
+        an empty roster it elects itself delegate and pulls the cell
+        snapshot from the core.
         """
         name = pid(leaf) if isinstance(leaf, str) else leaf
 
         def admit() -> None:
-            directory = self.coordinator_directory()
-            if not directory.writable:
-                # Mid-reconciliation: try again shortly rather than drop.
-                self.scheduler.after(1.0, admit)
-                return
+            live = self.core.live_members()
+            if not live:
+                raise RuntimeError("no live core members to admit through")
             process = self._build_leaf(cell, name)
             process.start()
-            directory.admit_leaf(cell, name)
+            self.directories[live[0].pid].request_admit(cell, name)
 
         self.scheduler.at(at, admit)
 

@@ -31,6 +31,7 @@ from repro.shardgroup.messages import (
     CellOp,
     DeltaRequest,
     DigestRequest,
+    LeafAdmitRequest,
     LeafFailureReport,
     ShardUpdate,
     ViewDigest,
@@ -170,9 +171,13 @@ class ShardDirectory(AppLayer):
         #: only the solicited responder may clear the flag).
         self._pull_inflight: dict[str, ProcessId] = {}
         self._digest_armed = False
-        #: highest membership view version in which we completed
-        #: reconciliation as coordinator; None while not the reconciled writer.
+        #: membership view version in which we *completed* reconciliation as
+        #: coordinator; None while not the reconciled writer.  Set only by
+        #: :meth:`_finish_reconciliation` (or :meth:`activate_initial`), so
+        #: ``writable`` stays False for the whole reconciliation window.
         self._reconciled_as_mgr: Optional[int] = None
+        #: view version of a reconciliation in flight; None otherwise.
+        self._reconciling: Optional[int] = None
         self._sync_pending: set[ProcessId] = set()
         self._sync_digests: dict[ProcessId, dict[str, int]] = {}
         self._sync_pulls: set[str] = set()
@@ -180,6 +185,10 @@ class ShardDirectory(AppLayer):
         #: failure reports received mid-reconciliation, replayed once the
         #: directory is writable again.
         self._deferred_reports: list[LeafFailureReport] = []
+        #: admissions we cannot serve yet (mid-reconciliation, or no
+        #: reachable coordinator); re-dispatched on every writability or
+        #: coordinator change — unlike reports, nobody re-sends these.
+        self._deferred_admits: list[LeafAdmitRequest] = []
         #: sim-time each locally-written version was issued, per cell — the
         #: bench's view-convergence clock starts here.
         self.issued_at: dict[tuple[str, int], float] = {}
@@ -221,6 +230,11 @@ class ShardDirectory(AppLayer):
 
     def admit_leaf(self, cell: str, leaf: ProcessId) -> bool:
         return self._coordinate(cell, CellOp("admit", leaf))
+
+    def request_admit(self, cell: str, leaf: ProcessId) -> None:
+        """Admission entry point callable on *any* replica: write if we are
+        the reconciled coordinator, defer while reconciling, forward else."""
+        self._on_admit_request(self.member.pid, LeafAdmitRequest(cell, leaf))
 
     def expel_leaf(self, cell: str, leaf: ProcessId) -> bool:
         return self._coordinate(cell, CellOp("expel", leaf))
@@ -268,6 +282,8 @@ class ShardDirectory(AppLayer):
             self._on_digest(sender, payload)
         elif isinstance(payload, LeafFailureReport):
             self._on_failure_report(sender, payload)
+        elif isinstance(payload, LeafAdmitRequest):
+            self._on_admit_request(sender, payload)
 
     def _on_update(self, sender: ProcessId, update: ShardUpdate) -> None:
         state = self.member.state
@@ -341,6 +357,31 @@ class ShardDirectory(AppLayer):
         if state is not None and not self.member.believes_faulty(state.mgr):
             self.member.send(state.mgr, report, category=SHARD_CATEGORY)
 
+    def _on_admit_request(
+        self, sender: ProcessId, request: LeafAdmitRequest
+    ) -> None:
+        if self.writable:
+            self.admit_leaf(request.cell, request.leaf)
+            return
+        if self._is_coordinator():
+            # Mid-reconciliation: defer rather than write on a stale map.
+            self._deferred_admits.append(request)
+            return
+        state = self.member.state
+        if state is not None and not self.member.believes_faulty(state.mgr):
+            self.member.send(state.mgr, request, category=SHARD_CATEGORY)
+        else:
+            # No reachable coordinator yet; re-dispatched when one appears.
+            self._deferred_admits.append(request)
+
+    def _flush_deferred_admits(self) -> None:
+        pending = self._deferred_admits
+        self._deferred_admits = []
+        for request in pending:
+            if self.member.crashed:
+                return
+            self._on_admit_request(self.member.pid, request)
+
     # --------------------------------------------------------- view changes
 
     def on_view_installed(
@@ -348,12 +389,14 @@ class ShardDirectory(AppLayer):
     ) -> None:
         if mgr != self.member.pid:
             self._step_down()
+            self._flush_deferred_admits()  # forward to the new coordinator
             return
         self._begin_reconciliation(version, view)
 
     def on_coordinator_changed(self, version: int, mgr: ProcessId) -> None:
         if mgr != self.member.pid:
             self._step_down()
+            self._flush_deferred_admits()  # forward to the new coordinator
             return
         state = self.member.state
         if state is not None:
@@ -371,11 +414,15 @@ class ShardDirectory(AppLayer):
 
     def _step_down(self) -> None:
         self._reconciled_as_mgr = None
+        self._reconciling = None
         if self._sync_pending or self._sync_pulls:
             self._sync_epoch += 1
         self._sync_pending = set()
         self._sync_digests = {}
         self._sync_pulls = set()
+        # Deferred reports are dropped: cell delegates re-report every tick.
+        # Deferred admits are kept — the caller forwards them to the new
+        # coordinator, since nothing retries an admission for us.
         self._deferred_reports = []
         # Pulls addressed to the deposed coordinator will never be answered.
         self._pull_inflight = {}
@@ -383,9 +430,9 @@ class ShardDirectory(AppLayer):
     def _begin_reconciliation(
         self, version: int, view: tuple[ProcessId, ...]
     ) -> None:
-        if self._reconciled_as_mgr is not None:
-            return  # already the established writer
-        self._reconciled_as_mgr = version
+        if self._reconciled_as_mgr is not None or self._reconciling is not None:
+            return  # already the established writer, or already reconciling
+        self._reconciling = version
         self._pull_inflight = {}
         self._span_begin("shard.reconcile", version)
         others = [
@@ -430,6 +477,13 @@ class ShardDirectory(AppLayer):
         if self._sync_pending:
             self._sync_pending = set()
             self._collect_reconciliation_pulls()
+            if self._sync_pulls:
+                # The one timer from _begin_reconciliation has fired; the
+                # reconciliation pulls need their own deadline or a lost
+                # reply leaves the coordinator non-writable forever.
+                self.member.set_timer(
+                    self.sync_timeout, lambda: self._sync_deadline(epoch)
+                )
         elif self._sync_pulls:
             self._sync_pulls = set()
             self._finish_reconciliation()
@@ -439,7 +493,13 @@ class ShardDirectory(AppLayer):
         self._sync_digests = {}
         self._sync_pulls = set()
         self._sync_epoch += 1
-        version = self._reconciled_as_mgr
+        version = (
+            self._reconciling
+            if self._reconciling is not None
+            else self._reconciled_as_mgr
+        )
+        self._reconciling = None
+        self._reconciled_as_mgr = version
         self._record(
             f"shard directory reconciled: {len(self.cells)} cells, "
             f"{self.total_leaves()} leaves"
@@ -457,6 +517,7 @@ class ShardDirectory(AppLayer):
             if self.member.crashed:
                 return
             self._on_failure_report(self.member.pid, report)
+        self._flush_deferred_admits()
 
     # ------------------------------------------------------- periodic digest
 

@@ -32,6 +32,7 @@ __all__ = [
     "DeltaRequest",
     "CellDelta",
     "LeafFailureReport",
+    "LeafAdmitRequest",
 ]
 
 #: traffic category for everything in this module.
@@ -102,6 +103,19 @@ class CellDelta:
 @dataclass(frozen=True, slots=True)
 class LeafFailureReport:
     """Cell delegate -> core: a leaf of ``cell`` appears to have failed."""
+
+    cell: str
+    leaf: ProcessId
+
+
+@dataclass(frozen=True, slots=True)
+class LeafAdmitRequest:
+    """Admission routed to the core: admit ``leaf`` into ``cell``.
+
+    Like :class:`LeafFailureReport`, any replica may receive one; a
+    non-coordinator forwards it to the coordinator, which defers it while
+    reconciling instead of writing on a possibly-stale registry.
+    """
 
     cell: str
     leaf: ProcessId

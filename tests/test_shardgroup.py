@@ -23,10 +23,13 @@ from repro.extensions.hierarchy import (
 )
 from repro.ids import pid
 from repro.shardgroup import (
+    CellDelta,
     CellOp,
     CellRegistry,
     DeltaLog,
+    LeafFailureReport,
     ShardGroupCluster,
+    ViewDigest,
 )
 from repro.shardgroup.directory import DELTA_LOG_CAP, apply_delta
 
@@ -300,6 +303,105 @@ class TestShardGroupChurn:
         assert cluster.core_reconfigurations() == 0
         survivor = cluster.leaves[pid("s0-l1")]
         assert survivor.delegate() == survivor.pid
+
+
+class TestReconciliationWindow:
+    """Regression: the directory must not be writable mid-reconciliation,
+    deferred writes must replay on completion, and a lost reconciliation
+    pull must not wedge the coordinator non-writable forever."""
+
+    def _mid_reconciliation(self):
+        cluster = ShardGroupCluster(n_core=4, n_cells=1, cell_size=6, seed=7)
+        cluster.start()
+        cluster.run(until=5.0)
+        directory = cluster.directories[pid("c0")]
+        assert directory.writable  # run-initial coordinator
+        directory._step_down()
+        directory.on_coordinator_changed(
+            directory.member.state.version, pid("c0")
+        )
+        return cluster, directory
+
+    def test_not_writable_until_reconciliation_completes(self):
+        cluster, directory = self._mid_reconciliation()
+        assert directory._sync_pending
+        assert not directory.writable
+        assert directory._reconciled_as_mgr is None
+
+    def test_mid_reconciliation_report_and_admit_are_deferred(self):
+        cluster, directory = self._mid_reconciliation()
+        directory._on_failure_report(
+            pid("c1"), LeafFailureReport("s0", pid("s0-l3"))
+        )
+        directory.request_admit("s0", pid("s0x9"))
+        assert directory._deferred_reports and directory._deferred_admits
+        registry = directory.registry("s0")
+        assert pid("s0-l3") in registry and pid("s0x9") not in registry
+        for survivor in list(directory._sync_pending):
+            directory._on_digest(survivor, ViewDigest(()))
+        # Reconciliation done: writable again, deferred writes replayed.
+        assert directory.writable
+        assert pid("s0-l3") not in registry
+        assert pid("s0x9") in registry
+        assert not directory._deferred_reports
+        assert not directory._deferred_admits
+
+    def test_lost_reconciliation_pull_cannot_wedge_the_coordinator(self):
+        # The coordinator stays in the majority (a minority member removes
+        # itself).  c1's digest claims a cell the coordinator must pull,
+        # but the pull is held by the partition and never answered; c2
+        # never answers the digest solicitation at all, so the deadline
+        # fires with _sync_pending non-empty and must re-arm itself for
+        # the reconciliation pulls it then issues.
+        cluster = ShardGroupCluster(n_core=5, n_cells=1, cell_size=6, seed=7)
+        cluster.start()
+        cluster.run(until=5.0)
+        cluster.partition_core(["c0", "c3", "c4"], ["c1", "c2"])
+        directory = cluster.directories[pid("c0")]
+        directory._step_down()
+        directory.on_coordinator_changed(
+            directory.member.state.version, pid("c0")
+        )
+        directory._on_digest(pid("c1"), ViewDigest((("s0", 999),)))
+        deadline = 5.0 + directory.sync_timeout
+        cluster.run(until=deadline + 1.0)
+        assert directory._sync_pulls == {"s0"}  # pull issued at the deadline
+        assert not directory.writable
+        cluster.run(until=deadline + directory.sync_timeout + 2.0)
+        assert directory.writable
+
+
+class TestDelegateRebroadcastIntegrity:
+    """Regression: the delegate serves its cell broadcast from its own
+    delta log; relabeling the core reply's ops as starting at the local
+    pre-apply version corrupts followers whose registry is in between."""
+
+    def test_broadcast_served_from_own_log_not_relabeled(self):
+        cluster = ShardGroupCluster(n_core=3, n_cells=1, cell_size=4, seed=2)
+        delegate = cluster.leaves[pid("s0-l0")]
+        assert delegate.registry.version == 4
+        ops = [CellOp("admit", pid(f"x{i}")) for i in (5, 6, 7)]
+        # An old delegate's broadcast lands between our pull and the core
+        # reply: the registry advances past the reply's `since`.
+        delegate.registry.apply(ops[0])
+        captured: list[CellDelta] = []
+        delegate.broadcast = (
+            lambda targets, payload, category="protocol": captured.append(payload)
+        )
+        delegate._on_delta(
+            cluster.core_pids[0], CellDelta("s0", 4, tuple(ops), 7)
+        )
+        assert delegate.registry.version == 7
+        (rebroadcast,) = captured
+        assert rebroadcast.since == 5
+        assert [op.leaf for op in rebroadcast.ops] == [pid("x6"), pid("x7")]
+        # A follower sitting at version 5 applies it cleanly and converges.
+        follower = CellRegistry("s0")
+        for i in range(4):
+            follower.apply(CellOp("admit", pid(f"s0-l{i}")))
+        follower.apply(ops[0])
+        assert apply_delta(follower, rebroadcast)
+        assert follower.members() == delegate.registry.members()
 
 
 class TestShardDeterminism:
